@@ -1,0 +1,70 @@
+"""Shared experiment harness for the benchmark suite.
+
+Runs every suite kernel through both flows under a named optimisation
+config, caches the results per process, and renders the paper-style tables.
+Each ``test_table*/test_fig*`` module regenerates one table or figure of
+the (reconstructed) evaluation; outputs are also written under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.flows import FlowComparison, OptimizationConfig, compare_flows
+from repro.workloads.suite import SUITE_SIZES
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+SUITE_SIZE_CLASS = "SMALL"
+SUITE_KERNELS = list(SUITE_SIZES[SUITE_SIZE_CLASS].keys())
+
+_CONFIGS = {
+    "baseline": OptimizationConfig.baseline,
+    "optimized": lambda: OptimizationConfig.optimized(ii=1),
+    "optimized_part": lambda: OptimizationConfig.optimized(ii=1, partition_factor=2),
+}
+
+_cache: Dict[tuple, FlowComparison] = {}
+
+
+def run_comparison(kernel: str, config_name: str = "baseline") -> FlowComparison:
+    key = (kernel, config_name)
+    if key not in _cache:
+        _cache[key] = compare_flows(
+            kernel,
+            SUITE_SIZES[SUITE_SIZE_CLASS][kernel],
+            _CONFIGS[config_name](),
+            check_equivalence=True,
+            seed=17,
+        )
+    return _cache[key]
+
+
+def run_suite(config_name: str = "baseline") -> List[FlowComparison]:
+    return [run_comparison(k, config_name) for k in SUITE_KERNELS]
+
+
+def write_result(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    return path
+
+
+def render_table(title: str, header: List[str], rows: List[List[str]],
+                 widths: Optional[List[int]] = None) -> str:
+    widths = widths or [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+        for i, h in enumerate(header)
+    ]
+    lines = [title, ""]
+    lines.append("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    lines.append("-" * sum(widths))
+    for row in rows:
+        lines.append("".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

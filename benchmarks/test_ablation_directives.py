@@ -1,0 +1,70 @@
+"""Ablation B [reconstructed]: directive sweep on gemm — pipeline II and
+unroll/partition factors; latency-vs-DSP crossover.
+
+The shape to hold: deeper unrolling + partitioning buys latency with DSPs
+and BRAM banks until memory ports saturate.
+"""
+
+import pytest
+
+from repro.flows import OptimizationConfig, run_adaptor_flow
+from repro.workloads import build_kernel
+
+from .harness import render_table, write_result
+
+GEMM_SIZES = {"NI": 8, "NJ": 8, "NK": 8}
+
+SWEEP = [
+    ("baseline", OptimizationConfig.baseline()),
+    ("pipe ii=1", OptimizationConfig.optimized(ii=1)),
+    ("pipe ii=8", OptimizationConfig.optimized(ii=8)),
+    ("pipe ii=16", OptimizationConfig.optimized(ii=16)),
+    ("pipe+unroll2+part2", OptimizationConfig.optimized(ii=1, unroll=2, partition_factor=2)),
+    ("pipe+unroll4+part4", OptimizationConfig.optimized(ii=1, unroll=4, partition_factor=4)),
+]
+
+
+def test_ablation_directive_sweep(benchmark):
+    def sweep():
+        out = []
+        for label, config in SWEEP:
+            spec = build_kernel("gemm", **GEMM_SIZES)
+            config.apply(spec)
+            out.append((label, run_adaptor_flow(spec)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for label, result in results:
+        pipelined = [l for l in result.synth_report.loops if l.pipelined]
+        ii = min((l.ii for l in pipelined), default=None)
+        rows.append(
+            [
+                label,
+                result.latency,
+                ii if ii is not None else "-",
+                result.resources["dsp"],
+                result.resources["bram_18k"],
+                result.resources["lut"],
+            ]
+        )
+    text = render_table(
+        "Ablation B [reconstructed]: gemm directive sweep (adaptor flow, 8x8x8)",
+        ["config", "latency", "II", "DSP", "BRAM18", "LUT"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("ablationB_directive_sweep", text)
+
+    by_label = {label: result for label, result in results}
+    # Pipelining beats baseline; requested II acts as a floor.
+    assert by_label["pipe ii=1"].latency < by_label["baseline"].latency
+    lat_ii = [by_label[f"pipe ii={ii}"].latency for ii in (1, 8, 16)]
+    assert lat_ii == sorted(lat_ii), "latency must be monotone in requested II"
+    # Requests above the recurrence bound (6) must actually slow the loop.
+    assert by_label["pipe ii=8"].latency > by_label["pipe ii=1"].latency
+    # Unroll+partition buys latency with area.
+    deep = by_label["pipe+unroll4+part4"]
+    flat = by_label["pipe ii=1"]
+    assert deep.latency <= flat.latency
+    assert deep.resources["bram_18k"] >= flat.resources["bram_18k"]

@@ -1,0 +1,45 @@
+"""Fig. 1 [reconstructed]: speedup of the optimised configuration over the
+undirected baseline, per kernel, both flows (the two series of the bar
+chart).  Rendered as an ASCII chart + data table."""
+
+from .harness import render_table, run_suite, write_result
+
+
+def _bar(value: float, scale: float = 4.0, max_width: int = 40) -> str:
+    return "#" * min(max_width, max(1, int(round(value * scale))))
+
+
+def test_fig1_speedup_series(benchmark):
+    def run_both():
+        return run_suite("baseline"), run_suite("optimized")
+
+    baseline, optimized = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    rows = []
+    chart_lines = []
+    for b, o in zip(baseline, optimized):
+        speedup_adaptor = b.adaptor.latency / max(o.adaptor.latency, 1)
+        speedup_cpp = b.cpp.latency / max(o.cpp.latency, 1)
+        rows.append(
+            [b.kernel, f"{speedup_adaptor:.2f}x", f"{speedup_cpp:.2f}x"]
+        )
+        chart_lines.append(f"{b.kernel:>10} adaptor |{_bar(speedup_adaptor)} {speedup_adaptor:.2f}x")
+        chart_lines.append(f"{'':>10} hls-cpp |{_bar(speedup_cpp)} {speedup_cpp:.2f}x")
+
+    text = render_table(
+        "Fig. 1 [reconstructed]: speedup of optimised (pipeline II=1) over baseline",
+        ["kernel", "adaptor flow", "hls-cpp flow"],
+        rows,
+    ) + "\n\n" + "\n".join(chart_lines)
+    print("\n" + text)
+    write_result("fig1_speedup", text)
+
+    for b, o in zip(baseline, optimized):
+        speedup_adaptor = b.adaptor.latency / max(o.adaptor.latency, 1)
+        speedup_cpp = b.cpp.latency / max(o.cpp.latency, 1)
+        # Pipelining must help (>= 1x) and the two flows' speedups must
+        # track each other (same winner-by-roughly-same-factor shape).
+        assert speedup_adaptor >= 1.0, b.kernel
+        assert speedup_cpp >= 1.0, b.kernel
+        assert abs(speedup_adaptor - speedup_cpp) <= 0.5 * max(
+            speedup_adaptor, speedup_cpp
+        ), b.kernel

@@ -1,0 +1,35 @@
+"""Fig. 4 [reconstructed]: flow compile-time breakdown (lower/adapt/
+synthesise vs codegen/parse/synthesise) — the tooling-cost comparison."""
+
+from .harness import render_table, run_suite, write_result
+
+
+def test_fig4_flow_time_breakdown(benchmark):
+    comparisons = benchmark.pedantic(
+        run_suite, args=("optimized",), rounds=1, iterations=1
+    )
+    rows = []
+    for c in comparisons:
+        ta, tc = c.adaptor.timings, c.cpp.timings
+        rows.append(
+            [
+                c.kernel,
+                f"{ta['lower'] * 1e3:.1f}",
+                f"{ta['adaptor'] * 1e3:.1f}",
+                f"{ta['synthesis'] * 1e3:.1f}",
+                f"{tc['codegen'] * 1e3:.1f}",
+                f"{tc['c-frontend'] * 1e3:.1f}",
+                f"{tc['synthesis'] * 1e3:.1f}",
+            ]
+        )
+    text = render_table(
+        "Fig. 4 [reconstructed]: flow compile time (ms): adaptor flow vs C++ flow",
+        ["kernel", "lower", "adaptor", "synth(a)", "codegen", "c-front", "synth(c)"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("fig4_flow_time", text)
+
+    for c in comparisons:
+        assert all(v >= 0 for v in c.adaptor.timings.values())
+        assert all(v >= 0 for v in c.cpp.timings.values())

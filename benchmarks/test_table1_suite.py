@@ -1,0 +1,45 @@
+"""Table 1 [reconstructed]: benchmark suite characteristics.
+
+Regenerates the kernel/size/loop-structure table the paper's evaluation
+section opens with.
+"""
+
+from repro.workloads import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+from .harness import SUITE_KERNELS, SUITE_SIZE_CLASS, render_table, write_result
+
+
+def _build_rows():
+    rows = []
+    for name in SUITE_KERNELS:
+        sizes = SUITE_SIZES[SUITE_SIZE_CLASS][name]
+        spec = build_kernel(name, **sizes)
+        arrays = ", ".join(
+            f"{arg}[{'x'.join(str(d) for d in shape)}]"
+            for arg, shape in spec.array_args.items()
+        )
+        rows.append(
+            [
+                name,
+                spec.loop_count(),
+                spec.loop_nest_depth(),
+                len(spec.array_args),
+                len(spec.scalar_args),
+                arrays if len(arrays) < 46 else arrays[:43] + "...",
+            ]
+        )
+    return rows
+
+
+def test_table1_suite_characteristics(benchmark):
+    rows = benchmark.pedantic(_build_rows, rounds=1, iterations=1)
+    text = render_table(
+        f"Table 1 [reconstructed]: PolyBench suite ({SUITE_SIZE_CLASS} sizes)",
+        ["kernel", "loops", "depth", "arrays", "scalars", "array shapes"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("table1_suite", text)
+    assert len(rows) == 15
+    assert all(r[1] >= 1 for r in rows)

@@ -1,0 +1,38 @@
+"""Table 2 [reconstructed]: latency (cycles) of both flows, no directives.
+
+Paper claim being reproduced: the adaptor flow produces *comparable*
+latency to the MLIR-HLS-tools-emit-C++ flow.  The assertion bounds the
+ratio to a tight band around 1.0.
+"""
+
+import pytest
+
+from .harness import SUITE_KERNELS, render_table, run_comparison, run_suite, write_result
+
+
+def test_table2_latency_baseline(benchmark):
+    comparisons = benchmark.pedantic(run_suite, args=("baseline",), rounds=1,
+                                     iterations=1)
+    rows = []
+    for c in comparisons:
+        rows.append(
+            [
+                c.kernel,
+                c.adaptor.latency,
+                c.cpp.latency,
+                f"{c.latency_ratio:.3f}",
+                "yes" if c.functionally_equivalent else "NO",
+            ]
+        )
+    text = render_table(
+        "Table 2 [reconstructed]: baseline latency (cycles), adaptor vs HLS-C++ flow",
+        ["kernel", "adaptor", "hls-cpp", "ratio", "equivalent"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("table2_latency_baseline", text)
+
+    # Shape assertions (the paper's claim):
+    for c in comparisons:
+        assert c.functionally_equivalent, c.kernel
+        assert 0.75 <= c.latency_ratio <= 1.33, (c.kernel, c.latency_ratio)

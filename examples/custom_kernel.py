@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Write your own kernel against the public API: a dot-product with an
+iter-args reduction, taken through both flows end to end.
+
+Demonstrates the full authoring surface: OpBuilder, affine loops with
+iter_args, directives, and the flow drivers — everything a downstream user
+needs to add a kernel that is not in the PolyBench suite.
+
+    python examples/custom_kernel.py
+"""
+
+import numpy as np
+
+from repro.flows import run_adaptor_flow, run_cpp_flow
+from repro.ir import run_kernel
+from repro.mlir import FunctionType, ModuleOp, OpBuilder, core, f32, memref
+from repro.mlir.dialects import affine, arith, func
+from repro.mlir.passes.loop_pipeline import set_loop_directives
+from repro.workloads.polybench import KernelSpec
+
+N = 32
+
+
+def build_dot_kernel() -> KernelSpec:
+    """out[0] = sum(x[i] * y[i]) with the sum carried through iter_args."""
+    mod = ModuleOp("dot_module")
+    fn = func.func(
+        "dot",
+        FunctionType([memref(N, f32), memref(N, f32), memref(1, f32)], []),
+        ["x", "y", "out"],
+    )
+    fn.op.set_attr("hls.top", core.UnitAttr())
+    mod.append(fn.op)
+    x, y, out = fn.arguments
+
+    b = OpBuilder(fn.entry)
+    zero = b.const_float(0.0, f32)
+    loop = b.affine_for(0, N, iter_inits=[zero])
+    set_loop_directives(loop.op, pipeline=True, ii=1)
+    with b.at_end(loop.body):
+        i = loop.induction_variable
+        xv = b.insert(affine.load(x, [i])).result
+        yv = b.insert(affine.load(y, [i])).result
+        prod = b.insert(arith.mulf(xv, yv)).result
+        acc = b.insert(arith.addf(loop.iter_args[0], prod)).result
+        b.insert(affine.yield_([acc]))
+    zero_idx = b.const_index(0)
+    b.insert(affine.store(loop.results[0], out, [zero_idx]))
+    b.insert(func.return_())
+
+    def reference(x, y, out):
+        acc = np.float32(0.0)
+        for i in range(N):
+            acc = np.float32(acc + np.float32(x[i] * y[i]))
+        result = out.copy()
+        result[0] = acc
+        return {"out": result}
+
+    return KernelSpec(
+        name="dot",
+        module=mod,
+        array_args={"x": (N,), "y": (N,), "out": (1,)},
+        scalar_args={},
+        outputs=["out"],
+        reference=reference,
+        sizes={"N": N},
+        description="dot product with iter-args reduction",
+    )
+
+
+def main() -> None:
+    # Each flow consumes the module, so build twice.
+    adaptor_result = run_adaptor_flow(build_dot_kernel())
+    cpp_result = run_cpp_flow(build_dot_kernel())
+
+    print("custom dot-product kernel through both flows:\n")
+    print(f"  adaptor flow latency: {adaptor_result.latency:>6} cycles")
+    print(f"  hls-cpp flow latency: {cpp_result.latency:>6} cycles")
+    inner = [l for l in adaptor_result.synth_report.loops if l.pipelined][0]
+    print(f"  pipelined loop: II={inner.ii} (floating-add recurrence "
+          f"bound: the accumulator chains through the fadd latency)")
+
+    # Functional check.
+    spec = build_dot_kernel()
+    arrays = spec.make_inputs(seed=3)
+    got = run_kernel(adaptor_result.ir_module, "dot", arrays, {})
+    want = spec.reference(**{k: v.copy() for k, v in arrays.items()})
+    err = abs(float(got["out"][0]) - float(want["out"][0]))
+    print(f"  functional check: |err| = {err:.2e}")
+    assert err < 1e-3
+
+    print("\nGenerated HLS C++ for the same kernel (baseline flow):\n")
+    print(cpp_result.cpp_source)
+
+
+if __name__ == "__main__":
+    main()

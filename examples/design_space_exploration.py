@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the adaptor flow: sweep pipeline II,
+unroll factor and array-partition factor on one kernel and chart the
+latency/area Pareto trade-off the HLS engine predicts.
+
+    python examples/design_space_exploration.py [kernel]
+"""
+
+import sys
+
+from repro.flows import OptimizationConfig, run_adaptor_flow
+from repro.workloads import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+
+def sweep(kernel: str):
+    points = []
+    configs = [("baseline", OptimizationConfig.baseline())]
+    for ii in (1, 2, 4):
+        configs.append((f"pipe(II={ii})", OptimizationConfig.optimized(ii=ii)))
+    for factor in (2, 4):
+        configs.append(
+            (
+                f"pipe+unroll{factor}+part{factor}",
+                OptimizationConfig.optimized(
+                    ii=1, unroll=factor, partition_factor=factor
+                ),
+            )
+        )
+    for label, config in configs:
+        spec = build_kernel(kernel, **SUITE_SIZES["SMALL"][kernel])
+        config.apply(spec)
+        result = run_adaptor_flow(spec)
+        points.append((label, result))
+    return points
+
+
+def main(kernel: str) -> None:
+    points = sweep(kernel)
+    print(f"Design-space exploration: {kernel} (adaptor flow, xc7z020)\n")
+    print(f"{'config':<24} {'latency':>9} {'II':>4} {'DSP':>5} {'BRAM':>5} "
+          f"{'LUT':>7} {'FF':>7}")
+    print("-" * 66)
+    best = min(p[1].latency for p in points)
+    for label, result in points:
+        pipelined = [l for l in result.synth_report.loops if l.pipelined]
+        ii = min((l.ii for l in pipelined), default="-")
+        marker = "  <- fastest" if result.latency == best else ""
+        r = result.resources
+        print(
+            f"{label:<24} {result.latency:>9} {str(ii):>4} {r['dsp']:>5} "
+            f"{r['bram_18k']:>5} {r['lut']:>7} {r['ff']:>7}{marker}"
+        )
+    print()
+    print("Reading the table: pipelining shrinks latency until the loop's")
+    print("recurrence or memory ports bound the II; unrolling+partitioning")
+    print("then trades BRAM banks and DSPs for further progress (or, for")
+    print("reduction loops like gemm's k-loop, hits the accumulation")
+    print("recurrence and stalls — the classic HLS lesson).")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gemm")

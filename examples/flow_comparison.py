@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's headline experiment on a few kernels: the adaptor
+flow vs the MLIR-HLS-tools-emit-C++ flow, with and without directives.
+
+    python examples/flow_comparison.py [kernel ...]
+"""
+
+import sys
+
+from repro.flows import OptimizationConfig, compare_flows
+from repro.workloads.suite import SUITE_SIZES
+
+DEFAULT_KERNELS = ["gemm", "atax", "syrk", "jacobi_2d"]
+
+
+def main(kernels) -> None:
+    print(f"{'kernel':<12} {'config':<10} {'adaptor':>10} {'hls-cpp':>10} "
+          f"{'ratio':>7}  equivalent")
+    print("-" * 64)
+    for config in (OptimizationConfig.baseline(), OptimizationConfig.optimized(ii=1)):
+        for name in kernels:
+            sizes = SUITE_SIZES["SMALL"][name]
+            c = compare_flows(name, sizes, config)
+            print(c.row())
+    print()
+    print("Both columns are cycle counts from the Vitis-style engine; the")
+    print("ratio staying ~1.0 is the paper's 'comparable performance' claim.")
+
+    # Show what the C++ flow actually generates for one kernel.
+    name = kernels[0]
+    c = compare_flows(name, SUITE_SIZES["SMALL"][name],
+                      OptimizationConfig.optimized(ii=1))
+    print(f"\n=== HLS C++ generated for {name} (baseline flow input) ===")
+    print(c.cpp.cpp_source)
+    print("=== Retention metrics ===")
+    for metrics in (c.adaptor_metrics, c.cpp_metrics):
+        print(
+            f"  {metrics.flow:<14} raw-IR={metrics.raw_instructions:<4} "
+            f"final-IR={metrics.instructions:<4} "
+            f"sext-noise={metrics.index_widening_casts:<3} "
+            f"structured={metrics.structured_fraction:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or DEFAULT_KERNELS)

@@ -1,0 +1,36 @@
+"""repro — a full-system reproduction of "The Support of MLIR HLS Adaptor
+for LLVM IR" (ICPP 2022 Workshops).
+
+Layer map (bottom-up):
+
+* :mod:`repro.ir` — mini-LLVM IR substrate (SSA IR, parser/printer,
+  verifier, interpreter, analyses, transforms).
+* :mod:`repro.mlir` — mini-MLIR substrate (dialects, affine maps,
+  parser/printer, passes, lowering to :mod:`repro.ir`).
+* :mod:`repro.adaptor` — **the paper's contribution**: the MLIR HLS
+  Adaptor that rewrites modern LLVM IR into the HLS frontend's dialect.
+* :mod:`repro.hls` — Vitis-style HLS engine (strict frontend, scheduling,
+  binding, csynth-style reports).
+* :mod:`repro.hlscpp` — the baseline flow (HLS C++ codegen + C frontend).
+* :mod:`repro.flows` — end-to-end drivers and the comparison harness.
+* :mod:`repro.workloads` — PolyBench kernels with NumPy oracles.
+
+Sixty-second tour::
+
+    from repro.adaptor import HLSAdaptor
+    from repro.hls import synthesize
+    from repro.ir.transforms import standard_cleanup_pipeline
+    from repro.mlir.passes import convert_to_llvm, lowering_pipeline
+    from repro.workloads import build_kernel
+
+    spec = build_kernel("gemm", NI=8, NJ=8, NK=8)
+    lowering_pipeline().run(spec.module)
+    ir_module = convert_to_llvm(spec.module)   # modern IR: rejected by HLS
+    standard_cleanup_pipeline().run(ir_module)
+    HLSAdaptor().run(ir_module)                # now HLS-readable
+    print(synthesize(ir_module).summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["ir", "mlir", "adaptor", "hls", "hlscpp", "flows", "workloads"]

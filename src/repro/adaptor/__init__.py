@@ -1,0 +1,31 @@
+"""The paper's contribution: the MLIR HLS Adaptor for LLVM IR.
+
+Rewrites modern LLVM IR (as emitted by MLIR lowering) into the dialect the
+Vitis-style HLS frontend's old LLVM fork accepts, without round-tripping
+through generated HLS C++ — preserving expression details (multi-dim
+subscripts, loop directives) that the C++ path regenerates lossily.
+"""
+
+from .pipeline import ADAPTOR_PASS_ORDER, AdaptorReport, HLSAdaptor
+from .freeze_elim import FreezeElimination
+from .intrinsic_legalize import IntrinsicLegalization
+from .struct_flatten import StructFlattening
+from .interface_lowering import InterfaceLowering
+from .gep_canonicalize import GEPCanonicalization
+from .pointer_retyping import PointerRetyping
+from .attr_scrub import AttributeScrub
+from .loop_metadata import LoopMetadataLowering
+
+__all__ = [
+    "ADAPTOR_PASS_ORDER",
+    "AdaptorReport",
+    "HLSAdaptor",
+    "FreezeElimination",
+    "IntrinsicLegalization",
+    "StructFlattening",
+    "InterfaceLowering",
+    "GEPCanonicalization",
+    "PointerRetyping",
+    "AttributeScrub",
+    "LoopMetadataLowering",
+]

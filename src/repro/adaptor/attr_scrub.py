@@ -1,0 +1,48 @@
+"""Scrub modern attributes and constants the old fork rejects.
+
+* ``poison`` constants (LLVM >= 12) become ``undef`` (their closest legacy
+  semantics — both are "some unspecified value" to the old fork).
+* Post-fork function attributes (``willreturn``, ``mustprogress``, …) and
+  parameter attributes are dropped.
+* ``nsw``/``nuw``/fast-math flags are *kept* — the fork understands them —
+  except the modern ``afn``/``reassoc`` spellings, which map to ``fast``.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import BinaryOperator, FCmp, Instruction
+from ..ir.module import Function, Module
+from ..ir.transforms.pass_manager import FunctionPass, PassStatistics
+from ..ir.values import PoisonValue, UndefValue
+
+__all__ = ["AttributeScrub"]
+
+_MODERN_FN_ATTRS = {"willreturn", "mustprogress", "nofree", "nosync", "memory"}
+_MODERN_PARAM_ATTRS = {"noundef", "captures"}
+_MODERN_FMF = {"afn", "reassoc", "contract"}
+
+
+class AttributeScrub(FunctionPass):
+    name = "attr-scrub"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        removed = fn.attributes & _MODERN_FN_ATTRS
+        if removed:
+            fn.attributes -= _MODERN_FN_ATTRS
+            stats.bump("fn-attr-dropped", len(removed))
+        for arg in fn.arguments:
+            removed = arg.attributes & _MODERN_PARAM_ATTRS
+            if removed:
+                arg.attributes -= _MODERN_PARAM_ATTRS
+                stats.bump("param-attr-dropped", len(removed))
+        for block in fn.blocks:
+            for inst in block.instructions:
+                for idx, op in enumerate(inst.operands):
+                    if isinstance(op, PoisonValue):
+                        inst.set_operand(idx, UndefValue(op.type))
+                        stats.bump("poison-to-undef")
+                if isinstance(inst, (BinaryOperator, FCmp)):
+                    modern = inst.fast_math & _MODERN_FMF
+                    if modern:
+                        inst.fast_math = (inst.fast_math - _MODERN_FMF) | {"fast"}
+                        stats.bump("fmf-normalized")

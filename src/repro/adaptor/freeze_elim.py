@@ -1,0 +1,26 @@
+"""Eliminate ``freeze`` (LLVM >= 10; absent from the HLS frontend's fork).
+
+``freeze %x`` is a poison barrier; in the adaptor's target dialect poison
+does not exist, so the instruction is semantically the identity and every
+use can take the operand directly.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Freeze
+from ..ir.module import Function
+from ..ir.transforms.pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["FreezeElimination"]
+
+
+class FreezeElimination(FunctionPass):
+    name = "freeze-elim"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, Freeze):
+                    inst.replace_all_uses_with(inst.value)
+                    inst.erase_from_parent()
+                    stats.bump("freeze-removed")

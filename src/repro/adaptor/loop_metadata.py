@@ -1,0 +1,33 @@
+"""Translate ``!llvm.loop`` directive metadata from the modern (MLIR-emitted)
+spelling into the HLS fork's spelling.
+
+Without this pass the strict frontend simply *ignores* the modern strings —
+the module still synthesises, but pipelining/unrolling intent is lost and
+latency regresses to the undirected baseline (ablation A measures exactly
+this)."""
+
+from __future__ import annotations
+
+from ..ir.metadata import decode_loop_directives, encode_loop_directives
+from ..ir.module import Function
+from ..ir.transforms.pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["LoopMetadataLowering"]
+
+
+class LoopMetadataLowering(FunctionPass):
+    name = "loop-metadata"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        for block in fn.blocks:
+            for inst in block.instructions:
+                node = inst.metadata.get("llvm.loop")
+                if node is None:
+                    continue
+                directives, dialects = decode_loop_directives(node)
+                if "modern" not in dialects:
+                    continue
+                inst.metadata["llvm.loop"] = encode_loop_directives(
+                    directives, dialect="hls"
+                )
+                stats.bump("loop-metadata-lowered")

@@ -1,0 +1,84 @@
+"""Flatten memref-descriptor SSA structs.
+
+MLIR's memref lowering threads a ``{ptr, ptr, i64, [r x i64], [r x i64]}``
+descriptor through ``insertvalue``/``extractvalue`` chains.  The HLS
+frontend's old fork refuses struct-typed SSA values of this shape, and the
+HLS memory analysis cannot see through them.  This pass forwards every
+``extractvalue`` through the ``insertvalue`` chain that built the aggregate
+(falling back to ``undef`` when the slot was never written), after which the
+chains are dead and ordinary DCE removes them.
+
+This is a general insert/extract forwarding rewrite, not descriptor-pattern
+matching, so it also cleans aggregates from other sources.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.instructions import ExtractValue, InsertValue, Instruction
+from ..ir.module import Function
+from ..ir.transforms.pass_manager import FunctionPass, PassStatistics
+from ..ir.types import ArrayType, StructType, Type
+from ..ir.values import UndefValue, Value
+
+__all__ = ["StructFlattening"]
+
+
+def _scalar_type_at(aggregate_type: Type, indices) -> Type:
+    t = aggregate_type
+    for idx in indices:
+        if isinstance(t, StructType):
+            t = t.elements[idx]
+        elif isinstance(t, ArrayType):
+            t = t.element
+        else:
+            raise TypeError(f"index into non-aggregate {t}")
+    return t
+
+
+def _forward(extract: ExtractValue) -> Optional[Value]:
+    """Chase the insertvalue chain for the value at ``extract.indices``."""
+    want = extract.indices
+    node: Value = extract.aggregate
+    while True:
+        if isinstance(node, InsertValue):
+            if node.indices == want:
+                return node.value
+            # Disjoint or prefix-overlapping indices: if the insert wrote a
+            # sub-position of what we read (or vice versa) we cannot forward
+            # through it wholesale — only exact-match or disjoint supported.
+            if node.indices[: len(want)] == want or want[: len(node.indices)] == node.indices:
+                return None
+            node = node.aggregate
+            continue
+        if isinstance(node, UndefValue):
+            return UndefValue(_scalar_type_at(node.type, want))
+        return None
+
+
+class StructFlattening(FunctionPass):
+    name = "struct-flatten"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if not isinstance(inst, ExtractValue):
+                        continue
+                    replacement = _forward(inst)
+                    if replacement is not None:
+                        inst.replace_all_uses_with(replacement)
+                        inst.erase_from_parent()
+                        stats.bump("extract-forwarded")
+                        changed = True
+            # Dead insertvalue chains fall out here so later passes see a
+            # struct-free function even before the main DCE runs.
+            for block in fn.blocks:
+                for inst in reversed(list(block.instructions)):
+                    if isinstance(inst, InsertValue) and not inst.is_used:
+                        inst.erase_from_parent()
+                        stats.bump("dead-insert")
+                        changed = True

@@ -1,0 +1,25 @@
+"""End-to-end flow drivers and the flow-vs-flow comparison harness."""
+
+from .adaptor_flow import AdaptorFlowResult, run_adaptor_flow
+from .cpp_flow import CppFlowResult, run_cpp_flow
+from .compare import (
+    FlowComparison,
+    RetentionMetrics,
+    compare_flows,
+    retention_metrics,
+    verify_flow_equivalence,
+)
+from .config import OptimizationConfig
+
+__all__ = [
+    "AdaptorFlowResult",
+    "run_adaptor_flow",
+    "CppFlowResult",
+    "run_cpp_flow",
+    "FlowComparison",
+    "RetentionMetrics",
+    "compare_flows",
+    "retention_metrics",
+    "verify_flow_equivalence",
+    "OptimizationConfig",
+]

@@ -1,0 +1,177 @@
+"""Flow-vs-flow comparison: functional equivalence, latency/area diffs,
+and the expression-detail retention metrics (reconstructed Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ir import Module
+from ..ir.instructions import Cast, GetElementPtr, Load, Store
+from ..ir.interpreter import run_kernel
+from ..workloads.polybench import KernelSpec, build_kernel
+from .adaptor_flow import AdaptorFlowResult, run_adaptor_flow
+from .config import OptimizationConfig
+from .cpp_flow import CppFlowResult, run_cpp_flow
+
+__all__ = [
+    "RetentionMetrics",
+    "FlowComparison",
+    "retention_metrics",
+    "compare_flows",
+    "verify_flow_equivalence",
+]
+
+
+@dataclass
+class RetentionMetrics:
+    """How much IR-level expression detail each flow's final module carries.
+
+    * ``structured_accesses`` / ``linear_accesses`` — memory accesses using
+      multi-dimensional array subscripts vs flattened linear indices (the
+      HLS memory analysis prefers the former);
+    * ``index_widening_casts`` — ``sext``/``zext`` noise from regenerated
+      32-bit induction variables (zero when the original 64-bit MLIR index
+      math survives);
+    * ``directives`` — loop directive attachments in the HLS spelling;
+    * ``instructions`` — final instruction count;
+    * ``raw_instructions`` — frontend-output instruction count (before
+      cleanup), measuring how much regeneration the flow does.
+    """
+
+    flow: str
+    structured_accesses: int = 0
+    linear_accesses: int = 0
+    index_widening_casts: int = 0
+    directives: int = 0
+    instructions: int = 0
+    raw_instructions: int = 0
+
+    @property
+    def structured_fraction(self) -> float:
+        total = self.structured_accesses + self.linear_accesses
+        return self.structured_accesses / total if total else 1.0
+
+
+def retention_metrics(module: Module, raw_instructions: int = 0) -> RetentionMetrics:
+    metrics = RetentionMetrics(flow=module.source_flow or "unknown")
+    metrics.raw_instructions = raw_instructions
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            for inst in block.instructions:
+                metrics.instructions += 1
+                if isinstance(inst, (Load, Store)):
+                    pointer = inst.pointer
+                    if isinstance(pointer, GetElementPtr):
+                        if len(pointer.indices) >= 2:
+                            metrics.structured_accesses += 1
+                        else:
+                            metrics.linear_accesses += 1
+                if isinstance(inst, Cast) and inst.opcode in ("sext", "zext"):
+                    metrics.index_widening_casts += 1
+                if "llvm.loop" in inst.metadata:
+                    metrics.directives += 1
+    return metrics
+
+
+@dataclass
+class FlowComparison:
+    kernel: str
+    config: str
+    adaptor: AdaptorFlowResult
+    cpp: CppFlowResult
+    adaptor_metrics: RetentionMetrics = None  # type: ignore[assignment]
+    cpp_metrics: RetentionMetrics = None  # type: ignore[assignment]
+    functionally_equivalent: Optional[bool] = None
+    max_abs_error: float = 0.0
+
+    @property
+    def latency_ratio(self) -> float:
+        """adaptor latency / cpp latency (1.0 = identical; the paper's
+        'comparable' claim is this staying near 1)."""
+        cpp_lat = max(self.cpp.latency, 1)
+        return self.adaptor.latency / cpp_lat
+
+    def row(self) -> str:
+        return (
+            f"{self.kernel:<12} {self.config:<10} "
+            f"{self.adaptor.latency:>10} {self.cpp.latency:>10} "
+            f"{self.latency_ratio:>7.3f}  "
+            f"{'OK' if self.functionally_equivalent else 'MISMATCH'}"
+        )
+
+
+def verify_flow_equivalence(
+    spec: KernelSpec,
+    adaptor_module: Module,
+    cpp_module: Module,
+    seed: int = 0,
+    rtol: float = 1e-4,
+    atol: float = 1e-5,
+) -> tuple:
+    """Run both final IR modules and the NumPy oracle on identical inputs.
+
+    Returns ``(equivalent, max_abs_error)``.
+    """
+    arrays = spec.make_inputs(seed)
+    oracle = spec.reference(
+        **{k: v.copy() for k, v in arrays.items()}, **spec.scalar_args
+    )
+    got_adaptor = run_kernel(adaptor_module, spec.name, {k: v.copy() for k, v in arrays.items()}, spec.scalar_args)
+    got_cpp = run_kernel(cpp_module, spec.name, {k: v.copy() for k, v in arrays.items()}, spec.scalar_args)
+    worst = 0.0
+    ok = True
+    for out in spec.outputs:
+        for got in (got_adaptor[out], got_cpp[out]):
+            err = float(np.max(np.abs(got - oracle[out]))) if got.size else 0.0
+            worst = max(worst, err)
+            if not np.allclose(got, oracle[out], rtol=rtol, atol=atol):
+                ok = False
+        if not np.allclose(got_adaptor[out], got_cpp[out], rtol=rtol, atol=atol):
+            ok = False
+    return ok, worst
+
+
+def compare_flows(
+    kernel_name: str,
+    sizes: Dict[str, int],
+    config: Optional[OptimizationConfig] = None,
+    device: str = "xc7z020",
+    check_equivalence: bool = True,
+    seed: int = 0,
+) -> FlowComparison:
+    """Build the kernel twice (each flow consumes its module), run both
+    flows under the same optimisation config, and compare."""
+    config = config or OptimizationConfig.baseline()
+
+    spec_a = build_kernel(kernel_name, **sizes)
+    config.apply(spec_a)
+    adaptor_result = run_adaptor_flow(spec_a, device=device)
+
+    spec_c = build_kernel(kernel_name, **sizes)
+    config.apply(spec_c)
+    cpp_result = run_cpp_flow(spec_c, device=device)
+
+    comparison = FlowComparison(
+        kernel=kernel_name,
+        config=config.name,
+        adaptor=adaptor_result,
+        cpp=cpp_result,
+        adaptor_metrics=retention_metrics(
+            adaptor_result.ir_module, adaptor_result.raw_instruction_count
+        ),
+        cpp_metrics=retention_metrics(
+            cpp_result.ir_module, cpp_result.raw_instruction_count
+        ),
+    )
+    if check_equivalence:
+        # Fresh spec for the oracle (previous two were consumed by lowering).
+        spec_o = build_kernel(kernel_name, **sizes)
+        ok, err = verify_flow_equivalence(
+            spec_o, adaptor_result.ir_module, cpp_result.ir_module, seed=seed
+        )
+        comparison.functionally_equivalent = ok
+        comparison.max_abs_error = err
+    return comparison

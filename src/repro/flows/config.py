@@ -1,0 +1,87 @@
+"""Shared optimisation configuration applied identically to both flows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..mlir.dialects.builtin import ModuleOp
+from ..mlir.dialects.func import FuncOp
+from ..mlir.passes.array_partition import set_array_partition
+from ..mlir.passes.loop_pipeline import set_loop_directives
+from ..workloads.polybench import KernelSpec
+
+__all__ = ["OptimizationConfig"]
+
+
+@dataclass
+class OptimizationConfig:
+    """HLS optimisation recipe, applied at the MLIR level before either flow
+    diverges (so both flows receive the same intent, like the paper's
+    experiments).
+
+    * ``pipeline_innermost`` — pipeline every innermost loop at ``ii``.
+    * ``unroll_innermost`` — unroll factor for innermost loops (directive).
+    * ``partition`` — array partition applied to every array argument:
+      ``{"kind": ..., "factor": ..., "dim": ...}``.
+    """
+
+    name: str = "baseline"
+    pipeline_innermost: bool = False
+    ii: int = 1
+    unroll_innermost: Optional[int] = None
+    partition: Optional[Dict] = None
+
+    @staticmethod
+    def baseline() -> "OptimizationConfig":
+        return OptimizationConfig(name="baseline")
+
+    @staticmethod
+    def optimized(ii: int = 1, unroll: Optional[int] = None,
+                  partition_factor: Optional[int] = None) -> "OptimizationConfig":
+        partition = (
+            {"kind": "cyclic", "factor": partition_factor, "dim": -1}
+            if partition_factor
+            else None
+        )
+        return OptimizationConfig(
+            name="optimized",
+            pipeline_innermost=True,
+            ii=ii,
+            unroll_innermost=unroll,
+            partition=partition,
+        )
+
+    def apply(self, spec: KernelSpec) -> None:
+        """Annotate the kernel's MLIR module in place."""
+        module = spec.module
+        for fn_op in module.functions():
+            loops = [op for op in fn_op.walk() if op.name == "affine.for"]
+            for loop in loops:
+                innermost = not any(
+                    inner is not loop and inner.name == "affine.for"
+                    for inner in loop.walk()
+                )
+                if not innermost:
+                    continue
+                if self.pipeline_innermost:
+                    set_loop_directives(loop, pipeline=True, ii=self.ii)
+                if self.unroll_innermost:
+                    set_loop_directives(loop, unroll=self.unroll_innermost)
+            if self.partition:
+                fn = FuncOp(fn_op)
+                from ..mlir.core import MemRefType
+
+                for arg, name in zip(fn.arguments, fn.arg_names):
+                    if not isinstance(arg.type, MemRefType):
+                        continue
+                    dim = self.partition.get("dim", -1)
+                    if dim < 0:
+                        dim = arg.type.rank - 1
+                    set_array_partition(
+                        fn,
+                        name,
+                        self.partition["kind"],
+                        self.partition.get("factor", 2),
+                        dim,
+                    )

@@ -1,0 +1,29 @@
+"""Vitis-style HLS engine: strict IR frontend, scheduling (incl. iterative
+modulo scheduling for pipelined loops), binding, memory modelling, and
+csynth-style latency/resource reports.
+
+The engine consumes mini-LLVM IR plus HLS directive metadata — either from
+the adaptor flow or from the HLS-C++ flow — and produces the quantities the
+paper reports from Xilinx Vitis: latency in cycles and LUT/FF/DSP/BRAM
+usage."""
+
+from .device import Device, DEVICES
+from .frontend import FrontendError, HLSFrontend, FrontendDiagnostics
+from .operators import OperatorLibrary, OpSpec, DEFAULT_LIBRARY
+from .engine import HLSEngine, synthesize
+from .report import LoopReport, SynthReport
+
+__all__ = [
+    "Device",
+    "DEVICES",
+    "FrontendError",
+    "HLSFrontend",
+    "FrontendDiagnostics",
+    "OperatorLibrary",
+    "OpSpec",
+    "DEFAULT_LIBRARY",
+    "HLSEngine",
+    "synthesize",
+    "LoopReport",
+    "SynthReport",
+]

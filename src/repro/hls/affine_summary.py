@@ -1,0 +1,111 @@
+"""Affine summaries of IR index expressions.
+
+``summarize_index`` linearises an integer SSA expression into
+``const + sum(coeff_i * leaf_i)`` where leaves are opaque SSA values
+(typically loop-IV phis).  The HLS dependence test compares summaries to
+decide whether two memory accesses can alias and at what loop-carried
+distance — the same role scalar evolution plays inside Vitis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..ir.instructions import BinaryOperator, Cast, Instruction, Phi
+from ..ir.values import ConstantInt, Value
+
+__all__ = ["AffineSummary", "summarize_index"]
+
+
+@dataclass
+class AffineSummary:
+    """``const + Σ coeffs[id(leaf)] * leaf``; leaves kept in ``leaves``."""
+
+    const: int = 0
+    coeffs: Dict[int, int] = field(default_factory=dict)
+    leaves: Dict[int, Value] = field(default_factory=dict)
+
+    def add_term(self, value: Value, coeff: int) -> None:
+        if coeff == 0:
+            return
+        key = id(value)
+        self.coeffs[key] = self.coeffs.get(key, 0) + coeff
+        if self.coeffs[key] == 0:
+            del self.coeffs[key]
+            self.leaves.pop(key, None)
+        else:
+            self.leaves[key] = value
+
+    def minus(self, other: "AffineSummary") -> "AffineSummary":
+        out = AffineSummary(self.const - other.const, dict(self.coeffs), dict(self.leaves))
+        for key, coeff in other.coeffs.items():
+            out.coeffs[key] = out.coeffs.get(key, 0) - coeff
+            if out.coeffs[key] == 0:
+                del out.coeffs[key]
+                out.leaves.pop(key, None)
+            else:
+                out.leaves.setdefault(key, other.leaves[key])
+        return out
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def coeff_of(self, value: Value) -> int:
+        return self.coeffs.get(id(value), 0)
+
+    def same_shape(self, other: "AffineSummary") -> bool:
+        """Identical variable parts (possibly different constants)."""
+        return self.coeffs == other.coeffs
+
+    def __repr__(self) -> str:
+        parts = [str(self.const)] if self.const or not self.coeffs else []
+        for key, coeff in self.coeffs.items():
+            leaf = self.leaves[key]
+            parts.append(f"{coeff}*{leaf.ref()}")
+        return "<" + " + ".join(parts or ["0"]) + ">"
+
+
+def summarize_index(value: Value, depth: int = 0) -> AffineSummary:
+    """Linearise ``value``; non-affine sub-expressions become opaque leaves."""
+    out = AffineSummary()
+    _accumulate(value, 1, out, depth)
+    return out
+
+
+_MAX_DEPTH = 32
+
+
+def _accumulate(value: Value, scale: int, out: AffineSummary, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        out.add_term(value, scale)
+        return
+    if isinstance(value, ConstantInt):
+        out.const += scale * value.value
+        return
+    if isinstance(value, BinaryOperator):
+        op = value.opcode
+        if op == "add":
+            _accumulate(value.lhs, scale, out, depth + 1)
+            _accumulate(value.rhs, scale, out, depth + 1)
+            return
+        if op == "sub":
+            _accumulate(value.lhs, scale, out, depth + 1)
+            _accumulate(value.rhs, -scale, out, depth + 1)
+            return
+        if op == "mul":
+            if isinstance(value.rhs, ConstantInt):
+                _accumulate(value.lhs, scale * value.rhs.value, out, depth + 1)
+                return
+            if isinstance(value.lhs, ConstantInt):
+                _accumulate(value.rhs, scale * value.lhs.value, out, depth + 1)
+                return
+        if op == "shl" and isinstance(value.rhs, ConstantInt):
+            _accumulate(value.lhs, scale * (1 << value.rhs.value), out, depth + 1)
+            return
+    if isinstance(value, Cast) and value.opcode in ("sext", "zext", "trunc"):
+        # Index widths are uniform in practice; see through the cast.
+        _accumulate(value.value, scale, out, depth + 1)
+        return
+    out.add_term(value, scale)

@@ -1,0 +1,125 @@
+"""Operator binding: derive functional-unit instance counts (and hence
+area) from a schedule.
+
+For a sequential block the number of instances of a shared resource class
+is the peak number of overlapping executions; for a pipelined loop it is
+the peak *modulo* II (steady-state overlap).  Unshared (combinational)
+operators contribute area per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cdfg import BlockDFG, DFGNode
+from .operators import OperatorLibrary, OpSpec
+
+__all__ = ["AreaEstimate", "bind_block", "merge_area"]
+
+
+@dataclass
+class AreaEstimate:
+    lut: int = 0
+    ff: int = 0
+    dsp: int = 0
+    bram_18k: int = 0
+    fu_instances: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "lut": self.lut,
+            "ff": self.ff,
+            "dsp": self.dsp,
+            "bram_18k": self.bram_18k,
+        }
+
+
+def bind_block(
+    dfg: BlockDFG,
+    starts: Dict[int, int],
+    library: OperatorLibrary,
+    ii: Optional[int] = None,
+) -> AreaEstimate:
+    """Count FU instances for one scheduled block.
+
+    ``ii`` — when the block is a pipelined loop body, overlap repeats every
+    II cycles; occupancy folds into the modulo window.
+    """
+    area = AreaEstimate()
+    # Shared-class occupancy intervals.
+    by_class: Dict[str, List[DFGNode]] = {}
+    for node in dfg.nodes:
+        spec = library.spec_for(node.inst)
+        if spec.resource_class in (None, "memport"):
+            # memports are the memory model's budget; combinational ops are
+            # replicated freely (area per op).
+            if spec.resource_class is None:
+                area.lut += spec.lut
+                area.ff += spec.ff
+                area.dsp += spec.dsp
+            continue
+        by_class.setdefault(spec.resource_class, []).append(node)
+
+    for cls, nodes in by_class.items():
+        spec = library.spec_for(nodes[0].inst)
+        instances = _peak_overlap(nodes, starts, max(spec.latency, 1), ii)
+        area.fu_instances[cls] = instances
+        area.lut += instances * spec.lut
+        area.ff += instances * spec.ff
+        area.dsp += instances * spec.dsp
+    return area
+
+
+def _peak_overlap(
+    nodes: List[DFGNode],
+    starts: Dict[int, int],
+    duration: int,
+    ii: Optional[int],
+) -> int:
+    if not nodes:
+        return 0
+    if ii:
+        usage = [0] * ii
+        for node in nodes:
+            start = starts[id(node)]
+            for c in range(duration):
+                usage[(start + c) % ii] += 1
+        return max(max(usage), 1)
+    events: Dict[int, int] = {}
+    for node in nodes:
+        start = starts[id(node)]
+        events[start] = events.get(start, 0) + 1
+        events[start + duration] = events.get(start + duration, 0) - 1
+    peak = current = 0
+    for time in sorted(events):
+        current += events[time]
+        peak = max(peak, current)
+    return max(peak, 1)
+
+
+def merge_area(*areas: AreaEstimate) -> AreaEstimate:
+    """Combine region areas.
+
+    FU instances merge by max (sequential regions share units through the
+    binder); additive costs (combinational LUT/FF, BRAM) sum.  This mirrors
+    Vitis's function-level sharing behaviour closely enough for relative
+    comparisons.
+    """
+    out = AreaEstimate()
+    classes: Dict[str, int] = {}
+    for area in areas:
+        out.lut += area.lut
+        out.ff += area.ff
+        out.dsp += area.dsp
+        out.bram_18k += area.bram_18k
+        for cls, count in area.fu_instances.items():
+            classes[cls] = max(classes.get(cls, 0), count)
+    # Subtract the per-region FU areas we already summed and re-add merged:
+    # simpler approach — callers pass FU area only via fu_instances; here we
+    # cannot reconstruct per-class specs, so the sums above already include
+    # per-region FU area.  To avoid double counting across sequential
+    # regions we keep the max-merge on instance counts for reporting but
+    # accept the conservative summed area (documented over-estimate).
+    out.fu_instances = classes
+    return out

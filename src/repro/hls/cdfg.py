@@ -1,0 +1,271 @@
+"""Control/data-flow graph construction with memory dependence edges.
+
+For each basic block the scheduler sees a DAG of instruction nodes with:
+
+* def-use edges weighted by producer latency;
+* intra-iteration memory ordering edges (RAW/WAR/WAW on the same buffer,
+  unless the affine dependence test proves independence);
+
+and, for pipelined loops, a set of *loop-carried* edges ``(src, dst,
+distance)`` derived from the same test — the input to RecMII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.analysis.loops import Loop
+from ..ir.instructions import Call, Instruction, Load, Phi, Store
+from ..ir.module import BasicBlock
+from ..ir.values import Value
+from .affine_summary import AffineSummary
+from .memory import AccessSite, MemoryModel
+from .operators import OperatorLibrary
+
+__all__ = ["DFGNode", "BlockDFG", "CarriedDep", "build_block_dfg", "carried_dependences"]
+
+
+@dataclass
+class DFGNode:
+    inst: Instruction
+    index: int
+    latency: int
+    spec_key: str
+    preds: List[Tuple["DFGNode", int]] = field(default_factory=list)  # (node, weight)
+    succs: List[Tuple["DFGNode", int]] = field(default_factory=list)
+    site: Optional[AccessSite] = None
+    replica: int = 0  # virtual-unroll copy id
+
+    def __repr__(self) -> str:
+        return f"<DFGNode #{self.index} {self.inst.opcode} lat={self.latency}>"
+
+
+@dataclass
+class CarriedDep:
+    """Loop-carried dependence src -> dst with iteration distance >= 1."""
+
+    src: DFGNode
+    dst: DFGNode
+    distance: int
+    kind: str  # "RAW" | "WAR" | "WAW"
+
+
+class BlockDFG:
+    def __init__(self, block: BasicBlock, nodes: List[DFGNode]):
+        self.block = block
+        self.nodes = nodes
+        self.by_inst: Dict[int, DFGNode] = {id(n.inst): n for n in nodes}
+
+    def add_edge(self, src: DFGNode, dst: DFGNode, weight: int) -> None:
+        for node, w in src.succs:
+            if node is dst and w >= weight:
+                return
+        src.succs.append((dst, weight))
+        dst.preds.append((src, weight))
+
+
+def _dep_summary_diff(
+    a: AccessSite, b: AccessSite
+) -> Optional[List[AffineSummary]]:
+    """Per-dimension summary difference (b - a); None when ranks mismatch."""
+    if len(a.index_summaries) != len(b.index_summaries):
+        return None
+    return [
+        sb.minus(sa) for sa, sb in zip(a.index_summaries, b.index_summaries)
+    ]
+
+
+def _independent_within_iteration(a: AccessSite, b: AccessSite) -> bool:
+    """True when two same-buffer accesses can never alias in one iteration."""
+    diffs = _dep_summary_diff(a, b)
+    if diffs is None:
+        return False
+    # If any dimension differs by a nonzero constant (same variable parts),
+    # the addresses differ for every assignment of the IVs.
+    for diff in diffs:
+        if diff.is_constant and diff.const != 0:
+            return True
+    return False
+
+
+def build_block_dfg(
+    block: BasicBlock,
+    library: OperatorLibrary,
+    memory: MemoryModel,
+    unroll: int = 1,
+) -> BlockDFG:
+    """DFG for one block; ``unroll > 1`` creates virtual replicas of every
+    node (directive-driven unrolling as a performance model — see DESIGN.md).
+    """
+    body = [
+        inst
+        for inst in block.instructions
+        if not isinstance(inst, Phi) and not inst.is_terminator
+    ]
+    nodes: List[DFGNode] = []
+    for replica in range(max(1, unroll)):
+        for inst in body:
+            spec = library.spec_for(inst)
+            node = DFGNode(
+                inst=inst,
+                index=len(nodes),
+                latency=spec.latency,
+                spec_key=library.key_for(inst),
+                site=memory.site_for(inst),
+                replica=replica,
+            )
+            nodes.append(node)
+    dfg = BlockDFG(block, nodes)
+
+    # Def-use edges within each replica.
+    per_replica: Dict[int, Dict[int, DFGNode]] = {}
+    for node in nodes:
+        per_replica.setdefault(node.replica, {})[id(node.inst)] = node
+    for node in nodes:
+        replica_map = per_replica[node.replica]
+        for op in node.inst.operands:
+            producer = replica_map.get(id(op))
+            if producer is not None:
+                dfg.add_edge(producer, node, producer.latency)
+
+    # Memory ordering edges: program order within replica, and replica k ->
+    # k+1 for aliasing accesses (virtual unroll serialises real conflicts).
+    mem_nodes = [n for n in nodes if n.site is not None]
+    for i, a in enumerate(mem_nodes):
+        for b in mem_nodes[i + 1 :]:
+            if a.site.buffer is not b.site.buffer:
+                continue
+            ordered = (
+                (a.replica < b.replica)
+                or (a.replica == b.replica and _program_precedes(a, b, body))
+            )
+            if not ordered:
+                continue
+            if isinstance(a.inst, Load) and isinstance(b.inst, Load):
+                continue
+            if a.replica == b.replica:
+                if _independent_within_iteration(a.site, b.site):
+                    continue
+            else:
+                if _replica_independent(a, b):
+                    continue
+            dfg.add_edge(a, b, max(a.latency, 1) if isinstance(a.inst, Store) else a.latency)
+    return dfg
+
+
+def _program_precedes(a: DFGNode, b: DFGNode, body: List[Instruction]) -> bool:
+    return body.index(a.inst) < body.index(b.inst)
+
+
+def _replica_independent(a: DFGNode, b: DFGNode) -> bool:
+    """Replicas model consecutive iterations of the unrolled loop: access
+    addresses shift by the IV coefficient per replica.  Two accesses in
+    different replicas are independent when their per-dim difference is a
+    constant != 0 after accounting for the replica offset — approximated
+    here by the same constant-difference test (the structural unroll path
+    gives the exact answer; this is the directive-model path)."""
+    return _independent_within_iteration(a.site, b.site)
+
+
+def carried_dependences(
+    dfg: BlockDFG, loop_iv: Optional[Value], loop: Optional[Loop] = None
+) -> List[CarriedDep]:
+    """Loop-carried dependences for pipelining this block as a loop body:
+    memory dependences (via the affine test) plus *register recurrences*
+    through header phis — iter-args reductions chain the producing op into
+    its own next-iteration input, bounding II by the operator latency."""
+    deps: List[CarriedDep] = []
+    if loop is not None:
+        deps.extend(_register_recurrences(dfg, loop))
+    mem_nodes = [n for n in dfg.nodes if n.site is not None]
+    for a in mem_nodes:
+        for b in mem_nodes:
+            if isinstance(a.inst, Load) and isinstance(b.inst, Load):
+                continue
+            if a.site.buffer is not b.site.buffer:
+                continue
+            dist = _carried_distance(a.site, b.site, loop_iv)
+            if dist is None:
+                continue
+            kind = (
+                "RAW"
+                if isinstance(a.inst, Store) and isinstance(b.inst, Load)
+                else "WAR"
+                if isinstance(a.inst, Load)
+                else "WAW"
+            )
+            deps.append(CarriedDep(a, b, dist, kind))
+    return deps
+
+
+def _register_recurrences(dfg: BlockDFG, loop: Loop) -> List[CarriedDep]:
+    """Header-phi recurrences: the producer of a phi's latch-incoming value
+    constrains every body user of that phi one iteration later.
+
+    ``acc = phi [init, pre], [next, latch]; next = fadd acc, x`` yields the
+    carried edge ``next -> next`` (distance 1, weight = fadd latency), the
+    classic reduction bound.  Pure IV increments (latency-0 integer adds)
+    contribute weight 0 and leave II = 1 achievable.
+    """
+    deps: List[CarriedDep] = []
+    latches = {id(b) for b in loop.latches()}
+    for phi in loop.header.phis():
+        for value, pred in phi.incoming:
+            if id(pred) not in latches:
+                continue
+            producer = dfg.by_inst.get(id(value))
+            if producer is None:
+                continue  # defined outside the scheduled body (e.g. invariant)
+            for use in phi.uses:
+                user_node = dfg.by_inst.get(id(use.user))
+                if user_node is not None:
+                    deps.append(CarriedDep(producer, user_node, 1, "REG"))
+    return deps
+
+
+def _carried_distance(a: AccessSite, b: AccessSite, loop_iv) -> Optional[int]:
+    """Distance d >= 1 such that access ``a`` at iteration t aliases ``b`` at
+    iteration t + d; None when independent across iterations.
+
+    Solving per dimension: ``sub_a(t) == sub_b(t + d)``.  With affine
+    subscripts ``sub_x(t) = c_x * t + r_x``, uniform dependence requires
+    ``c_a == c_b`` (equal IV coefficients), and then
+    ``d = (r_a - r_b) / c_b = -(diff.const) / c_b`` where
+    ``diff = sub_b - sub_a`` at the same iteration.  Non-IV variable parts
+    of the diff must vanish (outer IVs are fixed within this loop level).
+    """
+    diffs = _dep_summary_diff(a, b)
+    if diffs is None:
+        return 1  # unknown shape: conservative distance 1
+    iv_key = id(loop_iv) if loop_iv is not None else None
+    distance: Optional[int] = None
+    for dim, diff in enumerate(diffs):
+        coeffs = dict(diff.coeffs)
+        iv_diff_coeff = coeffs.pop(iv_key, 0) if iv_key is not None else 0
+        if coeffs:
+            # Subscripts differ in outer-IV terms: within this loop level
+            # the difference could be anything; conservative distance 1.
+            return 1
+        if iv_diff_coeff != 0:
+            # Non-uniform dependence (IV coefficients differ between the two
+            # accesses): distances vary per iteration; conservative.
+            return 1
+        cb = b.index_summaries[dim].coeff_of(loop_iv) if loop_iv is not None else 0
+        if cb == 0:
+            if diff.const == 0:
+                continue  # identical subscript in this dim every iteration
+            return None  # constant nonzero offset: never aliases
+        if (-diff.const) % cb != 0:
+            return None
+        d = (-diff.const) // cb
+        if d < 1:
+            return None
+        if distance is None:
+            distance = d
+        elif distance != d:
+            return None  # no single iteration distance satisfies all dims
+    if distance is None:
+        # Same address every iteration (accumulator pattern): distance 1.
+        return 1
+    return distance

@@ -1,0 +1,40 @@
+"""FPGA device models: resource budgets used for utilisation percentages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Device", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """Resource budget of one part (values mirror the public datasheets)."""
+
+    name: str
+    lut: int
+    ff: int
+    dsp: int
+    bram_18k: int
+    clock_ns: float = 10.0  # default synthesis clock target (100 MHz)
+
+    def utilization(self, used: Dict[str, int]) -> Dict[str, float]:
+        budget = {"lut": self.lut, "ff": self.ff, "dsp": self.dsp,
+                  "bram_18k": self.bram_18k}
+        return {
+            key: (100.0 * used.get(key, 0) / total if total else 0.0)
+            for key, total in budget.items()
+        }
+
+
+DEVICES: Dict[str, Device] = {
+    # Zynq-7020 (PYNQ-Z2 class) — the board family the paper's group targets.
+    "xc7z020": Device("xc7z020", lut=53_200, ff=106_400, dsp=220, bram_18k=280),
+    # Alveo U250 class for headroom experiments.
+    "xcu250": Device("xcu250", lut=1_728_000, ff=3_456_000, dsp=12_288,
+                     bram_18k=5_376, clock_ns=3.33),
+    # Kintex UltraScale+ mid-range.
+    "xcku5p": Device("xcku5p", lut=216_960, ff=433_920, dsp=1_824,
+                     bram_18k=960, clock_ns=5.0),
+}

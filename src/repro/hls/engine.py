@@ -1,0 +1,400 @@
+"""The HLS engine: orchestrates frontend checking, loop-tree scheduling,
+binding and report generation — the model of Vitis csynth.
+
+Latency model (consistent with Vitis's csynth reporting):
+
+* straight-line block: list-scheduled length;
+* sequential loop: ``trip * IL + 2`` (iteration latency + enter/exit);
+* pipelined loop: ``IL + (trip - 1) * II + 1``;
+* directive-driven unrolling: virtual replication of the body DFG by the
+  factor with trip divided (structural unrolling at the MLIR level gives
+  the exact equivalent — the ablation compares both);
+* function: longest path through the top-level CFG DAG with loops
+  collapsed to supernodes.
+
+Variable trip counts (triangular nests) propagate as (min, max) ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.analysis.cfg import reverse_postorder
+from ..ir.analysis.loops import Loop, LoopInfo
+from ..ir.instructions import Branch, Instruction, Phi
+from ..ir.metadata import LoopDirectives, decode_loop_directives
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.values import ConstantInt
+from .affine_summary import summarize_index
+from .binding import AreaEstimate, bind_block, merge_area
+from .cdfg import build_block_dfg, carried_dependences
+from .device import DEVICES, Device
+from .frontend import FrontendDiagnostics, HLSFrontend
+from .memory import MemoryModel
+from .modulo import modulo_schedule
+from .operators import DEFAULT_LIBRARY, OperatorLibrary
+from .report import LoopReport, SynthReport
+from .schedule import list_schedule
+
+__all__ = ["HLSEngine", "synthesize"]
+
+_LOOP_CONTROL_LUT = 50
+_LOOP_CONTROL_FF = 70
+_FUNCTION_CONTROL_LUT = 200
+_FUNCTION_CONTROL_FF = 300
+
+
+@dataclass
+class _LoopResult:
+    latency_min: int
+    latency_max: int
+    report: LoopReport
+    area: AreaEstimate
+
+
+class HLSEngine:
+    def __init__(
+        self,
+        device: str = "xc7z020",
+        library: Optional[OperatorLibrary] = None,
+        strict_frontend: bool = True,
+    ):
+        self.device = DEVICES[device] if isinstance(device, str) else device
+        self.library = library or DEFAULT_LIBRARY
+        self.frontend = HLSFrontend(strict=strict_frontend)
+
+    # -- public API ---------------------------------------------------------------
+    def synthesize(self, module: Module, top: Optional[str] = None) -> SynthReport:
+        diag = self.frontend.check(module)
+        fn = self._top_function(module, top)
+        report = SynthReport(
+            function=fn.name,
+            flow=module.source_flow or "unknown",
+            device=self.device,
+            frontend_warnings=list(diag.warnings),
+            dropped_directives=diag.dropped_directives,
+        )
+        memory = MemoryModel(fn)
+        loop_info = LoopInfo(fn)
+
+        loop_results: Dict[int, _LoopResult] = {}
+        loop_counter = [0]
+        areas: List[AreaEstimate] = []
+
+        def process_loop(loop: Loop, depth: int) -> _LoopResult:
+            for child in loop.children:
+                if id(child.header) not in loop_results:
+                    loop_results[id(child.header)] = process_loop(child, depth + 1)
+            result = self._schedule_loop(
+                fn, loop, depth, memory, loop_info, loop_results, loop_counter
+            )
+            loop_results[id(loop.header)] = result
+            areas.append(result.area)
+            return result
+
+        for loop in loop_info.top_level:
+            process_loop(loop, 1)
+
+        # Top-level (non-loop) blocks.
+        lat_min, lat_max, top_area = self._compose_region(
+            fn,
+            [b for b in reverse_postorder(fn) if loop_info.loop_for(b) is None],
+            loop_info.top_level,
+            loop_results,
+            memory,
+        )
+        areas.append(top_area)
+
+        report.latency_min = lat_min
+        report.latency_max = lat_max
+        total_area = merge_area(*areas)
+        total_area.lut += _FUNCTION_CONTROL_LUT + _LOOP_CONTROL_LUT * len(
+            loop_info.all_loops()
+        )
+        total_area.ff += _FUNCTION_CONTROL_FF + _LOOP_CONTROL_FF * len(
+            loop_info.all_loops()
+        )
+        total_area.bram_18k += memory.total_bram18()
+        report.resources = total_area.as_dict()
+        report.fu_instances = total_area.fu_instances
+        # Loop table in source order (by header position).
+        order = {id(b): i for i, b in enumerate(fn.blocks)}
+        report.loops = [
+            loop_results[id(l.header)].report
+            for l in sorted(loop_info.all_loops(), key=lambda l: order[id(l.header)])
+        ]
+        return report
+
+    def _top_function(self, module: Module, top: Optional[str]) -> Function:
+        if top is not None:
+            fn = module.get_function(top)
+            if fn is None or fn.is_declaration:
+                raise ValueError(f"no defined function @{top}")
+            return fn
+        tops = [f for f in module.defined_functions() if "hls_top" in f.attributes]
+        if len(tops) == 1:
+            return tops[0]
+        defined = module.defined_functions()
+        if len(defined) == 1:
+            return defined[0]
+        raise ValueError(
+            "ambiguous top function: tag one with the hls_top attribute or "
+            "pass top=..."
+        )
+
+    # -- loop scheduling --------------------------------------------------------------
+    def _loop_directives(self, loop: Loop) -> LoopDirectives:
+        for latch in loop.latches():
+            term = latch.terminator
+            if term is None:
+                continue
+            node = term.metadata.get("llvm.loop")
+            if node is None:
+                continue
+            directives, dialects = decode_loop_directives(node)
+            if "hls" in dialects:
+                return directives
+            # Modern-spelling directives are invisible to the old fork.
+        return LoopDirectives()
+
+    def _trip_range(self, loop: Loop, loop_info: LoopInfo) -> Tuple[int, int]:
+        counted = loop.counted_form()
+        if counted is None:
+            return (1, 64)  # irregular loop: Vitis reports '?'; we bound it
+        exact = counted.trip_count()
+        if exact is not None:
+            return (exact, exact)
+        # Bound depends on outer values; resolve through affine summary over
+        # enclosing counted loops.
+        lo = counted.start.value if isinstance(counted.start, ConstantInt) else None
+        summary = summarize_index(counted.bound)
+        bound_min = bound_max = summary.const
+        resolvable = True
+        for key, coeff in summary.coeffs.items():
+            leaf = summary.leaves[key]
+            rng = self._value_range(leaf, loop, loop_info)
+            if rng is None:
+                resolvable = False
+                break
+            low, high = rng
+            lo_term, hi_term = sorted((coeff * low, coeff * high))
+            bound_min += lo_term
+            bound_max += hi_term
+        if not resolvable or lo is None:
+            return (1, 64)
+        step = max(counted.step, 1)
+        pred = counted.predicate
+        inclusive = pred in ("sle", "ule")
+        span_min = bound_min - lo + (1 if inclusive else 0)
+        span_max = bound_max - lo + (1 if inclusive else 0)
+        trip_min = max(0, -(-span_min // step)) if span_min > 0 else 0
+        trip_max = max(trip_min, -(-span_max // step)) if span_max > 0 else trip_min
+        return (trip_min, trip_max)
+
+    def _value_range(
+        self, value, loop: Loop, loop_info: LoopInfo
+    ) -> Optional[Tuple[int, int]]:
+        """Range of an enclosing loop's IV (for triangular bounds)."""
+        if not isinstance(value, Phi):
+            return None
+        enclosing = loop.parent
+        while enclosing is not None:
+            counted = enclosing.counted_form()
+            if counted is not None and counted.indvar is value:
+                if isinstance(counted.start, ConstantInt) and isinstance(
+                    counted.bound, ConstantInt
+                ):
+                    lo = counted.start.value
+                    hi = counted.bound.value
+                    if counted.predicate in ("slt", "ult"):
+                        hi -= 1
+                    return (lo, max(lo, hi))
+                return None
+            enclosing = enclosing.parent
+        return None
+
+    def _schedule_loop(
+        self,
+        fn: Function,
+        loop: Loop,
+        depth: int,
+        memory: MemoryModel,
+        loop_info: LoopInfo,
+        loop_results: Dict[int, "_LoopResult"],
+        counter: List[int],
+    ) -> _LoopResult:
+        counter[0] += 1
+        name = f"L{counter[0]}_{loop.header.name}"
+        directives = self._loop_directives(loop)
+        trip_min, trip_max = self._trip_range(loop, loop_info)
+
+        own_blocks = [
+            b
+            for b in loop.blocks
+            if loop_info.loop_for(b) is loop and b is not loop.header
+        ]
+        counted = loop.counted_form()
+        iv = counted.indvar if counted else None
+
+        unroll = 1
+        if directives.unroll_full and trip_min == trip_max:
+            unroll = max(trip_max, 1)
+        elif directives.unroll:
+            unroll = max(1, directives.unroll)
+        unroll = min(unroll, max(trip_max, 1))
+
+        pipelined = directives.pipeline and not loop.children and len(own_blocks) == 1
+
+        if pipelined:
+            body = own_blocks[0]
+            dfg = build_block_dfg(body, self.library, memory, unroll=unroll)
+            carried = carried_dependences(dfg, iv, loop)
+            ms = modulo_schedule(dfg, carried, target_ii=directives.ii)
+            il = max(ms.length, 1)
+            ii = ms.ii
+            eff_trip_min = -(-trip_min // unroll)
+            eff_trip_max = -(-trip_max // unroll)
+            lat_min = il + max(eff_trip_min - 1, 0) * ii + 1 if eff_trip_min else 1
+            lat_max = il + max(eff_trip_max - 1, 0) * ii + 1 if eff_trip_max else 1
+            area = bind_block(dfg, ms.starts, self.library, ii=ii)
+            loop_report = LoopReport(
+                name=name,
+                depth=depth,
+                trip_count_min=eff_trip_min,
+                trip_count_max=eff_trip_max,
+                iteration_latency=il,
+                ii=ii,
+                latency_min=lat_min,
+                latency_max=lat_max,
+                pipelined=True,
+                unroll_factor=unroll,
+                res_mii=ms.res_mii,
+                rec_mii=ms.rec_mii,
+            )
+            return _LoopResult(lat_min, lat_max, loop_report, area)
+
+        # Sequential loop: compose body blocks + child loops as a DAG.
+        il_min, il_max, area = self._compose_region(
+            fn, own_blocks, loop.children, loop_results, memory, unroll=unroll
+        )
+        il_min = max(il_min, 1)
+        il_max = max(il_max, 1)
+        eff_trip_min = -(-trip_min // unroll) if unroll > 1 else trip_min
+        eff_trip_max = -(-trip_max // unroll) if unroll > 1 else trip_max
+        lat_min = eff_trip_min * il_min + 2
+        lat_max = eff_trip_max * il_max + 2
+        loop_report = LoopReport(
+            name=name,
+            depth=depth,
+            trip_count_min=eff_trip_min,
+            trip_count_max=eff_trip_max,
+            iteration_latency=il_max,
+            ii=None,
+            latency_min=lat_min,
+            latency_max=lat_max,
+            pipelined=False,
+            unroll_factor=unroll,
+        )
+        return _LoopResult(lat_min, lat_max, loop_report, area)
+
+    # -- region composition ---------------------------------------------------------
+    def _compose_region(
+        self,
+        fn: Function,
+        blocks: List[BasicBlock],
+        child_loops: List[Loop],
+        loop_results: Dict[int, "_LoopResult"],
+        memory: MemoryModel,
+        unroll: int = 1,
+    ) -> Tuple[int, int, AreaEstimate]:
+        """Longest path (min & max variants) through blocks + collapsed
+        child loops, plus merged area."""
+        child_of: Dict[int, Loop] = {}
+        for child in child_loops:
+            for block in child.blocks:
+                child_of[id(block)] = child
+
+        units: Dict[int, object] = {}
+        for block in blocks:
+            units[id(block)] = block
+        for child in child_loops:
+            units[id(child.header)] = child
+
+        weights_min: Dict[int, int] = {}
+        weights_max: Dict[int, int] = {}
+        areas: List[AreaEstimate] = []
+        for key, unit in units.items():
+            if isinstance(unit, Loop):
+                result = loop_results[id(unit.header)]
+                weights_min[key] = result.latency_min
+                weights_max[key] = result.latency_max
+            else:
+                dfg = build_block_dfg(unit, self.library, memory, unroll=unroll)
+                if dfg.nodes:
+                    schedule = list_schedule(dfg)
+                    weights_min[key] = weights_max[key] = schedule.length
+                    areas.append(bind_block(dfg, schedule.starts, self.library))
+                else:
+                    weights_min[key] = weights_max[key] = 1
+
+        def unit_key(block: BasicBlock) -> Optional[int]:
+            child = child_of.get(id(block))
+            if child is not None:
+                return id(child.header)
+            return id(block) if id(block) in units else None
+
+        # Edges between units via CFG successors (ignoring back edges into
+        # the same unit).
+        succs: Dict[int, List[int]] = {key: [] for key in units}
+        for key, unit in units.items():
+            if isinstance(unit, Loop):
+                exit_blocks = unit.exit_blocks()
+                targets = exit_blocks
+            else:
+                targets = unit.successors
+            for target in targets:
+                tkey = unit_key(target)
+                if tkey is not None and tkey != key and tkey not in succs[key]:
+                    succs[key].append(tkey)
+
+        # Longest path over the DAG (memoised DFS).
+        memo_min: Dict[int, int] = {}
+        memo_max: Dict[int, int] = {}
+
+        def longest(key: int, memo: Dict[int, int], weights: Dict[int, int]) -> int:
+            if key in memo:
+                return memo[key]
+            memo[key] = weights[key]  # guard against (unexpected) cycles
+            best = 0
+            for nxt in succs[key]:
+                best = max(best, longest(nxt, memo, weights))
+            memo[key] = weights[key] + best
+            return memo[key]
+
+        roots = self._region_roots(units, succs)
+        lat_min = max((longest(r, memo_min, weights_min) for r in roots), default=1)
+        memo_max.clear()
+        lat_max = max((longest(r, memo_max, weights_max) for r in roots), default=1)
+        merged = merge_area(*areas) if areas else AreaEstimate()
+        return lat_min, lat_max, merged
+
+    @staticmethod
+    def _region_roots(units: Dict[int, object], succs: Dict[int, List[int]]) -> List[int]:
+        has_pred: set = set()
+        for key, targets in succs.items():
+            has_pred.update(targets)
+        roots = [key for key in units if key not in has_pred]
+        return roots or list(units)
+
+
+def synthesize(
+    module: Module,
+    top: Optional[str] = None,
+    device: str = "xc7z020",
+    strict_frontend: bool = True,
+    library: Optional[OperatorLibrary] = None,
+) -> SynthReport:
+    """One-call synthesis estimate (frontend check + schedule + bind)."""
+    engine = HLSEngine(device=device, library=library, strict_frontend=strict_frontend)
+    return engine.synthesize(module, top)

@@ -1,0 +1,208 @@
+"""Iterative modulo scheduling for pipelined loops (Rau-style).
+
+Computes the achievable initiation interval of a loop body:
+
+* **ResMII** — memory-port pressure: per (buffer, bank), accesses / ports.
+* **RecMII** — recurrence bound: for every dependence cycle through
+  loop-carried edges, ``ceil(total latency / total distance)``; found via a
+  positive-cycle test on the constraint graph (edge weight
+  ``latency(u) - II * distance(u,v)``).
+* **Schedule feasibility** — greedy modulo list scheduling against a modulo
+  reservation table of memory ports; II is bumped until a legal schedule
+  exists (bounded by the sequential body length, which always succeeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cdfg import BlockDFG, CarriedDep, DFGNode
+from .memory import PORTS_PER_BANK
+from .schedule import _PortTable, list_schedule
+
+__all__ = ["ModuloSchedule", "modulo_schedule", "res_mii", "rec_mii"]
+
+
+@dataclass
+class ModuloSchedule:
+    ii: int
+    length: int  # iteration latency (IL)
+    starts: Dict[int, int] = field(default_factory=dict)
+    res_mii: int = 1
+    rec_mii: int = 1
+
+
+def _carried_weight(dep: CarriedDep) -> int:
+    """Latency a carried dependence imposes across its distance.
+
+    WAR needs no latency (the later write just must not overtake the read);
+    REG recurrences impose exactly the producer latency (0-latency integer
+    chains stay free); memory RAW/WAW need at least the one-cycle store.
+    """
+    if dep.kind == "WAR":
+        return 0
+    if dep.kind == "REG":
+        return dep.src.latency
+    return max(dep.src.latency, 1)
+
+
+def res_mii(dfg: BlockDFG) -> int:
+    """Memory-port lower bound on II."""
+    pressure: Dict[Tuple[int, Optional[int]], int] = {}
+    banks_of: Dict[int, int] = {}
+    for node in dfg.nodes:
+        if node.site is None:
+            continue
+        buf = id(node.site.buffer)
+        banks_of[buf] = node.site.buffer.banks
+        key = (buf, node.site.bank)
+        pressure[key] = pressure.get(key, 0) + 1
+    best = 1
+    # Per-bank pressure; wildcard accesses press on every bank.
+    for (buf, bank), count in pressure.items():
+        if bank is None:
+            continue
+        wild = pressure.get((buf, None), 0)
+        best = max(best, -(-(count + wild) // PORTS_PER_BANK))
+    for (buf, bank), count in pressure.items():
+        if bank is not None:
+            continue
+        best = max(best, -(-count // PORTS_PER_BANK))
+    return best
+
+
+def rec_mii(dfg: BlockDFG, carried: List[CarriedDep], max_ii: int = 4096) -> int:
+    """Smallest II with no positive cycle in the dependence constraint graph."""
+    if not carried:
+        return 1
+    nodes = dfg.nodes
+    index = {id(n): i for i, n in enumerate(nodes)}
+    # Edge list: (u, v, latency, distance)
+    edges: List[Tuple[int, int, int, int]] = []
+    for node in nodes:
+        for succ, weight in node.succs:
+            edges.append((index[id(node)], index[id(succ)], weight, 0))
+    for dep in carried:
+        weight = _carried_weight(dep)
+        edges.append((index[id(dep.src)], index[id(dep.dst)], weight, dep.distance))
+
+    def has_positive_cycle(ii: int) -> bool:
+        # Bellman-Ford longest-path relaxation; n rounds, then one more
+        # improving round implies a positive cycle.
+        dist = [0] * len(nodes)
+        for _ in range(len(nodes)):
+            changed = False
+            for u, v, lat, d in edges:
+                cand = dist[u] + lat - ii * d
+                if cand > dist[v]:
+                    dist[v] = cand
+                    changed = True
+            if not changed:
+                return False
+        return True
+
+    ii = 1
+    while ii < max_ii and has_positive_cycle(ii):
+        ii += 1
+    return ii
+
+
+def modulo_schedule(
+    dfg: BlockDFG,
+    carried: List[CarriedDep],
+    target_ii: Optional[int] = None,
+    max_ii: int = 4096,
+) -> ModuloSchedule:
+    """Find the smallest legal II >= max(ResMII, RecMII, target) and a
+    schedule honouring it."""
+    rmii = res_mii(dfg)
+    cmii = rec_mii(dfg, carried, max_ii)
+    ii = max(rmii, cmii, target_ii or 1)
+    while ii <= max_ii:
+        starts = _try_schedule(dfg, carried, ii)
+        if starts is not None:
+            length = max(
+                (starts[id(n)] + max(n.latency, 1) for n in dfg.nodes), default=1
+            )
+            return ModuloSchedule(ii, length, starts, rmii, cmii)
+        ii += 1
+    # Give up: sequential fallback (always legal: II = body length).
+    seq = list_schedule(dfg)
+    return ModuloSchedule(seq.length, seq.length, dict(seq.starts), rmii, cmii)
+
+
+def _try_schedule(
+    dfg: BlockDFG, carried: List[CarriedDep], ii: int
+) -> Optional[Dict[int, int]]:
+    """Modulo scheduling at a fixed II: Bellman-Ford start-time relaxation
+    over the full constraint graph (intra edges weight = latency; carried
+    edges weight = latency - II*distance), then greedy port placement on the
+    modulo reservation table, then revalidation."""
+    nodes = dfg.nodes
+    if not nodes:
+        return {}
+    index = {id(n): i for i, n in enumerate(nodes)}
+    edges: List[Tuple[int, int, int]] = []
+    for node in nodes:
+        for succ, weight in node.succs:
+            edges.append((index[id(node)], index[id(succ)], weight))
+    for dep in carried:
+        edges.append(
+            (index[id(dep.src)], index[id(dep.dst)],
+             _carried_weight(dep) - ii * dep.distance)
+        )
+
+    def relax(base: List[int]) -> Optional[List[int]]:
+        dist = list(base)
+        for _round in range(len(nodes) + 1):
+            changed = False
+            for u, v, w in edges:
+                cand = dist[u] + w
+                if cand > dist[v]:
+                    dist[v] = cand
+                    changed = True
+            if not changed:
+                return dist
+        return None  # positive cycle at this II
+
+    earliest = relax([0] * len(nodes))
+    if earliest is None:
+        return None
+    # Anchor at zero (offsets may go negative after carried relaxation).
+    low = min(earliest)
+    earliest = [e - low for e in earliest]
+
+    # Greedy MRT placement in earliest order; pushed nodes re-relax once.
+    for _iteration in range(3):
+        order = sorted(range(len(nodes)), key=lambda i: (earliest[i], i))
+        mrt: List[_PortTable] = [_PortTable() for _ in range(ii)]
+        placed = list(earliest)
+        ok = True
+        for i in order:
+            node = nodes[i]
+            t = placed[i]
+            success = False
+            for _attempt in range(ii):
+                if node.site is None or mrt[t % ii].try_reserve(node.site):
+                    placed[i] = t
+                    success = True
+                    break
+                t += 1
+            if not success:
+                ok = False
+                break
+        if not ok:
+            return None
+        # Check every constraint under the placed schedule.
+        violated = False
+        for u, v, w in edges:
+            if placed[u] + w > placed[v]:
+                violated = True
+        if not violated:
+            return {id(nodes[i]): placed[i] for i in range(len(nodes))}
+        # Feed placements back as lower bounds and re-relax.
+        earliest = relax(placed)
+        if earliest is None:
+            return None
+    return None

@@ -1,0 +1,218 @@
+"""Operator characterisation library.
+
+Latencies/areas approximate Vitis HLS operator characterisation on a
+7-series part at a 10 ns clock: floating add/sub take ~4 stages, multiply
+~3 (DSP48-based), divide/sqrt are deeply pipelined LUT structures, integer
+arithmetic is combinational (latency 0, chained within a cycle), and BRAM
+accesses take one cycle of address setup with data valid the next cycle.
+
+Absolute parity with a given Vitis version is *not* claimed (see DESIGN.md)
+— the numbers are realistic and, crucially, identical for both flows, so
+flow-vs-flow comparisons hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..ir.instructions import (
+    Alloca,
+    BinaryOperator,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+)
+from ..ir.types import FloatType, IntegerType, Type
+
+__all__ = ["OpSpec", "OperatorLibrary", "DEFAULT_LIBRARY"]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Characterisation of one operator instance."""
+
+    name: str
+    latency: int  # cycles from issue to result
+    ii: int = 1  # internal initiation interval (fully pipelined = 1)
+    dsp: int = 0
+    lut: int = 0
+    ff: int = 0
+    resource_class: Optional[str] = None  # shared-resource pool name
+
+
+def _float_suffix(t: Type) -> str:
+    return {"half": "h", "float": "s", "double": "d"}[str(t)]
+
+
+class OperatorLibrary:
+    """Maps instructions to OpSpecs; overridable for what-if studies."""
+
+    def __init__(self, overrides: Optional[Dict[str, OpSpec]] = None):
+        self.table: Dict[str, OpSpec] = dict(_DEFAULT_TABLE)
+        if overrides:
+            self.table.update(overrides)
+
+    def spec_for(self, inst: Instruction) -> OpSpec:
+        key = self.key_for(inst)
+        spec = self.table.get(key)
+        if spec is None:
+            spec = self.table.get(key.split("#")[0])
+        if spec is None:
+            raise KeyError(f"operator library has no entry for {key!r} ({inst!r})")
+        return spec
+
+    @staticmethod
+    def key_for(inst: Instruction) -> str:
+        if isinstance(inst, BinaryOperator):
+            if inst.is_float_op:
+                return f"{inst.opcode}#{_float_suffix(inst.type)}"
+            width = inst.type.bit_width() if isinstance(inst.type, IntegerType) else 64
+            bucket = 64 if width > 32 else 32
+            return f"{inst.opcode}#{bucket}"
+        if isinstance(inst, ICmp):
+            return "icmp"
+        if isinstance(inst, FCmp):
+            return f"fcmp#{_float_suffix(inst.lhs.type)}"
+        if isinstance(inst, Load):
+            return "load"
+        if isinstance(inst, Store):
+            return "store"
+        if isinstance(inst, GetElementPtr):
+            return "gep"
+        if isinstance(inst, Cast):
+            if inst.opcode in ("sitofp", "uitofp"):
+                return "sitofp"
+            if inst.opcode in ("fptosi", "fptoui"):
+                return "fptosi"
+            if inst.opcode in ("fpext", "fptrunc"):
+                return "fpcast"
+            return "intcast"
+        if isinstance(inst, Select):
+            return "select"
+        if isinstance(inst, Phi):
+            return "phi"
+        if isinstance(inst, Alloca):
+            return "alloca"
+        if isinstance(inst, Call):
+            name = inst.callee.name
+            for prefix, key in _CALL_KEYS.items():
+                if name.startswith(prefix):
+                    return key
+            return "call"
+        return "misc"
+
+
+_DEFAULT_TABLE: Dict[str, OpSpec] = {
+    # Integer (32-bit bucket): combinational, absorbed into the cycle.
+    "add#32": OpSpec("add32", 0, lut=32),
+    "sub#32": OpSpec("sub32", 0, lut=32),
+    "and#32": OpSpec("and32", 0, lut=16),
+    "or#32": OpSpec("or32", 0, lut=16),
+    "xor#32": OpSpec("xor32", 0, lut=16),
+    "shl#32": OpSpec("shl32", 0, lut=40),
+    "lshr#32": OpSpec("lshr32", 0, lut=40),
+    "ashr#32": OpSpec("ashr32", 0, lut=40),
+    "mul#32": OpSpec("mul32", 2, dsp=3, lut=20),
+    "sdiv#32": OpSpec("sdiv32", 18, ii=1, lut=800),
+    "udiv#32": OpSpec("udiv32", 18, ii=1, lut=760),
+    "srem#32": OpSpec("srem32", 18, ii=1, lut=820),
+    "urem#32": OpSpec("urem32", 18, ii=1, lut=780),
+    # Integer (64-bit bucket): index arithmetic.
+    "add#64": OpSpec("add64", 0, lut=64),
+    "sub#64": OpSpec("sub64", 0, lut=64),
+    "and#64": OpSpec("and64", 0, lut=32),
+    "or#64": OpSpec("or64", 0, lut=32),
+    "xor#64": OpSpec("xor64", 0, lut=32),
+    "shl#64": OpSpec("shl64", 0, lut=80),
+    "lshr#64": OpSpec("lshr64", 0, lut=80),
+    "ashr#64": OpSpec("ashr64", 0, lut=80),
+    "mul#64": OpSpec("mul64", 3, dsp=8, lut=60),
+    "sdiv#64": OpSpec("sdiv64", 34, ii=1, lut=1800),
+    "udiv#64": OpSpec("udiv64", 34, ii=1, lut=1700),
+    "srem#64": OpSpec("srem64", 34, ii=1, lut=1850),
+    "urem#64": OpSpec("urem64", 34, ii=1, lut=1750),
+    # Floating point (single precision, DSP48-mapped).
+    "fadd#s": OpSpec("fadd", 4, dsp=2, lut=200, ff=300, resource_class="fadd"),
+    "fsub#s": OpSpec("fsub", 4, dsp=2, lut=200, ff=300, resource_class="fadd"),
+    "fmul#s": OpSpec("fmul", 3, dsp=3, lut=90, ff=150, resource_class="fmul"),
+    "fdiv#s": OpSpec("fdiv", 12, ii=1, lut=800, ff=1300, resource_class="fdiv"),
+    "frem#s": OpSpec("frem", 20, ii=1, lut=1200, ff=1600, resource_class="fdiv"),
+    "fcmp#s": OpSpec("fcmp", 1, lut=70, ff=100),
+    # Double precision.
+    "fadd#d": OpSpec("dadd", 5, dsp=3, lut=400, ff=600, resource_class="fadd"),
+    "fsub#d": OpSpec("dsub", 5, dsp=3, lut=400, ff=600, resource_class="fadd"),
+    "fmul#d": OpSpec("dmul", 4, dsp=11, lut=200, ff=300, resource_class="fmul"),
+    "fdiv#d": OpSpec("ddiv", 29, ii=1, lut=3200, ff=5100, resource_class="fdiv"),
+    "frem#d": OpSpec("drem", 40, ii=1, lut=4000, ff=6000, resource_class="fdiv"),
+    "fcmp#d": OpSpec("dcmp", 1, lut=140, ff=200),
+    # Half precision approximations.
+    "fadd#h": OpSpec("hadd", 3, dsp=1, lut=120, ff=180, resource_class="fadd"),
+    "fsub#h": OpSpec("hsub", 3, dsp=1, lut=120, ff=180, resource_class="fadd"),
+    "fmul#h": OpSpec("hmul", 2, dsp=1, lut=60, ff=90, resource_class="fmul"),
+    "fdiv#h": OpSpec("hdiv", 8, lut=400, ff=600, resource_class="fdiv"),
+    "fcmp#h": OpSpec("hcmp", 1, lut=40, ff=60),
+    # Memory: BRAM sync read — address this cycle, data next cycle.
+    "load": OpSpec("load", 1, resource_class="memport"),
+    "store": OpSpec("store", 1, resource_class="memport"),
+    "gep": OpSpec("gep", 0, lut=24),  # address computation
+    "alloca": OpSpec("alloca", 0),
+    # Comparisons / moves / casts.
+    "icmp": OpSpec("icmp", 0, lut=32),
+    "select": OpSpec("select", 0, lut=32),
+    "phi": OpSpec("phi", 0),
+    "intcast": OpSpec("intcast", 0),
+    "fpcast": OpSpec("fpcast", 2, lut=100, ff=150),
+    "sitofp": OpSpec("sitofp", 5, lut=250, ff=360),
+    "fptosi": OpSpec("fptosi", 5, lut=230, ff=340),
+    # Math calls (Vitis FPO cores).
+    "fsqrt": OpSpec("fsqrt", 12, lut=450, ff=800, resource_class="fsqrt"),
+    "fexp": OpSpec("fexp", 14, dsp=7, lut=900, ff=1300, resource_class="fexp"),
+    "flog": OpSpec("flog", 16, dsp=6, lut=1000, ff=1400, resource_class="flog"),
+    "fpow": OpSpec("fpow", 30, dsp=13, lut=1900, ff=2700, resource_class="fpow"),
+    "ftrig": OpSpec("ftrig", 18, dsp=8, lut=1100, ff=1600, resource_class="ftrig"),
+    "fabs": OpSpec("fabs", 0, lut=10),
+    "ffloor": OpSpec("ffloor", 2, lut=150, ff=220),
+    "fma": OpSpec("fma", 5, dsp=4, lut=220, ff=340, resource_class="fmul"),
+    "minmax": OpSpec("minmax", 1, lut=80, ff=100),
+    "call": OpSpec("call", 1),
+    "misc": OpSpec("misc", 0),
+}
+
+_CALL_KEYS = {
+    "llvm.sqrt": "fsqrt",
+    "sqrt": "fsqrt",
+    "llvm.exp": "fexp",
+    "exp": "fexp",
+    "llvm.log": "flog",
+    "log": "flog",
+    "llvm.sin": "ftrig",
+    "sin": "ftrig",
+    "llvm.cos": "ftrig",
+    "cos": "ftrig",
+    "llvm.pow": "fpow",
+    "pow": "fpow",
+    "llvm.fabs": "fabs",
+    "fabs": "fabs",
+    "llvm.floor": "ffloor",
+    "floor": "ffloor",
+    "llvm.ceil": "ffloor",
+    "ceil": "ffloor",
+    "llvm.fmuladd": "fma",
+    "llvm.fma": "fma",
+    "llvm.maxnum": "minmax",
+    "llvm.minnum": "minmax",
+    "llvm.smax": "minmax",
+    "llvm.smin": "minmax",
+    "llvm.umax": "minmax",
+    "llvm.umin": "minmax",
+}
+
+DEFAULT_LIBRARY = OperatorLibrary()

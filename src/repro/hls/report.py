@@ -1,0 +1,98 @@
+"""csynth-style synthesis reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .device import Device
+
+__all__ = ["LoopReport", "SynthReport"]
+
+
+@dataclass
+class LoopReport:
+    """One row of the csynth loop table."""
+
+    name: str
+    depth: int
+    trip_count_min: int
+    trip_count_max: int
+    iteration_latency: int
+    ii: Optional[int]  # None = not pipelined
+    latency_min: int
+    latency_max: int
+    pipelined: bool = False
+    unroll_factor: int = 1
+    res_mii: int = 1
+    rec_mii: int = 1
+
+    def row(self) -> str:
+        ii = str(self.ii) if self.ii is not None else "-"
+        trip = (
+            str(self.trip_count_max)
+            if self.trip_count_min == self.trip_count_max
+            else f"{self.trip_count_min}~{self.trip_count_max}"
+        )
+        lat = (
+            str(self.latency_max)
+            if self.latency_min == self.latency_max
+            else f"{self.latency_min}~{self.latency_max}"
+        )
+        pipe = "yes" if self.pipelined else "no"
+        return (
+            f"{'  ' * (self.depth - 1)}{self.name:<24} {lat:>12} {self.iteration_latency:>6} "
+            f"{ii:>4} {trip:>9} {pipe:>5}"
+        )
+
+
+@dataclass
+class SynthReport:
+    """Synthesis estimate for one top function — the paper's measurements."""
+
+    function: str
+    flow: str  # "mlir-adaptor" | "hls-cpp"
+    device: Device
+    latency_min: int = 0
+    latency_max: int = 0
+    loops: List[LoopReport] = field(default_factory=list)
+    resources: Dict[str, int] = field(default_factory=dict)
+    fu_instances: Dict[str, int] = field(default_factory=dict)
+    frontend_warnings: List[str] = field(default_factory=list)
+    dropped_directives: int = 0
+
+    @property
+    def latency(self) -> int:
+        """Headline (worst-case) latency in cycles."""
+        return self.latency_max
+
+    def utilization(self) -> Dict[str, float]:
+        return self.device.utilization(self.resources)
+
+    def summary(self) -> str:
+        util = self.utilization()
+        lines = [
+            f"== Vitis-style synthesis estimate: {self.function} "
+            f"[{self.flow}] on {self.device.name} ==",
+            f"latency (cycles): min={self.latency_min} max={self.latency_max}",
+            "",
+            f"{'loop':<24} {'latency':>12} {'IL':>6} {'II':>4} {'trip':>9} {'pipe':>5}",
+        ]
+        for loop in self.loops:
+            lines.append(loop.row())
+        lines.append("")
+        lines.append("resources:")
+        for key in ("bram_18k", "dsp", "ff", "lut"):
+            lines.append(
+                f"  {key.upper():8s} {self.resources.get(key, 0):>10}  "
+                f"({util.get(key, 0.0):5.1f}%)"
+            )
+        if self.fu_instances:
+            fus = ", ".join(f"{k}x{v}" for k, v in sorted(self.fu_instances.items()))
+            lines.append(f"  FUs: {fus}")
+        if self.dropped_directives:
+            lines.append(
+                f"  WARNING: {self.dropped_directives} loop directive(s) dropped "
+                f"by the frontend (modern metadata spelling)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Resource-constrained list scheduling for straight-line block DFGs.
+
+Cycle-by-cycle list scheduling with:
+
+* def-use readiness (a consumer starts once every producer's result is
+  available; zero-latency producers chain within the same cycle);
+* memory-port constraints — at most ``ports`` accesses per (buffer, bank)
+  per cycle, with bank-unknown accesses conservatively blocking the whole
+  buffer.
+
+Functional units are unconstrained at scheduling time (Vitis default);
+binding counts the instances the schedule actually needs afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .cdfg import BlockDFG, DFGNode
+from .memory import MemoryModel, PORTS_PER_BANK
+
+__all__ = ["BlockSchedule", "list_schedule"]
+
+
+@dataclass
+class BlockSchedule:
+    """Start cycle per node plus the derived block latency."""
+
+    starts: Dict[int, int] = field(default_factory=dict)  # id(node) -> cycle
+    length: int = 0  # cycles until every result is available
+
+    def start_of(self, node: DFGNode) -> int:
+        return self.starts[id(node)]
+
+
+class _PortTable:
+    """Per-cycle memory-port occupancy for one scheduling cycle (or one
+    modulo slot).  A bank-known access takes one port on its bank; a
+    bank-unknown access takes one port on *every* bank of the buffer."""
+
+    def __init__(self):
+        self.bank_usage: Dict[Tuple[int, int], int] = {}
+        self.wildcard: Dict[int, int] = {}
+
+    def try_reserve(self, site) -> bool:
+        buf = id(site.buffer)
+        wild = self.wildcard.get(buf, 0)
+        if site.bank is not None:
+            used = self.bank_usage.get((buf, site.bank), 0) + wild
+            if used >= PORTS_PER_BANK:
+                return False
+            self.bank_usage[(buf, site.bank)] = self.bank_usage.get((buf, site.bank), 0) + 1
+            return True
+        worst = max(
+            (u for (b, _bank), u in self.bank_usage.items() if b == buf),
+            default=0,
+        )
+        if wild + worst >= PORTS_PER_BANK:
+            return False
+        self.wildcard[buf] = wild + 1
+        return True
+
+
+def list_schedule(dfg: BlockDFG, max_cycles: int = 1_000_000) -> BlockSchedule:
+    schedule = BlockSchedule()
+    if not dfg.nodes:
+        schedule.length = 1
+        return schedule
+
+    remaining = {id(n): len(n.preds) for n in dfg.nodes}
+    earliest: Dict[int, int] = {id(n): 0 for n in dfg.nodes}
+    # Priority: critical-path height (longest path to any sink).
+    height: Dict[int, int] = {}
+
+    def compute_height(node: DFGNode) -> int:
+        key = id(node)
+        if key in height:
+            return height[key]
+        height[key] = 0  # cycle guard
+        h = max((w + compute_height(s) for s, w in node.succs), default=0)
+        height[key] = h + max(node.latency, 0)
+        return height[key]
+
+    for node in dfg.nodes:
+        compute_height(node)
+
+    ready: List[DFGNode] = [n for n in dfg.nodes if remaining[id(n)] == 0]
+    unscheduled = len(dfg.nodes)
+    cycle = 0
+    while unscheduled and cycle < max_cycles:
+        ports = _PortTable()
+        # Loop until no more nodes fit this cycle (zero-latency chaining can
+        # make new nodes ready within the same cycle).
+        progressed = True
+        while progressed:
+            progressed = False
+            ready.sort(key=lambda n: (-height[id(n)], n.index))
+            for node in list(ready):
+                if earliest[id(node)] > cycle:
+                    continue
+                if node.site is not None and not ports.try_reserve(node.site):
+                    continue
+                schedule.starts[id(node)] = cycle
+                unscheduled -= 1
+                ready.remove(node)
+                progressed = True
+                for succ, weight in node.succs:
+                    skey = id(succ)
+                    earliest[skey] = max(earliest[skey], cycle + weight)
+                    remaining[skey] -= 1
+                    if remaining[skey] == 0:
+                        ready.append(succ)
+        cycle += 1
+    if unscheduled:
+        raise RuntimeError("list scheduler failed to converge (cyclic block DFG?)")
+
+    schedule.length = max(
+        (schedule.starts[id(n)] + max(n.latency, 1) for n in dfg.nodes),
+        default=1,
+    )
+    return schedule

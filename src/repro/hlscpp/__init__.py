@@ -1,0 +1,30 @@
+"""The baseline flow the paper compares against: MLIR HLS tools emitting
+HLS C++ (ScaleHLS-style), compiled by a Vitis-clang-style C frontend back
+into (old-dialect) LLVM IR.
+
+The round trip through C++ is the information-loss channel the paper's
+adaptor avoids: codegen re-derives loops, subscripts and types from the
+structured ops, and the C frontend re-builds IR through allocas and 32-bit
+induction variables."""
+
+from .codegen import HLSCppCodegen, generate_hls_cpp
+from .clexer import CLexer, CToken, CLexError
+from .cast import *  # noqa: F401,F403 - AST node re-exports
+from .cparser import CParser, CParseError, parse_translation_unit
+from .sema import Sema, SemaError
+from .irgen import CFrontend, compile_hls_cpp
+
+__all__ = [
+    "HLSCppCodegen",
+    "generate_hls_cpp",
+    "CLexer",
+    "CToken",
+    "CLexError",
+    "CParser",
+    "CParseError",
+    "parse_translation_unit",
+    "Sema",
+    "SemaError",
+    "CFrontend",
+    "compile_hls_cpp",
+]

@@ -1,0 +1,212 @@
+"""AST for the HLS C++ subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "CType",
+    "Expr",
+    "IntLiteral",
+    "FloatLiteral",
+    "BoolLiteral",
+    "NameRef",
+    "Subscript",
+    "UnaryOp",
+    "BinaryOp",
+    "Ternary",
+    "CallExpr",
+    "CastExpr",
+    "Stmt",
+    "DeclStmt",
+    "AssignStmt",
+    "ForStmt",
+    "ReturnStmt",
+    "ExprStmt",
+    "PragmaStmt",
+    "CompoundStmt",
+    "ParamDecl",
+    "FunctionDef",
+    "TranslationUnit",
+]
+
+
+@dataclass(frozen=True)
+class CType:
+    """Scalar base type plus array dimensions (outermost first)."""
+
+    base: str  # "void" | "bool" | "int8_t" | ... | "float" | "double"
+    dims: Tuple[int, ...] = ()
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def is_float(self) -> bool:
+        return self.base in ("float", "double", "half")
+
+    @property
+    def is_integer(self) -> bool:
+        return self.base in (
+            "bool", "char", "int8_t", "int16_t", "int32_t", "int", "int64_t",
+            "short", "long",
+        )
+
+    def element(self) -> "CType":
+        return CType(self.base)
+
+    def __str__(self) -> str:
+        return self.base + "".join(f"[{d}]" for d in self.dims)
+
+
+class Expr:
+    type: Optional[CType] = None  # filled by sema
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+    line: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float
+    is_single: bool = True  # 'f' suffix
+    line: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+    line: int = 0
+
+
+@dataclass
+class NameRef(Expr):
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Subscript(Expr):
+    base: Expr
+    indices: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str  # "-" | "!" | "~"
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str
+    lhs: Expr = None  # type: ignore[assignment]
+    rhs: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class Ternary(Expr):
+    cond: Expr = None  # type: ignore[assignment]
+    if_true: Expr = None  # type: ignore[assignment]
+    if_false: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str = ""
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class CastExpr(Expr):
+    target: CType = None  # type: ignore[assignment]
+    operand: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    type: CType
+    name: str
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr = None  # type: ignore[assignment]  (NameRef or Subscript)
+    value: Expr = None  # type: ignore[assignment]
+    op: str = "="  # "=" | "+=" | "-=" | "*=" | "/="
+    line: int = 0
+
+
+@dataclass
+class ForStmt(Stmt):
+    var: str = ""
+    var_type: CType = None  # type: ignore[assignment]
+    init: Expr = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+    step: int = 1
+    body: "CompoundStmt" = None  # type: ignore[assignment]
+    pragmas: List[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class PragmaStmt(Stmt):
+    text: str = ""
+    line: int = 0
+
+
+@dataclass
+class CompoundStmt(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ParamDecl:
+    type: CType
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    return_type: CType
+    name: str
+    params: List[ParamDecl] = field(default_factory=list)
+    body: CompoundStmt = None  # type: ignore[assignment]
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FunctionDef] = field(default_factory=list)

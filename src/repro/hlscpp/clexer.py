@@ -1,0 +1,86 @@
+"""Lexer for the HLS C++ subset the baseline codegen emits."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+__all__ = ["CToken", "CLexer", "CLexError", "KEYWORDS"]
+
+KEYWORDS = {
+    "void", "float", "double", "int", "bool", "char", "short", "long",
+    "int8_t", "int16_t", "int32_t", "int64_t", "half",
+    "for", "while", "if", "else", "return", "true", "false", "const",
+}
+
+
+class CLexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class CToken:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind  # "kw" | "id" | "int" | "float" | "punct" | "pragma" | "eof"
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"CToken({self.kind}, {self.text!r})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>[ \t]+)
+  | (?P<NEWLINE>\r?\n)
+  | (?P<LINECOMMENT>//[^\n]*)
+  | (?P<BLOCKCOMMENT>/\*.*?\*/)
+  | (?P<PRAGMA>\#pragma[^\n]*)
+  | (?P<INCLUDE>\#include[^\n]*)
+  | (?P<FLOAT>(?:[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?|[0-9]+[eE][+-]?[0-9]+|\.[0-9]+)[fF]?)
+  | (?P<INT>[0-9]+)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_]*(?:::[A-Za-z_][A-Za-z0-9_]*)?)
+  | (?P<PUNCT><<=|>>=|<<|>>|<=|>=|==|!=|&&|\|\||\+\+|--|\+=|-=|\*=|/=|%=|[-+*/%<>=!&|^~?:;,.(){}\[\]])
+""",
+    re.VERBOSE | re.DOTALL,
+)
+
+
+class CLexer:
+    def __init__(self, source: str):
+        self.source = source
+
+    def tokenize(self) -> List[CToken]:
+        tokens: List[CToken] = []
+        pos = 0
+        line = 1
+        source = self.source
+        while pos < len(source):
+            m = _TOKEN_RE.match(source, pos)
+            if m is None:
+                raise CLexError(f"unexpected character {source[pos]!r}", line)
+            kind = m.lastgroup
+            text = m.group()
+            if kind == "NEWLINE":
+                line += 1
+            elif kind in ("WS", "LINECOMMENT", "INCLUDE"):
+                pass
+            elif kind == "BLOCKCOMMENT":
+                line += text.count("\n")
+            elif kind == "PRAGMA":
+                tokens.append(CToken("pragma", text, line))
+            elif kind == "FLOAT":
+                tokens.append(CToken("float", text, line))
+            elif kind == "INT":
+                tokens.append(CToken("int", text, line))
+            elif kind == "ID":
+                tok_kind = "kw" if text in KEYWORDS else "id"
+                tokens.append(CToken(tok_kind, text, line))
+            else:
+                tokens.append(CToken("punct", text, line))
+            pos = m.end()
+        tokens.append(CToken("eof", "", line))
+        return tokens

@@ -1,0 +1,333 @@
+"""Recursive-descent parser for the HLS C++ subset (models the Vitis clang
+ingestion step of the baseline flow)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .cast import (
+    AssignStmt,
+    BinaryOp,
+    BoolLiteral,
+    CallExpr,
+    CastExpr,
+    CompoundStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    FloatLiteral,
+    ForStmt,
+    FunctionDef,
+    IntLiteral,
+    NameRef,
+    ParamDecl,
+    PragmaStmt,
+    ReturnStmt,
+    Subscript,
+    Ternary,
+    TranslationUnit,
+    UnaryOp,
+)
+from .clexer import CLexer, CToken
+
+__all__ = ["CParser", "CParseError", "parse_translation_unit"]
+
+_TYPE_KEYWORDS = {
+    "void", "float", "double", "half", "bool", "char", "short", "int", "long",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+}
+
+# Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class CParseError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class CParser:
+    def __init__(self, source: str):
+        self.tokens = CLexer(source).tokenize()
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+    def peek(self, offset: int = 0) -> CToken:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> CToken:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[CToken]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> CToken:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise CParseError(
+                f"expected {text or kind!r}, got {tok.text!r}", tok.line
+            )
+        return tok
+
+    def error(self, message: str) -> CParseError:
+        return CParseError(message, self.peek().line)
+
+    # -- types --------------------------------------------------------------------
+    def at_type(self) -> bool:
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text in _TYPE_KEYWORDS:
+            return True
+        if tok.kind == "kw" and tok.text == "const":
+            return True
+        return False
+
+    def parse_base_type(self) -> CType:
+        self.accept("kw", "const")
+        tok = self.expect("kw")
+        base = tok.text
+        if base not in _TYPE_KEYWORDS:
+            raise CParseError(f"{base!r} is not a type", tok.line)
+        if base == "long" and self.accept("kw", "long"):
+            base = "int64_t"
+        return CType(base)
+
+    def parse_array_suffix(self, base: CType) -> CType:
+        dims: List[int] = []
+        while self.peek().text == "[":
+            self.next()
+            dims.append(int(self.expect("int").text))
+            self.expect("punct", "]")
+        return CType(base.base, tuple(dims)) if dims else base
+
+    # -- top level ---------------------------------------------------------------------
+    def parse(self) -> TranslationUnit:
+        unit = TranslationUnit()
+        while self.peek().kind != "eof":
+            if self.peek().kind == "pragma":
+                self.next()  # file-scope pragmas are not meaningful here
+                continue
+            unit.functions.append(self.parse_function())
+        return unit
+
+    def parse_function(self) -> FunctionDef:
+        line = self.peek().line
+        return_type = self.parse_base_type()
+        name = self.expect("id").text
+        self.expect("punct", "(")
+        params: List[ParamDecl] = []
+        if self.peek().text != ")":
+            while True:
+                ptype = self.parse_base_type()
+                pname = self.expect("id").text
+                ptype = self.parse_array_suffix(ptype)
+                params.append(ParamDecl(ptype, pname))
+                if not self.accept("punct", ","):
+                    break
+        self.expect("punct", ")")
+        body = self.parse_compound()
+        return FunctionDef(return_type, name, params, body, line)
+
+    # -- statements -----------------------------------------------------------------------
+    def parse_compound(self) -> CompoundStmt:
+        line = self.expect("punct", "{").line
+        block = CompoundStmt(line=line)
+        while self.peek().text != "}":
+            block.statements.append(self.parse_statement())
+        self.expect("punct", "}")
+        return block
+
+    def parse_statement(self):
+        tok = self.peek()
+        if tok.kind == "pragma":
+            self.next()
+            return PragmaStmt(tok.text, tok.line)
+        if tok.kind == "kw" and tok.text == "for":
+            return self.parse_for()
+        if tok.kind == "kw" and tok.text == "return":
+            self.next()
+            value = None
+            if self.peek().text != ";":
+                value = self.parse_expression()
+            self.expect("punct", ";")
+            return ReturnStmt(value, tok.line)
+        if tok.text == "{":
+            return self.parse_compound()
+        if self.at_type():
+            return self.parse_declaration()
+        return self.parse_assignment_or_expr()
+
+    def parse_declaration(self) -> DeclStmt:
+        line = self.peek().line
+        base = self.parse_base_type()
+        name = self.expect("id").text
+        ctype = self.parse_array_suffix(base)
+        init = None
+        if self.accept("punct", "="):
+            init = self.parse_expression()
+        self.expect("punct", ";")
+        return DeclStmt(ctype, name, init, line)
+
+    def parse_assignment_or_expr(self):
+        line = self.peek().line
+        lhs = self.parse_expression()
+        tok = self.peek()
+        if tok.text in ("=", "+=", "-=", "*=", "/="):
+            self.next()
+            value = self.parse_expression()
+            self.expect("punct", ";")
+            if not isinstance(lhs, (NameRef, Subscript)):
+                raise CParseError("assignment target must be a name or subscript", line)
+            return AssignStmt(lhs, value, tok.text, line)
+        self.expect("punct", ";")
+        from .cast import ExprStmt
+
+        return ExprStmt(lhs, line)
+
+    def parse_for(self) -> ForStmt:
+        line = self.expect("kw", "for").line
+        self.expect("punct", "(")
+        var_type = self.parse_base_type()
+        var = self.expect("id").text
+        self.expect("punct", "=")
+        init = self.parse_expression()
+        self.expect("punct", ";")
+        cond = self.parse_expression()
+        self.expect("punct", ";")
+        # Step: "i++" or "i += K"
+        step_name = self.expect("id").text
+        if step_name != var:
+            raise CParseError(
+                f"for-step variable {step_name!r} != loop variable {var!r}", line
+            )
+        step = 1
+        if self.accept("punct", "++"):
+            step = 1
+        elif self.accept("punct", "+="):
+            step = int(self.expect("int").text)
+        else:
+            raise self.error("expected '++' or '+= K' in for-step")
+        self.expect("punct", ")")
+        # Body: compound or single statement; pragmas immediately inside the
+        # body attach to this loop.
+        if self.peek().text == "{":
+            body = self.parse_compound()
+        else:
+            body = CompoundStmt(statements=[self.parse_statement()])
+        pragmas = []
+        rest = []
+        leading = True
+        for stmt in body.statements:
+            if leading and isinstance(stmt, PragmaStmt):
+                pragmas.append(stmt.text)
+            else:
+                leading = False
+                rest.append(stmt)
+        body.statements = rest
+        return ForStmt(var, var_type, init, cond, step, body, pragmas, line)
+
+    # -- expressions ---------------------------------------------------------------------
+    def parse_expression(self) -> Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(1)
+        if self.accept("punct", "?"):
+            if_true = self.parse_expression()
+            self.expect("punct", ":")
+            if_false = self.parse_expression()
+            return Ternary(cond, if_true, if_false, cond.line)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text)
+            if tok.kind != "punct" or prec is None or prec < min_prec:
+                return lhs
+            self.next()
+            rhs = self.parse_binary(prec + 1)
+            lhs = BinaryOp(tok.text, lhs, rhs, tok.line)
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.text in ("-", "!", "~"):
+            self.next()
+            return UnaryOp(tok.text, self.parse_unary(), tok.line)
+        if tok.text == "+":
+            self.next()
+            return self.parse_unary()
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.peek().text == "[":
+            indices: List[Expr] = []
+            while self.accept("punct", "["):
+                indices.append(self.parse_expression())
+                self.expect("punct", "]")
+            expr = Subscript(expr, indices, expr.line)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.next()
+            return IntLiteral(int(tok.text), tok.line)
+        if tok.kind == "float":
+            self.next()
+            text = tok.text
+            single = text.endswith(("f", "F"))
+            return FloatLiteral(float(text.rstrip("fF")), single, tok.line)
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            self.next()
+            return BoolLiteral(tok.text == "true", tok.line)
+        if tok.text == "(":
+            # Cast or parenthesised expression.
+            if (
+                self.peek(1).kind == "kw"
+                and self.peek(1).text in _TYPE_KEYWORDS
+                and self.peek(2).text == ")"
+            ):
+                self.next()
+                target = self.parse_base_type()
+                self.expect("punct", ")")
+                operand = self.parse_unary()
+                return CastExpr(target, operand, tok.line)
+            self.next()
+            expr = self.parse_expression()
+            self.expect("punct", ")")
+            return expr
+        if tok.kind == "id":
+            self.next()
+            if self.peek().text == "(":
+                self.next()
+                args: List[Expr] = []
+                if self.peek().text != ")":
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept("punct", ","):
+                            break
+                self.expect("punct", ")")
+                return CallExpr(tok.text, args, tok.line)
+            return NameRef(tok.text, tok.line)
+        raise self.error(f"unexpected token {tok.text!r} in expression")
+
+
+def parse_translation_unit(source: str) -> TranslationUnit:
+    return CParser(source).parse()

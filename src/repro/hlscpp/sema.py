@@ -1,0 +1,253 @@
+"""Semantic analysis for the HLS C++ subset: symbol tables, type
+resolution, implicit conversions, and pragma validation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .cast import (
+    AssignStmt,
+    BinaryOp,
+    BoolLiteral,
+    CallExpr,
+    CastExpr,
+    CompoundStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FunctionDef,
+    IntLiteral,
+    NameRef,
+    PragmaStmt,
+    ReturnStmt,
+    Subscript,
+    Ternary,
+    TranslationUnit,
+    UnaryOp,
+)
+
+__all__ = ["Sema", "SemaError"]
+
+_INT_RANK = {"bool": 0, "char": 1, "int8_t": 1, "short": 2, "int16_t": 2,
+             "int": 3, "int32_t": 3, "long": 4, "int64_t": 4}
+_FLOAT_RANK = {"half": 0, "float": 1, "double": 2}
+
+_MATH_FUNCS = {
+    "sqrtf": 1, "sqrt": 1, "fabsf": 1, "fabs": 1, "expf": 1, "exp": 1,
+    "logf": 1, "log": 1, "sinf": 1, "sin": 1, "cosf": 1, "cos": 1,
+    "powf": 2, "pow": 2, "floorf": 1, "floor": 1, "ceilf": 1, "ceil": 1,
+    "fmaf": 3, "fma": 3, "fminf": 2, "fmaxf": 2,
+}
+_MINMAX_FUNCS = {"std::max", "std::min"}
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.symbols: Dict[str, CType] = {}
+
+    def declare(self, name: str, type: CType, line: int) -> None:
+        if name in self.symbols:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        self.symbols[name] = type
+
+    def lookup(self, name: str) -> Optional[CType]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class Sema:
+    """Type-checks a translation unit in place (annotates ``Expr.type``)."""
+
+    def __init__(self, unit: TranslationUnit):
+        self.unit = unit
+        self.functions: Dict[str, FunctionDef] = {}
+
+    def run(self) -> TranslationUnit:
+        for fn in self.unit.functions:
+            if fn.name in self.functions:
+                raise SemaError(f"redefinition of {fn.name!r}", fn.line)
+            self.functions[fn.name] = fn
+        for fn in self.unit.functions:
+            self._check_function(fn)
+        return self.unit
+
+    # -- functions -----------------------------------------------------------
+    def _check_function(self, fn: FunctionDef) -> None:
+        scope = _Scope()
+        for param in fn.params:
+            scope.declare(param.name, param.type, param.line)
+        self._check_block(fn, fn.body, scope)
+
+    def _check_block(self, fn: FunctionDef, block: CompoundStmt, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(fn, stmt, inner)
+
+    def _check_stmt(self, fn: FunctionDef, stmt, scope: _Scope) -> None:
+        if isinstance(stmt, DeclStmt):
+            if stmt.init is not None:
+                itype = self._check_expr(stmt.init, scope)
+                self._require_convertible(itype, stmt.type, stmt.line)
+            scope.declare(stmt.name, stmt.type, stmt.line)
+            return
+        if isinstance(stmt, AssignStmt):
+            ttype = self._check_expr(stmt.target, scope)
+            vtype = self._check_expr(stmt.value, scope)
+            if ttype.is_array:
+                raise SemaError("cannot assign to a whole array", stmt.line)
+            self._require_convertible(vtype, ttype, stmt.line)
+            return
+        if isinstance(stmt, ForStmt):
+            inner = _Scope(scope)
+            inner.declare(stmt.var, stmt.var_type, stmt.line)
+            itype = self._check_expr(stmt.init, inner)
+            self._require_convertible(itype, stmt.var_type, stmt.line)
+            ctype = self._check_expr(stmt.cond, inner)
+            if not (ctype.base == "bool" or ctype.is_integer):
+                raise SemaError("for-condition must be boolean/integer", stmt.line)
+            self._check_block(fn, stmt.body, inner)
+            return
+        if isinstance(stmt, ReturnStmt):
+            if stmt.value is not None:
+                vtype = self._check_expr(stmt.value, scope)
+                self._require_convertible(vtype, fn.return_type, stmt.line)
+            elif fn.return_type.base != "void":
+                raise SemaError("non-void function must return a value", stmt.line)
+            return
+        if isinstance(stmt, (PragmaStmt,)):
+            return
+        if isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr, scope)
+            return
+        if isinstance(stmt, CompoundStmt):
+            self._check_block(fn, stmt, scope)
+            return
+        raise SemaError(f"unhandled statement {type(stmt).__name__}", stmt.line)
+
+    # -- expressions ---------------------------------------------------------------
+    def _check_expr(self, expr: Expr, scope: _Scope) -> CType:
+        result = self._infer(expr, scope)
+        expr.type = result
+        return result
+
+    def _infer(self, expr: Expr, scope: _Scope) -> CType:
+        if isinstance(expr, IntLiteral):
+            return CType("int")
+        if isinstance(expr, FloatLiteral):
+            return CType("float" if expr.is_single else "double")
+        if isinstance(expr, BoolLiteral):
+            return CType("bool")
+        if isinstance(expr, NameRef):
+            found = scope.lookup(expr.name)
+            if found is None:
+                raise SemaError(f"use of undeclared identifier {expr.name!r}", expr.line)
+            return found
+        if isinstance(expr, Subscript):
+            base = self._check_expr(expr.base, scope)
+            if not base.is_array:
+                raise SemaError("subscript of non-array value", expr.line)
+            if len(expr.indices) > len(base.dims):
+                raise SemaError(
+                    f"too many subscripts ({len(expr.indices)}) for {base}", expr.line
+                )
+            for idx in expr.indices:
+                itype = self._check_expr(idx, scope)
+                if not itype.is_integer:
+                    raise SemaError("array subscript must be integer", expr.line)
+            remaining = base.dims[len(expr.indices):]
+            return CType(base.base, remaining)
+        if isinstance(expr, UnaryOp):
+            otype = self._check_expr(expr.operand, scope)
+            if expr.op == "!":
+                return CType("bool")
+            return otype
+        if isinstance(expr, BinaryOp):
+            ltype = self._check_expr(expr.lhs, scope)
+            rtype = self._check_expr(expr.rhs, scope)
+            if expr.op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return CType("bool")
+            return self._common_type(ltype, rtype, expr.line)
+        if isinstance(expr, Ternary):
+            self._check_expr(expr.cond, scope)
+            ltype = self._check_expr(expr.if_true, scope)
+            rtype = self._check_expr(expr.if_false, scope)
+            return self._common_type(ltype, rtype, expr.line)
+        if isinstance(expr, CastExpr):
+            self._check_expr(expr.operand, scope)
+            return expr.target
+        if isinstance(expr, CallExpr):
+            return self._infer_call(expr, scope)
+        raise SemaError(f"unhandled expression {type(expr).__name__}", expr.line)
+
+    def _infer_call(self, expr: CallExpr, scope: _Scope) -> CType:
+        arg_types = [self._check_expr(a, scope) for a in expr.args]
+        if expr.callee in _MATH_FUNCS:
+            arity = _MATH_FUNCS[expr.callee]
+            if len(expr.args) != arity:
+                raise SemaError(
+                    f"{expr.callee} expects {arity} argument(s), got {len(expr.args)}",
+                    expr.line,
+                )
+            single = expr.callee.endswith("f")
+            return CType("float" if single else "double")
+        if expr.callee in _MINMAX_FUNCS:
+            if len(expr.args) != 2:
+                raise SemaError(f"{expr.callee} expects 2 arguments", expr.line)
+            return self._common_type(arg_types[0], arg_types[1], expr.line)
+        callee = self.functions.get(expr.callee)
+        if callee is None:
+            raise SemaError(f"call to unknown function {expr.callee!r}", expr.line)
+        if len(arg_types) != len(callee.params):
+            raise SemaError(
+                f"{expr.callee} expects {len(callee.params)} args", expr.line
+            )
+        for got, param in zip(arg_types, callee.params):
+            if param.type.is_array:
+                if got != param.type:
+                    raise SemaError(
+                        f"array argument type mismatch for {param.name}", expr.line
+                    )
+            else:
+                self._require_convertible(got, param.type, expr.line)
+        return callee.return_type
+
+    # -- conversions ---------------------------------------------------------------
+    @staticmethod
+    def _require_convertible(src: CType, dst: CType, line: int) -> None:
+        if src.is_array or dst.is_array:
+            if src != dst:
+                raise SemaError(f"cannot convert {src} to {dst}", line)
+            return
+        if (src.is_integer or src.is_float) and (dst.is_integer or dst.is_float):
+            return
+        if src.base == dst.base:
+            return
+        raise SemaError(f"cannot convert {src} to {dst}", line)
+
+    @staticmethod
+    def _common_type(l: CType, r: CType, line: int) -> CType:
+        if l.is_array or r.is_array:
+            raise SemaError("arithmetic on array values", line)
+        if l.is_float or r.is_float:
+            if l.is_float and r.is_float:
+                return l if _FLOAT_RANK[l.base] >= _FLOAT_RANK[r.base] else r
+            return l if l.is_float else r
+        rank_l = _INT_RANK.get(l.base, 3)
+        rank_r = _INT_RANK.get(r.base, 3)
+        if max(rank_l, rank_r) <= 3:
+            return CType("int")
+        return l if rank_l >= rank_r else r

@@ -1,0 +1,14 @@
+"""IR analyses: CFG orders, dominator tree, natural-loop forest."""
+
+from .cfg import postorder, reverse_postorder, reachable_blocks
+from .dominators import DominatorTree
+from .loops import Loop, LoopInfo
+
+__all__ = [
+    "postorder",
+    "reverse_postorder",
+    "reachable_blocks",
+    "DominatorTree",
+    "Loop",
+    "LoopInfo",
+]

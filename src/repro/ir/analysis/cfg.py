@@ -1,0 +1,44 @@
+"""CFG traversal orders over :class:`~repro.ir.module.Function` blocks."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..module import BasicBlock, Function
+
+__all__ = ["postorder", "reverse_postorder", "reachable_blocks"]
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    """Depth-first postorder from the entry block (reachable blocks only).
+
+    Iterative to stay safe on deep loop-nest CFGs.
+    """
+    if not fn.blocks:
+        return []
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    stack: List[tuple] = [(fn.entry, iter(fn.entry.successors))]
+    seen.add(id(fn.entry))
+    while stack:
+        block, succs = stack[-1]
+        advanced = False
+        for succ in succs:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, iter(succ.successors)))
+                advanced = True
+                break
+        if not advanced:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    return list(reversed(postorder(fn)))
+
+
+def reachable_blocks(fn: Function) -> Set[int]:
+    """ids of blocks reachable from entry."""
+    return {id(b) for b in postorder(fn)}

@@ -1,0 +1,98 @@
+"""Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..module import BasicBlock, Function
+from .cfg import reverse_postorder
+
+__all__ = ["DominatorTree"]
+
+
+class DominatorTree:
+    """Immediate-dominator map plus dominance queries and frontiers.
+
+    Only reachable blocks participate; queries on unreachable blocks raise
+    ``KeyError`` (callers should run SimplifyCFG or skip them).
+    """
+
+    def __init__(self, fn: Function):
+        self.function = fn
+        self.rpo = reverse_postorder(fn)
+        self._rpo_index: Dict[int, int] = {id(b): i for i, b in enumerate(self.rpo)}
+        self.idom: Dict[int, Optional[BasicBlock]] = {}
+        self._compute()
+        self._children: Dict[int, List[BasicBlock]] = {id(b): [] for b in self.rpo}
+        for block in self.rpo:
+            parent = self.idom[id(block)]
+            if parent is not None:
+                self._children[id(parent)].append(block)
+
+    def _compute(self) -> None:
+        if not self.rpo:
+            return
+        entry = self.rpo[0]
+        idom: Dict[int, Optional[BasicBlock]] = {id(entry): entry}
+        changed = True
+        while changed:
+            changed = False
+            for block in self.rpo[1:]:
+                preds = [
+                    p
+                    for p in block.predecessors
+                    if id(p) in self._rpo_index and id(p) in idom
+                ]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(idom, new_idom, p)
+                if idom.get(id(block)) is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+        self.idom = {id(b): idom.get(id(b)) for b in self.rpo}
+        self.idom[id(entry)] = None  # root has no immediate dominator
+
+    def _intersect(self, idom: Dict, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        index = self._rpo_index
+        while a is not b:
+            while index[id(a)] > index[id(b)]:
+                a = idom[id(a)]
+            while index[id(b)] > index[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    # -- queries ------------------------------------------------------------
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom[id(block)]
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom[id(node)]
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return list(self._children[id(block)])
+
+    def dominance_frontier(self) -> Dict[int, List[BasicBlock]]:
+        """Dominance frontiers (Cytron) for all reachable blocks, keyed by id."""
+        frontier: Dict[int, List[BasicBlock]] = {id(b): [] for b in self.rpo}
+        for block in self.rpo:
+            preds = [p for p in block.predecessors if id(p) in self._rpo_index]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[id(block)]:
+                    if block not in frontier[id(runner)]:
+                        frontier[id(runner)].append(block)
+                    runner = self.idom[id(runner)]
+        return frontier

@@ -1,0 +1,278 @@
+"""Natural-loop detection over the dominator tree.
+
+Builds a loop forest with header/latch/exit classification plus induction-
+variable pattern matching for the canonical counted loops that MLIR lowering
+emits (phi + icmp + add step) — the HLS scheduler uses trip counts from
+here, and the adaptor attaches directives to latch terminators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..instructions import BinaryOperator, CondBranch, ICmp, Instruction, Phi
+from ..module import BasicBlock, Function
+from ..values import ConstantInt
+from .dominators import DominatorTree
+
+__all__ = ["Loop", "LoopInfo", "CountedLoop"]
+
+
+class CountedLoop:
+    """A recognised canonical counted loop: ``for (i = start; i pred bound; i += step)``."""
+
+    def __init__(
+        self,
+        indvar: Phi,
+        start,
+        bound,
+        step: int,
+        predicate: str,
+    ):
+        self.indvar = indvar
+        self.start = start
+        self.bound = bound
+        self.step = step
+        self.predicate = predicate
+
+    def trip_count(self) -> Optional[int]:
+        """Constant trip count if start/bound are constants, else None."""
+        if not (isinstance(self.start, ConstantInt) and isinstance(self.bound, ConstantInt)):
+            return None
+        lo, hi, step = self.start.value, self.bound.value, self.step
+        if step == 0:
+            return None
+        if self.predicate in ("slt", "ult"):
+            span = hi - lo
+        elif self.predicate in ("sle", "ule"):
+            span = hi - lo + 1
+        elif self.predicate in ("sgt", "ugt"):
+            span = lo - hi
+            step = -step
+        elif self.predicate in ("sge", "uge"):
+            span = lo - hi + 1
+            step = -step
+        elif self.predicate == "ne":
+            span = hi - lo
+        else:
+            return None
+        if span <= 0:
+            return 0
+        if step <= 0:
+            return None
+        return (span + step - 1) // step
+
+    def __repr__(self) -> str:
+        return (
+            f"<CountedLoop {self.indvar.ref()} from {self.start.ref()} "
+            f"{self.predicate} {self.bound.ref()} step {self.step}>"
+        )
+
+
+class Loop:
+    def __init__(self, header: BasicBlock):
+        self.header = header
+        self.blocks: List[BasicBlock] = [header]
+        self._block_ids: Set[int] = {id(header)}
+        self.parent: Optional["Loop"] = None
+        self.children: List["Loop"] = []
+
+    # -- structure -----------------------------------------------------------
+    def contains(self, block: BasicBlock) -> bool:
+        return id(block) in self._block_ids
+
+    def add_block(self, block: BasicBlock) -> None:
+        if id(block) not in self._block_ids:
+            self.blocks.append(block)
+            self._block_ids.add(id(block))
+
+    @property
+    def depth(self) -> int:
+        d = 1
+        node = self.parent
+        while node is not None:
+            d += 1
+            node = node.parent
+        return d
+
+    def latches(self) -> List[BasicBlock]:
+        return [p for p in self.header.predecessors if self.contains(p)]
+
+    def preheaders(self) -> List[BasicBlock]:
+        return [p for p in self.header.predecessors if not self.contains(p)]
+
+    def exit_blocks(self) -> List[BasicBlock]:
+        """Blocks outside the loop that are branched to from inside."""
+        out: List[BasicBlock] = []
+        for block in self.blocks:
+            for succ in block.successors:
+                if not self.contains(succ) and succ not in out:
+                    out.append(succ)
+        return out
+
+    def exiting_blocks(self) -> List[BasicBlock]:
+        return [
+            b
+            for b in self.blocks
+            if any(not self.contains(s) for s in b.successors)
+        ]
+
+    def instructions(self):
+        for block in self.blocks:
+            yield from block.instructions
+
+    @staticmethod
+    def _look_through(value):
+        """See through single-incoming pass-through phis (pre-cleanup CFGs
+        from block-argument lowering produce them)."""
+        seen = set()
+        while isinstance(value, Phi) and len(value.incoming) == 1:
+            if id(value) in seen:
+                break
+            seen.add(id(value))
+            value = value.incoming[0][0]
+        return value
+
+    # -- canonical induction pattern ------------------------------------------
+    def counted_form(self) -> Optional[CountedLoop]:
+        """Match the canonical lowered ``for`` shape; None if irregular."""
+        latches = self.latches()
+        preheaders = self.preheaders()
+        if len(latches) != 1 or len(preheaders) < 1:
+            return None
+        latch = latches[0]
+        for phi in self.header.phis():
+            start = None
+            step_val = None
+            for value, pred in phi.incoming:
+                if self.contains(pred):
+                    step_val = value
+                else:
+                    start = value
+            if start is None or step_val is None:
+                continue
+            step_val = self._look_through(step_val)
+            if not (
+                isinstance(step_val, BinaryOperator)
+                and step_val.opcode in ("add", "sub")
+            ):
+                continue
+            step_const = None
+            lhs_seen = self._look_through(step_val.lhs)
+            rhs_seen = self._look_through(step_val.rhs)
+            if (
+                (step_val.lhs is phi or lhs_seen is phi)
+                and isinstance(step_val.rhs, ConstantInt)
+            ):
+                step_const = step_val.rhs.value
+            elif (step_val.rhs is phi or rhs_seen is phi) and isinstance(step_val.lhs, ConstantInt):
+                if step_val.opcode == "sub":
+                    continue  # c - i is not an induction step
+                step_const = step_val.lhs.value
+            if step_const is None:
+                continue
+            if step_val.opcode == "sub":
+                step_const = -step_const
+            # The loop condition: icmp using phi (or its increment), feeding
+            # the exiting conditional branch.
+            cond = self._find_exit_condition()
+            if cond is None:
+                continue
+            cond_lhs = self._look_through(cond.lhs)
+            cond_rhs = self._look_through(cond.rhs)
+            if cond_lhs is phi or cond_lhs is step_val:
+                return CountedLoop(phi, start, cond.rhs, step_const, cond.predicate)
+            if cond_rhs is phi or cond_rhs is step_val:
+                swapped = {
+                    "slt": "sgt", "sle": "sge", "sgt": "slt", "sge": "sle",
+                    "ult": "ugt", "ule": "uge", "ugt": "ult", "uge": "ule",
+                    "eq": "eq", "ne": "ne",
+                }[cond.predicate]
+                return CountedLoop(phi, start, cond.lhs, step_const, swapped)
+        return None
+
+    def _find_exit_condition(self) -> Optional[ICmp]:
+        for block in self.exiting_blocks():
+            term = block.terminator
+            if isinstance(term, CondBranch) and isinstance(term.condition, ICmp):
+                return term.condition
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Loop header=%{self.header.name} blocks={len(self.blocks)} depth={self.depth}>"
+
+
+class LoopInfo:
+    """Loop forest for a function."""
+
+    def __init__(self, fn: Function, domtree: Optional[DominatorTree] = None):
+        self.function = fn
+        self.domtree = domtree or DominatorTree(fn)
+        self.top_level: List[Loop] = []
+        self._loop_of_block: Dict[int, Loop] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        dt = self.domtree
+        # Back edge: tail -> header where header dominates tail.
+        headers: Dict[int, Loop] = {}
+        order = dt.rpo
+        for block in order:
+            for succ in block.successors:
+                if id(succ) in dt._rpo_index and dt.dominates(succ, block):
+                    loop = headers.get(id(succ))
+                    if loop is None:
+                        loop = Loop(succ)
+                        headers[id(succ)] = loop
+                    self._collect(loop, block)
+        # Nest loops: parent is the smallest other loop containing the header.
+        loops = [headers[id(b)] for b in order if id(b) in headers]
+        for loop in loops:
+            candidates = [
+                other
+                for other in loops
+                if other is not loop and other.contains(loop.header)
+            ]
+            if candidates:
+                loop.parent = min(candidates, key=lambda l: len(l.blocks))
+        for loop in loops:
+            if loop.parent is None:
+                self.top_level.append(loop)
+            else:
+                loop.parent.children.append(loop)
+        # Innermost-loop map for blocks.
+        for loop in sorted(loops, key=lambda l: l.depth):
+            for block in loop.blocks:
+                self._loop_of_block[id(block)] = loop
+
+    def _collect(self, loop: Loop, tail: BasicBlock) -> None:
+        """Add all blocks reaching ``tail`` without passing the header."""
+        stack = [tail]
+        while stack:
+            block = stack.pop()
+            if loop.contains(block):
+                continue
+            loop.add_block(block)
+            for pred in block.predecessors:
+                if id(pred) in self.domtree._rpo_index:
+                    stack.append(pred)
+
+    # -- queries ---------------------------------------------------------------
+    def loop_for(self, block: BasicBlock) -> Optional[Loop]:
+        """Innermost loop containing ``block``."""
+        return self._loop_of_block.get(id(block))
+
+    def all_loops(self) -> List[Loop]:
+        out: List[Loop] = []
+
+        def visit(loop: Loop) -> None:
+            out.append(loop)
+            for child in loop.children:
+                visit(child)
+
+        for loop in self.top_level:
+            visit(loop)
+        return out
+
+    def innermost_loops(self) -> List[Loop]:
+        return [l for l in self.all_loops() if not l.children]

@@ -1,0 +1,685 @@
+"""Reference interpreter for the mini-LLVM IR.
+
+Serves as the functional-equivalence oracle: the adaptor flow and the HLS-C++
+flow must compute the same results as each other (and as the NumPy reference
+semantics in :mod:`repro.workloads`).
+
+Memory is modelled as byte-addressable buffers; pointers are
+``(buffer, offset)`` handles, so out-of-object accesses fault loudly instead
+of corrupting neighbouring state.  Scalar loads/stores go through ``struct``
+pack/unpack with the IR type's layout; float ops round to the IR precision.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    ExtractValue,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertValue,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    IntegerType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+)
+from .values import (
+    Argument,
+    ConstantAggregate,
+    ConstantAggregateZero,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+
+__all__ = ["Interpreter", "MemoryBuffer", "Pointer", "InterpreterError", "run_kernel"]
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class MemoryBuffer:
+    """One allocation: a named bytearray with bounds-checked access."""
+
+    __slots__ = ("name", "data")
+
+    def __init__(self, size: int, name: str = "buf"):
+        self.name = name
+        self.data = bytearray(size)
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def check(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > len(self.data):
+            raise InterpreterError(
+                f"out-of-bounds access to {self.name}: offset {offset} size "
+                f"{size} in buffer of {len(self.data)} bytes"
+            )
+
+
+class Pointer:
+    __slots__ = ("buffer", "offset")
+
+    def __init__(self, buffer: MemoryBuffer, offset: int = 0):
+        self.buffer = buffer
+        self.offset = offset
+
+    def added(self, delta: int) -> "Pointer":
+        return Pointer(self.buffer, self.offset + delta)
+
+    def __repr__(self) -> str:
+        return f"<Pointer {self.buffer.name}+{self.offset}>"
+
+
+_SCALAR_FMT = {
+    ("int", 1): "<b",
+    ("int", 8): "<b",
+    ("int", 16): "<h",
+    ("int", 32): "<i",
+    ("int", 64): "<q",
+    ("float", 16): "<e",
+    ("float", 32): "<f",
+    ("float", 64): "<d",
+}
+
+
+def _scalar_format(type: Type) -> Tuple[str, int]:
+    if isinstance(type, IntegerType):
+        width = max(8, type.byte_size() * 8)
+        return _SCALAR_FMT[("int", min(width, 64))], type.byte_size()
+    if isinstance(type, FloatType):
+        return _SCALAR_FMT[("float", type.bit_width())], type.byte_size()
+    raise InterpreterError(f"no scalar layout for type {type}")
+
+
+def _trunc_div(l: int, r: int) -> int:
+    """C-style truncating integer division (LLVM sdiv)."""
+    q = abs(l) // abs(r)
+    return -q if (l < 0) != (r < 0) else q
+
+
+def _round_float(value: float, type: FloatType) -> float:
+    if type.kind == "float":
+        return _struct.unpack("<f", _struct.pack("<f", value))[0]
+    if type.kind == "half":
+        return _struct.unpack("<e", _struct.pack("<e", value))[0]
+    return float(value)
+
+
+_NUMPY_DTYPES = {
+    "i8": np.int8,
+    "i16": np.int16,
+    "i32": np.int32,
+    "i64": np.int64,
+    "half": np.float16,
+    "float": np.float32,
+    "double": np.float64,
+}
+
+
+def buffer_from_numpy(array: np.ndarray, name: str = "arg") -> MemoryBuffer:
+    buf = MemoryBuffer(array.nbytes, name)
+    buf.data[:] = np.ascontiguousarray(array).tobytes()
+    return buf
+
+
+def numpy_from_buffer(buf: MemoryBuffer, dtype, shape) -> np.ndarray:
+    return np.frombuffer(bytes(buf.data), dtype=dtype).reshape(shape).copy()
+
+
+class Interpreter:
+    def __init__(self, module: Module, max_steps: int = 50_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.steps = 0
+        self.globals: Dict[str, Pointer] = {}
+        self._init_globals()
+
+    def _init_globals(self) -> None:
+        for g in self.module.globals:
+            buf = MemoryBuffer(g.value_type.byte_size(), f"@{g.name}")
+            if g.initializer is not None:
+                self._store_constant(buf, 0, g.value_type, g.initializer)
+            self.globals[g.name] = Pointer(buf, 0)
+
+    def _store_constant(self, buf: MemoryBuffer, offset: int, type: Type, const) -> None:
+        if isinstance(const, ConstantAggregateZero) or isinstance(
+            const, (UndefValue, PoisonValue)
+        ):
+            return  # buffer already zeroed
+        if isinstance(const, ConstantInt):
+            fmt, size = _scalar_format(type)
+            value = const.value if type.bit_width() > 1 else const.value & 1
+            buf.data[offset : offset + size] = _struct.pack(fmt, value)
+            return
+        if isinstance(const, ConstantFloat):
+            fmt, size = _scalar_format(type)
+            buf.data[offset : offset + size] = _struct.pack(fmt, const.value)
+            return
+        if isinstance(const, ConstantAggregate):
+            if isinstance(type, ArrayType):
+                elem_size = type.element.byte_size()
+                for i, member in enumerate(const.members):
+                    self._store_constant(buf, offset + i * elem_size, type.element, member)
+                return
+            if isinstance(type, StructType):
+                off = offset
+                for member, etype in zip(const.members, type.elements):
+                    self._store_constant(buf, off, etype, member)
+                    off += etype.byte_size()
+                return
+        raise InterpreterError(f"cannot materialise constant {const!r}")
+
+    # -- public API ------------------------------------------------------------
+    def run(self, function: Union[str, Function], args: Sequence) -> object:
+        """Execute ``function`` with ``args``.
+
+        Arguments may be Python scalars (for int/float params), ``Pointer``,
+        ``MemoryBuffer`` or ``numpy.ndarray`` (converted in place semantics:
+        mutations are visible via :func:`numpy_from_buffer` on the returned
+        buffers — use :func:`run_kernel` for the ergonomic wrapper).
+        """
+        fn = (
+            self.module.get_function(function)
+            if isinstance(function, str)
+            else function
+        )
+        if fn is None or fn.is_declaration:
+            raise InterpreterError(f"no defined function {function!r}")
+        if len(args) != len(fn.arguments):
+            raise InterpreterError(
+                f"@{fn.name} expects {len(fn.arguments)} args, got {len(args)}"
+            )
+        converted = []
+        for arg, param in zip(args, fn.arguments):
+            if isinstance(arg, np.ndarray):
+                converted.append(Pointer(buffer_from_numpy(arg, param.name)))
+            elif isinstance(arg, MemoryBuffer):
+                converted.append(Pointer(arg, 0))
+            else:
+                converted.append(arg)
+        return self._call(fn, converted)
+
+    # -- execution engine ----------------------------------------------------------
+    def _call(self, fn: Function, args: List) -> object:
+        env: Dict[int, object] = {}
+        for param, value in zip(fn.arguments, args):
+            env[id(param)] = self._coerce(value, param.type)
+        block = fn.entry
+        prev_block: Optional[BasicBlock] = None
+        while True:
+            next_block: Optional[BasicBlock] = None
+            # Phis evaluate simultaneously against the incoming edge.
+            phis = block.phis()
+            if phis:
+                if prev_block is None:
+                    raise InterpreterError(
+                        f"phi in entry-reached block %{block.name} with no predecessor"
+                    )
+                staged = []
+                for phi in phis:
+                    incoming = phi.incoming_value_for(prev_block)
+                    if incoming is None:
+                        raise InterpreterError(
+                            f"phi {phi.ref()} missing incoming for %{prev_block.name}"
+                        )
+                    staged.append((phi, self._value(incoming, env)))
+                for phi, value in staged:
+                    env[id(phi)] = value
+            for inst in block.instructions[len(phis):]:
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise InterpreterError(
+                        f"step budget exceeded ({self.max_steps}); "
+                        f"possible infinite loop in @{fn.name}"
+                    )
+                if isinstance(inst, Return):
+                    return (
+                        self._value(inst.value, env) if inst.value is not None else None
+                    )
+                if isinstance(inst, CondBranch):
+                    cond = self._value(inst.condition, env)
+                    next_block = inst.true_target if cond else inst.false_target
+                    break
+                if isinstance(inst, Branch):
+                    next_block = inst.target
+                    break
+                if isinstance(inst, Switch):
+                    value = self._value(inst.value, env)
+                    next_block = inst.default
+                    for const, target in inst.cases:
+                        if const.value == value:
+                            next_block = target
+                            break
+                    break
+                if isinstance(inst, Unreachable):
+                    raise InterpreterError(f"reached 'unreachable' in @{fn.name}")
+                env[id(inst)] = self._execute(inst, env)
+            if next_block is None:
+                raise InterpreterError(f"block %{block.name} fell through")
+            prev_block, block = block, next_block
+
+    def _value(self, value: Value, env: Dict[int, object]) -> object:
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, ConstantPointerNull):
+            return None
+        if isinstance(value, (UndefValue, PoisonValue)):
+            return self._zero(value.type)
+        if isinstance(value, ConstantAggregateZero):
+            return self._zero(value.type)
+        if isinstance(value, ConstantAggregate):
+            return [self._value(m, env) for m in value.members]
+        if isinstance(value, GlobalVariable):
+            return self.globals[value.name]
+        if isinstance(value, Function):
+            return value
+        key = id(value)
+        if key not in env:
+            raise InterpreterError(f"use of undefined value {value!r}")
+        return env[key]
+
+    def _zero(self, type: Type) -> object:
+        if isinstance(type, IntegerType):
+            return 0
+        if isinstance(type, FloatType):
+            return 0.0
+        if isinstance(type, PointerType):
+            return None
+        if isinstance(type, ArrayType):
+            return [self._zero(type.element) for _ in range(type.count)]
+        if isinstance(type, StructType):
+            return [self._zero(e) for e in type.elements]
+        if isinstance(type, VectorType):
+            return [self._zero(type.element) for _ in range(type.count)]
+        raise InterpreterError(f"no zero value for type {type}")
+
+    def _coerce(self, value, type: Type):
+        if isinstance(type, IntegerType) and isinstance(value, (int, np.integer)):
+            return type.wrap(int(value))
+        if isinstance(type, FloatType) and isinstance(value, (int, float, np.floating)):
+            return _round_float(float(value), type)
+        return value
+
+    # -- instruction semantics ----------------------------------------------------
+    def _execute(self, inst, env: Dict[int, object]) -> object:
+        if isinstance(inst, BinaryOperator):
+            return self._binop(inst, env)
+        if isinstance(inst, ICmp):
+            return self._icmp(inst, env)
+        if isinstance(inst, FCmp):
+            return self._fcmp(inst, env)
+        if isinstance(inst, Alloca):
+            count = 1
+            if inst.array_size is not None:
+                count = int(self._value(inst.array_size, env))
+            size = inst.allocated_type.byte_size() * count
+            return Pointer(MemoryBuffer(size, inst.name or "alloca"))
+        if isinstance(inst, Load):
+            return self._load(inst.type, self._value(inst.pointer, env))
+        if isinstance(inst, Store):
+            self._store(
+                inst.value.type,
+                self._value(inst.pointer, env),
+                self._value(inst.value, env),
+            )
+            return None
+        if isinstance(inst, GetElementPtr):
+            return self._gep(inst, env)
+        if isinstance(inst, Cast):
+            return self._cast(inst, env)
+        if isinstance(inst, Select):
+            cond = self._value(inst.condition, env)
+            return self._value(inst.true_value if cond else inst.false_value, env)
+        if isinstance(inst, Call):
+            return self._call_inst(inst, env)
+        if isinstance(inst, Freeze):
+            return self._value(inst.value, env)
+        if isinstance(inst, ExtractValue):
+            agg = self._value(inst.aggregate, env)
+            for idx in inst.indices:
+                agg = agg[idx]
+            return agg
+        if isinstance(inst, InsertValue):
+            agg = self._deep_copy(self._value(inst.aggregate, env))
+            target = agg
+            for idx in inst.indices[:-1]:
+                target = target[idx]
+            target[inst.indices[-1]] = self._value(inst.value, env)
+            return agg
+        raise InterpreterError(f"no semantics for {inst!r}")
+
+    @staticmethod
+    def _deep_copy(value):
+        if isinstance(value, list):
+            return [Interpreter._deep_copy(v) for v in value]
+        return value
+
+    def _binop(self, inst: BinaryOperator, env) -> object:
+        l = self._value(inst.lhs, env)
+        r = self._value(inst.rhs, env)
+        op = inst.opcode
+        if op in ("fadd", "fsub", "fmul", "fdiv", "frem"):
+            if op == "fadd":
+                result = l + r
+            elif op == "fsub":
+                result = l - r
+            elif op == "fmul":
+                result = l * r
+            elif op == "fdiv":
+                result = l / r if r != 0 else math.copysign(math.inf, l) if l else math.nan
+            else:
+                result = math.fmod(l, r) if r != 0 else math.nan
+            return _round_float(result, inst.type)
+        ty: IntegerType = inst.type  # type: ignore[assignment]
+        width = ty.width
+        unsigned_l = l & ty.max_unsigned
+        unsigned_r = r & ty.max_unsigned
+        if op == "add":
+            return ty.wrap(l + r)
+        if op == "sub":
+            return ty.wrap(l - r)
+        if op == "mul":
+            return ty.wrap(l * r)
+        if op == "sdiv":
+            if r == 0:
+                raise InterpreterError("sdiv by zero")
+            return ty.wrap(_trunc_div(l, r))
+        if op == "udiv":
+            if unsigned_r == 0:
+                raise InterpreterError("udiv by zero")
+            return ty.wrap(unsigned_l // unsigned_r)
+        if op == "srem":
+            if r == 0:
+                raise InterpreterError("srem by zero")
+            return ty.wrap(l - r * _trunc_div(l, r))
+        if op == "urem":
+            if unsigned_r == 0:
+                raise InterpreterError("urem by zero")
+            return ty.wrap(unsigned_l % unsigned_r)
+        if op == "shl":
+            return ty.wrap(l << (unsigned_r % width))
+        if op == "lshr":
+            return ty.wrap(unsigned_l >> (unsigned_r % width))
+        if op == "ashr":
+            return ty.wrap(l >> (unsigned_r % width))
+        if op == "and":
+            return ty.wrap(l & r)
+        if op == "or":
+            return ty.wrap(l | r)
+        if op == "xor":
+            return ty.wrap(l ^ r)
+        raise InterpreterError(f"unhandled binop {op}")
+
+    def _icmp(self, inst: ICmp, env) -> int:
+        l = self._value(inst.lhs, env)
+        r = self._value(inst.rhs, env)
+        if isinstance(inst.lhs.type, PointerType):
+            lid = (id(l.buffer), l.offset) if isinstance(l, Pointer) else None
+            rid = (id(r.buffer), r.offset) if isinstance(r, Pointer) else None
+            if inst.predicate == "eq":
+                return int(lid == rid)
+            if inst.predicate == "ne":
+                return int(lid != rid)
+            raise InterpreterError("ordered pointer comparison unsupported")
+        ty: IntegerType = inst.lhs.type  # type: ignore[assignment]
+        ul = l & ty.max_unsigned
+        ur = r & ty.max_unsigned
+        pred = inst.predicate
+        table = {
+            "eq": l == r,
+            "ne": l != r,
+            "sgt": l > r,
+            "sge": l >= r,
+            "slt": l < r,
+            "sle": l <= r,
+            "ugt": ul > ur,
+            "uge": ul >= ur,
+            "ult": ul < ur,
+            "ule": ul <= ur,
+        }
+        return int(table[pred])
+
+    def _fcmp(self, inst: FCmp, env) -> int:
+        l = self._value(inst.lhs, env)
+        r = self._value(inst.rhs, env)
+        unordered = math.isnan(l) or math.isnan(r)
+        pred = inst.predicate
+        if pred == "false":
+            return 0
+        if pred == "true":
+            return 1
+        if pred == "ord":
+            return int(not unordered)
+        if pred == "uno":
+            return int(unordered)
+        base = pred[1:]
+        ordered = pred.startswith("o")
+        table = {
+            "eq": l == r,
+            "gt": l > r,
+            "ge": l >= r,
+            "lt": l < r,
+            "le": l <= r,
+            "ne": l != r,
+        }
+        result = table[base] if not unordered else False
+        if not ordered and unordered:
+            return 1
+        if ordered and unordered:
+            return 0
+        return int(result)
+
+    def _load(self, type: Type, pointer) -> object:
+        if not isinstance(pointer, Pointer):
+            raise InterpreterError(f"load through non-pointer {pointer!r}")
+        fmt, size = _scalar_format(type)
+        pointer.buffer.check(pointer.offset, size)
+        raw = bytes(pointer.buffer.data[pointer.offset : pointer.offset + size])
+        value = _struct.unpack(fmt, raw)[0]
+        if isinstance(type, IntegerType):
+            return type.wrap(int(value))
+        return float(value)
+
+    def _store(self, type: Type, pointer, value) -> None:
+        if not isinstance(pointer, Pointer):
+            raise InterpreterError(f"store through non-pointer {pointer!r}")
+        fmt, size = _scalar_format(type)
+        pointer.buffer.check(pointer.offset, size)
+        if isinstance(type, IntegerType):
+            packed = _struct.pack(fmt, type.wrap(int(value)))
+        else:
+            packed = _struct.pack(fmt, float(value))
+        pointer.buffer.data[pointer.offset : pointer.offset + size] = packed
+
+    def _gep(self, inst: GetElementPtr, env) -> Pointer:
+        base = self._value(inst.pointer, env)
+        if not isinstance(base, Pointer):
+            raise InterpreterError(f"gep through non-pointer {base!r}")
+        indices = [int(self._value(i, env)) for i in inst.indices]
+        offset = 0
+        type: Type = inst.source_type
+        if indices:
+            offset += indices[0] * type.byte_size()
+        for raw_idx, idx in enumerate(indices[1:]):
+            if isinstance(type, ArrayType):
+                type = type.element
+                offset += idx * type.byte_size()
+            elif isinstance(type, StructType):
+                offset += sum(e.byte_size() for e in type.elements[:idx])
+                type = type.elements[idx]
+            elif isinstance(type, VectorType):
+                type = type.element
+                offset += idx * type.byte_size()
+            else:
+                raise InterpreterError(f"gep index {raw_idx + 1} into scalar {type}")
+        return base.added(offset)
+
+    def _cast(self, inst: Cast, env) -> object:
+        value = self._value(inst.value, env)
+        op = inst.opcode
+        to = inst.type
+        if op in ("sext", "trunc"):
+            return to.wrap(int(value))  # type: ignore[union-attr]
+        if op == "zext":
+            src: IntegerType = inst.value.type  # type: ignore[assignment]
+            return to.wrap(int(value) & src.max_unsigned)  # type: ignore[union-attr]
+        if op in ("fptrunc", "fpext"):
+            return _round_float(float(value), to)  # type: ignore[arg-type]
+        if op == "fptosi":
+            return to.wrap(int(value))  # type: ignore[union-attr]
+        if op == "fptoui":
+            return to.wrap(max(0, int(value)))  # type: ignore[union-attr]
+        if op == "sitofp":
+            return _round_float(float(int(value)), to)  # type: ignore[arg-type]
+        if op == "uitofp":
+            src = inst.value.type  # type: ignore[assignment]
+            return _round_float(float(int(value) & src.max_unsigned), to)  # type: ignore
+        if op == "bitcast":
+            return value  # pointers only in our subset
+        if op == "ptrtoint":
+            if isinstance(value, Pointer):
+                return to.wrap(id(value.buffer) + value.offset)  # type: ignore
+            return 0
+        if op == "inttoptr":
+            raise InterpreterError("inttoptr has no meaning in the buffer memory model")
+        raise InterpreterError(f"unhandled cast {op}")
+
+    # -- calls & intrinsics ---------------------------------------------------------
+    def _call_inst(self, inst: Call, env) -> object:
+        callee = inst.callee
+        args = [self._value(a, env) for a in inst.args]
+        if not callee.is_declaration:
+            return self._call(callee, args)
+        return self._extern(callee.name, args, inst)
+
+    def _extern(self, name: str, args: List, inst: Call) -> object:
+        unary = {
+            "sqrt": math.sqrt, "sqrtf": math.sqrt,
+            "fabs": abs, "fabsf": abs,
+            "exp": math.exp, "expf": math.exp,
+            "log": math.log, "logf": math.log,
+            "sin": math.sin, "sinf": math.sin,
+            "cos": math.cos, "cosf": math.cos,
+            "floor": math.floor, "floorf": math.floor,
+            "ceil": math.ceil, "ceilf": math.ceil,
+        }
+        if name in unary:
+            return _round_float(unary[name](args[0]), inst.type)  # type: ignore
+        if name in ("pow", "powf"):
+            return _round_float(math.pow(args[0], args[1]), inst.type)  # type: ignore
+        base = name.split(".")
+        if name.startswith("llvm."):
+            kind = base[1]
+            if kind in ("sqrt", "fabs", "exp", "log", "sin", "cos", "floor", "ceil"):
+                fn = {"fabs": abs}.get(kind) or getattr(math, kind)
+                return _round_float(fn(args[0]), inst.type)  # type: ignore
+            if kind == "pow":
+                return _round_float(math.pow(args[0], args[1]), inst.type)  # type: ignore
+            if kind == "fmuladd" or kind == "fma":
+                return _round_float(args[0] * args[1] + args[2], inst.type)  # type: ignore
+            if kind in ("minnum", "minimum"):
+                return _round_float(min(args[0], args[1]), inst.type)  # type: ignore
+            if kind in ("maxnum", "maximum"):
+                return _round_float(max(args[0], args[1]), inst.type)  # type: ignore
+            if kind == "copysign":
+                return _round_float(math.copysign(args[0], args[1]), inst.type)  # type: ignore
+            if kind in ("smax", "smin", "umax", "umin"):
+                op = max if kind.endswith("max") else min
+                return inst.type.wrap(op(args[0], args[1]))  # type: ignore
+            if kind == "abs":
+                return inst.type.wrap(abs(args[0]))  # type: ignore
+            if kind == "memset":
+                dest: Pointer = args[0]
+                value, length = int(args[1]) & 0xFF, int(args[2])
+                dest.buffer.check(dest.offset, length)
+                dest.buffer.data[dest.offset : dest.offset + length] = bytes(
+                    [value] * length
+                )
+                return None
+            if kind == "memcpy" or kind == "memmove":
+                dest, src, length = args[0], args[1], int(args[2])
+                dest.buffer.check(dest.offset, length)
+                src.buffer.check(src.offset, length)
+                chunk = bytes(src.buffer.data[src.offset : src.offset + length])
+                dest.buffer.data[dest.offset : dest.offset + length] = chunk
+                return None
+            if kind in ("lifetime", "assume", "dbg", "expect"):
+                if kind == "expect":
+                    return args[0]
+                return None
+        raise InterpreterError(f"no semantics for external @{name}")
+
+
+def run_kernel(
+    module: Module,
+    name: str,
+    arrays: Dict[str, np.ndarray],
+    scalars: Optional[Dict[str, object]] = None,
+    max_steps: int = 50_000_000,
+) -> Dict[str, np.ndarray]:
+    """Run a kernel whose pointer args are named arrays; returns the (possibly
+    mutated) arrays keyed by argument name.
+
+    ``arrays`` maps argument name → numpy array; ``scalars`` maps argument
+    name → Python scalar.  Unknown argument names raise.
+    """
+    scalars = scalars or {}
+    fn = module.get_function(name)
+    if fn is None:
+        raise InterpreterError(f"no function @{name} in module")
+    interp = Interpreter(module, max_steps=max_steps)
+    buffers: Dict[str, Tuple[MemoryBuffer, np.dtype, tuple]] = {}
+    call_args: List[object] = []
+    for arg in fn.arguments:
+        if arg.name in arrays:
+            array = arrays[arg.name]
+            buf = buffer_from_numpy(array, arg.name)
+            buffers[arg.name] = (buf, array.dtype, array.shape)
+            call_args.append(Pointer(buf, 0))
+        elif arg.name in scalars:
+            call_args.append(scalars[arg.name])
+        else:
+            raise InterpreterError(
+                f"argument {arg.name!r} of @{name} not supplied "
+                f"(have arrays={list(arrays)}, scalars={list(scalars)})"
+            )
+    interp.run(fn, call_args)
+    return {
+        key: numpy_from_buffer(buf, dtype, shape)
+        for key, (buf, dtype, shape) in buffers.items()
+    }

@@ -1,0 +1,320 @@
+"""Textual ``.ll``-style printer for the mini-LLVM IR.
+
+Produces output that :mod:`repro.ir.parser` round-trips.  Unnamed values get
+function-local numeric slots the way ``llvm-as`` assigns them; metadata nodes
+are numbered module-wide and emitted at the bottom, with the customary
+self-referential first operand for ``!llvm.loop`` nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    ExtractValue,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertValue,
+    Instruction,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .metadata import MDNode, MDString, Metadata, ValueAsMetadata
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, GlobalValue, Value
+
+__all__ = ["print_module", "print_function", "print_instruction"]
+
+
+class _NameScope:
+    """Function-local unique naming with LLVM-style numeric slots."""
+
+    def __init__(self):
+        self.names: Dict[int, str] = {}
+        self.taken: set = set()
+        self.counter = 0
+
+    def assign(self, value: Value) -> str:
+        key = id(value)
+        if key in self.names:
+            return self.names[key]
+        base = value.name
+        if base:
+            name = base
+            suffix = 0
+            while name in self.taken:
+                suffix += 1
+                name = f"{base}.{suffix}"
+        else:
+            name = str(self.counter)
+            self.counter += 1
+        self.taken.add(name)
+        self.names[key] = name
+        return name
+
+    def get(self, value: Value) -> str:
+        return self.names.get(id(value)) or self.assign(value)
+
+
+class _MetadataNumbering:
+    def __init__(self):
+        self.ids: Dict[int, int] = {}
+        self.nodes: List[MDNode] = []
+
+    def number(self, node: MDNode) -> int:
+        key = id(node)
+        if key in self.ids:
+            return self.ids[key]
+        nid = len(self.nodes)
+        self.ids[key] = nid
+        self.nodes.append(node)
+        for op in node.operands:
+            if isinstance(op, MDNode):
+                self.number(op)
+        return nid
+
+
+def _value_ref(value: Value, scope: _NameScope) -> str:
+    if isinstance(value, GlobalValue):
+        return f"@{value.name}"
+    if isinstance(value, Constant):
+        return value.ref()
+    if isinstance(value, BasicBlock):
+        return f"%{scope.get(value)}"
+    return f"%{scope.get(value)}"
+
+
+def _typed_ref(value: Value, scope: _NameScope) -> str:
+    return f"{value.type} {_value_ref(value, scope)}"
+
+
+def _flags_str(inst: BinaryOperator) -> str:
+    parts = []
+    if getattr(inst, "nuw", False):
+        parts.append("nuw")
+    if getattr(inst, "nsw", False):
+        parts.append("nsw")
+    if getattr(inst, "exact", False):
+        parts.append("exact")
+    for flag in sorted(getattr(inst, "fast_math", ())):
+        parts.append(flag)
+    return (" " + " ".join(parts)) if parts else ""
+
+
+def print_instruction(
+    inst: Instruction,
+    scope: Optional[_NameScope] = None,
+    mdnum: Optional[_MetadataNumbering] = None,
+) -> str:
+    scope = scope or _NameScope()
+    text = _inst_body(inst, scope)
+    if mdnum is not None and inst.metadata:
+        for kind in sorted(inst.metadata):
+            nid = mdnum.number(inst.metadata[kind])
+            text += f", !{kind} !{nid}"
+    return text
+
+
+def _inst_body(inst: Instruction, scope: _NameScope) -> str:
+    def ref(v: Value) -> str:
+        return _value_ref(v, scope)
+
+    def result(body: str) -> str:
+        return f"%{scope.get(inst)} = {body}"
+
+    if isinstance(inst, BinaryOperator):
+        return result(
+            f"{inst.opcode}{_flags_str(inst)} {inst.type} {ref(inst.lhs)}, {ref(inst.rhs)}"
+        )
+    if isinstance(inst, ICmp):
+        return result(
+            f"icmp {inst.predicate} {inst.lhs.type} {ref(inst.lhs)}, {ref(inst.rhs)}"
+        )
+    if isinstance(inst, FCmp):
+        fm = " " + " ".join(sorted(inst.fast_math)) if inst.fast_math else ""
+        return result(
+            f"fcmp{fm} {inst.predicate} {inst.lhs.type} {ref(inst.lhs)}, {ref(inst.rhs)}"
+        )
+    if isinstance(inst, Alloca):
+        body = f"alloca {inst.allocated_type}"
+        if inst.array_size is not None:
+            body += f", {inst.array_size.type} {ref(inst.array_size)}"
+        if inst.align:
+            body += f", align {inst.align}"
+        return result(body)
+    if isinstance(inst, Load):
+        body = f"load {inst.type}, {inst.pointer.type} {ref(inst.pointer)}"
+        if inst.align:
+            body += f", align {inst.align}"
+        return result(body)
+    if isinstance(inst, Store):
+        body = (
+            f"store {inst.value.type} {ref(inst.value)}, "
+            f"{inst.pointer.type} {ref(inst.pointer)}"
+        )
+        if inst.align:
+            body += f", align {inst.align}"
+        return body
+    if isinstance(inst, GetElementPtr):
+        inb = "inbounds " if inst.inbounds else ""
+        parts = [f"{inst.source_type}", f"{inst.pointer.type} {ref(inst.pointer)}"]
+        parts += [f"{idx.type} {ref(idx)}" for idx in inst.indices]
+        return result(f"getelementptr {inb}{', '.join(parts)}")
+    if isinstance(inst, Cast):
+        return result(
+            f"{inst.opcode} {inst.value.type} {ref(inst.value)} to {inst.type}"
+        )
+    if isinstance(inst, Phi):
+        arms = ", ".join(
+            f"[ {ref(value)}, %{scope.get(block)} ]" for value, block in inst.incoming
+        )
+        return result(f"phi {inst.type} {arms}")
+    if isinstance(inst, Select):
+        return result(
+            f"select {_typed_ref(inst.condition, scope)}, "
+            f"{_typed_ref(inst.true_value, scope)}, "
+            f"{_typed_ref(inst.false_value, scope)}"
+        )
+    if isinstance(inst, Call):
+        args = ", ".join(_typed_ref(a, scope) for a in inst.args)
+        body = f"call {inst.callee.function_type.return_type} @{inst.callee.name}({args})"
+        if inst.type.is_void:
+            return body
+        return result(body)
+    if isinstance(inst, Freeze):
+        return result(f"freeze {_typed_ref(inst.value, scope)}")
+    if isinstance(inst, ExtractValue):
+        idx = ", ".join(str(i) for i in inst.indices)
+        return result(f"extractvalue {_typed_ref(inst.aggregate, scope)}, {idx}")
+    if isinstance(inst, InsertValue):
+        idx = ", ".join(str(i) for i in inst.indices)
+        return result(
+            f"insertvalue {_typed_ref(inst.aggregate, scope)}, "
+            f"{_typed_ref(inst.value, scope)}, {idx}"
+        )
+    if isinstance(inst, Return):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_typed_ref(inst.value, scope)}"
+    if isinstance(inst, CondBranch):
+        return (
+            f"br i1 {ref(inst.condition)}, "
+            f"label %{scope.get(inst.true_target)}, "
+            f"label %{scope.get(inst.false_target)}"
+        )
+    if isinstance(inst, Branch):
+        return f"br label %{scope.get(inst.target)}"
+    if isinstance(inst, Switch):
+        cases = " ".join(
+            f"{c.type} {c.ref()}, label %{scope.get(t)}" for c, t in inst.cases
+        )
+        return (
+            f"switch {_typed_ref(inst.value, scope)}, "
+            f"label %{scope.get(inst.default)} [ {cases} ]"
+        )
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise NotImplementedError(f"printing for {type(inst).__name__}")
+
+
+def _print_metadata_operand(
+    op: Optional[Metadata], mdnum: _MetadataNumbering, self_id: int
+) -> str:
+    if op is None:
+        return f"!{self_id}"
+    if isinstance(op, MDString):
+        return f'!"{op.text}"'
+    if isinstance(op, MDNode):
+        return f"!{mdnum.number(op)}"
+    if isinstance(op, ValueAsMetadata):
+        return f"{op.value.type} {op.value.ref()}"
+    raise NotImplementedError(f"metadata operand {op!r}")
+
+
+def print_function(fn: Function, mdnum: Optional[_MetadataNumbering] = None) -> str:
+    scope = _NameScope()
+    for arg in fn.arguments:
+        scope.assign(arg)
+    params = []
+    for arg in fn.arguments:
+        attrs = "".join(f" {a}" for a in sorted(arg.attributes))
+        params.append(f"{arg.type}{attrs} %{scope.get(arg)}")
+    if fn.function_type.vararg:
+        params.append("...")
+    sig = f"{fn.return_type} @{fn.name}({', '.join(params)})"
+    attrs = "".join(f" {a}" for a in sorted(fn.attributes))
+
+    if fn.is_declaration:
+        return f"declare {sig}{attrs}"
+
+    for block in fn.blocks:
+        scope.assign(block)
+    lines = [f"define {sig}{attrs} {{"]
+    for i, block in enumerate(fn.blocks):
+        if i:
+            lines.append("")
+        preds = block.predecessors
+        label = f"{scope.get(block)}:"
+        if preds:
+            pred_names = ", ".join(f"%{scope.get(p)}" for p in preds)
+            label += f"{' ' * max(1, 50 - len(label))}; preds = {pred_names}"
+        lines.append(label)
+        for inst in block.instructions:
+            lines.append("  " + print_instruction(inst, scope, mdnum))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    mdnum = _MetadataNumbering()
+    lines = [f"; ModuleID = '{module.name}'"]
+    if module.source_flow:
+        lines.append(f"; source-flow: {module.source_flow}")
+    lines.append(f"target triple = \"{module.target_triple}\"")
+    lines.append(
+        f"; pointer-mode: {'opaque' if module.opaque_pointers else 'typed'}"
+    )
+    lines.append("")
+    for g in module.globals:
+        kind = "constant" if g.constant else "global"
+        init = f" {g.initializer.ref()}" if g.initializer is not None else ""
+        align = f", align {g.align}" if g.align else ""
+        lines.append(f"@{g.name} = {g.linkage} {kind} {g.value_type}{init}{align}")
+    if module.globals:
+        lines.append("")
+    for fn in module.defined_functions():
+        lines.append(print_function(fn, mdnum))
+        lines.append("")
+    for fn in module.declarations():
+        lines.append(print_function(fn, mdnum))
+    if module.declarations():
+        lines.append("")
+    # Emit metadata nodes; numbering may grow while printing (nested nodes),
+    # so iterate by index.
+    md_lines = []
+    i = 0
+    while i < len(mdnum.nodes):
+        node = mdnum.nodes[i]
+        ops = ", ".join(
+            _print_metadata_operand(op, mdnum, i) for op in node.operands
+        )
+        distinct = "distinct " if node.distinct else ""
+        md_lines.append(f"!{i} = {distinct}!{{{ops}}}")
+        i += 1
+    if md_lines:
+        lines.extend(md_lines)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,99 @@
+"""Common subexpression elimination (EarlyCSE-style).
+
+Walks the dominator tree with a scoped hash table, replacing pure
+instructions whose (opcode, operands, immediates) key was already computed
+by a dominating instruction.  Loads are *not* CSE'd (no memory SSA here);
+address arithmetic, casts, comparisons, selects and GEPs are — which is
+what collapses the repeated subscript computation stencil kernels produce
+in both flows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.dominators import DominatorTree
+from ..instructions import (
+    BinaryOperator,
+    Cast,
+    ExtractValue,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Select,
+)
+from ..module import BasicBlock, Function
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["CommonSubexpressionElimination"]
+
+
+def _key_of(inst: Instruction) -> Optional[tuple]:
+    """Hashable identity of a pure computation; None when not CSE-able."""
+    if isinstance(inst, BinaryOperator):
+        operands = tuple(id(op) for op in inst.operands)
+        if inst.is_commutative:
+            operands = tuple(sorted(operands))
+        return ("bin", inst.opcode, operands, id(inst.type),
+                inst.nsw, inst.nuw, frozenset(inst.fast_math))
+    if isinstance(inst, ICmp):
+        return ("icmp", inst.predicate, id(inst.lhs), id(inst.rhs))
+    if isinstance(inst, FCmp):
+        return ("fcmp", inst.predicate, id(inst.lhs), id(inst.rhs),
+                frozenset(inst.fast_math))
+    if isinstance(inst, Cast):
+        return ("cast", inst.opcode, id(inst.value), id(inst.type))
+    if isinstance(inst, Select):
+        return ("select", id(inst.condition), id(inst.true_value),
+                id(inst.false_value))
+    if isinstance(inst, GetElementPtr):
+        return ("gep", id(inst.source_type), inst.inbounds,
+                tuple(id(op) for op in inst.operands))
+    if isinstance(inst, ExtractValue):
+        return ("extract", id(inst.aggregate), inst.indices)
+    return None
+
+
+class CommonSubexpressionElimination(FunctionPass):
+    name = "cse"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        if not fn.blocks:
+            return
+        domtree = DominatorTree(fn)
+        scopes: List[Dict[tuple, Instruction]] = []
+
+        def visit(block: BasicBlock) -> None:
+            scopes.append({})
+            for inst in list(block.instructions):
+                key = _key_of(inst)
+                if key is None:
+                    continue
+                existing = self._lookup(scopes, key)
+                if existing is not None and existing.type is inst.type:
+                    inst.replace_all_uses_with(existing)
+                    inst.erase_from_parent()
+                    stats.bump("cse-eliminated")
+                else:
+                    scopes[-1][key] = inst
+            for child in domtree.children(block):
+                visit(child)
+            scopes.pop()
+
+        import sys
+
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 10 * len(fn.blocks) + 1000))
+        try:
+            visit(fn.entry)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    @staticmethod
+    def _lookup(scopes: List[Dict[tuple, Instruction]], key: tuple):
+        for scope in reversed(scopes):
+            found = scope.get(key)
+            if found is not None:
+                return found
+        return None

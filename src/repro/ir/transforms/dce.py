@@ -1,0 +1,65 @@
+"""Dead code elimination: removes unused side-effect-free instructions and
+unreachable blocks."""
+
+from __future__ import annotations
+
+from ..analysis.cfg import reachable_blocks
+from ..instructions import Instruction, Phi
+from ..module import Function
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["DeadCodeElimination"]
+
+
+class DeadCodeElimination(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        self._remove_unreachable_blocks(fn, stats)
+        # Iterate to a fixed point: erasing one instruction may orphan its
+        # operands' only uses.
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for inst in reversed(list(block.instructions)):
+                    if inst.is_used or inst.has_side_effects or inst.is_terminator:
+                        continue
+                    inst.erase_from_parent()
+                    stats.bump("dead-instruction")
+                    changed = True
+
+    def _remove_unreachable_blocks(self, fn: Function, stats: PassStatistics) -> None:
+        reachable = reachable_blocks(fn)
+        dead = [b for b in fn.blocks if id(b) not in reachable]
+        if not dead:
+            return
+        dead_ids = {id(b) for b in dead}
+        # Detach phi edges coming from dead blocks first.
+        for block in fn.blocks:
+            if id(block) in dead_ids:
+                continue
+            for phi in block.phis():
+                for _value, pred in list(phi.incoming):
+                    if id(pred) in dead_ids:
+                        phi.remove_incoming(pred)
+        # Dead blocks may reference each other; drop operands then remove.
+        for block in dead:
+            for inst in list(block.instructions):
+                # Uses of this instruction can only live in dead blocks too.
+                for use in list(inst.uses):
+                    user = use.user
+                    if isinstance(user, Instruction) and (
+                        user.parent is None or id(user.parent) in dead_ids
+                    ):
+                        continue
+                    raise RuntimeError(
+                        f"unreachable-block instruction {inst!r} used from live code"
+                    )
+                inst.drop_all_operands()
+        for block in dead:
+            block.instructions.clear()
+            block.uses.clear()
+            fn.blocks.remove(block)
+            block.parent = None
+            stats.bump("unreachable-block")

@@ -1,0 +1,154 @@
+"""Peephole instruction combining.
+
+A small but real subset of LLVM's instcombine, focused on the patterns the
+MLIR lowering and the C frontend actually produce: identity arithmetic
+(x+0, x*1, x*0, x-x), double casts, redundant selects, and strength
+reduction of multiply-by-power-of-two (relevant for HLS area: shifts are
+free, multipliers cost DSPs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instructions import BinaryOperator, Cast, ICmp, Instruction, Select
+from ..module import Function
+from ..types import IntegerType
+from ..values import ConstantFloat, ConstantInt, Value
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["InstCombine"]
+
+
+def _as_int_const(value: Value) -> Optional[int]:
+    return value.value if isinstance(value, ConstantInt) else None
+
+
+def _as_float_const(value: Value) -> Optional[float]:
+    return value.value if isinstance(value, ConstantFloat) else None
+
+
+class InstCombine(FunctionPass):
+    name = "instcombine"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    replacement = self._simplify(inst, stats)
+                    if replacement is not None:
+                        inst.replace_all_uses_with(replacement)
+                        if not inst.is_used:
+                            inst.erase_from_parent()
+                        changed = True
+
+    def _simplify(self, inst: Instruction, stats: PassStatistics) -> Optional[Value]:
+        if isinstance(inst, BinaryOperator):
+            return self._simplify_binop(inst, stats)
+        if isinstance(inst, Cast):
+            return self._simplify_cast(inst, stats)
+        if isinstance(inst, Select):
+            if inst.true_value is inst.false_value:
+                stats.bump("select-same-arms")
+                return inst.true_value
+            cond = inst.condition
+            if isinstance(cond, ConstantInt):
+                stats.bump("select-const-cond")
+                return inst.true_value if cond.value else inst.false_value
+        return None
+
+    def _simplify_binop(self, inst: BinaryOperator, stats: PassStatistics) -> Optional[Value]:
+        op = inst.opcode
+        lhs, rhs = inst.lhs, inst.rhs
+        # Canonicalise constants to the right for commutative ops.
+        if inst.is_commutative and isinstance(lhs, (ConstantInt, ConstantFloat)) and not isinstance(
+            rhs, (ConstantInt, ConstantFloat)
+        ):
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            lhs, rhs = inst.lhs, inst.rhs
+            stats.bump("commuted")
+        rc = _as_int_const(rhs)
+        if op == "add" and rc == 0:
+            stats.bump("add-zero")
+            return lhs
+        if op == "sub":
+            if rc == 0:
+                stats.bump("sub-zero")
+                return lhs
+            if lhs is rhs and isinstance(inst.type, IntegerType):
+                stats.bump("sub-self")
+                return ConstantInt(inst.type, 0)
+        if op == "mul":
+            if rc == 1:
+                stats.bump("mul-one")
+                return lhs
+            if rc == 0:
+                stats.bump("mul-zero")
+                return ConstantInt(inst.type, 0)
+            if rc is not None and rc > 1 and (rc & (rc - 1)) == 0:
+                # Strength-reduce mul by 2^k to shl (saves a DSP in HLS).
+                shift = BinaryOperator(
+                    "shl", lhs, ConstantInt(inst.type, rc.bit_length() - 1), inst.name
+                )
+                inst.parent.insert_before(inst, shift)
+                stats.bump("mul-to-shl")
+                return shift
+        if op in ("sdiv", "udiv") and rc == 1:
+            stats.bump("div-one")
+            return lhs
+        if op in ("and", "or"):
+            if lhs is rhs:
+                stats.bump(f"{op}-self")
+                return lhs
+            if op == "and" and rc == 0:
+                stats.bump("and-zero")
+                return ConstantInt(inst.type, 0)
+            if op == "or" and rc == 0:
+                stats.bump("or-zero")
+                return lhs
+        if op == "xor":
+            if lhs is rhs and isinstance(inst.type, IntegerType):
+                stats.bump("xor-self")
+                return ConstantInt(inst.type, 0)
+            if rc == 0:
+                stats.bump("xor-zero")
+                return lhs
+        if op in ("shl", "lshr", "ashr") and rc == 0:
+            stats.bump("shift-zero")
+            return lhs
+        frc = _as_float_const(rhs)
+        if op in ("fadd", "fsub") and frc == 0.0:
+            stats.bump("fadd-zero")
+            return lhs
+        if op in ("fmul", "fdiv") and frc == 1.0:
+            stats.bump("fmul-one")
+            return lhs
+        return None
+
+    def _simplify_cast(self, inst: Cast, stats: PassStatistics) -> Optional[Value]:
+        value = inst.value
+        if inst.opcode == "bitcast":
+            if value.type is inst.type:
+                stats.bump("bitcast-noop")
+                return value
+            if (
+                isinstance(value, Cast)
+                and value.opcode == "bitcast"
+                and value.value.type is inst.type
+            ):
+                stats.bump("bitcast-pair")
+                return value.value
+        # sext/zext of a narrower cast chain to the same original width.
+        if inst.opcode in ("sext", "zext") and isinstance(value, Cast):
+            inner = value
+            if inner.opcode == "trunc" and inner.value.type is inst.type:
+                # (sext (trunc x)) is only x when the truncation is lossless;
+                # we can't prove that locally, so leave it alone.
+                return None
+        if inst.opcode in ("trunc", "sext", "zext") and value.type is inst.type:
+            stats.bump("cast-noop")
+            return value
+        return None

@@ -1,0 +1,161 @@
+"""Promote scalar allocas to SSA registers (classic mem2reg).
+
+An alloca is promotable when every use is a scalar ``load``/``store`` of the
+allocated type through the alloca pointer directly (no GEPs, no escapes).
+Phi placement uses iterated dominance frontiers; renaming walks the
+dominator tree.
+
+This pass is load-bearing for the baseline HLS-C++ flow: the C frontend
+generates allocas for every local variable, and without promotion the HLS
+scheduler would serialise everything through memory ports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..analysis.cfg import reachable_blocks
+from ..analysis.dominators import DominatorTree
+from ..instructions import Alloca, Instruction, Load, Phi, Store
+from ..module import BasicBlock, Function
+from ..values import UndefValue, Value
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["Mem2Reg"]
+
+
+def _is_promotable(alloca: Alloca) -> bool:
+    if not alloca.allocated_type.is_scalar:
+        return False
+    if alloca.array_size is not None:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, Load):
+            if user.type is not alloca.allocated_type:
+                return False
+        elif isinstance(user, Store):
+            # The alloca must be the *pointer*, not the stored value.
+            if user.pointer is not alloca or user.value is alloca:
+                return False
+            if user.value.type is not alloca.allocated_type:
+                return False
+        else:
+            return False
+    return True
+
+
+class Mem2Reg(FunctionPass):
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        if not fn.blocks:
+            return
+        allocas = [
+            inst
+            for block in fn.blocks
+            for inst in block.instructions
+            if isinstance(inst, Alloca) and _is_promotable(inst)
+        ]
+        if not allocas:
+            return
+        domtree = DominatorTree(fn)
+        frontier = domtree.dominance_frontier()
+        reachable = reachable_blocks(fn)
+
+        for alloca in allocas:
+            self._promote(fn, alloca, domtree, frontier, reachable, stats)
+
+    def _promote(
+        self,
+        fn: Function,
+        alloca: Alloca,
+        domtree: DominatorTree,
+        frontier,
+        reachable,
+        stats: PassStatistics,
+    ) -> None:
+        stores = [u for u in alloca.users() if isinstance(u, Store)]
+        loads = [u for u in alloca.users() if isinstance(u, Load)]
+
+        # Fast path: no stores — loads read undef.
+        if not stores:
+            undef = UndefValue(alloca.allocated_type)
+            for load in loads:
+                load.replace_all_uses_with(undef)
+                load.erase_from_parent()
+            alloca.erase_from_parent()
+            stats.bump("promoted-undef")
+            return
+
+        # Phi placement on the iterated dominance frontier of defining blocks.
+        phi_blocks: Dict[int, Phi] = {}
+        worklist = [s.parent for s in stores if s.parent is not None]
+        placed: set = set()
+        while worklist:
+            block = worklist.pop()
+            if id(block) not in reachable:
+                continue
+            for df_block in frontier.get(id(block), []):
+                if id(df_block) in placed:
+                    continue
+                placed.add(id(df_block))
+                phi = Phi(alloca.allocated_type, alloca.name or "promoted")
+                pos = df_block.first_non_phi()
+                if pos is not None:
+                    df_block.insert_before(pos, phi)
+                else:
+                    df_block.append(phi)
+                phi_blocks[id(df_block)] = phi
+                worklist.append(df_block)
+
+        # Renaming walk over the dominator tree.
+        undef = UndefValue(alloca.allocated_type)
+        to_erase: List[Instruction] = []
+
+        def rename(block: BasicBlock, incoming: Value) -> None:
+            value = incoming
+            phi = phi_blocks.get(id(block))
+            if phi is not None:
+                value = phi
+            for inst in list(block.instructions):
+                if isinstance(inst, Load) and inst.pointer is alloca:
+                    inst.replace_all_uses_with(value)
+                    to_erase.append(inst)
+                elif isinstance(inst, Store) and inst.pointer is alloca:
+                    value = inst.value
+                    to_erase.append(inst)
+            for succ in block.successors:
+                succ_phi = phi_blocks.get(id(succ))
+                if succ_phi is not None:
+                    succ_phi.add_incoming(value, block)
+            for child in domtree.children(block):
+                rename(child, value)
+
+        import sys
+
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 10 * len(fn.blocks) + 1000))
+        try:
+            rename(fn.entry, undef)
+        finally:
+            sys.setrecursionlimit(old_limit)
+
+        for inst in to_erase:
+            inst.erase_from_parent()
+        # Unreachable blocks may still hold loads/stores of the alloca; drop
+        # their operand uses so the alloca can be erased (DCE removes them).
+        for use in list(alloca.uses):
+            user = use.user
+            if isinstance(user, (Load, Store)):
+                block = user.parent
+                if block is None or id(block) not in reachable:
+                    if isinstance(user, Load) and user.is_used:
+                        user.replace_all_uses_with(UndefValue(user.type))
+                    user.erase_from_parent()
+        alloca.erase_from_parent()
+        # Phis that never got an incoming edge (placed in unreachable blocks)
+        # are cleaned by DCE; phis missing edges from unreachable preds are
+        # consistent because predecessors() only reflects real CFG edges.
+        stats.bump("promoted-alloca")
+        stats.bump("placed-phi", len(phi_blocks))

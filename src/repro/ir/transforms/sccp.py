@@ -1,0 +1,202 @@
+"""Constant folding / propagation (a pragmatic SCCP-lite).
+
+Folds instructions whose operands are all constants, propagates the results,
+and turns conditional branches on constant conditions into unconditional
+branches (leaving the dead arm for DCE/SimplifyCFG to collect).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..instructions import (
+    BinaryOperator,
+    Branch,
+    Cast,
+    CondBranch,
+    FCmp,
+    Freeze,
+    ICmp,
+    Instruction,
+    Phi,
+    Select,
+)
+from ..module import Function
+from ..types import FloatType, IntegerType
+from ..values import Constant, ConstantFloat, ConstantInt, UndefValue, Value
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["SparseConditionalConstantPropagation", "fold_instruction"]
+
+
+def _fold_int_binop(opcode: str, type: IntegerType, l: int, r: int) -> Optional[int]:
+    ul = l & type.max_unsigned
+    ur = r & type.max_unsigned
+    if opcode == "add":
+        return type.wrap(l + r)
+    if opcode == "sub":
+        return type.wrap(l - r)
+    if opcode == "mul":
+        return type.wrap(l * r)
+    if opcode == "and":
+        return type.wrap(l & r)
+    if opcode == "or":
+        return type.wrap(l | r)
+    if opcode == "xor":
+        return type.wrap(l ^ r)
+    if opcode == "shl":
+        return type.wrap(l << (ur % type.width))
+    if opcode == "lshr":
+        return type.wrap(ul >> (ur % type.width))
+    if opcode == "ashr":
+        return type.wrap(l >> (ur % type.width))
+    if r != 0:
+        q = abs(l) // abs(r)
+        q = -q if (l < 0) != (r < 0) else q
+        if opcode == "sdiv":
+            return type.wrap(q)
+        if opcode == "srem":
+            return type.wrap(l - r * q)
+        if opcode == "udiv":
+            return type.wrap(ul // ur)
+        if opcode == "urem":
+            return type.wrap(ul % ur)
+    return None
+
+
+def _fold_float_binop(opcode: str, l: float, r: float) -> Optional[float]:
+    try:
+        if opcode == "fadd":
+            return l + r
+        if opcode == "fsub":
+            return l - r
+        if opcode == "fmul":
+            return l * r
+        if opcode == "fdiv":
+            return l / r if r != 0 else None
+        if opcode == "frem":
+            return math.fmod(l, r) if r != 0 else None
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+_ICMP = {
+    "eq": lambda l, r, ul, ur: l == r,
+    "ne": lambda l, r, ul, ur: l != r,
+    "slt": lambda l, r, ul, ur: l < r,
+    "sle": lambda l, r, ul, ur: l <= r,
+    "sgt": lambda l, r, ul, ur: l > r,
+    "sge": lambda l, r, ul, ur: l >= r,
+    "ult": lambda l, r, ul, ur: ul < ur,
+    "ule": lambda l, r, ul, ur: ul <= ur,
+    "ugt": lambda l, r, ul, ur: ul > ur,
+    "uge": lambda l, r, ul, ur: ul >= ur,
+}
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Fold ``inst`` to a constant if all relevant operands are constants."""
+    if isinstance(inst, BinaryOperator):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            value = _fold_int_binop(inst.opcode, inst.type, lhs.value, rhs.value)
+            if value is not None:
+                return ConstantInt(inst.type, value)
+        if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+            value = _fold_float_binop(inst.opcode, lhs.value, rhs.value)
+            if value is not None:
+                return ConstantFloat(inst.type, value)
+        return None
+    if isinstance(inst, ICmp):
+        lhs, rhs = inst.lhs, inst.rhs
+        if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+            src: IntegerType = lhs.type  # type: ignore[assignment]
+            result = _ICMP[inst.predicate](
+                lhs.value,
+                rhs.value,
+                lhs.value & src.max_unsigned,
+                rhs.value & src.max_unsigned,
+            )
+            from ..types import i1
+
+            return ConstantInt(i1, int(result))
+        return None
+    if isinstance(inst, Cast):
+        value = inst.value
+        if isinstance(value, ConstantInt):
+            if inst.opcode in ("sext", "trunc"):
+                return ConstantInt(inst.type, value.value)
+            if inst.opcode == "zext":
+                src = value.type
+                return ConstantInt(inst.type, value.value & src.max_unsigned)
+            if inst.opcode == "sitofp":
+                return ConstantFloat(inst.type, float(value.value))
+        if isinstance(value, ConstantFloat):
+            if inst.opcode in ("fptrunc", "fpext"):
+                return ConstantFloat(inst.type, value.value)
+            if inst.opcode == "fptosi":
+                return ConstantInt(inst.type, int(value.value))
+        return None
+    if isinstance(inst, Select) and isinstance(inst.condition, ConstantInt):
+        arm = inst.true_value if inst.condition.value else inst.false_value
+        return arm if isinstance(arm, Constant) else None
+    if isinstance(inst, Freeze) and isinstance(inst.value, Constant):
+        value = inst.value
+        if isinstance(value, UndefValue):
+            if isinstance(inst.type, IntegerType):
+                return ConstantInt(inst.type, 0)
+            if isinstance(inst.type, FloatType):
+                return ConstantFloat(inst.type, 0.0)
+            return None
+        return value
+    if isinstance(inst, Phi):
+        incoming = {id(v) for v, _b in inst.incoming}
+        values = [v for v, _b in inst.incoming]
+        if values and all(isinstance(v, Constant) for v in values):
+            first = values[0]
+            if all(v == first for v in values[1:]):
+                return first  # type: ignore[return-value]
+    return None
+
+
+class SparseConditionalConstantPropagation(FunctionPass):
+    name = "sccp"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    folded = fold_instruction(inst)
+                    if folded is not None and inst.is_used:
+                        inst.replace_all_uses_with(folded)
+                        stats.bump("folded")
+                        changed = True
+                term = block.terminator
+                if (
+                    isinstance(term, CondBranch)
+                    and isinstance(term.condition, ConstantInt)
+                ):
+                    target = (
+                        term.true_target
+                        if term.condition.value
+                        else term.false_target
+                    )
+                    dead = (
+                        term.false_target
+                        if term.condition.value
+                        else term.true_target
+                    )
+                    if dead is not target:
+                        for phi in dead.phis():
+                            phi.remove_incoming(block)
+                    new_term = Branch(target)
+                    block.instructions.remove(term)
+                    term.drop_all_operands()
+                    term.parent = None
+                    block.append(new_term)
+                    stats.bump("branch-folded")
+                    changed = True

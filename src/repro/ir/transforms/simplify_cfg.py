@@ -1,0 +1,124 @@
+"""CFG simplification: fold trivial phis, merge straight-line block pairs,
+and short-circuit empty forwarding blocks."""
+
+from __future__ import annotations
+
+from ..analysis.cfg import reachable_blocks
+from ..instructions import Branch, CondBranch, Phi
+from ..module import BasicBlock, Function
+from .pass_manager import FunctionPass, PassStatistics
+
+__all__ = ["SimplifyCFG"]
+
+
+class SimplifyCFG(FunctionPass):
+    name = "simplifycfg"
+
+    def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
+        changed = True
+        while changed:
+            changed = (
+                self._fold_single_incoming_phis(fn, stats)
+                or self._merge_into_single_predecessor(fn, stats)
+                or self._skip_forwarding_blocks(fn, stats)
+            )
+
+    def _fold_single_incoming_phis(self, fn: Function, stats: PassStatistics) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for phi in list(block.phis()):
+                incoming = phi.incoming
+                if len(incoming) == 1:
+                    value, _pred = incoming[0]
+                    phi.replace_all_uses_with(value)
+                    phi.erase_from_parent()
+                    stats.bump("single-incoming-phi")
+                    changed = True
+                elif len(incoming) > 1:
+                    distinct = {
+                        id(v) for v, _b in incoming if v is not phi
+                    }
+                    values = [v for v, _b in incoming if v is not phi]
+                    if len(distinct) == 1:
+                        phi.replace_all_uses_with(values[0])
+                        phi.erase_from_parent()
+                        stats.bump("identical-incoming-phi")
+                        changed = True
+        return changed
+
+    def _merge_into_single_predecessor(self, fn: Function, stats: PassStatistics) -> bool:
+        """Merge B into A when A's only successor is B and B's only
+        predecessor is A."""
+        reachable = reachable_blocks(fn)
+        for block in fn.blocks:
+            if id(block) not in reachable:
+                continue
+            term = block.terminator
+            if not isinstance(term, Branch) or isinstance(term, CondBranch):
+                continue
+            if term.metadata:
+                continue  # keep latch branches carrying loop directives
+            succ = term.target
+            if succ is block or succ is fn.entry:
+                continue
+            preds = succ.predecessors
+            if len(preds) != 1 or preds[0] is not block:
+                continue
+            if succ.phis():
+                # Single-incoming phis get folded first; retry next round.
+                continue
+            # Splice succ's instructions after removing our branch.
+            term.erase_from_parent()
+            for inst in list(succ.instructions):
+                inst.remove_from_parent()
+                block.append(inst)
+            succ.replace_all_uses_with(block)
+            succ.erase_from_parent()
+            stats.bump("merged-block")
+            return True
+        return False
+
+    def _skip_forwarding_blocks(self, fn: Function, stats: PassStatistics) -> bool:
+        """Redirect edges around blocks containing only ``br label %next``,
+        when the destination's phis don't need to distinguish the edge."""
+        for block in fn.blocks:
+            if block is fn.entry or len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if not isinstance(term, Branch) or isinstance(term, CondBranch):
+                continue
+            if term.metadata:
+                continue  # loop directives live on latch branches; keep them
+            dest = term.target
+            if dest is block:
+                continue
+            preds = block.predecessors
+            if not preds:
+                continue
+            dest_preds = set(id(p) for p in dest.predecessors)
+            # If any predecessor already branches to dest, rewiring would
+            # create a duplicate edge whose phi values could conflict.
+            if any(id(p) in dest_preds for p in preds):
+                continue
+            if dest.phis():
+                # Each phi in dest must take the same value regardless of
+                # which predecessor the control came through: the value for
+                # the (block -> dest) edge must be defined outside `block`
+                # (it is, since block has no defs besides the branch).
+                for phi in dest.phis():
+                    value = phi.incoming_value_for(block)
+                    if value is None:
+                        break
+                    phi.remove_incoming(block)
+                    for pred in preds:
+                        phi.add_incoming(value, pred)
+            for pred in preds:
+                pred_term = pred.terminator
+                for idx, op in enumerate(pred_term.operands):
+                    if op is block:
+                        pred_term.set_operand(idx, dest)
+            if not block.is_used:
+                block.erase_from_parent()
+            stats.bump("forwarding-block")
+            return True
+        return False

@@ -1,0 +1,179 @@
+"""Structural and SSA verification for the mini-LLVM IR.
+
+Checks the invariants every pass must preserve:
+
+* every block ends in exactly one terminator, and only the last
+  instruction is one;
+* phis are grouped at block heads and have exactly one incoming entry per
+  CFG predecessor;
+* every use is dominated by its definition (SSA dominance);
+* operand/parent bookkeeping (use lists, parent pointers) is coherent;
+* types line up where construction-time checks could be bypassed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .analysis.cfg import reachable_blocks
+from .analysis.dominators import DominatorTree
+from .instructions import Instruction, Phi
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, Value
+
+__all__ = ["VerificationError", "verify_module", "verify_function"]
+
+
+class VerificationError(Exception):
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+def verify_module(module: Module) -> None:
+    errors: List[str] = []
+    seen_names = set()
+    for fn in module.functions:
+        if fn.name in seen_names:
+            errors.append(f"duplicate function name @{fn.name}")
+        seen_names.add(fn.name)
+        errors.extend(_function_errors(fn))
+    for g in module.globals:
+        if g.name in seen_names:
+            errors.append(f"global @{g.name} collides with another symbol")
+        seen_names.add(g.name)
+    if errors:
+        raise VerificationError(errors)
+
+
+def verify_function(fn: Function) -> None:
+    errors = _function_errors(fn)
+    if errors:
+        raise VerificationError(errors)
+
+
+def _function_errors(fn: Function) -> List[str]:
+    errors: List[str] = []
+    if fn.is_declaration:
+        return errors
+
+    block_ids = {id(b) for b in fn.blocks}
+    for block in fn.blocks:
+        if block.parent is not fn:
+            errors.append(f"block %{block.name}: wrong parent pointer")
+        if not block.instructions:
+            errors.append(f"block %{block.name}: empty block")
+            continue
+        term = block.instructions[-1]
+        if not term.is_terminator:
+            errors.append(f"block %{block.name}: missing terminator")
+        for i, inst in enumerate(block.instructions):
+            if inst.parent is not block:
+                errors.append(f"%{block.name}: instruction {inst!r} wrong parent")
+            if inst.is_terminator and i != len(block.instructions) - 1:
+                errors.append(f"%{block.name}: terminator {inst!r} not at block end")
+            if isinstance(inst, Phi) and i > 0 and not isinstance(
+                block.instructions[i - 1], Phi
+            ):
+                errors.append(f"%{block.name}: phi {inst.ref()} not grouped at head")
+        if hasattr(term, "successors"):
+            for succ in term.successors:
+                if not isinstance(succ, BasicBlock):
+                    errors.append(f"%{block.name}: non-block branch target {succ!r}")
+                elif id(succ) not in block_ids:
+                    errors.append(
+                        f"%{block.name}: branch to block %{succ.name} outside function"
+                    )
+
+    # Use-list coherence for every instruction operand.
+    for block in fn.blocks:
+        for inst in block.instructions:
+            for idx, op in enumerate(inst.operands):
+                if not any(
+                    use.user is inst and use.index == idx for use in op.uses
+                ):
+                    errors.append(
+                        f"use-list broken: {inst!r} operand {idx} not in uses of {op!r}"
+                    )
+
+    # Phi incoming edges match predecessors exactly.
+    reachable = reachable_blocks(fn)
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        preds = [p for p in block.predecessors if id(p) in reachable]
+        pred_ids = {id(p) for p in preds}
+        for phi in block.phis():
+            incoming_ids = [id(b) for _v, b in phi.incoming]
+            # Every reachable predecessor needs an edge; extra edges from
+            # not-yet-collected unreachable blocks are tolerated (DCE's job).
+            if not pred_ids.issubset(set(incoming_ids)):
+                errors.append(
+                    f"%{block.name}: phi {phi.ref()} incoming blocks "
+                    f"{[b.name for _v, b in phi.incoming]} != preds "
+                    f"{[p.name for p in preds]}"
+                )
+            if len(incoming_ids) != len(set(incoming_ids)):
+                errors.append(
+                    f"%{block.name}: phi {phi.ref()} has duplicate incoming blocks"
+                )
+            for value, _b in phi.incoming:
+                if value.type is not phi.type and not isinstance(value, Constant):
+                    errors.append(
+                        f"%{block.name}: phi {phi.ref()} incoming type "
+                        f"{value.type} != {phi.type}"
+                    )
+
+    # SSA dominance of uses.
+    if not errors:
+        errors.extend(_dominance_errors(fn, reachable))
+    return errors
+
+
+def _dominance_errors(fn: Function, reachable) -> List[str]:
+    errors: List[str] = []
+    dt = DominatorTree(fn)
+    positions = {}
+    for block in fn.blocks:
+        for i, inst in enumerate(block.instructions):
+            positions[id(inst)] = (block, i)
+
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        for i, inst in enumerate(block.instructions):
+            for op_index, op in enumerate(inst.operands):
+                if not isinstance(op, Instruction):
+                    continue  # constants/args/blocks always dominate
+                if id(op) not in positions:
+                    errors.append(
+                        f"{inst!r} uses {op!r} which is not in any block of @{fn.name}"
+                    )
+                    continue
+                def_block, def_idx = positions[id(op)]
+                if id(def_block) not in reachable:
+                    continue  # defs in dead code can't break reachable uses... flag anyway
+                if isinstance(inst, Phi):
+                    # Use is "at the end of" the incoming block.
+                    if op_index % 2 == 0:
+                        pred = inst.get_operand(op_index + 1)
+                        if isinstance(pred, BasicBlock) and id(pred) in reachable:
+                            if not dt.dominates(def_block, pred):
+                                errors.append(
+                                    f"phi {inst.ref()}: incoming {op.ref()} from "
+                                    f"%{pred.name} not dominated by its def in "
+                                    f"%{def_block.name}"
+                                )
+                    continue
+                if def_block is block:
+                    if def_idx >= i:
+                        errors.append(
+                            f"{inst.ref()} in %{block.name} uses {op.ref()} "
+                            f"defined later in the same block"
+                        )
+                elif not dt.dominates(def_block, block):
+                    errors.append(
+                        f"{inst.ref()} in %{block.name} uses {op.ref()} whose "
+                        f"def in %{def_block.name} does not dominate it"
+                    )
+    return errors

@@ -1,0 +1,220 @@
+"""Affine expressions and maps — the arithmetic language of loop bounds and
+memory subscripts in the affine dialect."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "AffineExpr",
+    "AffineDim",
+    "AffineSymbol",
+    "AffineConstant",
+    "AffineBinary",
+    "AffineMap",
+    "d",
+    "s",
+    "c",
+]
+
+
+class AffineExpr:
+    def __add__(self, other) -> "AffineExpr":
+        return AffineBinary("+", self, _wrap(other))
+
+    def __radd__(self, other) -> "AffineExpr":
+        return AffineBinary("+", _wrap(other), self)
+
+    def __sub__(self, other) -> "AffineExpr":
+        return AffineBinary("-", self, _wrap(other))
+
+    def __rsub__(self, other) -> "AffineExpr":
+        return AffineBinary("-", _wrap(other), self)
+
+    def __mul__(self, other) -> "AffineExpr":
+        return AffineBinary("*", self, _wrap(other))
+
+    def __rmul__(self, other) -> "AffineExpr":
+        return AffineBinary("*", _wrap(other), self)
+
+    def __floordiv__(self, other) -> "AffineExpr":
+        return AffineBinary("floordiv", self, _wrap(other))
+
+    def __mod__(self, other) -> "AffineExpr":
+        return AffineBinary("mod", self, _wrap(other))
+
+    def evaluate(self, dims: Sequence[int], syms: Sequence[int] = ()) -> int:
+        raise NotImplementedError
+
+    def max_dim(self) -> int:
+        """Highest dim index referenced + 1 (0 when none)."""
+        raise NotImplementedError
+
+    def max_sym(self) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AffineExpr) and str(other) == str(self)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:
+        return f"<affine_expr {self}>"
+
+
+class AffineDim(AffineExpr):
+    def __init__(self, index: int):
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"d{self.index}"
+
+    def evaluate(self, dims, syms=()):
+        return dims[self.index]
+
+    def max_dim(self) -> int:
+        return self.index + 1
+
+    def max_sym(self) -> int:
+        return 0
+
+
+class AffineSymbol(AffineExpr):
+    def __init__(self, index: int):
+        self.index = index
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+    def evaluate(self, dims, syms=()):
+        return syms[self.index]
+
+    def max_dim(self) -> int:
+        return 0
+
+    def max_sym(self) -> int:
+        return self.index + 1
+
+
+class AffineConstant(AffineExpr):
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def evaluate(self, dims, syms=()):
+        return self.value
+
+    def max_dim(self) -> int:
+        return 0
+
+    def max_sym(self) -> int:
+        return 0
+
+
+class AffineBinary(AffineExpr):
+    def __init__(self, kind: str, lhs: AffineExpr, rhs: AffineExpr):
+        if kind not in ("+", "-", "*", "floordiv", "mod"):
+            raise ValueError(f"bad affine binary {kind!r}")
+        self.kind = kind
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __str__(self) -> str:
+        if self.kind in ("+", "-", "*"):
+            return f"({self.lhs} {self.kind} {self.rhs})"
+        return f"({self.lhs} {self.kind} {self.rhs})"
+
+    def evaluate(self, dims, syms=()):
+        l = self.lhs.evaluate(dims, syms)
+        r = self.rhs.evaluate(dims, syms)
+        if self.kind == "+":
+            return l + r
+        if self.kind == "-":
+            return l - r
+        if self.kind == "*":
+            return l * r
+        if self.kind == "floordiv":
+            return l // r
+        return l % r
+
+    def max_dim(self) -> int:
+        return max(self.lhs.max_dim(), self.rhs.max_dim())
+
+    def max_sym(self) -> int:
+        return max(self.lhs.max_sym(), self.rhs.max_sym())
+
+
+def _wrap(value: Union[int, AffineExpr]) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    return AffineConstant(int(value))
+
+
+def d(index: int) -> AffineDim:
+    return AffineDim(index)
+
+
+def s(index: int) -> AffineSymbol:
+    return AffineSymbol(index)
+
+
+def c(value: int) -> AffineConstant:
+    return AffineConstant(value)
+
+
+class AffineMap:
+    """``(d0, d1)[s0] -> (expr, ...)``."""
+
+    def __init__(self, num_dims: int, num_syms: int, results: Sequence[AffineExpr]):
+        self.num_dims = num_dims
+        self.num_syms = num_syms
+        self.results: Tuple[AffineExpr, ...] = tuple(_wrap(r) for r in results)
+        for r in self.results:
+            if r.max_dim() > num_dims or r.max_sym() > num_syms:
+                raise ValueError(
+                    f"affine expr {r} references beyond ({num_dims} dims, {num_syms} syms)"
+                )
+
+    @staticmethod
+    def constant(value: int) -> "AffineMap":
+        return AffineMap(0, 0, [AffineConstant(value)])
+
+    @staticmethod
+    def identity(num_dims: int) -> "AffineMap":
+        return AffineMap(num_dims, 0, [AffineDim(i) for i in range(num_dims)])
+
+    def is_constant(self) -> bool:
+        return all(isinstance(r, AffineConstant) for r in self.results)
+
+    def is_single_constant(self) -> bool:
+        return len(self.results) == 1 and isinstance(self.results[0], AffineConstant)
+
+    def single_constant(self) -> int:
+        if not self.is_single_constant():
+            raise ValueError(f"map {self} is not a single constant")
+        return self.results[0].value  # type: ignore[union-attr]
+
+    def evaluate(self, dims: Sequence[int], syms: Sequence[int] = ()) -> Tuple[int, ...]:
+        if len(dims) != self.num_dims or len(syms) != self.num_syms:
+            raise ValueError(
+                f"map {self} applied to {len(dims)} dims / {len(syms)} syms"
+            )
+        return tuple(r.evaluate(dims, syms) for r in self.results)
+
+    def __str__(self) -> str:
+        dims = ", ".join(f"d{i}" for i in range(self.num_dims))
+        syms = f"[{', '.join(f's{i}' for i in range(self.num_syms))}]" if self.num_syms else ""
+        results = ", ".join(str(r) for r in self.results)
+        return f"({dims}){syms} -> ({results})"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AffineMap) and str(other) == str(self)
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+    def __repr__(self) -> str:
+        return f"<AffineMap {self}>"

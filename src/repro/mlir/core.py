@@ -1,0 +1,598 @@
+"""Core structures of the mini-MLIR substrate: types, attributes, values,
+operations, blocks and regions.
+
+Operations are generic (name + operands + results + attributes + regions +
+successors) the way MLIR models them; dialect modules provide typed
+constructors and verification hooks on top.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "MLIRType",
+    "IndexType",
+    "IntType",
+    "FloatType",
+    "MemRefType",
+    "FunctionType",
+    "NoneType",
+    "Attribute",
+    "IntegerAttr",
+    "FloatAttr",
+    "StringAttr",
+    "BoolAttr",
+    "UnitAttr",
+    "ArrayAttr",
+    "DictAttr",
+    "TypeAttr",
+    "AffineMapAttr",
+    "FlatSymbolRefAttr",
+    "Value",
+    "OpResult",
+    "BlockArgument",
+    "Operation",
+    "Block",
+    "Region",
+    "index",
+    "i1",
+    "i32",
+    "i64",
+    "f32",
+    "f64",
+    "memref",
+]
+
+
+# -- types -----------------------------------------------------------------------
+
+
+class MLIRType:
+    _interned: Dict[tuple, "MLIRType"] = {}
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<mlir type {self}>"
+
+
+def _intern(key: tuple, factory) -> "MLIRType":
+    existing = MLIRType._interned.get(key)
+    if existing is None:
+        existing = factory()
+        MLIRType._interned[key] = existing
+    return existing
+
+
+class IndexType(MLIRType):
+    def __new__(cls) -> "IndexType":
+        return _intern(("index",), lambda: super(IndexType, cls).__new__(cls))
+
+    def __str__(self) -> str:
+        return "index"
+
+
+class IntType(MLIRType):
+    width: int
+
+    def __new__(cls, width: int) -> "IntType":
+        def make():
+            obj = super(IntType, cls).__new__(cls)
+            obj.width = width
+            return obj
+
+        return _intern(("int", width), make)
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(MLIRType):
+    kind: str
+
+    def __new__(cls, kind: str) -> "FloatType":
+        if kind not in ("f16", "f32", "f64"):
+            raise ValueError(f"bad float kind {kind}")
+
+        def make():
+            obj = super(FloatType, cls).__new__(cls)
+            obj.kind = kind
+            return obj
+
+        return _intern(("float", kind), make)
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+class NoneType(MLIRType):
+    def __new__(cls) -> "NoneType":
+        return _intern(("none",), lambda: super(NoneType, cls).__new__(cls))
+
+    def __str__(self) -> str:
+        return "none"
+
+
+class MemRefType(MLIRType):
+    """Static-shape memref (the only kind PolyBench needs)."""
+
+    shape: Tuple[int, ...]
+    element: MLIRType
+
+    def __new__(cls, shape: Sequence[int], element: MLIRType) -> "MemRefType":
+        shape_t = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape_t):
+            raise ValueError("dynamic memref shapes are out of scope")
+
+        def make():
+            obj = super(MemRefType, cls).__new__(cls)
+            obj.shape = shape_t
+            obj.element = element
+            return obj
+
+        return _intern(("memref", shape_t, element), make)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"memref<{dims}x{self.element}>" if dims else f"memref<{self.element}>"
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    def strides(self) -> Tuple[int, ...]:
+        """Row-major (identity layout) strides in elements."""
+        out = []
+        acc = 1
+        for dim in reversed(self.shape):
+            out.append(acc)
+            acc *= dim
+        return tuple(reversed(out))
+
+
+class FunctionType(MLIRType):
+    inputs: Tuple[MLIRType, ...]
+    results: Tuple[MLIRType, ...]
+
+    def __new__(cls, inputs: Sequence[MLIRType], results: Sequence[MLIRType]) -> "FunctionType":
+        ins, outs = tuple(inputs), tuple(results)
+
+        def make():
+            obj = super(FunctionType, cls).__new__(cls)
+            obj.inputs = ins
+            obj.results = outs
+            return obj
+
+        return _intern(("function", ins, outs), make)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        if len(self.results) == 1:
+            return f"({ins}) -> {self.results[0]}"
+        outs = ", ".join(str(t) for t in self.results)
+        return f"({ins}) -> ({outs})"
+
+
+index = IndexType()
+i1 = IntType(1)
+i32 = IntType(32)
+i64 = IntType(64)
+f32 = FloatType("f32")
+f64 = FloatType("f64")
+
+
+def memref(*shape_then_element) -> MemRefType:
+    """``memref(16, 16, f32)`` → ``memref<16x16xf32>``."""
+    *shape, element = shape_then_element
+    return MemRefType(shape, element)
+
+
+# -- attributes -------------------------------------------------------------------
+
+
+class Attribute:
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<attr {self}>"
+
+    def __eq__(self, other) -> bool:
+        return type(other) is type(self) and other.__dict__ == self.__dict__
+
+    def __hash__(self) -> int:
+        return hash(str(self))
+
+
+class IntegerAttr(Attribute):
+    def __init__(self, value: int, type: MLIRType = i64):
+        self.value = int(value)
+        self.type = type
+
+    def __str__(self) -> str:
+        if isinstance(self.type, IndexType):
+            return f"{self.value} : index"
+        return f"{self.value} : {self.type}"
+
+
+class FloatAttr(Attribute):
+    def __init__(self, value: float, type: MLIRType = f64):
+        self.value = float(value)
+        self.type = type
+
+    def __str__(self) -> str:
+        text = repr(self.value)
+        if "." not in text and "e" not in text and "inf" not in text and "nan" not in text:
+            text += ".0"
+        return f"{text} : {self.type}"
+
+
+class StringAttr(Attribute):
+    def __init__(self, value: str):
+        self.value = value
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+class BoolAttr(Attribute):
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+class UnitAttr(Attribute):
+    def __str__(self) -> str:
+        return "unit"
+
+
+class ArrayAttr(Attribute):
+    def __init__(self, items: Sequence[Attribute]):
+        self.items = tuple(items)
+
+    def __str__(self) -> str:
+        return f"[{', '.join(str(i) for i in self.items)}]"
+
+
+class DictAttr(Attribute):
+    def __init__(self, entries: Dict[str, Attribute]):
+        self.entries = dict(entries)
+
+    def __str__(self) -> str:
+        body = ", ".join(f"{k} = {v}" for k, v in sorted(self.entries.items()))
+        return f"{{{body}}}"
+
+
+class TypeAttr(Attribute):
+    def __init__(self, type: MLIRType):
+        self.type = type
+
+    def __str__(self) -> str:
+        return str(self.type)
+
+
+class AffineMapAttr(Attribute):
+    def __init__(self, map):
+        self.map = map  # affine.AffineMap
+
+    def __str__(self) -> str:
+        return f"affine_map<{self.map}>"
+
+
+class FlatSymbolRefAttr(Attribute):
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+
+    def __str__(self) -> str:
+        return f"@{self.symbol}"
+
+
+# -- SSA values -----------------------------------------------------------------
+
+
+class _Use:
+    __slots__ = ("op", "index")
+
+    def __init__(self, op: "Operation", index: int):
+        self.op = op
+        self.index = index
+
+
+class Value:
+    def __init__(self, type: MLIRType):
+        self.type = type
+        self.uses: List[_Use] = []
+
+    @property
+    def is_used(self) -> bool:
+        return bool(self.uses)
+
+    def users(self) -> List["Operation"]:
+        seen: List[Operation] = []
+        for use in self.uses:
+            if use.op not in seen:
+                seen.append(use.op)
+        return seen
+
+    def replace_all_uses_with(self, new: "Value") -> int:
+        if new is self:
+            return 0
+        count = 0
+        for use in list(self.uses):
+            use.op.set_operand(use.index, new)
+            count += 1
+        return count
+
+    @property
+    def owner(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class OpResult(Value):
+    def __init__(self, op: "Operation", index: int, type: MLIRType):
+        super().__init__(type)
+        self.op = op
+        self.index = index
+
+    @property
+    def owner(self) -> "Operation":
+        return self.op
+
+    def __repr__(self) -> str:
+        return f"<OpResult #{self.index} of {self.op.name}>"
+
+
+class BlockArgument(Value):
+    def __init__(self, block: "Block", index: int, type: MLIRType):
+        super().__init__(type)
+        self.block = block
+        self.index = index
+
+    @property
+    def owner(self) -> "Block":
+        return self.block
+
+    def __repr__(self) -> str:
+        return f"<BlockArgument #{self.index} {self.type}>"
+
+
+# -- operations / blocks / regions ---------------------------------------------------
+
+
+class Operation:
+    def __init__(
+        self,
+        name: str,
+        operands: Sequence[Value] = (),
+        result_types: Sequence[MLIRType] = (),
+        attributes: Optional[Dict[str, Attribute]] = None,
+        regions: int = 0,
+        successors: Sequence["Block"] = (),
+    ):
+        self.name = name
+        self._operands: List[Value] = []
+        self.attributes: Dict[str, Attribute] = dict(attributes or {})
+        self.results: List[OpResult] = [
+            OpResult(self, i, t) for i, t in enumerate(result_types)
+        ]
+        self.regions: List[Region] = [Region(self) for _ in range(regions)]
+        self.successors: List[Block] = list(successors)
+        self.parent: Optional[Block] = None
+        for operand in operands:
+            self.append_operand(operand)
+
+    # -- operands -----------------------------------------------------------------
+    @property
+    def operands(self) -> Tuple[Value, ...]:
+        return tuple(self._operands)
+
+    @property
+    def num_operands(self) -> int:
+        return len(self._operands)
+
+    def get_operand(self, index: int) -> Value:
+        return self._operands[index]
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self._operands[index]
+        if old is value:
+            return
+        for use in old.uses:
+            if use.op is self and use.index == index:
+                old.uses.remove(use)
+                break
+        self._operands[index] = value
+        value.uses.append(_Use(self, index))
+
+    def append_operand(self, value: Value) -> None:
+        index = len(self._operands)
+        self._operands.append(value)
+        value.uses.append(_Use(self, index))
+
+    def drop_all_operands(self) -> None:
+        for i in reversed(range(len(self._operands))):
+            old = self._operands[i]
+            for use in old.uses:
+                if use.op is self and use.index == i:
+                    old.uses.remove(use)
+                    break
+            del self._operands[i]
+
+    # -- results ---------------------------------------------------------------------
+    @property
+    def result(self) -> OpResult:
+        if len(self.results) != 1:
+            raise ValueError(f"{self.name} has {len(self.results)} results, not 1")
+        return self.results[0]
+
+    @property
+    def is_used(self) -> bool:
+        return any(r.is_used for r in self.results)
+
+    def replace_all_uses_with(self, values: Sequence[Value]) -> None:
+        if len(values) != len(self.results):
+            raise ValueError("result arity mismatch in RAUW")
+        for res, new in zip(self.results, values):
+            res.replace_all_uses_with(new)
+
+    # -- attributes ---------------------------------------------------------------------
+    def get_attr(self, key: str) -> Optional[Attribute]:
+        return self.attributes.get(key)
+
+    def set_attr(self, key: str, attr: Attribute) -> None:
+        self.attributes[key] = attr
+
+    def has_attr(self, key: str) -> bool:
+        return key in self.attributes
+
+    # -- structure ------------------------------------------------------------------------
+    @property
+    def dialect(self) -> str:
+        return self.name.split(".", 1)[0]
+
+    @property
+    def parent_op(self) -> Optional["Operation"]:
+        if self.parent is not None and self.parent.parent is not None:
+            return self.parent.parent.parent_op_of_region
+        return None
+
+    def erase(self) -> None:
+        if self.is_used:
+            raise RuntimeError(f"cannot erase {self.name}: results still used")
+        for region in self.regions:
+            region.drop_all()
+        if self.parent is not None:
+            self.parent.operations.remove(self)
+            self.parent = None
+        self.drop_all_operands()
+        self.successors.clear()
+
+    def remove_from_parent(self) -> None:
+        if self.parent is not None:
+            self.parent.operations.remove(self)
+            self.parent = None
+
+    def walk(self) -> Iterator["Operation"]:
+        """Pre-order traversal of this op and everything nested inside."""
+        yield self
+        for region in self.regions:
+            for block in region.blocks:
+                for op in list(block.operations):
+                    yield from op.walk()
+
+    def clone(self, value_map: Optional[Dict[int, Value]] = None) -> "Operation":
+        """Deep copy; ``value_map`` maps old value ids to replacement values
+        (callers pre-seed it with operand substitutions)."""
+        value_map = value_map if value_map is not None else {}
+        new_operands = [value_map.get(id(op), op) for op in self._operands]
+        clone = Operation(
+            self.name,
+            new_operands,
+            [r.type for r in self.results],
+            dict(self.attributes),
+            regions=0,
+            successors=list(self.successors),
+        )
+        for old_res, new_res in zip(self.results, clone.results):
+            value_map[id(old_res)] = new_res
+        for region in self.regions:
+            new_region = Region(clone)
+            clone.regions.append(new_region)
+            block_map: Dict[int, Block] = {}
+            for block in region.blocks:
+                new_block = Block([a.type for a in block.arguments])
+                new_region.append_block(new_block)
+                block_map[id(block)] = new_block
+                for old_arg, new_arg in zip(block.arguments, new_block.arguments):
+                    value_map[id(old_arg)] = new_arg
+            for block in region.blocks:
+                new_block = block_map[id(block)]
+                for op in block.operations:
+                    cloned = op.clone(value_map)
+                    cloned.successors = [
+                        block_map.get(id(s), s) for s in cloned.successors
+                    ]
+                    new_block.append(cloned)
+        return clone
+
+    def __repr__(self) -> str:
+        return f"<Operation {self.name}>"
+
+
+class Block:
+    def __init__(self, arg_types: Sequence[MLIRType] = ()):
+        self.arguments: List[BlockArgument] = [
+            BlockArgument(self, i, t) for i, t in enumerate(arg_types)
+        ]
+        self.operations: List[Operation] = []
+        self.parent: Optional[Region] = None
+
+    def add_argument(self, type: MLIRType) -> BlockArgument:
+        arg = BlockArgument(self, len(self.arguments), type)
+        self.arguments.append(arg)
+        return arg
+
+    def append(self, op: Operation) -> Operation:
+        op.parent = self
+        self.operations.append(op)
+        return op
+
+    def insert_before(self, position: Operation, op: Operation) -> Operation:
+        idx = self.operations.index(position)
+        op.parent = self
+        self.operations.insert(idx, op)
+        return op
+
+    @property
+    def terminator(self) -> Optional[Operation]:
+        return self.operations[-1] if self.operations else None
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __repr__(self) -> str:
+        return f"<Block args={len(self.arguments)} ops={len(self.operations)}>"
+
+
+class Region:
+    def __init__(self, parent_op: Optional[Operation] = None):
+        self.blocks: List[Block] = []
+        self.parent_op_of_region = parent_op
+
+    @property
+    def entry(self) -> Block:
+        if not self.blocks:
+            raise RuntimeError("region has no blocks")
+        return self.blocks[0]
+
+    def append_block(self, block: Block) -> Block:
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def add_block(self, arg_types: Sequence[MLIRType] = ()) -> Block:
+        return self.append_block(Block(arg_types))
+
+    def drop_all(self) -> None:
+        for block in self.blocks:
+            for op in list(block.operations):
+                for region in op.regions:
+                    region.drop_all()
+                op.drop_all_operands()
+                op.successors.clear()
+            block.operations.clear()
+        self.blocks.clear()
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)

@@ -1,0 +1,5 @@
+"""Dialect constructors for the mini-MLIR substrate."""
+
+from . import affine, arith, builtin, cf, func, math, memref, scf
+
+__all__ = ["affine", "arith", "builtin", "cf", "func", "math", "memref", "scf"]

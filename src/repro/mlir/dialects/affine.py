@@ -1,0 +1,219 @@
+"""affine dialect: loops and memory accesses governed by affine maps.
+
+``affine.for`` carries its bounds as affine maps over outer loop IVs (dims)
+plus symbols, which is what makes triangular PolyBench loop nests (syrk,
+trmm, seidel) expressible without control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..affine_expr import AffineConstant, AffineDim, AffineExpr, AffineMap
+from ..core import (
+    AffineMapAttr,
+    IndexType,
+    IntegerAttr,
+    MemRefType,
+    Operation,
+    Value,
+    index,
+)
+
+__all__ = ["ForOp", "for_", "yield_", "apply", "load", "store", "min_", "max_"]
+
+
+class ForOp:
+    """Wrapper over ``affine.for``."""
+
+    def __init__(self, op: Operation):
+        if op.name != "affine.for":
+            raise ValueError(f"not an affine.for: {op.name}")
+        self.op = op
+
+    # -- bound accessors ---------------------------------------------------------
+    @property
+    def lower_map(self) -> AffineMap:
+        return self.op.get_attr("lower_map").map  # type: ignore[union-attr]
+
+    @property
+    def upper_map(self) -> AffineMap:
+        return self.op.get_attr("upper_map").map  # type: ignore[union-attr]
+
+    @property
+    def step(self) -> int:
+        return self.op.get_attr("step").value  # type: ignore[union-attr]
+
+    @property
+    def lower_operands(self) -> Sequence[Value]:
+        n = self.op.get_attr("lower_count").value  # type: ignore[union-attr]
+        return self.op.operands[:n]
+
+    @property
+    def upper_operands(self) -> Sequence[Value]:
+        n_lower = self.op.get_attr("lower_count").value  # type: ignore[union-attr]
+        n_upper = self.op.get_attr("upper_count").value  # type: ignore[union-attr]
+        return self.op.operands[n_lower : n_lower + n_upper]
+
+    @property
+    def iter_init_operands(self) -> Sequence[Value]:
+        n_lower = self.op.get_attr("lower_count").value  # type: ignore[union-attr]
+        n_upper = self.op.get_attr("upper_count").value  # type: ignore[union-attr]
+        return self.op.operands[n_lower + n_upper :]
+
+    # -- body accessors -----------------------------------------------------------
+    @property
+    def body(self):
+        return self.op.regions[0].entry
+
+    @property
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    @property
+    def results(self):
+        return self.op.results
+
+    def constant_bounds(self) -> Optional[tuple]:
+        """(lower, upper) ints when both bounds are constant maps."""
+        if self.lower_map.is_single_constant() and self.upper_map.is_single_constant():
+            return self.lower_map.single_constant(), self.upper_map.single_constant()
+        return None
+
+    def trip_count(self) -> Optional[int]:
+        bounds = self.constant_bounds()
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        if hi <= lo:
+            return 0
+        return (hi - lo + self.step - 1) // self.step
+
+    def __repr__(self) -> str:
+        return f"<affine.for {self.lower_map} to {self.upper_map} step {self.step}>"
+
+
+def _as_map(bound: Union[int, AffineExpr, AffineMap]) -> AffineMap:
+    if isinstance(bound, AffineMap):
+        return bound
+    if isinstance(bound, AffineExpr):
+        return AffineMap(bound.max_dim(), bound.max_sym(), [bound])
+    return AffineMap.constant(int(bound))
+
+
+def for_(
+    lower: Union[int, AffineExpr, AffineMap],
+    upper: Union[int, AffineExpr, AffineMap],
+    step: int = 1,
+    lower_operands: Sequence[Value] = (),
+    upper_operands: Sequence[Value] = (),
+    iter_inits: Sequence[Value] = (),
+) -> ForOp:
+    """Build ``affine.for %iv = max(lower) to min(upper) step step``.
+
+    ``lower``/``upper`` accept a constant, an affine expression over
+    ``d0..dN`` (bound operands), or a full map.  The body block receives the
+    induction variable plus one argument per iter arg.
+    """
+    if step <= 0:
+        raise ValueError("affine.for step must be positive")
+    lower_map = _as_map(lower)
+    upper_map = _as_map(upper)
+    if len(lower_operands) != lower_map.num_dims + lower_map.num_syms:
+        raise ValueError(
+            f"lower bound map {lower_map} needs "
+            f"{lower_map.num_dims + lower_map.num_syms} operands, "
+            f"got {len(lower_operands)}"
+        )
+    if len(upper_operands) != upper_map.num_dims + upper_map.num_syms:
+        raise ValueError(
+            f"upper bound map {upper_map} needs "
+            f"{upper_map.num_dims + upper_map.num_syms} operands, "
+            f"got {len(upper_operands)}"
+        )
+    op = Operation(
+        "affine.for",
+        operands=[*lower_operands, *upper_operands, *iter_inits],
+        result_types=[v.type for v in iter_inits],
+        regions=1,
+    )
+    op.set_attr("lower_map", AffineMapAttr(lower_map))
+    op.set_attr("upper_map", AffineMapAttr(upper_map))
+    op.set_attr("step", IntegerAttr(step, index))
+    op.set_attr("lower_count", IntegerAttr(len(lower_operands), index))
+    op.set_attr("upper_count", IntegerAttr(len(upper_operands), index))
+    op.regions[0].add_block([index, *[v.type for v in iter_inits]])
+    return ForOp(op)
+
+
+def yield_(values: Sequence[Value] = ()) -> Operation:
+    return Operation("affine.yield", operands=values)
+
+
+def apply(map: Union[AffineExpr, AffineMap], operands: Sequence[Value]) -> Operation:
+    amap = _as_map(map)
+    if len(amap.results) != 1:
+        raise ValueError("affine.apply map must have one result")
+    if len(operands) != amap.num_dims + amap.num_syms:
+        raise ValueError(f"affine.apply map {amap} operand count mismatch")
+    op = Operation("affine.apply", operands=operands, result_types=[index])
+    op.set_attr("map", AffineMapAttr(amap))
+    return op
+
+
+def min_(map: AffineMap, operands: Sequence[Value]) -> Operation:
+    op = Operation("affine.min", operands=operands, result_types=[index])
+    op.set_attr("map", AffineMapAttr(map))
+    return op
+
+
+def max_(map: AffineMap, operands: Sequence[Value]) -> Operation:
+    op = Operation("affine.max", operands=operands, result_types=[index])
+    op.set_attr("map", AffineMapAttr(map))
+    return op
+
+
+def _access_map(ref: Value, indices: Sequence[Value], map: Optional[AffineMap]) -> AffineMap:
+    mtype = ref.type
+    if not isinstance(mtype, MemRefType):
+        raise TypeError(f"affine access on non-memref {ref.type}")
+    if map is None:
+        map = AffineMap.identity(len(indices))
+    if len(map.results) != mtype.rank:
+        raise TypeError(
+            f"affine access map arity {len(map.results)} != memref rank {mtype.rank}"
+        )
+    if len(indices) != map.num_dims + map.num_syms:
+        raise TypeError("affine access operand count mismatch with map")
+    return map
+
+
+def load(ref: Value, indices: Sequence[Value], map: Optional[AffineMap] = None) -> Operation:
+    amap = _access_map(ref, indices, map)
+    op = Operation(
+        "affine.load",
+        operands=[ref, *indices],
+        result_types=[ref.type.element],  # type: ignore[union-attr]
+    )
+    op.set_attr("map", AffineMapAttr(amap))
+    return op
+
+
+def store(
+    value: Value,
+    ref: Value,
+    indices: Sequence[Value],
+    map: Optional[AffineMap] = None,
+) -> Operation:
+    amap = _access_map(ref, indices, map)
+    if value.type is not ref.type.element:  # type: ignore[union-attr]
+        raise TypeError(
+            f"affine.store value type {value.type} != element {ref.type.element}"  # type: ignore[union-attr]
+        )
+    op = Operation("affine.store", operands=[value, ref, *indices])
+    op.set_attr("map", AffineMapAttr(amap))
+    return op

@@ -1,0 +1,188 @@
+"""arith dialect: constants, integer/float arithmetic, comparisons, casts."""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..core import (
+    FloatAttr,
+    FloatType,
+    IndexType,
+    IntType,
+    IntegerAttr,
+    MLIRType,
+    Operation,
+    StringAttr,
+    Value,
+    i1,
+)
+
+__all__ = [
+    "constant",
+    "addi", "subi", "muli", "divsi", "remsi", "floordivsi", "ceildivsi",
+    "andi", "ori", "xori", "shli", "shrsi",
+    "addf", "subf", "mulf", "divf", "negf",
+    "maxsi", "minsi", "maximumf", "minimumf",
+    "cmpi", "cmpf", "select",
+    "index_cast", "sitofp", "fptosi", "extf", "truncf", "trunci", "extsi",
+    "CMPI_PREDICATES", "CMPF_PREDICATES",
+]
+
+CMPI_PREDICATES = ("eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge")
+CMPF_PREDICATES = ("oeq", "ogt", "oge", "olt", "ole", "one", "ord", "ueq", "ugt",
+                   "uge", "ult", "ule", "une", "uno")
+
+
+def constant(value: Union[int, float], type: MLIRType) -> Operation:
+    op = Operation("arith.constant", result_types=[type])
+    if isinstance(type, (IntType, IndexType)):
+        op.set_attr("value", IntegerAttr(int(value), type))
+    elif isinstance(type, FloatType):
+        op.set_attr("value", FloatAttr(float(value), type))
+    else:
+        raise TypeError(f"arith.constant of type {type}")
+    return op
+
+
+def _binary(name: str, lhs: Value, rhs: Value) -> Operation:
+    if lhs.type is not rhs.type:
+        raise TypeError(f"{name}: operand types differ ({lhs.type} vs {rhs.type})")
+    return Operation(name, operands=[lhs, rhs], result_types=[lhs.type])
+
+
+def addi(l: Value, r: Value) -> Operation:
+    return _binary("arith.addi", l, r)
+
+
+def subi(l: Value, r: Value) -> Operation:
+    return _binary("arith.subi", l, r)
+
+
+def muli(l: Value, r: Value) -> Operation:
+    return _binary("arith.muli", l, r)
+
+
+def divsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.divsi", l, r)
+
+
+def remsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.remsi", l, r)
+
+
+def floordivsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.floordivsi", l, r)
+
+
+def ceildivsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.ceildivsi", l, r)
+
+
+def andi(l: Value, r: Value) -> Operation:
+    return _binary("arith.andi", l, r)
+
+
+def ori(l: Value, r: Value) -> Operation:
+    return _binary("arith.ori", l, r)
+
+
+def xori(l: Value, r: Value) -> Operation:
+    return _binary("arith.xori", l, r)
+
+
+def shli(l: Value, r: Value) -> Operation:
+    return _binary("arith.shli", l, r)
+
+
+def shrsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.shrsi", l, r)
+
+
+def addf(l: Value, r: Value) -> Operation:
+    return _binary("arith.addf", l, r)
+
+
+def subf(l: Value, r: Value) -> Operation:
+    return _binary("arith.subf", l, r)
+
+
+def mulf(l: Value, r: Value) -> Operation:
+    return _binary("arith.mulf", l, r)
+
+
+def divf(l: Value, r: Value) -> Operation:
+    return _binary("arith.divf", l, r)
+
+
+def maxsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.maxsi", l, r)
+
+
+def minsi(l: Value, r: Value) -> Operation:
+    return _binary("arith.minsi", l, r)
+
+
+def maximumf(l: Value, r: Value) -> Operation:
+    return _binary("arith.maximumf", l, r)
+
+
+def minimumf(l: Value, r: Value) -> Operation:
+    return _binary("arith.minimumf", l, r)
+
+
+def negf(value: Value) -> Operation:
+    return Operation("arith.negf", operands=[value], result_types=[value.type])
+
+
+def cmpi(predicate: str, lhs: Value, rhs: Value) -> Operation:
+    if predicate not in CMPI_PREDICATES:
+        raise ValueError(f"bad cmpi predicate {predicate!r}")
+    op = Operation("arith.cmpi", operands=[lhs, rhs], result_types=[i1])
+    op.set_attr("predicate", StringAttr(predicate))
+    return op
+
+
+def cmpf(predicate: str, lhs: Value, rhs: Value) -> Operation:
+    if predicate not in CMPF_PREDICATES:
+        raise ValueError(f"bad cmpf predicate {predicate!r}")
+    op = Operation("arith.cmpf", operands=[lhs, rhs], result_types=[i1])
+    op.set_attr("predicate", StringAttr(predicate))
+    return op
+
+
+def select(cond: Value, if_true: Value, if_false: Value) -> Operation:
+    if if_true.type is not if_false.type:
+        raise TypeError("arith.select arm types differ")
+    return Operation(
+        "arith.select",
+        operands=[cond, if_true, if_false],
+        result_types=[if_true.type],
+    )
+
+
+def index_cast(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.index_cast", operands=[value], result_types=[to_type])
+
+
+def sitofp(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.sitofp", operands=[value], result_types=[to_type])
+
+
+def fptosi(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.fptosi", operands=[value], result_types=[to_type])
+
+
+def extf(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.extf", operands=[value], result_types=[to_type])
+
+
+def truncf(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.truncf", operands=[value], result_types=[to_type])
+
+
+def trunci(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.trunci", operands=[value], result_types=[to_type])
+
+
+def extsi(value: Value, to_type: MLIRType) -> Operation:
+    return Operation("arith.extsi", operands=[value], result_types=[to_type])

@@ -1,0 +1,49 @@
+"""Builtin dialect: the top-level module op."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..core import Attribute, Operation, StringAttr
+
+__all__ = ["ModuleOp"]
+
+
+class ModuleOp:
+    """Convenience wrapper around the ``builtin.module`` operation."""
+
+    def __init__(self, name: str = "module"):
+        self.op = Operation("builtin.module", regions=1)
+        self.op.set_attr("sym_name", StringAttr(name))
+        self.op.regions[0].add_block()
+
+    @property
+    def name(self) -> str:
+        attr = self.op.get_attr("sym_name")
+        return attr.value if isinstance(attr, StringAttr) else "module"
+
+    @property
+    def body(self):
+        return self.op.regions[0].entry
+
+    def append(self, op: Operation) -> Operation:
+        return self.body.append(op)
+
+    def ops(self) -> List[Operation]:
+        return list(self.body.operations)
+
+    def lookup(self, symbol: str) -> Optional[Operation]:
+        for op in self.body.operations:
+            name_attr = op.get_attr("sym_name")
+            if isinstance(name_attr, StringAttr) and name_attr.value == symbol:
+                return op
+        return None
+
+    def functions(self) -> List[Operation]:
+        return [op for op in self.body.operations if op.name == "func.func"]
+
+    def walk(self) -> Iterator[Operation]:
+        yield from self.op.walk()
+
+    def __repr__(self) -> str:
+        return f"<ModuleOp {self.name!r} ops={len(self.body.operations)}>"

@@ -1,0 +1,41 @@
+"""cf dialect: unstructured branches between blocks (post scf lowering)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import Block, IntegerAttr, Operation, Value, i1, index
+
+__all__ = ["br", "cond_br"]
+
+
+def br(dest: Block, args: Sequence[Value] = ()) -> Operation:
+    if len(args) != len(dest.arguments):
+        raise TypeError(
+            f"cf.br passes {len(args)} args to block expecting {len(dest.arguments)}"
+        )
+    return Operation("cf.br", operands=args, successors=[dest])
+
+
+def cond_br(
+    condition: Value,
+    true_dest: Block,
+    true_args: Sequence[Value] = (),
+    false_dest: Block = None,
+    false_args: Sequence[Value] = (),
+) -> Operation:
+    if condition.type is not i1:
+        raise TypeError("cf.cond_br condition must be i1")
+    if len(true_args) != len(true_dest.arguments):
+        raise TypeError("cf.cond_br true-edge arg arity mismatch")
+    if false_dest is None:
+        raise TypeError("cf.cond_br requires a false destination")
+    if len(false_args) != len(false_dest.arguments):
+        raise TypeError("cf.cond_br false-edge arg arity mismatch")
+    op = Operation(
+        "cf.cond_br",
+        operands=[condition, *true_args, *false_args],
+        successors=[true_dest, false_dest],
+    )
+    op.set_attr("true_arg_count", IntegerAttr(len(true_args), index))
+    return op

@@ -1,0 +1,89 @@
+"""func dialect: function definition, return, call."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core import (
+    ArrayAttr,
+    FlatSymbolRefAttr,
+    FunctionType,
+    MLIRType,
+    Operation,
+    StringAttr,
+    TypeAttr,
+    Value,
+)
+
+__all__ = ["func", "return_", "call", "FuncOp"]
+
+
+class FuncOp:
+    """Wrapper over ``func.func`` with convenient body access."""
+
+    def __init__(self, op: Operation):
+        if op.name != "func.func":
+            raise ValueError(f"not a func.func: {op.name}")
+        self.op = op
+
+    @property
+    def sym_name(self) -> str:
+        return self.op.get_attr("sym_name").value  # type: ignore[union-attr]
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.op.get_attr("function_type").type  # type: ignore[union-attr]
+
+    @property
+    def body(self):
+        return self.op.regions[0]
+
+    @property
+    def entry(self):
+        return self.op.regions[0].entry
+
+    @property
+    def arguments(self):
+        return self.entry.arguments
+
+    @property
+    def arg_names(self) -> Sequence[str]:
+        attr = self.op.get_attr("arg_names")
+        if isinstance(attr, ArrayAttr):
+            return [a.value for a in attr.items]  # type: ignore[union-attr]
+        return [f"arg{i}" for i in range(len(self.arguments))]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.body.blocks
+
+    def __repr__(self) -> str:
+        return f"<FuncOp @{self.sym_name} : {self.function_type}>"
+
+
+def func(
+    name: str,
+    function_type: FunctionType,
+    arg_names: Sequence[str] = (),
+    declaration: bool = False,
+) -> FuncOp:
+    op = Operation("func.func", regions=1)
+    op.set_attr("sym_name", StringAttr(name))
+    op.set_attr("function_type", TypeAttr(function_type))
+    if arg_names:
+        op.set_attr("arg_names", ArrayAttr([StringAttr(n) for n in arg_names]))
+    if not declaration:
+        op.regions[0].add_block(function_type.inputs)
+    return FuncOp(op)
+
+
+def return_(values: Sequence[Value] = ()) -> Operation:
+    return Operation("func.return", operands=values)
+
+
+def call(
+    callee: str, args: Sequence[Value], result_types: Sequence[MLIRType] = ()
+) -> Operation:
+    op = Operation("func.call", operands=args, result_types=result_types)
+    op.set_attr("callee", FlatSymbolRefAttr(callee))
+    return op

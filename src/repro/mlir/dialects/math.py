@@ -1,0 +1,47 @@
+"""math dialect: elementary float functions."""
+
+from __future__ import annotations
+
+from ..core import Operation, Value
+
+__all__ = ["sqrt", "exp", "log", "sin", "cos", "absf", "powf", "fma"]
+
+
+def _unary(name: str, value: Value) -> Operation:
+    return Operation(name, operands=[value], result_types=[value.type])
+
+
+def sqrt(value: Value) -> Operation:
+    return _unary("math.sqrt", value)
+
+
+def exp(value: Value) -> Operation:
+    return _unary("math.exp", value)
+
+
+def log(value: Value) -> Operation:
+    return _unary("math.log", value)
+
+
+def sin(value: Value) -> Operation:
+    return _unary("math.sin", value)
+
+
+def cos(value: Value) -> Operation:
+    return _unary("math.cos", value)
+
+
+def absf(value: Value) -> Operation:
+    return _unary("math.absf", value)
+
+
+def powf(base: Value, exponent: Value) -> Operation:
+    if base.type is not exponent.type:
+        raise TypeError("math.powf operand types differ")
+    return Operation("math.powf", operands=[base, exponent], result_types=[base.type])
+
+
+def fma(a: Value, b: Value, c: Value) -> Operation:
+    if not (a.type is b.type is c.type):
+        raise TypeError("math.fma operand types differ")
+    return Operation("math.fma", operands=[a, b, c], result_types=[a.type])

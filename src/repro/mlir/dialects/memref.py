@@ -1,0 +1,57 @@
+"""memref dialect: allocation, load/store, copy."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import IndexType, MemRefType, Operation, Value
+
+__all__ = ["alloc", "alloca", "dealloc", "load", "store", "copy"]
+
+
+def alloc(type: MemRefType) -> Operation:
+    return Operation("memref.alloc", result_types=[type])
+
+
+def alloca(type: MemRefType) -> Operation:
+    return Operation("memref.alloca", result_types=[type])
+
+
+def dealloc(ref: Value) -> Operation:
+    return Operation("memref.dealloc", operands=[ref])
+
+
+def _check_indices(ref: Value, indices: Sequence[Value]) -> MemRefType:
+    mtype = ref.type
+    if not isinstance(mtype, MemRefType):
+        raise TypeError(f"memref op on non-memref value of type {ref.type}")
+    if len(indices) != mtype.rank:
+        raise TypeError(
+            f"memref access rank mismatch: {len(indices)} indices for {mtype}"
+        )
+    for idx in indices:
+        if not isinstance(idx.type, IndexType):
+            raise TypeError(f"memref index of type {idx.type}, expected index")
+    return mtype
+
+
+def load(ref: Value, indices: Sequence[Value]) -> Operation:
+    mtype = _check_indices(ref, indices)
+    return Operation(
+        "memref.load", operands=[ref, *indices], result_types=[mtype.element]
+    )
+
+
+def store(value: Value, ref: Value, indices: Sequence[Value]) -> Operation:
+    mtype = _check_indices(ref, indices)
+    if value.type is not mtype.element:
+        raise TypeError(
+            f"memref.store value type {value.type} != element type {mtype.element}"
+        )
+    return Operation("memref.store", operands=[value, ref, *indices])
+
+
+def copy(source: Value, target: Value) -> Operation:
+    if source.type is not target.type:
+        raise TypeError("memref.copy requires matching memref types")
+    return Operation("memref.copy", operands=[source, target])

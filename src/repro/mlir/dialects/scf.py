@@ -1,0 +1,116 @@
+"""scf dialect: structured control flow (for / if / yield)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import IndexType, MLIRType, Operation, Value, i1
+
+__all__ = ["ForOp", "IfOp", "for_", "if_", "yield_"]
+
+
+class ForOp:
+    def __init__(self, op: Operation):
+        if op.name != "scf.for":
+            raise ValueError(f"not an scf.for: {op.name}")
+        self.op = op
+
+    @property
+    def lower(self) -> Value:
+        return self.op.get_operand(0)
+
+    @property
+    def upper(self) -> Value:
+        return self.op.get_operand(1)
+
+    @property
+    def step(self) -> Value:
+        return self.op.get_operand(2)
+
+    @property
+    def iter_init_operands(self) -> Sequence[Value]:
+        return self.op.operands[3:]
+
+    @property
+    def body(self):
+        return self.op.regions[0].entry
+
+    @property
+    def induction_variable(self) -> Value:
+        return self.body.arguments[0]
+
+    @property
+    def iter_args(self) -> Sequence[Value]:
+        return self.body.arguments[1:]
+
+    @property
+    def results(self):
+        return self.op.results
+
+
+class IfOp:
+    def __init__(self, op: Operation):
+        if op.name != "scf.if":
+            raise ValueError(f"not an scf.if: {op.name}")
+        self.op = op
+
+    @property
+    def condition(self) -> Value:
+        return self.op.get_operand(0)
+
+    @property
+    def then_block(self):
+        return self.op.regions[0].entry
+
+    @property
+    def else_block(self):
+        return self.op.regions[1].entry
+
+    @property
+    def has_else(self) -> bool:
+        return bool(self.op.regions[1].blocks)
+
+    @property
+    def results(self):
+        return self.op.results
+
+
+def for_(
+    lower: Value,
+    upper: Value,
+    step: Value,
+    iter_inits: Sequence[Value] = (),
+) -> ForOp:
+    for bound in (lower, upper, step):
+        if not isinstance(bound.type, IndexType):
+            raise TypeError(f"scf.for bound of type {bound.type}, expected index")
+    op = Operation(
+        "scf.for",
+        operands=[lower, upper, step, *iter_inits],
+        result_types=[v.type for v in iter_inits],
+        regions=1,
+    )
+    from ..core import index
+
+    op.regions[0].add_block([index, *[v.type for v in iter_inits]])
+    return ForOp(op)
+
+
+def if_(
+    condition: Value,
+    result_types: Sequence[MLIRType] = (),
+    with_else: bool = False,
+) -> IfOp:
+    if condition.type is not i1:
+        raise TypeError("scf.if condition must be i1")
+    op = Operation(
+        "scf.if", operands=[condition], result_types=result_types, regions=2
+    )
+    op.regions[0].add_block()
+    if with_else or result_types:
+        op.regions[1].add_block()
+    return IfOp(op)
+
+
+def yield_(values: Sequence[Value] = ()) -> Operation:
+    return Operation("scf.yield", operands=values)

@@ -1,0 +1,347 @@
+"""Interpreter for structured mini-MLIR (func/affine/scf/arith/math/memref).
+
+This is the *source-level* oracle: workload tests compare it against the
+NumPy reference, and flow tests compare both lowered flows against it.
+"""
+
+from __future__ import annotations
+
+import math
+import struct as _struct
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .affine_expr import AffineMap
+from .core import (
+    FloatAttr,
+    FloatType,
+    IndexType,
+    IntType,
+    IntegerAttr,
+    MemRefType,
+    Operation,
+    Value,
+)
+from .dialects.affine import ForOp as AffineForOp
+from .dialects.builtin import ModuleOp
+from .dialects.func import FuncOp
+from .dialects.scf import ForOp as ScfForOp, IfOp
+
+__all__ = ["MLIRInterpreter", "MLIRInterpreterError", "run_mlir_kernel"]
+
+
+class MLIRInterpreterError(Exception):
+    pass
+
+
+_DTYPES = {"f32": np.float32, "f64": np.float64, "f16": np.float16}
+
+
+def _dtype_for(type: MemRefType):
+    element = type.element
+    if isinstance(element, FloatType):
+        return _DTYPES[element.kind]
+    if isinstance(element, IntType):
+        return {8: np.int8, 16: np.int16, 32: np.int32, 64: np.int64}[element.width]
+    raise MLIRInterpreterError(f"no dtype for memref element {element}")
+
+
+def _round(value: float, type) -> float:
+    if isinstance(type, FloatType) and type.kind == "f32":
+        return float(np.float32(value))
+    if isinstance(type, FloatType) and type.kind == "f16":
+        return float(np.float16(value))
+    return float(value)
+
+
+class MLIRInterpreter:
+    def __init__(self, module: ModuleOp, max_steps: int = 50_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.steps = 0
+
+    def run(self, name: str, args: Sequence) -> Optional[list]:
+        fn_op = self.module.lookup(name)
+        if fn_op is None or fn_op.name != "func.func":
+            raise MLIRInterpreterError(f"no func.func @{name}")
+        fn = FuncOp(fn_op)
+        if len(args) != len(fn.arguments):
+            raise MLIRInterpreterError(
+                f"@{name} expects {len(fn.arguments)} args, got {len(args)}"
+            )
+        env: Dict[int, object] = {}
+        for param, value in zip(fn.arguments, args):
+            if isinstance(param.type, MemRefType):
+                if not isinstance(value, np.ndarray):
+                    raise MLIRInterpreterError(
+                        f"memref argument needs ndarray, got {type(value)}"
+                    )
+                if value.shape != param.type.shape:
+                    raise MLIRInterpreterError(
+                        f"shape mismatch: {value.shape} vs {param.type.shape}"
+                    )
+            env[id(param)] = value
+        return self._run_block(fn.entry, env)
+
+    # -- execution -------------------------------------------------------------
+    def _run_block(self, block, env: Dict[int, object]) -> Optional[list]:
+        """Execute a structured block; returns func.return/yield values."""
+        for op in block.operations:
+            self.steps += 1
+            if self.steps > self.max_steps:
+                raise MLIRInterpreterError("step budget exceeded")
+            name = op.name
+            if name in ("func.return", "affine.yield", "scf.yield"):
+                return [env[id(v)] for v in op.operands]
+            results = self._execute(op, env)
+            for res, value in zip(op.results, results):
+                env[id(res)] = value
+        raise MLIRInterpreterError("structured block missing terminator")
+
+    def _v(self, value: Value, env) -> object:
+        key = id(value)
+        if key not in env:
+            raise MLIRInterpreterError(f"use of undefined value {value!r}")
+        return env[key]
+
+    def _execute(self, op: Operation, env) -> List[object]:
+        name = op.name
+        if name == "arith.constant":
+            attr = op.get_attr("value")
+            if isinstance(attr, IntegerAttr):
+                return [attr.value]
+            if isinstance(attr, FloatAttr):
+                return [_round(attr.value, op.results[0].type)]
+            raise MLIRInterpreterError(f"bad constant attr {attr}")
+        if name.startswith("arith.") or name.startswith("math."):
+            return self._arith(op, env)
+        if name.startswith("memref."):
+            return self._memref(op, env)
+        if name == "affine.apply":
+            amap: AffineMap = op.get_attr("map").map  # type: ignore[union-attr]
+            operands = [int(self._v(v, env)) for v in op.operands]
+            dims = operands[: amap.num_dims]
+            syms = operands[amap.num_dims :]
+            return [amap.evaluate(dims, syms)[0]]
+        if name in ("affine.min", "affine.max"):
+            amap = op.get_attr("map").map  # type: ignore[union-attr]
+            operands = [int(self._v(v, env)) for v in op.operands]
+            values = amap.evaluate(
+                operands[: amap.num_dims], operands[amap.num_dims :]
+            )
+            return [min(values) if name == "affine.min" else max(values)]
+        if name == "affine.load":
+            ref = self._v(op.get_operand(0), env)
+            amap = op.get_attr("map").map  # type: ignore[union-attr]
+            operands = [int(self._v(v, env)) for v in op.operands[1:]]
+            idx = amap.evaluate(operands[: amap.num_dims], operands[amap.num_dims :])
+            value = ref[tuple(idx)]
+            return [value.item() if hasattr(value, "item") else value]
+        if name == "affine.store":
+            value = self._v(op.get_operand(0), env)
+            ref = self._v(op.get_operand(1), env)
+            amap = op.get_attr("map").map  # type: ignore[union-attr]
+            operands = [int(self._v(v, env)) for v in op.operands[2:]]
+            idx = amap.evaluate(operands[: amap.num_dims], operands[amap.num_dims :])
+            ref[tuple(idx)] = value
+            return []
+        if name == "affine.for":
+            return self._affine_for(AffineForOp(op), env)
+        if name == "scf.for":
+            return self._scf_for(ScfForOp(op), env)
+        if name == "scf.if":
+            return self._scf_if(IfOp(op), env)
+        if name == "func.call":
+            callee = op.get_attr("callee").symbol  # type: ignore[union-attr]
+            args = [self._v(v, env) for v in op.operands]
+            result = self.run(callee, args)
+            return result or []
+        raise MLIRInterpreterError(f"no semantics for {name}")
+
+    def _affine_for(self, loop: AffineForOp, env) -> List[object]:
+        lower_ops = [int(self._v(v, env)) for v in loop.lower_operands]
+        upper_ops = [int(self._v(v, env)) for v in loop.upper_operands]
+        lmap, umap = loop.lower_map, loop.upper_map
+        lower = max(lmap.evaluate(lower_ops[: lmap.num_dims], lower_ops[lmap.num_dims :]))
+        upper = min(umap.evaluate(upper_ops[: umap.num_dims], upper_ops[umap.num_dims :]))
+        carried = [self._v(v, env) for v in loop.iter_init_operands]
+        iv_arg = loop.induction_variable
+        for iv in range(lower, upper, loop.step):
+            env[id(iv_arg)] = iv
+            for arg, value in zip(loop.iter_args, carried):
+                env[id(arg)] = value
+            carried = self._run_block(loop.body, env) or []
+        return carried
+
+    def _scf_for(self, loop: ScfForOp, env) -> List[object]:
+        lower = int(self._v(loop.lower, env))
+        upper = int(self._v(loop.upper, env))
+        step = int(self._v(loop.step, env))
+        carried = [self._v(v, env) for v in loop.iter_init_operands]
+        iv_arg = loop.induction_variable
+        for iv in range(lower, upper, step):
+            env[id(iv_arg)] = iv
+            for arg, value in zip(loop.iter_args, carried):
+                env[id(arg)] = value
+            carried = self._run_block(loop.body, env) or []
+        return carried
+
+    def _scf_if(self, if_op: IfOp, env) -> List[object]:
+        cond = self._v(if_op.condition, env)
+        if cond:
+            return self._run_block(if_op.then_block, env) or []
+        if if_op.has_else:
+            return self._run_block(if_op.else_block, env) or []
+        return []
+
+    def _memref(self, op: Operation, env) -> List[object]:
+        name = op.name
+        if name in ("memref.alloc", "memref.alloca"):
+            mtype: MemRefType = op.results[0].type  # type: ignore[assignment]
+            return [np.zeros(mtype.shape, dtype=_dtype_for(mtype))]
+        if name == "memref.dealloc":
+            return []
+        if name == "memref.load":
+            ref = self._v(op.get_operand(0), env)
+            idx = tuple(int(self._v(v, env)) for v in op.operands[1:])
+            return [ref[idx].item()]
+        if name == "memref.store":
+            value = self._v(op.get_operand(0), env)
+            ref = self._v(op.get_operand(1), env)
+            idx = tuple(int(self._v(v, env)) for v in op.operands[2:])
+            ref[idx] = value
+            return []
+        if name == "memref.copy":
+            src = self._v(op.get_operand(0), env)
+            dst = self._v(op.get_operand(1), env)
+            np.copyto(dst, src)
+            return []
+        raise MLIRInterpreterError(f"no semantics for {name}")
+
+    def _arith(self, op: Operation, env) -> List[object]:
+        name = op.name
+        args = [self._v(v, env) for v in op.operands]
+        rtype = op.results[0].type if op.results else None
+        binops = {
+            "arith.addi": lambda l, r: l + r,
+            "arith.subi": lambda l, r: l - r,
+            "arith.muli": lambda l, r: l * r,
+            "arith.divsi": lambda l, r: _trunc_div(l, r),
+            "arith.remsi": lambda l, r: l - r * _trunc_div(l, r),
+            "arith.floordivsi": lambda l, r: l // r,
+            "arith.ceildivsi": lambda l, r: -((-l) // r),
+            "arith.andi": lambda l, r: l & r,
+            "arith.ori": lambda l, r: l | r,
+            "arith.xori": lambda l, r: l ^ r,
+            "arith.shli": lambda l, r: l << r,
+            "arith.shrsi": lambda l, r: l >> r,
+            "arith.maxsi": max,
+            "arith.minsi": min,
+        }
+        if name in binops:
+            return [self._wrap_int(binops[name](int(args[0]), int(args[1])), rtype)]
+        fbinops = {
+            "arith.addf": lambda l, r: l + r,
+            "arith.subf": lambda l, r: l - r,
+            "arith.mulf": lambda l, r: l * r,
+            "arith.divf": lambda l, r: l / r,
+            "arith.maximumf": max,
+            "arith.minimumf": min,
+        }
+        if name in fbinops:
+            return [_round(fbinops[name](float(args[0]), float(args[1])), rtype)]
+        if name == "arith.negf":
+            return [_round(-float(args[0]), rtype)]
+        if name == "arith.cmpi":
+            pred = op.get_attr("predicate").value  # type: ignore[union-attr]
+            l, r = int(args[0]), int(args[1])
+            table = {
+                "eq": l == r, "ne": l != r,
+                "slt": l < r, "sle": l <= r, "sgt": l > r, "sge": l >= r,
+                "ult": l < r, "ule": l <= r, "ugt": l > r, "uge": l >= r,
+            }
+            return [int(table[pred])]
+        if name == "arith.cmpf":
+            pred = op.get_attr("predicate").value  # type: ignore[union-attr]
+            l, r = float(args[0]), float(args[1])
+            unordered = math.isnan(l) or math.isnan(r)
+            base = {
+                "eq": l == r, "gt": l > r, "ge": l >= r,
+                "lt": l < r, "le": l <= r, "ne": l != r,
+            }
+            if pred in ("ord",):
+                return [int(not unordered)]
+            if pred in ("uno",):
+                return [int(unordered)]
+            key = pred[1:]
+            if unordered:
+                return [int(pred.startswith("u"))]
+            return [int(base[key])]
+        if name == "arith.select":
+            return [args[1] if args[0] else args[2]]
+        if name in ("arith.index_cast", "arith.trunci", "arith.extsi"):
+            return [self._wrap_int(int(args[0]), rtype)]
+        if name == "arith.sitofp":
+            return [_round(float(int(args[0])), rtype)]
+        if name == "arith.fptosi":
+            return [self._wrap_int(int(args[0]), rtype)]
+        if name in ("arith.extf", "arith.truncf"):
+            return [_round(float(args[0]), rtype)]
+        math_unary = {
+            "math.sqrt": math.sqrt,
+            "math.exp": math.exp,
+            "math.log": math.log,
+            "math.sin": math.sin,
+            "math.cos": math.cos,
+            "math.absf": abs,
+        }
+        if name in math_unary:
+            return [_round(math_unary[name](float(args[0])), rtype)]
+        if name == "math.powf":
+            return [_round(math.pow(float(args[0]), float(args[1])), rtype)]
+        if name == "math.fma":
+            return [_round(float(args[0]) * float(args[1]) + float(args[2]), rtype)]
+        raise MLIRInterpreterError(f"no semantics for {name}")
+
+    @staticmethod
+    def _wrap_int(value: int, type) -> int:
+        if isinstance(type, IntType):
+            mask = (1 << type.width) - 1
+            value &= mask
+            if value > (mask >> 1):
+                value -= 1 << type.width
+        return value
+
+
+def _trunc_div(l: int, r: int) -> int:
+    q = abs(l) // abs(r)
+    return -q if (l < 0) != (r < 0) else q
+
+
+def run_mlir_kernel(
+    module: ModuleOp,
+    name: str,
+    arrays: Dict[str, np.ndarray],
+    scalars: Optional[Dict[str, object]] = None,
+) -> Dict[str, np.ndarray]:
+    """Run a kernel with named memref arguments; arrays are copied first and
+    the mutated copies returned."""
+    scalars = scalars or {}
+    fn_op = module.lookup(name)
+    if fn_op is None:
+        raise MLIRInterpreterError(f"no function @{name}")
+    fn = FuncOp(fn_op)
+    call_args: List[object] = []
+    out: Dict[str, np.ndarray] = {}
+    for arg, arg_name in zip(fn.arguments, fn.arg_names):
+        if arg_name in arrays:
+            copy = arrays[arg_name].copy()
+            out[arg_name] = copy
+            call_args.append(copy)
+        elif arg_name in scalars:
+            call_args.append(scalars[arg_name])
+        else:
+            raise MLIRInterpreterError(f"argument {arg_name!r} not supplied")
+    MLIRInterpreter(module).run(name, call_args)
+    return out

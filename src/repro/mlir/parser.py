@@ -1,0 +1,827 @@
+"""Parser for the mini-MLIR textual subset emitted by
+:mod:`repro.mlir.printer`.
+
+Covers the pretty forms of every dialect we print: modules, functions,
+``affine.for`` (constant and map bounds, iter_args), ``scf.for``/``scf.if``,
+the one-line arith/math/memref/affine ops, trailing user-attribute dicts,
+and ``affine_map<...>`` expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .affine_expr import (
+    AffineBinary,
+    AffineConstant,
+    AffineDim,
+    AffineExpr,
+    AffineMap,
+    AffineSymbol,
+)
+from .core import (
+    Block,
+    BoolAttr,
+    FloatAttr,
+    FloatType,
+    FunctionType,
+    IntType,
+    IntegerAttr,
+    MLIRType,
+    MemRefType,
+    Operation,
+    UnitAttr,
+    Value,
+    f32,
+    f64,
+    i1,
+    index,
+)
+from .dialects import affine, arith, func, math, memref as memref_dialect, scf
+from .dialects.builtin import ModuleOp
+
+__all__ = ["parse_mlir_module", "MLIRParseError", "parse_affine_map"]
+
+
+class MLIRParseError(Exception):
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>[ \t\r\n]+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<AFFINEMAP>affine_map<[^>]*->[^>]*>)
+  | (?P<MEMREF>memref<[^>]*>)
+  | (?P<SSA>%[A-Za-z0-9_.\-]+)
+  | (?P<SYMBOL>@[A-Za-z0-9_.\-]+)
+  | (?P<CARET>\^[A-Za-z0-9_]+)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<FLOAT>-?[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?|-?[0-9]+[eE][+-]?[0-9]+)
+  | (?P<INT>-?[0-9]+)
+  | (?P<ARROW>->)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_.$]*)
+  | (?P<PUNCT>[()\[\]{}<>,=:x*+])
+""",
+    re.VERBOSE,
+)
+
+
+class _Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+
+    def __repr__(self):
+        return f"_Tok({self.kind},{self.text!r})"
+
+
+def _tokenize(source: str) -> List[_Tok]:
+    out: List[_Tok] = []
+    pos, line = 0, 1
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            raise MLIRParseError(f"unexpected character {source[pos]!r}", line)
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "WS":
+            line += text.count("\n")
+        elif kind != "COMMENT":
+            out.append(_Tok(kind, text, line))
+        pos = m.end()
+    out.append(_Tok("EOF", "", line))
+    return out
+
+
+# -- affine map expression parsing -------------------------------------------
+
+
+def parse_affine_map(text: str) -> AffineMap:
+    """Parse ``(d0, d1)[s0] -> (expr, ...)`` (with or without the
+    ``affine_map<...>`` wrapper)."""
+    body = text.strip()
+    if body.startswith("affine_map<"):
+        body = body[len("affine_map<"):-1]
+    m = re.match(r"\(([^)]*)\)\s*(?:\[([^\]]*)\])?\s*->\s*\((.*)\)\s*$", body)
+    if m is None:
+        raise MLIRParseError(f"malformed affine map {text!r}")
+    dims = [d.strip() for d in m.group(1).split(",") if d.strip()]
+    syms = [s.strip() for s in (m.group(2) or "").split(",") if s.strip()]
+    results_src = _split_top_level(m.group(3))
+    env = {name: AffineDim(i) for i, name in enumerate(dims)}
+    env.update({name: AffineSymbol(i) for i, name in enumerate(syms)})
+    results = [_parse_affine_expr(r, env) for r in results_src]
+    return AffineMap(len(dims), len(syms), results)
+
+
+def _split_top_level(text: str) -> List[str]:
+    parts, depth, start = [], 0, 0
+    for i, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return [p.strip() for p in parts if p.strip()]
+
+
+_AFFINE_TOK = re.compile(
+    r"\s*(?:(?P<num>-?\d+)|(?P<id>[ds]\d+)|(?P<op>floordiv|mod|[-+*()]))"
+)
+
+
+def _parse_affine_expr(text: str, env: Dict[str, AffineExpr]) -> AffineExpr:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _AFFINE_TOK.match(text, pos)
+        if m is None:
+            if text[pos:].strip():
+                raise MLIRParseError(f"bad affine expr {text!r}")
+            break
+        tokens.append(m.group().strip())
+        pos = m.end()
+    pos_holder = [0]
+
+    def peek():
+        return tokens[pos_holder[0]] if pos_holder[0] < len(tokens) else None
+
+    def advance():
+        tok = peek()
+        pos_holder[0] += 1
+        return tok
+
+    def primary() -> AffineExpr:
+        tok = advance()
+        if tok == "(":
+            e = add_expr()
+            if advance() != ")":
+                raise MLIRParseError(f"unbalanced parens in {text!r}")
+            return e
+        if tok == "-":
+            return AffineConstant(0) - primary()
+        if tok is None:
+            raise MLIRParseError(f"truncated affine expr {text!r}")
+        if re.fullmatch(r"-?\d+", tok):
+            return AffineConstant(int(tok))
+        if tok in env:
+            return env[tok]
+        raise MLIRParseError(f"unknown affine id {tok!r} in {text!r}")
+
+    def mul_expr() -> AffineExpr:
+        e = primary()
+        while peek() in ("*", "floordiv", "mod"):
+            op = advance()
+            rhs = primary()
+            if op == "*":
+                e = e * rhs
+            elif op == "floordiv":
+                e = e // rhs
+            else:
+                e = e % rhs
+        return e
+
+    def add_expr() -> AffineExpr:
+        e = mul_expr()
+        while peek() in ("+", "-"):
+            op = advance()
+            rhs = mul_expr()
+            e = e + rhs if op == "+" else e - rhs
+        return e
+
+    result = add_expr()
+    if peek() is not None:
+        raise MLIRParseError(f"trailing tokens in affine expr {text!r}")
+    return result
+
+
+# -- the main parser ----------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.toks = _tokenize(source)
+        self.pos = 0
+        self.values: Dict[str, Value] = {}
+
+    # token utilities ---------------------------------------------------------
+    def peek(self, off: int = 0) -> _Tok:
+        return self.toks[min(self.pos + off, len(self.toks) - 1)]
+
+    def next(self) -> _Tok:
+        tok = self.toks[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[_Tok]:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Tok:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            raise MLIRParseError(f"expected {text or kind!r}, got {tok.text!r}", tok.line)
+        return tok
+
+    def error(self, msg: str) -> MLIRParseError:
+        return MLIRParseError(msg, self.peek().line)
+
+    # types ----------------------------------------------------------------------
+    def parse_type(self) -> MLIRType:
+        if self.peek().kind == "MEMREF":
+            tok = self.next()
+            body = tok.text[len("memref<"):-1]
+            m = re.fullmatch(r"((?:\d+x)*)(\w+)", body)
+            if m is None:
+                raise MLIRParseError(f"malformed memref type {tok.text!r}", tok.line)
+            dims = [int(d) for d in m.group(1).split("x") if d]
+            element_name = m.group(2)
+            if re.fullmatch(r"i\d+", element_name):
+                element: MLIRType = IntType(int(element_name[1:]))
+            elif element_name in ("f16", "f32", "f64"):
+                element = FloatType(element_name)
+            else:
+                raise MLIRParseError(
+                    f"bad memref element {element_name!r}", tok.line
+                )
+            return MemRefType(dims, element)
+        tok = self.expect("ID")
+        name = tok.text
+        if name == "index":
+            return index
+        if name == "none":
+            from .core import NoneType
+
+            return NoneType()
+        if re.fullmatch(r"i\d+", name):
+            return IntType(int(name[1:]))
+        if name in ("f16", "f32", "f64"):
+            return FloatType(name)
+        raise MLIRParseError(f"unknown type {name!r}", tok.line)
+
+    # attributes -----------------------------------------------------------------
+    def parse_attr(self):
+        tok = self.peek()
+        if tok.kind == "ID" and tok.text in ("true", "false"):
+            self.next()
+            return BoolAttr(tok.text == "true")
+        if tok.kind == "ID" and tok.text == "unit":
+            self.next()
+            return UnitAttr()
+        if tok.kind == "STRING":
+            self.next()
+            from .core import StringAttr
+
+            return StringAttr(tok.text[1:-1])
+        if tok.kind in ("INT", "FLOAT"):
+            self.next()
+            attr_type: MLIRType = index
+            if self.accept("PUNCT", ":"):
+                attr_type = self.parse_type()
+            if tok.kind == "FLOAT" or isinstance(attr_type, FloatType):
+                return FloatAttr(float(tok.text), attr_type)
+            return IntegerAttr(int(tok.text), attr_type)
+        raise self.error(f"cannot parse attribute at {tok.text!r}")
+
+    def parse_attr_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        if not self.accept("PUNCT", "{"):
+            return out
+        while self.peek().text != "}":
+            name_parts = [self.expect("ID").text]
+            name = name_parts[0]
+            if self.accept("PUNCT", "="):
+                out[name] = self.parse_attr()
+            else:
+                out[name] = UnitAttr()
+            if not self.accept("PUNCT", ","):
+                break
+        self.expect("PUNCT", "}")
+        return out
+
+    def _at_attr_dict(self) -> bool:
+        """Disambiguate ``{attrs} {body}`` from ``{body}``: it is an attr
+        dict iff no ``{`` appears before the first ``}`` and the token right
+        after that ``}`` is another ``{`` (the body opener)."""
+        if self.peek().text != "{":
+            return False
+        i = self.pos + 1
+        while i < len(self.toks):
+            text = self.toks[i].text
+            if text == "{":
+                return False
+            if text == "}":
+                return i + 1 < len(self.toks) and self.toks[i + 1].text == "{"
+            i += 1
+        return False
+
+    # values ----------------------------------------------------------------------
+    def value(self, name: str) -> Value:
+        found = self.values.get(name)
+        if found is None:
+            raise self.error(f"use of undefined value %{name}")
+        return found
+
+    def define(self, name: str, value: Value) -> None:
+        self.values[name] = value
+
+    def ssa_name(self) -> str:
+        return self.expect("SSA").text[1:]
+
+    # top level -----------------------------------------------------------------------
+    def parse_module(self) -> ModuleOp:
+        self.expect("ID", "module")
+        name = "module"
+        sym = self.accept("SYMBOL")
+        if sym is not None:
+            name = sym.text[1:]
+        module = ModuleOp(name)
+        self.expect("PUNCT", "{")
+        while self.peek().text != "}":
+            module.append(self.parse_func().op)
+        self.expect("PUNCT", "}")
+        return module
+
+    def parse_func(self) -> func.FuncOp:
+        self.expect("ID", "func.func")
+        self.accept("ID", "private")
+        sym = self.expect("SYMBOL").text[1:]
+        self.expect("PUNCT", "(")
+        arg_names: List[str] = []
+        arg_types: List[MLIRType] = []
+        while self.peek().text != ")":
+            arg_names.append(self.ssa_name())
+            self.expect("PUNCT", ":")
+            arg_types.append(self.parse_type())
+            if not self.accept("PUNCT", ","):
+                break
+        self.expect("PUNCT", ")")
+        results: List[MLIRType] = []
+        if self.accept("ARROW"):
+            if self.accept("PUNCT", "("):
+                while self.peek().text != ")":
+                    results.append(self.parse_type())
+                    if not self.accept("PUNCT", ","):
+                        break
+                self.expect("PUNCT", ")")
+            else:
+                results.append(self.parse_type())
+        fn = func.func(sym, FunctionType(arg_types, results), arg_names)
+        if self._at_attr_dict():
+            for key, attr in self.parse_attr_dict().items():
+                fn.op.set_attr(key, attr)
+        self.expect("PUNCT", "{")
+        saved = dict(self.values)
+        for name, arg in zip(arg_names, fn.arguments):
+            self.define(name, arg)
+        self.parse_block_body(fn.entry)
+        self.expect("PUNCT", "}")
+        self.values = saved
+        return fn
+
+    def parse_block_body(self, block: Block) -> None:
+        while self.peek().text != "}" and self.peek().kind != "EOF":
+            op = self.parse_operation()
+            if op is not None:
+                block.append(op)
+
+    # operations --------------------------------------------------------------------------
+    def parse_operation(self) -> Optional[Operation]:
+        results: List[str] = []
+        if self.peek().kind == "SSA":
+            results.append(self.ssa_name())
+            while self.accept("PUNCT", ","):
+                results.append(self.ssa_name())
+            self.expect("PUNCT", "=")
+        name = self.expect("ID").text
+        op = self.dispatch(name, results)
+        return op
+
+    def dispatch(self, name: str, results: List[str]) -> Optional[Operation]:
+        if name == "affine.for":
+            return self.parse_affine_for(results)
+        if name == "scf.for":
+            return self.parse_scf_for(results)
+        if name == "scf.if":
+            return self.parse_scf_if(results)
+        if name == "arith.constant":
+            attr = self.parse_attr()
+            if isinstance(attr, IntegerAttr):
+                op = arith.constant(attr.value, attr.type)
+            elif isinstance(attr, FloatAttr):
+                op = arith.constant(attr.value, attr.type)
+            else:
+                raise self.error("bad constant attribute")
+            self.define(results[0], op.result)
+            return op
+        if name in ("arith.cmpi", "arith.cmpf"):
+            pred = self.expect("ID").text
+            self.expect("PUNCT", ",")
+            lhs = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            rhs = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            ctor = arith.cmpi if name == "arith.cmpi" else arith.cmpf
+            op = ctor(pred, lhs, rhs)
+            self.define(results[0], op.result)
+            return op
+        if name == "arith.select":
+            c = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            t = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            f = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            op = arith.select(c, t, f)
+            self.define(results[0], op.result)
+            return op
+        if name in _CAST_CTORS:
+            v = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            self.expect("ID", "to")
+            to_type = self.parse_type()
+            op = _CAST_CTORS[name](v, to_type)
+            self.define(results[0], op.result)
+            return op
+        if name in _BINARY_CTORS:
+            lhs = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            rhs = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            op = _BINARY_CTORS[name](lhs, rhs)
+            self.define(results[0], op.result)
+            return op
+        if name == "arith.negf" or (name.startswith("math.") and name != "math.powf" and name != "math.fma"):
+            v = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            ctor = {
+                "arith.negf": arith.negf, "math.sqrt": math.sqrt,
+                "math.exp": math.exp, "math.log": math.log,
+                "math.sin": math.sin, "math.cos": math.cos,
+                "math.absf": math.absf,
+            }[name]
+            op = ctor(v)
+            self.define(results[0], op.result)
+            return op
+        if name in ("math.powf", "math.fma"):
+            args = [self.value(self.ssa_name())]
+            while self.accept("PUNCT", ","):
+                args.append(self.value(self.ssa_name()))
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            op = math.powf(*args) if name == "math.powf" else math.fma(*args)
+            self.define(results[0], op.result)
+            return op
+        if name in ("memref.alloc", "memref.alloca"):
+            self.expect("PUNCT", "(")
+            self.expect("PUNCT", ")")
+            self.expect("PUNCT", ":")
+            mtype = self.parse_type()
+            ctor = memref_dialect.alloc if name == "memref.alloc" else memref_dialect.alloca
+            op = ctor(mtype)
+            self.define(results[0], op.result)
+            return op
+        if name == "memref.dealloc":
+            ref = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            return memref_dialect.dealloc(ref)
+        if name == "memref.copy":
+            src = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            dst = self.value(self.ssa_name())
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            self.expect("ID", "to")
+            self.parse_type()
+            return memref_dialect.copy(src, dst)
+        if name == "memref.load":
+            ref = self.value(self.ssa_name())
+            indices = self.parse_bracket_values()
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            op = memref_dialect.load(ref, indices)
+            self.define(results[0], op.result)
+            return op
+        if name == "memref.store":
+            v = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            ref = self.value(self.ssa_name())
+            indices = self.parse_bracket_values()
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            return memref_dialect.store(v, ref, indices)
+        if name == "affine.load":
+            ref = self.value(self.ssa_name())
+            amap, operands = self.parse_affine_subscript()
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            op = affine.load(ref, operands, map=amap)
+            self.define(results[0], op.result)
+            return op
+        if name == "affine.store":
+            v = self.value(self.ssa_name())
+            self.expect("PUNCT", ",")
+            ref = self.value(self.ssa_name())
+            amap, operands = self.parse_affine_subscript()
+            self.expect("PUNCT", ":")
+            self.parse_type()
+            return affine.store(v, ref, operands, map=amap)
+        if name in ("affine.apply", "affine.min", "affine.max"):
+            map_tok = self.expect("AFFINEMAP")
+            amap = parse_affine_map(map_tok.text)
+            self.expect("PUNCT", "(")
+            operands = []
+            while self.peek().text != ")":
+                operands.append(self.value(self.ssa_name()))
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            ctor = {"affine.apply": affine.apply, "affine.min": affine.min_,
+                    "affine.max": affine.max_}[name]
+            op = ctor(amap, operands)
+            self.define(results[0], op.result)
+            return op
+        if name in ("affine.yield", "scf.yield", "func.return"):
+            values: List[Value] = []
+            if self.peek().kind == "SSA":
+                values.append(self.value(self.ssa_name()))
+                while self.accept("PUNCT", ","):
+                    values.append(self.value(self.ssa_name()))
+                self.expect("PUNCT", ":")
+                self.parse_type()
+                while self.accept("PUNCT", ","):
+                    self.parse_type()
+            ctor = {"affine.yield": affine.yield_, "scf.yield": scf.yield_,
+                    "func.return": func.return_}[name]
+            return ctor(values)
+        if name == "func.call":
+            callee = self.expect("SYMBOL").text[1:]
+            self.expect("PUNCT", "(")
+            args = []
+            while self.peek().text != ")":
+                args.append(self.value(self.ssa_name()))
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            self.expect("PUNCT", ":")
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                self.parse_type()
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            self.expect("ARROW")
+            self.expect("PUNCT", "(")
+            result_types = []
+            while self.peek().text != ")":
+                result_types.append(self.parse_type())
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            op = func.call(callee, args, result_types)
+            for rname, res in zip(results, op.results):
+                self.define(rname, res)
+            return op
+        raise self.error(f"unknown operation {name!r}")
+
+    # helpers --------------------------------------------------------------------
+    def parse_bracket_values(self) -> List[Value]:
+        self.expect("PUNCT", "[")
+        out: List[Value] = []
+        while self.peek().text != "]":
+            out.append(self.value(self.ssa_name()))
+            if not self.accept("PUNCT", ","):
+                break
+        self.expect("PUNCT", "]")
+        return out
+
+    def parse_affine_subscript(self) -> Tuple[AffineMap, List[Value]]:
+        """Parse ``[expr, expr]`` where exprs mix SSA names and arithmetic;
+        returns (map, dim operands) with operands in first-appearance order."""
+        self.expect("PUNCT", "[")
+        depth = 1
+        texts: List[str] = []
+        current: List[str] = []
+        order: List[str] = []
+        while depth > 0:
+            tok = self.next()
+            if tok.kind == "EOF":
+                raise self.error("unterminated affine subscript")
+            if tok.text == "[":
+                depth += 1
+            elif tok.text == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            if tok.text == "," and depth == 1:
+                texts.append(" ".join(current))
+                current = []
+                continue
+            if tok.kind == "SSA":
+                name = tok.text[1:]
+                if name not in order:
+                    order.append(name)
+                current.append(f"%{name}")
+            else:
+                current.append(tok.text)
+        texts.append(" ".join(current))
+        env = {f"%{name}": AffineDim(i) for i, name in enumerate(order)}
+        exprs = []
+        for text in texts:
+            # Substitute SSA names with canonical dim ids, then parse.
+            rewritten = text
+            for ssa, dim_expr in env.items():
+                rewritten = rewritten.replace(ssa, f"d{dim_expr.index}")
+            exprs.append(
+                _parse_affine_expr(rewritten, {f"d{i}": AffineDim(i) for i in range(len(order))})
+            )
+        amap = AffineMap(len(order), 0, exprs)
+        operands = [self.value(name) for name in order]
+        return amap, operands
+
+    def parse_bound(self) -> Tuple[AffineMap, List[Value]]:
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.next()
+            return AffineMap.constant(int(tok.text)), []
+        if tok.kind == "AFFINEMAP":
+            self.next()
+            amap = parse_affine_map(tok.text)
+            self.expect("PUNCT", "(")
+            operands: List[Value] = []
+            while self.peek().text != ")":
+                operands.append(self.value(self.ssa_name()))
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            return amap, operands
+        raise self.error(f"expected loop bound, got {tok.text!r}")
+
+    def parse_affine_for(self, results: List[str]) -> Operation:
+        iv_name = self.ssa_name()
+        self.expect("PUNCT", "=")
+        lower_map, lower_ops = self.parse_bound()
+        self.expect("ID", "to")
+        upper_map, upper_ops = self.parse_bound()
+        step = 1
+        if self.accept("ID", "step"):
+            step = int(self.expect("INT").text)
+        iter_pairs: List[Tuple[str, Value]] = []
+        if self.accept("ID", "iter_args"):
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                arg_name = self.ssa_name()
+                self.expect("PUNCT", "=")
+                init = self.value(self.ssa_name())
+                iter_pairs.append((arg_name, init))
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            self.expect("ARROW")
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                self.parse_type()
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+        loop = affine.for_(
+            lower_map, upper_map, step,
+            lower_operands=lower_ops, upper_operands=upper_ops,
+            iter_inits=[init for _n, init in iter_pairs],
+        )
+        self.expect("PUNCT", "{")
+        saved = dict(self.values)
+        self.define(iv_name, loop.induction_variable)
+        for (arg_name, _init), arg in zip(iter_pairs, loop.iter_args):
+            self.define(arg_name, arg)
+        self.parse_block_body(loop.body)
+        self.expect("PUNCT", "}")
+        self.values = saved
+        for key, attr in self.parse_attr_dict().items():
+            loop.op.set_attr(key, attr)
+        if loop.body.terminator is None or loop.body.terminator.name != "affine.yield":
+            loop.body.append(affine.yield_())
+        for rname, res in zip(results, loop.op.results):
+            self.define(rname, res)
+        return loop.op
+
+    def parse_scf_for(self, results: List[str]) -> Operation:
+        iv_name = self.ssa_name()
+        self.expect("PUNCT", "=")
+        lower = self.value(self.ssa_name())
+        self.expect("ID", "to")
+        upper = self.value(self.ssa_name())
+        self.expect("ID", "step")
+        step = self.value(self.ssa_name())
+        iter_pairs: List[Tuple[str, Value]] = []
+        if self.accept("ID", "iter_args"):
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                arg_name = self.ssa_name()
+                self.expect("PUNCT", "=")
+                init = self.value(self.ssa_name())
+                iter_pairs.append((arg_name, init))
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+            self.expect("ARROW")
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                self.parse_type()
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+        loop = scf.for_(lower, upper, step, [init for _n, init in iter_pairs])
+        self.expect("PUNCT", "{")
+        saved = dict(self.values)
+        self.define(iv_name, loop.induction_variable)
+        for (arg_name, _init), arg in zip(iter_pairs, loop.iter_args):
+            self.define(arg_name, arg)
+        self.parse_block_body(loop.body)
+        self.expect("PUNCT", "}")
+        self.values = saved
+        for key, attr in self.parse_attr_dict().items():
+            loop.op.set_attr(key, attr)
+        if loop.body.terminator is None or loop.body.terminator.name != "scf.yield":
+            loop.body.append(scf.yield_())
+        for rname, res in zip(results, loop.op.results):
+            self.define(rname, res)
+        return loop.op
+
+    def parse_scf_if(self, results: List[str]) -> Operation:
+        cond = self.value(self.ssa_name())
+        result_types: List[MLIRType] = []
+        if self.accept("ARROW"):
+            self.expect("PUNCT", "(")
+            while self.peek().text != ")":
+                result_types.append(self.parse_type())
+                if not self.accept("PUNCT", ","):
+                    break
+            self.expect("PUNCT", ")")
+        self.expect("PUNCT", "{")
+        # Build with else; drop it later if not present and no results.
+        if_op = scf.if_(cond, result_types=result_types, with_else=True)
+        saved = dict(self.values)
+        self.parse_block_body(if_op.then_block)
+        self.expect("PUNCT", "}")
+        self.values = dict(saved)
+        has_else = False
+        if self.accept("ID", "else"):
+            has_else = True
+            self.expect("PUNCT", "{")
+            self.parse_block_body(if_op.else_block)
+            self.expect("PUNCT", "}")
+            self.values = saved
+        if not has_else and not result_types:
+            if_op.op.regions[1].blocks.clear()
+        elif not has_else:
+            if_op.else_block  # keep empty else for result-producing if
+        for key, attr in self.parse_attr_dict().items():
+            if_op.op.set_attr(key, attr)
+        for rname, res in zip(results, if_op.op.results):
+            self.define(rname, res)
+        return if_op.op
+
+
+_BINARY_CTORS = {
+    "arith.addi": arith.addi, "arith.subi": arith.subi, "arith.muli": arith.muli,
+    "arith.divsi": arith.divsi, "arith.remsi": arith.remsi,
+    "arith.floordivsi": arith.floordivsi, "arith.ceildivsi": arith.ceildivsi,
+    "arith.andi": arith.andi, "arith.ori": arith.ori, "arith.xori": arith.xori,
+    "arith.shli": arith.shli, "arith.shrsi": arith.shrsi,
+    "arith.addf": arith.addf, "arith.subf": arith.subf,
+    "arith.mulf": arith.mulf, "arith.divf": arith.divf,
+    "arith.maxsi": arith.maxsi, "arith.minsi": arith.minsi,
+    "arith.maximumf": arith.maximumf, "arith.minimumf": arith.minimumf,
+}
+
+_CAST_CTORS = {
+    "arith.index_cast": arith.index_cast, "arith.sitofp": arith.sitofp,
+    "arith.fptosi": arith.fptosi, "arith.extf": arith.extf,
+    "arith.truncf": arith.truncf, "arith.trunci": arith.trunci,
+    "arith.extsi": arith.extsi,
+}
+
+
+def parse_mlir_module(source: str) -> ModuleOp:
+    """Parse a mini-MLIR module from its textual form."""
+    return _Parser(source).parse_module()

@@ -1,0 +1,63 @@
+"""Pass manager for mini-MLIR modules (mirrors the IR-side manager)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..dialects.builtin import ModuleOp
+
+__all__ = ["MLIRPass", "MLIRPassManager", "MLIRPassStatistics"]
+
+
+@dataclass
+class MLIRPassStatistics:
+    name: str
+    rewrites: int = 0
+    seconds: float = 0.0
+    details: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.rewrites += amount
+        self.details[key] = self.details.get(key, 0) + amount
+
+
+class MLIRPass:
+    name = "<mlir-pass>"
+
+    def run(self, module: ModuleOp, stats: MLIRPassStatistics) -> None:
+        raise NotImplementedError
+
+
+class MLIRPassManager:
+    def __init__(self, verify_each: bool = True):
+        self.passes: List[MLIRPass] = []
+        self.verify_each = verify_each
+        self.history: List[MLIRPassStatistics] = []
+
+    def add(self, pass_: MLIRPass) -> "MLIRPassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: ModuleOp) -> List[MLIRPassStatistics]:
+        from ..verifier import verify_module
+
+        run_stats: List[MLIRPassStatistics] = []
+        for pass_ in self.passes:
+            stats = MLIRPassStatistics(pass_.name)
+            start = time.perf_counter()
+            pass_.run(module, stats)
+            stats.seconds = time.perf_counter() - start
+            run_stats.append(stats)
+            if self.verify_each and pass_.name not in ("scf-to-cf",):
+                # cf-level IR uses block successors the structured verifier
+                # does not model; ConvertToLLVM's verifier covers it.
+                try:
+                    verify_module(module)
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"MLIR verification failed after {pass_.name!r}: {exc}"
+                    ) from exc
+        self.history.extend(run_stats)
+        return run_stats

@@ -1,0 +1,323 @@
+"""Textual printer for the mini-MLIR subset (pretty forms for the dialects
+we implement, generic form for anything else)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .core import (
+    ArrayAttr,
+    Attribute,
+    Block,
+    FloatAttr,
+    IntegerAttr,
+    MemRefType,
+    Operation,
+    StringAttr,
+    Value,
+)
+from .dialects.affine import ForOp as AffineForOp
+from .dialects.builtin import ModuleOp
+from .dialects.func import FuncOp
+
+__all__ = ["print_module", "print_operation"]
+
+# Attributes used internally to encode op structure; not printed in the
+# trailing user-attribute dict.
+_STRUCTURAL_ATTRS = {
+    "lower_map",
+    "upper_map",
+    "step",
+    "lower_count",
+    "upper_count",
+    "map",
+    "value",
+    "predicate",
+    "callee",
+    "sym_name",
+    "function_type",
+    "arg_names",
+    "true_arg_count",
+}
+
+
+class _Namer:
+    def __init__(self):
+        self.names: Dict[int, str] = {}
+        self.counter = 0
+        self.iv_counter = 0
+
+    def name(self, value: Value, hint: str = "") -> str:
+        key = id(value)
+        if key in self.names:
+            return self.names[key]
+        if hint:
+            name = hint
+        else:
+            name = str(self.counter)
+            self.counter += 1
+        self.names[key] = name
+        return name
+
+    def iv_name(self, value: Value) -> str:
+        key = id(value)
+        if key in self.names:
+            return self.names[key]
+        name = f"iv{self.iv_counter}"
+        self.iv_counter += 1
+        self.names[key] = name
+        return name
+
+    def ref(self, value: Value) -> str:
+        return f"%{self.name(value)}"
+
+
+def _user_attrs(op: Operation) -> str:
+    entries = {
+        k: v for k, v in op.attributes.items() if k not in _STRUCTURAL_ATTRS
+    }
+    if not entries:
+        return ""
+    body = ", ".join(
+        f"{k}" if str(v) == "unit" else f"{k} = {v}"
+        for k, v in sorted(entries.items())
+    )
+    return f" {{{body}}}"
+
+
+def _bound_str(map_attr, operands, namer: _Namer) -> str:
+    amap = map_attr.map
+    if amap.is_single_constant():
+        return str(amap.single_constant())
+    ops = ", ".join(namer.ref(v) for v in operands)
+    return f"affine_map<{amap}>({ops})"
+
+
+def print_operation(op: Operation, namer: Optional[_Namer] = None, indent: int = 0) -> str:
+    namer = namer or _Namer()
+    lines: List[str] = []
+    _print_op(op, namer, indent, lines)
+    return "\n".join(lines)
+
+
+def _results_prefix(op: Operation, namer: _Namer) -> str:
+    if not op.results:
+        return ""
+    names = ", ".join(namer.ref(r) for r in op.results)
+    return f"{names} = "
+
+
+def _print_block_body(block: Block, namer: _Namer, indent: int, lines: List[str]) -> None:
+    for op in block.operations:
+        _print_op(op, namer, indent, lines)
+
+
+def _print_op(op: Operation, namer: _Namer, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    name = op.name
+
+    if name == "builtin.module":
+        sym = op.get_attr("sym_name")
+        title = f"module @{sym.value}" if isinstance(sym, StringAttr) else "module"
+        lines.append(f"{pad}{title} {{")
+        _print_block_body(op.regions[0].entry, namer, indent + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+
+    if name == "func.func":
+        fn = FuncOp(op)
+        ftype = fn.function_type
+        if fn.is_declaration:
+            ins = ", ".join(str(t) for t in ftype.inputs)
+            lines.append(f"{pad}func.func private @{fn.sym_name}({ins}){_fn_results(ftype)}")
+            return
+        params = []
+        for arg, arg_name in zip(fn.arguments, fn.arg_names):
+            namer.name(arg, arg_name)
+            params.append(f"%{arg_name}: {arg.type}")
+        lines.append(
+            f"{pad}func.func @{fn.sym_name}({', '.join(params)})"
+            f"{_fn_results(ftype)}{_user_attrs(op)} {{"
+        )
+        _print_block_body(fn.entry, namer, indent + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+
+    if name == "affine.for":
+        loop = AffineForOp(op)
+        iv = namer.iv_name(loop.induction_variable)
+        lower = _bound_str(op.get_attr("lower_map"), loop.lower_operands, namer)
+        upper = _bound_str(op.get_attr("upper_map"), loop.upper_operands, namer)
+        step = f" step {loop.step}" if loop.step != 1 else ""
+        iter_str = ""
+        if loop.iter_args:
+            pairs = ", ".join(
+                f"{namer.ref(arg)} = {namer.ref(init)}"
+                for arg, init in zip(loop.iter_args, loop.iter_init_operands)
+            )
+            types = ", ".join(str(v.type) for v in loop.iter_args)
+            iter_str = f" iter_args({pairs}) -> ({types})"
+        lines.append(
+            f"{pad}{_results_prefix(op, namer)}affine.for %{iv} = {lower} to "
+            f"{upper}{step}{iter_str} {{"
+        )
+        _print_block_body(loop.body, namer, indent + 1, lines)
+        lines.append(f"{pad}}}{_user_attrs(op)}")
+        return
+
+    if name == "scf.for":
+        from .dialects.scf import ForOp as ScfForOp
+
+        loop = ScfForOp(op)
+        iv = namer.iv_name(loop.induction_variable)
+        iter_str = ""
+        if loop.iter_args:
+            pairs = ", ".join(
+                f"{namer.ref(arg)} = {namer.ref(init)}"
+                for arg, init in zip(loop.iter_args, loop.iter_init_operands)
+            )
+            types = ", ".join(str(v.type) for v in loop.iter_args)
+            iter_str = f" iter_args({pairs}) -> ({types})"
+        lines.append(
+            f"{pad}{_results_prefix(op, namer)}scf.for %{iv} = "
+            f"{namer.ref(loop.lower)} to {namer.ref(loop.upper)} step "
+            f"{namer.ref(loop.step)}{iter_str} {{"
+        )
+        _print_block_body(loop.body, namer, indent + 1, lines)
+        lines.append(f"{pad}}}{_user_attrs(op)}")
+        return
+
+    if name == "scf.if":
+        from .dialects.scf import IfOp
+
+        if_op = IfOp(op)
+        types = ""
+        if op.results:
+            types = f" -> ({', '.join(str(r.type) for r in op.results)})"
+        lines.append(
+            f"{pad}{_results_prefix(op, namer)}scf.if "
+            f"{namer.ref(if_op.condition)}{types} {{"
+        )
+        _print_block_body(if_op.then_block, namer, indent + 1, lines)
+        if if_op.has_else:
+            lines.append(f"{pad}}} else {{")
+            _print_block_body(if_op.else_block, namer, indent + 1, lines)
+        lines.append(f"{pad}}}{_user_attrs(op)}")
+        return
+
+    lines.append(f"{pad}{_oneline_op(op, namer)}")
+
+
+def _fn_results(ftype) -> str:
+    if not ftype.results:
+        return ""
+    if len(ftype.results) == 1:
+        return f" -> {ftype.results[0]}"
+    return f" -> ({', '.join(str(t) for t in ftype.results)})"
+
+
+def _oneline_op(op: Operation, namer: _Namer) -> str:
+    name = op.name
+    refs = [namer.ref(v) for v in op.operands]
+    prefix = _results_prefix(op, namer)
+
+    if name == "arith.constant":
+        return f"{prefix}arith.constant {op.get_attr('value')}"
+    if name in ("arith.cmpi", "arith.cmpf"):
+        pred = op.get_attr("predicate").value  # type: ignore[union-attr]
+        return (
+            f"{prefix}{name} {pred}, {refs[0]}, {refs[1]} : "
+            f"{op.get_operand(0).type}"
+        )
+    if name.startswith("arith.") and op.num_operands == 2 and len(op.results) == 1 and op.get_operand(0).type is op.results[0].type:
+        return f"{prefix}{name} {refs[0]}, {refs[1]} : {op.results[0].type}"
+    if name == "arith.select":
+        return (
+            f"{prefix}arith.select {refs[0]}, {refs[1]}, {refs[2]} : "
+            f"{op.results[0].type}"
+        )
+    if name in (
+        "arith.index_cast", "arith.sitofp", "arith.fptosi", "arith.extf",
+        "arith.truncf", "arith.trunci", "arith.extsi",
+    ):
+        return (
+            f"{prefix}{name} {refs[0]} : {op.get_operand(0).type} to "
+            f"{op.results[0].type}"
+        )
+    if name == "arith.negf" or (name.startswith("math.") and op.num_operands == 1):
+        return f"{prefix}{name} {refs[0]} : {op.results[0].type}"
+    if name.startswith("math.") and op.num_operands >= 2:
+        return f"{prefix}{name} {', '.join(refs)} : {op.results[0].type}"
+    if name in ("memref.alloc", "memref.alloca"):
+        return f"{prefix}{name}() : {op.results[0].type}"
+    if name == "memref.dealloc":
+        return f"memref.dealloc {refs[0]} : {op.get_operand(0).type}"
+    if name == "memref.copy":
+        return (
+            f"memref.copy {refs[0]}, {refs[1]} : {op.get_operand(0).type} to "
+            f"{op.get_operand(1).type}"
+        )
+    if name == "memref.load":
+        idx = ", ".join(refs[1:])
+        return f"{prefix}memref.load {refs[0]}[{idx}] : {op.get_operand(0).type}"
+    if name == "memref.store":
+        idx = ", ".join(refs[2:])
+        return (
+            f"memref.store {refs[0]}, {refs[1]}[{idx}] : {op.get_operand(1).type}"
+        )
+    if name == "affine.load":
+        amap = op.get_attr("map").map  # type: ignore[union-attr]
+        subscript = _affine_subscript(amap, refs[1:])
+        return f"{prefix}affine.load {refs[0]}[{subscript}] : {op.get_operand(0).type}"
+    if name == "affine.store":
+        amap = op.get_attr("map").map  # type: ignore[union-attr]
+        subscript = _affine_subscript(amap, refs[2:])
+        return (
+            f"affine.store {refs[0]}, {refs[1]}[{subscript}] : "
+            f"{op.get_operand(1).type}"
+        )
+    if name in ("affine.apply", "affine.min", "affine.max"):
+        amap = op.get_attr("map").map  # type: ignore[union-attr]
+        ops = ", ".join(refs)
+        return f"{prefix}{name} affine_map<{amap}>({ops})"
+    if name in ("affine.yield", "scf.yield", "func.return"):
+        if not refs:
+            return name
+        types = ", ".join(str(v.type) for v in op.operands)
+        return f"{name} {', '.join(refs)} : {types}"
+    if name == "func.call":
+        callee = op.get_attr("callee").symbol  # type: ignore[union-attr]
+        ins = ", ".join(str(v.type) for v in op.operands)
+        outs = ", ".join(str(r.type) for r in op.results)
+        return (
+            f"{prefix}func.call @{callee}({', '.join(refs)}) : ({ins}) -> ({outs})"
+        )
+    if name == "cf.br":
+        return f"cf.br ^bb({', '.join(refs)})"
+    if name == "cf.cond_br":
+        return f"cf.cond_br {refs[0]}, ..."
+    # Generic fallback.
+    ins = ", ".join(str(v.type) for v in op.operands)
+    outs = ", ".join(str(r.type) for r in op.results)
+    attrs = _user_attrs(op)
+    return f'{prefix}"{name}"({", ".join(refs)}){attrs} : ({ins}) -> ({outs})'
+
+
+def _affine_subscript(amap, operand_refs: List[str]) -> str:
+    """Substitute operand names into the access map for readability."""
+    out = []
+    for expr in amap.results:
+        text = str(expr)
+        for i in range(amap.num_dims):
+            text = text.replace(f"d{i}", operand_refs[i] if i < len(operand_refs) else f"d{i}")
+        for i in range(amap.num_syms):
+            sym_ref = amap.num_dims + i
+            text = text.replace(
+                f"s{i}", operand_refs[sym_ref] if sym_ref < len(operand_refs) else f"s{i}"
+            )
+        out.append(text)
+    return ", ".join(out)
+
+
+def print_module(module: ModuleOp) -> str:
+    return print_operation(module.op) + "\n"

@@ -1,0 +1,145 @@
+"""Structural verification for mini-MLIR modules."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .core import Block, MemRefType, Operation, Value
+from .dialects.builtin import ModuleOp
+from .dialects.func import FuncOp
+
+__all__ = ["MLIRVerificationError", "verify_module"]
+
+
+class MLIRVerificationError(Exception):
+    def __init__(self, errors: List[str]):
+        super().__init__("\n".join(errors))
+        self.errors = errors
+
+
+_TERMINATORS = {
+    "func.return",
+    "affine.yield",
+    "scf.yield",
+    "cf.br",
+    "cf.cond_br",
+}
+
+_REGION_TERMINATOR = {
+    "func.func": {"func.return", "cf.br", "cf.cond_br"},
+    "affine.for": {"affine.yield"},
+    "scf.for": {"scf.yield"},
+    "scf.if": {"scf.yield"},
+}
+
+
+def verify_module(module: ModuleOp) -> None:
+    errors: List[str] = []
+    for op in module.body.operations:
+        if op.name == "func.func":
+            _verify_func(FuncOp(op), errors)
+        elif op.name not in ("builtin.module",):
+            errors.append(f"unexpected top-level op {op.name}")
+    if errors:
+        raise MLIRVerificationError(errors)
+
+
+def _verify_func(fn: FuncOp, errors: List[str]) -> None:
+    if fn.is_declaration:
+        return
+    if len(fn.arguments) != len(fn.function_type.inputs):
+        errors.append(f"@{fn.sym_name}: entry block args != function type inputs")
+    _verify_region_ops(fn.op, errors, f"@{fn.sym_name}")
+    # Dominance within straight-line structured code: defs precede uses in
+    # the same block; uses of outer values are always fine because regions
+    # here are single-block and structured.
+    _verify_dominance(fn, errors)
+
+
+def _verify_region_ops(op: Operation, errors: List[str], where: str) -> None:
+    expected = _REGION_TERMINATOR.get(op.name)
+    for region in op.regions:
+        for block in region.blocks:
+            if not block.operations:
+                errors.append(f"{where}: empty block in {op.name}")
+                continue
+            term = block.operations[-1]
+            if expected is not None and term.name not in expected:
+                errors.append(
+                    f"{where}: region of {op.name} ends in {term.name}, "
+                    f"expected one of {sorted(expected)}"
+                )
+            for inner in block.operations[:-1]:
+                if inner.name in _TERMINATORS:
+                    errors.append(
+                        f"{where}: terminator {inner.name} in middle of block"
+                    )
+            for inner in block.operations:
+                _verify_op(inner, errors, where)
+                _verify_region_ops(inner, errors, where)
+
+
+def _verify_op(op: Operation, errors: List[str], where: str) -> None:
+    if op.name == "affine.for":
+        body = op.regions[0].entry
+        if not body.arguments:
+            errors.append(f"{where}: affine.for body missing induction variable")
+        n_iter = len(op.results)
+        if len(body.arguments) != 1 + n_iter:
+            errors.append(
+                f"{where}: affine.for body has {len(body.arguments)} args, "
+                f"expected {1 + n_iter}"
+            )
+        term = body.terminator
+        if term is not None and term.name == "affine.yield":
+            if len(term.operands) != n_iter:
+                errors.append(
+                    f"{where}: affine.yield carries {len(term.operands)} "
+                    f"values, loop has {n_iter} results"
+                )
+    if op.name == "scf.for":
+        n_iter = len(op.results)
+        body = op.regions[0].entry
+        if len(body.arguments) != 1 + n_iter:
+            errors.append(f"{where}: scf.for body arg arity mismatch")
+    if op.name in ("memref.load", "affine.load"):
+        if not isinstance(op.get_operand(0).type, MemRefType):
+            errors.append(f"{where}: {op.name} base is not a memref")
+    if op.name in ("memref.store", "affine.store"):
+        if not isinstance(op.get_operand(1).type, MemRefType):
+            errors.append(f"{where}: {op.name} base is not a memref")
+
+
+def _verify_dominance(fn: FuncOp, errors: List[str]) -> None:
+    defined: set = set(id(a) for a in fn.arguments)
+
+    def visit_block(block: Block, scoped: bool) -> None:
+        # Definitions inside a nested region go out of scope when it ends;
+        # function-body (cf-level) block defs persist across sibling blocks.
+        added: List[int] = []
+
+        def define(key: int) -> None:
+            if key not in defined:
+                defined.add(key)
+                added.append(key)
+
+        for arg in block.arguments:
+            define(id(arg))
+        for op in block.operations:
+            for operand in op.operands:
+                if id(operand) not in defined:
+                    errors.append(
+                        f"@{fn.sym_name}: op {op.name} uses value defined "
+                        f"later or outside its scope"
+                    )
+            for region in op.regions:
+                for inner in region.blocks:
+                    visit_block(inner, scoped=True)
+            for result in op.results:
+                define(id(result))
+        if scoped:
+            for key in added:
+                defined.discard(key)
+
+    for block in fn.body.blocks:
+        visit_block(block, scoped=False)

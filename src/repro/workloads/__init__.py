@@ -1,0 +1,15 @@
+"""PolyBench-style workloads expressed in mini-MLIR, with NumPy reference
+semantics for functional verification."""
+
+from .polybench import KernelSpec, KERNEL_BUILDERS, build_kernel
+from .suite import DEFAULT_SUITE, SUITE_SIZES, default_suite, kernel_names
+
+__all__ = [
+    "KernelSpec",
+    "KERNEL_BUILDERS",
+    "build_kernel",
+    "DEFAULT_SUITE",
+    "SUITE_SIZES",
+    "default_suite",
+    "kernel_names",
+]

@@ -1,0 +1,900 @@
+"""PolyBench kernels as mini-MLIR builders.
+
+Each builder returns a :class:`KernelSpec`: the MLIR module (affine level,
+no directives — optimisation passes add those), argument descriptions, and
+a NumPy reference implementation used as the functional oracle.
+
+Loop nests follow the PolyBench-C 4.2 kernels, including the triangular
+nests (syrk, syr2k, trmm) that exercise affine bounds with outer-IV dims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..mlir import (
+    FunctionType,
+    ModuleOp,
+    OpBuilder,
+    core,
+    f32,
+    memref,
+)
+from ..mlir.affine_expr import d
+from ..mlir.dialects import affine, arith, func
+from ..mlir.dialects.func import FuncOp
+
+__all__ = ["KernelSpec", "KERNEL_BUILDERS", "build_kernel"]
+
+
+@dataclass
+class KernelSpec:
+    """A runnable kernel: MLIR module + argument plan + NumPy oracle."""
+
+    name: str
+    module: ModuleOp
+    array_args: Dict[str, Tuple[int, ...]]  # name -> shape
+    scalar_args: Dict[str, float] = field(default_factory=dict)
+    outputs: Sequence[str] = ()
+    reference: Callable[..., Dict[str, np.ndarray]] = None  # type: ignore[assignment]
+    sizes: Dict[str, int] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def fn(self) -> FuncOp:
+        return FuncOp(self.module.lookup(self.name))
+
+    def make_inputs(self, seed: int = 0) -> Dict[str, np.ndarray]:
+        rng = np.random.default_rng(seed)
+        return {
+            name: rng.random(shape, dtype=np.float32) * 2.0 - 1.0
+            for name, shape in self.array_args.items()
+        }
+
+    def loop_nest_depth(self) -> int:
+        depth = 0
+
+        def visit(op, current):
+            nonlocal depth
+            if op.name == "affine.for":
+                current += 1
+                depth = max(depth, current)
+            for region in op.regions:
+                for block in region.blocks:
+                    for inner in block.operations:
+                        visit(inner, current)
+
+        visit(self.fn.op, 0)
+        return depth
+
+    def loop_count(self) -> int:
+        return sum(1 for op in self.fn.op.walk() if op.name == "affine.for")
+
+
+def _new_kernel(name: str, args: Dict[str, Tuple[int, ...]], scalars: Sequence[str] = ()):
+    """Create module + function with memref args (f32) and f32 scalars."""
+    mod = ModuleOp(f"{name}_module")
+    inputs = [memref(*shape, f32) for shape in args.values()]
+    inputs += [f32 for _ in scalars]
+    arg_names = list(args.keys()) + list(scalars)
+    fn = func.func(name, FunctionType(inputs, []), arg_names)
+    fn.op.set_attr("hls.top", core.UnitAttr())
+    mod.append(fn.op)
+    builder = OpBuilder(fn.entry)
+    named = dict(zip(arg_names, fn.arguments))
+    return mod, fn, builder, named
+
+
+def _finish(builder: OpBuilder, fn) -> None:
+    builder.position_at_end(fn.entry)
+    builder.insert(func.return_())
+
+
+# --------------------------------------------------------------------------
+# Dense linear algebra
+# --------------------------------------------------------------------------
+
+
+def build_gemm(NI: int = 8, NJ: int = 8, NK: int = 8) -> KernelSpec:
+    """C = alpha*A@B + beta*C."""
+    mod, fn, b, v = _new_kernel(
+        "gemm", {"A": (NI, NK), "B": (NK, NJ), "C": (NI, NJ)}, ["alpha", "beta"]
+    )
+    A, B, C, alpha, beta = v["A"], v["B"], v["C"], v["alpha"], v["beta"]
+    li = b.affine_for(0, NI)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, NJ)
+        with b.inside(lj):
+            j = lj.induction_variable
+            c0 = b.insert(affine.load(C, [i, j])).result
+            scaled = b.insert(arith.mulf(c0, beta)).result
+            b.insert(affine.store(scaled, C, [i, j]))
+            lk = b.affine_for(0, NK)
+            with b.inside(lk):
+                k = lk.induction_variable
+                a = b.insert(affine.load(A, [i, k])).result
+                bb = b.insert(affine.load(B, [k, j])).result
+                prod = b.insert(arith.mulf(a, bb)).result
+                prod = b.insert(arith.mulf(alpha, prod)).result
+                acc = b.insert(affine.load(C, [i, j])).result
+                out = b.insert(arith.addf(acc, prod)).result
+                b.insert(affine.store(out, C, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, B, C, alpha, beta):
+        out = C.copy()
+        for i in range(NI):
+            for j in range(NJ):
+                out[i, j] *= beta
+                for k in range(NK):
+                    out[i, j] += alpha * A[i, k] * B[k, j]
+        return {"C": out.astype(np.float32)}
+
+    return KernelSpec(
+        "gemm", mod, {"A": (NI, NK), "B": (NK, NJ), "C": (NI, NJ)},
+        {"alpha": 1.5, "beta": 1.2}, ["C"], reference,
+        {"NI": NI, "NJ": NJ, "NK": NK},
+        "General matrix multiply C = alpha*A@B + beta*C",
+    )
+
+
+def build_two_mm(NI: int = 6, NJ: int = 7, NK: int = 8, NL: int = 5) -> KernelSpec:
+    """D = alpha*A@B@C + beta*D (PolyBench 2mm, tmp materialised)."""
+    mod, fn, b, v = _new_kernel(
+        "two_mm",
+        {"tmp": (NI, NJ), "A": (NI, NK), "B": (NK, NJ), "C": (NJ, NL), "D": (NI, NL)},
+        ["alpha", "beta"],
+    )
+    tmp, A, B, C, D = v["tmp"], v["A"], v["B"], v["C"], v["D"]
+    alpha, beta = v["alpha"], v["beta"]
+    li = b.affine_for(0, NI)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, NJ)
+        with b.inside(lj):
+            j = lj.induction_variable
+            zero = b.const_float(0.0, f32)
+            b.insert(affine.store(zero, tmp, [i, j]))
+            lk = b.affine_for(0, NK)
+            with b.inside(lk):
+                k = lk.induction_variable
+                a = b.insert(affine.load(A, [i, k])).result
+                bb = b.insert(affine.load(B, [k, j])).result
+                p = b.insert(arith.mulf(a, bb)).result
+                p = b.insert(arith.mulf(alpha, p)).result
+                t = b.insert(affine.load(tmp, [i, j])).result
+                b.insert(affine.store(b.insert(arith.addf(t, p)).result, tmp, [i, j]))
+    li2 = b.affine_for(0, NI)
+    with b.inside(li2):
+        i = li2.induction_variable
+        ll = b.affine_for(0, NL)
+        with b.inside(ll):
+            l = ll.induction_variable
+            d0 = b.insert(affine.load(D, [i, l])).result
+            b.insert(affine.store(b.insert(arith.mulf(d0, beta)).result, D, [i, l]))
+            lj2 = b.affine_for(0, NJ)
+            with b.inside(lj2):
+                j = lj2.induction_variable
+                t = b.insert(affine.load(tmp, [i, j])).result
+                cc = b.insert(affine.load(C, [j, l])).result
+                p = b.insert(arith.mulf(t, cc)).result
+                dd = b.insert(affine.load(D, [i, l])).result
+                b.insert(affine.store(b.insert(arith.addf(dd, p)).result, D, [i, l]))
+    _finish(b, fn)
+
+    def reference(tmp, A, B, C, D, alpha, beta):
+        t = alpha * (A @ B)
+        out = beta * D + t @ C
+        return {"D": out.astype(np.float32), "tmp": t.astype(np.float32)}
+
+    return KernelSpec(
+        "two_mm", mod,
+        {"tmp": (NI, NJ), "A": (NI, NK), "B": (NK, NJ), "C": (NJ, NL), "D": (NI, NL)},
+        {"alpha": 1.5, "beta": 1.2}, ["D", "tmp"], reference,
+        {"NI": NI, "NJ": NJ, "NK": NK, "NL": NL},
+        "Two chained matrix multiplies D = alpha*A@B@C + beta*D",
+    )
+
+
+def build_three_mm(NI: int = 5, NJ: int = 6, NK: int = 7, NL: int = 5, NM: int = 6) -> KernelSpec:
+    """G = (A@B)@(C@D) (PolyBench 3mm)."""
+    mod, fn, b, v = _new_kernel(
+        "three_mm",
+        {
+            "E": (NI, NJ), "A": (NI, NK), "B": (NK, NJ),
+            "F": (NJ, NL), "C": (NJ, NM), "D": (NM, NL),
+            "G": (NI, NL),
+        },
+    )
+    E, A, B, F, C, D, G = (v[k] for k in ("E", "A", "B", "F", "C", "D", "G"))
+
+    def matmul(out, lhs, rhs, n0, n1, n2):
+        li = b.affine_for(0, n0)
+        with b.inside(li):
+            i = li.induction_variable
+            lj = b.affine_for(0, n1)
+            with b.inside(lj):
+                j = lj.induction_variable
+                zero = b.const_float(0.0, f32)
+                b.insert(affine.store(zero, out, [i, j]))
+                lk = b.affine_for(0, n2)
+                with b.inside(lk):
+                    k = lk.induction_variable
+                    x = b.insert(affine.load(lhs, [i, k])).result
+                    y = b.insert(affine.load(rhs, [k, j])).result
+                    p = b.insert(arith.mulf(x, y)).result
+                    acc = b.insert(affine.load(out, [i, j])).result
+                    b.insert(
+                        affine.store(b.insert(arith.addf(acc, p)).result, out, [i, j])
+                    )
+
+    matmul(E, A, B, NI, NJ, NK)
+    matmul(F, C, D, NJ, NL, NM)
+    matmul(G, E, F, NI, NL, NJ)
+    _finish(b, fn)
+
+    def reference(E, A, B, F, C, D, G):
+        e = (A @ B).astype(np.float32)
+        f = (C @ D).astype(np.float32)
+        g = (e @ f).astype(np.float32)
+        return {"E": e, "F": f, "G": g}
+
+    return KernelSpec(
+        "three_mm", mod,
+        {
+            "E": (NI, NJ), "A": (NI, NK), "B": (NK, NJ),
+            "F": (NJ, NL), "C": (NJ, NM), "D": (NM, NL), "G": (NI, NL),
+        },
+        {}, ["E", "F", "G"], reference,
+        {"NI": NI, "NJ": NJ, "NK": NK, "NL": NL, "NM": NM},
+        "Three chained matrix multiplies G = (A@B)@(C@D)",
+    )
+
+
+# --------------------------------------------------------------------------
+# Matrix-vector family
+# --------------------------------------------------------------------------
+
+
+def build_atax(M: int = 10, N: int = 12) -> KernelSpec:
+    """y = A^T @ (A @ x)."""
+    mod, fn, b, v = _new_kernel(
+        "atax", {"A": (M, N), "x": (N,), "y": (N,), "tmp": (M,)}
+    )
+    A, x, y, tmp = v["A"], v["x"], v["y"], v["tmp"]
+    init = b.affine_for(0, N)
+    with b.inside(init):
+        i = init.induction_variable
+        zero = b.const_float(0.0, f32)
+        b.insert(affine.store(zero, y, [i]))
+    li = b.affine_for(0, M)
+    with b.inside(li):
+        i = li.induction_variable
+        zero = b.const_float(0.0, f32)
+        b.insert(affine.store(zero, tmp, [i]))
+        lj = b.affine_for(0, N)
+        with b.inside(lj):
+            j = lj.induction_variable
+            a = b.insert(affine.load(A, [i, j])).result
+            xv = b.insert(affine.load(x, [j])).result
+            t = b.insert(affine.load(tmp, [i])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(t, b.insert(arith.mulf(a, xv)).result)).result,
+                    tmp, [i],
+                )
+            )
+        lj2 = b.affine_for(0, N)
+        with b.inside(lj2):
+            j = lj2.induction_variable
+            a = b.insert(affine.load(A, [i, j])).result
+            t = b.insert(affine.load(tmp, [i])).result
+            yv = b.insert(affine.load(y, [j])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(yv, b.insert(arith.mulf(a, t)).result)).result,
+                    y, [j],
+                )
+            )
+    _finish(b, fn)
+
+    def reference(A, x, y, tmp):
+        t = (A @ x).astype(np.float32)
+        return {"y": (A.T @ t).astype(np.float32), "tmp": t}
+
+    return KernelSpec(
+        "atax", mod, {"A": (M, N), "x": (N,), "y": (N,), "tmp": (M,)},
+        {}, ["y", "tmp"], reference, {"M": M, "N": N},
+        "Matrix-transpose-vector product y = A^T @ (A @ x)",
+    )
+
+
+def build_bicg(M: int = 10, N: int = 12) -> KernelSpec:
+    """s = A^T @ r; q = A @ p (BiCG sub-kernel)."""
+    mod, fn, b, v = _new_kernel(
+        "bicg", {"A": (N, M), "s": (M,), "q": (N,), "p": (M,), "r": (N,)}
+    )
+    A, s, q, p, r = (v[k] for k in ("A", "s", "q", "p", "r"))
+    init = b.affine_for(0, M)
+    with b.inside(init):
+        i = init.induction_variable
+        b.insert(affine.store(b.const_float(0.0, f32), s, [i]))
+    li = b.affine_for(0, N)
+    with b.inside(li):
+        i = li.induction_variable
+        b.insert(affine.store(b.const_float(0.0, f32), q, [i]))
+        lj = b.affine_for(0, M)
+        with b.inside(lj):
+            j = lj.induction_variable
+            sv = b.insert(affine.load(s, [j])).result
+            rv = b.insert(affine.load(r, [i])).result
+            a = b.insert(affine.load(A, [i, j])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(sv, b.insert(arith.mulf(rv, a)).result)).result,
+                    s, [j],
+                )
+            )
+            qv = b.insert(affine.load(q, [i])).result
+            pv = b.insert(affine.load(p, [j])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(qv, b.insert(arith.mulf(a, pv)).result)).result,
+                    q, [i],
+                )
+            )
+    _finish(b, fn)
+
+    def reference(A, s, q, p, r):
+        return {
+            "s": (A.T @ r).astype(np.float32),
+            "q": (A @ p).astype(np.float32),
+        }
+
+    return KernelSpec(
+        "bicg", mod, {"A": (N, M), "s": (M,), "q": (N,), "p": (M,), "r": (N,)},
+        {}, ["s", "q"], reference, {"M": M, "N": N},
+        "BiCG sub-kernel: s = A^T r and q = A p",
+    )
+
+
+def build_mvt(N: int = 12) -> KernelSpec:
+    """x1 += A @ y1; x2 += A^T @ y2."""
+    mod, fn, b, v = _new_kernel(
+        "mvt", {"A": (N, N), "x1": (N,), "x2": (N,), "y1": (N,), "y2": (N,)}
+    )
+    A, x1, x2, y1, y2 = (v[k] for k in ("A", "x1", "x2", "y1", "y2"))
+    li = b.affine_for(0, N)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, N)
+        with b.inside(lj):
+            j = lj.induction_variable
+            xv = b.insert(affine.load(x1, [i])).result
+            a = b.insert(affine.load(A, [i, j])).result
+            yv = b.insert(affine.load(y1, [j])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(xv, b.insert(arith.mulf(a, yv)).result)).result,
+                    x1, [i],
+                )
+            )
+    li2 = b.affine_for(0, N)
+    with b.inside(li2):
+        i = li2.induction_variable
+        lj2 = b.affine_for(0, N)
+        with b.inside(lj2):
+            j = lj2.induction_variable
+            xv = b.insert(affine.load(x2, [i])).result
+            a = b.insert(affine.load(A, [j, i])).result
+            yv = b.insert(affine.load(y2, [j])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(xv, b.insert(arith.mulf(a, yv)).result)).result,
+                    x2, [i],
+                )
+            )
+    _finish(b, fn)
+
+    def reference(A, x1, x2, y1, y2):
+        return {
+            "x1": (x1 + A @ y1).astype(np.float32),
+            "x2": (x2 + A.T @ y2).astype(np.float32),
+        }
+
+    return KernelSpec(
+        "mvt", mod, {"A": (N, N), "x1": (N,), "x2": (N,), "y1": (N,), "y2": (N,)},
+        {}, ["x1", "x2"], reference, {"N": N},
+        "Matrix-vector product and transpose x1 += A y1; x2 += A^T y2",
+    )
+
+
+def build_gesummv(N: int = 12) -> KernelSpec:
+    """y = alpha*A@x + beta*B@x."""
+    mod, fn, b, v = _new_kernel(
+        "gesummv", {"A": (N, N), "B": (N, N), "x": (N,), "y": (N,), "tmp": (N,)},
+        ["alpha", "beta"],
+    )
+    A, B, x, y, tmp = (v[k] for k in ("A", "B", "x", "y", "tmp"))
+    alpha, beta = v["alpha"], v["beta"]
+    li = b.affine_for(0, N)
+    with b.inside(li):
+        i = li.induction_variable
+        zero = b.const_float(0.0, f32)
+        b.insert(affine.store(zero, tmp, [i]))
+        b.insert(affine.store(zero, y, [i]))
+        lj = b.affine_for(0, N)
+        with b.inside(lj):
+            j = lj.induction_variable
+            a = b.insert(affine.load(A, [i, j])).result
+            xv = b.insert(affine.load(x, [j])).result
+            t = b.insert(affine.load(tmp, [i])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(b.insert(arith.mulf(a, xv)).result, t)).result,
+                    tmp, [i],
+                )
+            )
+            bb = b.insert(affine.load(B, [i, j])).result
+            yv = b.insert(affine.load(y, [i])).result
+            b.insert(
+                affine.store(
+                    b.insert(arith.addf(b.insert(arith.mulf(bb, xv)).result, yv)).result,
+                    y, [i],
+                )
+            )
+        t = b.insert(affine.load(tmp, [i])).result
+        yv = b.insert(affine.load(y, [i])).result
+        at = b.insert(arith.mulf(alpha, t)).result
+        by = b.insert(arith.mulf(beta, yv)).result
+        b.insert(affine.store(b.insert(arith.addf(at, by)).result, y, [i]))
+    _finish(b, fn)
+
+    def reference(A, B, x, y, tmp, alpha, beta):
+        t = (A @ x).astype(np.float32)
+        return {
+            "y": (alpha * t + beta * (B @ x)).astype(np.float32),
+            "tmp": t,
+        }
+
+    return KernelSpec(
+        "gesummv", mod,
+        {"A": (N, N), "B": (N, N), "x": (N,), "y": (N,), "tmp": (N,)},
+        {"alpha": 1.5, "beta": 1.2}, ["y", "tmp"], reference, {"N": N},
+        "Summed matrix-vector products y = alpha*A@x + beta*B@x",
+    )
+
+
+# --------------------------------------------------------------------------
+# Symmetric / triangular updates (exercise affine bounds with outer IVs)
+# --------------------------------------------------------------------------
+
+
+def build_syrk(N: int = 8, M: int = 6) -> KernelSpec:
+    """Triangular rank-k update: C[i,j<=i] = beta*C + alpha*A@A^T."""
+    mod, fn, b, v = _new_kernel("syrk", {"A": (N, M), "C": (N, N)}, ["alpha", "beta"])
+    A, C, alpha, beta = v["A"], v["C"], v["alpha"], v["beta"]
+    li = b.affine_for(0, N)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, d(0) + 1, lower_operands=[], upper_operands=[i])
+        with b.inside(lj):
+            j = lj.induction_variable
+            c0 = b.insert(affine.load(C, [i, j])).result
+            b.insert(affine.store(b.insert(arith.mulf(c0, beta)).result, C, [i, j]))
+        lk = b.affine_for(0, M)
+        with b.inside(lk):
+            k = lk.induction_variable
+            lj2 = b.affine_for(0, d(0) + 1, upper_operands=[i])
+            with b.inside(lj2):
+                j = lj2.induction_variable
+                a_ik = b.insert(affine.load(A, [i, k])).result
+                a_jk = b.insert(affine.load(A, [j, k])).result
+                p = b.insert(arith.mulf(a_ik, a_jk)).result
+                p = b.insert(arith.mulf(alpha, p)).result
+                c0 = b.insert(affine.load(C, [i, j])).result
+                b.insert(affine.store(b.insert(arith.addf(c0, p)).result, C, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, C, alpha, beta):
+        out = C.copy()
+        for i in range(N):
+            for j in range(i + 1):
+                out[i, j] *= beta
+            for k in range(M):
+                for j in range(i + 1):
+                    out[i, j] += alpha * A[i, k] * A[j, k]
+        return {"C": out.astype(np.float32)}
+
+    return KernelSpec(
+        "syrk", mod, {"A": (N, M), "C": (N, N)},
+        {"alpha": 1.5, "beta": 1.2}, ["C"], reference, {"N": N, "M": M},
+        "Symmetric rank-k update (triangular loop nest)",
+    )
+
+
+def build_syr2k(N: int = 8, M: int = 6) -> KernelSpec:
+    """Triangular rank-2k update."""
+    mod, fn, b, v = _new_kernel(
+        "syr2k", {"A": (N, M), "B": (N, M), "C": (N, N)}, ["alpha", "beta"]
+    )
+    A, B, C, alpha, beta = v["A"], v["B"], v["C"], v["alpha"], v["beta"]
+    li = b.affine_for(0, N)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, d(0) + 1, upper_operands=[i])
+        with b.inside(lj):
+            j = lj.induction_variable
+            c0 = b.insert(affine.load(C, [i, j])).result
+            b.insert(affine.store(b.insert(arith.mulf(c0, beta)).result, C, [i, j]))
+        lk = b.affine_for(0, M)
+        with b.inside(lk):
+            k = lk.induction_variable
+            lj2 = b.affine_for(0, d(0) + 1, upper_operands=[i])
+            with b.inside(lj2):
+                j = lj2.induction_variable
+                a_jk = b.insert(affine.load(A, [j, k])).result
+                b_ik = b.insert(affine.load(B, [i, k])).result
+                t1 = b.insert(arith.mulf(a_jk, b_ik)).result
+                b_jk = b.insert(affine.load(B, [j, k])).result
+                a_ik = b.insert(affine.load(A, [i, k])).result
+                t2 = b.insert(arith.mulf(b_jk, a_ik)).result
+                t = b.insert(arith.addf(t1, t2)).result
+                t = b.insert(arith.mulf(alpha, t)).result
+                c0 = b.insert(affine.load(C, [i, j])).result
+                b.insert(affine.store(b.insert(arith.addf(c0, t)).result, C, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, B, C, alpha, beta):
+        out = C.copy()
+        for i in range(N):
+            for j in range(i + 1):
+                out[i, j] *= beta
+            for k in range(M):
+                for j in range(i + 1):
+                    out[i, j] += alpha * (A[j, k] * B[i, k] + B[j, k] * A[i, k])
+        return {"C": out.astype(np.float32)}
+
+    return KernelSpec(
+        "syr2k", mod, {"A": (N, M), "B": (N, M), "C": (N, N)},
+        {"alpha": 1.5, "beta": 1.2}, ["C"], reference, {"N": N, "M": M},
+        "Symmetric rank-2k update (triangular loop nest)",
+    )
+
+
+def build_trmm(M: int = 8, N: int = 6) -> KernelSpec:
+    """Triangular matrix multiply B = alpha * A^T_lower * B."""
+    mod, fn, b, v = _new_kernel("trmm", {"A": (M, M), "B": (M, N)}, ["alpha"])
+    A, B, alpha = v["A"], v["B"], v["alpha"]
+    li = b.affine_for(0, M)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, N)
+        with b.inside(lj):
+            j = lj.induction_variable
+            # for k in i+1 .. M: B[i,j] += A[k,i] * B[k,j]
+            lk = b.affine_for(d(0) + 1, M, lower_operands=[i])
+            with b.inside(lk):
+                k = lk.induction_variable
+                a = b.insert(affine.load(A, [k, i])).result
+                bv = b.insert(affine.load(B, [k, j])).result
+                acc = b.insert(affine.load(B, [i, j])).result
+                b.insert(
+                    affine.store(
+                        b.insert(arith.addf(acc, b.insert(arith.mulf(a, bv)).result)).result,
+                        B, [i, j],
+                    )
+                )
+            bv = b.insert(affine.load(B, [i, j])).result
+            b.insert(affine.store(b.insert(arith.mulf(alpha, bv)).result, B, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, B, alpha):
+        out = B.copy()
+        for i in range(M):
+            for j in range(N):
+                for k in range(i + 1, M):
+                    out[i, j] += A[k, i] * out[k, j]
+                out[i, j] = alpha * out[i, j]
+        return {"B": out.astype(np.float32)}
+
+    return KernelSpec(
+        "trmm", mod, {"A": (M, M), "B": (M, N)},
+        {"alpha": 1.5}, ["B"], reference, {"M": M, "N": N},
+        "Triangular matrix multiply (lower-bound-dependent inner loop)",
+    )
+
+
+def build_symm(M: int = 6, N: int = 8) -> KernelSpec:
+    """Symmetric matrix multiply C = alpha*A_sym@B + beta*C."""
+    mod, fn, b, v = _new_kernel(
+        "symm", {"A": (M, M), "B": (M, N), "C": (M, N)}, ["alpha", "beta"]
+    )
+    A, B, C, alpha, beta = v["A"], v["B"], v["C"], v["alpha"], v["beta"]
+    # PolyBench symm with temp accumulator held in a 1-element memref to stay
+    # affine: we use an iter_arg-free formulation with explicit temp memref.
+    li = b.affine_for(0, M)
+    with b.inside(li):
+        i = li.induction_variable
+        lj = b.affine_for(0, N)
+        with b.inside(lj):
+            j = lj.induction_variable
+            lk = b.affine_for(0, d(0), upper_operands=[i])
+            with b.inside(lk):
+                k = lk.induction_variable
+                # C[k,j] += alpha * B[i,j] * A[i,k]
+                bij = b.insert(affine.load(B, [i, j])).result
+                aik = b.insert(affine.load(A, [i, k])).result
+                t = b.insert(arith.mulf(alpha, b.insert(arith.mulf(bij, aik)).result)).result
+                ckj = b.insert(affine.load(C, [k, j])).result
+                b.insert(affine.store(b.insert(arith.addf(ckj, t)).result, C, [k, j]))
+            # temp = sum_k B[k,j]*A[i,k], accumulated through loop iter_args
+            lt = b.affine_for(
+                0, d(0), upper_operands=[i], iter_inits=[b.const_float(0.0, f32)]
+            )
+            with b.inside(lt):
+                k = lt.induction_variable
+                acc = lt.iter_args[0]
+                bkj = b.insert(affine.load(B, [k, j])).result
+                aik = b.insert(affine.load(A, [i, k])).result
+                nxt = b.insert(
+                    arith.addf(acc, b.insert(arith.mulf(bkj, aik)).result)
+                ).result
+                b.insert(affine.yield_([nxt]))
+            temp = lt.results[0]
+            bij = b.insert(affine.load(B, [i, j])).result
+            cij = b.insert(affine.load(C, [i, j])).result
+            aii = b.insert(affine.load(A, [i, i])).result
+            t1 = b.insert(arith.mulf(beta, cij)).result
+            t2 = b.insert(arith.mulf(alpha, b.insert(arith.mulf(bij, aii)).result)).result
+            t3 = b.insert(arith.mulf(alpha, temp)).result
+            out = b.insert(arith.addf(b.insert(arith.addf(t1, t2)).result, t3)).result
+            b.insert(affine.store(out, C, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, B, C, alpha, beta):
+        out = C.copy()
+        for i in range(M):
+            for j in range(N):
+                temp = np.float32(0.0)
+                for k in range(i):
+                    out[k, j] += alpha * B[i, j] * A[i, k]
+                    temp += B[k, j] * A[i, k]
+                out[i, j] = beta * out[i, j] + alpha * B[i, j] * A[i, i] + alpha * temp
+        return {"C": out.astype(np.float32)}
+
+    return KernelSpec(
+        "symm", mod, {"A": (M, M), "B": (M, N), "C": (M, N)},
+        {"alpha": 1.5, "beta": 1.2}, ["C"], reference, {"M": M, "N": N},
+        "Symmetric matrix multiply (iter-args reduction)",
+    )
+
+
+def build_doitgen(NQ: int = 5, NR: int = 6, NP: int = 7) -> KernelSpec:
+    """Multiresolution analysis kernel (3D tensor contraction)."""
+    mod, fn, b, v = _new_kernel(
+        "doitgen", {"A": (NR, NQ, NP), "C4": (NP, NP), "sum": (NP,)}
+    )
+    A, C4, sum_ = v["A"], v["C4"], v["sum"]
+    lr = b.affine_for(0, NR)
+    with b.inside(lr):
+        r = lr.induction_variable
+        lq = b.affine_for(0, NQ)
+        with b.inside(lq):
+            q = lq.induction_variable
+            lp = b.affine_for(0, NP)
+            with b.inside(lp):
+                p = lp.induction_variable
+                zero = b.const_float(0.0, f32)
+                b.insert(affine.store(zero, sum_, [p]))
+                ls = b.affine_for(0, NP)
+                with b.inside(ls):
+                    s_ = ls.induction_variable
+                    a = b.insert(affine.load(A, [r, q, s_])).result
+                    c = b.insert(affine.load(C4, [s_, p])).result
+                    acc = b.insert(affine.load(sum_, [p])).result
+                    b.insert(
+                        affine.store(
+                            b.insert(arith.addf(acc, b.insert(arith.mulf(a, c)).result)).result,
+                            sum_, [p],
+                        )
+                    )
+            lp2 = b.affine_for(0, NP)
+            with b.inside(lp2):
+                p = lp2.induction_variable
+                sv = b.insert(affine.load(sum_, [p])).result
+                b.insert(affine.store(sv, A, [r, q, p]))
+    _finish(b, fn)
+
+    def reference(A, C4, sum):
+        out = A.copy()
+        for r in range(NR):
+            for q in range(NQ):
+                # The p-loop stages results through `sum`, so each row is
+                # contracted against its pre-update values.
+                out[r, q, :] = (out[r, q, :] @ C4).astype(np.float32)
+        return {"A": out.astype(np.float32)}
+
+    return KernelSpec(
+        "doitgen", mod, {"A": (NR, NQ, NP), "C4": (NP, NP), "sum": (NP,)},
+        {}, ["A"], reference, {"NQ": NQ, "NR": NR, "NP": NP},
+        "Multiresolution analysis kernel (3D tensor, rank-3 memref)",
+    )
+
+
+# --------------------------------------------------------------------------
+# Stencils
+# --------------------------------------------------------------------------
+
+
+def build_jacobi_1d(N: int = 30, TSTEPS: int = 4) -> KernelSpec:
+    """1D Jacobi smoothing, alternating A -> B -> A."""
+    mod, fn, b, v = _new_kernel("jacobi_1d", {"A": (N,), "B": (N,)})
+    A, B = v["A"], v["B"]
+    third = 1.0 / 3.0
+    lt = b.affine_for(0, TSTEPS)
+    with b.inside(lt):
+        for src, dst in ((A, B), (B, A)):
+            li = b.affine_for(1, N - 1)
+            with b.inside(li):
+                i = li.induction_variable
+                left = b.insert(affine.load(src, [i], map=_shift_map(-1))).result
+                mid = b.insert(affine.load(src, [i])).result
+                right = b.insert(affine.load(src, [i], map=_shift_map(1))).result
+                s = b.insert(arith.addf(b.insert(arith.addf(left, mid)).result, right)).result
+                c = b.const_float(third, f32)
+                b.insert(affine.store(b.insert(arith.mulf(s, c)).result, dst, [i]))
+    _finish(b, fn)
+
+    def reference(A, B):
+        a, bb = A.copy(), B.copy()
+        third_f = np.float32(1.0 / 3.0)
+        for _ in range(TSTEPS):
+            for i in range(1, N - 1):
+                bb[i] = ((a[i - 1] + a[i]) + a[i + 1]) * third_f
+            for i in range(1, N - 1):
+                a[i] = ((bb[i - 1] + bb[i]) + bb[i + 1]) * third_f
+        return {"A": a.astype(np.float32), "B": bb.astype(np.float32)}
+
+    return KernelSpec(
+        "jacobi_1d", mod, {"A": (N,), "B": (N,)},
+        {}, ["A", "B"], reference, {"N": N, "TSTEPS": TSTEPS},
+        "1D Jacobi stencil with time loop",
+    )
+
+
+def build_jacobi_2d(N: int = 10, TSTEPS: int = 3) -> KernelSpec:
+    """2D 5-point Jacobi smoothing, alternating A -> B -> A."""
+    mod, fn, b, v = _new_kernel("jacobi_2d", {"A": (N, N), "B": (N, N)})
+    A, B = v["A"], v["B"]
+    lt = b.affine_for(0, TSTEPS)
+    with b.inside(lt):
+        for src, dst in ((A, B), (B, A)):
+            li = b.affine_for(1, N - 1)
+            with b.inside(li):
+                i = li.induction_variable
+                lj = b.affine_for(1, N - 1)
+                with b.inside(lj):
+                    j = lj.induction_variable
+                    center = b.insert(affine.load(src, [i, j])).result
+                    left = b.insert(affine.load(src, [i, j], map=_shift2_map(0, -1))).result
+                    right = b.insert(affine.load(src, [i, j], map=_shift2_map(0, 1))).result
+                    up = b.insert(affine.load(src, [i, j], map=_shift2_map(-1, 0))).result
+                    down = b.insert(affine.load(src, [i, j], map=_shift2_map(1, 0))).result
+                    s = center
+                    for nb in (left, right, up, down):
+                        s = b.insert(arith.addf(s, nb)).result
+                    c = b.const_float(0.2, f32)
+                    b.insert(affine.store(b.insert(arith.mulf(s, c)).result, dst, [i, j]))
+    _finish(b, fn)
+
+    def reference(A, B):
+        a, bb = A.copy(), B.copy()
+        c = np.float32(0.2)
+        for _ in range(TSTEPS):
+            for i in range(1, N - 1):
+                for j in range(1, N - 1):
+                    s = a[i, j]
+                    for dv in (a[i, j - 1], a[i, j + 1], a[i - 1, j], a[i + 1, j]):
+                        s = np.float32(s + dv)
+                    bb[i, j] = np.float32(s * c)
+            for i in range(1, N - 1):
+                for j in range(1, N - 1):
+                    s = bb[i, j]
+                    for dv in (bb[i, j - 1], bb[i, j + 1], bb[i - 1, j], bb[i + 1, j]):
+                        s = np.float32(s + dv)
+                    a[i, j] = np.float32(s * c)
+        return {"A": a, "B": bb}
+
+    return KernelSpec(
+        "jacobi_2d", mod, {"A": (N, N), "B": (N, N)},
+        {}, ["A", "B"], reference, {"N": N, "TSTEPS": TSTEPS},
+        "2D 5-point Jacobi stencil with time loop",
+    )
+
+
+def build_seidel_2d(N: int = 10, TSTEPS: int = 2) -> KernelSpec:
+    """Gauss-Seidel 9-point in-place stencil (loop-carried dependences)."""
+    mod, fn, b, v = _new_kernel("seidel_2d", {"A": (N, N)})
+    A = v["A"]
+    ninth = 1.0 / 9.0
+    lt = b.affine_for(0, TSTEPS)
+    with b.inside(lt):
+        li = b.affine_for(1, N - 1)
+        with b.inside(li):
+            i = li.induction_variable
+            lj = b.affine_for(1, N - 1)
+            with b.inside(lj):
+                j = lj.induction_variable
+                s = None
+                for di in (-1, 0, 1):
+                    for dj in (-1, 0, 1):
+                        val = b.insert(
+                            affine.load(A, [i, j], map=_shift2_map(di, dj))
+                        ).result
+                        s = val if s is None else b.insert(arith.addf(s, val)).result
+                c = b.const_float(ninth, f32)
+                b.insert(affine.store(b.insert(arith.mulf(s, c)).result, A, [i, j]))
+    _finish(b, fn)
+
+    def reference(A):
+        a = A.copy()
+        c = np.float32(1.0 / 9.0)
+        for _ in range(TSTEPS):
+            for i in range(1, N - 1):
+                for j in range(1, N - 1):
+                    s = np.float32(0.0)
+                    for di in (-1, 0, 1):
+                        for dj in (-1, 0, 1):
+                            s = np.float32(s + a[i + di, j + dj])
+                    a[i, j] = np.float32(s * c)
+        return {"A": a}
+
+    return KernelSpec(
+        "seidel_2d", mod, {"A": (N, N)},
+        {}, ["A"], reference, {"N": N, "TSTEPS": TSTEPS},
+        "Gauss-Seidel 9-point stencil (in-place, loop-carried dependences)",
+    )
+
+
+def _shift_map(offset: int):
+    from ..mlir.affine_expr import AffineMap, d as dim
+
+    return AffineMap(1, 0, [dim(0) + offset])
+
+
+def _shift2_map(di: int, dj: int):
+    from ..mlir.affine_expr import AffineMap, d as dim
+
+    return AffineMap(2, 0, [dim(0) + di, dim(1) + dj])
+
+
+KERNEL_BUILDERS: Dict[str, Callable[..., KernelSpec]] = {
+    "gemm": build_gemm,
+    "two_mm": build_two_mm,
+    "three_mm": build_three_mm,
+    "atax": build_atax,
+    "bicg": build_bicg,
+    "mvt": build_mvt,
+    "gesummv": build_gesummv,
+    "syrk": build_syrk,
+    "syr2k": build_syr2k,
+    "trmm": build_trmm,
+    "symm": build_symm,
+    "doitgen": build_doitgen,
+    "jacobi_1d": build_jacobi_1d,
+    "jacobi_2d": build_jacobi_2d,
+    "seidel_2d": build_seidel_2d,
+}
+
+
+def build_kernel(name: str, **sizes) -> KernelSpec:
+    if name not in KERNEL_BUILDERS:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_BUILDERS)}"
+        )
+    return KERNEL_BUILDERS[name](**sizes)

@@ -1,0 +1,64 @@
+"""Benchmark suite definitions: which kernels, at which problem sizes.
+
+``MINI`` keeps interpreter-based functional checks fast; ``SMALL`` is the
+size the benchmark harness reports (Table 1's suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .polybench import KERNEL_BUILDERS, KernelSpec, build_kernel
+
+__all__ = ["SUITE_SIZES", "DEFAULT_SUITE", "default_suite", "kernel_names"]
+
+SUITE_SIZES: Dict[str, Dict[str, Dict[str, int]]] = {
+    "MINI": {
+        "gemm": {"NI": 6, "NJ": 6, "NK": 6},
+        "two_mm": {"NI": 4, "NJ": 5, "NK": 6, "NL": 4},
+        "three_mm": {"NI": 4, "NJ": 4, "NK": 5, "NL": 4, "NM": 5},
+        "atax": {"M": 6, "N": 8},
+        "bicg": {"M": 6, "N": 8},
+        "mvt": {"N": 8},
+        "gesummv": {"N": 8},
+        "syrk": {"N": 6, "M": 5},
+        "syr2k": {"N": 6, "M": 5},
+        "trmm": {"M": 6, "N": 5},
+        "symm": {"M": 5, "N": 6},
+        "doitgen": {"NQ": 4, "NR": 4, "NP": 5},
+        "jacobi_1d": {"N": 16, "TSTEPS": 2},
+        "jacobi_2d": {"N": 8, "TSTEPS": 2},
+        "seidel_2d": {"N": 8, "TSTEPS": 1},
+    },
+    "SMALL": {
+        "gemm": {"NI": 16, "NJ": 16, "NK": 16},
+        "two_mm": {"NI": 12, "NJ": 12, "NK": 12, "NL": 12},
+        "three_mm": {"NI": 10, "NJ": 10, "NK": 10, "NL": 10, "NM": 10},
+        "atax": {"M": 16, "N": 20},
+        "bicg": {"M": 16, "N": 20},
+        "mvt": {"N": 20},
+        "gesummv": {"N": 20},
+        "syrk": {"N": 16, "M": 12},
+        "syr2k": {"N": 16, "M": 12},
+        "trmm": {"M": 16, "N": 12},
+        "symm": {"M": 12, "N": 16},
+        "doitgen": {"NQ": 8, "NR": 8, "NP": 10},
+        "jacobi_1d": {"N": 60, "TSTEPS": 4},
+        "jacobi_2d": {"N": 16, "TSTEPS": 3},
+        "seidel_2d": {"N": 16, "TSTEPS": 2},
+    },
+}
+
+DEFAULT_SUITE: List[str] = list(KERNEL_BUILDERS.keys())
+
+
+def kernel_names() -> List[str]:
+    return list(DEFAULT_SUITE)
+
+
+def default_suite(size: str = "MINI", kernels: List[str] = None) -> List[KernelSpec]:
+    """Build every suite kernel at the named size class."""
+    if size not in SUITE_SIZES:
+        raise KeyError(f"unknown size class {size!r}; have {sorted(SUITE_SIZES)}")
+    names = kernels if kernels is not None else DEFAULT_SUITE
+    return [build_kernel(name, **SUITE_SIZES[size][name]) for name in names]

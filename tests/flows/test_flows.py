@@ -1,0 +1,117 @@
+"""End-to-end flow tests: both flows on real kernels, the paper's
+comparability claim, and the retention metrics."""
+
+import numpy as np
+import pytest
+
+from repro.flows import (
+    OptimizationConfig,
+    compare_flows,
+    retention_metrics,
+    run_adaptor_flow,
+    run_cpp_flow,
+)
+from repro.workloads import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+FAST_KERNELS = ["gemm", "atax", "bicg", "mvt", "syrk", "jacobi_1d"]
+
+
+def mini(name):
+    return SUITE_SIZES["MINI"][name]
+
+
+class TestAdaptorFlow:
+    def test_produces_report_and_timings(self):
+        spec = build_kernel("gemm", **mini("gemm"))
+        result = run_adaptor_flow(spec)
+        assert result.latency > 0
+        assert result.adaptor_report.total_rewrites > 0
+        assert set(result.timings) == {"lower", "cleanup", "adaptor", "synthesis"}
+        assert result.synth_report.flow == "mlir-adaptor"
+
+    def test_keep_modern_snapshot(self):
+        spec = build_kernel("gemm", **mini("gemm"))
+        result = run_adaptor_flow(spec, keep_modern_snapshot=True)
+        assert result.modern_ir_module is not None
+        assert result.modern_ir_module.opaque_pointers
+        assert not result.ir_module.opaque_pointers
+
+
+class TestCppFlow:
+    def test_produces_source_and_report(self):
+        spec = build_kernel("gemm", **mini("gemm"))
+        result = run_cpp_flow(spec)
+        assert "void gemm(" in result.cpp_source
+        assert result.latency > 0
+        assert result.synth_report.flow == "hls-cpp"
+        assert set(result.timings) == {"codegen", "c-frontend", "cleanup", "synthesis"}
+
+
+class TestComparability:
+    """The paper's headline claim: adaptor flow ~ C++ flow."""
+
+    @pytest.mark.parametrize("name", FAST_KERNELS)
+    def test_baseline_latency_comparable(self, name):
+        c = compare_flows(name, mini(name), OptimizationConfig.baseline())
+        assert c.functionally_equivalent, f"{name}: flows disagree"
+        assert 0.8 <= c.latency_ratio <= 1.25, (
+            f"{name}: latency ratio {c.latency_ratio} outside 'comparable' band"
+        )
+
+    @pytest.mark.parametrize("name", ["gemm", "atax", "jacobi_1d"])
+    def test_optimized_latency_comparable(self, name):
+        c = compare_flows(name, mini(name), OptimizationConfig.optimized(ii=1))
+        assert c.functionally_equivalent
+        assert 0.8 <= c.latency_ratio <= 1.25
+
+    def test_optimization_actually_helps_both_flows(self):
+        base = compare_flows("gemm", mini("gemm"), OptimizationConfig.baseline())
+        opt = compare_flows("gemm", mini("gemm"), OptimizationConfig.optimized(ii=1))
+        assert opt.adaptor.latency < base.adaptor.latency
+        assert opt.cpp.latency < base.cpp.latency
+
+    def test_resources_same_order(self):
+        c = compare_flows("gemm", mini("gemm"), OptimizationConfig.optimized(ii=1))
+        for key in ("bram_18k", "dsp"):
+            a = c.adaptor.resources[key]
+            b = c.cpp.resources[key]
+            assert abs(a - b) <= max(a, b) * 0.5 + 2, key
+
+
+class TestRetentionMetrics:
+    def test_adaptor_flow_keeps_expression_details(self):
+        c = compare_flows("gemm", mini("gemm"), OptimizationConfig.baseline())
+        # Both flows end structured, but the C++ round trip regenerates:
+        # 32-bit IVs + sext noise, and more raw instructions.
+        assert c.adaptor_metrics.index_widening_casts == 0
+        assert c.cpp_metrics.index_widening_casts > 0
+        assert c.cpp_metrics.raw_instructions > c.adaptor_metrics.raw_instructions
+        assert c.adaptor_metrics.structured_fraction == 1.0
+
+    def test_directives_survive_both_flows(self):
+        c = compare_flows("gemm", mini("gemm"), OptimizationConfig.optimized(ii=1))
+        assert c.adaptor_metrics.directives >= 1
+        assert c.cpp_metrics.directives >= 1
+        assert c.adaptor.synth_report.dropped_directives == 0
+        assert c.cpp.synth_report.dropped_directives == 0
+
+    def test_metrics_standalone(self):
+        spec = build_kernel("gemm", **mini("gemm"))
+        result = run_adaptor_flow(spec)
+        metrics = retention_metrics(result.ir_module, result.raw_instruction_count)
+        assert metrics.flow == "mlir-adaptor"
+        assert metrics.instructions > 0
+
+
+class TestFullSuiteEquivalence:
+    """Integration sweep: every kernel, both flows, vs oracle."""
+
+    @pytest.mark.parametrize("name", sorted(SUITE_SIZES["MINI"]))
+    def test_kernel_equivalence(self, name):
+        c = compare_flows(
+            name, mini(name), OptimizationConfig.baseline(), seed=13
+        )
+        assert c.functionally_equivalent, (
+            f"{name}: max abs err {c.max_abs_error}"
+        )

@@ -1,0 +1,89 @@
+"""Affine summarisation of index expressions."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.hls.affine_summary import summarize_index
+
+
+def _exprs():
+    m = Module("s")
+    fn = m.add_function(
+        "f", irt.function_type(irt.void, [irt.i64, irt.i64]), ["i", "j"]
+    )
+    b = IRBuilder(fn.add_block("entry"))
+    return b, fn.arguments[0], fn.arguments[1]
+
+
+class TestSummaries:
+    def test_constant(self):
+        b, i, j = _exprs()
+        s = summarize_index(b.i64_(42))
+        assert s.is_constant and s.const == 42
+
+    def test_leaf(self):
+        b, i, j = _exprs()
+        s = summarize_index(i)
+        assert s.coeff_of(i) == 1 and s.const == 0
+
+    def test_linear_combination(self):
+        b, i, j = _exprs()
+        expr = b.add(b.mul(i, b.i64_(8)), b.sub(j, b.i64_(2)))
+        s = summarize_index(expr)
+        assert s.coeff_of(i) == 8
+        assert s.coeff_of(j) == 1
+        assert s.const == -2
+
+    def test_shift_as_multiply(self):
+        b, i, j = _exprs()
+        s = summarize_index(b.shl(i, b.i64_(3)))
+        assert s.coeff_of(i) == 8
+
+    def test_cancellation(self):
+        b, i, j = _exprs()
+        expr = b.sub(b.mul(i, b.i64_(4)), b.mul(i, b.i64_(4)))
+        s = summarize_index(expr)
+        assert s.is_constant and s.const == 0
+
+    def test_sees_through_sext(self):
+        m = Module("sx")
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i32]), ["i"])
+        b = IRBuilder(fn.add_block("entry"))
+        wide = b.sext(fn.arguments[0], irt.i64)
+        s = summarize_index(b.mul(wide, b.i64_(4)))
+        assert s.coeff_of(fn.arguments[0]) == 4
+
+    def test_nonaffine_becomes_leaf(self):
+        b, i, j = _exprs()
+        prod = b.mul(i, j)  # variable*variable
+        s = summarize_index(prod)
+        assert s.coeff_of(prod) == 1
+        assert s.coeff_of(i) == 0
+
+    def test_minus(self):
+        b, i, j = _exprs()
+        s1 = summarize_index(b.add(b.mul(i, b.i64_(8)), j))
+        s2 = summarize_index(b.add(b.mul(i, b.i64_(8)), b.add(j, b.i64_(1))))
+        diff = s2.minus(s1)
+        assert diff.is_constant and diff.const == 1
+
+    def test_same_shape(self):
+        b, i, j = _exprs()
+        s1 = summarize_index(b.add(b.mul(i, b.i64_(8)), j))
+        s2 = summarize_index(b.add(b.mul(i, b.i64_(8)), b.add(j, b.i64_(5))))
+        s3 = summarize_index(b.add(b.mul(i, b.i64_(4)), j))
+        assert s1.same_shape(s2)
+        assert not s1.same_shape(s3)
+
+    @given(
+        st.integers(-20, 20), st.integers(-20, 20), st.integers(-50, 50),
+        st.integers(0, 30), st.integers(0, 30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_summary_evaluates_correctly(self, a, bcoef, k, iv, jv):
+        b, i, j = _exprs()
+        expr = b.add(b.add(b.mul(i, b.i64_(a)), b.mul(j, b.i64_(bcoef))), b.i64_(k))
+        s = summarize_index(expr)
+        got = s.const + s.coeff_of(i) * iv + s.coeff_of(j) * jv
+        assert got == a * iv + bcoef * jv + k

@@ -1,0 +1,132 @@
+"""Operator binding, area accounting, and report rendering."""
+
+import pytest
+
+from repro.hls.binding import AreaEstimate, bind_block, merge_area, _peak_overlap
+from repro.hls.cdfg import build_block_dfg
+from repro.hls.device import DEVICES
+from repro.hls.memory import MemoryModel
+from repro.hls.operators import DEFAULT_LIBRARY, OperatorLibrary, OpSpec
+from repro.hls.report import LoopReport, SynthReport
+from repro.hls.schedule import list_schedule
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+
+
+def _fadd_chain_fn(n, parallel):
+    """n fadds, either chained (serial) or independent (parallel)."""
+    m = Module("bind")
+    fn = m.add_function(
+        "f", irt.function_type(irt.f32, [irt.f32] * n), [f"x{i}" for i in range(n)]
+    )
+    b = IRBuilder(fn.add_block("entry"))
+    if parallel:
+        sums = [b.fadd(a, a) for a in fn.arguments]
+        total = sums[0]
+        for s in sums[1:]:
+            total = b.fadd(total, s)
+        b.ret(total)
+    else:
+        total = fn.arguments[0]
+        for a in fn.arguments[1:]:
+            total = b.fadd(total, a)
+        b.ret(total)
+    return m, fn
+
+
+class TestBinding:
+    def test_serial_chain_shares_one_adder(self):
+        m, fn = _fadd_chain_fn(5, parallel=False)
+        memory = MemoryModel(fn)
+        dfg = build_block_dfg(fn.entry, DEFAULT_LIBRARY, memory)
+        sched = list_schedule(dfg)
+        area = bind_block(dfg, sched.starts, DEFAULT_LIBRARY)
+        assert area.fu_instances["fadd"] == 1
+
+    def test_parallel_adds_need_multiple_adders(self):
+        m, fn = _fadd_chain_fn(4, parallel=True)
+        memory = MemoryModel(fn)
+        dfg = build_block_dfg(fn.entry, DEFAULT_LIBRARY, memory)
+        sched = list_schedule(dfg)
+        area = bind_block(dfg, sched.starts, DEFAULT_LIBRARY)
+        assert area.fu_instances["fadd"] >= 4
+
+    def test_pipelined_overlap_folds_modulo_ii(self):
+        m, fn = _fadd_chain_fn(4, parallel=True)
+        memory = MemoryModel(fn)
+        dfg = build_block_dfg(fn.entry, DEFAULT_LIBRARY, memory)
+        sched = list_schedule(dfg)
+        # At II=1 a 4-cycle fadd overlaps 4 iterations: instances grow.
+        area_ii1 = bind_block(dfg, sched.starts, DEFAULT_LIBRARY, ii=1)
+        area_seq = bind_block(dfg, sched.starts, DEFAULT_LIBRARY)
+        assert area_ii1.fu_instances["fadd"] >= area_seq.fu_instances["fadd"]
+
+    def test_peak_overlap_counting(self):
+        class FakeNode:
+            def __init__(self, i):
+                self.index = i
+
+        nodes = [FakeNode(i) for i in range(3)]
+        starts = {id(n): i for i, n in enumerate(nodes)}
+        # duration 1: no overlap.
+        assert _peak_overlap(nodes, starts, 1, None) == 1
+        # duration 3: all overlap at cycle 2.
+        assert _peak_overlap(nodes, starts, 3, None) == 3
+
+    def test_merge_area_max_on_instances(self):
+        a = AreaEstimate(lut=100, fu_instances={"fadd": 2})
+        b = AreaEstimate(lut=50, fu_instances={"fadd": 1, "fmul": 3})
+        merged = merge_area(a, b)
+        assert merged.lut == 150
+        assert merged.fu_instances == {"fadd": 2, "fmul": 3}
+
+
+class TestOperatorLibrary:
+    def test_overrides(self):
+        lib = OperatorLibrary({"fadd#s": OpSpec("fadd", 9, dsp=1)})
+        m, fn = _fadd_chain_fn(2, parallel=False)
+        inst = next(i for i in fn.instructions() if i.opcode == "fadd")
+        assert lib.spec_for(inst).latency == 9
+        assert DEFAULT_LIBRARY.spec_for(inst).latency == 4
+
+    def test_unknown_op_raises(self):
+        from repro.ir.instructions import Unreachable
+
+        class Weird(Unreachable):
+            opcode = "weird"
+
+        # Unreachable maps to "misc" via fallthrough; a truly unknown key path:
+        lib = OperatorLibrary()
+        del lib.table["misc"]
+        with pytest.raises(KeyError):
+            lib.spec_for(Weird())
+
+    def test_int_width_buckets(self):
+        m = Module("w")
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i16, irt.i64]), ["a", "b"])
+        b = IRBuilder(fn.add_block("entry"))
+        narrow = b.add(fn.arguments[0], fn.arguments[0])
+        wide = b.add(fn.arguments[1], fn.arguments[1])
+        b.ret()
+        assert DEFAULT_LIBRARY.key_for(narrow) == "add#32"
+        assert DEFAULT_LIBRARY.key_for(wide) == "add#64"
+
+
+class TestReports:
+    def test_loop_report_row_formats(self):
+        row = LoopReport(
+            name="L1", depth=2, trip_count_min=4, trip_count_max=8,
+            iteration_latency=10, ii=2, latency_min=40, latency_max=80,
+            pipelined=True,
+        ).row()
+        assert "L1" in row and "4~8" in row and "40~80" in row and "yes" in row
+
+    def test_utilization_percentages(self):
+        report = SynthReport(
+            function="f", flow="mlir-adaptor", device=DEVICES["xc7z020"],
+            resources={"lut": 5320, "ff": 0, "dsp": 22, "bram_18k": 28},
+        )
+        util = report.utilization()
+        assert util["lut"] == pytest.approx(10.0)
+        assert util["dsp"] == pytest.approx(10.0)
+        assert util["bram_18k"] == pytest.approx(10.0)

@@ -1,0 +1,134 @@
+"""Strict HLS frontend: exactly which modern constructs get rejected."""
+
+import pytest
+
+from repro.hls import FrontendError, HLSFrontend
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.ir.metadata import LoopDirectives, encode_loop_directives
+from repro.ir.values import ConstantInt, PoisonValue, UndefValue
+
+from ..conftest import build_axpy_module
+
+
+def check(module, strict=False):
+    return HLSFrontend(strict=strict).check(module)
+
+
+def typed_empty_fn(name="f"):
+    m = Module("t", opaque_pointers=False)
+    fn = m.add_function(name, irt.function_type(irt.void, [irt.i32]), ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    return m, fn, b
+
+
+class TestRejections:
+    def test_opaque_pointer_module_rejected(self):
+        m = build_axpy_module()  # uses opaque ptr args
+        diag = check(m)
+        assert not diag.accepted
+        assert any("opaque" in e for e in diag.errors)
+
+    def test_freeze_rejected(self):
+        m, fn, b = typed_empty_fn()
+        b.freeze(fn.arguments[0])
+        b.ret()
+        diag = check(m)
+        assert any("freeze" in e for e in diag.errors)
+
+    def test_poison_rejected(self):
+        m, fn, b = typed_empty_fn()
+        b.add(fn.arguments[0], PoisonValue(irt.i32))
+        b.ret()
+        diag = check(m)
+        assert any("poison" in e for e in diag.errors)
+
+    def test_struct_ssa_rejected(self):
+        m, fn, b = typed_empty_fn()
+        desc = irt.struct_of(irt.ptr, irt.i64)
+        agg = b.insert_value(UndefValue(desc), b.i64_(1), [1])
+        b.extract_value(agg, [1])
+        b.ret()
+        diag = check(m)
+        assert any("descriptor" in e or "aggregate" in e for e in diag.errors)
+
+    def test_modern_intrinsic_rejected(self):
+        m, fn, b = typed_empty_fn()
+        b.intrinsic("llvm.smax.i32", irt.i32, [fn.arguments[0], fn.arguments[0]])
+        b.ret()
+        diag = check(m)
+        assert any("llvm.smax" in e for e in diag.errors)
+
+    def test_opaque_memcpy_rejected_typed_accepted(self):
+        m, fn, b = typed_empty_fn()
+        p = b.alloca(irt.array_of(irt.i8, 8))
+        b.intrinsic(
+            "llvm.memcpy.p0.p0.i64", irt.void,
+            [p, p, b.i64_(8), ConstantInt(irt.i1, 0)],
+        )
+        b.ret()
+        assert not check(m).accepted
+
+        m2, fn2, b2 = typed_empty_fn()
+        p2 = b2.alloca(irt.array_of(irt.i8, 8))
+        b2.intrinsic(
+            "llvm.memcpy.p0i8.p0i8.i64", irt.void,
+            [p2, p2, b2.i64_(8), ConstantInt(irt.i1, 0)],
+        )
+        b2.ret()
+        assert check(m2).accepted
+
+    def test_strict_mode_raises(self):
+        m = build_axpy_module()
+        with pytest.raises(FrontendError) as excinfo:
+            check(m, strict=True)
+        assert "opaque" in str(excinfo.value)
+
+
+class TestAccepted:
+    def test_old_dialect_module_accepted(self):
+        m, fn, b = typed_empty_fn()
+        v = b.add(fn.arguments[0], b.i32_(1), nsw=True)
+        slot = b.alloca(irt.i32)
+        b.store(v, slot)
+        b.load(irt.i32, slot)
+        b.intrinsic("llvm.sqrt.f32", irt.f32, [b.const(2.0, irt.f32)])
+        b.ret()
+        diag = check(m)
+        assert diag.accepted
+
+    def test_libm_externals_accepted(self):
+        m = Module("libm", opaque_pointers=False)
+        m.declare_function("sqrtf", irt.function_type(irt.f32, [irt.f32]))
+        diag = check(m)
+        assert diag.accepted and not diag.warnings
+
+    def test_unknown_external_warns_not_errors(self):
+        m = Module("bb", opaque_pointers=False)
+        m.declare_function("custom_ip", irt.function_type(irt.void, []))
+        diag = check(m)
+        assert diag.accepted
+        assert any("black-box" in w for w in diag.warnings)
+
+
+class TestDirectiveDialects:
+    def _with_metadata(self, dialect):
+        m, fn, b = typed_empty_fn()
+        header = fn.add_block("header")
+        b.br(header)
+        b.position_at_end(header)
+        latch = b.br(header)
+        latch.metadata["llvm.loop"] = encode_loop_directives(
+            LoopDirectives(pipeline=True, ii=1), dialect=dialect
+        )
+        return m
+
+    def test_modern_spelling_warns_and_counts(self):
+        diag = check(self._with_metadata("modern"))
+        assert diag.accepted
+        assert diag.dropped_directives == 1
+
+    def test_hls_spelling_clean(self):
+        diag = check(self._with_metadata("hls"))
+        assert diag.accepted
+        assert diag.dropped_directives == 0

@@ -1,0 +1,73 @@
+"""HLS C++ codegen: generated code must re-parse, re-compile, and match the
+kernel's NumPy semantics — the full baseline round trip."""
+
+import numpy as np
+import pytest
+
+from repro.hlscpp import compile_hls_cpp, generate_hls_cpp
+from repro.ir import run_kernel
+from repro.ir.transforms import standard_cleanup_pipeline
+from repro.mlir.passes.array_partition import set_array_partition
+from repro.mlir.passes.loop_pipeline import set_loop_directives
+from repro.workloads import build_kernel
+
+KERNELS = [
+    ("gemm", {"NI": 4, "NJ": 4, "NK": 4}),
+    ("two_mm", {"NI": 3, "NJ": 4, "NK": 5, "NL": 3}),
+    ("atax", {"M": 4, "N": 5}),
+    ("mvt", {"N": 5}),
+    ("syrk", {"N": 4, "M": 3}),
+    ("trmm", {"M": 4, "N": 3}),
+    ("symm", {"M": 4, "N": 4}),
+    ("doitgen", {"NQ": 3, "NR": 3, "NP": 4}),
+    ("jacobi_2d", {"N": 6, "TSTEPS": 1}),
+    ("seidel_2d", {"N": 6, "TSTEPS": 1}),
+]
+
+
+class TestGeneratedSource:
+    def test_gemm_source_shape(self):
+        spec = build_kernel("gemm", NI=4, NJ=4, NK=4)
+        cpp = generate_hls_cpp(spec.module)
+        assert "void gemm(float A[4][4], float B[4][4], float C[4][4]" in cpp
+        assert "#pragma HLS INTERFACE ap_memory port=A" in cpp
+        assert "for (int i1 = 0; i1 < 4; i1++)" in cpp
+
+    def test_pipeline_pragma_emitted(self):
+        spec = build_kernel("gemm", NI=4, NJ=4, NK=4)
+        loops = [op for op in spec.fn.op.walk() if op.name == "affine.for"]
+        set_loop_directives(loops[-1], pipeline=True, ii=2)
+        cpp = generate_hls_cpp(spec.module)
+        assert "#pragma HLS PIPELINE II=2" in cpp
+
+    def test_partition_pragma_emitted(self):
+        spec = build_kernel("gemm", NI=4, NJ=4, NK=4)
+        set_array_partition(spec.fn, "A", "cyclic", 2, 1)
+        cpp = generate_hls_cpp(spec.module)
+        assert "#pragma HLS ARRAY_PARTITION variable=A cyclic factor=2 dim=2" in cpp
+
+    def test_triangular_bounds_reference_outer_iv(self):
+        spec = build_kernel("syrk", N=4, M=3)
+        cpp = generate_hls_cpp(spec.module)
+        assert "(i1 + 1)" in cpp  # upper bound j < i+1
+
+    def test_iter_args_become_accumulators(self):
+        spec = build_kernel("symm", M=3, N=3)
+        cpp = generate_hls_cpp(spec.module)
+        assert "acc" in cpp  # reduction variable materialised
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name,sizes", KERNELS)
+    def test_cpp_flow_matches_oracle(self, name, sizes):
+        spec = build_kernel(name, **sizes)
+        cpp = generate_hls_cpp(spec.module)
+        mod = compile_hls_cpp(cpp)
+        standard_cleanup_pipeline().run(mod)
+        arrays = spec.make_inputs(7)
+        got = run_kernel(mod, spec.name, arrays, spec.scalar_args)
+        want = spec.reference(
+            **{k: v.copy() for k, v in arrays.items()}, **spec.scalar_args
+        )
+        for out in spec.outputs:
+            assert np.allclose(got[out], want[out], rtol=1e-4, atol=1e-5), (name, out)

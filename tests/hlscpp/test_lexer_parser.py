@@ -1,0 +1,142 @@
+"""C-subset lexer and parser."""
+
+import pytest
+
+from repro.hlscpp.cast import (
+    AssignStmt,
+    BinaryOp,
+    CallExpr,
+    CastExpr,
+    CType,
+    DeclStmt,
+    FloatLiteral,
+    ForStmt,
+    IntLiteral,
+    NameRef,
+    Subscript,
+    Ternary,
+)
+from repro.hlscpp.clexer import CLexer, CLexError
+from repro.hlscpp.cparser import CParseError, parse_translation_unit
+
+
+class TestLexer:
+    def test_token_kinds(self):
+        toks = CLexer("float x = 1.5f; // note\nint y;").tokenize()
+        kinds = [(t.kind, t.text) for t in toks[:-1]]
+        assert ("kw", "float") in kinds
+        assert ("id", "x") in kinds
+        assert ("float", "1.5f") in kinds
+        assert ("kw", "int") in kinds
+
+    def test_pragma_is_one_token(self):
+        toks = CLexer("#pragma HLS PIPELINE II=2\nint x;").tokenize()
+        assert toks[0].kind == "pragma"
+        assert "PIPELINE" in toks[0].text
+
+    def test_include_skipped(self):
+        toks = CLexer("#include <cmath>\nint x;").tokenize()
+        assert toks[0].text == "int"
+
+    def test_block_comment_tracks_lines(self):
+        toks = CLexer("/* a\nb\nc */ int x;").tokenize()
+        assert toks[0].line == 3
+
+    def test_scoped_identifier(self):
+        toks = CLexer("std::max(a, b);").tokenize()
+        assert toks[0].text == "std::max"
+
+    def test_two_char_punct(self):
+        toks = CLexer("a <= b += c++").tokenize()
+        texts = [t.text for t in toks[:-1]]
+        assert "<=" in texts and "+=" in texts and "++" in texts
+
+    def test_bad_character(self):
+        with pytest.raises(CLexError):
+            CLexer("int x = @;").tokenize()
+
+
+def parse_fn(body, params="float A[4][4], float alpha"):
+    unit = parse_translation_unit(f"void k({params}) {{\n{body}\n}}")
+    return unit.functions[0]
+
+
+class TestParser:
+    def test_function_signature(self):
+        fn = parse_fn("")
+        assert fn.name == "k"
+        assert fn.params[0].type == CType("float", (4, 4))
+        assert fn.params[1].type == CType("float")
+
+    def test_declaration_with_init(self):
+        fn = parse_fn("float v = A[0][1];")
+        decl = fn.body.statements[0]
+        assert isinstance(decl, DeclStmt)
+        assert isinstance(decl.init, Subscript)
+        assert len(decl.init.indices) == 2
+
+    def test_local_array_declaration(self):
+        fn = parse_fn("float buf[8][2];")
+        decl = fn.body.statements[0]
+        assert decl.type == CType("float", (8, 2))
+
+    def test_for_loop_shape(self):
+        fn = parse_fn("for (int i = 0; i < 4; i++) { A[i][0] = alpha; }")
+        loop = fn.body.statements[0]
+        assert isinstance(loop, ForStmt)
+        assert loop.var == "i" and loop.step == 1
+        assert isinstance(loop.body.statements[0], AssignStmt)
+
+    def test_for_strided(self):
+        fn = parse_fn("for (int i = 0; i < 8; i += 2) { }")
+        assert fn.body.statements[0].step == 2
+
+    def test_pragma_attaches_to_loop(self):
+        fn = parse_fn(
+            "for (int i = 0; i < 4; i++) {\n#pragma HLS PIPELINE II=1\nA[i][0] = alpha;\n}"
+        )
+        loop = fn.body.statements[0]
+        assert loop.pragmas == ["#pragma HLS PIPELINE II=1"]
+        assert len(loop.body.statements) == 1
+
+    def test_precedence(self):
+        fn = parse_fn("float v = alpha + alpha * alpha;")
+        init = fn.body.statements[0].init
+        assert isinstance(init, BinaryOp) and init.op == "+"
+        assert isinstance(init.rhs, BinaryOp) and init.rhs.op == "*"
+
+    def test_ternary(self):
+        fn = parse_fn("float v = alpha > alpha ? alpha : alpha;")
+        assert isinstance(fn.body.statements[0].init, Ternary)
+
+    def test_cast_vs_parens(self):
+        fn = parse_fn("float v = (float)1; float w = (alpha);")
+        assert isinstance(fn.body.statements[0].init, CastExpr)
+        assert isinstance(fn.body.statements[1].init, NameRef)
+
+    def test_call_expression(self):
+        fn = parse_fn("float v = sqrtf(alpha);")
+        init = fn.body.statements[0].init
+        assert isinstance(init, CallExpr) and init.callee == "sqrtf"
+
+    def test_compound_assign(self):
+        fn = parse_fn("A[0][0] += alpha;")
+        stmt = fn.body.statements[0]
+        assert stmt.op == "+="
+
+    def test_float_literal_suffix(self):
+        fn = parse_fn("float v = 2.5f; double w = 2.5;")
+        assert fn.body.statements[0].init.is_single
+        assert not fn.body.statements[1].init.is_single
+
+    def test_error_on_bad_for_step(self):
+        with pytest.raises(CParseError):
+            parse_fn("for (int i = 0; i < 4; i--) { }")
+
+    def test_error_on_assign_to_literal(self):
+        with pytest.raises(CParseError):
+            parse_fn("3 = alpha;")
+
+    def test_error_on_missing_semicolon(self):
+        with pytest.raises(CParseError):
+            parse_fn("float v = alpha")

@@ -1,0 +1,216 @@
+"""Sema diagnostics and C-frontend IR generation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.hlscpp import compile_hls_cpp
+from repro.hlscpp.cparser import parse_translation_unit
+from repro.hlscpp.sema import Sema, SemaError
+from repro.ir import Interpreter, run_kernel, verify_module
+from repro.ir.transforms import standard_cleanup_pipeline
+
+
+def check(source):
+    return Sema(parse_translation_unit(source)).run()
+
+
+class TestSema:
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemaError, match="undeclared"):
+            check("void f() { float v = missing; }")
+
+    def test_redeclaration_in_scope(self):
+        with pytest.raises(SemaError, match="redeclaration"):
+            check("void f() { int x = 0; int x = 1; }")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check("void f() { int x = 0; for (int i = 0; i < 2; i++) { int x = 1; } }")
+
+    def test_subscript_of_scalar(self):
+        with pytest.raises(SemaError, match="non-array"):
+            check("void f(float x) { float v = x[0]; }")
+
+    def test_too_many_subscripts(self):
+        with pytest.raises(SemaError, match="too many"):
+            check("void f(float A[4]) { float v = A[0][1]; }")
+
+    def test_non_integer_subscript(self):
+        with pytest.raises(SemaError, match="integer"):
+            check("void f(float A[4], float x) { float v = A[x]; }")
+
+    def test_whole_array_assignment_rejected(self):
+        with pytest.raises(SemaError, match="whole array"):
+            check("void f(float A[4], float B[4]) { A = B; }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemaError, match="unknown function"):
+            check("void f() { float v = mystery(); }")
+
+    def test_call_arity(self):
+        with pytest.raises(SemaError, match="argument"):
+            check("void f(float x) { float v = sqrtf(x, x); }")
+
+    def test_return_type_checked(self):
+        with pytest.raises(SemaError, match="return"):
+            check("float f() { return; }")
+
+    def test_types_annotated(self):
+        unit = check("void f(float A[4]) { float v = A[1] * 2.0f; }")
+        init = unit.functions[0].body.statements[0].init
+        assert init.type.base == "float"
+
+
+def compile_and_clean(source):
+    mod = compile_hls_cpp(source)
+    standard_cleanup_pipeline().run(mod)
+    verify_module(mod)
+    return mod
+
+
+class TestIRGen:
+    def test_scalar_arithmetic(self):
+        mod = compile_and_clean(
+            "int f(int a, int b) { int c = a * b + 2; return c; }"
+        )
+        assert Interpreter(mod).run("f", [3, 4]) == 14
+
+    def test_float_conversion_int_to_float(self):
+        mod = compile_and_clean(
+            "float f(int a) { float x = (float)a / 2.0f; return x; }"
+        )
+        assert Interpreter(mod).run("f", [5]) == pytest.approx(2.5)
+
+    def test_implicit_conversion_in_decl(self):
+        mod = compile_and_clean("float f(int a) { float x = a; return x; }")
+        assert Interpreter(mod).run("f", [7]) == 7.0
+
+    def test_array_write_and_read(self):
+        mod = compile_and_clean(
+            """
+void f(float A[2][3]) {
+  for (int i = 0; i < 2; i++) {
+    for (int j = 0; j < 3; j++) {
+      A[i][j] = (float)(i * 3 + j);
+    }
+  }
+}
+"""
+        )
+        out = run_kernel(mod, "f", {"A": np.zeros((2, 3), np.float32)})
+        assert np.array_equal(out["A"], np.arange(6, dtype=np.float32).reshape(2, 3))
+
+    def test_local_array(self):
+        mod = compile_and_clean(
+            """
+void f(float out[4]) {
+  float tmp[4];
+  for (int i = 0; i < 4; i++) { tmp[i] = (float)i; }
+  for (int i = 0; i < 4; i++) { out[i] = tmp[3 - i]; }
+}
+"""
+        )
+        out = run_kernel(mod, "f", {"out": np.zeros(4, np.float32)})
+        assert np.array_equal(out["out"], [3, 2, 1, 0])
+
+    def test_ternary_and_minmax(self):
+        mod = compile_and_clean(
+            """
+int f(int a, int b) {
+  int m = a > b ? a : b;
+  int n = std::min(a, b);
+  return m - n;
+}
+"""
+        )
+        assert Interpreter(mod).run("f", [3, 9]) == 6
+
+    def test_math_call(self):
+        mod = compile_and_clean("float f(float x) { float r = sqrtf(x); return r; }")
+        assert Interpreter(mod).run("f", [9.0]) == 3.0
+
+    def test_compound_assignment(self):
+        mod = compile_and_clean(
+            "void f(float A[2]) { A[0] += 1.5f; A[1] *= 2.0f; }"
+        )
+        out = run_kernel(mod, "f", {"A": np.array([1.0, 3.0], np.float32)})
+        assert np.allclose(out["A"], [2.5, 6.0])
+
+    def test_function_call(self):
+        mod = compile_and_clean(
+            """
+int square(int x) { return x * x; }
+int f(int a) { int s = square(a); return s + 1; }
+"""
+        )
+        assert Interpreter(mod).run("f", [5]) == 26
+
+    def test_typed_pointers_emitted(self):
+        mod = compile_hls_cpp("void f(float A[4]) { A[0] = 1.0f; }")
+        assert not mod.opaque_pointers
+        fn = mod.get_function("f")
+        assert fn.arguments[0].type.is_typed_pointer
+
+    def test_int_iv_with_sext_at_subscript(self):
+        from repro.ir.instructions import Cast
+
+        mod = compile_hls_cpp(
+            "void f(float A[8]) { for (int i = 0; i < 8; i++) { A[i] = 0.0f; } }"
+        )
+        fn = mod.get_function("f")
+        assert any(
+            isinstance(i, Cast) and i.opcode == "sext" for i in fn.instructions()
+        )
+
+    def test_source_flow_tag(self):
+        mod = compile_hls_cpp("void f() { }")
+        assert mod.source_flow == "hls-cpp"
+
+
+class TestPragmaHandling:
+    SRC = """
+void top(float A[4][4], float x) {
+#pragma HLS INTERFACE ap_memory port=A
+#pragma HLS INTERFACE s_axilite port=x
+#pragma HLS ARRAY_PARTITION variable=A cyclic factor=2 dim=2
+  for (int i = 0; i < 4; i++) {
+    for (int j = 0; j < 4; j++) {
+#pragma HLS PIPELINE II=3
+      A[i][j] = x;
+    }
+  }
+}
+"""
+
+    def test_interfaces_extracted(self):
+        mod = compile_hls_cpp(self.SRC)
+        fn = mod.get_function("top")
+        assert "hls_top" in fn.attributes
+        modes = {s.arg_name: s.mode for s in fn.hls_interfaces}
+        assert modes == {"A": "ap_memory", "x": "s_axilite"}
+        spec = fn.hls_interfaces[0]
+        assert spec.depth == 16 and spec.dims == (4, 4)
+
+    def test_partition_extracted(self):
+        mod = compile_hls_cpp(self.SRC)
+        fn = mod.get_function("top")
+        spec = fn.hls_interfaces[0]
+        assert spec.partition == {"kind": "cyclic", "factor": 2, "dim": 1}
+
+    def test_pipeline_pragma_becomes_hls_metadata(self):
+        from repro.ir.metadata import decode_loop_directives
+
+        mod = compile_hls_cpp(self.SRC)
+        fn = mod.get_function("top")
+        tagged = [
+            i for b in fn.blocks for i in b.instructions if "llvm.loop" in i.metadata
+        ]
+        assert len(tagged) == 1
+        directives, dialects = decode_loop_directives(tagged[0].metadata["llvm.loop"])
+        assert directives.pipeline and directives.ii == 3
+        assert dialects == {"hls"}
+
+    def test_interface_for_unknown_port_rejected(self):
+        with pytest.raises(SemaError, match="unknown port"):
+            compile_hls_cpp(
+                "void f(float x) {\n#pragma HLS INTERFACE ap_memory port=ghost\n}"
+            )

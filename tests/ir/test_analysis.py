@@ -1,0 +1,205 @@
+"""CFG orders, dominator tree, and loop-forest analyses."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.ir.analysis import DominatorTree, LoopInfo, postorder, reverse_postorder
+from repro.ir.analysis.cfg import reachable_blocks
+
+from ..conftest import build_axpy_module, lowered_gemm_ir
+
+
+def build_diamond():
+    """entry -> (left | right) -> merge."""
+    m = Module("diamond")
+    fn = m.add_function("f", irt.function_type(irt.i32, [irt.i1]), ["c"])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    merge = fn.add_block("merge")
+    b = IRBuilder(entry)
+    b.cond_br(fn.arguments[0], left, right)
+    b.position_at_end(left)
+    one = b.i32_(1)
+    b.br(merge)
+    b.position_at_end(right)
+    two = b.i32_(2)
+    b.br(merge)
+    b.position_at_end(merge)
+    phi = b.phi(irt.i32, "r")
+    phi.add_incoming(b.i32_(1), left)
+    phi.add_incoming(b.i32_(2), right)
+    b.ret(phi)
+    return m, fn, (entry, left, right, merge)
+
+
+class TestCFGOrders:
+    def test_rpo_starts_at_entry(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is fn.entry
+
+    def test_rpo_visits_all_reachable(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        assert len(reverse_postorder(fn)) == 4
+
+    def test_postorder_entry_last(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        assert postorder(fn)[-1] is fn.entry
+
+    def test_unreachable_excluded(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        dead = fn.add_block("dead")
+        IRBuilder(dead).ret()
+        assert id(dead) not in reachable_blocks(fn)
+
+    def test_rpo_respects_dominance_in_diamond(self):
+        _m, fn, (entry, left, right, merge) = build_diamond()
+        rpo = reverse_postorder(fn)
+        assert rpo.index(entry) < rpo.index(left)
+        assert rpo.index(entry) < rpo.index(right)
+        assert rpo.index(left) < rpo.index(merge)
+        assert rpo.index(right) < rpo.index(merge)
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        _m, fn, (entry, left, right, merge) = build_diamond()
+        dt = DominatorTree(fn)
+        assert dt.immediate_dominator(entry) is None
+        assert dt.immediate_dominator(left) is entry
+        assert dt.immediate_dominator(right) is entry
+        assert dt.immediate_dominator(merge) is entry
+
+    def test_dominates_reflexive_and_transitive(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        dt = DominatorTree(fn)
+        entry, loop, body, exit_ = fn.blocks
+        assert dt.dominates(entry, entry)
+        assert dt.dominates(entry, body)
+        assert dt.dominates(loop, body)
+        assert dt.dominates(loop, exit_)
+        assert not dt.dominates(body, exit_)
+        assert dt.strictly_dominates(entry, loop)
+        assert not dt.strictly_dominates(entry, entry)
+
+    def test_dominance_frontier_of_diamond(self):
+        _m, fn, (entry, left, right, merge) = build_diamond()
+        dt = DominatorTree(fn)
+        frontier = dt.dominance_frontier()
+        assert frontier[id(left)] == [merge]
+        assert frontier[id(right)] == [merge]
+        assert frontier[id(merge)] == []
+
+    def test_loop_header_in_own_frontier(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        dt = DominatorTree(fn)
+        frontier = dt.dominance_frontier()
+        loop = fn.blocks[1]
+        body = fn.blocks[2]
+        assert loop in frontier[id(body)]
+
+    def test_domtree_children(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        dt = DominatorTree(fn)
+        entry = fn.entry
+        assert dt.children(entry) == [fn.blocks[1]]
+
+
+class TestLoopInfo:
+    def test_single_loop_detected(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        li = LoopInfo(fn)
+        assert len(li.all_loops()) == 1
+        loop = li.all_loops()[0]
+        assert loop.header is fn.blocks[1]
+        assert loop.depth == 1
+
+    def test_loop_membership(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        li = LoopInfo(fn)
+        loop = li.all_loops()[0]
+        assert loop.contains(fn.blocks[2])
+        assert not loop.contains(fn.entry)
+        assert li.loop_for(fn.blocks[2]) is loop
+        assert li.loop_for(fn.entry) is None
+
+    def test_latches_and_exits(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        li = LoopInfo(fn)
+        loop = li.all_loops()[0]
+        assert loop.latches() == [fn.blocks[2]]
+        assert loop.preheaders() == [fn.entry]
+        assert loop.exit_blocks() == [fn.blocks[3]]
+        assert loop.exiting_blocks() == [fn.blocks[1]]
+
+    def test_counted_form(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        li = LoopInfo(fn)
+        counted = li.all_loops()[0].counted_form()
+        assert counted is not None
+        assert counted.step == 1
+        assert counted.predicate == "slt"
+        assert counted.trip_count() is None  # bound is %n
+
+    def test_nested_loops_from_gemm(self):
+        _spec, irmod = lowered_gemm_ir(4)
+        fn = irmod.get_function("gemm")
+        li = LoopInfo(fn)
+        loops = li.all_loops()
+        assert len(loops) == 3
+        depths = sorted(l.depth for l in loops)
+        assert depths == [1, 2, 3]
+        innermost = li.innermost_loops()
+        assert len(innermost) == 1
+        counted = innermost[0].counted_form()
+        assert counted is not None and counted.trip_count() == 4
+
+    def test_nesting_parents(self):
+        _spec, irmod = lowered_gemm_ir(4)
+        li = LoopInfo(irmod.get_function("gemm"))
+        by_depth = {l.depth: l for l in li.all_loops()}
+        assert by_depth[3].parent is by_depth[2]
+        assert by_depth[2].parent is by_depth[1]
+        assert by_depth[1].parent is None
+        assert by_depth[2] in by_depth[1].children
+
+
+class TestCountedTripCounts:
+    def _loop(self, start, bound, step, pred="slt"):
+        m = Module("t")
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        entry = fn.add_block("entry")
+        header = fn.add_block("header")
+        body = fn.add_block("body")
+        exit_ = fn.add_block("exit")
+        b = IRBuilder(entry)
+        b.br(header)
+        b.position_at_end(header)
+        iv = b.phi(irt.i32, "i")
+        cmp = b.icmp(pred, iv, b.i32_(bound))
+        b.cond_br(cmp, body, exit_)
+        b.position_at_end(body)
+        nxt = b.add(iv, b.i32_(step))
+        b.br(header)
+        iv.add_incoming(b.i32_(start), entry)
+        iv.add_incoming(nxt, body)
+        b.position_at_end(exit_)
+        b.ret()
+        return LoopInfo(fn).all_loops()[0].counted_form()
+
+    def test_simple_trip(self):
+        assert self._loop(0, 10, 1).trip_count() == 10
+
+    def test_strided_trip(self):
+        assert self._loop(0, 10, 3).trip_count() == 4
+
+    def test_inclusive_bound(self):
+        assert self._loop(0, 10, 1, "sle").trip_count() == 11
+
+    def test_empty_loop(self):
+        assert self._loop(10, 5, 1).trip_count() == 0
+
+    def test_nonunit_start(self):
+        assert self._loop(2, 10, 2).trip_count() == 4

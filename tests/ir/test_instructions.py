@@ -1,0 +1,235 @@
+"""Instruction construction invariants and typed accessors."""
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOperator,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    ExtractValue,
+    GetElementPtr,
+    ICmp,
+    InsertValue,
+    Load,
+    Phi,
+    Return,
+    Select,
+    Store,
+    Switch,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.values import ConstantInt, UndefValue
+
+
+def c32(v):
+    return ConstantInt(irt.i32, v)
+
+
+class TestBinaryOperator:
+    def test_result_type_matches_operands(self):
+        inst = BinaryOperator("add", c32(1), c32(2))
+        assert inst.type is irt.i32
+
+    def test_mismatched_types_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOperator("add", c32(1), ConstantInt(irt.i64, 2))
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOperator("frobnicate", c32(1), c32(2))
+
+    def test_commutativity_classification(self):
+        assert BinaryOperator("add", c32(1), c32(2)).is_commutative
+        assert not BinaryOperator("sub", c32(1), c32(2)).is_commutative
+
+    def test_float_op_classification(self):
+        from repro.ir.values import ConstantFloat
+
+        f = ConstantFloat(irt.f32, 1.0)
+        assert BinaryOperator("fadd", f, f).is_float_op
+        assert not BinaryOperator("add", c32(1), c32(1)).is_float_op
+
+
+class TestComparisons:
+    def test_icmp_result_is_i1(self):
+        assert ICmp("slt", c32(1), c32(2)).type is irt.i1
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", c32(1), c32(2))
+
+    def test_icmp_type_mismatch(self):
+        with pytest.raises(TypeError):
+            ICmp("eq", c32(1), ConstantInt(irt.i64, 1))
+
+
+class TestMemory:
+    def test_alloca_opaque_and_typed_result(self):
+        assert Alloca(irt.f32, opaque_pointers=True).type is irt.ptr
+        assert Alloca(irt.f32, opaque_pointers=False).type is irt.pointer_to(irt.f32)
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Load(irt.f32, c32(0))
+
+    def test_store_requires_pointer(self):
+        with pytest.raises(TypeError):
+            Store(c32(1), c32(0))
+
+    def test_store_is_void(self):
+        p = Alloca(irt.i32)
+        assert Store(c32(1), p).type is irt.void
+
+
+class TestGEP:
+    def test_scalar_gep_result_pointee(self):
+        p = Alloca(irt.f32)
+        gep = GetElementPtr(irt.f32, p, [ConstantInt(irt.i64, 3)])
+        assert gep.result_pointee_type() is irt.f32
+
+    def test_array_gep_steps_into_elements(self):
+        arr = irt.array_of(irt.f32, 4, 8)
+        p = Alloca(arr)
+        gep = GetElementPtr(
+            arr, p, [ConstantInt(irt.i64, 0), ConstantInt(irt.i64, 1),
+                     ConstantInt(irt.i64, 2)]
+        )
+        assert gep.result_pointee_type() is irt.f32
+
+    def test_struct_gep_requires_constant_index(self):
+        s = irt.struct_of(irt.ptr, irt.i64)
+        p = Alloca(s)
+        phi = Phi(irt.i64)
+        with pytest.raises(TypeError):
+            GetElementPtr(s, p, [ConstantInt(irt.i64, 0), phi])
+
+    def test_typed_mode_result(self):
+        arr = irt.array_of(irt.f32, 4)
+        p = Alloca(arr, opaque_pointers=False)
+        gep = GetElementPtr(
+            arr, p, [ConstantInt(irt.i64, 0), ConstantInt(irt.i64, 1)],
+            opaque_pointers=False,
+        )
+        assert gep.type is irt.pointer_to(irt.f32)
+
+
+class TestPhiSelect:
+    def test_phi_incoming_type_checked(self):
+        phi = Phi(irt.i32)
+        block = BasicBlock("b")
+        with pytest.raises(TypeError):
+            phi.add_incoming(ConstantInt(irt.i64, 1), block)
+
+    def test_phi_incoming_lookup(self):
+        phi = Phi(irt.i32)
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi.add_incoming(c32(1), b1)
+        phi.add_incoming(c32(2), b2)
+        assert phi.incoming_value_for(b2).value == 2
+        assert phi.incoming_value_for(BasicBlock("other")) is None
+
+    def test_select_arm_types_checked(self):
+        cond = ConstantInt(irt.i1, 1)
+        with pytest.raises(TypeError):
+            Select(cond, c32(1), ConstantInt(irt.i64, 2))
+
+
+class TestCalls:
+    def _callee(self, ret=irt.f32, params=(irt.f32,)):
+        return Function(irt.function_type(ret, list(params)), "llvm.sqrt.f32")
+
+    def test_call_arity_checked(self):
+        callee = self._callee()
+        from repro.ir.values import ConstantFloat
+
+        with pytest.raises(TypeError):
+            Call(callee, [])
+
+    def test_intrinsic_detection(self):
+        from repro.ir.values import ConstantFloat
+
+        callee = self._callee()
+        call = Call(callee, [ConstantFloat(irt.f32, 2.0)])
+        assert call.is_intrinsic
+        assert call.intrinsic_name == "llvm.sqrt.f32"
+        assert call.is_pure
+
+    def test_unknown_call_not_pure(self):
+        callee = Function(irt.function_type(irt.void, []), "side_effectful")
+        call = Call(callee, [])
+        assert not call.is_pure
+        assert call.has_side_effects
+
+
+class TestAggregates:
+    def test_extractvalue_types(self):
+        desc = irt.struct_of(irt.ptr, irt.i64)
+        agg = UndefValue(desc)
+        assert ExtractValue(agg, [0]).type is irt.ptr
+        assert ExtractValue(agg, [1]).type is irt.i64
+
+    def test_extractvalue_nested(self):
+        t = irt.struct_of(irt.ptr, irt.array_of(irt.i64, 2))
+        agg = UndefValue(t)
+        assert ExtractValue(agg, [1, 0]).type is irt.i64
+
+    def test_extract_from_scalar_rejected(self):
+        with pytest.raises(TypeError):
+            ExtractValue(c32(1), [0])
+
+    def test_insertvalue_preserves_type(self):
+        desc = irt.struct_of(irt.ptr, irt.i64)
+        agg = UndefValue(desc)
+        inst = InsertValue(agg, ConstantInt(irt.i64, 5), [1])
+        assert inst.type is desc
+
+
+class TestTerminators:
+    def test_terminator_classification(self):
+        block = BasicBlock("t")
+        assert Return().is_terminator
+        assert Branch(block).is_terminator
+        assert not BinaryOperator("add", c32(1), c32(1)).is_terminator
+
+    def test_cond_branch_condition_must_be_i1(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        with pytest.raises(TypeError):
+            CondBranch(c32(1), b1, b2)
+
+    def test_successors(self):
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        cond = ConstantInt(irt.i1, 1)
+        br = CondBranch(cond, b1, b2)
+        assert br.successors == (b1, b2)
+
+    def test_switch_cases(self):
+        b1, b2, b3 = BasicBlock("a"), BasicBlock("b"), BasicBlock("c")
+        sw = Switch(c32(1), b1, [(c32(10), b2), (c32(20), b3)])
+        assert sw.default is b1
+        assert [(c.value, t) for c, t in sw.cases] == [(10, b2), (20, b3)]
+        assert sw.successors == (b1, b2, b3)
+
+
+class TestEraseSemantics:
+    def test_erase_used_instruction_fails(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        phi = fn.blocks[1].phis()[0]
+        with pytest.raises(RuntimeError):
+            phi.erase_from_parent()
+
+    def test_erase_releases_operand_uses(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        from repro.ir import IRBuilder
+
+        b = IRBuilder(entry)
+        add = b.add(fn.arguments[0], c32(1))
+        b.ret()
+        assert fn.arguments[0].is_used
+        add.erase_from_parent()
+        assert not fn.arguments[0].is_used

@@ -1,0 +1,307 @@
+"""Interpreter semantics: arithmetic edge cases, memory safety, intrinsics,
+control flow, and property-based agreement with Python reference semantics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.ir import IRBuilder, Interpreter, InterpreterError, Module, run_kernel
+from repro.ir import types as irt
+from repro.ir.interpreter import MemoryBuffer, Pointer, buffer_from_numpy, numpy_from_buffer
+from repro.ir.values import ConstantFloat, ConstantInt
+
+from ..conftest import build_axpy_module
+
+
+def _unary_fn(body, param=irt.i32, ret=irt.i32, nparams=1):
+    m = Module("t")
+    fn = m.add_function(
+        "f", irt.function_type(ret, [param] * nparams),
+        [f"p{i}" for i in range(nparams)],
+    )
+    b = IRBuilder(fn.add_block("entry"))
+    b.ret(body(b, fn.arguments))
+    return m
+
+
+class TestIntegerSemantics:
+    def _binop(self, op, l, r, type=irt.i32):
+        m = _unary_fn(lambda b, a: b.binop(op, a[0], a[1]), param=type, nparams=2)
+        return Interpreter(m).run("f", [l, r])
+
+    def test_add_wraps(self):
+        assert self._binop("add", 2**31 - 1, 1) == -(2**31)
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert self._binop("sdiv", -7, 2) == -3
+        assert self._binop("sdiv", 7, -2) == -3
+
+    def test_srem_sign_of_dividend(self):
+        assert self._binop("srem", -7, 2) == -1
+        assert self._binop("srem", 7, -2) == 1
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            self._binop("sdiv", 1, 0)
+        with pytest.raises(InterpreterError):
+            self._binop("srem", 1, 0)
+
+    def test_udiv_is_unsigned(self):
+        # -1 as u32 is 4294967295.
+        assert self._binop("udiv", -1, 2) == (2**32 - 1) // 2
+
+    def test_shifts(self):
+        assert self._binop("shl", 1, 5) == 32
+        assert self._binop("ashr", -8, 1) == -4
+        assert self._binop("lshr", -8, 1) == (2**32 - 8) >> 1
+
+    @given(
+        st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_binops_match_python_mod_2_32(self, op, l, r):
+        got = self._binop(op, l, r)
+        want = {
+            "add": l + r, "sub": l - r, "mul": l * r,
+            "and": l & r, "or": l | r, "xor": l ^ r,
+        }[op]
+        assert (got - want) % (2**32) == 0
+        assert -(2**31) <= got <= 2**31 - 1
+
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.integers(-(2**31), 2**31 - 1).filter(lambda v: v != 0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sdiv_srem_invariant(self, l, r):
+        assume(not (l == -(2**31) and r == -1))  # overflow case
+        q = self._binop("sdiv", l, r)
+        rem = self._binop("srem", l, r)
+        assert q * r + rem == l
+        assert rem == 0 or abs(rem) < abs(r)
+
+
+class TestICmp:
+    def _cmp(self, pred, l, r):
+        m = _unary_fn(
+            lambda b, a: b.icmp(pred, a[0], a[1]), param=irt.i32, ret=irt.i1, nparams=2
+        )
+        return Interpreter(m).run("f", [l, r])
+
+    def test_signed_vs_unsigned(self):
+        assert self._cmp("slt", -1, 0) == 1
+        assert self._cmp("ult", -1, 0) == 0  # -1 is max unsigned
+
+    @given(st.integers(-100, 100), st.integers(-100, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_signed_predicates(self, l, r):
+        assert self._cmp("slt", l, r) == int(l < r)
+        assert self._cmp("sge", l, r) == int(l >= r)
+        assert self._cmp("eq", l, r) == int(l == r)
+
+
+class TestFloatSemantics:
+    def test_f32_rounding(self):
+        m = _unary_fn(
+            lambda b, a: b.fadd(a[0], a[1]), param=irt.f32, ret=irt.f32, nparams=2
+        )
+        got = Interpreter(m).run("f", [0.1, 0.2])
+        assert got == float(np.float32(np.float32(0.1) + np.float32(0.2)))
+
+    def test_fdiv_by_zero_gives_inf(self):
+        m = _unary_fn(
+            lambda b, a: b.fdiv(a[0], a[1]), param=irt.f32, ret=irt.f32, nparams=2
+        )
+        assert math.isinf(Interpreter(m).run("f", [1.0, 0.0]))
+
+    def test_fcmp_unordered(self):
+        m = _unary_fn(
+            lambda b, a: b.fcmp("une", a[0], a[1]),
+            param=irt.f64, ret=irt.i1, nparams=2,
+        )
+        assert Interpreter(m).run("f", [math.nan, 1.0]) == 1
+        m2 = _unary_fn(
+            lambda b, a: b.fcmp("oeq", a[0], a[1]),
+            param=irt.f64, ret=irt.i1, nparams=2,
+        )
+        assert Interpreter(m2).run("f", [math.nan, math.nan]) == 0
+
+
+class TestCasts:
+    def test_sext_preserves_sign(self):
+        m = _unary_fn(lambda b, a: b.sext(a[0], irt.i64), param=irt.i8, ret=irt.i64)
+        assert Interpreter(m).run("f", [-5]) == -5
+
+    def test_zext_zero_extends(self):
+        m = _unary_fn(lambda b, a: b.zext(a[0], irt.i64), param=irt.i8, ret=irt.i64)
+        assert Interpreter(m).run("f", [-1]) == 255
+
+    def test_trunc_wraps(self):
+        m = _unary_fn(lambda b, a: b.trunc(a[0], irt.i8), param=irt.i32, ret=irt.i8)
+        assert Interpreter(m).run("f", [0x1FF]) == -1
+
+    def test_fptosi_truncates(self):
+        m = _unary_fn(
+            lambda b, a: b.fptosi(a[0], irt.i32), param=irt.f32, ret=irt.i32
+        )
+        assert Interpreter(m).run("f", [-2.7]) == -2
+
+
+class TestMemory:
+    def test_out_of_bounds_load_raises(self):
+        m = Module("oob")
+        fn = m.add_function("f", irt.function_type(irt.f32, [irt.ptr]), ["p"])
+        b = IRBuilder(fn.add_block("entry"))
+        gep = b.gep(irt.f32, fn.arguments[0], [b.i64_(100)])
+        b.ret(b.load(irt.f32, gep))
+        buf = MemoryBuffer(16, "small")
+        with pytest.raises(InterpreterError, match="out-of-bounds"):
+            Interpreter(m).run("f", [Pointer(buf)])
+
+    def test_alloca_isolated_buffers(self):
+        m = Module("iso")
+        fn = m.add_function("f", irt.function_type(irt.i32, []))
+        b = IRBuilder(fn.add_block("entry"))
+        p1 = b.alloca(irt.i32)
+        p2 = b.alloca(irt.i32)
+        b.store(b.i32_(1), p1)
+        b.store(b.i32_(2), p2)
+        b.ret(b.load(irt.i32, p1))
+        assert Interpreter(m).run("f", []) == 1
+
+    def test_numpy_buffer_roundtrip(self):
+        data = np.arange(6, dtype=np.float32)
+        buf = buffer_from_numpy(data)
+        back = numpy_from_buffer(buf, np.float32, (6,))
+        assert np.array_equal(back, data)
+
+    def test_aggregate_zero_initializer_global(self):
+        m = Module("g")
+        from repro.ir.values import ConstantAggregateZero
+
+        t = irt.array_of(irt.i32, 4)
+        m.add_global("z", t, ConstantAggregateZero(t))
+        fn = m.add_function("f", irt.function_type(irt.i32, []))
+        b = IRBuilder(fn.add_block("entry"))
+        g = m.get_global("z")
+        p = b.gep(t, g, [b.i64_(0), b.i64_(2)])
+        b.ret(b.load(irt.i32, p))
+        assert Interpreter(m).run("f", []) == 0
+
+
+class TestIntrinsics:
+    def test_sqrt(self):
+        m = _unary_fn(
+            lambda b, a: b.intrinsic("llvm.sqrt.f32", irt.f32, [a[0]]),
+            param=irt.f32, ret=irt.f32,
+        )
+        assert Interpreter(m).run("f", [4.0]) == 2.0
+
+    def test_fmuladd(self):
+        m = _unary_fn(
+            lambda b, a: b.intrinsic("llvm.fmuladd.f32", irt.f32, [a[0], a[1], a[2]]),
+            param=irt.f32, ret=irt.f32, nparams=3,
+        )
+        assert Interpreter(m).run("f", [2.0, 3.0, 1.0]) == 7.0
+
+    def test_smax_smin(self):
+        m = _unary_fn(
+            lambda b, a: b.intrinsic("llvm.smax.i32", irt.i32, [a[0], a[1]]),
+            nparams=2,
+        )
+        assert Interpreter(m).run("f", [-5, 3]) == 3
+
+    def test_memcpy(self):
+        m = Module("cp")
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.ptr, irt.ptr]), ["d", "s"])
+        b = IRBuilder(fn.add_block("entry"))
+        b.intrinsic(
+            "llvm.memcpy.p0.p0.i64", irt.void,
+            [fn.arguments[0], fn.arguments[1], b.i64_(8),
+             ConstantInt(irt.i1, 0)],
+        )
+        b.ret()
+        src = buffer_from_numpy(np.array([1.5, 2.5], dtype=np.float32))
+        dst = MemoryBuffer(8)
+        Interpreter(m).run("f", [Pointer(dst), Pointer(src)])
+        assert np.array_equal(
+            numpy_from_buffer(dst, np.float32, (2,)), [1.5, 2.5]
+        )
+
+    def test_unknown_external_raises(self):
+        m = Module("x")
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        b = IRBuilder(fn.add_block("entry"))
+        b.intrinsic("mystery_fn", irt.void, [])
+        b.ret()
+        with pytest.raises(InterpreterError, match="mystery_fn"):
+            Interpreter(m).run("f", [])
+
+
+class TestControlFlow:
+    def test_axpy_kernel(self):
+        m = build_axpy_module()
+        x = np.arange(5, dtype=np.float32)
+        y = np.ones(5, dtype=np.float32)
+        out = run_kernel(m, "axpy", {"x": x, "y": y}, {"a": 3.0, "n": 5})
+        assert np.allclose(out["y"], 3 * x + 1)
+
+    def test_zero_trip_loop(self):
+        m = build_axpy_module()
+        y = np.ones(4, dtype=np.float32)
+        out = run_kernel(
+            m, "axpy", {"x": np.zeros(4, dtype=np.float32), "y": y.copy()},
+            {"a": 1.0, "n": 0},
+        )
+        assert np.array_equal(out["y"], y)
+
+    def test_step_budget_catches_infinite_loop(self):
+        m = Module("inf")
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        entry = fn.add_block("entry")
+        loop = fn.add_block("loop")
+        b = IRBuilder(entry)
+        b.br(loop)
+        b.position_at_end(loop)
+        b.br(loop)
+        with pytest.raises(InterpreterError, match="step budget"):
+            Interpreter(m, max_steps=1000).run("f", [])
+
+    def test_switch_dispatch(self):
+        m = Module("sw")
+        fn = m.add_function("f", irt.function_type(irt.i32, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        b10 = fn.add_block("ten")
+        other = fn.add_block("other")
+        b = IRBuilder(entry)
+        b.switch(fn.arguments[0], other, [(ConstantInt(irt.i32, 10), b10)])
+        b.position_at_end(b10)
+        b.ret(b.i32_(100))
+        b.position_at_end(other)
+        b.ret(b.i32_(-1))
+        interp = Interpreter(m)
+        assert interp.run("f", [10]) == 100
+        assert interp.run("f", [11]) == -1
+
+    def test_nested_call(self):
+        m = Module("calls")
+        callee = m.add_function("sq", irt.function_type(irt.i32, [irt.i32]), ["x"])
+        b = IRBuilder(callee.add_block("entry"))
+        b.ret(b.mul(callee.arguments[0], callee.arguments[0]))
+        caller = m.add_function("f", irt.function_type(irt.i32, [irt.i32]), ["x"])
+        b = IRBuilder(caller.add_block("entry"))
+        b.ret(b.call(callee, [caller.arguments[0]]))
+        assert Interpreter(m).run("f", [7]) == 49
+
+    def test_missing_argument_message(self):
+        m = build_axpy_module()
+        with pytest.raises(InterpreterError, match="argument 'a'"):
+            run_kernel(
+                m, "axpy",
+                {"x": np.zeros(2, np.float32), "y": np.zeros(2, np.float32)},
+                {"n": 2},
+            )

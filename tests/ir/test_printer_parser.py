@@ -1,0 +1,250 @@
+"""Printer/parser round-trip tests, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    IRBuilder,
+    Module,
+    parse_module,
+    print_module,
+    verify_module,
+)
+from repro.ir import types as irt
+from repro.ir.metadata import LoopDirectives, decode_loop_directives, encode_loop_directives
+from repro.ir.values import ConstantFloat, ConstantInt
+
+from ..conftest import build_axpy_module
+
+
+def roundtrip(module: Module) -> Module:
+    text = print_module(module)
+    parsed = parse_module(text)
+    assert print_module(parsed) == text, "round-trip is not a fixed point"
+    return parsed
+
+
+class TestBasicRoundTrips:
+    def test_axpy_roundtrip(self):
+        parsed = roundtrip(build_axpy_module())
+        verify_module(parsed)
+        assert parsed.name == "axpy"
+        assert parsed.get_function("axpy") is not None
+
+    def test_empty_module(self):
+        roundtrip(Module("empty"))
+
+    def test_declaration_only(self):
+        m = Module("decls")
+        m.declare_function("llvm.sqrt.f32", irt.function_type(irt.f32, [irt.f32]))
+        parsed = roundtrip(m)
+        assert parsed.get_function("llvm.sqrt.f32").is_declaration
+
+    def test_globals(self):
+        m = Module("globals")
+        m.add_global("table", irt.array_of(irt.i32, 4), constant=True)
+        g = m.add_global("flag", irt.i32, ConstantInt(irt.i32, 7))
+        g.align = 4
+        parsed = roundtrip(m)
+        assert parsed.get_global("flag").initializer.value == 7
+        assert parsed.get_global("table").constant
+
+    def test_pointer_mode_preserved(self):
+        m = build_axpy_module()
+        assert roundtrip(m).opaque_pointers is True
+        m.opaque_pointers = False
+        # (axpy uses opaque ptr args; just checking the header comment flows)
+        text = print_module(m)
+        assert "pointer-mode: typed" in text
+
+
+class TestConstructRoundTrips:
+    def _one_block_fn(self, build):
+        m = Module("one")
+        fn = m.add_function(
+            "f", irt.function_type(irt.void, [irt.i32, irt.f32, irt.ptr]),
+            ["a", "x", "p"],
+        )
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        build(b, fn)
+        b.ret()
+        return roundtrip(m)
+
+    def test_all_int_binops(self):
+        def build(b, fn):
+            a = fn.arguments[0]
+            for op in ("add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+                       "shl", "lshr", "ashr", "and", "or", "xor"):
+                b.binop(op, a, b.i32_(3), f"r_{op}")
+
+        parsed = self._one_block_fn(build)
+        opcodes = {i.opcode for i in parsed.get_function("f").entry.instructions}
+        assert "sdiv" in opcodes and "xor" in opcodes
+
+    def test_flags_roundtrip(self):
+        def build(b, fn):
+            inst = b.add(fn.arguments[0], b.i32_(1), "n", nsw=True)
+            inst2 = b.binop("fadd", fn.arguments[1], fn.arguments[1], "ff")
+            inst2.fast_math = {"fast"}
+
+        parsed = self._one_block_fn(build)
+        insts = parsed.get_function("f").entry.instructions
+        assert insts[0].nsw
+        assert insts[1].fast_math == {"fast"}
+
+    def test_casts_roundtrip(self):
+        def build(b, fn):
+            a = fn.arguments[0]
+            wide = b.sext(a, irt.i64, "w")
+            b.trunc(wide, irt.i16, "t")
+            b.sitofp(a, irt.f64, "fp")
+            b.fptosi(fn.arguments[1], irt.i32, "si")
+
+        parsed = self._one_block_fn(build)
+        opcodes = [i.opcode for i in parsed.get_function("f").entry.instructions[:-1]]
+        assert opcodes == ["sext", "trunc", "sitofp", "fptosi"]
+
+    def test_select_freeze_roundtrip(self):
+        def build(b, fn):
+            cond = b.icmp("sgt", fn.arguments[0], b.i32_(0), "c")
+            b.select(cond, fn.arguments[0], b.i32_(0), "s")
+            b.freeze(fn.arguments[0], "fr")
+
+        parsed = self._one_block_fn(build)
+        opcodes = [i.opcode for i in parsed.get_function("f").entry.instructions]
+        assert "select" in opcodes and "freeze" in opcodes
+
+    def test_aggregate_roundtrip(self):
+        desc = irt.struct_of(irt.ptr, irt.i64)
+
+        def build(b, fn):
+            from repro.ir.values import UndefValue
+
+            agg = b.insert_value(UndefValue(desc), fn.arguments[2], [0], "d0")
+            agg = b.insert_value(agg, b.i64_(8), [1], "d1")
+            b.extract_value(agg, [1], "sz")
+
+        parsed = self._one_block_fn(build)
+        opcodes = [i.opcode for i in parsed.get_function("f").entry.instructions]
+        assert opcodes.count("insertvalue") == 2
+        assert "extractvalue" in opcodes
+
+    def test_call_roundtrip(self):
+        def build(b, fn):
+            b.intrinsic("llvm.sqrt.f32", irt.f32, [fn.arguments[1]], "r")
+
+        parsed = self._one_block_fn(build)
+        assert parsed.get_function("llvm.sqrt.f32") is not None
+
+    def test_typed_pointer_roundtrip(self):
+        m = Module("typed", opaque_pointers=False)
+        arr = irt.array_of(irt.f32, 8)
+        fn = m.add_function(
+            "g", irt.function_type(irt.void, [irt.pointer_to(arr)]), ["A"]
+        )
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        p = b.gep(arr, fn.arguments[0], [b.i64_(0), b.i64_(3)], "p")
+        v = b.load(irt.f32, p, "v", align=4)
+        b.store(v, p, align=4)
+        b.ret()
+        parsed = roundtrip(m)
+        assert parsed.get_function("g").arguments[0].type is irt.pointer_to(arr)
+
+    def test_switch_roundtrip(self):
+        m = Module("sw")
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        one = fn.add_block("one")
+        other = fn.add_block("other")
+        b = IRBuilder(entry)
+        b.switch(fn.arguments[0], other, [(ConstantInt(irt.i32, 1), one)])
+        b.position_at_end(one)
+        b.ret()
+        b.position_at_end(other)
+        b.ret()
+        parsed = roundtrip(m)
+        sw = parsed.get_function("f").entry.terminator
+        assert sw.opcode == "switch"
+        assert len(sw.cases) == 1
+
+
+class TestMetadataRoundTrips:
+    def test_loop_directive_metadata(self):
+        m = build_axpy_module()
+        latch = m.get_function("axpy").blocks[2].terminator
+        latch.metadata["llvm.loop"] = encode_loop_directives(
+            LoopDirectives(pipeline=True, ii=3, unroll=2), dialect="modern"
+        )
+        parsed = roundtrip(m)
+        latch2 = parsed.get_function("axpy").blocks[2].terminator
+        directives, dialects = decode_loop_directives(latch2.metadata["llvm.loop"])
+        assert directives.pipeline and directives.ii == 3 and directives.unroll == 2
+        assert dialects == {"modern"}
+
+    def test_hls_dialect_metadata(self):
+        m = build_axpy_module()
+        latch = m.get_function("axpy").blocks[2].terminator
+        latch.metadata["llvm.loop"] = encode_loop_directives(
+            LoopDirectives(pipeline=True, ii=1, flatten=True), dialect="hls"
+        )
+        parsed = roundtrip(m)
+        latch2 = parsed.get_function("axpy").blocks[2].terminator
+        directives, dialects = decode_loop_directives(latch2.metadata["llvm.loop"])
+        assert directives.flatten and dialects == {"hls"}
+
+
+class TestParserErrors:
+    def test_unknown_instruction(self):
+        bad = """
+define void @f() {
+entry:
+  frobnicate i32 1
+  ret void
+}
+"""
+        with pytest.raises(Exception):
+            parse_module(bad)
+
+    def test_unknown_type(self):
+        with pytest.raises(Exception):
+            parse_module("define void @f(badtype %x) {\nentry:\n  ret void\n}")
+
+    def test_dangling_brace(self):
+        with pytest.raises(Exception):
+            parse_module("define void @f() {")
+
+
+@st.composite
+def _arith_chains(draw):
+    """Random straight-line integer arithmetic over one i32 argument."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "sub", "mul", "and", "or", "xor"]),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    return ops
+
+
+class TestPropertyRoundTrip:
+    @given(_arith_chains())
+    @settings(max_examples=40, deadline=None)
+    def test_random_chain_roundtrips(self, ops):
+        m = Module("prop")
+        fn = m.add_function("f", irt.function_type(irt.i32, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        value = fn.arguments[0]
+        for op, const in ops:
+            value = b.binop(op, value, b.i32_(const))
+        b.ret(value)
+        text = print_module(m)
+        parsed = parse_module(text)
+        assert print_module(parsed) == text
+        verify_module(parsed)

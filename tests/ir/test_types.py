@@ -1,0 +1,141 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir import types as irt
+
+
+class TestInterning:
+    def test_integer_types_are_interned(self):
+        assert irt.IntegerType(32) is irt.IntegerType(32)
+        assert irt.IntegerType(32) is irt.i32
+        assert irt.IntegerType(32) is not irt.IntegerType(64)
+
+    def test_float_types_are_interned(self):
+        assert irt.FloatType("float") is irt.f32
+        assert irt.FloatType("double") is irt.f64
+
+    def test_pointer_types_are_interned(self):
+        assert irt.PointerType() is irt.ptr
+        assert irt.pointer_to(irt.f32) is irt.pointer_to(irt.f32)
+        assert irt.pointer_to(irt.f32) is not irt.ptr
+
+    def test_array_types_are_interned(self):
+        assert irt.ArrayType(irt.f32, 4) is irt.ArrayType(irt.f32, 4)
+        assert irt.ArrayType(irt.f32, 4) is not irt.ArrayType(irt.f32, 5)
+
+    def test_struct_types_are_interned(self):
+        a = irt.struct_of(irt.ptr, irt.i64)
+        b = irt.struct_of(irt.ptr, irt.i64)
+        assert a is b
+
+    def test_function_types_are_interned(self):
+        a = irt.function_type(irt.void, [irt.i32])
+        b = irt.function_type(irt.void, [irt.i32])
+        assert a is b
+
+
+class TestClassification:
+    def test_opaque_vs_typed_pointer(self):
+        assert irt.ptr.is_opaque_pointer
+        assert not irt.ptr.is_typed_pointer
+        typed = irt.pointer_to(irt.f32)
+        assert typed.is_typed_pointer
+        assert not typed.is_opaque_pointer
+
+    def test_scalar_classification(self):
+        assert irt.i32.is_scalar
+        assert irt.f64.is_scalar
+        assert irt.ptr.is_scalar
+        assert not irt.array_of(irt.f32, 4).is_scalar
+        assert not irt.void.is_scalar
+
+    def test_aggregate_classification(self):
+        assert irt.array_of(irt.f32, 4).is_aggregate
+        assert irt.struct_of(irt.i32).is_aggregate
+        assert not irt.i32.is_aggregate
+
+    def test_first_class(self):
+        assert irt.i32.is_first_class
+        assert not irt.void.is_first_class
+        assert not irt.function_type(irt.void, []).is_first_class
+
+
+class TestSizes:
+    def test_integer_bit_widths(self):
+        assert irt.i1.bit_width() == 1
+        assert irt.i64.bit_width() == 64
+
+    def test_integer_byte_sizes(self):
+        assert irt.i1.byte_size() == 1
+        assert irt.i8.byte_size() == 1
+        assert irt.i32.byte_size() == 4
+        assert irt.i64.byte_size() == 8
+
+    def test_float_sizes(self):
+        assert irt.half.byte_size() == 2
+        assert irt.f32.byte_size() == 4
+        assert irt.f64.byte_size() == 8
+
+    def test_array_byte_size(self):
+        assert irt.array_of(irt.f32, 4, 8).byte_size() == 4 * 8 * 4
+
+    def test_struct_byte_size_packed_layout(self):
+        s = irt.struct_of(irt.i8, irt.i32)
+        assert s.byte_size() == 5
+
+    def test_void_has_no_size(self):
+        with pytest.raises(TypeError):
+            irt.void.byte_size()
+
+
+class TestArrayHelpers:
+    def test_nested_array_dims(self):
+        t = irt.array_of(irt.f32, 2, 3, 4)
+        assert t.dims() == (2, 3, 4)
+        assert t.flattened_element() is irt.f32
+
+    def test_array_str(self):
+        assert str(irt.array_of(irt.f32, 4, 8)) == "[4 x [8 x float]]"
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            irt.ArrayType(irt.f32, -1)
+
+
+class TestIntegerWrap:
+    def test_wrap_positive_overflow(self):
+        assert irt.i8.wrap(200) == 200 - 256
+
+    def test_wrap_negative(self):
+        assert irt.i8.wrap(-1) == -1
+        assert irt.i8.wrap(-129) == 127
+
+    def test_wrap_identity_in_range(self):
+        assert irt.i32.wrap(12345) == 12345
+
+    @given(st.integers(min_value=-(2**70), max_value=2**70))
+    def test_wrap_is_idempotent_and_in_range(self, value):
+        wrapped = irt.i32.wrap(value)
+        assert irt.i32.min_signed <= wrapped <= irt.i32.max_signed
+        assert irt.i32.wrap(wrapped) == wrapped
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_wrap_congruent_mod_2n(self, value):
+        assert (irt.i16.wrap(value) - value) % (1 << 16) == 0
+
+
+class TestStrings:
+    def test_type_strings(self):
+        assert str(irt.void) == "void"
+        assert str(irt.i32) == "i32"
+        assert str(irt.f32) == "float"
+        assert str(irt.ptr) == "ptr"
+        assert str(irt.pointer_to(irt.f32)) == "float*"
+        assert str(irt.struct_of(irt.ptr, irt.i64)) == "{ptr, i64}"
+        assert str(irt.vector_of(irt.f32, 4)) == "<4 x float>"
+
+    def test_function_type_string(self):
+        ft = irt.function_type(irt.f32, [irt.i32, irt.ptr])
+        assert str(ft) == "float (i32, ptr)"

@@ -1,0 +1,133 @@
+"""Use-list machinery, RAUW, and constants."""
+
+import math
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.instructions import BinaryOperator
+from repro.ir.values import (
+    ConstantAggregate,
+    ConstantAggregateZero,
+    ConstantFloat,
+    ConstantInt,
+    PoisonValue,
+    UndefValue,
+)
+
+
+def _add(l, r):
+    return BinaryOperator("add", l, r)
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a = ConstantInt(irt.i32, 1)
+        b = ConstantInt(irt.i32, 2)
+        inst = _add(a, b)
+        assert any(u.user is inst and u.index == 0 for u in a.uses)
+        assert any(u.user is inst and u.index == 1 for u in b.uses)
+
+    def test_set_operand_moves_use(self):
+        a = ConstantInt(irt.i32, 1)
+        b = ConstantInt(irt.i32, 2)
+        c = ConstantInt(irt.i32, 3)
+        inst = _add(a, b)
+        inst.set_operand(0, c)
+        assert not any(u.user is inst for u in a.uses)
+        assert any(u.user is inst and u.index == 0 for u in c.uses)
+        assert inst.lhs is c
+
+    def test_rauw_rewrites_all_users(self):
+        a = ConstantInt(irt.i32, 1)
+        b = ConstantInt(irt.i32, 2)
+        i1 = _add(a, b)
+        i2 = _add(i1, i1)
+        new = ConstantInt(irt.i32, 9)
+        count = i1.replace_all_uses_with(new)
+        assert count == 2
+        assert i2.lhs is new and i2.rhs is new
+        assert not i1.is_used
+
+    def test_rauw_self_is_noop(self):
+        a = ConstantInt(irt.i32, 1)
+        inst = _add(a, a)
+        assert inst.replace_all_uses_with(inst) == 0
+
+    def test_users_deduplicated(self):
+        a = ConstantInt(irt.i32, 1)
+        inst = _add(a, a)
+        assert inst in a.users()
+        assert len([u for u in a.users() if u is inst]) == 1
+
+    def test_remove_operand_reindexes(self):
+        from repro.ir.instructions import Phi
+        from repro.ir.module import BasicBlock
+
+        phi = Phi(irt.i32)
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        v1, v2 = ConstantInt(irt.i32, 1), ConstantInt(irt.i32, 2)
+        phi.add_incoming(v1, b1)
+        phi.add_incoming(v2, b2)
+        phi.remove_incoming(b1)
+        assert phi.incoming == [(v2, b2)]
+        # The remaining use indices must be consistent.
+        assert any(u.user is phi and u.index == 0 for u in v2.uses)
+
+    def test_drop_all_operands(self):
+        a = ConstantInt(irt.i32, 1)
+        b = ConstantInt(irt.i32, 2)
+        inst = _add(a, b)
+        inst.drop_all_operands()
+        assert inst.num_operands == 0
+        assert not a.uses and not b.uses
+
+
+class TestConstants:
+    def test_int_constant_wraps_to_width(self):
+        c = ConstantInt(irt.i8, 300)
+        assert c.value == 300 - 256
+
+    def test_bool_refs(self):
+        assert ConstantInt(irt.i1, 1).ref() == "true"
+        assert ConstantInt(irt.i1, 0).ref() == "false"
+
+    def test_int_equality(self):
+        assert ConstantInt(irt.i32, 5) == ConstantInt(irt.i32, 5)
+        assert ConstantInt(irt.i32, 5) != ConstantInt(irt.i64, 5)
+        assert ConstantInt(irt.i32, 5) != ConstantInt(irt.i32, 6)
+
+    def test_float_rounds_to_storage_precision(self):
+        c = ConstantFloat(irt.f32, 0.1)
+        import struct
+
+        assert c.value == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+
+    def test_double_keeps_precision(self):
+        c = ConstantFloat(irt.f64, 0.1)
+        assert c.value == 0.1
+
+    def test_nan_renders_as_hex(self):
+        c = ConstantFloat(irt.f32, math.nan)
+        assert c.ref().startswith("0x")
+
+    def test_nan_equality(self):
+        assert ConstantFloat(irt.f64, math.nan) == ConstantFloat(irt.f64, math.nan)
+
+    def test_aggregate_arity_checked(self):
+        with pytest.raises(ValueError):
+            ConstantAggregate(
+                irt.array_of(irt.i32, 3), [ConstantInt(irt.i32, 1)]
+            )
+
+    def test_aggregate_ref(self):
+        agg = ConstantAggregate(
+            irt.array_of(irt.i32, 2),
+            [ConstantInt(irt.i32, 1), ConstantInt(irt.i32, 2)],
+        )
+        assert agg.ref() == "[i32 1, i32 2]"
+
+    def test_special_constant_refs(self):
+        assert UndefValue(irt.i32).ref() == "undef"
+        assert PoisonValue(irt.i32).ref() == "poison"
+        assert ConstantAggregateZero(irt.array_of(irt.f32, 4)).ref() == "zeroinitializer"

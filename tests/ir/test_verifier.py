@@ -1,0 +1,120 @@
+"""Verifier: catches structural/SSA violations and accepts valid IR."""
+
+import pytest
+
+from repro.ir import IRBuilder, Module, VerificationError, verify_module
+from repro.ir import types as irt
+from repro.ir.instructions import BinaryOperator, Branch, Return
+from repro.ir.values import ConstantInt
+
+from ..conftest import build_axpy_module, lowered_gemm_ir
+
+
+class TestAccepts:
+    def test_axpy_verifies(self, axpy_module):
+        verify_module(axpy_module)
+
+    def test_lowered_gemm_verifies(self):
+        _spec, irmod = lowered_gemm_ir(4)
+        verify_module(irmod)
+
+    def test_declaration_only_module(self):
+        m = Module()
+        m.declare_function("ext", irt.function_type(irt.void, []))
+        verify_module(m)
+
+
+class TestRejects:
+    def test_missing_terminator(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        entry = fn.add_block("entry")
+        entry.append(BinaryOperator("add", ConstantInt(irt.i32, 1), ConstantInt(irt.i32, 2)))
+        with pytest.raises(VerificationError, match="terminator"):
+            verify_module(m)
+
+    def test_empty_block(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        fn.add_block("entry")
+        with pytest.raises(VerificationError, match="empty"):
+            verify_module(m)
+
+    def test_terminator_mid_block(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, []))
+        entry = fn.add_block("entry")
+        entry.append(Return())
+        entry.append(Return())
+        with pytest.raises(VerificationError, match="not at block end"):
+            verify_module(m)
+
+    def test_duplicate_function_names(self):
+        m = Module()
+        m.add_function("f", irt.function_type(irt.void, []))
+        with pytest.raises(ValueError):
+            m.add_function("f", irt.function_type(irt.void, []))
+
+    def test_phi_missing_incoming(self, axpy_module):
+        fn = axpy_module.get_function("axpy")
+        phi = fn.blocks[1].phis()[0]
+        phi.remove_incoming(fn.entry)
+        with pytest.raises(VerificationError, match="phi"):
+            verify_module(axpy_module)
+
+    def test_use_before_def_same_block(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        first = b.add(fn.arguments[0], b.i32_(1), "first")
+        second = b.add(fn.arguments[0], b.i32_(2), "second")
+        b.ret()
+        # Swap so `first` uses `second` before it is defined.
+        first.set_operand(1, second)
+        entry.instructions.remove(first)
+        entry.instructions.insert(0, first)
+        with pytest.raises(VerificationError, match="defined later"):
+            verify_module(m)
+
+    def test_use_not_dominating_across_blocks(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i1]), ["c"])
+        entry = fn.add_block("entry")
+        left = fn.add_block("left")
+        merge = fn.add_block("merge")
+        b = IRBuilder(entry)
+        b.cond_br(fn.arguments[0], left, merge)
+        b.position_at_end(left)
+        v = b.i32_(0)
+        defined = b.add(v, b.i32_(1), "d")
+        b.br(merge)
+        b.position_at_end(merge)
+        # merge has preds {entry, left}; using `defined` here is invalid.
+        b.add(defined, b.i32_(1), "use")
+        b.ret()
+        with pytest.raises(VerificationError, match="does not dominate"):
+            verify_module(m)
+
+    def test_branch_to_foreign_block(self):
+        m = Module()
+        f1 = m.add_function("f1", irt.function_type(irt.void, []))
+        f2 = m.add_function("f2", irt.function_type(irt.void, []))
+        foreign = f2.add_block("foreign")
+        IRBuilder(foreign).ret()
+        entry = f1.add_block("entry")
+        entry.append(Branch(foreign))
+        with pytest.raises(VerificationError, match="outside function"):
+            verify_module(m)
+
+    def test_broken_use_list_detected(self):
+        m = Module()
+        fn = m.add_function("f", irt.function_type(irt.void, [irt.i32]), ["x"])
+        entry = fn.add_block("entry")
+        b = IRBuilder(entry)
+        add = b.add(fn.arguments[0], b.i32_(1))
+        b.ret()
+        # Corrupt the use list directly.
+        fn.arguments[0].uses.clear()
+        with pytest.raises(VerificationError, match="use-list"):
+            verify_module(m)

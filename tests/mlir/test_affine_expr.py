@@ -1,0 +1,86 @@
+"""Affine expression/map algebra, with property-based evaluation checks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mlir.affine_expr import (
+    AffineConstant,
+    AffineDim,
+    AffineMap,
+    AffineSymbol,
+    c,
+    d,
+    s,
+)
+
+
+class TestExprConstruction:
+    def test_operator_sugar(self):
+        expr = d(0) * 4 + d(1) - 2
+        assert expr.evaluate([3, 5]) == 3 * 4 + 5 - 2
+
+    def test_rsub_rmul(self):
+        assert (10 - d(0)).evaluate([3]) == 7
+        assert (3 * d(0)).evaluate([4]) == 12
+
+    def test_floordiv_mod(self):
+        assert (d(0) // 3).evaluate([10]) == 3
+        assert (d(0) % 3).evaluate([10]) == 1
+
+    def test_symbols(self):
+        expr = d(0) + s(0)
+        assert expr.evaluate([2], [30]) == 32
+
+    def test_max_dim_and_sym(self):
+        expr = d(2) + s(1) * 3
+        assert expr.max_dim() == 3
+        assert expr.max_sym() == 2
+
+    def test_equality_is_structural(self):
+        assert d(0) + 1 == d(0) + 1
+        assert d(0) + 1 != d(0) + 2
+
+
+class TestAffineMap:
+    def test_constant_map(self):
+        m = AffineMap.constant(7)
+        assert m.is_single_constant()
+        assert m.single_constant() == 7
+        assert m.evaluate([], []) == (7,)
+
+    def test_identity_map(self):
+        m = AffineMap.identity(3)
+        assert m.evaluate([4, 5, 6]) == (4, 5, 6)
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            AffineMap(1, 0, [d(1)])  # d1 out of range
+        with pytest.raises(ValueError):
+            AffineMap.identity(2).evaluate([1])
+
+    def test_multi_result(self):
+        m = AffineMap(1, 0, [d(0), d(0) + 1])
+        assert m.evaluate([5]) == (5, 6)
+
+    def test_string_form(self):
+        m = AffineMap(2, 1, [d(0) + s(0)])
+        text = str(m)
+        assert "d0" in text and "s0" in text
+
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50),
+        st.integers(-10, 10), st.integers(-10, 10), st.integers(-10, 10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_affine_combination_matches_python(self, x, y, a, b, k):
+        expr = d(0) * a + d(1) * b + k
+        m = AffineMap(2, 0, [expr])
+        assert m.evaluate([x, y]) == (a * x + b * y + k,)
+
+    @given(st.integers(0, 1000), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_floordiv_mod_identity(self, x, q):
+        div = (d(0) // q).evaluate([x])
+        mod = (d(0) % q).evaluate([x])
+        assert div * q + mod == x
+        assert 0 <= mod < q

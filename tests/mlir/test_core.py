@@ -1,0 +1,144 @@
+"""Core MLIR structures: types, attributes, ops, regions, use lists, clone."""
+
+import pytest
+
+from repro.mlir import core
+from repro.mlir.core import (
+    Block,
+    IntegerAttr,
+    MemRefType,
+    Operation,
+    StringAttr,
+    f32,
+    i32,
+    index,
+    memref,
+)
+from repro.mlir.dialects import arith
+
+
+class TestTypes:
+    def test_interning(self):
+        assert core.IntType(32) is core.i32
+        assert core.FloatType("f32") is core.f32
+        assert MemRefType([4, 4], f32) is MemRefType([4, 4], f32)
+        assert core.FunctionType([i32], []) is core.FunctionType([i32], [])
+
+    def test_memref_properties(self):
+        t = memref(4, 8, f32)
+        assert t.rank == 2
+        assert t.shape == (4, 8)
+        assert t.num_elements == 32
+        assert t.strides() == (8, 1)
+        assert str(t) == "memref<4x8xf32>"
+
+    def test_memref_dynamic_rejected(self):
+        with pytest.raises(ValueError):
+            MemRefType([-1], f32)
+
+    def test_type_strings(self):
+        assert str(index) == "index"
+        assert str(i32) == "i32"
+        assert str(f32) == "f32"
+        assert str(core.FunctionType([i32, f32], [f32])) == "(i32, f32) -> f32"
+
+
+class TestAttributes:
+    def test_attribute_equality(self):
+        assert IntegerAttr(4, index) == IntegerAttr(4, index)
+        assert IntegerAttr(4, index) != IntegerAttr(5, index)
+        assert StringAttr("x") == StringAttr("x")
+
+    def test_attribute_strings(self):
+        assert str(IntegerAttr(4, index)) == "4 : index"
+        assert str(StringAttr("hi")) == '"hi"'
+        assert str(core.BoolAttr(True)) == "true"
+        assert str(core.FloatAttr(1.5, f32)) == "1.5 : f32"
+
+
+class TestOperations:
+    def test_results_and_operands(self):
+        c = arith.constant(1, i32)
+        add = arith.addi(c.result, c.result)
+        assert add.num_operands == 2
+        assert add.results[0].type is i32
+        assert add in c.result.users()
+
+    def test_rauw(self):
+        c1 = arith.constant(1, i32)
+        c2 = arith.constant(2, i32)
+        add = arith.addi(c1.result, c1.result)
+        c1.replace_all_uses_with([c2.result])
+        assert add.get_operand(0) is c2.result
+        assert not c1.result.is_used
+
+    def test_erase_used_rejected(self):
+        c = arith.constant(1, i32)
+        arith.addi(c.result, c.result)
+        with pytest.raises(RuntimeError):
+            c.erase()
+
+    def test_erase_releases_uses(self):
+        c = arith.constant(1, i32)
+        add = arith.addi(c.result, c.result)
+        block = Block()
+        block.append(c)
+        block.append(add)
+        add.erase()
+        assert not c.result.is_used
+
+    def test_dialect_name(self):
+        assert arith.constant(1, i32).dialect == "arith"
+
+
+class TestRegionsAndWalk:
+    def test_walk_traverses_nested_regions(self):
+        from repro.mlir import FunctionType, ModuleOp, OpBuilder
+        from repro.mlir.dialects import func
+
+        mod = ModuleOp("m")
+        fn = func.func("f", FunctionType([], []))
+        mod.append(fn.op)
+        b = OpBuilder(fn.entry)
+        loop = b.affine_for(0, 4)
+        with b.inside(loop):
+            b.const_index(7)
+        b.insert(func.return_())
+        names = [op.name for op in mod.walk()]
+        assert "builtin.module" in names
+        assert "affine.for" in names
+        assert "arith.constant" in names
+
+    def test_clone_remaps_nested_values(self):
+        from repro.mlir import FunctionType, ModuleOp, OpBuilder
+        from repro.mlir.dialects import func
+
+        fn = func.func("f", FunctionType([core.index], []))
+        b = OpBuilder(fn.entry)
+        loop = b.affine_for(0, 4)
+        with b.inside(loop):
+            iv = loop.induction_variable
+            b.insert(arith.addi(iv, iv))
+        clone = loop.op.clone({})
+        # Cloned body must reference the cloned block argument, not the old.
+        cloned_add = clone.regions[0].entry.operations[0]
+        assert cloned_add.get_operand(0) is clone.regions[0].entry.arguments[0]
+        assert cloned_add.get_operand(0) is not iv
+
+    def test_clone_copies_attributes(self):
+        c = arith.constant(42, i32)
+        clone = c.clone({})
+        assert clone.get_attr("value").value == 42
+
+
+class TestModuleOp:
+    def test_symbol_lookup(self):
+        from repro.mlir import FunctionType, ModuleOp
+        from repro.mlir.dialects import func
+
+        mod = ModuleOp("m")
+        fn = func.func("kernel", FunctionType([], []))
+        mod.append(fn.op)
+        assert mod.lookup("kernel") is fn.op
+        assert mod.lookup("missing") is None
+        assert mod.functions() == [fn.op]

@@ -1,0 +1,168 @@
+"""Dialect constructor checks: types, arities, structural wrappers."""
+
+import pytest
+
+from repro.mlir import FunctionType, OpBuilder, core, f32, i32, index, memref
+from repro.mlir.affine_expr import AffineMap, d
+from repro.mlir.dialects import affine, arith, cf, func, math, memref as mr, scf
+
+
+def _consts():
+    b = OpBuilder(core.Block())
+    return b, b.const_index(0), b.const_index(4), b.const_float(1.0, f32)
+
+
+class TestArith:
+    def test_constant_types(self):
+        assert arith.constant(3, index).result.type is index
+        assert arith.constant(1.5, f32).result.type is f32
+        with pytest.raises(TypeError):
+            arith.constant(1, memref(4, f32))
+
+    def test_binary_type_mismatch(self):
+        a = arith.constant(1, i32).result
+        b = arith.constant(1, index).result
+        with pytest.raises(TypeError):
+            arith.addi(a, b)
+
+    def test_cmpi_result_is_i1(self):
+        a = arith.constant(1, i32).result
+        assert arith.cmpi("slt", a, a).result.type is core.i1
+
+    def test_cmpi_bad_predicate(self):
+        a = arith.constant(1, i32).result
+        with pytest.raises(ValueError):
+            arith.cmpi("lt", a, a)
+
+    def test_select_arm_mismatch(self):
+        cond = arith.constant(1, core.i1).result
+        a = arith.constant(1, i32).result
+        b = arith.constant(1.0, f32).result
+        with pytest.raises(TypeError):
+            arith.select(cond, a, b)
+
+
+class TestMemRefDialect:
+    def test_load_rank_checked(self):
+        ref = mr.alloc(memref(4, 4, f32)).result
+        idx = arith.constant(0, index).result
+        with pytest.raises(TypeError):
+            mr.load(ref, [idx])
+
+    def test_load_index_type_checked(self):
+        ref = mr.alloc(memref(4, f32)).result
+        bad = arith.constant(0, i32).result
+        with pytest.raises(TypeError):
+            mr.load(ref, [bad])
+
+    def test_store_element_type_checked(self):
+        ref = mr.alloc(memref(4, f32)).result
+        idx = arith.constant(0, index).result
+        value = arith.constant(1, i32).result
+        with pytest.raises(TypeError):
+            mr.store(value, ref, [idx])
+
+    def test_copy_type_checked(self):
+        a = mr.alloc(memref(4, f32)).result
+        b = mr.alloc(memref(8, f32)).result
+        with pytest.raises(TypeError):
+            mr.copy(a, b)
+
+
+class TestAffineDialect:
+    def test_for_body_signature(self):
+        loop = affine.for_(0, 8)
+        assert len(loop.body.arguments) == 1
+        assert loop.body.arguments[0].type is index
+        assert loop.step == 1
+
+    def test_for_iter_args(self):
+        init = arith.constant(0.0, f32).result
+        loop = affine.for_(0, 8, iter_inits=[init])
+        assert len(loop.iter_args) == 1
+        assert loop.iter_args[0].type is f32
+        assert len(loop.results) == 1
+
+    def test_for_bound_operand_arity_checked(self):
+        with pytest.raises(ValueError):
+            affine.for_(0, d(0) + 1)  # upper map needs one operand
+
+    def test_for_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            affine.for_(0, 8, step=0)
+
+    def test_trip_count(self):
+        assert affine.for_(0, 10, step=3).trip_count() == 4
+        assert affine.for_(5, 5).trip_count() == 0
+
+    def test_load_map_arity_checked(self):
+        ref_op = mr.alloc(memref(4, 4, f32))
+        idx = arith.constant(0, index).result
+        with pytest.raises(TypeError):
+            affine.load(ref_op.result, [idx])  # rank-2 needs 2-result map
+
+    def test_apply_single_result_required(self):
+        with pytest.raises(ValueError):
+            affine.apply(AffineMap(1, 0, [d(0), d(0)]), [arith.constant(0, index).result])
+
+
+class TestScfDialect:
+    def test_for_bounds_must_be_index(self):
+        bad = arith.constant(0, i32).result
+        good = arith.constant(0, index).result
+        with pytest.raises(TypeError):
+            scf.for_(bad, good, good)
+
+    def test_if_condition_must_be_i1(self):
+        with pytest.raises(TypeError):
+            scf.if_(arith.constant(0, i32).result)
+
+    def test_if_with_results_gets_else(self):
+        cond = arith.constant(1, core.i1).result
+        if_op = scf.if_(cond, result_types=[f32])
+        assert if_op.has_else
+
+
+class TestCfDialect:
+    def test_br_arity_checked(self):
+        block = core.Block([index])
+        with pytest.raises(TypeError):
+            cf.br(block, [])
+
+    def test_cond_br_arity_checked(self):
+        cond = arith.constant(1, core.i1).result
+        t = core.Block([index])
+        f = core.Block()
+        with pytest.raises(TypeError):
+            cf.cond_br(cond, t, [], f, [])
+
+
+class TestFuncDialect:
+    def test_func_wrapper(self):
+        fn = func.func("k", FunctionType([i32, f32], []), ["a", "b"])
+        assert fn.sym_name == "k"
+        assert list(fn.arg_names) == ["a", "b"]
+        assert fn.arguments[1].type is f32
+        assert not fn.is_declaration
+
+    def test_declaration(self):
+        fn = func.func("d", FunctionType([], []), declaration=True)
+        assert fn.is_declaration
+
+    def test_call_constructor(self):
+        a = arith.constant(1, i32).result
+        call = func.call("callee", [a], [f32])
+        assert call.get_attr("callee").symbol == "callee"
+        assert call.results[0].type is f32
+
+
+class TestMathDialect:
+    def test_unary_type_propagates(self):
+        x = arith.constant(2.0, f32).result
+        assert math.sqrt(x).result.type is f32
+
+    def test_fma_type_checked(self):
+        x = arith.constant(2.0, f32).result
+        y = arith.constant(2.0, core.f64).result
+        with pytest.raises(TypeError):
+            math.fma(x, x, y)
