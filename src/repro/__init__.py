@@ -33,4 +33,14 @@ Sixty-second tour::
 
 __version__ = "1.0.0"
 
-__all__ = ["ir", "mlir", "adaptor", "hls", "hlscpp", "flows", "workloads"]
+__all__ = [
+    "ir",
+    "mlir",
+    "adaptor",
+    "hls",
+    "hlscpp",
+    "flows",
+    "workloads",
+    "diagnostics",
+    "testing",
+]

@@ -6,7 +6,14 @@ through generated HLS C++ — preserving expression details (multi-dim
 subscripts, loop directives) that the C++ path regenerates lossily.
 """
 
-from .pipeline import ADAPTOR_PASS_ORDER, AdaptorReport, HLSAdaptor
+from .pipeline import (
+    ADAPTOR_PASS_ORDER,
+    ESSENTIAL_PASSES,
+    PASS_FACTORY,
+    AdaptorReport,
+    Degradation,
+    HLSAdaptor,
+)
 from .freeze_elim import FreezeElimination
 from .intrinsic_legalize import IntrinsicLegalization
 from .struct_flatten import StructFlattening
@@ -18,7 +25,10 @@ from .loop_metadata import LoopMetadataLowering
 
 __all__ = [
     "ADAPTOR_PASS_ORDER",
+    "ESSENTIAL_PASSES",
+    "PASS_FACTORY",
     "AdaptorReport",
+    "Degradation",
     "HLSAdaptor",
     "FreezeElimination",
     "IntrinsicLegalization",

@@ -1,0 +1,48 @@
+"""Structured diagnostics, crash reproducers, and replay.
+
+The debugging backbone of the adaptor stack (modelled on MLIR's
+diagnostic engine and pass-crash reproducers):
+
+* :class:`DiagnosticEngine` / :class:`Diagnostic` — severities, stable
+  error codes (:data:`ERROR_CODES`), pass/function/instruction attribution;
+* :class:`CompilationError` hierarchy — every on-purpose failure in the
+  stack, replacing bare ``RuntimeError``/``ValueError``;
+* :class:`PassGuard` — pre-pass snapshots, rollback on failure, and
+  :class:`CrashReproducer` emission from both pass managers;
+* :func:`replay` — rerun a reproducer and check it reaches the same
+  diagnostic (or confirm a fix).
+"""
+
+from .engine import ERROR_CODES, Diagnostic, DiagnosticEngine, Severity
+from .errors import (
+    CompilationError,
+    FlowError,
+    InputRejectionError,
+    PassExecutionError,
+    PassVerificationError,
+    PipelineConfigError,
+    ReplayError,
+)
+from .guard import PassGuard
+from .replay import ReplayResult, replay
+from .reproducer import CrashReproducer, default_reproducer_dir, emit_reproducer
+
+__all__ = [
+    "ERROR_CODES",
+    "Diagnostic",
+    "DiagnosticEngine",
+    "Severity",
+    "CompilationError",
+    "FlowError",
+    "InputRejectionError",
+    "PassExecutionError",
+    "PassVerificationError",
+    "PipelineConfigError",
+    "ReplayError",
+    "PassGuard",
+    "ReplayResult",
+    "replay",
+    "CrashReproducer",
+    "default_reproducer_dir",
+    "emit_reproducer",
+]

@@ -1,0 +1,74 @@
+"""The pass guard: snapshot, rollback, and reproducer emission.
+
+A guard attaches to a pass manager.  Before each pass it snapshots the
+module (printed text + side tables); if the pass raises or the post-pass
+verifier rejects the result, the manager asks the guard to roll the module
+back to the snapshot and write a :class:`CrashReproducer` so the failure is
+replayable offline with :func:`repro.diagnostics.replay`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .engine import Diagnostic, DiagnosticEngine
+from .reproducer import CrashReproducer, emit_reproducer
+
+__all__ = ["PassGuard"]
+
+
+class PassGuard:
+    """Snapshot/rollback/reproducer policy for one pass-manager run.
+
+    ``kind`` selects the snapshot implementation: ``"ir"`` uses
+    :class:`repro.ir.snapshot.ModuleSnapshot`, ``"mlir"`` uses
+    :class:`repro.mlir.snapshot.MLIRModuleSnapshot`.
+    """
+
+    def __init__(
+        self,
+        kind: str = "ir",
+        reproducer_dir: Optional[str] = None,
+        engine: Optional[DiagnosticEngine] = None,
+        pipeline_name: str = "",
+    ):
+        if kind not in ("ir", "mlir"):
+            raise ValueError(f"unknown guard kind {kind!r}; want 'ir' or 'mlir'")
+        self.kind = kind
+        self.reproducer_dir = reproducer_dir
+        self.engine = engine
+        self.pipeline_name = pipeline_name
+
+    def snapshot(self, module):
+        if self.kind == "ir":
+            from ..ir.snapshot import ModuleSnapshot
+
+            return ModuleSnapshot(module)
+        from ..mlir.snapshot import MLIRModuleSnapshot
+
+        return MLIRModuleSnapshot(module)
+
+    def failure(
+        self,
+        module,
+        snapshot,
+        pipeline_tail: List[str],
+        verify_each: bool,
+        diagnostic: Diagnostic,
+    ) -> str:
+        """Roll ``module`` back and emit a crash reproducer; returns its path."""
+        snapshot.restore(module)
+        reproducer = CrashReproducer(
+            kind=self.kind,
+            pipeline=list(pipeline_tail),
+            failing_pass=pipeline_tail[0] if pipeline_tail else "",
+            verify_each=verify_each,
+            diagnostic=diagnostic,
+            module_text=snapshot.text,
+            function_info=snapshot.function_info(),
+        )
+        path = emit_reproducer(reproducer, self.reproducer_dir)
+        diagnostic.notes.append(f"crash reproducer written to {path}")
+        if self.engine is not None:
+            self.engine.emit(diagnostic)
+        return path

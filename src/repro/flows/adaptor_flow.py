@@ -2,12 +2,17 @@
 
 No C++ is ever generated: the IR produced by MLIR lowering is rewritten in
 place into the HLS frontend's dialect, preserving expression details.
+
+Every stage is guarded: unstructured failures surface as
+:class:`repro.diagnostics.FlowError` with stage attribution, structured
+:class:`repro.diagnostics.CompilationError`\\ s pass through.  ``on_error``
+and ``reproducer_dir`` forward to :class:`repro.adaptor.HLSAdaptor` for
+graceful degradation and crash reproducers.
 """
 
 from __future__ import annotations
 
 import copy
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -17,6 +22,7 @@ from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
 from ..mlir.passes import convert_to_llvm, lowering_pipeline
 from ..workloads.polybench import KernelSpec
+from .stage import flow_stage
 
 __all__ = ["AdaptorFlowResult", "run_adaptor_flow"]
 
@@ -39,6 +45,10 @@ class AdaptorFlowResult:
     def resources(self) -> Dict[str, int]:
         return self.synth_report.resources
 
+    @property
+    def degraded(self) -> bool:
+        return self.adaptor_report.degraded
+
 
 def run_adaptor_flow(
     spec: KernelSpec,
@@ -46,6 +56,8 @@ def run_adaptor_flow(
     disable_adaptor_passes: Sequence[str] = (),
     keep_modern_snapshot: bool = False,
     strict_frontend: bool = True,
+    on_error: str = "raise",
+    reproducer_dir: Optional[str] = None,
 ) -> AdaptorFlowResult:
     """Run one kernel through the adaptor flow end to end.
 
@@ -54,10 +66,9 @@ def run_adaptor_flow(
     """
     timings: Dict[str, float] = {}
 
-    start = time.perf_counter()
-    lowering_pipeline().run(spec.module)
-    ir_module = convert_to_llvm(spec.module)
-    timings["lower"] = time.perf_counter() - start
+    with flow_stage("adaptor", "lower", timings):
+        lowering_pipeline().run(spec.module)
+        ir_module = convert_to_llvm(spec.module)
     raw_count = sum(
         len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
     )
@@ -69,19 +80,20 @@ def run_adaptor_flow(
 
         modern_snapshot = parse_module(print_module(ir_module))
 
-    start = time.perf_counter()
-    standard_cleanup_pipeline().run(ir_module)
-    timings["cleanup"] = time.perf_counter() - start
+    with flow_stage("adaptor", "cleanup", timings):
+        standard_cleanup_pipeline().run(ir_module)
 
-    start = time.perf_counter()
-    adaptor = HLSAdaptor(disable=disable_adaptor_passes)
-    adaptor_report = adaptor.run(ir_module)
-    timings["adaptor"] = time.perf_counter() - start
+    with flow_stage("adaptor", "adaptor", timings):
+        adaptor = HLSAdaptor(
+            disable=disable_adaptor_passes,
+            on_error=on_error,
+            reproducer_dir=reproducer_dir,
+        )
+        adaptor_report = adaptor.run(ir_module)
 
-    start = time.perf_counter()
-    engine = HLSEngine(device=device, strict_frontend=strict_frontend)
-    synth_report = engine.synthesize(ir_module)
-    timings["synthesis"] = time.perf_counter() - start
+    with flow_stage("adaptor", "synthesis", timings):
+        engine = HLSEngine(device=device, strict_frontend=strict_frontend)
+        synth_report = engine.synthesize(ir_module)
 
     return AdaptorFlowResult(
         kernel=spec.name,

@@ -95,11 +95,17 @@ class FlowComparison:
         return self.adaptor.latency / cpp_lat
 
     def row(self) -> str:
+        if self.functionally_equivalent is None:
+            verdict = "n/a"  # equivalence check skipped, not a mismatch
+        elif self.functionally_equivalent:
+            verdict = "OK"
+        else:
+            verdict = "MISMATCH"
         return (
             f"{self.kernel:<12} {self.config:<10} "
             f"{self.adaptor.latency:>10} {self.cpp.latency:>10} "
             f"{self.latency_ratio:>7.3f}  "
-            f"{'OK' if self.functionally_equivalent else 'MISMATCH'}"
+            f"{verdict}"
         )
 
 
@@ -141,14 +147,22 @@ def compare_flows(
     device: str = "xc7z020",
     check_equivalence: bool = True,
     seed: int = 0,
+    on_error: str = "raise",
+    reproducer_dir: Optional[str] = None,
 ) -> FlowComparison:
     """Build the kernel twice (each flow consumes its module), run both
-    flows under the same optimisation config, and compare."""
+    flows under the same optimisation config, and compare.
+
+    ``on_error="recover"`` lets the adaptor flow degrade gracefully
+    (non-essential pass failures are disabled and recorded) instead of
+    aborting the whole comparison."""
     config = config or OptimizationConfig.baseline()
 
     spec_a = build_kernel(kernel_name, **sizes)
     config.apply(spec_a)
-    adaptor_result = run_adaptor_flow(spec_a, device=device)
+    adaptor_result = run_adaptor_flow(
+        spec_a, device=device, on_error=on_error, reproducer_dir=reproducer_dir
+    )
 
     spec_c = build_kernel(kernel_name, **sizes)
     config.apply(spec_c)

@@ -1,9 +1,11 @@
 """The baseline flow: MLIR -> HLS C++ -> Vitis-clang-style frontend -> HLS
-engine (the round trip the paper's adaptor replaces)."""
+engine (the round trip the paper's adaptor replaces).
+
+Stages are guarded like the adaptor flow's: unstructured failures become
+:class:`repro.diagnostics.FlowError` with stage attribution."""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -12,6 +14,7 @@ from ..hlscpp import compile_hls_cpp, generate_hls_cpp
 from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
 from ..workloads.polybench import KernelSpec
+from .stage import flow_stage
 
 __all__ = ["CppFlowResult", "run_cpp_flow"]
 
@@ -38,25 +41,21 @@ def run_cpp_flow(spec: KernelSpec, device: str = "xc7z020") -> CppFlowResult:
     """Run one kernel through the HLS-C++ baseline flow end to end."""
     timings: Dict[str, float] = {}
 
-    start = time.perf_counter()
-    cpp_source = generate_hls_cpp(spec.module)
-    timings["codegen"] = time.perf_counter() - start
+    with flow_stage("cpp", "codegen", timings):
+        cpp_source = generate_hls_cpp(spec.module)
 
-    start = time.perf_counter()
-    ir_module = compile_hls_cpp(cpp_source)
-    timings["c-frontend"] = time.perf_counter() - start
+    with flow_stage("cpp", "c-frontend", timings):
+        ir_module = compile_hls_cpp(cpp_source)
     raw_count = sum(
         len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
     )
 
-    start = time.perf_counter()
-    standard_cleanup_pipeline().run(ir_module)
-    timings["cleanup"] = time.perf_counter() - start
+    with flow_stage("cpp", "cleanup", timings):
+        standard_cleanup_pipeline().run(ir_module)
 
-    start = time.perf_counter()
-    engine = HLSEngine(device=device, strict_frontend=True)
-    synth_report = engine.synthesize(ir_module)
-    timings["synthesis"] = time.perf_counter() - start
+    with flow_stage("cpp", "synthesis", timings):
+        engine = HLSEngine(device=device, strict_frontend=True)
+        synth_report = engine.synthesize(ir_module)
 
     return CppFlowResult(
         kernel=spec.name,

@@ -1,0 +1,37 @@
+"""Stage guard shared by the flow drivers.
+
+Wraps one named stage of an end-to-end flow: times it into the flow's
+``timings`` dict and converts any *unstructured* exception into a
+:class:`repro.diagnostics.FlowError` with flow/stage attribution.
+Structured :class:`repro.diagnostics.CompilationError`\\ s pass through
+untouched — they already carry better attribution (pass name, error code,
+reproducer path) than the stage label.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+from ..diagnostics.errors import CompilationError, FlowError
+
+__all__ = ["flow_stage"]
+
+
+@contextmanager
+def flow_stage(flow: str, name: str, timings: Dict[str, float]):
+    start = time.perf_counter()
+    try:
+        yield
+    except CompilationError:
+        timings[name] = time.perf_counter() - start
+        raise
+    except Exception as exc:
+        timings[name] = time.perf_counter() - start
+        raise FlowError(
+            f"{flow} flow stage {name!r} failed: {type(exc).__name__}: {exc}",
+            flow=flow,
+            stage=name,
+        ) from exc
+    timings[name] = time.perf_counter() - start

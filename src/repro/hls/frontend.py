@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..diagnostics.errors import CompilationError
 from ..ir.instructions import Call, ExtractValue, Freeze, InsertValue, Instruction
 from ..ir.metadata import decode_loop_directives
 from ..ir.module import Function, Module
@@ -52,8 +53,11 @@ _SUPPORTED_EXTERNALS = {
 }
 
 
-class FrontendError(Exception):
-    """Raised in strict mode when the module is not HLS-readable."""
+class FrontendError(CompilationError):
+    """Raised in strict mode when the module is not HLS-readable
+    (code ``REPRO-FRONTEND-001``)."""
+
+    code = "REPRO-FRONTEND-001"
 
     def __init__(self, errors: List[str]):
         super().__init__(

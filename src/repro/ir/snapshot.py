@@ -1,0 +1,92 @@
+"""Module snapshot/rollback for the mini-LLVM IR.
+
+A snapshot is the module's printed text (what goes into a crash
+reproducer) plus the per-function side tables the textual form does not
+carry — interface specs, memref-argument provenance, partition
+directives and chosen buffer pointee types.  ``restore`` re-parses the
+text and transplants the result into the *same* ``Module`` object, so
+every caller holding a reference sees the rolled-back state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .module import Function, Module
+
+__all__ = ["ModuleSnapshot"]
+
+
+def _copy_side_tables(fn: Function) -> dict:
+    return {
+        "attributes": set(fn.attributes),
+        "metadata": dict(fn.metadata),
+        "hls_interfaces": list(fn.hls_interfaces),
+        "hls_partitions": dict(fn.hls_partitions),
+        "hls_memref_args": {k: dict(v) for k, v in fn.hls_memref_args.items()},
+        "hls_buffer_types": dict(fn.hls_buffer_types),
+    }
+
+
+class ModuleSnapshot:
+    """Rollback point taken before a guarded pass runs."""
+
+    kind = "ir"
+
+    def __init__(self, module: Module):
+        from .printer import print_module
+
+        self.text = print_module(module)
+        self.side: Dict[str, dict] = {
+            fn.name: _copy_side_tables(fn) for fn in module.functions
+        }
+
+    def restore(self, module: Module) -> Module:
+        """Transplant the snapshot back into ``module`` in place."""
+        from .parser import parse_module
+
+        fresh = parse_module(self.text)
+        module.name = fresh.name
+        module.opaque_pointers = fresh.opaque_pointers
+        module.source_flow = fresh.source_flow
+        module.target_triple = fresh.target_triple
+        module.functions = fresh.functions
+        module.globals = fresh.globals
+        module.named_metadata = fresh.named_metadata
+        for fn in module.functions:
+            fn.module = module
+            side = self.side.get(fn.name)
+            if side is None:
+                continue
+            fn.attributes = set(side["attributes"])
+            fn.metadata.update(side["metadata"])
+            fn.hls_interfaces = list(side["hls_interfaces"])
+            fn.hls_partitions = dict(side["hls_partitions"])
+            fn.hls_memref_args = {
+                k: dict(v) for k, v in side["hls_memref_args"].items()
+            }
+            fn.hls_buffer_types = dict(side["hls_buffer_types"])
+        return module
+
+    def function_info(self) -> Dict[str, dict]:
+        """JSON-safe side-table dump for the crash reproducer."""
+        info: Dict[str, dict] = {}
+        for name, side in self.side.items():
+            info[name] = {
+                "attributes": sorted(side["attributes"]),
+                "hls_partitions": {
+                    k: list(v) if isinstance(v, tuple) else v
+                    for k, v in side["hls_partitions"].items()
+                },
+                "hls_memref_args": {
+                    k: {
+                        kk: (list(vv) if isinstance(vv, tuple) else vv)
+                        for kk, vv in v.items()
+                    }
+                    for k, v in side["hls_memref_args"].items()
+                },
+                "hls_buffer_types": {
+                    k: str(v) for k, v in side["hls_buffer_types"].items()
+                },
+            }
+        return info

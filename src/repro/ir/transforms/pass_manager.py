@@ -1,8 +1,16 @@
-"""Pass manager with per-pass rewrite statistics.
+"""Pass manager with per-pass rewrite statistics and crash hardening.
 
 Statistics matter beyond debugging here: the adaptor's headline metric
 (Fig. 3 of the reconstructed evaluation) is "rewrites applied per pass per
-kernel", collected through the same mechanism.
+kernel", collected through the same mechanism.  Stats are recorded into
+``history`` as each pass completes, so a mid-pipeline failure keeps the
+record of everything that already ran.
+
+Failures are structured: a pass that raises becomes a
+:class:`repro.diagnostics.PassExecutionError`, a post-pass verifier
+rejection becomes a :class:`repro.diagnostics.PassVerificationError`, and
+when a :class:`repro.diagnostics.PassGuard` is attached the module is
+rolled back to its pre-pass snapshot and a crash reproducer lands on disk.
 """
 
 from __future__ import annotations
@@ -11,6 +19,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ...diagnostics.engine import Diagnostic, Severity
+from ...diagnostics.errors import PassExecutionError, PassVerificationError
+from ...diagnostics.guard import PassGuard
 from ..module import Function, Module
 
 __all__ = ["FunctionPass", "ModulePass", "PassManager", "PassStatistics"]
@@ -53,33 +64,82 @@ class FunctionPass(ModulePass):
 
 
 class PassManager:
-    def __init__(self, verify_each: bool = True):
+    def __init__(self, verify_each: bool = True, guard: Optional[PassGuard] = None):
         self.passes: List[ModulePass] = []
         self.verify_each = verify_each
+        self.guard = guard
         self.history: List[PassStatistics] = []
 
     def add(self, pass_: ModulePass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
+    def _fail(
+        self,
+        error_cls,
+        module: Module,
+        snapshot,
+        pipeline_tail: List[str],
+        message: str,
+        cause: Exception,
+    ) -> None:
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=error_cls.code,
+            message=message,
+            pass_name=pipeline_tail[0],
+        )
+        path = None
+        if self.guard is not None and snapshot is not None:
+            path = self.guard.failure(
+                module, snapshot, pipeline_tail, self.verify_each, diagnostic
+            )
+        raise error_cls(
+            message,
+            pass_name=pipeline_tail[0],
+            diagnostic=diagnostic,
+            reproducer_path=path,
+        ) from cause
+
     def run(self, module: Module) -> List[PassStatistics]:
         from ..verifier import verify_module
 
+        names = [p.name for p in self.passes]
         run_stats: List[PassStatistics] = []
-        for pass_ in self.passes:
+        for i, pass_ in enumerate(self.passes):
+            snapshot = self.guard.snapshot(module) if self.guard is not None else None
             stats = PassStatistics(pass_.name)
             start = time.perf_counter()
-            pass_.run_on_module(module, stats)
+            try:
+                pass_.run_on_module(module, stats)
+            except Exception as exc:
+                stats.seconds = time.perf_counter() - start
+                self._fail(
+                    PassExecutionError,
+                    module,
+                    snapshot,
+                    names[i:],
+                    f"pass {pass_.name!r} raised "
+                    f"{type(exc).__name__}: {exc}",
+                    exc,
+                )
             stats.seconds = time.perf_counter() - start
+            # Record as the pass completes: a later failure must not lose
+            # the stats of passes that already ran.
             run_stats.append(stats)
+            self.history.append(stats)
             if self.verify_each:
                 try:
                     verify_module(module)
-                except Exception as exc:  # re-raise with pass attribution
-                    raise RuntimeError(
-                        f"IR verification failed after pass {pass_.name!r}: {exc}"
-                    ) from exc
-        self.history.extend(run_stats)
+                except Exception as exc:
+                    self._fail(
+                        PassVerificationError,
+                        module,
+                        snapshot,
+                        names[i:],
+                        f"IR verification failed after pass {pass_.name!r}: {exc}",
+                        exc,
+                    )
         return run_stats
 
     def total_rewrites(self) -> int:

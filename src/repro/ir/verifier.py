@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..diagnostics.errors import CompilationError
 from .analysis.cfg import reachable_blocks
 from .analysis.dominators import DominatorTree
 from .instructions import Instruction, Phi
@@ -24,7 +25,11 @@ from .values import Argument, Constant, Value
 __all__ = ["VerificationError", "verify_module", "verify_function"]
 
 
-class VerificationError(Exception):
+class VerificationError(CompilationError):
+    """Structural/SSA invariant violations (code ``REPRO-VERIFY-001``)."""
+
+    code = "REPRO-VERIFY-001"
+
     def __init__(self, errors: List[str]):
         super().__init__("\n".join(errors))
         self.errors = errors

@@ -1,11 +1,22 @@
-"""Pass manager for mini-MLIR modules (mirrors the IR-side manager)."""
+"""Pass manager for mini-MLIR modules (mirrors the IR-side manager).
+
+Carries the same hardening as :class:`repro.ir.transforms.PassManager`:
+per-pass stats recorded as they complete, structured
+:class:`repro.diagnostics.PassExecutionError` /
+:class:`repro.diagnostics.PassVerificationError` failures, and an optional
+:class:`repro.diagnostics.PassGuard` for snapshot/rollback plus crash
+reproducers (kind ``"mlir"``).
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ...diagnostics.engine import Diagnostic, Severity
+from ...diagnostics.errors import PassExecutionError, PassVerificationError
+from ...diagnostics.guard import PassGuard
 from ..dialects.builtin import ModuleOp
 
 __all__ = ["MLIRPass", "MLIRPassManager", "MLIRPassStatistics"]
@@ -31,33 +42,80 @@ class MLIRPass:
 
 
 class MLIRPassManager:
-    def __init__(self, verify_each: bool = True):
+    def __init__(self, verify_each: bool = True, guard: Optional[PassGuard] = None):
         self.passes: List[MLIRPass] = []
         self.verify_each = verify_each
+        self.guard = guard
         self.history: List[MLIRPassStatistics] = []
 
     def add(self, pass_: MLIRPass) -> "MLIRPassManager":
         self.passes.append(pass_)
         return self
 
+    def _fail(
+        self,
+        error_cls,
+        module: ModuleOp,
+        snapshot,
+        pipeline_tail: List[str],
+        message: str,
+        cause: Exception,
+    ) -> None:
+        diagnostic = Diagnostic(
+            severity=Severity.ERROR,
+            code=error_cls.code,
+            message=message,
+            pass_name=pipeline_tail[0],
+        )
+        path = None
+        if self.guard is not None and snapshot is not None:
+            path = self.guard.failure(
+                module, snapshot, pipeline_tail, self.verify_each, diagnostic
+            )
+        raise error_cls(
+            message,
+            pass_name=pipeline_tail[0],
+            diagnostic=diagnostic,
+            reproducer_path=path,
+        ) from cause
+
     def run(self, module: ModuleOp) -> List[MLIRPassStatistics]:
         from ..verifier import verify_module
 
+        names = [p.name for p in self.passes]
         run_stats: List[MLIRPassStatistics] = []
-        for pass_ in self.passes:
+        for i, pass_ in enumerate(self.passes):
+            snapshot = self.guard.snapshot(module) if self.guard is not None else None
             stats = MLIRPassStatistics(pass_.name)
             start = time.perf_counter()
-            pass_.run(module, stats)
+            try:
+                pass_.run(module, stats)
+            except Exception as exc:
+                stats.seconds = time.perf_counter() - start
+                self._fail(
+                    PassExecutionError,
+                    module,
+                    snapshot,
+                    names[i:],
+                    f"MLIR pass {pass_.name!r} raised "
+                    f"{type(exc).__name__}: {exc}",
+                    exc,
+                )
             stats.seconds = time.perf_counter() - start
             run_stats.append(stats)
+            self.history.append(stats)
             if self.verify_each and pass_.name not in ("scf-to-cf",):
                 # cf-level IR uses block successors the structured verifier
                 # does not model; ConvertToLLVM's verifier covers it.
                 try:
                     verify_module(module)
                 except Exception as exc:
-                    raise RuntimeError(
-                        f"MLIR verification failed after {pass_.name!r}: {exc}"
-                    ) from exc
-        self.history.extend(run_stats)
+                    self._fail(
+                        PassVerificationError,
+                        module,
+                        snapshot,
+                        names[i:],
+                        f"MLIR verification failed after {pass_.name!r}: {exc}",
+                        exc,
+                    )
         return run_stats

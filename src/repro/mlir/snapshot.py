@@ -1,0 +1,37 @@
+"""Module snapshot/rollback for the mini-MLIR layer.
+
+Rollback uses a structural deep clone of the op tree (cheaper and exact —
+no print/parse round trip needed); the printed text is still captured so
+crash reproducers are human-readable and replayable through the textual
+parser.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .dialects.builtin import ModuleOp
+
+__all__ = ["MLIRModuleSnapshot"]
+
+
+class MLIRModuleSnapshot:
+    """Rollback point taken before a guarded MLIR pass runs."""
+
+    kind = "mlir"
+
+    def __init__(self, module: ModuleOp):
+        from .printer import print_module
+
+        self.text = print_module(module)
+        self._clone = module.op.clone()
+
+    def restore(self, module: ModuleOp) -> ModuleOp:
+        """Swap the snapshot's cloned op tree back into ``module``."""
+        module.op = self._clone
+        # A snapshot can only be restored once: the clone is now live.
+        self._clone = module.op.clone()
+        return module
+
+    def function_info(self) -> Dict[str, dict]:
+        return {}

@@ -1,0 +1,25 @@
+"""Test-support utilities shipped with the package: deterministic fault
+injection and hostile-IR fuzzing for pipeline hardening (used by the test
+suite and the CI fuzz smoke job, importable by downstream users too)."""
+
+from .fault_injection import (
+    FAULT_MODES,
+    MUTATION_NAMES,
+    FaultInjected,
+    FaultyPass,
+    IRMutationFuzzer,
+    adapt_or_reject,
+    build_seed_module,
+    inject_into,
+)
+
+__all__ = [
+    "FAULT_MODES",
+    "MUTATION_NAMES",
+    "FaultInjected",
+    "FaultyPass",
+    "IRMutationFuzzer",
+    "adapt_or_reject",
+    "build_seed_module",
+    "inject_into",
+]

@@ -1,0 +1,98 @@
+; hostile-IR corpus seed: unknown-intrinsic
+; expected: reject
+; ModuleID = 'gemm_module'
+; source-flow: mlir-lowering
+target triple = "fpga64-xilinx-none"
+; pointer-mode: opaque
+
+define void @gemm(ptr %A, ptr %A_aligned, i64 %A_offset, i64 %A_size0, i64 %A_size1, i64 %A_stride0, i64 %A_stride1, ptr %B, ptr %B_aligned, i64 %B_offset, i64 %B_size0, i64 %B_size1, i64 %B_stride0, i64 %B_stride1, ptr %C, ptr %C_aligned, i64 %C_offset, i64 %C_size0, i64 %C_size1, i64 %C_stride0, i64 %C_stride1, float %alpha, float %beta) hls_top {
+entry:
+  %A.d0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} undef, ptr %A, 0
+  %A.d1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.d0, ptr %A_aligned, 1
+  %A.d2 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.d1, i64 %A_offset, 2
+  %A.sz0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.d2, i64 4, 3, 0
+  %A.sz1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.sz0, i64 4, 3, 1
+  %A.st0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.sz1, i64 4, 4, 0
+  %A.st1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.st0, i64 1, 4, 1
+  %B.d0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} undef, ptr %B, 0
+  %B.d1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.d0, ptr %B_aligned, 1
+  %B.d2 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.d1, i64 %B_offset, 2
+  %B.sz0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.d2, i64 4, 3, 0
+  %B.sz1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.sz0, i64 4, 3, 1
+  %B.st0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.sz1, i64 4, 4, 0
+  %B.st1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.st0, i64 1, 4, 1
+  %C.d0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} undef, ptr %C, 0
+  %C.d1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.d0, ptr %C_aligned, 1
+  %C.d2 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.d1, i64 %C_offset, 2
+  %C.sz0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.d2, i64 4, 3, 0
+  %C.sz1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.sz0, i64 4, 3, 1
+  %C.st0 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.sz1, i64 4, 4, 0
+  %C.st1 = insertvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.st0, i64 1, 4, 1
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 4
+  br i1 %1, label %bb3, label %bb9
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 4
+  br i1 %3, label %bb4, label %bb8
+
+bb4:                                              ; preds = %bb3
+  %ld.base = extractvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %C.st1, 1
+  %ld.mul = shl i64 %barg, 2
+  %ld.add = add i64 %ld.mul, %barg.1
+  %ld.gep = getelementptr inbounds float, ptr %ld.base, i64 %ld.add
+  %4 = load float, ptr %ld.gep, align 4
+  %5 = fmul float %4, %beta
+  %st.mul = shl i64 %barg, 2
+  %st.add = add i64 %st.mul, %barg.1
+  %st.gep = getelementptr inbounds float, ptr %ld.base, i64 %st.add
+  store float %5, ptr %st.gep, align 4
+  br label %bb5
+
+bb5:                                              ; preds = %bb4, %bb6
+  %barg.2 = phi i64 [ 0, %bb4 ], [ %6, %bb6 ]
+  %7 = icmp slt i64 %barg.2, 4
+  br i1 %7, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.base.1 = extractvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %A.st1, 1
+  %ld.mul.1 = shl i64 %barg, 2
+  %ld.add.1 = add i64 %ld.mul.1, %barg.2
+  %ld.gep.1 = getelementptr inbounds float, ptr %ld.base.1, i64 %ld.add.1
+  %8 = load float, ptr %ld.gep.1, align 4
+  %ld.base.2 = extractvalue {ptr, ptr, i64, [2 x i64], [2 x i64]} %B.st1, 1
+  %ld.mul.2 = shl i64 %barg.2, 2
+  %ld.add.2 = add i64 %ld.mul.2, %barg.1
+  %ld.gep.2 = getelementptr inbounds float, ptr %ld.base.2, i64 %ld.add.2
+  %9 = load float, ptr %ld.gep.2, align 4
+  %10 = fmul float %8, %9
+  %11 = fmul float %alpha, %10
+  %ld.mul.3 = shl i64 %barg, 2
+  %ld.add.3 = add i64 %ld.mul.3, %barg.1
+  %ld.gep.3 = getelementptr inbounds float, ptr %ld.base, i64 %ld.add.3
+  %12 = load float, ptr %ld.gep.3, align 4
+  %13 = fadd float %12, %11
+  %st.mul.1 = shl i64 %barg, 2
+  %st.add.1 = add i64 %st.mul.1, %barg.1
+  %st.gep.1 = getelementptr inbounds float, ptr %ld.base, i64 %st.add.1
+  store float %13, ptr %st.gep.1, align 4
+  %6 = add nsw i64 %barg.2, 1
+  br label %bb5
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb9:                                              ; preds = %bb1
+  ret void
+}
+
+declare i32 @llvm.experimental.repro.hostile.i32(i32 %arg0)

@@ -1,0 +1,156 @@
+"""DiagnosticEngine, Diagnostic, stable error codes, and the
+CompilationError hierarchy (including backward-compat base classes)."""
+
+import pytest
+
+from repro.diagnostics import (
+    ERROR_CODES,
+    CompilationError,
+    Diagnostic,
+    DiagnosticEngine,
+    FlowError,
+    InputRejectionError,
+    PassExecutionError,
+    PassVerificationError,
+    PipelineConfigError,
+    ReplayError,
+    Severity,
+)
+from repro.hls.frontend import FrontendError
+from repro.ir.verifier import VerificationError
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR < Severity.FATAL
+
+    def test_error_threshold(self):
+        eng = DiagnosticEngine()
+        eng.warning("REPRO-DEGRADE-001", "soft")
+        assert not eng.has_errors
+        eng.error("REPRO-PASS-001", "hard")
+        assert eng.has_errors
+
+
+class TestDiagnostic:
+    def test_format_carries_attribution(self):
+        d = Diagnostic(
+            severity=Severity.ERROR,
+            code="REPRO-PASS-001",
+            message="pass blew up",
+            pass_name="dce",
+            function="gemm",
+        )
+        text = d.format()
+        assert "REPRO-PASS-001" in text
+        assert "dce" in text
+        assert "gemm" in text
+        assert "error" in text.lower()
+
+    def test_dict_round_trip(self):
+        d = Diagnostic(
+            severity=Severity.WARNING,
+            code="REPRO-DEGRADE-001",
+            message="disabled a pass",
+            pass_name="attr-scrub",
+            notes=["reproducer: /tmp/x.repro.json"],
+        )
+        back = Diagnostic.from_dict(d.to_dict())
+        assert back == d
+
+    def test_notes_survive_round_trip(self):
+        d = Diagnostic(Severity.ERROR, "REPRO-PASS-001", "m", notes=["a", "b"])
+        assert Diagnostic.from_dict(d.to_dict()).notes == ["a", "b"]
+
+
+class TestEngine:
+    def test_unknown_code_rejected(self):
+        eng = DiagnosticEngine()
+        with pytest.raises(ValueError, match="REPRO-NOPE-999"):
+            eng.error("REPRO-NOPE-999", "bad")
+
+    def test_known_codes_are_registered(self):
+        # The codes the pipeline actually emits must stay registered:
+        # they are part of the stable diagnostic surface.
+        for code in (
+            "REPRO-CFG-001",
+            "REPRO-INPUT-001",
+            "REPRO-PASS-001",
+            "REPRO-PASS-002",
+            "REPRO-VERIFY-001",
+            "REPRO-FRONTEND-001",
+            "REPRO-FLOW-001",
+            "REPRO-REPLAY-001",
+            "REPRO-DEGRADE-001",
+        ):
+            assert code in ERROR_CODES
+
+    def test_handlers_see_every_diagnostic(self):
+        eng = DiagnosticEngine()
+        seen = []
+        eng.handlers.append(seen.append)
+        eng.note("REPRO-PASS-001", "n")
+        eng.error("REPRO-VERIFY-001", "e")
+        assert [d.code for d in seen] == ["REPRO-PASS-001", "REPRO-VERIFY-001"]
+
+    def test_counts_and_summary(self):
+        eng = DiagnosticEngine()
+        eng.warning("REPRO-DEGRADE-001", "w1")
+        eng.warning("REPRO-DEGRADE-001", "w2")
+        eng.error("REPRO-PASS-001", "e1")
+        assert eng.count(Severity.WARNING) == 2
+        assert eng.count(Severity.ERROR) == 1
+        assert len(eng.errors) == 1
+        assert len(eng.warnings) == 2
+        assert "error[REPRO-PASS-001]" in eng.summary()
+        assert DiagnosticEngine().summary() == "no diagnostics"
+
+
+class TestErrorHierarchy:
+    def test_every_structured_error_is_compilation_error(self):
+        for cls in (
+            PipelineConfigError,
+            InputRejectionError,
+            PassExecutionError,
+            PassVerificationError,
+            FlowError,
+            ReplayError,
+            VerificationError,
+            FrontendError,
+        ):
+            assert issubclass(cls, CompilationError)
+
+    def test_config_error_still_a_value_error(self):
+        # Pre-diagnostics callers caught ValueError for bad configs.
+        assert issubclass(PipelineConfigError, ValueError)
+        with pytest.raises(ValueError):
+            raise PipelineConfigError("bad knob")
+
+    def test_pass_error_still_a_runtime_error(self):
+        assert issubclass(PassExecutionError, RuntimeError)
+        with pytest.raises(RuntimeError):
+            raise PassExecutionError("pass died")
+
+    def test_pass_error_attribution_fields(self):
+        diag = Diagnostic(Severity.ERROR, "REPRO-PASS-001", "boom", pass_name="dce")
+        err = PassExecutionError(
+            "boom", pass_name="dce", diagnostic=diag, reproducer_path="/tmp/r.json"
+        )
+        assert err.pass_name == "dce"
+        assert err.diagnostic is diag
+        assert err.reproducer_path == "/tmp/r.json"
+        assert err.code == "REPRO-PASS-001"
+
+    def test_verifier_and_frontend_keep_errors_list(self):
+        v = VerificationError(["a", "b"])
+        assert v.errors == ["a", "b"]
+        f = FrontendError(["x"])
+        assert f.errors == ["x"]
+        assert v.code == "REPRO-VERIFY-001"
+        assert f.code == "REPRO-FRONTEND-001"
+
+    def test_flow_error_stage_attribution(self):
+        err = FlowError("stage died", flow="adaptor", stage="synthesis")
+        assert err.flow == "adaptor"
+        assert err.stage == "synthesis"
+        assert err.code == "REPRO-FLOW-001"
