@@ -1,20 +1,23 @@
 """Shared experiment harness for the benchmark suite.
 
 Runs every suite kernel through both flows under a named optimisation
-config, caches the results per process, and renders the paper-style tables.
-Each ``test_table*/test_fig*`` module regenerates one table or figure of
-the (reconstructed) evaluation; outputs are also written under
+config and renders the paper-style tables.  Compilation goes through
+:class:`repro.service.CompilationService`, so results are cached
+*persistently* (content-addressed on disk, shared across pytest runs and
+the ``python -m repro.service`` CLI) and the suite can fan out across
+worker processes (``REPRO_JOBS=4 pytest benchmarks``).  Each
+``test_table*/test_fig*`` module regenerates one table or figure of the
+(reconstructed) evaluation; outputs are also written under
 ``benchmarks/results/`` for EXPERIMENTS.md.
 """
 
 from __future__ import annotations
 
-import json
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.flows import FlowComparison, OptimizationConfig, compare_flows
+from repro.flows import FlowComparison
+from repro.service import CompilationService, NAMED_CONFIGS, default_jobs
 from repro.workloads.suite import SUITE_SIZES
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -22,30 +25,39 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 SUITE_SIZE_CLASS = "SMALL"
 SUITE_KERNELS = list(SUITE_SIZES[SUITE_SIZE_CLASS].keys())
 
-_CONFIGS = {
-    "baseline": OptimizationConfig.baseline,
-    "optimized": lambda: OptimizationConfig.optimized(ii=1),
-    "optimized_part": lambda: OptimizationConfig.optimized(ii=1, partition_factor=2),
-}
+# Kept for backwards compatibility; the registry now lives in the service.
+_CONFIGS = NAMED_CONFIGS
 
-_cache: Dict[tuple, FlowComparison] = {}
+#: Benchmark runs share one on-disk cache next to the results, so a rerun
+#: (or a different table touching the same config) is warm.  Override the
+#: location with $REPRO_CACHE_DIR, the fan-out with $REPRO_JOBS.
+CACHE_DIR = os.environ.get(
+    "REPRO_CACHE_DIR", os.path.join(os.path.dirname(__file__), ".cache")
+)
+
+SERVICE = CompilationService(cache_dir=CACHE_DIR, jobs=default_jobs())
 
 
 def run_comparison(kernel: str, config_name: str = "baseline") -> FlowComparison:
-    key = (kernel, config_name)
-    if key not in _cache:
-        _cache[key] = compare_flows(
-            kernel,
-            SUITE_SIZES[SUITE_SIZE_CLASS][kernel],
-            _CONFIGS[config_name](),
-            check_equivalence=True,
-            seed=17,
-        )
-    return _cache[key]
+    return SERVICE.compile_one(
+        kernel,
+        config_name,
+        sizes=SUITE_SIZES[SUITE_SIZE_CLASS][kernel],
+        check_equivalence=True,
+        seed=17,
+    )
 
 
 def run_suite(config_name: str = "baseline") -> List[FlowComparison]:
-    return [run_comparison(k, config_name) for k in SUITE_KERNELS]
+    report = SERVICE.run_suite(
+        config_name,
+        kernels=SUITE_KERNELS,
+        size_class=SUITE_SIZE_CLASS,
+        check_equivalence=True,
+        seed=17,
+    )
+    write_result(f"service_report_{config_name}", report.summary())
+    return report.comparisons
 
 
 def write_result(name: str, text: str) -> str:

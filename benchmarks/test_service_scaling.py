@@ -1,0 +1,97 @@
+"""Compilation-service scaling: warm-cache speedup and worker fan-out.
+
+These are the acceptance benchmarks for the cached compilation service:
+a fully warm suite run must be at least 5x faster than the cold run that
+populated the cache, and on a multi-core runner a 4-worker cold run must
+beat the serial cold run.  The speedup assertions use a private temp
+cache so the shared ``benchmarks/.cache`` state cannot skew them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.service import CompilationService
+
+from .harness import write_result
+
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def _timed_suite(service, config="baseline"):
+    start = time.perf_counter()
+    report = service.run_suite(config, size_class="MINI")
+    return report, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_warm_suite_at_least_5x_faster_than_cold(tmp_path, benchmark):
+    service = CompilationService(cache_dir=str(tmp_path / "cache"))
+    cold_report, cold_s = _timed_suite(service)
+    assert all(c.cache_status == "miss" for c in cold_report.comparisons)
+
+    warm_report = benchmark.pedantic(
+        service.run_suite,
+        args=("baseline",),
+        kwargs={"size_class": "MINI"},
+        rounds=1,
+        iterations=1,
+    )
+    warm_s = benchmark.stats.stats.mean
+    assert all(c.cache_status == "hit" for c in warm_report.comparisons)
+    assert [c.row() for c in warm_report.comparisons] == [
+        c.row() for c in cold_report.comparisons
+    ]
+
+    speedup = cold_s / warm_s
+    text = (
+        f"service cache speedup (MINI suite, {len(cold_report.comparisons)} kernels)\n"
+        f"\ncold: {cold_s:.3f} s\nwarm: {warm_s:.3f} s\nspeedup: {speedup:.1f}x\n"
+        f"floor: {WARM_SPEEDUP_FLOOR:.0f}x"
+    )
+    print("\n" + text)
+    write_result("service_cache_speedup", text)
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm suite only {speedup:.1f}x faster than cold "
+        f"(cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="service-cache")
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel cold-run speedup needs a multi-core runner",
+)
+def test_four_workers_beat_serial_cold(tmp_path):
+    serial = CompilationService(cache_dir=str(tmp_path / "serial"), jobs=1)
+    parallel = CompilationService(cache_dir=str(tmp_path / "par"), jobs=4)
+    serial_report, serial_s = _timed_suite(serial)
+    parallel_report, parallel_s = _timed_suite(parallel)
+    assert [c.row() for c in parallel_report.comparisons] == [
+        c.row() for c in serial_report.comparisons
+    ]
+    text = (
+        f"cold suite fan-out (MINI)\nserial (jobs=1): {serial_s:.3f} s\n"
+        f"4 workers:       {parallel_s:.3f} s\n"
+        f"speedup: {serial_s / parallel_s:.2f}x"
+    )
+    print("\n" + text)
+    write_result("service_parallel_speedup", text)
+    assert parallel_s < serial_s, (
+        f"4-worker cold run ({parallel_s:.3f}s) did not beat serial ({serial_s:.3f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="service-cache")
+def test_parallel_cold_matches_serial_results(tmp_path):
+    """Fan-out correctness smoke that runs even on a single-core box."""
+    serial = CompilationService(cache_dir=str(tmp_path / "serial"), jobs=1)
+    parallel = CompilationService(cache_dir=str(tmp_path / "par"), jobs=4)
+    kernels = ["gemm", "atax", "bicg", "mvt"]
+    rs = serial.run_suite("baseline", kernels=kernels, size_class="MINI")
+    rp = parallel.run_suite("baseline", kernels=kernels, size_class="MINI")
+    assert [c.row() for c in rp.comparisons] == [c.row() for c in rs.comparisons]
+    assert rp.cache_stats.misses == len(kernels)

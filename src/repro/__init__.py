@@ -14,6 +14,8 @@ Layer map (bottom-up):
 * :mod:`repro.hlscpp` — the baseline flow (HLS C++ codegen + C frontend).
 * :mod:`repro.flows` — end-to-end drivers and the comparison harness.
 * :mod:`repro.workloads` — PolyBench kernels with NumPy oracles.
+* :mod:`repro.service` — parallel, persistently-cached batch compilation
+  over the flows (``python -m repro.service run-suite --jobs 4``).
 
 Sixty-second tour::
 
@@ -42,5 +44,6 @@ __all__ = [
     "flows",
     "workloads",
     "diagnostics",
+    "service",
     "testing",
 ]

@@ -15,6 +15,7 @@ diagnostic engine and pass-crash reproducers):
 
 from .engine import ERROR_CODES, Diagnostic, DiagnosticEngine, Severity
 from .errors import (
+    CacheError,
     CompilationError,
     FlowError,
     InputRejectionError,
@@ -22,6 +23,7 @@ from .errors import (
     PassVerificationError,
     PipelineConfigError,
     ReplayError,
+    ServiceError,
 )
 from .guard import PassGuard
 from .replay import ReplayResult, replay
@@ -32,6 +34,7 @@ __all__ = [
     "Diagnostic",
     "DiagnosticEngine",
     "Severity",
+    "CacheError",
     "CompilationError",
     "FlowError",
     "InputRejectionError",
@@ -39,6 +42,7 @@ __all__ = [
     "PassVerificationError",
     "PipelineConfigError",
     "ReplayError",
+    "ServiceError",
     "PassGuard",
     "ReplayResult",
     "replay",

@@ -42,6 +42,9 @@ ERROR_CODES: Dict[str, str] = {
     "REPRO-FLOW-001": "end-to-end flow stage failure",
     "REPRO-REPLAY-001": "crash-reproducer replay failure",
     "REPRO-DEGRADE-001": "non-essential pass disabled after failure (recovered)",
+    "REPRO-CACHE-001": "corrupted compilation-cache entry (degraded to recompile)",
+    "REPRO-CACHE-002": "compilation-cache entry version mismatch (treated as miss)",
+    "REPRO-SVC-001": "compilation-service worker failure",
 }
 
 

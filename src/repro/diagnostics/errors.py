@@ -26,6 +26,8 @@ __all__ = [
     "PassVerificationError",
     "FlowError",
     "ReplayError",
+    "CacheError",
+    "ServiceError",
 ]
 
 
@@ -103,3 +105,28 @@ class ReplayError(CompilationError):
     """A crash reproducer could not be loaded or replayed."""
 
     code = "REPRO-REPLAY-001"
+
+
+class CacheError(CompilationError):
+    """A compilation-cache entry could not be read back.
+
+    The cache degrades to a recompile on this, so the error only escapes
+    when a caller asks the cache layer for a mandatory load
+    (``CompilationCache.load(..., required=True)``).
+    """
+
+    code = "REPRO-CACHE-001"
+
+    def __init__(self, message: str, *, path: Optional[str] = None, diagnostic=None):
+        super().__init__(message, diagnostic=diagnostic)
+        self.path = path
+
+
+class ServiceError(CompilationError):
+    """A compilation-service worker failed for a non-structured reason."""
+
+    code = "REPRO-SVC-001"
+
+    def __init__(self, message: str, *, kernel: Optional[str] = None, diagnostic=None):
+        super().__init__(message, diagnostic=diagnostic)
+        self.kernel = kernel

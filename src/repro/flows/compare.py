@@ -3,6 +3,7 @@ and the expression-detail retention metrics (reconstructed Fig. 2)."""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -86,6 +87,11 @@ class FlowComparison:
     cpp_metrics: RetentionMetrics = None  # type: ignore[assignment]
     functionally_equivalent: Optional[bool] = None
     max_abs_error: float = 0.0
+    # Provenance, stamped by repro.service: how this row was obtained
+    # ("computed" directly, cache "hit", cache "miss" then computed) and
+    # what the end-to-end comparison cost when it was actually compiled.
+    cache_status: str = "computed"
+    compile_seconds: float = 0.0
 
     @property
     def latency_ratio(self) -> float:
@@ -156,6 +162,7 @@ def compare_flows(
     ``on_error="recover"`` lets the adaptor flow degrade gracefully
     (non-essential pass failures are disabled and recorded) instead of
     aborting the whole comparison."""
+    start = time.perf_counter()
     config = config or OptimizationConfig.baseline()
 
     spec_a = build_kernel(kernel_name, **sizes)
@@ -188,4 +195,5 @@ def compare_flows(
         )
         comparison.functionally_equivalent = ok
         comparison.max_abs_error = err
+    comparison.compile_seconds = time.perf_counter() - start
     return comparison

@@ -13,6 +13,7 @@ pack/unpack with the IR type's layout; float ops round to the IR precision.
 from __future__ import annotations
 
 import math
+import re
 import struct as _struct
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -62,7 +63,14 @@ from .values import (
     Value,
 )
 
-__all__ = ["Interpreter", "MemoryBuffer", "Pointer", "InterpreterError", "run_kernel"]
+__all__ = [
+    "Interpreter",
+    "MemoryBuffer",
+    "Pointer",
+    "InterpreterError",
+    "run_kernel",
+    "run_descriptor_kernel",
+]
 
 
 class InterpreterError(Exception):
@@ -678,6 +686,85 @@ def run_kernel(
                 f"argument {arg.name!r} of @{name} not supplied "
                 f"(have arrays={list(arrays)}, scalars={list(scalars)})"
             )
+    interp.run(fn, call_args)
+    return {
+        key: numpy_from_buffer(buf, dtype, shape)
+        for key, (buf, dtype, shape) in buffers.items()
+    }
+
+
+_DESCRIPTOR_SUFFIX = re.compile(r"^(?P<base>.+?)_(?P<field>aligned|offset|size(?P<sdim>\d+)|stride(?P<tdim>\d+))$")
+
+
+def run_descriptor_kernel(
+    module: Module,
+    name: str,
+    arrays: Dict[str, np.ndarray],
+    scalars: Optional[Dict[str, object]] = None,
+    max_steps: int = 50_000_000,
+) -> Dict[str, np.ndarray]:
+    """Run a *pre-adaptor* kernel that follows the MLIR memref-descriptor
+    convention: each array argument ``X`` is expanded to ``X`` (allocated
+    pointer), ``X_aligned``, ``X_offset`` and per-dimension
+    ``X_sizeN``/``X_strideN`` i64 scalars.
+
+    Fills the descriptor fields from the NumPy shapes (row-major,
+    contiguous, zero offset) so the same ``arrays``/``scalars`` a
+    :func:`run_kernel` call takes can drive the modern module too — the
+    differential pre/post-adaptor sweep depends on exactly this.
+    """
+    scalars = scalars or {}
+    fn = module.get_function(name)
+    if fn is None:
+        raise InterpreterError(f"no function @{name} in module")
+    interp = Interpreter(module, max_steps=max_steps)
+    buffers: Dict[str, Tuple[MemoryBuffer, np.dtype, tuple]] = {}
+    call_args: List[object] = []
+
+    def strides_of(shape: tuple) -> List[int]:
+        out = [1] * len(shape)
+        for i in range(len(shape) - 2, -1, -1):
+            out[i] = out[i + 1] * shape[i + 1]
+        return out
+
+    for arg in fn.arguments:
+        if arg.name in arrays:
+            array = arrays[arg.name]
+            if arg.name not in buffers:
+                buffers[arg.name] = (
+                    buffer_from_numpy(array, arg.name),
+                    array.dtype,
+                    array.shape,
+                )
+            call_args.append(Pointer(buffers[arg.name][0], 0))
+            continue
+        if arg.name in scalars:
+            call_args.append(scalars[arg.name])
+            continue
+        m = _DESCRIPTOR_SUFFIX.match(arg.name)
+        base = m.group("base") if m else None
+        if m and base in arrays:
+            field = m.group("field")
+            shape = arrays[base].shape
+            if field == "aligned":
+                if base not in buffers:
+                    array = arrays[base]
+                    buffers[base] = (
+                        buffer_from_numpy(array, base), array.dtype, array.shape
+                    )
+                call_args.append(Pointer(buffers[base][0], 0))
+            elif field == "offset":
+                call_args.append(0)
+            elif field.startswith("size"):
+                call_args.append(shape[int(m.group("sdim"))])
+            else:
+                call_args.append(strides_of(shape)[int(m.group("tdim"))])
+            continue
+        raise InterpreterError(
+            f"argument {arg.name!r} of @{name} not supplied and not a "
+            f"descriptor field of any array (have arrays={list(arrays)}, "
+            f"scalars={list(scalars)})"
+        )
     interp.run(fn, call_args)
     return {
         key: numpy_from_buffer(buf, dtype, shape)

@@ -8,6 +8,11 @@ functions, labels and metadata.
 
 Types are immutable and interned: constructing the same type twice returns
 the same object, so identity comparison (``is``) works, as does ``==``.
+
+Interning is per-process, so every class defines ``__reduce__``: unpickling
+re-runs the constructor, which re-interns in the receiving process.  This is
+what lets whole :class:`repro.ir.Module` objects travel through the
+compilation service's worker processes and on-disk cache.
 """
 
 from __future__ import annotations
@@ -117,6 +122,11 @@ class Type:
         """Storage size in bytes (natural/packed layout, no padding)."""
         raise TypeError(f"type {self} has no storage size")
 
+    def __reduce__(self):
+        # Interned singletons without constructor arguments (void, label,
+        # metadata).  Argument-carrying subclasses override this.
+        return (self.__class__, ())
+
 
 def _intern(key: tuple, factory) -> Type:
     existing = Type._interned.get(key)
@@ -149,6 +159,9 @@ class IntegerType(Type):
             return obj
 
         return _intern(("int", width), make)
+
+    def __reduce__(self):
+        return (IntegerType, (self.width,))
 
     def __str__(self) -> str:
         return f"i{self.width}"
@@ -196,6 +209,9 @@ class FloatType(Type):
 
         return _intern(("float", kind), make)
 
+    def __reduce__(self):
+        return (FloatType, (self.kind,))
+
     def __str__(self) -> str:
         return self.kind
 
@@ -223,6 +239,9 @@ class PointerType(Type):
             return obj
 
         return _intern(("ptr", pointee, addrspace), make)
+
+    def __reduce__(self):
+        return (PointerType, (self.pointee, self.addrspace))
 
     def __str__(self) -> str:
         suffix = f" addrspace({self.addrspace})" if self.addrspace else ""
@@ -252,6 +271,9 @@ class ArrayType(Type):
             return obj
 
         return _intern(("array", element, count), make)
+
+    def __reduce__(self):
+        return (ArrayType, (self.element, self.count))
 
     def __str__(self) -> str:
         return f"[{self.count} x {self.element}]"
@@ -300,6 +322,9 @@ class StructType(Type):
 
         return _intern(("struct", elems, name, packed), make)
 
+    def __reduce__(self):
+        return (StructType, (self.elements, self.name, self.packed))
+
     def __str__(self) -> str:
         if self.name is not None:
             return f"%{self.name}"
@@ -330,6 +355,9 @@ class VectorType(Type):
 
         return _intern(("vector", element, count), make)
 
+    def __reduce__(self):
+        return (VectorType, (self.element, self.count))
+
     def __str__(self) -> str:
         return f"<{self.count} x {self.element}>"
 
@@ -358,6 +386,9 @@ class FunctionType(Type):
             return obj
 
         return _intern(("func", return_type, ps, vararg), make)
+
+    def __reduce__(self):
+        return (FunctionType, (self.return_type, self.params, self.vararg))
 
     def __str__(self) -> str:
         parts = [str(p) for p in self.params]

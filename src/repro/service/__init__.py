@@ -1,0 +1,49 @@
+"""repro.service — the parallel, persistently-cached compilation service.
+
+Scales the flow-comparison workload the way the ROADMAP's batch-DSE
+consumers (SEER/Phism-style sweeps, the benchmark harness, CI) need:
+
+* :class:`CompilationService` — cache-first single compiles and
+  multi-process batch suite runs sharing one on-disk store;
+* :class:`CompilationCache` — content-addressed, checksummed, atomic;
+  corruption degrades to recompile with a ``REPRO-CACHE-*`` diagnostic;
+* :func:`cache_key` and friends — fingerprints over kernel IR,
+  optimisation config and the pass-pipeline version, so any change to
+  what a compile *means* invalidates exactly the stale entries;
+* ``python -m repro.service`` — ``run-suite`` / ``cache stats`` /
+  ``cache clear`` CLI.
+"""
+
+from .cache import CacheStats, CompilationCache, default_cache_dir
+from .fingerprint import (
+    CACHE_FORMAT_VERSION,
+    PIPELINE_VERSION,
+    cache_key,
+    config_fingerprint,
+    kernel_fingerprint,
+    pipeline_fingerprint,
+)
+from .service import (
+    NAMED_CONFIGS,
+    CompilationService,
+    SuiteReport,
+    default_jobs,
+    resolve_config,
+)
+
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "default_cache_dir",
+    "CACHE_FORMAT_VERSION",
+    "PIPELINE_VERSION",
+    "cache_key",
+    "config_fingerprint",
+    "kernel_fingerprint",
+    "pipeline_fingerprint",
+    "NAMED_CONFIGS",
+    "CompilationService",
+    "SuiteReport",
+    "default_jobs",
+    "resolve_config",
+]

@@ -1,0 +1,268 @@
+"""Content-addressed on-disk compilation cache.
+
+Layout (under the cache root)::
+
+    <root>/
+      entries/<k[:2]>/<k>.entry     one file per cached FlowComparison
+
+Each entry file is a one-line JSON header followed by a pickled payload::
+
+    {"format": 1, "key": ..., "kernel": ..., "config": ...,
+     "payload_sha256": ..., "payload_bytes": N}\\n
+    <pickle bytes>
+
+The header carries its own payload checksum, so *any* corruption — a
+truncated write, bit rot, a stale-format entry, an unpicklable payload —
+is detected on load and degrades to a miss with a ``REPRO-CACHE-*``
+diagnostic instead of crashing the caller.  Writes go through a temp file
+and ``os.replace`` so concurrent workers never observe half-written
+entries; last-writer-wins races are harmless because entries are
+content-addressed (both writers wrote the same comparison).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from ..diagnostics.engine import DiagnosticEngine
+from ..diagnostics.errors import CacheError
+from .fingerprint import CACHE_FORMAT_VERSION
+
+__all__ = ["CacheStats", "CompilationCache", "default_cache_dir"]
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.getcwd(), ".repro-cache")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/timing counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    hit_seconds: float = 0.0
+    store_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            corrupt=self.corrupt,
+            hit_seconds=self.hit_seconds,
+            store_seconds=self.store_seconds,
+        )
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """Counter delta between this snapshot and an earlier one."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            stores=self.stores - before.stores,
+            corrupt=self.corrupt - before.corrupt,
+            hit_seconds=self.hit_seconds - before.hit_seconds,
+            store_seconds=self.store_seconds - before.store_seconds,
+        )
+
+    def merge(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.corrupt += other.corrupt
+        self.hit_seconds += other.hit_seconds
+        self.store_seconds += other.store_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hit(s) / {self.misses} miss(es) "
+            f"({self.hit_rate:.0%} hit rate), {self.stores} store(s), "
+            f"{self.corrupt} corrupt, "
+            f"load {self.hit_seconds * 1e3:.1f} ms, "
+            f"store {self.store_seconds * 1e3:.1f} ms"
+        )
+
+
+class CompilationCache:
+    """Content-addressed pickle cache keyed by :func:`repro.service.cache_key`.
+
+    ``engine`` receives a ``REPRO-CACHE-001`` warning whenever a corrupted
+    entry is dropped (and ``REPRO-CACHE-002`` for format-version
+    mismatches); both degrade to a miss.
+    """
+
+    ENTRY_SUFFIX = ".entry"
+
+    def __init__(self, root: Optional[str] = None, engine: Optional[DiagnosticEngine] = None):
+        self.root = root or default_cache_dir()
+        self.engine = engine or DiagnosticEngine()
+        self.stats = CacheStats()
+
+    # -- paths --------------------------------------------------------------
+    @property
+    def entries_dir(self) -> str:
+        return os.path.join(self.root, "entries")
+
+    def entry_path(self, key: str) -> str:
+        return os.path.join(self.entries_dir, key[:2], key + self.ENTRY_SUFFIX)
+
+    def _iter_entry_paths(self) -> Iterator[str]:
+        if not os.path.isdir(self.entries_dir):
+            return
+        for shard in sorted(os.listdir(self.entries_dir)):
+            shard_dir = os.path.join(self.entries_dir, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(self.ENTRY_SUFFIX):
+                    yield os.path.join(shard_dir, name)
+
+    # -- store --------------------------------------------------------------
+    def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> str:
+        """Atomically persist ``value`` under ``key``; returns the path."""
+        start = time.perf_counter()
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": key,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        }
+        header.update(meta or {})
+        path = self.entry_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+                fh.write(b"\n")
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.stores += 1
+        self.stats.store_seconds += time.perf_counter() - start
+        return path
+
+    # -- load ---------------------------------------------------------------
+    def _read_entry(self, path: str) -> Tuple[Dict[str, Any], Any]:
+        with open(path, "rb") as fh:
+            header_line = fh.readline()
+            payload = fh.read()
+        try:
+            header = json.loads(header_line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheError(f"unreadable cache header in {path}: {exc}", path=path)
+        if not isinstance(header, dict):
+            raise CacheError(f"malformed cache header in {path}", path=path)
+        if header.get("format") != CACHE_FORMAT_VERSION:
+            raise CacheError(
+                f"cache entry {path} has format {header.get('format')!r}, "
+                f"expected {CACHE_FORMAT_VERSION}",
+                path=path,
+            )
+        if header.get("payload_bytes") != len(payload) or (
+            header.get("payload_sha256") != hashlib.sha256(payload).hexdigest()
+        ):
+            raise CacheError(f"cache entry {path} failed checksum", path=path)
+        try:
+            value = pickle.loads(payload)
+        except Exception as exc:
+            raise CacheError(f"cache entry {path} failed to unpickle: {exc}", path=path)
+        return header, value
+
+    def load(self, key: str, required: bool = False) -> Optional[Any]:
+        """Return the cached value, or ``None`` on miss.
+
+        Corruption degrades to a miss (the broken entry is dropped and a
+        diagnostic emitted) unless ``required=True``, in which case the
+        :class:`repro.diagnostics.CacheError` propagates.
+        """
+        start = time.perf_counter()
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            self.stats.misses += 1
+            return None
+        try:
+            header, value = self._read_entry(path)
+        except CacheError as exc:
+            code = (
+                "REPRO-CACHE-002"
+                if "format" in exc.message and "expected" in exc.message
+                else "REPRO-CACHE-001"
+            )
+            self.engine.warning(code, f"{exc.message}; recompiling")
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            if required:
+                raise
+            return None
+        self.stats.hits += 1
+        self.stats.hit_seconds += time.perf_counter() - start
+        return value
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self.entry_path(key))
+
+    # -- maintenance --------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._iter_entry_paths()):
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def disk_stats(self) -> Dict[str, Any]:
+        """Entry count and byte footprint of the on-disk store."""
+        entries = 0
+        total = 0
+        for path in self._iter_entry_paths():
+            try:
+                total += os.path.getsize(path)
+            except OSError:
+                continue
+            entries += 1
+        return {"root": self.root, "entries": entries, "bytes": total}
+
+    def entry_headers(self) -> List[Dict[str, Any]]:
+        """The JSON headers of every readable entry (for ``cache stats``)."""
+        out = []
+        for path in self._iter_entry_paths():
+            try:
+                with open(path, "rb") as fh:
+                    out.append(json.loads(fh.readline().decode("utf-8")))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError):
+                continue
+        return out

@@ -1,0 +1,122 @@
+"""``python -m repro.service`` — drive the compilation service from a shell.
+
+Subcommands::
+
+    run-suite    compile the benchmark suite (parallel, cached)
+    cache stats  show on-disk cache footprint and per-kernel entry counts
+    cache clear  drop every cache entry
+
+Exit status: ``0`` on success, ``1`` when a run-suite row reports a
+functional mismatch, ``2`` for usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..diagnostics.errors import CompilationError
+from .cache import default_cache_dir
+from .service import NAMED_CONFIGS, CompilationService, default_jobs
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Parallel cached compilation service for the flow suite.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache root (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run-suite", help="compile the suite through the cache")
+    run.add_argument(
+        "--config",
+        default="baseline",
+        choices=sorted(NAMED_CONFIGS),
+        help="named optimisation recipe",
+    )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes (default: $REPRO_JOBS or 1)",
+    )
+    run.add_argument(
+        "--size", default="SMALL", choices=["MINI", "SMALL"], help="problem size class"
+    )
+    run.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernel subset (default: whole suite)",
+    )
+    run.add_argument(
+        "--no-equivalence",
+        action="store_true",
+        help="skip the interpreter-based functional check",
+    )
+    run.add_argument("--seed", type=int, default=17, help="equivalence-input seed")
+
+    cache = sub.add_parser("cache", help="cache maintenance")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry counts and disk footprint")
+    cache_sub.add_parser("clear", help="delete every cache entry")
+    return parser
+
+
+def _cmd_run_suite(args: argparse.Namespace) -> int:
+    service = CompilationService(cache_dir=args.cache_dir, jobs=args.jobs)
+    kernels = args.kernels.split(",") if args.kernels else None
+    report = service.run_suite(
+        args.config,
+        kernels=kernels,
+        size_class=args.size,
+        check_equivalence=not args.no_equivalence,
+        seed=args.seed,
+    )
+    print(report.summary())
+    mismatched = [
+        c.kernel for c in report.comparisons if c.functionally_equivalent is False
+    ]
+    if mismatched:
+        print(f"FUNCTIONAL MISMATCH: {', '.join(mismatched)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    service = CompilationService(cache_dir=args.cache_dir)
+    if args.cache_command == "stats":
+        stats = service.cache_stats()
+        print(f"cache root: {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"bytes:      {stats['bytes']}")
+        for kernel, count in sorted(stats["by_kernel"].items()):
+            print(f"  {kernel:<12} {count}")
+        return 0
+    if args.cache_command == "clear":
+        removed = service.cache_clear()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run-suite":
+            return _cmd_run_suite(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except CompilationError as exc:
+        code = getattr(exc, "code", "REPRO-E000")
+        print(f"error[{code}]: {exc}", file=sys.stderr)
+        return 2
+    return 2

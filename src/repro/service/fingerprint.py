@@ -1,0 +1,116 @@
+"""Content-addressed cache keys for the compilation service.
+
+A cache entry is valid exactly when recompiling would reproduce it, so the
+key hashes everything the comparison depends on:
+
+* **kernel IR** — the printed MLIR module the flows consume (not just the
+  kernel name: editing a builder in :mod:`repro.workloads.polybench`
+  changes the hash and invalidates stale entries automatically);
+* **optimisation config** — a canonical JSON rendering of
+  :class:`repro.flows.OptimizationConfig`;
+* **pass-pipeline version** — the adaptor/cleanup/lowering pass rosters
+  plus an explicit :data:`PIPELINE_VERSION` bump constant for semantic
+  changes that keep the rosters intact;
+* **run parameters** — device, equivalence seed, whether equivalence was
+  checked.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from ..adaptor.pipeline import ADAPTOR_PASS_ORDER, ESSENTIAL_PASSES
+from ..flows.config import OptimizationConfig
+
+__all__ = [
+    "PIPELINE_VERSION",
+    "CACHE_FORMAT_VERSION",
+    "pipeline_fingerprint",
+    "config_fingerprint",
+    "kernel_fingerprint",
+    "cache_key",
+]
+
+#: Bump when a pass changes behaviour without changing the pass roster
+#: (the roster itself is hashed separately).  Append-only, like the
+#: diagnostic codes: never reuse an old value.
+PIPELINE_VERSION = 1
+
+#: Bump when the on-disk entry layout changes (header schema, payload
+#: encoding).  Old entries then read back as misses, not corruption.
+CACHE_FORMAT_VERSION = 1
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def pipeline_fingerprint() -> str:
+    """Hash of everything the compile pipeline is made of."""
+    from ..ir.transforms import standard_cleanup_pipeline
+    from ..mlir.passes import lowering_pipeline
+
+    cleanup = [p.name for p in standard_cleanup_pipeline().passes]
+    lowering = [p.name for p in lowering_pipeline().passes]
+    payload = {
+        "pipeline_version": PIPELINE_VERSION,
+        "adaptor_passes": list(ADAPTOR_PASS_ORDER),
+        "essential_passes": sorted(ESSENTIAL_PASSES),
+        "cleanup_passes": cleanup,
+        "lowering_passes": lowering,
+    }
+    return _sha256(json.dumps(payload, sort_keys=True))
+
+
+def config_fingerprint(config: OptimizationConfig) -> str:
+    """Canonical hash of an optimisation config (field order independent)."""
+    payload = {
+        "name": config.name,
+        "pipeline_innermost": config.pipeline_innermost,
+        "ii": config.ii,
+        "unroll_innermost": config.unroll_innermost,
+        "partition": config.partition,
+    }
+    return _sha256(json.dumps(payload, sort_keys=True))
+
+
+def kernel_fingerprint(kernel_name: str, sizes: Dict[str, int]) -> str:
+    """Hash of the kernel's *pre-config* MLIR module.
+
+    Builds a fresh spec and prints it, so the hash tracks the builder's
+    actual output: a change to a kernel builder invalidates its entries.
+    """
+    from ..mlir.printer import print_module
+    from ..workloads.polybench import build_kernel
+
+    spec = build_kernel(kernel_name, **sizes)
+    return _sha256(print_module(spec.module))
+
+
+def cache_key(
+    kernel_name: str,
+    sizes: Dict[str, int],
+    config: OptimizationConfig,
+    device: str = "xc7z020",
+    check_equivalence: bool = True,
+    seed: int = 0,
+    kernel_hash: Optional[str] = None,
+) -> str:
+    """The content-addressed key for one flow comparison.
+
+    ``kernel_hash`` lets callers that already computed the kernel
+    fingerprint (e.g. a batch run hashing each kernel once) skip the
+    rebuild."""
+    payload = {
+        "kernel": kernel_name,
+        "kernel_ir": kernel_hash or kernel_fingerprint(kernel_name, sizes),
+        "sizes": dict(sorted(sizes.items())),
+        "config": config_fingerprint(config),
+        "pipeline": pipeline_fingerprint(),
+        "device": device,
+        "check_equivalence": check_equivalence,
+        "seed": seed,
+    }
+    return _sha256(json.dumps(payload, sort_keys=True))

@@ -1,0 +1,307 @@
+"""The batch compilation service.
+
+One :class:`CompilationService` owns a :class:`CompilationCache` and runs
+flow comparisons through it:
+
+* :meth:`CompilationService.compile_one` — one kernel/config pair,
+  cache-first;
+* :meth:`CompilationService.run_suite` — the whole benchmark suite,
+  fanned out over worker processes (``jobs > 1``) that all share the same
+  on-disk cache, so a batch run both *uses* and *populates* the cache
+  other runs (and other processes — pytest, the CLI, the benchmark
+  harness) see.
+
+Results are :class:`repro.flows.FlowComparison` objects stamped with
+cache provenance (``cache_status`` ``"hit"``/``"miss"``), and every suite
+run returns a :class:`SuiteReport` carrying wall-clock, per-kernel and
+cache hit/miss/timing statistics for the flow report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..diagnostics.engine import DiagnosticEngine
+from ..diagnostics.errors import CompilationError, PipelineConfigError, ServiceError
+from ..flows.compare import FlowComparison, compare_flows
+from ..flows.config import OptimizationConfig
+from ..workloads.suite import SUITE_SIZES
+from .cache import CacheStats, CompilationCache
+from .fingerprint import cache_key
+
+__all__ = [
+    "NAMED_CONFIGS",
+    "resolve_config",
+    "SuiteReport",
+    "CompilationService",
+]
+
+#: The named optimisation recipes the evaluation uses.  The benchmark
+#: harness and the CLI both resolve configs through this registry.
+NAMED_CONFIGS: Dict[str, Callable[[], OptimizationConfig]] = {
+    "baseline": OptimizationConfig.baseline,
+    "optimized": lambda: OptimizationConfig.optimized(ii=1),
+    "optimized_part": lambda: OptimizationConfig.optimized(ii=1, partition_factor=2),
+}
+
+
+def resolve_config(config: Union[str, OptimizationConfig]) -> OptimizationConfig:
+    """A fresh config object from a registry name (or pass one through)."""
+    if isinstance(config, OptimizationConfig):
+        return config
+    try:
+        factory = NAMED_CONFIGS[config]
+    except KeyError:
+        raise PipelineConfigError(
+            f"unknown optimisation config {config!r}; "
+            f"valid: {sorted(NAMED_CONFIGS)}"
+        ) from None
+    return factory()
+
+
+@dataclass
+class SuiteReport:
+    """One batch run: the comparisons plus how they were obtained."""
+
+    config: str
+    size_class: str
+    jobs: int
+    comparisons: List[FlowComparison] = field(default_factory=list)
+    seconds: float = 0.0  # wall clock for the whole batch
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+    cache_root: str = ""
+
+    @property
+    def kernels(self) -> List[str]:
+        return [c.kernel for c in self.comparisons]
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total compile time spent on misses (warm runs approach zero)."""
+        return sum(
+            c.compile_seconds for c in self.comparisons if c.cache_status != "hit"
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"suite run: config={self.config} size={self.size_class} "
+            f"jobs={self.jobs} wall={self.seconds:.2f}s",
+            f"cache [{self.cache_root}]: {self.cache_stats.summary()}",
+            "",
+            f"{'kernel':<12} {'cache':<6} {'compile s':>10} "
+            f"{'lat(adp)':>10} {'lat(cpp)':>10} {'ratio':>7}  verdict",
+        ]
+        for c in self.comparisons:
+            if c.functionally_equivalent is None:
+                verdict = "n/a"
+            elif c.functionally_equivalent:
+                verdict = "OK"
+            else:
+                verdict = "MISMATCH"
+            lines.append(
+                f"{c.kernel:<12} {c.cache_status:<6} {c.compile_seconds:>10.3f} "
+                f"{c.adaptor.latency:>10} {c.cpp.latency:>10} "
+                f"{c.latency_ratio:>7.3f}  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def _sizes_for(size_class: str, kernel: str) -> Dict[str, int]:
+    try:
+        by_kernel = SUITE_SIZES[size_class]
+    except KeyError:
+        raise PipelineConfigError(
+            f"unknown size class {size_class!r}; have {sorted(SUITE_SIZES)}"
+        ) from None
+    try:
+        return by_kernel[kernel]
+    except KeyError:
+        raise PipelineConfigError(
+            f"unknown kernel {kernel!r} for size class {size_class!r}; "
+            f"have {sorted(by_kernel)}"
+        ) from None
+
+
+def _compile_job(payload: dict):
+    """Worker entry point: compile one kernel through a private service
+    handle onto the *shared* on-disk cache.
+
+    Returns ``(comparison, stats)``; structured compilation errors pickle
+    fine and re-raise in the parent.  Must stay module-level so it is
+    importable under every multiprocessing start method.
+    """
+    service = CompilationService(
+        cache_dir=payload["cache_dir"],
+        jobs=1,
+        device=payload["device"],
+    )
+    comparison = service.compile_one(
+        payload["kernel"],
+        payload["config"],
+        sizes=payload["sizes"],
+        check_equivalence=payload["check_equivalence"],
+        seed=payload["seed"],
+    )
+    return comparison, service.cache.stats
+
+
+class CompilationService:
+    """Parallel, persistently-cached flow compilation.
+
+    ``jobs`` caps the worker-process fan-out for :meth:`run_suite`
+    (``1`` = in-process serial).  All workers share ``cache_dir``.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        jobs: int = 1,
+        device: str = "xc7z020",
+        engine: Optional[DiagnosticEngine] = None,
+    ):
+        if jobs < 1:
+            raise PipelineConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.device = device
+        self.engine = engine or DiagnosticEngine()
+        self.cache = CompilationCache(cache_dir, engine=self.engine)
+
+    # -- single kernel ------------------------------------------------------
+    def compile_one(
+        self,
+        kernel: str,
+        config: Union[str, OptimizationConfig] = "baseline",
+        sizes: Optional[Dict[str, int]] = None,
+        size_class: str = "SMALL",
+        check_equivalence: bool = True,
+        seed: int = 17,
+    ) -> FlowComparison:
+        """Cache-first comparison of one kernel under one config."""
+        config_obj = resolve_config(config)
+        sizes = sizes if sizes is not None else _sizes_for(size_class, kernel)
+        key = cache_key(
+            kernel,
+            sizes,
+            config_obj,
+            device=self.device,
+            check_equivalence=check_equivalence,
+            seed=seed,
+        )
+        cached = self.cache.load(key)
+        if cached is not None:
+            cached.cache_status = "hit"
+            return cached
+        comparison = compare_flows(
+            kernel,
+            sizes,
+            config_obj,
+            device=self.device,
+            check_equivalence=check_equivalence,
+            seed=seed,
+        )
+        comparison.cache_status = "miss"
+        self.cache.store(
+            key,
+            comparison,
+            meta={"kernel": kernel, "config": config_obj.name},
+        )
+        return comparison
+
+    # -- batch --------------------------------------------------------------
+    def run_suite(
+        self,
+        config: Union[str, OptimizationConfig] = "baseline",
+        kernels: Optional[Sequence[str]] = None,
+        size_class: str = "SMALL",
+        check_equivalence: bool = True,
+        seed: int = 17,
+    ) -> SuiteReport:
+        """Compile every (or the named) suite kernel under one config."""
+        start = time.perf_counter()
+        config_obj = resolve_config(config)
+        names = list(kernels) if kernels is not None else list(SUITE_SIZES[size_class])
+        payloads = [
+            {
+                "cache_dir": self.cache.root,
+                "kernel": name,
+                "config": config_obj,
+                "sizes": _sizes_for(size_class, name),
+                "device": self.device,
+                "check_equivalence": check_equivalence,
+                "seed": seed,
+            }
+            for name in names
+        ]
+        report = SuiteReport(
+            config=config_obj.name,
+            size_class=size_class,
+            jobs=self.jobs,
+            cache_root=self.cache.root,
+        )
+        if self.jobs == 1 or len(payloads) <= 1:
+            before = self.cache.stats.snapshot()
+            for payload in payloads:
+                report.comparisons.append(
+                    self.compile_one(
+                        payload["kernel"],
+                        payload["config"],
+                        sizes=payload["sizes"],
+                        check_equivalence=check_equivalence,
+                        seed=seed,
+                    )
+                )
+            report.cache_stats.merge(self.cache.stats.since(before))
+        else:
+            workers = min(self.jobs, len(payloads))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_compile_job, p) for p in payloads]
+                for payload, future in zip(payloads, futures):
+                    try:
+                        comparison, stats = future.result()
+                    except CompilationError:
+                        raise
+                    except Exception as exc:
+                        diag = self.engine.error(
+                            ServiceError.code,
+                            f"worker compiling {payload['kernel']!r} failed: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        raise ServiceError(
+                            diag.message, kernel=payload["kernel"], diagnostic=diag
+                        ) from exc
+                    report.comparisons.append(comparison)
+                    report.cache_stats.merge(stats)
+            # Surface the merged worker stats on this handle too, so a
+            # caller polling ``service.cache.stats`` sees the batch.
+            self.cache.stats.merge(report.cache_stats)
+        report.seconds = time.perf_counter() - start
+        return report
+
+    # -- maintenance passthroughs ------------------------------------------
+    def cache_stats(self) -> Dict:
+        stats = self.cache.disk_stats()
+        by_kernel: Dict[str, int] = {}
+        for header in self.cache.entry_headers():
+            kernel = header.get("kernel", "?")
+            by_kernel[kernel] = by_kernel.get(kernel, 0) + 1
+        stats["by_kernel"] = by_kernel
+        return stats
+
+    def cache_clear(self) -> int:
+        return self.cache.clear()
+
+
+# Environment-tunable default fan-out for callers that do not care to pick
+# (the benchmark harness, the CLI default).
+def default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1

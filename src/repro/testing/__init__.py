@@ -1,6 +1,8 @@
 """Test-support utilities shipped with the package: deterministic fault
-injection and hostile-IR fuzzing for pipeline hardening (used by the test
-suite and the CI fuzz smoke job, importable by downstream users too)."""
+injection, hostile-IR fuzzing, a seeded random-module generator for
+roundtrip properties, and a FileCheck-lite matcher for golden-IR tests
+(used by the test suite and the CI jobs, importable by downstream users
+too)."""
 
 from .fault_injection import (
     FAULT_MODES,
@@ -12,6 +14,13 @@ from .fault_injection import (
     build_seed_module,
     inject_into,
 )
+from .filecheck import (
+    CheckDirective,
+    CheckFailure,
+    parse_check_lines,
+    run_filecheck,
+)
+from .modulegen import RandomModuleGenerator
 
 __all__ = [
     "FAULT_MODES",
@@ -22,4 +31,9 @@ __all__ = [
     "adapt_or_reject",
     "build_seed_module",
     "inject_into",
+    "CheckDirective",
+    "CheckFailure",
+    "parse_check_lines",
+    "run_filecheck",
+    "RandomModuleGenerator",
 ]

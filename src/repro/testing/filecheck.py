@@ -1,0 +1,142 @@
+"""FileCheck-lite: LLVM-style ``CHECK`` directives for golden-IR tests.
+
+Supports the core directive set golden tests need:
+
+* ``# CHECK: pat`` — scan forward for the next line containing ``pat``;
+* ``# CHECK-NEXT: pat`` — the line immediately after the previous match;
+* ``# CHECK-SAME: pat`` — the previously matched line, after the match;
+* ``# CHECK-NOT: pat`` — must not appear between the surrounding matches
+  (or before EOF when trailing).
+
+Patterns are literal substrings with ``{{...}}`` regex escapes, exactly
+like FileCheck: ``# CHECK: define {{void|i32}} @gemm``.  The directive
+prefix is ``# CHECK`` by default (``;`` and bare ``CHECK:`` also parse),
+so check files double as commented ``.ll`` files.
+
+Failures raise :class:`CheckFailure` (an ``AssertionError`` subclass) with
+the directive, its line number in the check file, and the closest-scan
+context from the input, so pytest output reads like FileCheck's.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = ["CheckFailure", "CheckDirective", "parse_check_lines", "run_filecheck"]
+
+_DIRECTIVE_RE = re.compile(
+    r"^\s*(?:[#;]+\s*)?CHECK(?P<kind>-NEXT|-SAME|-NOT)?\s*:\s?(?P<pattern>.*)$"
+)
+
+
+class CheckFailure(AssertionError):
+    """A CHECK directive did not hold against the input text."""
+
+
+@dataclass
+class CheckDirective:
+    kind: str  # "check" | "next" | "same" | "not"
+    pattern: str
+    lineno: int  # 1-based position in the check source
+
+    def regex(self) -> "re.Pattern[str]":
+        """Literal text with ``{{...}}`` regex interpolations."""
+        out: List[str] = []
+        pos = 0
+        for m in re.finditer(r"\{\{(.*?)\}\}", self.pattern):
+            out.append(re.escape(self.pattern[pos:m.start()]))
+            out.append(f"(?:{m.group(1)})")
+            pos = m.end()
+        out.append(re.escape(self.pattern[pos:]))
+        return re.compile("".join(out))
+
+    def describe(self) -> str:
+        kind = {"check": "CHECK", "next": "CHECK-NEXT",
+                "same": "CHECK-SAME", "not": "CHECK-NOT"}[self.kind]
+        return f"{kind}: {self.pattern}  (check line {self.lineno})"
+
+
+def parse_check_lines(source: str) -> List[CheckDirective]:
+    """Extract CHECK directives from a check file (other lines ignored)."""
+    directives: List[CheckDirective] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE_RE.match(line)
+        if not m:
+            continue
+        kind = {None: "check", "-NEXT": "next", "-SAME": "same", "-NOT": "not"}[
+            m.group("kind")
+        ]
+        directives.append(CheckDirective(kind, m.group("pattern").rstrip(), lineno))
+    if directives and directives[0].kind in ("next", "same"):
+        raise ValueError(
+            f"{directives[0].describe()}: file cannot start with CHECK-"
+            f"{'NEXT' if directives[0].kind == 'next' else 'SAME'}"
+        )
+    return directives
+
+
+def _fail(directive: CheckDirective, lines: Sequence[str], near: int, why: str) -> None:
+    lo = max(0, near - 2)
+    context = "\n".join(
+        f"  {i + 1:>4} | {lines[i]}" for i in range(lo, min(len(lines), near + 3))
+    )
+    raise CheckFailure(f"{directive.describe()}: {why}\ninput near line {near + 1}:\n{context}")
+
+
+def run_filecheck(text: str, checks: Union[str, Sequence[CheckDirective]]) -> None:
+    """Assert ``text`` satisfies the CHECK directives (str or parsed)."""
+    directives = parse_check_lines(checks) if isinstance(checks, str) else list(checks)
+    lines = text.splitlines()
+    cursor = 0  # next line eligible for a CHECK match
+    last_match: Optional[Tuple[int, "re.Match[str]"]] = None
+    pending_not: List[CheckDirective] = []
+
+    def flush_not(limit: int) -> None:
+        for not_directive in pending_not:
+            rx = not_directive.regex()
+            for i in range(cursor, limit):
+                if rx.search(lines[i]):
+                    _fail(not_directive, lines, i, f"forbidden match in line {i + 1!r}")
+        pending_not.clear()
+
+    for directive in directives:
+        if directive.kind == "not":
+            pending_not.append(directive)
+            continue
+        rx = directive.regex()
+        if directive.kind == "same":
+            if last_match is None:
+                _fail(directive, lines, cursor, "no previous CHECK to continue")
+            idx, prev = last_match
+            m = rx.search(lines[idx], prev.end())
+            if m is None:
+                _fail(directive, lines, idx, "no match on the previous CHECK's line")
+            last_match = (idx, m)
+            continue
+        if directive.kind == "next":
+            if last_match is None:
+                _fail(directive, lines, cursor, "no previous CHECK to anchor to")
+            idx = last_match[0] + 1
+            if idx >= len(lines):
+                _fail(directive, lines, len(lines) - 1, "input ended")
+            flush_not(idx)
+            m = rx.search(lines[idx])
+            if m is None:
+                _fail(directive, lines, idx, f"next line {idx + 1!r} does not match")
+            last_match = (idx, m)
+            cursor = idx + 1
+            continue
+        # plain CHECK: scan forward
+        for i in range(cursor, len(lines)):
+            m = rx.search(lines[i])
+            if m is not None:
+                flush_not(i)
+                last_match = (i, m)
+                cursor = i + 1
+                break
+        else:
+            _fail(directive, lines, min(cursor, max(len(lines) - 1, 0)),
+                  "no matching line in the remaining input")
+    flush_not(len(lines))

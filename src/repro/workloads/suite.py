@@ -6,7 +6,7 @@ size the benchmark harness reports (Table 1's suite).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from .polybench import KERNEL_BUILDERS, KernelSpec, build_kernel
 
@@ -56,9 +56,22 @@ def kernel_names() -> List[str]:
     return list(DEFAULT_SUITE)
 
 
-def default_suite(size: str = "MINI", kernels: List[str] = None) -> List[KernelSpec]:
-    """Build every suite kernel at the named size class."""
+def default_suite(
+    size: str = "MINI", kernels: Optional[Sequence[str]] = None
+) -> List[KernelSpec]:
+    """Build suite kernels at the named size class.
+
+    ``kernels`` selects a subset (in the given order); ``None`` builds the
+    whole suite.  Unknown kernel names raise ``KeyError`` up front instead
+    of failing midway through the builds.
+    """
     if size not in SUITE_SIZES:
         raise KeyError(f"unknown size class {size!r}; have {sorted(SUITE_SIZES)}")
-    names = kernels if kernels is not None else DEFAULT_SUITE
+    names = list(kernels) if kernels is not None else list(DEFAULT_SUITE)
+    unknown = [n for n in names if n not in SUITE_SIZES[size]]
+    if unknown:
+        raise KeyError(
+            f"unknown kernel(s) {unknown} for size class {size!r}; "
+            f"have {sorted(SUITE_SIZES[size])}"
+        )
     return [build_kernel(name, **SUITE_SIZES[size][name]) for name in names]

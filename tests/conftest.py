@@ -5,6 +5,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate golden-IR snapshot files instead of diffing them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
 from repro.ir import IRBuilder, Module
 from repro.ir import types as irt
 

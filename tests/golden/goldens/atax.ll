@@ -1,0 +1,81 @@
+; ModuleID = 'atax_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @atax([6 x [8 x float]]* %A, [8 x float]* %x, [8 x float]* %y, [6 x float]* %tmp) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb2
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb2 ]
+  %1 = icmp slt i64 %barg, 8
+  br i1 %1, label %bb2, label %bb4
+
+bb2:                                              ; preds = %bb1
+  %st.gep = getelementptr inbounds [8 x float], [8 x float]* %y, i64 0, i64 %barg
+  store float 0.0, float* %st.gep, align 4
+  %0 = add nsw i64 %barg, 1
+  br label %bb1, !llvm.loop !0
+
+bb4:                                              ; preds = %bb11, %bb1
+  %barg.1 = phi i64 [ %2, %bb11 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 6
+  br i1 %3, label %bb5, label %bb12
+
+bb5:                                              ; preds = %bb4
+  %st.gep.1 = getelementptr inbounds [6 x float], [6 x float]* %tmp, i64 0, i64 %barg.1
+  store float 0.0, float* %st.gep.1, align 4
+  br label %bb6
+
+bb6:                                              ; preds = %bb5, %bb7
+  %barg.2 = phi i64 [ 0, %bb5 ], [ %4, %bb7 ]
+  %5 = icmp slt i64 %barg.2, 8
+  br i1 %5, label %bb7, label %bb9
+
+bb7:                                              ; preds = %bb6
+  %ld.gep = getelementptr inbounds [6 x [8 x float]], [6 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.2
+  %6 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [8 x float], [8 x float]* %x, i64 0, i64 %barg.2
+  %7 = load float, float* %ld.gep.1, align 4
+  %8 = load float, float* %st.gep.1, align 4
+  %9 = fmul float %6, %7
+  %10 = fadd float %8, %9
+  store float %10, float* %st.gep.1, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb6, !llvm.loop !3
+
+bb9:                                              ; preds = %bb10, %bb6
+  %barg.3 = phi i64 [ %11, %bb10 ], [ 0, %bb6 ]
+  %12 = icmp slt i64 %barg.3, 8
+  br i1 %12, label %bb10, label %bb11
+
+bb10:                                             ; preds = %bb9
+  %ld.gep.2 = getelementptr inbounds [6 x [8 x float]], [6 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.3
+  %13 = load float, float* %ld.gep.2, align 4
+  %14 = load float, float* %st.gep.1, align 4
+  %ld.gep.3 = getelementptr inbounds [8 x float], [8 x float]* %y, i64 0, i64 %barg.3
+  %15 = load float, float* %ld.gep.3, align 4
+  %16 = fmul float %13, %14
+  %17 = fadd float %15, %16
+  store float %17, float* %ld.gep.3, align 4
+  %11 = add nsw i64 %barg.3, 1
+  br label %bb9, !llvm.loop !6
+
+bb11:                                             ; preds = %bb9
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb4
+
+bb12:                                             ; preds = %bb4
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}
+!6 = distinct !{!6, !7, !8}
+!7 = !{!"fpga.loop.pipeline.enable"}
+!8 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -1,0 +1,81 @@
+; ModuleID = 'doitgen_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @doitgen([4 x [4 x [5 x float]]]* %A, [5 x [5 x float]]* %C4, [5 x float]* %sum) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb14
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb14 ]
+  %1 = icmp slt i64 %barg, 4
+  br i1 %1, label %bb3, label %bb15
+
+bb3:                                              ; preds = %bb13, %bb1
+  %barg.1 = phi i64 [ %2, %bb13 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 4
+  br i1 %3, label %bb5, label %bb14
+
+bb5:                                              ; preds = %bb9, %bb3
+  %barg.2 = phi i64 [ %4, %bb9 ], [ 0, %bb3 ]
+  %5 = icmp slt i64 %barg.2, 5
+  br i1 %5, label %bb6, label %bb11
+
+bb6:                                              ; preds = %bb5
+  %st.gep = getelementptr inbounds [5 x float], [5 x float]* %sum, i64 0, i64 %barg.2
+  store float 0.0, float* %st.gep, align 4
+  br label %bb7
+
+bb7:                                              ; preds = %bb6, %bb8
+  %barg.3 = phi i64 [ 0, %bb6 ], [ %6, %bb8 ]
+  %7 = icmp slt i64 %barg.3, 5
+  br i1 %7, label %bb8, label %bb9
+
+bb8:                                              ; preds = %bb7
+  %ld.gep = getelementptr inbounds [4 x [4 x [5 x float]]], [4 x [4 x [5 x float]]]* %A, i64 0, i64 %barg, i64 %barg.1, i64 %barg.3
+  %8 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [5 x [5 x float]], [5 x [5 x float]]* %C4, i64 0, i64 %barg.3, i64 %barg.2
+  %9 = load float, float* %ld.gep.1, align 4
+  %10 = load float, float* %st.gep, align 4
+  %11 = fmul float %8, %9
+  %12 = fadd float %10, %11
+  store float %12, float* %st.gep, align 4
+  %6 = add nsw i64 %barg.3, 1
+  br label %bb7, !llvm.loop !0
+
+bb9:                                              ; preds = %bb7
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5
+
+bb11:                                             ; preds = %bb12, %bb5
+  %barg.4 = phi i64 [ %13, %bb12 ], [ 0, %bb5 ]
+  %14 = icmp slt i64 %barg.4, 5
+  br i1 %14, label %bb12, label %bb13
+
+bb12:                                             ; preds = %bb11
+  %ld.gep.2 = getelementptr inbounds [5 x float], [5 x float]* %sum, i64 0, i64 %barg.4
+  %15 = load float, float* %ld.gep.2, align 4
+  %st.gep.1 = getelementptr inbounds [4 x [4 x [5 x float]]], [4 x [4 x [5 x float]]]* %A, i64 0, i64 %barg, i64 %barg.1, i64 %barg.4
+  store float %15, float* %st.gep.1, align 4
+  %13 = add nsw i64 %barg.4, 1
+  br label %bb11, !llvm.loop !3
+
+bb13:                                             ; preds = %bb11
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb14:                                             ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb15:                                             ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -1,0 +1,62 @@
+; ModuleID = 'gemm_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @gemm([6 x [6 x float]]* %A, [6 x [6 x float]]* %B, [6 x [6 x float]]* %C, float %alpha, float %beta) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 6
+  br i1 %1, label %bb3, label %bb9
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 6
+  br i1 %3, label %bb4, label %bb8
+
+bb4:                                              ; preds = %bb3
+  %ld.gep = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  %4 = load float, float* %ld.gep, align 4
+  %5 = fmul float %4, %beta
+  %st.gep = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  store float %5, float* %st.gep, align 4
+  br label %bb5
+
+bb5:                                              ; preds = %bb4, %bb6
+  %barg.2 = phi i64 [ 0, %bb4 ], [ %6, %bb6 ]
+  %7 = icmp slt i64 %barg.2, 6
+  br i1 %7, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.gep.1 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %A, i64 0, i64 %barg, i64 %barg.2
+  %8 = load float, float* %ld.gep.1, align 4
+  %ld.gep.2 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %B, i64 0, i64 %barg.2, i64 %barg.1
+  %9 = load float, float* %ld.gep.2, align 4
+  %10 = fmul float %8, %9
+  %11 = fmul float %alpha, %10
+  %ld.gep.3 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  %12 = load float, float* %ld.gep.3, align 4
+  %13 = fadd float %12, %11
+  %st.gep.1 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  store float %13, float* %st.gep.1, align 4
+  %6 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb9:                                              ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}

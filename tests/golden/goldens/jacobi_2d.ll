@@ -1,0 +1,106 @@
+; ModuleID = 'jacobi_2d_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @jacobi_2d([8 x [8 x float]]* %A, [8 x [8 x float]]* %B) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb14
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb14 ]
+  %1 = icmp slt i64 %barg, 2
+  br i1 %1, label %bb3, label %bb15
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 1, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 7
+  br i1 %3, label %bb5, label %bb9
+
+bb5:                                              ; preds = %bb6, %bb3
+  %barg.2 = phi i64 [ %4, %bb6 ], [ 1, %bb3 ]
+  %5 = icmp slt i64 %barg.2, 7
+  br i1 %5, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.gep = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.2
+  %6 = load float, float* %ld.gep, align 4
+  %sub.adj = add nsw i64 %barg.2, -1
+  %ld.gep.1 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %sub.adj
+  %7 = load float, float* %ld.gep.1, align 4
+  %sub.adj.1 = add nsw i64 %barg.2, 1
+  %ld.gep.2 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %sub.adj.1
+  %8 = load float, float* %ld.gep.2, align 4
+  %9 = add nsw i64 %barg.1, -1
+  %ld.gep.3 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %9, i64 %barg.2
+  %10 = load float, float* %ld.gep.3, align 4
+  %11 = add nsw i64 %barg.1, 1
+  %ld.gep.4 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %11, i64 %barg.2
+  %12 = load float, float* %ld.gep.4, align 4
+  %13 = fadd float %6, %7
+  %14 = fadd float %13, %8
+  %15 = fadd float %14, %10
+  %16 = fadd float %15, %12
+  %17 = fmul float %16, 0.20000000298023224
+  %st.gep = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %barg.1, i64 %barg.2
+  store float %17, float* %st.gep, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb9:                                              ; preds = %bb13, %bb3
+  %barg.3 = phi i64 [ %18, %bb13 ], [ 1, %bb3 ]
+  %19 = icmp slt i64 %barg.3, 7
+  br i1 %19, label %bb11, label %bb14
+
+bb11:                                             ; preds = %bb12, %bb9
+  %barg.4 = phi i64 [ %20, %bb12 ], [ 1, %bb9 ]
+  %21 = icmp slt i64 %barg.4, 7
+  br i1 %21, label %bb12, label %bb13
+
+bb12:                                             ; preds = %bb11
+  %ld.gep.5 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %barg.3, i64 %barg.4
+  %22 = load float, float* %ld.gep.5, align 4
+  %sub.adj.2 = add nsw i64 %barg.4, -1
+  %ld.gep.6 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %barg.3, i64 %sub.adj.2
+  %23 = load float, float* %ld.gep.6, align 4
+  %sub.adj.3 = add nsw i64 %barg.4, 1
+  %ld.gep.7 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %barg.3, i64 %sub.adj.3
+  %24 = load float, float* %ld.gep.7, align 4
+  %25 = add nsw i64 %barg.3, -1
+  %ld.gep.8 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %25, i64 %barg.4
+  %26 = load float, float* %ld.gep.8, align 4
+  %27 = add nsw i64 %barg.3, 1
+  %ld.gep.9 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %27, i64 %barg.4
+  %28 = load float, float* %ld.gep.9, align 4
+  %29 = fadd float %22, %23
+  %30 = fadd float %29, %24
+  %31 = fadd float %30, %26
+  %32 = fadd float %31, %28
+  %33 = fmul float %32, 0.20000000298023224
+  %st.gep.1 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.3, i64 %barg.4
+  store float %33, float* %st.gep.1, align 4
+  %20 = add nsw i64 %barg.4, 1
+  br label %bb11, !llvm.loop !3
+
+bb13:                                             ; preds = %bb11
+  %18 = add nsw i64 %barg.3, 1
+  br label %bb9
+
+bb14:                                             ; preds = %bb9
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb15:                                             ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -1,0 +1,108 @@
+"""Golden-IR snapshot tests for the adaptor flow.
+
+Each representative kernel's final adaptor output (optimised config, MINI
+sizes) is pinned byte-for-byte against ``goldens/<kernel>.ll``.  An
+intentional change to a pass regenerates them with::
+
+    pytest tests/golden --update-goldens
+
+and the diff lands in review like any other code change.  Structural
+``CHECK`` assertions (via the FileCheck-lite matcher in
+``repro.testing``) document *why* the output looks the way it does, so a
+golden diff failure comes with a readable second opinion.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.flows import OptimizationConfig, run_adaptor_flow
+from repro.ir.printer import print_module
+from repro.testing import run_filecheck
+from repro.workloads import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
+
+GOLDEN_KERNELS = ["gemm", "atax", "jacobi_2d", "doitgen"]
+
+# Structural invariants of adapted IR, per kernel.  Every kernel must come
+# out typed-pointer, freeze-free and carrying HLS-dialect loop directives;
+# the per-kernel lines pin signatures and access shapes.
+_CHECKS = {
+    "gemm": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @gemm([6 x [6 x float]]* %A, [6 x [6 x float]]* %B, [6 x [6 x float]]* %C, float %alpha, float %beta)
+    # CHECK: getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %A
+    # CHECK: br label {{.+}}, !llvm.loop !
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "atax": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @atax([6 x [8 x float]]* %A, [8 x float]* %x, [8 x float]* %y, [6 x float]* %tmp)
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "jacobi_2d": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @jacobi_2d([8 x [8 x float]]* %A, [8 x [8 x float]]* %B)
+    # CHECK: fmul float
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "doitgen": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @doitgen([4 x [4 x [5 x float]]]* %A, [5 x [5 x float]]* %C4, [5 x float]* %sum)
+    # CHECK: getelementptr inbounds [4 x [4 x [5 x float]]], [4 x [4 x [5 x float]]]* %A
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+}
+
+
+def adaptor_output(kernel: str) -> str:
+    """The canonical golden subject: optimised-config MINI adaptor IR."""
+    spec = build_kernel(kernel, **SUITE_SIZES["MINI"][kernel])
+    OptimizationConfig.optimized(ii=1).apply(spec)
+    result = run_adaptor_flow(spec)
+    return print_module(result.ir_module)
+
+
+def golden_path(kernel: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{kernel}.ll")
+
+
+@pytest.mark.parametrize("kernel", GOLDEN_KERNELS)
+def test_adaptor_output_matches_golden(kernel, update_goldens):
+    text = adaptor_output(kernel)
+    path = golden_path(kernel)
+    if update_goldens:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(text)
+        pytest.skip(f"golden updated: {path}")
+    assert os.path.exists(path), (
+        f"missing golden {path}; run pytest tests/golden --update-goldens"
+    )
+    with open(path) as fh:
+        golden = fh.read()
+    assert text == golden, (
+        f"adaptor output for {kernel!r} drifted from {path}; if intended, "
+        f"rerun with --update-goldens and review the diff"
+    )
+
+
+@pytest.mark.parametrize("kernel", GOLDEN_KERNELS)
+def test_adaptor_output_structural_checks(kernel):
+    run_filecheck(adaptor_output(kernel), _CHECKS[kernel])
+
+
+def test_goldens_are_deterministic():
+    assert adaptor_output("gemm") == adaptor_output("gemm")

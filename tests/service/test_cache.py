@@ -1,0 +1,162 @@
+"""On-disk compilation cache: correctness, invalidation, corruption."""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.diagnostics import DiagnosticEngine
+from repro.diagnostics.errors import CacheError
+from repro.flows import OptimizationConfig
+from repro.service import CompilationCache, CompilationService, cache_key
+from repro.service import fingerprint as fp_mod
+from repro.workloads.suite import SUITE_SIZES
+
+GEMM_MINI = SUITE_SIZES["MINI"]["gemm"]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return CompilationCache(str(tmp_path / "cache"))
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, cache):
+        cache.store("a" * 64, {"x": 1, "y": [1, 2, 3]})
+        assert cache.load("a" * 64) == {"x": 1, "y": [1, 2, 3]}
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_miss(self, cache):
+        assert cache.load("b" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_contains(self, cache):
+        assert not cache.contains("c" * 64)
+        cache.store("c" * 64, 42)
+        assert cache.contains("c" * 64)
+
+    def test_entries_sharded_by_prefix(self, cache):
+        cache.store("ab" + "0" * 62, 1)
+        assert os.path.exists(
+            os.path.join(cache.entries_dir, "ab", "ab" + "0" * 62 + ".entry")
+        )
+
+    def test_header_metadata(self, cache):
+        cache.store("d" * 64, 7, meta={"kernel": "gemm", "config": "baseline"})
+        (header,) = cache.entry_headers()
+        assert header["kernel"] == "gemm"
+        assert header["config"] == "baseline"
+        assert header["key"] == "d" * 64
+
+    def test_clear_and_disk_stats(self, cache):
+        for i in range(3):
+            cache.store(f"{i}" * 64, i)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 3 and stats["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.disk_stats()["entries"] == 0
+
+
+class TestCorruption:
+    def _store_one(self, cache, key="e" * 64):
+        cache.store(key, {"payload": list(range(10))})
+        return cache.entry_path(key)
+
+    def test_truncated_payload_degrades_to_miss(self, cache):
+        path = self._store_one(cache)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-5])
+        assert cache.load("e" * 64) is None
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(path), "corrupt entry should be dropped"
+
+    def test_garbage_header_degrades_to_miss(self, cache):
+        path = self._store_one(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\xffnot json\n garbage")
+        assert cache.load("e" * 64) is None
+        assert cache.stats.corrupt == 1
+
+    def test_flipped_payload_byte_fails_checksum(self, cache):
+        path = self._store_one(cache)
+        with open(path, "rb") as fh:
+            data = bytearray(fh.read())
+        data[-1] ^= 0xFF
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        assert cache.load("e" * 64) is None
+        assert cache.stats.corrupt == 1
+
+    def test_unpicklable_payload_degrades_to_miss(self, cache):
+        path = self._store_one(cache)
+        bogus = b"not a pickle at all"
+        import hashlib
+
+        header = {
+            "format": fp_mod.CACHE_FORMAT_VERSION,
+            "key": "e" * 64,
+            "payload_sha256": hashlib.sha256(bogus).hexdigest(),
+            "payload_bytes": len(bogus),
+        }
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n" + bogus)
+        assert cache.load("e" * 64) is None
+        assert cache.stats.corrupt == 1
+
+    def test_corruption_emits_diagnostic(self, tmp_path):
+        engine = DiagnosticEngine()
+        cache = CompilationCache(str(tmp_path), engine=engine)
+        path = self._store_one(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"junk")
+        cache.load("e" * 64)
+        assert any(d.code == "REPRO-CACHE-001" for d in engine.diagnostics)
+
+    def test_format_version_mismatch_is_miss_with_cache_002(self, tmp_path):
+        engine = DiagnosticEngine()
+        cache = CompilationCache(str(tmp_path), engine=engine)
+        path = self._store_one(cache)
+        with open(path, "rb") as fh:
+            header = json.loads(fh.readline())
+            payload = fh.read()
+        header["format"] = 999
+        with open(path, "wb") as fh:
+            fh.write(json.dumps(header).encode() + b"\n" + payload)
+        assert cache.load("e" * 64) is None
+        assert any(d.code == "REPRO-CACHE-002" for d in engine.diagnostics)
+
+    def test_required_load_raises_cache_error(self, cache):
+        path = self._store_one(cache)
+        with open(path, "wb") as fh:
+            fh.write(b"junk")
+        with pytest.raises(CacheError):
+            cache.load("e" * 64, required=True)
+
+
+class TestServiceLevelCorruption:
+    def test_corrupt_entry_recompiles_never_crashes(self, tmp_path):
+        service = CompilationService(cache_dir=str(tmp_path))
+        first = service.compile_one("gemm", "baseline", sizes=GEMM_MINI)
+        assert first.cache_status == "miss"
+        key = cache_key(
+            "gemm", GEMM_MINI, OptimizationConfig.baseline(),
+            device=service.device, check_equivalence=True, seed=17,
+        )
+        path = service.cache.entry_path(key)
+        assert os.path.exists(path)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00corrupted beyond recognition")
+        again = service.compile_one("gemm", "baseline", sizes=GEMM_MINI)
+        assert again.cache_status == "miss"  # recompiled, not crashed
+        assert again.row() == first.row()
+        assert any(
+            d.code == "REPRO-CACHE-001" for d in service.engine.diagnostics
+        )
+        # The recompile re-stored a clean entry: third run is a hit.
+        third = service.compile_one("gemm", "baseline", sizes=GEMM_MINI)
+        assert third.cache_status == "hit"

@@ -1,0 +1,109 @@
+"""``python -m repro.service`` CLI: subcommands and exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cli import build_parser, main
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-suite", "--config", "turbo"])
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+
+class TestRunSuite:
+    def test_mini_subset_ok(self, capsys, cache_dir):
+        code, out, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm,atax",
+        )
+        assert code == 0
+        assert "gemm" in out and "atax" in out
+        assert "miss" in out
+        assert "hit rate" in out
+
+    def test_second_run_is_warm(self, capsys, cache_dir):
+        run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm",
+        )
+        code, out, _ = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm",
+        )
+        assert code == 0
+        assert "hit" in out
+        assert "100% hit rate" in out
+
+    def test_unknown_kernel_exits_2(self, capsys, cache_dir):
+        code, _, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "nope",
+        )
+        assert code == 2
+        assert "REPRO-CFG" in err or "error[" in err
+
+    def test_parallel_jobs_flag(self, capsys, cache_dir):
+        code, out, _ = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm,atax",
+            "--jobs", "2",
+        )
+        assert code == 0
+        assert "jobs=2" in out
+
+
+class TestCacheMaintenance:
+    def test_stats_empty(self, capsys, cache_dir):
+        code, out, _ = run_cli(capsys, "--cache-dir", cache_dir, "cache", "stats")
+        assert code == 0
+        assert "entries:    0" in out
+
+    def test_stats_after_run(self, capsys, cache_dir):
+        run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm",
+        )
+        code, out, _ = run_cli(capsys, "--cache-dir", cache_dir, "cache", "stats")
+        assert code == 0
+        assert "entries:    1" in out
+        assert "gemm" in out
+
+    def test_clear(self, capsys, cache_dir):
+        run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm,atax",
+        )
+        code, out, _ = run_cli(capsys, "--cache-dir", cache_dir, "cache", "clear")
+        assert code == 0
+        assert "removed 2" in out
+        code, out, _ = run_cli(capsys, "--cache-dir", cache_dir, "cache", "stats")
+        assert "entries:    0" in out

@@ -1,0 +1,141 @@
+"""Compilation service: cold/warm determinism, invalidation, parallel runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diagnostics.errors import PipelineConfigError
+from repro.flows import OptimizationConfig
+from repro.service import CompilationService, resolve_config
+from repro.service import fingerprint as fp_mod
+from repro.workloads.suite import SUITE_SIZES
+
+GEMM_MINI = SUITE_SIZES["MINI"]["gemm"]
+SUBSET = ["gemm", "atax", "bicg"]
+
+
+@pytest.fixture
+def service(tmp_path):
+    return CompilationService(cache_dir=str(tmp_path / "cache"))
+
+
+class TestResolveConfig:
+    def test_named(self):
+        cfg = resolve_config("optimized")
+        assert cfg.pipeline_innermost and cfg.name == "optimized"
+
+    def test_passthrough(self):
+        cfg = OptimizationConfig.baseline()
+        assert resolve_config(cfg) is cfg
+
+    def test_unknown_name(self):
+        with pytest.raises(PipelineConfigError):
+            resolve_config("turbo")
+
+    def test_bad_jobs(self, tmp_path):
+        with pytest.raises(PipelineConfigError):
+            CompilationService(cache_dir=str(tmp_path), jobs=0)
+
+
+class TestColdWarm:
+    def test_cold_then_warm_bit_identical(self, service):
+        cold = service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        warm = service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert [c.cache_status for c in cold.comparisons] == ["miss"] * 3
+        assert [c.cache_status for c in warm.comparisons] == ["hit"] * 3
+        # The FlowComparison rows — the benchmark tables' raw material —
+        # must be bit-identical between a compile and a cache hit.
+        assert [c.row() for c in cold.comparisons] == [c.row() for c in warm.comparisons]
+        for c_cold, c_warm in zip(cold.comparisons, warm.comparisons):
+            assert c_cold.functionally_equivalent == c_warm.functionally_equivalent
+            assert c_cold.max_abs_error == c_warm.max_abs_error
+            assert c_cold.adaptor.latency == c_warm.adaptor.latency
+            assert c_cold.adaptor.resources == c_warm.adaptor.resources
+            assert (
+                c_cold.adaptor.adaptor_report.rewrites_by_pass()
+                == c_warm.adaptor.adaptor_report.rewrites_by_pass()
+            )
+
+    def test_warm_hit_crosses_service_instances(self, tmp_path):
+        a = CompilationService(cache_dir=str(tmp_path))
+        b = CompilationService(cache_dir=str(tmp_path))
+        assert a.compile_one("gemm", sizes=GEMM_MINI).cache_status == "miss"
+        assert b.compile_one("gemm", sizes=GEMM_MINI).cache_status == "hit"
+
+    def test_suite_report_stats(self, service):
+        cold = service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert cold.cache_stats.misses == 3
+        assert cold.cache_stats.stores == 3
+        assert cold.compile_seconds > 0
+        warm = service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert warm.cache_stats.hits == 3
+        assert warm.cache_stats.hit_rate == 1.0
+        summary = warm.summary()
+        assert "hit rate" in summary and "gemm" in summary
+
+    def test_unknown_kernel_rejected(self, service):
+        with pytest.raises(PipelineConfigError):
+            service.run_suite("baseline", kernels=["nope"], size_class="MINI")
+
+    def test_unknown_size_class_rejected(self, service):
+        with pytest.raises(PipelineConfigError):
+            service.compile_one("gemm", size_class="HUGE")
+
+
+class TestInvalidation:
+    def test_config_change_invalidates(self, service):
+        first = service.compile_one("gemm", "baseline", sizes=GEMM_MINI)
+        other = service.compile_one("gemm", "optimized", sizes=GEMM_MINI)
+        assert first.cache_status == "miss"
+        assert other.cache_status == "miss"  # different config -> new entry
+        assert service.compile_one("gemm", "baseline", sizes=GEMM_MINI).cache_status == "hit"
+        assert service.compile_one("gemm", "optimized", sizes=GEMM_MINI).cache_status == "hit"
+
+    def test_pipeline_version_bump_invalidates(self, service, monkeypatch):
+        assert service.compile_one("gemm", sizes=GEMM_MINI).cache_status == "miss"
+        assert service.compile_one("gemm", sizes=GEMM_MINI).cache_status == "hit"
+        monkeypatch.setattr(fp_mod, "PIPELINE_VERSION", fp_mod.PIPELINE_VERSION + 1)
+        assert service.compile_one("gemm", sizes=GEMM_MINI).cache_status == "miss"
+
+    def test_seed_change_invalidates(self, service):
+        assert service.compile_one("gemm", sizes=GEMM_MINI, seed=1).cache_status == "miss"
+        assert service.compile_one("gemm", sizes=GEMM_MINI, seed=2).cache_status == "miss"
+        assert service.compile_one("gemm", sizes=GEMM_MINI, seed=1).cache_status == "hit"
+
+
+class TestParallel:
+    def test_parallel_run_matches_serial(self, tmp_path):
+        serial = CompilationService(cache_dir=str(tmp_path / "a"), jobs=1)
+        parallel = CompilationService(cache_dir=str(tmp_path / "b"), jobs=2)
+        rs = serial.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        rp = parallel.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert [c.row() for c in rs.comparisons] == [c.row() for c in rp.comparisons]
+        assert rp.cache_stats.misses == 3 and rp.cache_stats.stores == 3
+
+    def test_parallel_workers_populate_shared_cache(self, tmp_path):
+        parallel = CompilationService(cache_dir=str(tmp_path), jobs=2)
+        parallel.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        # A fresh serial service over the same directory is fully warm.
+        warm = CompilationService(cache_dir=str(tmp_path)).run_suite(
+            "baseline", kernels=SUBSET, size_class="MINI"
+        )
+        assert [c.cache_status for c in warm.comparisons] == ["hit"] * 3
+
+    def test_parallel_warm_hits(self, tmp_path):
+        svc = CompilationService(cache_dir=str(tmp_path), jobs=2)
+        svc.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        warm = svc.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert [c.cache_status for c in warm.comparisons] == ["hit"] * 3
+
+
+class TestMaintenance:
+    def test_cache_stats_by_kernel(self, service):
+        service.run_suite("baseline", kernels=["gemm", "atax"], size_class="MINI")
+        stats = service.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["by_kernel"] == {"gemm": 1, "atax": 1}
+
+    def test_cache_clear(self, service):
+        service.run_suite("baseline", kernels=["gemm"], size_class="MINI")
+        assert service.cache_clear() == 1
+        assert service.compile_one("gemm", sizes=GEMM_MINI).cache_status == "miss"

@@ -1,0 +1,82 @@
+"""Unit tests for the FileCheck-lite matcher."""
+
+import pytest
+
+from repro.testing import CheckFailure, parse_check_lines, run_filecheck
+
+SAMPLE = """\
+define void @f(i32 %a) {
+entry:
+  %x = add i32 %a, 1
+  %y = mul i32 %x, 3
+  br label %exit
+
+exit:
+  ret void
+}
+"""
+
+
+class TestParsing:
+    def test_prefixes(self):
+        checks = parse_check_lines(
+            "# CHECK: a\n; CHECK-NEXT: b\nCHECK-NOT: c\nplain line\n"
+        )
+        assert [c.kind for c in checks] == ["check", "next", "not"]
+        assert [c.pattern for c in checks] == ["a", "b", "c"]
+
+    def test_leading_next_rejected(self):
+        with pytest.raises(ValueError):
+            parse_check_lines("# CHECK-NEXT: nope")
+
+    def test_regex_interpolation(self):
+        (c,) = parse_check_lines("# CHECK: add {{i(32|64)}}, %a")
+        assert c.regex().search("  %x = add i32, %a")
+        assert not c.regex().search("  %x = add i8, %a")
+
+
+class TestMatching:
+    def test_plain_checks_in_order(self):
+        run_filecheck(SAMPLE, "# CHECK: define\n# CHECK: add\n# CHECK: ret void")
+
+    def test_out_of_order_fails(self):
+        with pytest.raises(CheckFailure):
+            run_filecheck(SAMPLE, "# CHECK: ret void\n# CHECK: define")
+
+    def test_check_next(self):
+        run_filecheck(SAMPLE, "# CHECK: add i32\n# CHECK-NEXT: mul i32")
+
+    def test_check_next_fails_on_gap(self):
+        with pytest.raises(CheckFailure):
+            run_filecheck(SAMPLE, "# CHECK: entry:\n# CHECK-NEXT: mul i32")
+
+    def test_check_same(self):
+        run_filecheck(SAMPLE, "# CHECK: add\n# CHECK-SAME: %a, 1")
+
+    def test_check_same_fails_when_before_match(self):
+        with pytest.raises(CheckFailure):
+            run_filecheck(SAMPLE, "# CHECK: %a, 1\n# CHECK-SAME: add")
+
+    def test_check_not_between(self):
+        run_filecheck(SAMPLE, "# CHECK: entry\n# CHECK-NOT: sdiv\n# CHECK: ret")
+        with pytest.raises(CheckFailure):
+            run_filecheck(SAMPLE, "# CHECK: entry\n# CHECK-NOT: mul\n# CHECK: ret")
+
+    def test_trailing_check_not(self):
+        run_filecheck(SAMPLE, "# CHECK: ret void\n# CHECK-NOT: unreachable")
+        with pytest.raises(CheckFailure):
+            run_filecheck(SAMPLE, "# CHECK: define\n# CHECK-NOT: ret")
+
+    def test_regex_pattern(self):
+        run_filecheck(SAMPLE, "# CHECK: br label {{%[a-z]+}}")
+
+    def test_failure_message_has_context(self):
+        with pytest.raises(CheckFailure) as err:
+            run_filecheck(SAMPLE, "# CHECK: frobnicate")
+        assert "frobnicate" in str(err.value)
+        assert "input near line" in str(err.value)
+
+    def test_missing_line_number_reported(self):
+        with pytest.raises(CheckFailure) as err:
+            run_filecheck(SAMPLE, "# CHECK: define\n\n# CHECK: nothing-here")
+        assert "check line 3" in str(err.value)

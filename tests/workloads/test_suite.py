@@ -1,0 +1,42 @@
+"""Suite construction: subset selection and validation in ``default_suite``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.suite import DEFAULT_SUITE, SUITE_SIZES, default_suite, kernel_names
+
+
+class TestDefaultSuite:
+    def test_full_suite_by_default(self):
+        specs = default_suite("MINI")
+        assert [s.name for s in specs] == list(DEFAULT_SUITE)
+
+    def test_subset_preserves_requested_order(self):
+        specs = default_suite("MINI", kernels=["atax", "gemm"])
+        assert [s.name for s in specs] == ["atax", "gemm"]
+
+    def test_subset_uses_size_class_dims(self):
+        (spec,) = default_suite("SMALL", kernels=["gemm"])
+        assert spec.sizes == SUITE_SIZES["SMALL"]["gemm"]
+
+    def test_empty_subset_is_empty(self):
+        assert default_suite("MINI", kernels=[]) == []
+
+    def test_unknown_kernel_raises_upfront(self):
+        with pytest.raises(KeyError, match="nope"):
+            default_suite("MINI", kernels=["gemm", "nope"])
+
+    def test_unknown_size_class_raises(self):
+        with pytest.raises(KeyError, match="HUGE"):
+            default_suite("HUGE")
+
+    def test_tuple_subset_accepted(self):
+        specs = default_suite("MINI", kernels=("bicg",))
+        assert [s.name for s in specs] == ["bicg"]
+
+
+def test_kernel_names_matches_size_tables():
+    names = kernel_names()
+    assert set(names) == set(SUITE_SIZES["MINI"])
+    assert set(names) == set(SUITE_SIZES["SMALL"])
