@@ -17,10 +17,23 @@ import os
 from typing import List, Optional
 
 from repro.flows import FlowComparison
+from repro.observability import (
+    StatisticsRegistry,
+    Tracer,
+    dump_chrome_trace,
+    use_statistics,
+    use_tracer,
+)
 from repro.service import CompilationService, NAMED_CONFIGS, default_jobs
 from repro.workloads.suite import SUITE_SIZES
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: When set, every ``run_suite`` call also writes a Chrome trace-event
+#: file (``trace_<config>.json`` inside this directory) covering the
+#: suite timeline plus one lane per kernel compile.  Unset (the default)
+#: the harness runs with the no-op tracer — zero overhead.
+TRACE_DIR = os.environ.get("REPRO_TRACE_OUT")
 
 SUITE_SIZE_CLASS = "SMALL"
 SUITE_KERNELS = list(SUITE_SIZES[SUITE_SIZE_CLASS].keys())
@@ -49,15 +62,37 @@ def run_comparison(kernel: str, config_name: str = "baseline") -> FlowComparison
 
 
 def run_suite(config_name: str = "baseline") -> List[FlowComparison]:
-    report = SERVICE.run_suite(
+    if TRACE_DIR:
+        tracer = Tracer(name=f"suite:{config_name}")
+        registry = StatisticsRegistry()
+        with use_tracer(tracer), use_statistics(registry):
+            report = _run_suite(config_name)
+        os.makedirs(TRACE_DIR, exist_ok=True)
+        lanes = [
+            (c.kernel, [c.trace]) for c in report.comparisons if c.trace is not None
+        ]
+        dump_chrome_trace(
+            os.path.join(TRACE_DIR, f"trace_{config_name}.json"),
+            forest=tracer.roots,
+            lanes=lanes,
+        )
+        write_result(
+            f"stats_{config_name}", registry.summary(f"pass statistics ({config_name})")
+        )
+    else:
+        report = _run_suite(config_name)
+    write_result(f"service_report_{config_name}", report.summary())
+    return report.comparisons
+
+
+def _run_suite(config_name: str):
+    return SERVICE.run_suite(
         config_name,
         kernels=SUITE_KERNELS,
         size_class=SUITE_SIZE_CLASS,
         check_equivalence=True,
         seed=17,
     )
-    write_result(f"service_report_{config_name}", report.summary())
-    return report.comparisons
 
 
 def write_result(name: str, text: str) -> str:

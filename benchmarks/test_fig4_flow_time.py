@@ -1,7 +1,33 @@
 """Fig. 4 [reconstructed]: flow compile-time breakdown (lower/adapt/
-synthesise vs codegen/parse/synthesise) — the tooling-cost comparison."""
+synthesise vs codegen/parse/synthesise) — the tooling-cost comparison.
+
+When the harness runs traced (``REPRO_TRACE_OUT`` set), the per-stage
+milliseconds come straight off each row's observability span tree; the
+coarse per-stage ``timings`` dicts are the untraced fallback and must
+agree with the spans on which stages ran.
+"""
+
+from repro.observability import Span
 
 from .harness import render_table, run_suite, write_result
+
+
+def _flow_span(comparison, flow_name):
+    if not comparison.trace:
+        return None
+    root = Span.from_dict(comparison.trace)
+    return next((s for s in root.walk() if s.name == flow_name), None)
+
+
+def _stage_ms(comparison, flow_name, stage, timings):
+    span = _flow_span(comparison, flow_name)
+    if span is not None:
+        match = next(
+            (s for s in span.by_category("stage") if s.name == stage), None
+        )
+        if match is not None and match.duration is not None:
+            return match.duration * 1e3
+    return timings[stage] * 1e3
 
 
 def test_fig4_flow_time_breakdown(benchmark):
@@ -14,12 +40,12 @@ def test_fig4_flow_time_breakdown(benchmark):
         rows.append(
             [
                 c.kernel,
-                f"{ta['lower'] * 1e3:.1f}",
-                f"{ta['adaptor'] * 1e3:.1f}",
-                f"{ta['synthesis'] * 1e3:.1f}",
-                f"{tc['codegen'] * 1e3:.1f}",
-                f"{tc['c-frontend'] * 1e3:.1f}",
-                f"{tc['synthesis'] * 1e3:.1f}",
+                f"{_stage_ms(c, 'adaptor-flow', 'lower', ta):.1f}",
+                f"{_stage_ms(c, 'adaptor-flow', 'adaptor', ta):.1f}",
+                f"{_stage_ms(c, 'adaptor-flow', 'synthesis', ta):.1f}",
+                f"{_stage_ms(c, 'cpp-flow', 'codegen', tc):.1f}",
+                f"{_stage_ms(c, 'cpp-flow', 'c-frontend', tc):.1f}",
+                f"{_stage_ms(c, 'cpp-flow', 'synthesis', tc):.1f}",
             ]
         )
     text = render_table(
@@ -33,3 +59,12 @@ def test_fig4_flow_time_breakdown(benchmark):
     for c in comparisons:
         assert all(v >= 0 for v in c.adaptor.timings.values())
         assert all(v >= 0 for v in c.cpp.timings.values())
+        # Traced rows must cover exactly the stages the timings dicts saw.
+        for flow_name, timings in (
+            ("adaptor-flow", c.adaptor.timings),
+            ("cpp-flow", c.cpp.timings),
+        ):
+            span = _flow_span(c, flow_name)
+            if span is not None:
+                traced = {s.name for s in span.by_category("stage")}
+                assert traced == set(timings), (c.kernel, flow_name)

@@ -34,6 +34,7 @@ from ..ir.snapshot import ModuleSnapshot
 from ..ir.transforms import DeadCodeElimination, PassManager
 from ..ir.transforms.pass_manager import ModulePass, PassStatistics
 from ..ir.verifier import VerificationError, verify_module
+from ..observability import get_statistics, get_tracer
 from .attr_scrub import AttributeScrub
 from .freeze_elim import FreezeElimination
 from .gep_canonicalize import GEPCanonicalization
@@ -240,6 +241,7 @@ class HLSAdaptor:
     def run(self, module: Module) -> AdaptorReport:
         """Adapt ``module`` in place; returns the rewrite report."""
         start = time.perf_counter()
+        tracer = get_tracer()
         try:
             verify_module(module)
         except VerificationError as exc:
@@ -254,39 +256,47 @@ class HLSAdaptor:
         entry_snapshot = (
             ModuleSnapshot(module) if self.on_error == "recover" else None
         )
-        while True:
-            try:
-                stats = self._run_pipeline(module, skip)
-                break
-            except PassExecutionError as exc:
-                recoverable = (
-                    self.on_error == "recover"
-                    and exc.pass_name is not None
-                    and exc.pass_name not in ESSENTIAL_PASSES
-                    and exc.pass_name not in skip
-                )
-                if not recoverable:
-                    raise
-                # Roll all earlier passes back too: the pipeline is
-                # dependency-ordered, so it reruns from the entry state
-                # with the offender gone.
-                assert entry_snapshot is not None
-                entry_snapshot.restore(module)
-                skip.add(exc.pass_name)
-                degradations.append(
-                    Degradation(
-                        pass_name=exc.pass_name,
-                        code=exc.code,
-                        message=exc.message,
-                        reproducer_path=exc.reproducer_path,
+        with tracer.span(
+            "hls-adaptor", category="pipeline", module=module.name
+        ) as pipeline_span:
+            while True:
+                try:
+                    stats = self._run_pipeline(module, skip)
+                    break
+                except PassExecutionError as exc:
+                    recoverable = (
+                        self.on_error == "recover"
+                        and exc.pass_name is not None
+                        and exc.pass_name not in ESSENTIAL_PASSES
+                        and exc.pass_name not in skip
                     )
-                )
-                self.engine.warning(
-                    "REPRO-DEGRADE-001",
-                    f"recovered from failing pass {exc.pass_name!r}: "
-                    f"disabled it and rerunning the pipeline",
-                    pass_name=exc.pass_name,
-                )
+                    if not recoverable:
+                        raise
+                    # Roll all earlier passes back too: the pipeline is
+                    # dependency-ordered, so it reruns from the entry state
+                    # with the offender gone.
+                    assert entry_snapshot is not None
+                    entry_snapshot.restore(module)
+                    skip.add(exc.pass_name)
+                    degradations.append(
+                        Degradation(
+                            pass_name=exc.pass_name,
+                            code=exc.code,
+                            message=exc.message,
+                            reproducer_path=exc.reproducer_path,
+                        )
+                    )
+                    get_statistics().bump("hls-adaptor", "recovered-passes")
+                    self.engine.warning(
+                        "REPRO-DEGRADE-001",
+                        f"recovered from failing pass {exc.pass_name!r}: "
+                        f"disabled it and rerunning the pipeline",
+                        pass_name=exc.pass_name,
+                    )
+            pipeline_span.set(
+                rewrites=sum(s.rewrites for s in stats),
+                degradations=len(degradations),
+            )
 
         verify_module(module)
         module.source_flow = "mlir-adaptor"

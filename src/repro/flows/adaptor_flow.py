@@ -21,6 +21,7 @@ from ..hls import HLSEngine, SynthReport
 from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
 from ..mlir.passes import convert_to_llvm, lowering_pipeline
+from ..observability import get_tracer
 from ..workloads.polybench import KernelSpec
 from .stage import flow_stage
 
@@ -66,34 +67,35 @@ def run_adaptor_flow(
     """
     timings: Dict[str, float] = {}
 
-    with flow_stage("adaptor", "lower", timings):
-        lowering_pipeline().run(spec.module)
-        ir_module = convert_to_llvm(spec.module)
-    raw_count = sum(
-        len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
-    )
-
-    modern_snapshot = None
-    if keep_modern_snapshot:
-        from ..ir.parser import parse_module
-        from ..ir.printer import print_module
-
-        modern_snapshot = parse_module(print_module(ir_module))
-
-    with flow_stage("adaptor", "cleanup", timings):
-        standard_cleanup_pipeline().run(ir_module)
-
-    with flow_stage("adaptor", "adaptor", timings):
-        adaptor = HLSAdaptor(
-            disable=disable_adaptor_passes,
-            on_error=on_error,
-            reproducer_dir=reproducer_dir,
+    with get_tracer().span("adaptor-flow", category="flow", kernel=spec.name):
+        with flow_stage("adaptor", "lower", timings):
+            lowering_pipeline().run(spec.module)
+            ir_module = convert_to_llvm(spec.module)
+        raw_count = sum(
+            len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
         )
-        adaptor_report = adaptor.run(ir_module)
 
-    with flow_stage("adaptor", "synthesis", timings):
-        engine = HLSEngine(device=device, strict_frontend=strict_frontend)
-        synth_report = engine.synthesize(ir_module)
+        modern_snapshot = None
+        if keep_modern_snapshot:
+            from ..ir.parser import parse_module
+            from ..ir.printer import print_module
+
+            modern_snapshot = parse_module(print_module(ir_module))
+
+        with flow_stage("adaptor", "cleanup", timings):
+            standard_cleanup_pipeline().run(ir_module)
+
+        with flow_stage("adaptor", "adaptor", timings):
+            adaptor = HLSAdaptor(
+                disable=disable_adaptor_passes,
+                on_error=on_error,
+                reproducer_dir=reproducer_dir,
+            )
+            adaptor_report = adaptor.run(ir_module)
+
+        with flow_stage("adaptor", "synthesis", timings):
+            engine = HLSEngine(device=device, strict_frontend=strict_frontend)
+            synth_report = engine.synthesize(ir_module)
 
     return AdaptorFlowResult(
         kernel=spec.name,

@@ -13,6 +13,7 @@ from ..hls import HLSEngine, SynthReport
 from ..hlscpp import compile_hls_cpp, generate_hls_cpp
 from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
+from ..observability import get_tracer
 from ..workloads.polybench import KernelSpec
 from .stage import flow_stage
 
@@ -41,21 +42,22 @@ def run_cpp_flow(spec: KernelSpec, device: str = "xc7z020") -> CppFlowResult:
     """Run one kernel through the HLS-C++ baseline flow end to end."""
     timings: Dict[str, float] = {}
 
-    with flow_stage("cpp", "codegen", timings):
-        cpp_source = generate_hls_cpp(spec.module)
+    with get_tracer().span("cpp-flow", category="flow", kernel=spec.name):
+        with flow_stage("cpp", "codegen", timings):
+            cpp_source = generate_hls_cpp(spec.module)
 
-    with flow_stage("cpp", "c-frontend", timings):
-        ir_module = compile_hls_cpp(cpp_source)
-    raw_count = sum(
-        len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
-    )
+        with flow_stage("cpp", "c-frontend", timings):
+            ir_module = compile_hls_cpp(cpp_source)
+        raw_count = sum(
+            len(b.instructions) for f in ir_module.defined_functions() for b in f.blocks
+        )
 
-    with flow_stage("cpp", "cleanup", timings):
-        standard_cleanup_pipeline().run(ir_module)
+        with flow_stage("cpp", "cleanup", timings):
+            standard_cleanup_pipeline().run(ir_module)
 
-    with flow_stage("cpp", "synthesis", timings):
-        engine = HLSEngine(device=device, strict_frontend=True)
-        synth_report = engine.synthesize(ir_module)
+        with flow_stage("cpp", "synthesis", timings):
+            engine = HLSEngine(device=device, strict_frontend=True)
+            synth_report = engine.synthesize(ir_module)
 
     return CppFlowResult(
         kernel=spec.name,

@@ -15,23 +15,25 @@ from contextlib import contextmanager
 from typing import Dict
 
 from ..diagnostics.errors import CompilationError, FlowError
+from ..observability import get_tracer
 
 __all__ = ["flow_stage"]
 
 
 @contextmanager
 def flow_stage(flow: str, name: str, timings: Dict[str, float]):
-    start = time.perf_counter()
-    try:
-        yield
-    except CompilationError:
+    with get_tracer().span(name, category="stage", flow=flow):
+        start = time.perf_counter()
+        try:
+            yield
+        except CompilationError:
+            timings[name] = time.perf_counter() - start
+            raise
+        except Exception as exc:
+            timings[name] = time.perf_counter() - start
+            raise FlowError(
+                f"{flow} flow stage {name!r} failed: {type(exc).__name__}: {exc}",
+                flow=flow,
+                stage=name,
+            ) from exc
         timings[name] = time.perf_counter() - start
-        raise
-    except Exception as exc:
-        timings[name] = time.perf_counter() - start
-        raise FlowError(
-            f"{flow} flow stage {name!r} failed: {type(exc).__name__}: {exc}",
-            flow=flow,
-            stage=name,
-        ) from exc
-    timings[name] = time.perf_counter() - start

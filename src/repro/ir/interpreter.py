@@ -40,6 +40,7 @@ from .instructions import (
     Switch,
     Unreachable,
 )
+from ..observability import get_statistics, get_tracer
 from .module import BasicBlock, Function, Module
 from .types import (
     ArrayType,
@@ -686,7 +687,12 @@ def run_kernel(
                 f"argument {arg.name!r} of @{name} not supplied "
                 f"(have arrays={list(arrays)}, scalars={list(scalars)})"
             )
-    interp.run(fn, call_args)
+    with get_tracer().span(f"interpret:{name}", category="interpreter") as span:
+        interp.run(fn, call_args)
+        span.set(steps=interp.steps)
+    registry = get_statistics()
+    registry.bump("interpreter", "runs")
+    registry.bump("interpreter", "steps", interp.steps)
     return {
         key: numpy_from_buffer(buf, dtype, shape)
         for key, (buf, dtype, shape) in buffers.items()
@@ -765,7 +771,12 @@ def run_descriptor_kernel(
             f"descriptor field of any array (have arrays={list(arrays)}, "
             f"scalars={list(scalars)})"
         )
-    interp.run(fn, call_args)
+    with get_tracer().span(f"interpret:{name}", category="interpreter") as span:
+        interp.run(fn, call_args)
+        span.set(steps=interp.steps)
+    registry = get_statistics()
+    registry.bump("interpreter", "runs")
+    registry.bump("interpreter", "steps", interp.steps)
     return {
         key: numpy_from_buffer(buf, dtype, shape)
         for key, (buf, dtype, shape) in buffers.items()

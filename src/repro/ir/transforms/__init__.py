@@ -1,6 +1,12 @@
 """IR-to-IR transforms and the pass manager."""
 
-from .pass_manager import FunctionPass, ModulePass, PassManager, PassStatistics
+from .pass_manager import (
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PassStatistics,
+    count_instructions,
+)
 from .mem2reg import Mem2Reg
 from .dce import DeadCodeElimination
 from .sccp import SparseConditionalConstantPropagation
@@ -13,6 +19,7 @@ __all__ = [
     "ModulePass",
     "PassManager",
     "PassStatistics",
+    "count_instructions",
     "Mem2Reg",
     "DeadCodeElimination",
     "SparseConditionalConstantPropagation",

@@ -22,9 +22,25 @@ from typing import Dict, List, Optional
 from ...diagnostics.engine import Diagnostic, Severity
 from ...diagnostics.errors import PassExecutionError, PassVerificationError
 from ...diagnostics.guard import PassGuard
+from ...observability import get_statistics, get_tracer
 from ..module import Function, Module
 
-__all__ = ["FunctionPass", "ModulePass", "PassManager", "PassStatistics"]
+__all__ = [
+    "FunctionPass",
+    "ModulePass",
+    "PassManager",
+    "PassStatistics",
+    "count_instructions",
+]
+
+
+def count_instructions(module: Module) -> int:
+    """Instruction count over every defined function (IR-churn metric)."""
+    return sum(
+        len(block.instructions)
+        for fn in module.defined_functions()
+        for block in fn.blocks
+    )
 
 
 @dataclass
@@ -104,43 +120,71 @@ class PassManager:
     def run(self, module: Module) -> List[PassStatistics]:
         from ..verifier import verify_module
 
+        tracer = get_tracer()
+        registry = get_statistics()
         names = [p.name for p in self.passes]
         run_stats: List[PassStatistics] = []
+        if registry.enabled and self.passes:
+            registry.bump("module", "instructions-before", count_instructions(module))
         for i, pass_ in enumerate(self.passes):
             snapshot = self.guard.snapshot(module) if self.guard is not None else None
             stats = PassStatistics(pass_.name)
-            start = time.perf_counter()
-            try:
-                pass_.run_on_module(module, stats)
-            except Exception as exc:
-                stats.seconds = time.perf_counter() - start
-                self._fail(
-                    PassExecutionError,
-                    module,
-                    snapshot,
-                    names[i:],
-                    f"pass {pass_.name!r} raised "
-                    f"{type(exc).__name__}: {exc}",
-                    exc,
-                )
-            stats.seconds = time.perf_counter() - start
-            # Record as the pass completes: a later failure must not lose
-            # the stats of passes that already ran.
-            run_stats.append(stats)
-            self.history.append(stats)
-            if self.verify_each:
+            before = count_instructions(module) if registry.enabled else 0
+            with tracer.span(pass_.name, category="pass") as span:
+                start = time.perf_counter()
                 try:
-                    verify_module(module)
+                    pass_.run_on_module(module, stats)
                 except Exception as exc:
+                    stats.seconds = time.perf_counter() - start
                     self._fail(
-                        PassVerificationError,
+                        PassExecutionError,
                         module,
                         snapshot,
                         names[i:],
-                        f"IR verification failed after pass {pass_.name!r}: {exc}",
+                        f"pass {pass_.name!r} raised "
+                        f"{type(exc).__name__}: {exc}",
                         exc,
                     )
+                stats.seconds = time.perf_counter() - start
+                span.set(rewrites=stats.rewrites, **stats.details)
+                # Record as the pass completes: a later failure must not lose
+                # the stats of passes that already ran.
+                run_stats.append(stats)
+                self.history.append(stats)
+                if registry.enabled:
+                    self._record_counters(registry, pass_.name, stats, before, module)
+                if self.verify_each:
+                    with tracer.span("verify", category="verify"):
+                        try:
+                            verify_module(module)
+                        except Exception as exc:
+                            self._fail(
+                                PassVerificationError,
+                                module,
+                                snapshot,
+                                names[i:],
+                                f"IR verification failed after pass "
+                                f"{pass_.name!r}: {exc}",
+                                exc,
+                            )
         return run_stats
+
+    @staticmethod
+    def _record_counters(registry, name: str, stats: PassStatistics,
+                         before: int, module: Module) -> None:
+        """Fold one pass's rewrite details into the ambient registry.
+
+        Only actual work is recorded — a no-op pass leaves no counters —
+        plus module-level instruction churn so deletions are assertable.
+        """
+        registry.record_details(name, stats.details)
+        registry.bump(name, "rewrites", stats.rewrites)
+        after = count_instructions(module)
+        if after < before:
+            registry.bump(name, "instructions-deleted", before - after)
+            registry.bump("module", "instructions-deleted", before - after)
+        elif after > before:
+            registry.bump(name, "instructions-created", after - before)
 
     def total_rewrites(self) -> int:
         return sum(s.rewrites for s in self.history)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from ...diagnostics.engine import Diagnostic, Severity
 from ...diagnostics.errors import PassExecutionError, PassVerificationError
 from ...diagnostics.guard import PassGuard
+from ...observability import get_statistics, get_tracer
 from ..dialects.builtin import ModuleOp
 
 __all__ = ["MLIRPass", "MLIRPassManager", "MLIRPassStatistics"]
@@ -82,40 +83,49 @@ class MLIRPassManager:
     def run(self, module: ModuleOp) -> List[MLIRPassStatistics]:
         from ..verifier import verify_module
 
+        tracer = get_tracer()
+        registry = get_statistics()
         names = [p.name for p in self.passes]
         run_stats: List[MLIRPassStatistics] = []
         for i, pass_ in enumerate(self.passes):
             snapshot = self.guard.snapshot(module) if self.guard is not None else None
             stats = MLIRPassStatistics(pass_.name)
-            start = time.perf_counter()
-            try:
-                pass_.run(module, stats)
-            except Exception as exc:
-                stats.seconds = time.perf_counter() - start
-                self._fail(
-                    PassExecutionError,
-                    module,
-                    snapshot,
-                    names[i:],
-                    f"MLIR pass {pass_.name!r} raised "
-                    f"{type(exc).__name__}: {exc}",
-                    exc,
-                )
-            stats.seconds = time.perf_counter() - start
-            run_stats.append(stats)
-            self.history.append(stats)
-            if self.verify_each and pass_.name not in ("scf-to-cf",):
-                # cf-level IR uses block successors the structured verifier
-                # does not model; ConvertToLLVM's verifier covers it.
+            with tracer.span(pass_.name, category="pass") as span:
+                start = time.perf_counter()
                 try:
-                    verify_module(module)
+                    pass_.run(module, stats)
                 except Exception as exc:
+                    stats.seconds = time.perf_counter() - start
                     self._fail(
-                        PassVerificationError,
+                        PassExecutionError,
                         module,
                         snapshot,
                         names[i:],
-                        f"MLIR verification failed after {pass_.name!r}: {exc}",
+                        f"MLIR pass {pass_.name!r} raised "
+                        f"{type(exc).__name__}: {exc}",
                         exc,
                     )
+                stats.seconds = time.perf_counter() - start
+                span.set(rewrites=stats.rewrites, **stats.details)
+                run_stats.append(stats)
+                self.history.append(stats)
+                if registry.enabled:
+                    registry.record_details(pass_.name, stats.details)
+                    registry.bump(pass_.name, "rewrites", stats.rewrites)
+                if self.verify_each and pass_.name not in ("scf-to-cf",):
+                    # cf-level IR uses block successors the structured verifier
+                    # does not model; ConvertToLLVM's verifier covers it.
+                    with tracer.span("verify", category="verify"):
+                        try:
+                            verify_module(module)
+                        except Exception as exc:
+                            self._fail(
+                                PassVerificationError,
+                                module,
+                                snapshot,
+                                names[i:],
+                                f"MLIR verification failed after "
+                                f"{pass_.name!r}: {exc}",
+                                exc,
+                            )
         return run_stats

@@ -1,0 +1,118 @@
+"""Schema check for exported Chrome trace-event documents.
+
+CI runs this against every ``--trace-out`` artifact: it catches a
+malformed export (missing keys, negative times, ill-nested spans) before
+anyone wastes time loading a broken file into ``chrome://tracing``.
+
+The check validates structure *and* the timing invariants our exporter
+guarantees: on each ``(pid, tid)`` lane, complete events must form a
+properly nested forest — every event either contains or is disjoint from
+every other (up to a sub-microsecond float tolerance).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["validate_chrome_trace", "check_chrome_trace", "load_and_check"]
+
+#: Events must nest to within this many microseconds (float slack).
+_NESTING_TOLERANCE_US = 1e-3
+
+_REQUIRED_COMPLETE_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def validate_chrome_trace(document: Any) -> List[str]:
+    """Return a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be a JSON object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document is missing the 'traceEvents' array"]
+    if not events:
+        problems.append("traceEvents is empty")
+
+    lanes: Dict[Tuple[Any, Any], List[Dict[str, Any]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event #{i} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph == "M":
+            continue  # metadata events carry no timing
+        if ph != "X":
+            problems.append(f"event #{i} has unsupported phase {ph!r}")
+            continue
+        for key in _REQUIRED_COMPLETE_KEYS:
+            if key not in event:
+                problems.append(f"event #{i} ({event.get('name')!r}) missing {key!r}")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"event #{i} has a non-string or empty name")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"event #{i} ({name!r}) {key} is not a number")
+            elif value < 0:
+                problems.append(f"event #{i} ({name!r}) has negative {key}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"event #{i} ({name!r}) args is not an object")
+        if all(k in event for k in _REQUIRED_COMPLETE_KEYS):
+            lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+
+    for (pid, tid), lane in lanes.items():
+        problems.extend(_check_nesting(lane, pid, tid))
+    return problems
+
+
+def _check_nesting(lane: List[Dict[str, Any]], pid: Any, tid: Any) -> List[str]:
+    """Events on one lane must form a forest: contained or disjoint."""
+    problems: List[str] = []
+    ordered = sorted(
+        (e for e in lane
+         if isinstance(e.get("ts"), (int, float))
+         and isinstance(e.get("dur"), (int, float))),
+        # Ties open the longer event first so a parent precedes the child
+        # it starts simultaneously with.
+        key=lambda e: (e["ts"], -e["dur"]),
+    )
+    stack: List[Dict[str, Any]] = []
+    for event in ordered:
+        start, end = event["ts"], event["ts"] + event["dur"]
+        while stack and start >= stack[-1]["ts"] + stack[-1]["dur"] - _NESTING_TOLERANCE_US:
+            stack.pop()
+        if stack:
+            parent = stack[-1]
+            parent_end = parent["ts"] + parent["dur"]
+            if start < parent["ts"] - _NESTING_TOLERANCE_US or (
+                end > parent_end + _NESTING_TOLERANCE_US
+            ):
+                problems.append(
+                    f"lane pid={pid} tid={tid}: event {event['name']!r} "
+                    f"[{start:.3f}, {end:.3f}]us overlaps "
+                    f"{parent['name']!r} [{parent['ts']:.3f}, {parent_end:.3f}]us "
+                    f"without nesting inside it"
+                )
+                continue
+        stack.append(event)
+    return problems
+
+
+def check_chrome_trace(document: Any) -> None:
+    """Raise ``ValueError`` listing every problem if the trace is invalid."""
+    problems = validate_chrome_trace(document)
+    if problems:
+        raise ValueError(
+            "invalid Chrome trace document:\n  " + "\n  ".join(problems)
+        )
+
+
+def load_and_check(path: str) -> Dict[str, Any]:
+    """Read ``path``, validate, and return the parsed document."""
+    with open(path) as fh:
+        document = json.load(fh)
+    check_chrome_trace(document)
+    return document

@@ -1,0 +1,220 @@
+"""Structured tracing: nested spans over the compilation pipeline.
+
+A :class:`Tracer` records a tree of :class:`Span`\\ s — flow → stage →
+pass → rewrite granularity — each carrying wall time and free-form
+``args``.  The tracer is *ambient*: pipeline code asks
+:func:`get_tracer` for the currently-installed tracer instead of
+threading a handle through every signature, and callers opt in with::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        run_adaptor_flow(spec)
+    print(tracer.roots[0].name)
+
+The default tracer is :data:`NULL_TRACER`, whose ``span`` returns one
+shared, reusable no-op context manager: with tracing disabled the per-span
+cost is a context-variable read plus an empty ``with`` block, so
+instrumented code paths do not regress when nobody is watching.
+
+Spans serialise to plain dicts (:meth:`Span.to_dict`) so they can ride in
+cache entries, worker-process results and JSON exports, and rebuild with
+:meth:`Span.from_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "use_tracer",
+]
+
+
+@dataclass
+class Span:
+    """One timed region.  ``start`` is seconds since the tracer's epoch;
+    ``duration`` is ``None`` while the span is still open."""
+
+    name: str
+    category: str = ""
+    start: float = 0.0
+    duration: Optional[float] = None
+    args: Dict[str, Any] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def set(self, **args: Any) -> None:
+        """Attach key/value annotations (JSON-serialisable values only)."""
+        self.args.update(args)
+
+    @property
+    def end(self) -> float:
+        return self.start + (self.duration or 0.0)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    def by_category(self, category: str) -> List["Span"]:
+        return [s for s in self.walk() if s.category == category]
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.category,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.args:
+            out["args"] = dict(self.args)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(
+            name=data["name"],
+            category=data.get("cat", ""),
+            start=data.get("start", 0.0),
+            duration=data.get("duration"),
+            args=dict(data.get("args", {})),
+        )
+        span.children = [cls.from_dict(c) for c in data.get("children", [])]
+        return span
+
+
+class _NullSpan:
+    """The span handed out when tracing is off: swallows everything."""
+
+    __slots__ = ()
+    name = ""
+    category = ""
+    args: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration = 0.0
+    start = 0.0
+
+    def set(self, **args: Any) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class Tracer:
+    """Collects a forest of spans; single-threaded by design (one tracer
+    per process/worker — the service gives each worker its own)."""
+
+    enabled = True
+
+    def __init__(self, name: str = "repro"):
+        self.name = name
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        self._epoch = time.perf_counter()
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    @contextmanager
+    def span(self, name: str, category: str = "", **args: Any):
+        span = Span(name=name, category=category, start=self._now(),
+                    args=dict(args) if args else {})
+        parent = self._stack[-1] if self._stack else None
+        (parent.children if parent is not None else self.roots).append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = self._now() - span.start
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        return [s for s in self.walk() if s.name == name]
+
+    def by_category(self, category: str) -> List[Span]:
+        return [s for s in self.walk() if s.category == category]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [r.to_dict() for r in self.roots]
+
+
+class NullTracer:
+    """Zero-cost stand-in installed by default: never records anything."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, category: str = "", **args: Any) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def by_category(self, category: str) -> List[Span]:
+        return []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_ACTIVE_TRACER: ContextVar["Tracer | NullTracer"] = ContextVar(
+    "repro_active_tracer", default=NULL_TRACER
+)
+
+
+def get_tracer() -> "Tracer | NullTracer":
+    """The ambient tracer (the no-op :data:`NULL_TRACER` by default)."""
+    return _ACTIVE_TRACER.get()
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | NullTracer"):
+    """Install ``tracer`` as the ambient tracer for the enclosed block."""
+    token = _ACTIVE_TRACER.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE_TRACER.reset(token)

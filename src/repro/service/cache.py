@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..diagnostics.engine import DiagnosticEngine
 from ..diagnostics.errors import CacheError
+from ..observability import get_statistics, get_tracer
 from .fingerprint import CACHE_FORMAT_VERSION
 
 __all__ = ["CacheStats", "CompilationCache", "default_cache_dir"]
@@ -142,6 +143,10 @@ class CompilationCache:
     # -- store --------------------------------------------------------------
     def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> str:
         """Atomically persist ``value`` under ``key``; returns the path."""
+        with get_tracer().span("cache-store", category="cache", key=key[:12]):
+            return self._store(key, value, meta)
+
+    def _store(self, key: str, value: Any, meta: Optional[Dict[str, Any]]) -> str:
         start = time.perf_counter()
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         header = {
@@ -166,6 +171,7 @@ class CompilationCache:
             raise
         self.stats.stores += 1
         self.stats.store_seconds += time.perf_counter() - start
+        get_statistics().bump("cache", "stores")
         return path
 
     # -- load ---------------------------------------------------------------
@@ -203,30 +209,39 @@ class CompilationCache:
         :class:`repro.diagnostics.CacheError` propagates.
         """
         start = time.perf_counter()
+        registry = get_statistics()
         path = self.entry_path(key)
-        if not os.path.exists(path):
-            self.stats.misses += 1
-            return None
-        try:
-            header, value = self._read_entry(path)
-        except CacheError as exc:
-            code = (
-                "REPRO-CACHE-002"
-                if "format" in exc.message and "expected" in exc.message
-                else "REPRO-CACHE-001"
-            )
-            self.engine.warning(code, f"{exc.message}; recompiling")
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+        with get_tracer().span("cache-load", category="cache", key=key[:12]) as span:
+            if not os.path.exists(path):
+                self.stats.misses += 1
+                registry.bump("cache", "misses")
+                span.set(outcome="miss")
+                return None
             try:
-                os.unlink(path)
-            except OSError:
-                pass
-            if required:
-                raise
-            return None
-        self.stats.hits += 1
-        self.stats.hit_seconds += time.perf_counter() - start
+                header, value = self._read_entry(path)
+            except CacheError as exc:
+                code = (
+                    "REPRO-CACHE-002"
+                    if "format" in exc.message and "expected" in exc.message
+                    else "REPRO-CACHE-001"
+                )
+                self.engine.warning(code, f"{exc.message}; recompiling")
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+                registry.bump("cache", "corrupt")
+                registry.bump("cache", "misses")
+                span.set(outcome="corrupt")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                if required:
+                    raise
+                return None
+            self.stats.hits += 1
+            self.stats.hit_seconds += time.perf_counter() - start
+            registry.bump("cache", "hits")
+            span.set(outcome="hit")
         return value
 
     def contains(self, key: str) -> bool:

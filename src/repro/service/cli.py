@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the interpreter-based functional check",
     )
     run.add_argument("--seed", type=int, default=17, help="equivalence-input seed")
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="run traced and write a Chrome trace-event JSON file here "
+        "(open in chrome://tracing or Perfetto)",
+    )
 
     cache = sub.add_parser("cache", help="cache maintenance")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -73,13 +80,38 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run_suite(args: argparse.Namespace) -> int:
     service = CompilationService(cache_dir=args.cache_dir, jobs=args.jobs)
     kernels = args.kernels.split(",") if args.kernels else None
-    report = service.run_suite(
-        args.config,
-        kernels=kernels,
-        size_class=args.size,
-        check_equivalence=not args.no_equivalence,
-        seed=args.seed,
-    )
+    if args.trace_out:
+        from ..observability import (
+            StatisticsRegistry,
+            Tracer,
+            dump_chrome_trace,
+            use_statistics,
+            use_tracer,
+        )
+
+        tracer = Tracer(name="run-suite")
+        registry = StatisticsRegistry()
+        with use_tracer(tracer), use_statistics(registry):
+            report = service.run_suite(
+                args.config,
+                kernels=kernels,
+                size_class=args.size,
+                check_equivalence=not args.no_equivalence,
+                seed=args.seed,
+            )
+        lanes = [
+            (c.kernel, [c.trace]) for c in report.comparisons if c.trace is not None
+        ]
+        dump_chrome_trace(args.trace_out, forest=tracer.roots, lanes=lanes)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    else:
+        report = service.run_suite(
+            args.config,
+            kernels=kernels,
+            size_class=args.size,
+            check_equivalence=not args.no_equivalence,
+            seed=args.seed,
+        )
     print(report.summary())
     mismatched = [
         c.kernel for c in report.comparisons if c.functionally_equivalent is False

@@ -40,7 +40,10 @@ PIPELINE_VERSION = 1
 
 #: Bump when the on-disk entry layout changes (header schema, payload
 #: encoding).  Old entries then read back as misses, not corruption.
-CACHE_FORMAT_VERSION = 1
+#: 2: FlowComparison grew ``lookup_seconds`` and the serialized
+#: observability ``trace`` — pre-observability entries would unpickle
+#: without those attributes, so they are retired wholesale.
+CACHE_FORMAT_VERSION = 2
 
 
 def _sha256(text: str) -> str:

@@ -23,12 +23,20 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..diagnostics.engine import DiagnosticEngine
 from ..diagnostics.errors import CompilationError, PipelineConfigError, ServiceError
 from ..flows.compare import FlowComparison, compare_flows
 from ..flows.config import OptimizationConfig
+from ..observability import (
+    StatisticsRegistry,
+    Tracer,
+    get_statistics,
+    get_tracer,
+    use_statistics,
+    use_tracer,
+)
 from ..workloads.suite import SUITE_SIZES
 from .cache import CacheStats, CompilationCache
 from .fingerprint import cache_key
@@ -74,6 +82,9 @@ class SuiteReport:
     seconds: float = 0.0  # wall clock for the whole batch
     cache_stats: CacheStats = field(default_factory=CacheStats)
     cache_root: str = ""
+    # Serialized suite-level span tree (run-suite → compile → cache/flow
+    # spans), set when the run happened under an enabled tracer.
+    trace: Optional[Dict[str, Any]] = None
 
     @property
     def kernels(self) -> List[str]:
@@ -86,13 +97,32 @@ class SuiteReport:
             c.compile_seconds for c in self.comparisons if c.cache_status != "hit"
         )
 
+    @property
+    def saved_seconds(self) -> float:
+        """Original compile time of the rows the cache served.
+
+        Hit rows keep the compile time of the run that *produced* them, so
+        this is the work the cache saved — distinct from
+        :attr:`lookup_seconds`, the (tiny) cost of serving those rows.
+        """
+        return sum(
+            c.compile_seconds for c in self.comparisons if c.cache_status == "hit"
+        )
+
+    @property
+    def lookup_seconds(self) -> float:
+        return sum(c.lookup_seconds for c in self.comparisons)
+
     def summary(self) -> str:
         lines = [
             f"suite run: config={self.config} size={self.size_class} "
             f"jobs={self.jobs} wall={self.seconds:.2f}s",
             f"cache [{self.cache_root}]: {self.cache_stats.summary()}",
+            f"compiled {self.compile_seconds:.3f}s; cache saved "
+            f"{self.saved_seconds:.3f}s of original compile time "
+            f"({self.lookup_seconds * 1e3:.1f} ms spent on lookups)",
             "",
-            f"{'kernel':<12} {'cache':<6} {'compile s':>10} "
+            f"{'kernel':<12} {'cache':<6} {'compile s':>10} {'lookup ms':>10} "
             f"{'lat(adp)':>10} {'lat(cpp)':>10} {'ratio':>7}  verdict",
         ]
         for c in self.comparisons:
@@ -104,6 +134,7 @@ class SuiteReport:
                 verdict = "MISMATCH"
             lines.append(
                 f"{c.kernel:<12} {c.cache_status:<6} {c.compile_seconds:>10.3f} "
+                f"{c.lookup_seconds * 1e3:>10.2f} "
                 f"{c.adaptor.latency:>10} {c.cpp.latency:>10} "
                 f"{c.latency_ratio:>7.3f}  {verdict}"
             )
@@ -130,23 +161,35 @@ def _compile_job(payload: dict):
     """Worker entry point: compile one kernel through a private service
     handle onto the *shared* on-disk cache.
 
-    Returns ``(comparison, stats)``; structured compilation errors pickle
-    fine and re-raise in the parent.  Must stay module-level so it is
-    importable under every multiprocessing start method.
+    Returns ``(comparison, stats, counters)``; structured compilation
+    errors pickle fine and re-raise in the parent.  Must stay module-level
+    so it is importable under every multiprocessing start method.
+
+    Ambient observability does not cross process boundaries, so the parent
+    ships ``trace``/``stats`` opt-ins in the payload; the worker then runs
+    under its own tracer/registry and returns the comparison (with its
+    serialized span tree attached) plus the counter dump for the parent to
+    merge.
     """
     service = CompilationService(
         cache_dir=payload["cache_dir"],
         jobs=1,
         device=payload["device"],
     )
-    comparison = service.compile_one(
-        payload["kernel"],
-        payload["config"],
-        sizes=payload["sizes"],
-        check_equivalence=payload["check_equivalence"],
-        seed=payload["seed"],
-    )
-    return comparison, service.cache.stats
+    from ..observability import NULL_STATISTICS, NULL_TRACER
+
+    tracer = Tracer(name=payload["kernel"]) if payload.get("trace") else NULL_TRACER
+    registry = StatisticsRegistry() if payload.get("stats") else NULL_STATISTICS
+    with use_tracer(tracer), use_statistics(registry):
+        comparison = service.compile_one(
+            payload["kernel"],
+            payload["config"],
+            sizes=payload["sizes"],
+            check_equivalence=payload["check_equivalence"],
+            seed=payload["seed"],
+        )
+    counters = registry.as_dict() if registry.enabled else None
+    return comparison, service.cache.stats, counters
 
 
 class CompilationService:
@@ -180,35 +223,50 @@ class CompilationService:
         check_equivalence: bool = True,
         seed: int = 17,
     ) -> FlowComparison:
-        """Cache-first comparison of one kernel under one config."""
+        """Cache-first comparison of one kernel under one config.
+
+        Cache hits come back with ``cache_status="hit"``, their *original*
+        ``compile_seconds`` untouched, and the cost of the lookup itself in
+        ``lookup_seconds`` — the two are never conflated.
+        """
         config_obj = resolve_config(config)
         sizes = sizes if sizes is not None else _sizes_for(size_class, kernel)
-        key = cache_key(
-            kernel,
-            sizes,
-            config_obj,
-            device=self.device,
-            check_equivalence=check_equivalence,
-            seed=seed,
-        )
-        cached = self.cache.load(key)
-        if cached is not None:
-            cached.cache_status = "hit"
-            return cached
-        comparison = compare_flows(
-            kernel,
-            sizes,
-            config_obj,
-            device=self.device,
-            check_equivalence=check_equivalence,
-            seed=seed,
-        )
-        comparison.cache_status = "miss"
-        self.cache.store(
-            key,
-            comparison,
-            meta={"kernel": kernel, "config": config_obj.name},
-        )
+        with get_tracer().span(
+            f"compile:{kernel}", category="service",
+            kernel=kernel, config=config_obj.name,
+        ) as span:
+            key = cache_key(
+                kernel,
+                sizes,
+                config_obj,
+                device=self.device,
+                check_equivalence=check_equivalence,
+                seed=seed,
+            )
+            lookup_start = time.perf_counter()
+            cached = self.cache.load(key)
+            lookup_elapsed = time.perf_counter() - lookup_start
+            if cached is not None:
+                cached.cache_status = "hit"
+                cached.lookup_seconds = lookup_elapsed
+                span.set(cache="hit")
+                return cached
+            comparison = compare_flows(
+                kernel,
+                sizes,
+                config_obj,
+                device=self.device,
+                check_equivalence=check_equivalence,
+                seed=seed,
+            )
+            comparison.cache_status = "miss"
+            comparison.lookup_seconds = lookup_elapsed
+            span.set(cache="miss")
+            self.cache.store(
+                key,
+                comparison,
+                meta={"kernel": kernel, "config": config_obj.name},
+            )
         return comparison
 
     # -- batch --------------------------------------------------------------
@@ -222,6 +280,8 @@ class CompilationService:
     ) -> SuiteReport:
         """Compile every (or the named) suite kernel under one config."""
         start = time.perf_counter()
+        tracer = get_tracer()
+        registry = get_statistics()
         config_obj = resolve_config(config)
         names = list(kernels) if kernels is not None else list(SUITE_SIZES[size_class])
         payloads = [
@@ -233,6 +293,10 @@ class CompilationService:
                 "device": self.device,
                 "check_equivalence": check_equivalence,
                 "seed": seed,
+                # Workers cannot see this process's ambient tracer/registry;
+                # ship the opt-ins so they instrument themselves.
+                "trace": tracer.enabled,
+                "stats": registry.enabled,
             }
             for name in names
         ]
@@ -242,42 +306,55 @@ class CompilationService:
             jobs=self.jobs,
             cache_root=self.cache.root,
         )
-        if self.jobs == 1 or len(payloads) <= 1:
-            before = self.cache.stats.snapshot()
-            for payload in payloads:
-                report.comparisons.append(
-                    self.compile_one(
-                        payload["kernel"],
-                        payload["config"],
-                        sizes=payload["sizes"],
-                        check_equivalence=check_equivalence,
-                        seed=seed,
-                    )
-                )
-            report.cache_stats.merge(self.cache.stats.since(before))
-        else:
-            workers = min(self.jobs, len(payloads))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_compile_job, p) for p in payloads]
-                for payload, future in zip(payloads, futures):
-                    try:
-                        comparison, stats = future.result()
-                    except CompilationError:
-                        raise
-                    except Exception as exc:
-                        diag = self.engine.error(
-                            ServiceError.code,
-                            f"worker compiling {payload['kernel']!r} failed: "
-                            f"{type(exc).__name__}: {exc}",
+        with tracer.span(
+            "run-suite", category="service",
+            config=config_obj.name, size=size_class,
+            jobs=self.jobs, kernels=len(payloads),
+        ) as suite_span:
+            if self.jobs == 1 or len(payloads) <= 1:
+                before = self.cache.stats.snapshot()
+                for payload in payloads:
+                    report.comparisons.append(
+                        self.compile_one(
+                            payload["kernel"],
+                            payload["config"],
+                            sizes=payload["sizes"],
+                            check_equivalence=check_equivalence,
+                            seed=seed,
                         )
-                        raise ServiceError(
-                            diag.message, kernel=payload["kernel"], diagnostic=diag
-                        ) from exc
-                    report.comparisons.append(comparison)
-                    report.cache_stats.merge(stats)
-            # Surface the merged worker stats on this handle too, so a
-            # caller polling ``service.cache.stats`` sees the batch.
-            self.cache.stats.merge(report.cache_stats)
+                    )
+                report.cache_stats.merge(self.cache.stats.since(before))
+            else:
+                workers = min(self.jobs, len(payloads))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [pool.submit(_compile_job, p) for p in payloads]
+                    for payload, future in zip(payloads, futures):
+                        try:
+                            comparison, stats, counters = future.result()
+                        except CompilationError:
+                            raise
+                        except Exception as exc:
+                            diag = self.engine.error(
+                                ServiceError.code,
+                                f"worker compiling {payload['kernel']!r} failed: "
+                                f"{type(exc).__name__}: {exc}",
+                            )
+                            raise ServiceError(
+                                diag.message, kernel=payload["kernel"],
+                                diagnostic=diag,
+                            ) from exc
+                        report.comparisons.append(comparison)
+                        report.cache_stats.merge(stats)
+                        if counters:
+                            registry.merge(counters)
+                # Surface the merged worker stats on this handle too, so a
+                # caller polling ``service.cache.stats`` sees the batch.
+                self.cache.stats.merge(report.cache_stats)
+            suite_span.set(
+                hits=report.cache_stats.hits, misses=report.cache_stats.misses
+            )
+        if tracer.enabled:
+            report.trace = suite_span.to_dict()
         report.seconds = time.perf_counter() - start
         return report
 

@@ -1,0 +1,68 @@
+; ModuleID = 'bicg_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @bicg([8 x [6 x float]]* %A, [6 x float]* %s, [8 x float]* %q, [6 x float]* %p, [8 x float]* %r) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb2
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb2 ]
+  %1 = icmp slt i64 %barg, 6
+  br i1 %1, label %bb2, label %bb4
+
+bb2:                                              ; preds = %bb1
+  %st.gep = getelementptr inbounds [6 x float], [6 x float]* %s, i64 0, i64 %barg
+  store float 0.0, float* %st.gep, align 4
+  %0 = add nsw i64 %barg, 1
+  br label %bb1, !llvm.loop !0
+
+bb4:                                              ; preds = %bb8, %bb1
+  %barg.1 = phi i64 [ %2, %bb8 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 8
+  br i1 %3, label %bb5, label %bb9
+
+bb5:                                              ; preds = %bb4
+  %st.gep.1 = getelementptr inbounds [8 x float], [8 x float]* %q, i64 0, i64 %barg.1
+  store float 0.0, float* %st.gep.1, align 4
+  br label %bb6
+
+bb6:                                              ; preds = %bb5, %bb7
+  %barg.2 = phi i64 [ 0, %bb5 ], [ %4, %bb7 ]
+  %5 = icmp slt i64 %barg.2, 6
+  br i1 %5, label %bb7, label %bb8
+
+bb7:                                              ; preds = %bb6
+  %ld.gep = getelementptr inbounds [6 x float], [6 x float]* %s, i64 0, i64 %barg.2
+  %6 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [8 x float], [8 x float]* %r, i64 0, i64 %barg.1
+  %7 = load float, float* %ld.gep.1, align 4
+  %ld.gep.2 = getelementptr inbounds [8 x [6 x float]], [8 x [6 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.2
+  %8 = load float, float* %ld.gep.2, align 4
+  %9 = fmul float %7, %8
+  %10 = fadd float %6, %9
+  store float %10, float* %ld.gep, align 4
+  %11 = load float, float* %st.gep.1, align 4
+  %ld.gep.3 = getelementptr inbounds [6 x float], [6 x float]* %p, i64 0, i64 %barg.2
+  %12 = load float, float* %ld.gep.3, align 4
+  %13 = fmul float %8, %12
+  %14 = fadd float %11, %13
+  store float %14, float* %st.gep.1, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb6, !llvm.loop !3
+
+bb8:                                              ; preds = %bb6
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb4
+
+bb9:                                              ; preds = %bb4
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

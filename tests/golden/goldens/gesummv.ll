@@ -1,0 +1,61 @@
+; ModuleID = 'gesummv_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @gesummv([8 x [8 x float]]* %A, [8 x [8 x float]]* %B, [8 x float]* %x, [8 x float]* %y, [8 x float]* %tmp, float %alpha, float %beta) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb5
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb5 ]
+  %1 = icmp slt i64 %barg, 8
+  br i1 %1, label %bb2, label %bb6
+
+bb2:                                              ; preds = %bb1
+  %st.gep = getelementptr inbounds [8 x float], [8 x float]* %tmp, i64 0, i64 %barg
+  store float 0.0, float* %st.gep, align 4
+  %st.gep.1 = getelementptr inbounds [8 x float], [8 x float]* %y, i64 0, i64 %barg
+  store float 0.0, float* %st.gep.1, align 4
+  br label %bb3
+
+bb3:                                              ; preds = %bb2, %bb4
+  %barg.1 = phi i64 [ 0, %bb2 ], [ %2, %bb4 ]
+  %3 = icmp slt i64 %barg.1, 8
+  br i1 %3, label %bb4, label %bb5
+
+bb4:                                              ; preds = %bb3
+  %ld.gep = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg, i64 %barg.1
+  %4 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [8 x float], [8 x float]* %x, i64 0, i64 %barg.1
+  %5 = load float, float* %ld.gep.1, align 4
+  %6 = load float, float* %st.gep, align 4
+  %7 = fmul float %4, %5
+  %8 = fadd float %7, %6
+  store float %8, float* %st.gep, align 4
+  %ld.gep.2 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  %9 = load float, float* %ld.gep.2, align 4
+  %10 = load float, float* %st.gep.1, align 4
+  %11 = fmul float %9, %5
+  %12 = fadd float %11, %10
+  store float %12, float* %st.gep.1, align 4
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3, !llvm.loop !0
+
+bb5:                                              ; preds = %bb3
+  %13 = load float, float* %st.gep, align 4
+  %14 = load float, float* %st.gep.1, align 4
+  %15 = fmul float %alpha, %13
+  %16 = fmul float %beta, %14
+  %17 = fadd float %15, %16
+  store float %17, float* %st.gep.1, align 4
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb6:                                              ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -1,0 +1,72 @@
+; ModuleID = 'jacobi_1d_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @jacobi_1d([16 x float]* %A, [16 x float]* %B) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 2
+  br i1 %1, label %bb3, label %bb9
+
+bb3:                                              ; preds = %bb4, %bb1
+  %barg.1 = phi i64 [ %2, %bb4 ], [ 1, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 15
+  br i1 %3, label %bb4, label %bb6
+
+bb4:                                              ; preds = %bb3
+  %sub.adj = add nsw i64 %barg.1, -1
+  %ld.gep = getelementptr inbounds [16 x float], [16 x float]* %A, i64 0, i64 %sub.adj
+  %4 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [16 x float], [16 x float]* %A, i64 0, i64 %barg.1
+  %5 = load float, float* %ld.gep.1, align 4
+  %sub.adj.1 = add nsw i64 %barg.1, 1
+  %ld.gep.2 = getelementptr inbounds [16 x float], [16 x float]* %A, i64 0, i64 %sub.adj.1
+  %6 = load float, float* %ld.gep.2, align 4
+  %7 = fadd float %4, %5
+  %8 = fadd float %7, %6
+  %9 = fmul float %8, 0.3333333432674408
+  %st.gep = getelementptr inbounds [16 x float], [16 x float]* %B, i64 0, i64 %barg.1
+  store float %9, float* %st.gep, align 4
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3, !llvm.loop !0
+
+bb6:                                              ; preds = %bb7, %bb3
+  %barg.2 = phi i64 [ %10, %bb7 ], [ 1, %bb3 ]
+  %11 = icmp slt i64 %barg.2, 15
+  br i1 %11, label %bb7, label %bb8
+
+bb7:                                              ; preds = %bb6
+  %sub.adj.2 = add nsw i64 %barg.2, -1
+  %ld.gep.3 = getelementptr inbounds [16 x float], [16 x float]* %B, i64 0, i64 %sub.adj.2
+  %12 = load float, float* %ld.gep.3, align 4
+  %ld.gep.4 = getelementptr inbounds [16 x float], [16 x float]* %B, i64 0, i64 %barg.2
+  %13 = load float, float* %ld.gep.4, align 4
+  %sub.adj.3 = add nsw i64 %barg.2, 1
+  %ld.gep.5 = getelementptr inbounds [16 x float], [16 x float]* %B, i64 0, i64 %sub.adj.3
+  %14 = load float, float* %ld.gep.5, align 4
+  %15 = fadd float %12, %13
+  %16 = fadd float %15, %14
+  %17 = fmul float %16, 0.3333333432674408
+  %st.gep.1 = getelementptr inbounds [16 x float], [16 x float]* %A, i64 0, i64 %barg.2
+  store float %17, float* %st.gep.1, align 4
+  %10 = add nsw i64 %barg.2, 1
+  br label %bb6, !llvm.loop !3
+
+bb8:                                              ; preds = %bb6
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb9:                                              ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -1,0 +1,73 @@
+; ModuleID = 'mvt_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @mvt([8 x [8 x float]]* %A, [8 x float]* %x1, [8 x float]* %x2, [8 x float]* %y1, [8 x float]* %y2) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb5
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb5 ]
+  %1 = icmp slt i64 %barg, 8
+  br i1 %1, label %bb3, label %bb7
+
+bb3:                                              ; preds = %bb4, %bb1
+  %barg.1 = phi i64 [ %2, %bb4 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 8
+  br i1 %3, label %bb4, label %bb5
+
+bb4:                                              ; preds = %bb3
+  %ld.gep = getelementptr inbounds [8 x float], [8 x float]* %x1, i64 0, i64 %barg
+  %4 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg, i64 %barg.1
+  %5 = load float, float* %ld.gep.1, align 4
+  %ld.gep.2 = getelementptr inbounds [8 x float], [8 x float]* %y1, i64 0, i64 %barg.1
+  %6 = load float, float* %ld.gep.2, align 4
+  %7 = fmul float %5, %6
+  %8 = fadd float %4, %7
+  store float %8, float* %ld.gep, align 4
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3, !llvm.loop !0
+
+bb5:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb7:                                              ; preds = %bb11, %bb1
+  %barg.2 = phi i64 [ %9, %bb11 ], [ 0, %bb1 ]
+  %10 = icmp slt i64 %barg.2, 8
+  br i1 %10, label %bb9, label %bb12
+
+bb9:                                              ; preds = %bb10, %bb7
+  %barg.3 = phi i64 [ %11, %bb10 ], [ 0, %bb7 ]
+  %12 = icmp slt i64 %barg.3, 8
+  br i1 %12, label %bb10, label %bb11
+
+bb10:                                             ; preds = %bb9
+  %ld.gep.3 = getelementptr inbounds [8 x float], [8 x float]* %x2, i64 0, i64 %barg.2
+  %13 = load float, float* %ld.gep.3, align 4
+  %ld.gep.4 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.3, i64 %barg.2
+  %14 = load float, float* %ld.gep.4, align 4
+  %ld.gep.5 = getelementptr inbounds [8 x float], [8 x float]* %y2, i64 0, i64 %barg.3
+  %15 = load float, float* %ld.gep.5, align 4
+  %16 = fmul float %14, %15
+  %17 = fadd float %13, %16
+  store float %17, float* %ld.gep.3, align 4
+  %11 = add nsw i64 %barg.3, 1
+  br label %bb9, !llvm.loop !3
+
+bb11:                                             ; preds = %bb9
+  %9 = add nsw i64 %barg.2, 1
+  br label %bb7
+
+bb12:                                             ; preds = %bb7
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

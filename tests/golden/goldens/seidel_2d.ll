@@ -1,0 +1,84 @@
+; ModuleID = 'seidel_2d_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @seidel_2d([8 x [8 x float]]* %A) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 1
+  br i1 %1, label %bb3, label %bb9
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 1, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 7
+  br i1 %3, label %bb5, label %bb8
+
+bb5:                                              ; preds = %bb6, %bb3
+  %barg.2 = phi i64 [ %4, %bb6 ], [ 1, %bb3 ]
+  %5 = icmp slt i64 %barg.2, 7
+  br i1 %5, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %6 = add nsw i64 %barg.1, -1
+  %sub.adj = add nsw i64 %barg.2, -1
+  %ld.gep = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %6, i64 %sub.adj
+  %7 = load float, float* %ld.gep, align 4
+  %8 = add nsw i64 %barg.1, -1
+  %ld.gep.1 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %8, i64 %barg.2
+  %9 = load float, float* %ld.gep.1, align 4
+  %10 = fadd float %7, %9
+  %11 = add nsw i64 %barg.1, -1
+  %sub.adj.1 = add nsw i64 %barg.2, 1
+  %ld.gep.2 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %11, i64 %sub.adj.1
+  %12 = load float, float* %ld.gep.2, align 4
+  %13 = fadd float %10, %12
+  %sub.adj.2 = add nsw i64 %barg.2, -1
+  %ld.gep.3 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %sub.adj.2
+  %14 = load float, float* %ld.gep.3, align 4
+  %15 = fadd float %13, %14
+  %ld.gep.4 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.2
+  %16 = load float, float* %ld.gep.4, align 4
+  %17 = fadd float %15, %16
+  %sub.adj.3 = add nsw i64 %barg.2, 1
+  %ld.gep.5 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %sub.adj.3
+  %18 = load float, float* %ld.gep.5, align 4
+  %19 = fadd float %17, %18
+  %20 = add nsw i64 %barg.1, 1
+  %sub.adj.4 = add nsw i64 %barg.2, -1
+  %ld.gep.6 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %20, i64 %sub.adj.4
+  %21 = load float, float* %ld.gep.6, align 4
+  %22 = fadd float %19, %21
+  %23 = add nsw i64 %barg.1, 1
+  %ld.gep.7 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %23, i64 %barg.2
+  %24 = load float, float* %ld.gep.7, align 4
+  %25 = fadd float %22, %24
+  %26 = add nsw i64 %barg.1, 1
+  %sub.adj.5 = add nsw i64 %barg.2, 1
+  %ld.gep.8 = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %26, i64 %sub.adj.5
+  %27 = load float, float* %ld.gep.8, align 4
+  %28 = fadd float %25, %27
+  %29 = fmul float %28, 0.1111111119389534
+  %st.gep = getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A, i64 0, i64 %barg.1, i64 %barg.2
+  store float %29, float* %st.gep, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb9:                                              ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}

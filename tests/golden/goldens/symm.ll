@@ -1,0 +1,87 @@
+; ModuleID = 'symm_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @symm([5 x [5 x float]]* %A, [5 x [6 x float]]* %B, [5 x [6 x float]]* %C, float %alpha, float %beta) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb11
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb11 ]
+  %1 = icmp slt i64 %barg, 5
+  br i1 %1, label %bb3, label %bb12
+
+bb3:                                              ; preds = %bb10, %bb1
+  %barg.1 = phi i64 [ %2, %bb10 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 6
+  br i1 %3, label %bb5, label %bb11
+
+bb5:                                              ; preds = %bb6, %bb3
+  %barg.2 = phi i64 [ %4, %bb6 ], [ 0, %bb3 ]
+  %5 = icmp slt i64 %barg.2, %barg
+  br i1 %5, label %bb6, label %bb8
+
+bb6:                                              ; preds = %bb5
+  %ld.gep = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  %6 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [5 x [5 x float]], [5 x [5 x float]]* %A, i64 0, i64 %barg, i64 %barg.2
+  %7 = load float, float* %ld.gep.1, align 4
+  %8 = fmul float %6, %7
+  %9 = fmul float %alpha, %8
+  %ld.gep.2 = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %C, i64 0, i64 %barg.2, i64 %barg.1
+  %10 = load float, float* %ld.gep.2, align 4
+  %11 = fadd float %10, %9
+  %st.gep = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %C, i64 0, i64 %barg.2, i64 %barg.1
+  store float %11, float* %st.gep, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb8:                                              ; preds = %bb9, %bb5
+  %barg.3 = phi i64 [ %12, %bb9 ], [ 0, %bb5 ]
+  %barg.4 = phi float [ %13, %bb9 ], [ 0.0, %bb5 ]
+  %14 = icmp slt i64 %barg.3, %barg
+  br i1 %14, label %bb9, label %bb10
+
+bb9:                                              ; preds = %bb8
+  %ld.gep.3 = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %B, i64 0, i64 %barg.3, i64 %barg.1
+  %15 = load float, float* %ld.gep.3, align 4
+  %ld.gep.4 = getelementptr inbounds [5 x [5 x float]], [5 x [5 x float]]* %A, i64 0, i64 %barg, i64 %barg.3
+  %16 = load float, float* %ld.gep.4, align 4
+  %17 = fmul float %15, %16
+  %13 = fadd float %barg.4, %17
+  %12 = add nsw i64 %barg.3, 1
+  br label %bb8, !llvm.loop !3
+
+bb10:                                             ; preds = %bb8
+  %ld.gep.5 = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  %18 = load float, float* %ld.gep.5, align 4
+  %ld.gep.6 = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  %19 = load float, float* %ld.gep.6, align 4
+  %ld.gep.7 = getelementptr inbounds [5 x [5 x float]], [5 x [5 x float]]* %A, i64 0, i64 %barg, i64 %barg
+  %20 = load float, float* %ld.gep.7, align 4
+  %21 = fmul float %beta, %19
+  %22 = fmul float %18, %20
+  %23 = fmul float %alpha, %22
+  %24 = fmul float %alpha, %barg.4
+  %25 = fadd float %21, %23
+  %26 = fadd float %25, %24
+  %st.gep.1 = getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  store float %26, float* %st.gep.1, align 4
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb11:                                             ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb12:                                             ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

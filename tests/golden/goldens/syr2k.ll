@@ -1,0 +1,85 @@
+; ModuleID = 'syr2k_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @syr2k([6 x [5 x float]]* %A, [6 x [5 x float]]* %B, [6 x [6 x float]]* %C, float %alpha, float %beta) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb11
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb11 ]
+  %1 = icmp slt i64 %barg, 6
+  br i1 %1, label %bb2, label %bb12
+
+bb2:                                              ; preds = %bb1
+  %2 = add nsw i64 %barg, 1
+  br label %bb3
+
+bb3:                                              ; preds = %bb2, %bb4
+  %barg.1 = phi i64 [ 0, %bb2 ], [ %3, %bb4 ]
+  %4 = icmp slt i64 %barg.1, %2
+  br i1 %4, label %bb4, label %bb6
+
+bb4:                                              ; preds = %bb3
+  %ld.gep = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  %5 = load float, float* %ld.gep, align 4
+  %6 = fmul float %5, %beta
+  %st.gep = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.1
+  store float %6, float* %st.gep, align 4
+  %3 = add nsw i64 %barg.1, 1
+  br label %bb3, !llvm.loop !0
+
+bb6:                                              ; preds = %bb10, %bb3
+  %barg.2 = phi i64 [ %7, %bb10 ], [ 0, %bb3 ]
+  %8 = icmp slt i64 %barg.2, 5
+  br i1 %8, label %bb7, label %bb11
+
+bb7:                                              ; preds = %bb6
+  %9 = add nsw i64 %barg, 1
+  br label %bb8
+
+bb8:                                              ; preds = %bb7, %bb9
+  %barg.3 = phi i64 [ 0, %bb7 ], [ %10, %bb9 ]
+  %11 = icmp slt i64 %barg.3, %9
+  br i1 %11, label %bb9, label %bb10
+
+bb9:                                              ; preds = %bb8
+  %ld.gep.1 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %A, i64 0, i64 %barg.3, i64 %barg.2
+  %12 = load float, float* %ld.gep.1, align 4
+  %ld.gep.2 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg, i64 %barg.2
+  %13 = load float, float* %ld.gep.2, align 4
+  %14 = fmul float %12, %13
+  %ld.gep.3 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg.3, i64 %barg.2
+  %15 = load float, float* %ld.gep.3, align 4
+  %ld.gep.4 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %A, i64 0, i64 %barg, i64 %barg.2
+  %16 = load float, float* %ld.gep.4, align 4
+  %17 = fmul float %15, %16
+  %18 = fadd float %14, %17
+  %19 = fmul float %alpha, %18
+  %ld.gep.5 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.3
+  %20 = load float, float* %ld.gep.5, align 4
+  %21 = fadd float %20, %19
+  %st.gep.1 = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C, i64 0, i64 %barg, i64 %barg.3
+  store float %21, float* %st.gep.1, align 4
+  %10 = add nsw i64 %barg.3, 1
+  br label %bb8, !llvm.loop !3
+
+bb10:                                             ; preds = %bb8
+  %7 = add nsw i64 %barg.2, 1
+  br label %bb6
+
+bb11:                                             ; preds = %bb6
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb12:                                             ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

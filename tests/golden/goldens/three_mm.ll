@@ -1,0 +1,148 @@
+; ModuleID = 'three_mm_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @three_mm([4 x [4 x float]]* %E, [4 x [5 x float]]* %A, [5 x [4 x float]]* %B, [4 x [4 x float]]* %F, [4 x [5 x float]]* %C, [5 x [4 x float]]* %D, [4 x [4 x float]]* %G) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 4
+  br i1 %1, label %bb3, label %bb10
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 4
+  br i1 %3, label %bb4, label %bb8
+
+bb4:                                              ; preds = %bb3
+  %st.gep = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %E, i64 0, i64 %barg, i64 %barg.1
+  store float 0.0, float* %st.gep, align 4
+  br label %bb5
+
+bb5:                                              ; preds = %bb4, %bb6
+  %barg.2 = phi i64 [ 0, %bb4 ], [ %4, %bb6 ]
+  %5 = icmp slt i64 %barg.2, 5
+  br i1 %5, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.gep = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %A, i64 0, i64 %barg, i64 %barg.2
+  %6 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [5 x [4 x float]], [5 x [4 x float]]* %B, i64 0, i64 %barg.2, i64 %barg.1
+  %7 = load float, float* %ld.gep.1, align 4
+  %8 = fmul float %6, %7
+  %ld.gep.2 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %E, i64 0, i64 %barg, i64 %barg.1
+  %9 = load float, float* %ld.gep.2, align 4
+  %10 = fadd float %9, %8
+  %st.gep.1 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %E, i64 0, i64 %barg, i64 %barg.1
+  store float %10, float* %st.gep.1, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb10:                                             ; preds = %bb17, %bb1
+  %barg.3 = phi i64 [ %11, %bb17 ], [ 0, %bb1 ]
+  %12 = icmp slt i64 %barg.3, 4
+  br i1 %12, label %bb12, label %bb19
+
+bb12:                                             ; preds = %bb16, %bb10
+  %barg.4 = phi i64 [ %13, %bb16 ], [ 0, %bb10 ]
+  %14 = icmp slt i64 %barg.4, 4
+  br i1 %14, label %bb13, label %bb17
+
+bb13:                                             ; preds = %bb12
+  %st.gep.2 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %F, i64 0, i64 %barg.3, i64 %barg.4
+  store float 0.0, float* %st.gep.2, align 4
+  br label %bb14
+
+bb14:                                             ; preds = %bb13, %bb15
+  %barg.5 = phi i64 [ 0, %bb13 ], [ %15, %bb15 ]
+  %16 = icmp slt i64 %barg.5, 5
+  br i1 %16, label %bb15, label %bb16
+
+bb15:                                             ; preds = %bb14
+  %ld.gep.3 = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %C, i64 0, i64 %barg.3, i64 %barg.5
+  %17 = load float, float* %ld.gep.3, align 4
+  %ld.gep.4 = getelementptr inbounds [5 x [4 x float]], [5 x [4 x float]]* %D, i64 0, i64 %barg.5, i64 %barg.4
+  %18 = load float, float* %ld.gep.4, align 4
+  %19 = fmul float %17, %18
+  %ld.gep.5 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %F, i64 0, i64 %barg.3, i64 %barg.4
+  %20 = load float, float* %ld.gep.5, align 4
+  %21 = fadd float %20, %19
+  %st.gep.3 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %F, i64 0, i64 %barg.3, i64 %barg.4
+  store float %21, float* %st.gep.3, align 4
+  %15 = add nsw i64 %barg.5, 1
+  br label %bb14, !llvm.loop !3
+
+bb16:                                             ; preds = %bb14
+  %13 = add nsw i64 %barg.4, 1
+  br label %bb12
+
+bb17:                                             ; preds = %bb12
+  %11 = add nsw i64 %barg.3, 1
+  br label %bb10
+
+bb19:                                             ; preds = %bb26, %bb10
+  %barg.6 = phi i64 [ %22, %bb26 ], [ 0, %bb10 ]
+  %23 = icmp slt i64 %barg.6, 4
+  br i1 %23, label %bb21, label %bb27
+
+bb21:                                             ; preds = %bb25, %bb19
+  %barg.7 = phi i64 [ %24, %bb25 ], [ 0, %bb19 ]
+  %25 = icmp slt i64 %barg.7, 4
+  br i1 %25, label %bb22, label %bb26
+
+bb22:                                             ; preds = %bb21
+  %st.gep.4 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %G, i64 0, i64 %barg.6, i64 %barg.7
+  store float 0.0, float* %st.gep.4, align 4
+  br label %bb23
+
+bb23:                                             ; preds = %bb22, %bb24
+  %barg.8 = phi i64 [ 0, %bb22 ], [ %26, %bb24 ]
+  %27 = icmp slt i64 %barg.8, 4
+  br i1 %27, label %bb24, label %bb25
+
+bb24:                                             ; preds = %bb23
+  %ld.gep.6 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %E, i64 0, i64 %barg.6, i64 %barg.8
+  %28 = load float, float* %ld.gep.6, align 4
+  %ld.gep.7 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %F, i64 0, i64 %barg.8, i64 %barg.7
+  %29 = load float, float* %ld.gep.7, align 4
+  %30 = fmul float %28, %29
+  %ld.gep.8 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %G, i64 0, i64 %barg.6, i64 %barg.7
+  %31 = load float, float* %ld.gep.8, align 4
+  %32 = fadd float %31, %30
+  %st.gep.5 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %G, i64 0, i64 %barg.6, i64 %barg.7
+  store float %32, float* %st.gep.5, align 4
+  %26 = add nsw i64 %barg.8, 1
+  br label %bb23, !llvm.loop !6
+
+bb25:                                             ; preds = %bb23
+  %24 = add nsw i64 %barg.7, 1
+  br label %bb21
+
+bb26:                                             ; preds = %bb21
+  %22 = add nsw i64 %barg.6, 1
+  br label %bb19
+
+bb27:                                             ; preds = %bb19
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}
+!6 = distinct !{!6, !7, !8}
+!7 = !{!"fpga.loop.pipeline.enable"}
+!8 = !{!"fpga.loop.pipeline.ii", i32 1}

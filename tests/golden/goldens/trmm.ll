@@ -1,0 +1,62 @@
+; ModuleID = 'trmm_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @trmm([6 x [6 x float]]* %A, [6 x [5 x float]]* %B, float %alpha) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 6
+  br i1 %1, label %bb3, label %bb9
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 5
+  br i1 %3, label %bb4, label %bb8
+
+bb4:                                              ; preds = %bb3
+  %4 = add nsw i64 %barg, 1
+  br label %bb5
+
+bb5:                                              ; preds = %bb4, %bb6
+  %barg.2 = phi i64 [ %4, %bb4 ], [ %5, %bb6 ]
+  %6 = icmp slt i64 %barg.2, 6
+  br i1 %6, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.gep = getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %A, i64 0, i64 %barg.2, i64 %barg
+  %7 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg.2, i64 %barg.1
+  %8 = load float, float* %ld.gep.1, align 4
+  %ld.gep.2 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  %9 = load float, float* %ld.gep.2, align 4
+  %10 = fmul float %7, %8
+  %11 = fadd float %9, %10
+  %st.gep = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  store float %11, float* %st.gep, align 4
+  %5 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %ld.gep.3 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  %12 = load float, float* %ld.gep.3, align 4
+  %13 = fmul float %alpha, %12
+  %st.gep.1 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg, i64 %barg.1
+  store float %13, float* %st.gep.1, align 4
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb9:                                              ; preds = %bb1
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}

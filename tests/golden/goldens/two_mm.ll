@@ -1,0 +1,107 @@
+; ModuleID = 'two_mm_module'
+; source-flow: mlir-adaptor
+target triple = "fpga64-xilinx-none"
+; pointer-mode: typed
+
+define void @two_mm([4 x [5 x float]]* %tmp, [4 x [6 x float]]* %A, [6 x [5 x float]]* %B, [5 x [4 x float]]* %C, [4 x [4 x float]]* %D, float %alpha, float %beta) hls_top {
+entry:
+  br label %bb1
+
+bb1:                                              ; preds = %entry, %bb8
+  %barg = phi i64 [ 0, %entry ], [ %0, %bb8 ]
+  %1 = icmp slt i64 %barg, 4
+  br i1 %1, label %bb3, label %bb10
+
+bb3:                                              ; preds = %bb7, %bb1
+  %barg.1 = phi i64 [ %2, %bb7 ], [ 0, %bb1 ]
+  %3 = icmp slt i64 %barg.1, 5
+  br i1 %3, label %bb4, label %bb8
+
+bb4:                                              ; preds = %bb3
+  %st.gep = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %tmp, i64 0, i64 %barg, i64 %barg.1
+  store float 0.0, float* %st.gep, align 4
+  br label %bb5
+
+bb5:                                              ; preds = %bb4, %bb6
+  %barg.2 = phi i64 [ 0, %bb4 ], [ %4, %bb6 ]
+  %5 = icmp slt i64 %barg.2, 6
+  br i1 %5, label %bb6, label %bb7
+
+bb6:                                              ; preds = %bb5
+  %ld.gep = getelementptr inbounds [4 x [6 x float]], [4 x [6 x float]]* %A, i64 0, i64 %barg, i64 %barg.2
+  %6 = load float, float* %ld.gep, align 4
+  %ld.gep.1 = getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B, i64 0, i64 %barg.2, i64 %barg.1
+  %7 = load float, float* %ld.gep.1, align 4
+  %8 = fmul float %6, %7
+  %9 = fmul float %alpha, %8
+  %ld.gep.2 = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %tmp, i64 0, i64 %barg, i64 %barg.1
+  %10 = load float, float* %ld.gep.2, align 4
+  %11 = fadd float %10, %9
+  %st.gep.1 = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %tmp, i64 0, i64 %barg, i64 %barg.1
+  store float %11, float* %st.gep.1, align 4
+  %4 = add nsw i64 %barg.2, 1
+  br label %bb5, !llvm.loop !0
+
+bb7:                                              ; preds = %bb5
+  %2 = add nsw i64 %barg.1, 1
+  br label %bb3
+
+bb8:                                              ; preds = %bb3
+  %0 = add nsw i64 %barg, 1
+  br label %bb1
+
+bb10:                                             ; preds = %bb17, %bb1
+  %barg.3 = phi i64 [ %12, %bb17 ], [ 0, %bb1 ]
+  %13 = icmp slt i64 %barg.3, 4
+  br i1 %13, label %bb12, label %bb18
+
+bb12:                                             ; preds = %bb16, %bb10
+  %barg.4 = phi i64 [ %14, %bb16 ], [ 0, %bb10 ]
+  %15 = icmp slt i64 %barg.4, 4
+  br i1 %15, label %bb13, label %bb17
+
+bb13:                                             ; preds = %bb12
+  %ld.gep.3 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %D, i64 0, i64 %barg.3, i64 %barg.4
+  %16 = load float, float* %ld.gep.3, align 4
+  %17 = fmul float %16, %beta
+  %st.gep.2 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %D, i64 0, i64 %barg.3, i64 %barg.4
+  store float %17, float* %st.gep.2, align 4
+  br label %bb14
+
+bb14:                                             ; preds = %bb13, %bb15
+  %barg.5 = phi i64 [ 0, %bb13 ], [ %18, %bb15 ]
+  %19 = icmp slt i64 %barg.5, 5
+  br i1 %19, label %bb15, label %bb16
+
+bb15:                                             ; preds = %bb14
+  %ld.gep.4 = getelementptr inbounds [4 x [5 x float]], [4 x [5 x float]]* %tmp, i64 0, i64 %barg.3, i64 %barg.5
+  %20 = load float, float* %ld.gep.4, align 4
+  %ld.gep.5 = getelementptr inbounds [5 x [4 x float]], [5 x [4 x float]]* %C, i64 0, i64 %barg.5, i64 %barg.4
+  %21 = load float, float* %ld.gep.5, align 4
+  %22 = fmul float %20, %21
+  %ld.gep.6 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %D, i64 0, i64 %barg.3, i64 %barg.4
+  %23 = load float, float* %ld.gep.6, align 4
+  %24 = fadd float %23, %22
+  %st.gep.3 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %D, i64 0, i64 %barg.3, i64 %barg.4
+  store float %24, float* %st.gep.3, align 4
+  %18 = add nsw i64 %barg.5, 1
+  br label %bb14, !llvm.loop !3
+
+bb16:                                             ; preds = %bb14
+  %14 = add nsw i64 %barg.4, 1
+  br label %bb12
+
+bb17:                                             ; preds = %bb12
+  %12 = add nsw i64 %barg.3, 1
+  br label %bb10
+
+bb18:                                             ; preds = %bb10
+  ret void
+}
+
+!0 = distinct !{!0, !1, !2}
+!1 = !{!"fpga.loop.pipeline.enable"}
+!2 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !4, !5}
+!4 = !{!"fpga.loop.pipeline.enable"}
+!5 = !{!"fpga.loop.pipeline.ii", i32 1}

@@ -26,7 +26,44 @@ from repro.workloads.suite import SUITE_SIZES
 
 GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "goldens")
 
-GOLDEN_KERNELS = ["gemm", "atax", "jacobi_2d", "doitgen"]
+GOLDEN_KERNELS = [
+    "gemm",
+    "two_mm",
+    "three_mm",
+    "atax",
+    "bicg",
+    "mvt",
+    "gesummv",
+    "syrk",
+    "syr2k",
+    "trmm",
+    "symm",
+    "doitgen",
+    "jacobi_1d",
+    "jacobi_2d",
+    "seidel_2d",
+]
+
+# Whole-module negative guards, applied to every kernel: nothing the HLS
+# frontend's old fork can't parse may survive the adaptor.  ``freeze`` and
+# the MLIR-lowering-era intrinsic spellings (opaque-pointer memcpy/memset,
+# post-LLVM-12 min/max, optimisation markers) must all be legalised away.
+# A check file with only CHECK-NOTs guards the entire input.
+_GUARDS = """
+    # CHECK-NOT: freeze
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: llvm.smax
+    # CHECK-NOT: llvm.smin
+    # CHECK-NOT: llvm.umax
+    # CHECK-NOT: llvm.umin
+    # CHECK-NOT: llvm.abs
+    # CHECK-NOT: llvm.memcpy.p0.p0.
+    # CHECK-NOT: llvm.memset.p0.i
+    # CHECK-NOT: llvm.lifetime.
+    # CHECK-NOT: llvm.assume
+    # CHECK-NOT: llvm.expect.
+    # CHECK-NOT: llvm.dbg.
+    """
 
 # Structural invariants of adapted IR, per kernel.  Every kernel must come
 # out typed-pointer, freeze-free and carrying HLS-dialect loop directives;
@@ -62,6 +99,94 @@ _CHECKS = {
     # CHECK-NOT: freeze
     # CHECK: define void @doitgen([4 x [4 x [5 x float]]]* %A, [5 x [5 x float]]* %C4, [5 x float]* %sum)
     # CHECK: getelementptr inbounds [4 x [4 x [5 x float]]], [4 x [4 x [5 x float]]]* %A
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "two_mm": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @two_mm([4 x [5 x float]]* %tmp, [4 x [6 x float]]* %A, [6 x [5 x float]]* %B, [5 x [4 x float]]* %C, [4 x [4 x float]]* %D, float %alpha, float %beta)
+    # CHECK: getelementptr inbounds [4 x [6 x float]], [4 x [6 x float]]* %A
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "three_mm": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @three_mm([4 x [4 x float]]* %E, [4 x [5 x float]]* %A, [5 x [4 x float]]* %B, [4 x [4 x float]]* %F, [4 x [5 x float]]* %C, [5 x [4 x float]]* %D, [4 x [4 x float]]* %G)
+    # CHECK: fmul float
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "bicg": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @bicg([8 x [6 x float]]* %A, [6 x float]* %s, [8 x float]* %q, [6 x float]* %p, [8 x float]* %r)
+    # CHECK: getelementptr inbounds [8 x [6 x float]], [8 x [6 x float]]* %A
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "mvt": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @mvt([8 x [8 x float]]* %A, [8 x float]* %x1, [8 x float]* %x2, [8 x float]* %y1, [8 x float]* %y2)
+    # CHECK: getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "gesummv": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @gesummv([8 x [8 x float]]* %A, [8 x [8 x float]]* %B, [8 x float]* %x, [8 x float]* %y, [8 x float]* %tmp, float %alpha, float %beta)
+    # CHECK: fmul float
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "syrk": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @syrk([6 x [5 x float]]* %A, [6 x [6 x float]]* %C, float %alpha, float %beta)
+    # CHECK: getelementptr inbounds [6 x [6 x float]], [6 x [6 x float]]* %C
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "syr2k": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @syr2k([6 x [5 x float]]* %A, [6 x [5 x float]]* %B, [6 x [6 x float]]* %C, float %alpha, float %beta)
+    # CHECK: getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "trmm": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @trmm([6 x [6 x float]]* %A, [6 x [5 x float]]* %B, float %alpha)
+    # CHECK: getelementptr inbounds [6 x [5 x float]], [6 x [5 x float]]* %B
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "symm": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @symm([5 x [5 x float]]* %A, [5 x [6 x float]]* %B, [5 x [6 x float]]* %C, float %alpha, float %beta)
+    # CHECK: getelementptr inbounds [5 x [6 x float]], [5 x [6 x float]]* %C
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "jacobi_1d": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @jacobi_1d([16 x float]* %A, [16 x float]* %B)
+    # CHECK: fadd float
+    # CHECK: !"fpga.loop.pipeline.enable"
+    """,
+    "seidel_2d": """
+    # CHECK: pointer-mode: typed
+    # CHECK-NOT: {{\\bptr\\b}}
+    # CHECK-NOT: freeze
+    # CHECK: define void @seidel_2d([8 x [8 x float]]* %A)
+    # CHECK: getelementptr inbounds [8 x [8 x float]], [8 x [8 x float]]* %A
     # CHECK: !"fpga.loop.pipeline.enable"
     """,
 }
@@ -102,6 +227,16 @@ def test_adaptor_output_matches_golden(kernel, update_goldens):
 @pytest.mark.parametrize("kernel", GOLDEN_KERNELS)
 def test_adaptor_output_structural_checks(kernel):
     run_filecheck(adaptor_output(kernel), _CHECKS[kernel])
+
+
+def test_every_golden_kernel_has_checks():
+    assert sorted(_CHECKS) == sorted(GOLDEN_KERNELS)
+
+
+@pytest.mark.parametrize("kernel", GOLDEN_KERNELS)
+def test_no_mlir_only_constructs_survive(kernel):
+    """freeze / MLIR-era intrinsic spellings must be gone module-wide."""
+    run_filecheck(adaptor_output(kernel), _GUARDS)
 
 
 def test_goldens_are_deterministic():

@@ -1,0 +1,107 @@
+"""``python -m repro.observability`` CLI: trace/stats/diff/validate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability.cli import main
+from repro.observability.schema import validate_chrome_trace
+
+
+class TestTrace:
+    def test_trace_emits_valid_chrome_json(self, capsys):
+        assert main(["trace", "gemm", "--no-equivalence"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert validate_chrome_trace(document) == []
+        names = {
+            e["name"] for e in document["traceEvents"] if e.get("ph") == "X"
+        }
+        # Every flow stage shows up...
+        for stage in ("lower", "cleanup", "adaptor", "synthesis",
+                      "codegen", "c-frontend"):
+            assert stage in names, stage
+        # ...and so does every adaptor pass.
+        for pass_name in ("intrinsic-legalize", "gep-canonicalize",
+                          "pointer-retyping", "freeze-elim", "final-dce"):
+            assert pass_name in names, pass_name
+
+    def test_trace_out_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["trace", "gemm", "--no-equivalence", "-o", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert validate_chrome_trace(document) == []
+        assert capsys.readouterr().out == ""  # JSON went to the file
+
+    def test_trace_summary_flag(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(
+            ["trace", "gemm", "--no-equivalence", "-o", str(out), "--summary"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "adaptor-flow" in err and "cpp-flow" in err
+
+    def test_unknown_kernel_is_a_config_error(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "nope" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_stats_prints_nonzero_counters_for_many_passes(self, capsys):
+        assert main(["stats", "gemm"]) == 0
+        out = capsys.readouterr().out
+        assert "=== Statistics Collected" in out
+        groups = {
+            line.split()[1]
+            for line in out.splitlines()
+            if line and not line.startswith("===") and int(line.split()[0]) > 0
+        }
+        pass_groups = groups - {"module", "interpreter", "cache"}
+        # Acceptance bar: nonzero counters for at least 5 distinct passes.
+        assert len(pass_groups) >= 5, sorted(groups)
+
+
+class TestDiff:
+    def test_diff_reports_config_delta(self, capsys):
+        assert main(
+            ["diff", "gemm", "--baseline", "baseline",
+             "--optimized", "optimized", "--no-equivalence"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "counter diff: gemm" in out
+        assert "baseline" in out and "optimized" in out
+        # The optimized config attaches pipeline directives the baseline
+        # doesn't, so at least one counter must move.
+        assert "+" in out or "-" in out
+
+
+class TestValidate:
+    def test_valid_file_passes(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 2.0,
+                 "pid": 1, "tid": 1},
+            ]
+        }))
+        assert main(["validate", str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_file_fails_with_problems(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0,
+                 "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0,
+                 "pid": 1, "tid": 1},
+            ]
+        }))
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_unreadable_file_fails(self, tmp_path, capsys):
+        path = tmp_path / "nope.json"
+        assert main(["validate", str(path)]) == 1
+        assert "cannot read" in capsys.readouterr().err

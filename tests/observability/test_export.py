@@ -1,0 +1,167 @@
+"""Chrome trace-event export: JSON round-trips, ts/dur consistency with
+the span tree, multi-lane layout, and the schema validator's teeth."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    Span,
+    Tracer,
+    check_chrome_trace,
+    chrome_trace,
+    chrome_trace_events,
+    diff_table,
+    dump_chrome_trace,
+    load_and_check,
+    stats_diff,
+    trace_summary,
+    validate_chrome_trace,
+)
+
+
+def make_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("flow", category="flow", kernel="gemm"):
+        with t.span("stage-a", category="stage"):
+            with t.span("pass-1", category="pass"):
+                pass
+            with t.span("pass-2", category="pass"):
+                pass
+        with t.span("stage-b", category="stage"):
+            pass
+    return t
+
+
+class TestChromeExport:
+    def test_roundtrips_through_json(self):
+        t = make_tracer()
+        document = chrome_trace(t)
+        reparsed = json.loads(json.dumps(document))
+        assert reparsed == document
+        assert validate_chrome_trace(reparsed) == []
+
+    def test_ts_dur_match_span_times(self):
+        t = make_tracer()
+        spans = {s.name: s for s in t.walk()}
+        events = {
+            e["name"]: e
+            for e in chrome_trace(t)["traceEvents"]
+            if e.get("ph") == "X"
+        }
+        assert set(events) == set(spans)
+        for name, span in spans.items():
+            assert events[name]["ts"] == pytest.approx(span.start * 1e6)
+            assert events[name]["dur"] == pytest.approx(span.duration * 1e6)
+
+    def test_events_preserve_span_args_and_category(self):
+        t = make_tracer()
+        flow = next(
+            e for e in chrome_trace(t)["traceEvents"] if e.get("name") == "flow"
+        )
+        assert flow["cat"] == "flow"
+        assert flow["args"] == {"kernel": "gemm"}
+
+    def test_lane_layout_and_metadata(self):
+        t = make_tracer()
+        serialized = t.roots[0].to_dict()  # lanes accept to_dict forms too
+        document = chrome_trace(t, lanes=[("gemm", [serialized])])
+        meta = [e for e in document["traceEvents"] if e.get("ph") == "M"]
+        assert {(m["pid"], m["args"]["name"]) for m in meta} == {
+            (1, "repro"),
+            (2, "gemm"),
+        }
+        pids = {
+            e["pid"] for e in document["traceEvents"] if e.get("ph") == "X"
+        }
+        assert pids == {1, 2}
+        assert validate_chrome_trace(document) == []
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        document = dump_chrome_trace(path, forest=make_tracer())
+        assert load_and_check(path) == document
+
+    def test_events_accept_bare_span(self):
+        span = Span(name="s", category="pass", start=0.0, duration=0.5)
+        events = chrome_trace_events(span)
+        assert len(events) == 1 and events[0]["dur"] == pytest.approx(5e5)
+
+
+class TestValidatorNegativeCases:
+    def test_rejects_non_object_document(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_rejects_missing_keys(self):
+        doc = {"traceEvents": [{"name": "x", "ph": "X", "ts": 0.0}]}
+        problems = validate_chrome_trace(doc)
+        assert any("missing 'dur'" in p for p in problems)
+
+    def test_rejects_negative_and_non_numeric_times(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": -1.0, "dur": 1.0, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 0.0, "dur": "fast", "pid": 1, "tid": 1},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("negative ts" in p for p in problems)
+        assert any("dur is not a number" in p for p in problems)
+
+    def test_rejects_unsupported_phase(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "B", "ts": 0.0, "dur": 0.0, "pid": 1, "tid": 1}
+            ]
+        }
+        assert any("unsupported phase" in p for p in validate_chrome_trace(doc))
+
+    def test_rejects_ill_nested_lane(self):
+        # a: [0, 10], b: [5, 15] — overlapping but not nested.
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 1, "tid": 1},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("without nesting" in p for p in problems)
+        with pytest.raises(ValueError):
+            check_chrome_trace(doc)
+
+    def test_overlap_across_lanes_is_fine(self):
+        doc = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0.0, "dur": 10.0, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5.0, "dur": 10.0, "pid": 2, "tid": 1},
+            ]
+        }
+        assert validate_chrome_trace(doc) == []
+
+    def test_real_tracer_output_is_well_nested(self):
+        assert validate_chrome_trace(chrome_trace(make_tracer())) == []
+
+
+class TestHumanRenderings:
+    def test_trace_summary_indents_children(self):
+        text = trace_summary(make_tracer(), title="t")
+        lines = text.splitlines()
+        flow = next(l for l in lines if l.lstrip().startswith("flow"))
+        stage = next(l for l in lines if l.lstrip().startswith("stage-a"))
+        assert len(stage) - len(stage.lstrip()) > len(flow) - len(flow.lstrip())
+        assert "kernel=gemm" in text
+
+    def test_stats_diff_keeps_only_nonzero(self):
+        before = {"dce": {"dead-instruction": 2}, "cse": {"cse-eliminated": 4}}
+        after = {"dce": {"dead-instruction": 5}, "cse": {"cse-eliminated": 4}}
+        assert stats_diff(before, after) == {"dce": {"dead-instruction": 3}}
+
+    def test_diff_table_lists_both_sides(self):
+        text = diff_table(
+            {"dce": {"dead": 1}}, {"dce": {"dead": 4}},
+            left_label="baseline", right_label="optimized",
+        )
+        assert "baseline" in text and "optimized" in text and "+3" in text

@@ -1,0 +1,179 @@
+"""Pass-statistics registry coverage: counters mirror real rewrite work,
+no-op passes leave no counters, and instruction-churn accounting is sane
+across randomly generated modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptor import (
+    FreezeElimination,
+    GEPCanonicalization,
+    IntrinsicLegalization,
+    StructFlattening,
+)
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.ir.instructions import GetElementPtr
+from repro.ir.metadata import InterfaceSpec
+from repro.ir.transforms import PassManager, count_instructions, standard_cleanup_pipeline
+from repro.observability import (
+    NULL_STATISTICS,
+    NullStatistics,
+    StatisticsRegistry,
+    get_statistics,
+    use_statistics,
+)
+from repro.testing import RandomModuleGenerator
+
+from ..conftest import build_axpy_module
+
+
+def build_linear_gep_module(accesses: int = 3) -> Module:
+    """A kernel whose ``A`` buffer is addressed with flat ``i*5 + j``
+    indices — exactly what gep-canonicalize delinearises to ``A[i][j]``."""
+    m = Module("lin")
+    fn = m.add_function(
+        "f",
+        irt.function_type(irt.void, [irt.ptr, irt.i64, irt.i64, irt.f32]),
+        ["A", "i", "j", "v"],
+    )
+    fn.hls_interfaces = [
+        InterfaceSpec(arg_name="A", mode="ap_memory", depth=20, dims=(4, 5))
+    ]
+    a, i, j, v = fn.arguments
+    b = IRBuilder(fn.add_block("entry"))
+    for n in range(accesses):
+        linear = b.add(b.mul(i, b.i64_(5), f"row{n}"), j, f"idx{n}")
+        ptr = b.gep(irt.f32, a, [linear], f"p{n}")
+        b.store(v, ptr, align=4)
+    b.ret()
+    return m
+
+
+class TestGEPCounters:
+    def test_delinearize_counter_equals_rewritten_geps(self):
+        m = build_linear_gep_module(accesses=3)
+        registry = StatisticsRegistry()
+        pm = PassManager()
+        pm.add(GEPCanonicalization())
+        with use_statistics(registry):
+            stats = pm.run(m)[0]
+        fn = m.defined_functions()[0]
+        rewritten = [
+            inst for inst in fn.instructions()
+            if isinstance(inst, GetElementPtr) and len(inst.indices) == 3
+        ]
+        assert len(rewritten) == 3  # every access got [0, i, j] subscripts
+        assert registry.get("gep-canonicalize", "delinearized-access") == 3
+        assert registry.get("gep-canonicalize", "delinearized-array") == 1
+        # The registry is the global mirror of the per-run detail dict.
+        assert stats.details["delinearized-access"] == 3
+        assert registry.get("gep-canonicalize", "rewrites") == stats.rewrites
+
+    def test_gep_merge_counter(self):
+        m = Module("chain")
+        fn = m.add_function(
+            "f", irt.function_type(irt.f32, [irt.ptr, irt.i64, irt.i64]),
+            ["A", "i", "j"],
+        )
+        a, i, j = fn.arguments
+        b = IRBuilder(fn.add_block("entry"))
+        base = b.gep(irt.f32, a, [i], "base")
+        inner = b.gep(irt.f32, base, [j], "inner")
+        b.ret(b.load(irt.f32, inner, "v", align=4))
+        registry = StatisticsRegistry()
+        pm = PassManager()
+        pm.add(GEPCanonicalization())
+        with use_statistics(registry):
+            pm.run(m)
+        assert registry.get("gep-canonicalize", "gep-merged") == 1
+
+
+class TestNoOpPasses:
+    def test_already_legal_module_leaves_pass_counters_empty(self, axpy_module):
+        """Adaptor passes with nothing to do must record nothing at all."""
+        registry = StatisticsRegistry()
+        passes = [
+            FreezeElimination(),
+            IntrinsicLegalization(),
+            StructFlattening(),
+            GEPCanonicalization(),
+        ]
+        pm = PassManager()
+        for p in passes:
+            pm.add(p)
+        with use_statistics(registry):
+            pm.run(axpy_module)
+        for p in passes:
+            assert registry.group(p.name) == {}, p.name
+        # Only the module-bookkeeping group may appear, and it must show
+        # zero churn.
+        assert set(registry.groups()) <= {"module"}
+        assert registry.get("module", "instructions-deleted") == 0
+
+    def test_disabled_registry_records_nothing(self, axpy_module):
+        assert get_statistics() is NULL_STATISTICS
+        standard_cleanup_pipeline().run(axpy_module)
+        assert len(NULL_STATISTICS) == 0
+        NULL_STATISTICS.bump("g", "c", 5)
+        NULL_STATISTICS.record_details("g", {"c": 5})
+        NULL_STATISTICS.merge({"g": {"c": 5}})
+        assert NULL_STATISTICS.as_dict() == {}
+        assert not NullStatistics.enabled
+
+
+class TestRegistryMechanics:
+    def test_zero_amounts_are_not_recorded(self):
+        r = StatisticsRegistry()
+        r.bump("g", "c", 0)
+        r.record_details("p", {"a": 0, "b": 2})
+        assert r.as_dict() == {"p": {"b": 2}}
+
+    def test_merge_accumulates(self):
+        a = StatisticsRegistry()
+        a.bump("p", "x", 2)
+        b = StatisticsRegistry()
+        b.bump("p", "x", 3)
+        b.bump("q", "y", 1)
+        a.merge(b.as_dict())
+        assert a.get("p", "x") == 5 and a.get("q", "y") == 1
+        assert a.total("p") == 5
+
+    def test_summary_renders_llvm_stats_style(self):
+        r = StatisticsRegistry()
+        r.bump("dce", "dead-instruction", 12)
+        r.bump("mem2reg", "promoted-alloca", 3)
+        text = r.summary("Statistics Collected")
+        assert "=== Statistics Collected ===" in text
+        assert "12 dce" in text and "- dead-instruction" in text
+
+    def test_use_statistics_restores_previous(self):
+        r = StatisticsRegistry()
+        with use_statistics(r):
+            assert get_statistics() is r
+            get_statistics().bump("g", "c")
+        assert get_statistics() is NULL_STATISTICS
+        assert r.get("g", "c") == 1
+
+
+class TestInstructionChurnProperty:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_deleted_never_exceeds_before(self, seed):
+        """Over 40 random modules, the cleanup pipeline can never delete
+        more instructions than the module started with."""
+        module = RandomModuleGenerator(seed).generate()
+        expected_before = count_instructions(module)
+        registry = StatisticsRegistry()
+        with use_statistics(registry):
+            standard_cleanup_pipeline().run(module)
+        before = registry.get("module", "instructions-before")
+        deleted = registry.get("module", "instructions-deleted")
+        assert before == expected_before
+        assert 0 <= deleted <= before
+        # And the final module is consistent with the ledger: deletions
+        # minus creations account for the size change.
+        created = sum(
+            registry.get(g, "instructions-created") for g in registry.groups()
+        )
+        assert count_instructions(module) == before - deleted + created

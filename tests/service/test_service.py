@@ -128,6 +128,50 @@ class TestParallel:
         assert [c.cache_status for c in warm.comparisons] == ["hit"] * 3
 
 
+class TestTimingProvenance:
+    """compile_seconds records the compile that *produced* a row; the cost
+    of serving it from the cache lives in lookup_seconds (satellite fix:
+    the two used to be conflated in warm benchmark tables)."""
+
+    def test_warm_row_keeps_original_compile_time(self, service):
+        cold = service.compile_one("gemm", sizes=GEMM_MINI)
+        warm = service.compile_one("gemm", sizes=GEMM_MINI)
+        assert cold.cache_status == "miss" and warm.cache_status == "hit"
+        assert warm.compile_seconds == cold.compile_seconds
+        # A cache lookup is orders of magnitude cheaper than a compile;
+        # if the hit's "compile time" were actually the lookup time this
+        # would fail.
+        assert warm.compile_seconds > warm.lookup_seconds
+
+    def test_lookup_seconds_stamped_on_both_paths(self, service):
+        cold = service.compile_one("gemm", sizes=GEMM_MINI)
+        warm = service.compile_one("gemm", sizes=GEMM_MINI)
+        assert cold.lookup_seconds > 0  # the miss probe is still a lookup
+        assert warm.lookup_seconds > 0
+
+    def test_suite_report_separates_saved_and_lookup(self, service):
+        service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        warm = service.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        assert warm.saved_seconds == pytest.approx(
+            sum(c.compile_seconds for c in warm.comparisons)
+        )
+        assert warm.lookup_seconds == pytest.approx(
+            sum(c.lookup_seconds for c in warm.comparisons)
+        )
+        assert warm.saved_seconds > warm.lookup_seconds
+        assert "original compile time" in warm.summary()
+
+    def test_parallel_rows_carry_timing_provenance(self, tmp_path):
+        svc = CompilationService(cache_dir=str(tmp_path), jobs=2)
+        cold = svc.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        warm = svc.run_suite("baseline", kernels=SUBSET, size_class="MINI")
+        by_kernel = {c.kernel: c for c in cold.comparisons}
+        for row in warm.comparisons:
+            assert row.cache_status == "hit"
+            assert row.compile_seconds == by_kernel[row.kernel].compile_seconds
+            assert row.lookup_seconds > 0
+
+
 class TestMaintenance:
     def test_cache_stats_by_kernel(self, service):
         service.run_suite("baseline", kernels=["gemm", "atax"], size_class="MINI")
