@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..diagnostics.engine import Diagnostic, DiagnosticEngine, Severity
 from ..diagnostics.errors import (
     InputRejectionError,
+    LintError,
     PassExecutionError,
     PipelineConfigError,
 )
@@ -130,6 +131,7 @@ class AdaptorReport:
     auto_disabled: Sequence[str] = ()
     degradations: List[Degradation] = field(default_factory=list)
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    lint: Optional[object] = None  # Optional[repro.lint.LintReport]
 
     @property
     def total_rewrites(self) -> int:
@@ -153,6 +155,8 @@ class AdaptorReport:
             lines.append(
                 f"  {p.name:20s} {p.rewrites:5d} {p.seconds * 1e3:8.3f} ms  {detail}"
             )
+        if self.lint is not None:
+            lines.append(f"  lint: {self.lint.summary()}")
         if self.disabled:
             lines.append(f"  disabled: {', '.join(self.disabled)}")
         if self.auto_disabled:
@@ -181,9 +185,18 @@ class HLSAdaptor:
     the degradation in the report.  ``instrument`` is a hook
     ``(name, pass) -> pass`` applied to every constructed pass — used by
     :mod:`repro.testing.fault_injection` and handy for profiling wrappers.
+    ``lint`` controls the post-adaptor HLS-compatibility gate
+    (:mod:`repro.lint`): ``"gate"`` (default) lints the adapted module and
+    raises :class:`repro.diagnostics.LintError` on error-severity findings
+    — but only for a *clean* run (no passes disabled, none auto-disabled
+    by recovery: intentionally-degraded IR is expected to be dirty, and
+    the strict frontend remains the arbiter there); ``"report"`` always
+    records the verdict in ``AdaptorReport.lint`` without raising;
+    ``"off"`` skips linting entirely.
     """
 
     ON_ERROR_MODES = ("raise", "recover")
+    LINT_MODES = ("gate", "report", "off")
 
     def __init__(
         self,
@@ -193,6 +206,7 @@ class HLSAdaptor:
         reproducer_dir: Optional[str] = None,
         engine: Optional[DiagnosticEngine] = None,
         instrument: Optional[Callable[[str, ModulePass], ModulePass]] = None,
+        lint: str = "gate",
     ):
         unknown = set(disable) - set(ADAPTOR_PASS_ORDER)
         if unknown:
@@ -205,12 +219,17 @@ class HLSAdaptor:
                 f"unknown on_error mode {on_error!r}; "
                 f"valid: {list(self.ON_ERROR_MODES)}"
             )
+        if lint not in self.LINT_MODES:
+            raise PipelineConfigError(
+                f"unknown lint mode {lint!r}; valid: {list(self.LINT_MODES)}"
+            )
         self.disabled = tuple(disable)
         self.verify_each = verify_each
         self.on_error = on_error
         self.reproducer_dir = reproducer_dir
         self.engine = engine or DiagnosticEngine()
         self.instrument = instrument
+        self.lint = lint
 
     # -- pipeline assembly --------------------------------------------------------
     def _build_pass(self, name: str) -> ModulePass:
@@ -300,6 +319,9 @@ class HLSAdaptor:
 
         verify_module(module)
         module.source_flow = "mlir-adaptor"
+        lint_report = None
+        if self.lint != "off":
+            lint_report = self._lint(module, skip, degradations)
         report = AdaptorReport(
             module_name=module.name,
             passes=stats,
@@ -308,5 +330,38 @@ class HLSAdaptor:
             auto_disabled=tuple(sorted(skip - set(self.disabled))),
             degradations=degradations,
             diagnostics=list(self.engine.diagnostics),
+            lint=lint_report,
         )
         return report
+
+    def _lint(self, module: Module, skip: set, degradations: List[Degradation]):
+        """Post-adaptor HLS-compatibility verdict (and gate, when armed).
+
+        The gate only raises for a clean full-pipeline run: intentionally
+        ablated or degradation-recovered modules are *expected* to violate
+        the contract (that is what the ablation measures), so they get a
+        recorded verdict instead of an exception.
+        """
+        # Imported lazily: repro.lint's rules pull adaptor constants
+        # (intrinsic whitelist, modern-attribute sets), so a module-level
+        # import here would be circular.
+        from ..lint import run_lint
+
+        lint_report = run_lint(module)
+        for finding in lint_report.findings:
+            self.engine.warning(
+                finding.code,
+                finding.message,
+                function=finding.function,
+                instruction=finding.location,
+            )
+        gate_armed = self.lint == "gate" and not skip and not degradations
+        if gate_armed and lint_report.errors:
+            diag = self.engine.error(
+                LintError.code,
+                f"adapted module {module.name!r} failed the HLS-compatibility "
+                f"lint gate: {len(lint_report.errors)} error-severity "
+                f"finding(s) [{', '.join(lint_report.codes())}]",
+            )
+            raise LintError(diag.message, lint_report=lint_report, diagnostic=diag)
+        return lint_report

@@ -19,6 +19,7 @@ from .errors import (
     CompilationError,
     FlowError,
     InputRejectionError,
+    LintError,
     PassExecutionError,
     PassVerificationError,
     PipelineConfigError,
@@ -38,6 +39,7 @@ __all__ = [
     "CompilationError",
     "FlowError",
     "InputRejectionError",
+    "LintError",
     "PassExecutionError",
     "PassVerificationError",
     "PipelineConfigError",

@@ -45,6 +45,17 @@ ERROR_CODES: Dict[str, str] = {
     "REPRO-CACHE-001": "corrupted compilation-cache entry (degraded to recompile)",
     "REPRO-CACHE-002": "compilation-cache entry version mismatch (treated as miss)",
     "REPRO-SVC-001": "compilation-service worker failure",
+    "REPRO-LINT-000": "module failed the HLS-compatibility lint gate",
+    "REPRO-LINT-001": "lint: 'freeze' instruction survives adaptation",
+    "REPRO-LINT-002": "lint: opaque-pointer type survives adaptation",
+    "REPRO-LINT-003": "lint: 'poison' constant survives adaptation",
+    "REPRO-LINT-004": "lint: non-whitelisted intrinsic call or declaration",
+    "REPRO-LINT-005": "lint: struct-typed insertvalue/extractvalue chain",
+    "REPRO-LINT-006": "lint: non-canonical GEP shape",
+    "REPRO-LINT-007": "lint: missing or modern-dialect loop metadata",
+    "REPRO-LINT-008": "lint: interface contract violation on a top function",
+    "REPRO-LINT-009": "lint: modern attribute or fast-math spelling",
+    "REPRO-LINT-010": "lint: struct-typed SSA register or argument",
 }
 
 

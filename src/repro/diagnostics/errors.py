@@ -28,6 +28,7 @@ __all__ = [
     "ReplayError",
     "CacheError",
     "ServiceError",
+    "LintError",
 ]
 
 
@@ -130,3 +131,18 @@ class ServiceError(CompilationError):
     def __init__(self, message: str, *, kernel: Optional[str] = None, diagnostic=None):
         super().__init__(message, diagnostic=diagnostic)
         self.kernel = kernel
+
+
+class LintError(CompilationError):
+    """The post-adaptor lint gate found error-severity violations of the
+    HLS-readable-IR contract.
+
+    ``lint_report`` carries the full :class:`repro.lint.LintReport`; the
+    individual findings keep their own stable ``REPRO-LINT-*`` codes.
+    """
+
+    code = "REPRO-LINT-000"
+
+    def __init__(self, message: str, *, lint_report=None, diagnostic=None):
+        super().__init__(message, diagnostic=diagnostic)
+        self.lint_report = lint_report

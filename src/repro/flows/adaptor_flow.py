@@ -39,6 +39,11 @@ class AdaptorFlowResult:
     raw_instruction_count: int = 0  # straight out of MLIR lowering
 
     @property
+    def lint_report(self):
+        """The post-adaptor lint verdict (Optional[repro.lint.LintReport])."""
+        return self.adaptor_report.lint
+
+    @property
     def latency(self) -> int:
         return self.synth_report.latency
 
@@ -59,6 +64,7 @@ def run_adaptor_flow(
     strict_frontend: bool = True,
     on_error: str = "raise",
     reproducer_dir: Optional[str] = None,
+    lint: str = "gate",
 ) -> AdaptorFlowResult:
     """Run one kernel through the adaptor flow end to end.
 
@@ -90,6 +96,7 @@ def run_adaptor_flow(
                 disable=disable_adaptor_passes,
                 on_error=on_error,
                 reproducer_dir=reproducer_dir,
+                lint=lint,
             )
             adaptor_report = adaptor.run(ir_module)
 

@@ -102,6 +102,16 @@ class FlowComparison:
     # that produced this row, when it ran under an enabled tracer.  Rides
     # through the cache, so a hit still explains where its time went.
     trace: Optional[Dict[str, Any]] = None
+    # HLS-compatibility lint verdict of the adapted module
+    # (LintReport.to_dict()); rides through the cache with the row.
+    lint: Optional[Dict[str, Any]] = None
+
+    @property
+    def lint_clean(self) -> Optional[bool]:
+        """True/False once linted, None when the verdict is unavailable."""
+        if self.lint is None:
+            return None
+        return bool(self.lint.get("clean"))
 
     @property
     def latency_ratio(self) -> float:
@@ -117,11 +127,17 @@ class FlowComparison:
             verdict = "OK"
         else:
             verdict = "MISMATCH"
+        if self.lint_clean is None:
+            lint = "n/a"
+        elif self.lint_clean:
+            lint = "clean"
+        else:
+            lint = ",".join(self.lint.get("codes", [])) or "DIRTY"
         return (
             f"{self.kernel:<12} {self.config:<10} "
             f"{self.adaptor.latency:>10} {self.cpp.latency:>10} "
             f"{self.latency_ratio:>7.3f}  "
-            f"{verdict}"
+            f"{verdict:<8} {lint}"
         )
 
 
@@ -165,6 +181,7 @@ def compare_flows(
     seed: int = 0,
     on_error: str = "raise",
     reproducer_dir: Optional[str] = None,
+    lint: str = "gate",
 ) -> FlowComparison:
     """Build the kernel twice (each flow consumes its module), run both
     flows under the same optimisation config, and compare.
@@ -185,7 +202,11 @@ def compare_flows(
         spec_a = build_kernel(kernel_name, **sizes)
         config.apply(spec_a)
         adaptor_result = run_adaptor_flow(
-            spec_a, device=device, on_error=on_error, reproducer_dir=reproducer_dir
+            spec_a,
+            device=device,
+            on_error=on_error,
+            reproducer_dir=reproducer_dir,
+            lint=lint,
         )
 
         spec_c = build_kernel(kernel_name, **sizes)
@@ -204,6 +225,8 @@ def compare_flows(
                 cpp_result.ir_module, cpp_result.raw_instruction_count
             ),
         )
+        if adaptor_result.lint_report is not None:
+            comparison.lint = adaptor_result.lint_report.to_dict()
         if check_equivalence:
             with tracer.span("equivalence", category="stage", flow="compare"):
                 # Fresh spec for the oracle (previous two were consumed by

@@ -1,0 +1,121 @@
+"""Run the HLS-compatibility rule registry over a module.
+
+:func:`run_lint` is the single entry point used by the pipeline gate,
+the golden-snapshot guard, the fuzz invariant and the CLI.  It returns a
+:class:`LintReport` — a serialisable verdict that travels in
+``AdaptorReport``/``FlowComparison`` fields and cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..ir.module import Module
+from ..observability import get_tracer
+from .rules import LintFinding, resolve_rules
+
+__all__ = ["LintReport", "run_lint"]
+
+
+@dataclass
+class LintReport:
+    """The linter's verdict on one module."""
+
+    module_name: str
+    findings: List[LintFinding] = field(default_factory=list)
+    rules_run: int = 0
+    disabled: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all, of any severity."""
+        return not self.findings
+
+    def ok(self, fail_on: str = "error") -> bool:
+        """Verdict under a severity threshold: ``fail_on="error"`` tolerates
+        warnings; ``fail_on="warning"`` demands a fully clean module."""
+        if fail_on == "warning":
+            return self.clean
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        """Distinct violated rule codes, sorted."""
+        return sorted({f.code for f in self.findings})
+
+    def summary(self) -> str:
+        if self.clean:
+            return f"{self.module_name}: clean ({self.rules_run} rules)"
+        return (
+            f"{self.module_name}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s) [{', '.join(self.codes())}]"
+        )
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        lines.extend(f"  {f.format()}" for f in self.findings)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module_name,
+            "clean": self.clean,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "codes": self.codes(),
+            "rules_run": self.rules_run,
+            "disabled": list(self.disabled),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintReport":
+        return cls(
+            module_name=data.get("module", "<module>"),
+            findings=[
+                LintFinding.from_dict(f) for f in data.get("findings", ())
+            ],
+            rules_run=data.get("rules_run", 0),
+            disabled=list(data.get("disabled", ())),
+        )
+
+
+def run_lint(
+    module: Module,
+    select: Optional[Sequence[str]] = None,
+    disable: Sequence[str] = (),
+) -> LintReport:
+    """Lint ``module`` against the registry.
+
+    ``select`` restricts to the named rules (codes or names, None = all);
+    ``disable`` removes rules from whatever ``select`` produced.  Rules run
+    in stable code order and findings keep that order, so reports are
+    deterministic for golden/diff comparisons.
+    """
+    rules = resolve_rules(select=select, disable=disable)
+    report = LintReport(
+        module_name=module.name,
+        rules_run=len(rules),
+        disabled=sorted({r for r in disable}),
+    )
+    tracer = get_tracer()
+    with tracer.span("lint", category="lint", module=module.name) as span:
+        for rule in rules:
+            with tracer.span(rule.name, category="lint-rule", code=rule.code) as rspan:
+                found = rule.check(module)
+                rspan.set(findings=len(found))
+            report.findings.extend(found)
+        span.set(
+            rules=len(rules),
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+        )
+    return report

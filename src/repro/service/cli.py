@@ -63,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--seed", type=int, default=17, help="equivalence-input seed")
     run.add_argument(
+        "--fail-on-lint",
+        action="store_true",
+        help="exit 1 when any row's adapted module has lint findings "
+        "(the in-pipeline gate already hard-fails error-severity ones)",
+    )
+    run.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -118,6 +124,10 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     ]
     if mismatched:
         print(f"FUNCTIONAL MISMATCH: {', '.join(mismatched)}", file=sys.stderr)
+        return 1
+    if args.fail_on_lint and report.lint_clean is False:
+        dirty = ", ".join(c.kernel for c in report.lint_dirty)
+        print(f"LINT FINDINGS: {dirty}", file=sys.stderr)
         return 1
     return 0
 

@@ -36,14 +36,17 @@ __all__ = [
 #: Bump when a pass changes behaviour without changing the pass roster
 #: (the roster itself is hashed separately).  Append-only, like the
 #: diagnostic codes: never reuse an old value.
-PIPELINE_VERSION = 1
+#: 2: the post-adaptor lint gate joined the pipeline (verdicts travel in
+#: cached rows, and a gate failure must not be masked by a stale hit).
+PIPELINE_VERSION = 2
 
 #: Bump when the on-disk entry layout changes (header schema, payload
 #: encoding).  Old entries then read back as misses, not corruption.
 #: 2: FlowComparison grew ``lookup_seconds`` and the serialized
 #: observability ``trace`` — pre-observability entries would unpickle
 #: without those attributes, so they are retired wholesale.
-CACHE_FORMAT_VERSION = 2
+#: 3: FlowComparison grew the ``lint`` verdict dict.
+CACHE_FORMAT_VERSION = 3
 
 
 def _sha256(text: str) -> str:

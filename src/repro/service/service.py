@@ -113,6 +113,19 @@ class SuiteReport:
     def lookup_seconds(self) -> float:
         return sum(c.lookup_seconds for c in self.comparisons)
 
+    @property
+    def lint_dirty(self) -> List[FlowComparison]:
+        """Rows whose adapted module has lint findings (any severity)."""
+        return [c for c in self.comparisons if c.lint_clean is False]
+
+    @property
+    def lint_clean(self) -> Optional[bool]:
+        """Suite-level lint verdict: None when no row carries one."""
+        linted = [c for c in self.comparisons if c.lint_clean is not None]
+        if not linted:
+            return None
+        return all(c.lint_clean for c in linted)
+
     def summary(self) -> str:
         lines = [
             f"suite run: config={self.config} size={self.size_class} "
@@ -123,7 +136,8 @@ class SuiteReport:
             f"({self.lookup_seconds * 1e3:.1f} ms spent on lookups)",
             "",
             f"{'kernel':<12} {'cache':<6} {'compile s':>10} {'lookup ms':>10} "
-            f"{'lat(adp)':>10} {'lat(cpp)':>10} {'ratio':>7}  verdict",
+            f"{'lat(adp)':>10} {'lat(cpp)':>10} {'ratio':>7}  "
+            f"{'verdict':<8} lint",
         ]
         for c in self.comparisons:
             if c.functionally_equivalent is None:
@@ -132,11 +146,25 @@ class SuiteReport:
                 verdict = "OK"
             else:
                 verdict = "MISMATCH"
+            if c.lint_clean is None:
+                lint = "n/a"
+            elif c.lint_clean:
+                lint = "clean"
+            else:
+                lint = ",".join(c.lint.get("codes", [])) or "DIRTY"
             lines.append(
                 f"{c.kernel:<12} {c.cache_status:<6} {c.compile_seconds:>10.3f} "
                 f"{c.lookup_seconds * 1e3:>10.2f} "
                 f"{c.adaptor.latency:>10} {c.cpp.latency:>10} "
-                f"{c.latency_ratio:>7.3f}  {verdict}"
+                f"{c.latency_ratio:>7.3f}  {verdict:<8} {lint}"
+            )
+        if self.lint_clean is not None:
+            dirty = self.lint_dirty
+            lines.append(
+                "lint: all modules clean"
+                if not dirty
+                else f"lint: {len(dirty)} module(s) with findings: "
+                f"{', '.join(c.kernel for c in dirty)}"
             )
         return "\n".join(lines)
 

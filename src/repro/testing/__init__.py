@@ -20,6 +20,7 @@ from .filecheck import (
     parse_check_lines,
     run_filecheck,
 )
+from .golden import GoldenLintRefusal, write_golden_snapshot
 from .modulegen import RandomModuleGenerator
 
 __all__ = [
@@ -35,5 +36,7 @@ __all__ = [
     "CheckFailure",
     "parse_check_lines",
     "run_filecheck",
+    "GoldenLintRefusal",
+    "write_golden_snapshot",
     "RandomModuleGenerator",
 ]

@@ -13,8 +13,9 @@ Two tools for hardening the adaptor pipeline:
   intrinsics, verifier-invariant breakage — to check the pipeline
   invariant enforced by :func:`adapt_or_reject`: **every input is either
   rejected with a structured diagnostic or produces verifier-clean,
-  frontend-accepted IR**.  Anything else (a bare ``AttributeError``
-  escaping a pass, say) is a bug.
+  frontend-accepted IR that passes the HLS-compatibility linter at error
+  severity**.  Anything else (a bare ``AttributeError`` escaping a pass,
+  a lint-dirty module slipping past the frontend, say) is a bug.
 
 Everything here is deterministic given the seed — CI runs fixed seeds.
 """
@@ -340,21 +341,36 @@ def adapt_or_reject(
 ) -> Tuple[str, object]:
     """Run the pipeline invariant check on one (possibly hostile) module.
 
-    Returns ``("adapted", AdaptorReport)`` when the module came out
-    verifier-clean and frontend-accepted, or ``("rejected", error)`` when
-    a structured :class:`CompilationError` stopped it.  Any *other*
-    exception propagates — that is an invariant violation and a bug.
+    The invariant is **reject-or-adapt-and-lint-clean**: returns
+    ``("adapted", AdaptorReport)`` when the module came out
+    verifier-clean, frontend-accepted *and* free of error-severity
+    :mod:`repro.lint` findings, or ``("rejected", error)`` when a
+    structured :class:`CompilationError` stopped it on the way in.  An
+    accepted module that still carries error-severity lint findings is
+    not a rejection — it is an invariant violation, so the
+    :class:`repro.diagnostics.LintError` propagates like any other bug.
     """
     from ..adaptor import HLSAdaptor
+    from ..diagnostics.errors import LintError
     from ..hls.frontend import HLSFrontend
     from ..ir.verifier import verify_module
 
     try:
+        # lint="report": the frontend stays the arbiter of rejection (its
+        # REPRO-FRONTEND/VERIFY codes are what corpus seeds pin); the lint
+        # verdict is then enforced separately below.
         report = HLSAdaptor(
-            on_error=on_error, reproducer_dir=reproducer_dir
+            on_error=on_error, reproducer_dir=reproducer_dir, lint="report"
         ).run(module)
         verify_module(module)
         HLSFrontend(strict=True).check(module)
-        return ("adapted", report)
     except CompilationError as exc:
         return ("rejected", exc)
+    if report.lint is not None and report.lint.errors:
+        raise LintError(
+            f"pipeline invariant violated: module {module.name!r} was "
+            f"adapted and frontend-accepted but fails the linter at error "
+            f"severity [{', '.join(report.lint.codes())}]",
+            lint_report=report.lint,
+        )
+    return ("adapted", report)

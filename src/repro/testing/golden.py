@@ -1,0 +1,53 @@
+"""Guarded golden-snapshot writing.
+
+Golden ``.ll`` files are the pinned truth for adaptor output, so a
+snapshot that violates the HLS-compatibility contract must never become
+one — otherwise ``--update-goldens`` would quietly bless a regression
+and every subsequent run would diff green against broken IR.
+
+:func:`write_golden_snapshot` parses the candidate text, lints it with
+the full rule registry (:mod:`repro.lint`), and refuses to write on any
+finding — warnings included, since goldens are meant to be exemplary.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["GoldenLintRefusal", "write_golden_snapshot"]
+
+
+class GoldenLintRefusal(RuntimeError):
+    """Raised instead of writing a lint-dirty golden snapshot."""
+
+    def __init__(self, path: str, report):
+        self.path = path
+        self.lint_report = report
+        super().__init__(
+            f"refusing to update golden {path!r}: candidate snapshot is "
+            f"lint-dirty ({report.summary()}); fix the pipeline (or the "
+            f"rule) before re-pinning"
+        )
+
+
+def write_golden_snapshot(path: str, text: str):
+    """Write ``text`` to ``path`` only if it lints clean.
+
+    Returns the :class:`repro.lint.LintReport` for the written snapshot;
+    raises :class:`GoldenLintRefusal` (leaving any existing file
+    untouched) when the candidate has findings of any severity.
+    """
+    from ..ir.parser import parse_module
+    from ..lint import run_lint
+
+    module = parse_module(text)
+    module.name = os.path.basename(path)
+    report = run_lint(module)
+    if not report.clean:
+        raise GoldenLintRefusal(path, report)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return report

@@ -19,6 +19,18 @@ def pytest_addoption(parser):
 def update_goldens(request) -> bool:
     return request.config.getoption("--update-goldens")
 
+
+def pytest_collection_modifyitems(config, items):
+    """Tier wiring: everything not marked ``slow`` is tier-1.
+
+    The default ``addopts = "-m 'not slow'"`` (pyproject.toml) then makes
+    ``python -m pytest -x -q`` the fast tier-1 gate, while CI runs the
+    slow tier with ``-m slow`` in its own job.
+    """
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)
+
 from repro.ir import IRBuilder, Module
 from repro.ir import types as irt
 

@@ -1,6 +1,7 @@
 """Fault injectors, the mutation fuzzer, and the pipeline invariant:
 every input is either rejected with a structured diagnostic or produces
-verifier-clean, frontend-accepted IR."""
+verifier-clean, frontend-accepted IR that passes the HLS-compatibility
+linter at error severity."""
 
 import pytest
 
@@ -105,6 +106,7 @@ class TestPipelineInvariant:
     """The hardening contract, on a bounded seed set (CI smoke runs the
     same loop; see .github/workflows/ci.yml)."""
 
+    @pytest.mark.slow
     @pytest.mark.parametrize("seed", range(8))
     def test_reject_or_adapt_cleanly(self, tmp_path, seed):
         module = build_seed_module("gemm", NI=4, NJ=4, NK=4)
@@ -116,12 +118,35 @@ class TestPipelineInvariant:
         else:
             assert outcome == "adapted"
             verify_module(module)  # arrived verifier-clean
+            assert payload.lint is not None  # ... and carries a lint verdict
+            assert not payload.lint.errors  # ... with no error-severity findings
 
     def test_clean_seed_adapts(self, tmp_path):
         module = build_seed_module("gemm", NI=4, NJ=4, NK=4)
         outcome, report = adapt_or_reject(module, reproducer_dir=str(tmp_path))
         assert outcome == "adapted"
         assert report.total_rewrites > 0
+        assert report.lint is not None and not report.lint.errors
+
+    def test_lint_dirty_survivor_is_an_invariant_violation(self, tmp_path):
+        """A module the frontend accepts but the linter flags at error
+        severity must not come back as 'rejected' — it raises."""
+        from repro.diagnostics import LintError
+        from repro.ir import IRBuilder, Module
+        from repro.ir import types as irt
+
+        # An *unused* struct-typed argument sails past the strict frontend
+        # (which polices struct SSA chains, not signatures) but violates
+        # the struct-flat-values lint rule.
+        hostile = Module("hostile", opaque_pointers=False)
+        st = irt.struct_of(irt.f32, irt.i32)
+        fn = hostile.add_function(
+            "top", irt.function_type(irt.void, [st]), ["leak"]
+        )
+        IRBuilder(fn.add_block("entry")).ret()
+        with pytest.raises(LintError) as excinfo:
+            adapt_or_reject(hostile, reproducer_dir=str(tmp_path))
+        assert "REPRO-LINT-010" in str(excinfo.value)
 
     def test_hostile_seed_rejects_structurally(self, tmp_path):
         module = build_seed_module("gemm", NI=4, NJ=4, NK=4)

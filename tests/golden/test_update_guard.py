@@ -1,0 +1,74 @@
+"""The --update-goldens lint guard: a lint-dirty snapshot can never be
+pinned, a clean one writes through byte-for-byte."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.ir import IRBuilder, Module, print_module
+from repro.ir import types as irt
+from repro.ir.values import UndefValue
+from repro.testing import GoldenLintRefusal, write_golden_snapshot
+
+from .test_golden_ir import golden_path
+
+
+def _clean_text() -> str:
+    m = Module("guard-clean", opaque_pointers=False)
+    arr = irt.array_of(irt.f32, 4)
+    fn = m.add_function(
+        "top", irt.function_type(irt.void, [irt.pointer_to(arr)]), ["A"]
+    )
+    b = IRBuilder(fn.add_block("entry"))
+    b.gep(arr, fn.arguments[0], [b.i64_(0), b.i64_(1)], "p")
+    b.ret()
+    return print_module(m)
+
+
+def _dirty_text() -> str:
+    m = Module("guard-dirty", opaque_pointers=False)
+    fn = m.add_function("top", irt.function_type(irt.void, [irt.f32]), ["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    b.freeze(fn.arguments[0], "fr")
+    b.fadd(UndefValue(irt.f32), fn.arguments[0], "s")
+    b.ret()
+    return print_module(m)
+
+
+def test_clean_snapshot_writes_through(tmp_path):
+    path = tmp_path / "goldens" / "clean.ll"  # directory is created too
+    text = _clean_text()
+    report = write_golden_snapshot(str(path), text)
+    assert path.read_text() == text
+    assert report.clean
+
+
+def test_dirty_snapshot_is_refused(tmp_path):
+    path = tmp_path / "dirty.ll"
+    with pytest.raises(GoldenLintRefusal) as excinfo:
+        write_golden_snapshot(str(path), _dirty_text())
+    assert not path.exists()  # nothing was written
+    assert "REPRO-LINT-001" in excinfo.value.lint_report.codes()
+    assert str(path) in str(excinfo.value)
+
+
+def test_refusal_leaves_existing_golden_untouched(tmp_path):
+    path = tmp_path / "pinned.ll"
+    original = _clean_text()
+    write_golden_snapshot(str(path), original)
+    with pytest.raises(GoldenLintRefusal):
+        write_golden_snapshot(str(path), _dirty_text())
+    assert path.read_text() == original
+
+
+def test_checked_in_goldens_satisfy_the_guard(tmp_path):
+    """Every pinned snapshot must itself survive re-pinning."""
+    from .test_golden_ir import GOLDEN_KERNELS
+
+    for kernel in GOLDEN_KERNELS:
+        with open(golden_path(kernel)) as fh:
+            text = fh.read()
+        report = write_golden_snapshot(str(tmp_path / f"{kernel}.ll"), text)
+        assert report.clean, f"{kernel} golden is lint-dirty"

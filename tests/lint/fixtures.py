@@ -1,0 +1,285 @@
+"""Per-rule conformance fixtures for the HLS-compatibility linter.
+
+Every rule registered in :data:`repro.lint.LINT_RULES` must have exactly
+two entries here:
+
+* a **trigger** fixture — the smallest module that trips the rule (and,
+  when linted with ``select=[code]``, *only* that rule);
+* a **clean** fixture — the same shape done right, producing zero
+  findings for that rule.
+
+``test_conformance.py`` walks the registry and fails on any rule missing
+either fixture, so the registry can never silently outgrow its tests.
+Register with the :func:`trigger` / :func:`clean` decorators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.ir.metadata import InterfaceSpec, LoopDirectives, encode_loop_directives
+from repro.ir.values import PoisonValue, UndefValue
+
+#: code -> zero-arg callable returning a Module that trips the rule
+TRIGGERS: Dict[str, Callable[[], Module]] = {}
+#: code -> zero-arg callable returning a Module clean for the rule
+CLEANS: Dict[str, Callable[[], Module]] = {}
+
+
+def trigger(code: str):
+    def register(builder):
+        assert code not in TRIGGERS, f"duplicate trigger fixture for {code}"
+        TRIGGERS[code] = builder
+        return builder
+
+    return register
+
+
+def clean(code: str):
+    def register(builder):
+        assert code not in CLEANS, f"duplicate clean fixture for {code}"
+        CLEANS[code] = builder
+        return builder
+
+    return register
+
+
+def _fn(module: Module, params=(), names=(), fname: str = "top"):
+    """A void function plus a builder positioned in its entry block."""
+    fn = module.add_function(
+        fname, irt.function_type(irt.void, list(params)), list(names)
+    )
+    return fn, IRBuilder(fn.add_block("entry"))
+
+
+# -- REPRO-LINT-001 no-freeze -------------------------------------------------
+
+
+@trigger("REPRO-LINT-001")
+def _freeze_survives():
+    m = Module("lint-001-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.freeze(fn.arguments[0], "fr")
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-001")
+def _freeze_gone():
+    m = Module("lint-001-clean", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.fadd(fn.arguments[0], fn.arguments[0], "s")
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-002 typed-pointers --------------------------------------------
+
+
+@trigger("REPRO-LINT-002")
+def _opaque_pointers_survive():
+    m = Module("lint-002-trigger", opaque_pointers=True)
+    _, b = _fn(m, [irt.ptr], ["p"])
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-002")
+def _typed_pointers_throughout():
+    m = Module("lint-002-clean", opaque_pointers=False)
+    buf = irt.pointer_to(irt.array_of(irt.f32, 4))
+    _, b = _fn(m, [buf], ["A"])
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-003 no-poison -------------------------------------------------
+
+
+@trigger("REPRO-LINT-003")
+def _poison_operand():
+    m = Module("lint-003-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.fadd(PoisonValue(irt.f32), fn.arguments[0], "s")
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-003")
+def _undef_operand():
+    m = Module("lint-003-clean", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.fadd(UndefValue(irt.f32), fn.arguments[0], "s")
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-004 intrinsic-whitelist ---------------------------------------
+
+
+@trigger("REPRO-LINT-004")
+def _post_fork_intrinsic():
+    m = Module("lint-004-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.i32, irt.i32], ["a", "b"])
+    b.intrinsic("llvm.smax.i32", irt.i32, [fn.arguments[0], fn.arguments[1]], "m")
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-004")
+def _whitelisted_intrinsic():
+    m = Module("lint-004-clean", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.intrinsic("llvm.sqrt.f32", irt.f32, [fn.arguments[0]], "r")
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-005 no-struct-ssa ---------------------------------------------
+
+_DESCRIPTOR = irt.struct_of(irt.f32, irt.i32)
+
+
+@trigger("REPRO-LINT-005")
+def _struct_ssa_chain():
+    m = Module("lint-005-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    agg = b.insert_value(UndefValue(_DESCRIPTOR), fn.arguments[0], [0], "agg")
+    b.extract_value(agg, [0], "back")
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-005")
+def _array_aggregates_only():
+    m = Module("lint-005-clean", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    pair = irt.array_of(irt.f32, 2)
+    b.insert_value(UndefValue(pair), fn.arguments[0], [0], "agg")
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-006 gep-canonical-shape ---------------------------------------
+
+
+@trigger("REPRO-LINT-006")
+def _flattened_linear_gep():
+    m = Module("lint-006-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.pointer_to(irt.f32), irt.i64], ["p", "i"])
+    b.gep(irt.f32, fn.arguments[0], [fn.arguments[1]], "g")
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-006")
+def _structured_subscript_gep():
+    m = Module("lint-006-clean", opaque_pointers=False)
+    arr = irt.array_of(irt.f32, 4)
+    fn, b = _fn(m, [irt.pointer_to(arr), irt.i64], ["A", "i"])
+    b.gep(arr, fn.arguments[0], [b.i64_(0), fn.arguments[1]], "g")
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-007 hls-loop-metadata -----------------------------------------
+
+
+def _branch_with_loop_md(name: str, dialect: str) -> Module:
+    m = Module(name, opaque_pointers=False)
+    fn = m.add_function("top", irt.function_type(irt.void, []), [])
+    entry = fn.add_block("entry")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    br = b.br(exit_)
+    br.metadata["llvm.loop"] = encode_loop_directives(
+        LoopDirectives(pipeline=True, ii=1), dialect=dialect
+    )
+    b.position_at_end(exit_)
+    b.ret()
+    return m
+
+
+@trigger("REPRO-LINT-007")
+def _modern_loop_spelling():
+    return _branch_with_loop_md("lint-007-trigger", "modern")
+
+
+@clean("REPRO-LINT-007")
+def _hls_loop_spelling():
+    return _branch_with_loop_md("lint-007-clean", "hls")
+
+
+# -- REPRO-LINT-008 interface-contract ----------------------------------------
+
+_BUF = irt.pointer_to(irt.array_of(irt.f32, 4))
+
+
+@trigger("REPRO-LINT-008")
+def _uncollapsed_descriptor_signature():
+    m = Module("lint-008-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [_BUF, irt.i64], ["A", "A_size"])
+    b.ret()
+    # Memref provenance says the signature still carries an expanded
+    # descriptor component — and nobody derived an InterfaceSpec.
+    fn.hls_memref_args = {
+        "A": {"shape": (4,), "element_bits": 32, "components": ["A", "A_size"]}
+    }
+    return m
+
+
+@clean("REPRO-LINT-008")
+def _collapsed_interfaced_signature():
+    m = Module("lint-008-clean", opaque_pointers=False)
+    fn, b = _fn(m, [_BUF], ["A"])
+    b.ret()
+    fn.hls_memref_args = {
+        "A": {"shape": (4,), "element_bits": 32, "components": ["A"]}
+    }
+    fn.hls_interfaces = [
+        InterfaceSpec("A", "ap_memory", depth=4, element_bits=32, dims=(4,))
+    ]
+    return m
+
+
+# -- REPRO-LINT-009 no-modern-attributes --------------------------------------
+
+
+@trigger("REPRO-LINT-009")
+def _modern_attributes_survive():
+    m = Module("lint-009-trigger", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.ret()
+    fn.attributes.add("willreturn")
+    fn.arguments[0].attributes.add("noundef")
+    return m
+
+
+@clean("REPRO-LINT-009")
+def _old_fork_attributes_only():
+    m = Module("lint-009-clean", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    b.ret()
+    fn.attributes.add("nounwind")
+    return m
+
+
+# -- REPRO-LINT-010 struct-flat-values ----------------------------------------
+
+
+@trigger("REPRO-LINT-010")
+def _struct_typed_argument():
+    m = Module("lint-010-trigger", opaque_pointers=False)
+    _, b = _fn(m, [_DESCRIPTOR], ["s"])
+    b.ret()
+    return m
+
+
+@clean("REPRO-LINT-010")
+def _scalar_signature():
+    m = Module("lint-010-clean", opaque_pointers=False)
+    _, b = _fn(m, [irt.f32, irt.i32], ["x", "n"])
+    b.ret()
+    return m

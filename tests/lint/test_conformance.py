@@ -1,0 +1,126 @@
+"""The conformance meta-test: the rule registry and its fixture set are
+locked together.
+
+Every rule in :data:`repro.lint.LINT_RULES` must ship one minimal
+triggering module and one clean module (``fixtures.py``); every fixture
+must belong to a registered rule; every code must be spelled into the
+diagnostics registry.  Adding a rule without fixtures — or a fixture
+without a rule — fails here before anything else runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import LINT_RULES, all_rules, get_rule, run_lint
+from repro.lint.rules import SEVERITIES
+
+from .fixtures import CLEANS, TRIGGERS
+
+ALL_CODES = sorted(LINT_RULES)
+
+
+# -- registry <-> fixture lockstep --------------------------------------------
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_every_rule_has_a_trigger_fixture(code):
+    assert code in TRIGGERS, (
+        f"rule {code} ({LINT_RULES[code].name}) has no triggering fixture; "
+        f"add one to tests/lint/fixtures.py"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_every_rule_has_a_clean_fixture(code):
+    assert code in CLEANS, (
+        f"rule {code} ({LINT_RULES[code].name}) has no clean fixture; "
+        f"add one to tests/lint/fixtures.py"
+    )
+
+
+def test_no_orphan_fixtures():
+    assert set(TRIGGERS) <= set(LINT_RULES), (
+        f"trigger fixtures for unregistered rules: "
+        f"{sorted(set(TRIGGERS) - set(LINT_RULES))}"
+    )
+    assert set(CLEANS) <= set(LINT_RULES), (
+        f"clean fixtures for unregistered rules: "
+        f"{sorted(set(CLEANS) - set(LINT_RULES))}"
+    )
+
+
+# -- the fixtures actually discriminate ---------------------------------------
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_trigger_fixture_trips_its_rule(code):
+    report = run_lint(TRIGGERS[code](), select=[code])
+    assert report.findings, f"trigger fixture for {code} produced no findings"
+    assert all(f.code == code for f in report.findings)
+    rule = LINT_RULES[code]
+    assert all(f.severity == rule.severity for f in report.findings)
+    assert all(f.rule == rule.name for f in report.findings)
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_clean_fixture_passes_its_rule(code):
+    report = run_lint(CLEANS[code](), select=[code])
+    assert not report.findings, (
+        f"clean fixture for {code} is not clean: "
+        f"{[f.format() for f in report.findings]}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_trigger_fixture_visible_in_full_lint(code):
+    """The default (all-rules) run must surface the same violation."""
+    report = run_lint(TRIGGERS[code]())
+    assert code in report.codes()
+
+
+# -- registry hygiene ---------------------------------------------------------
+
+
+def test_codes_are_well_formed_and_ordered():
+    for rule in all_rules():
+        assert rule.code.startswith("REPRO-LINT-")
+        assert rule.code[11:].isdigit() and len(rule.code[11:]) == 3
+        assert rule.severity in SEVERITIES
+        assert rule.description.strip()
+    assert [r.code for r in all_rules()] == ALL_CODES
+
+
+def test_rule_names_are_unique_and_resolvable():
+    names = [r.name for r in all_rules()]
+    assert len(names) == len(set(names))
+    for rule in all_rules():
+        assert get_rule(rule.name) is rule
+        assert get_rule(rule.code) is rule
+
+
+def test_every_code_is_in_the_diagnostics_registry():
+    """Gate failures and per-finding warnings route through the engine,
+    which validates codes against ERROR_CODES — keep them registered."""
+    from repro.diagnostics.engine import ERROR_CODES
+
+    assert "REPRO-LINT-000" in ERROR_CODES  # the gate's own failure code
+    for code in ALL_CODES:
+        assert code in ERROR_CODES, f"{code} missing from ERROR_CODES"
+
+
+def test_registry_covers_the_contract():
+    """The frontend's hard rejections all have an error-severity rule."""
+    by_name = {r.name: r for r in all_rules()}
+    for name in (
+        "no-freeze",
+        "typed-pointers",
+        "no-poison",
+        "intrinsic-whitelist",
+        "no-struct-ssa",
+        "struct-flat-values",
+    ):
+        assert by_name[name].severity == "error"
+    for name in ("gep-canonical-shape", "hls-loop-metadata",
+                 "interface-contract", "no-modern-attributes"):
+        assert by_name[name].severity == "warning"

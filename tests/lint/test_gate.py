@@ -1,0 +1,122 @@
+"""The post-adaptor lint gate: modes, arming rules, and wiring into the
+flow and comparison layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptor import HLSAdaptor
+from repro.diagnostics import LintError
+from repro.diagnostics.errors import PipelineConfigError
+from repro.ir import IRBuilder
+from repro.ir import types as irt
+from repro.ir.transforms.pass_manager import ModulePass
+from repro.ir.values import UndefValue
+from repro.testing import build_seed_module
+
+
+def _seed():
+    return build_seed_module("gemm", NI=4, NJ=4, NK=4)
+
+
+class _InjectFreeze(ModulePass):
+    """Wraps a real pass; after it runs, smuggles a ``freeze`` into the
+    module — adapted output that the gate must refuse to bless."""
+
+    def __init__(self, inner: ModulePass):
+        self.inner = inner
+        self.name = inner.name
+
+    def run_on_module(self, module, stats):
+        self.inner.run_on_module(module, stats)
+        fn = module.defined_functions()[0]
+        b = IRBuilder()
+        b.position_before(fn.entry.instructions[-1])
+        b.freeze(UndefValue(irt.f32), "sneaky")
+
+
+def _sabotage(name: str, pass_: ModulePass) -> ModulePass:
+    # Inject after the last pass so no downstream cleanup can save us.
+    return _InjectFreeze(pass_) if name == "final-dce" else pass_
+
+
+class TestGateModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PipelineConfigError):
+            HLSAdaptor(lint="bogus")
+
+    def test_off_records_no_verdict(self):
+        report = HLSAdaptor(lint="off").run(_seed())
+        assert report.lint is None
+
+    def test_default_gate_passes_clean_output(self):
+        report = HLSAdaptor().run(_seed())
+        assert report.lint is not None
+        assert not report.lint.errors
+        assert "lint:" in report.summary()
+
+    def test_gate_raises_on_lint_dirty_output(self, tmp_path):
+        adaptor = HLSAdaptor(instrument=_sabotage, lint="gate")
+        with pytest.raises(LintError) as excinfo:
+            adaptor.run(_seed())
+        exc = excinfo.value
+        assert exc.code == "REPRO-LINT-000"
+        assert exc.lint_report is not None
+        assert "REPRO-LINT-001" in exc.lint_report.codes()
+
+    def test_report_mode_records_but_does_not_raise(self):
+        report = HLSAdaptor(instrument=_sabotage, lint="report").run(_seed())
+        assert report.lint is not None
+        assert report.lint.errors
+        assert "REPRO-LINT-001" in report.lint.codes()
+
+    def test_gate_disarmed_when_passes_are_disabled(self):
+        """Ablation runs legitimately produce non-conforming IR; the gate
+        must not turn every ablation experiment into a hard failure."""
+        adaptor = HLSAdaptor(
+            disable=["attr-scrub"], instrument=_sabotage, lint="gate"
+        )
+        report = adaptor.run(_seed())  # must not raise
+        assert report.lint is not None
+        assert report.lint.errors  # ... but the verdict is still recorded
+
+
+class TestFlowWiring:
+    def test_adaptor_flow_carries_lint_report(self):
+        from repro.flows import run_adaptor_flow
+        from repro.workloads import build_kernel
+
+        result = run_adaptor_flow(build_kernel("gemm", NI=4, NJ=4, NK=4))
+        assert result.lint_report is not None
+        assert result.lint_report.clean
+
+    def test_adaptor_flow_lint_off(self):
+        from repro.flows import run_adaptor_flow
+        from repro.workloads import build_kernel
+
+        result = run_adaptor_flow(
+            build_kernel("gemm", NI=4, NJ=4, NK=4), lint="off"
+        )
+        assert result.lint_report is None
+
+    def test_comparison_row_shows_lint_verdict(self):
+        from repro.flows.compare import compare_flows
+
+        comparison = compare_flows(
+            "gemm", {"NI": 4, "NJ": 4, "NK": 4}, check_equivalence=False
+        )
+        assert comparison.lint is not None
+        assert comparison.lint_clean is True
+        assert "clean" in comparison.row()
+
+    def test_comparison_without_lint_says_na(self):
+        from repro.flows.compare import compare_flows
+
+        comparison = compare_flows(
+            "gemm",
+            {"NI": 4, "NJ": 4, "NK": 4},
+            check_equivalence=False,
+            lint="off",
+        )
+        assert comparison.lint is None
+        assert comparison.lint_clean is None

@@ -1,0 +1,72 @@
+"""Suite-wide acceptance sweep: every MINI kernel is lint-clean after
+the adaptor and measurably lint-dirty before it.
+
+The dirty side is what makes the clean side meaningful — if raw lowered
+IR tripped nothing, a clean post-adaptor verdict would prove nothing
+about the rules.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.lint import LINT_RULES
+from repro.workloads.suite import SUITE_SIZES
+
+KERNELS = sorted(SUITE_SIZES["MINI"])
+
+# Constructs the MLIR lowering always emits and the adaptor must erase:
+# opaque pointers, struct-SSA descriptor chains, flattened GEPs, modern
+# loop-metadata spellings, and the expanded memref signature.
+EXPECTED_PRE_CODES = {
+    "REPRO-LINT-002",
+    "REPRO-LINT-005",
+    "REPRO-LINT-006",
+    "REPRO-LINT-007",
+    "REPRO-LINT-008",
+}
+
+
+@functools.lru_cache(maxsize=None)
+def _lint_both(kernel: str):
+    """(pre-adaptor codes, post-adaptor report dict) — one compile each."""
+    from repro.adaptor import HLSAdaptor
+    from repro.flows import OptimizationConfig
+    from repro.ir.transforms import standard_cleanup_pipeline
+    from repro.lint import run_lint
+    from repro.mlir.passes import convert_to_llvm, lowering_pipeline
+    from repro.workloads import build_kernel
+
+    spec = build_kernel(kernel, **SUITE_SIZES["MINI"][kernel])
+    OptimizationConfig.optimized(ii=1).apply(spec)
+    lowering_pipeline().run(spec.module)
+    module = convert_to_llvm(spec.module)
+    standard_cleanup_pipeline().run(module)
+    pre = run_lint(module)
+    HLSAdaptor(lint="off").run(module)
+    post = run_lint(module)
+    return frozenset(pre.codes()), post.to_dict()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_post_adaptor_is_lint_clean(kernel):
+    _, post = _lint_both(kernel)
+    assert post["clean"], (
+        f"{kernel} adapts to lint-dirty IR: {post['codes']}"
+    )
+    assert post["rules_run"] == len(LINT_RULES)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pre_adaptor_is_lint_dirty_on_at_least_five_rules(kernel):
+    pre_codes, _ = _lint_both(kernel)
+    assert len(pre_codes) >= 5, (
+        f"{kernel} pre-adaptor trips only {sorted(pre_codes)}"
+    )
+    assert EXPECTED_PRE_CODES <= pre_codes
+
+
+def test_suite_has_fifteen_kernels():
+    assert len(KERNELS) == 15

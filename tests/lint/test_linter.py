@@ -1,0 +1,134 @@
+"""LintReport semantics, serialisation, and rule-set resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import (
+    LintReport,
+    all_rules,
+    get_rule,
+    lint_rule,
+    resolve_rules,
+    run_lint,
+)
+
+from .fixtures import TRIGGERS
+
+
+class TestReport:
+    def test_error_trigger_fails_default_threshold(self):
+        report = run_lint(TRIGGERS["REPRO-LINT-001"]())
+        assert report.errors and not report.clean
+        assert not report.ok()
+
+    def test_warning_trigger_passes_error_threshold_only(self):
+        # gep-canonical-shape is warning-severity: tolerated at the
+        # default threshold, fatal under --fail-on=warning.
+        report = run_lint(TRIGGERS["REPRO-LINT-006"](), select=["REPRO-LINT-006"])
+        assert report.warnings and not report.errors
+        assert report.ok(fail_on="error")
+        assert not report.ok(fail_on="warning")
+
+    def test_clean_report(self):
+        from repro.ir import Module
+
+        report = run_lint(Module("empty", opaque_pointers=False))
+        assert report.clean and report.ok("warning")
+        assert report.rules_run == len(all_rules())
+        assert "clean" in report.summary()
+
+    def test_codes_sorted_distinct(self):
+        report = run_lint(TRIGGERS["REPRO-LINT-002"]())
+        codes = report.codes()
+        assert codes == sorted(set(codes))
+        assert "REPRO-LINT-002" in codes
+
+    def test_render_carries_findings(self):
+        report = run_lint(TRIGGERS["REPRO-LINT-001"](), select=["no-freeze"])
+        text = report.render()
+        assert "REPRO-LINT-001" in text and "no-freeze" in text
+        assert report.summary() in text
+
+    def test_dict_roundtrip(self):
+        report = run_lint(TRIGGERS["REPRO-LINT-010"](), disable=["no-poison"])
+        data = report.to_dict()
+        assert data["clean"] is False
+        assert data["codes"] == report.codes()
+        back = LintReport.from_dict(data)
+        assert back.module_name == report.module_name
+        assert back.disabled == report.disabled
+        assert [f.to_dict() for f in back.findings] == data["findings"]
+        assert back.codes() == report.codes()
+
+    def test_findings_deterministically_ordered(self):
+        module_a = TRIGGERS["REPRO-LINT-002"]()
+        module_b = TRIGGERS["REPRO-LINT-002"]()
+        a = [f.to_dict() for f in run_lint(module_a).findings]
+        b = [f.to_dict() for f in run_lint(module_b).findings]
+        assert a == b
+
+
+class TestResolution:
+    def test_select_by_code_and_name_agree(self):
+        by_code = resolve_rules(select=["REPRO-LINT-001"])
+        by_name = resolve_rules(select=["no-freeze"])
+        assert by_code == by_name == [get_rule("REPRO-LINT-001")]
+
+    def test_disable_removes_from_selection(self):
+        rules = resolve_rules(disable=["no-freeze", "REPRO-LINT-002"])
+        codes = {r.code for r in rules}
+        assert "REPRO-LINT-001" not in codes
+        assert "REPRO-LINT-002" not in codes
+        assert len(rules) == len(all_rules()) - 2
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            resolve_rules(select=["no-such-rule"])
+        with pytest.raises(KeyError):
+            resolve_rules(disable=["REPRO-LINT-999"])
+
+    def test_run_lint_records_disabled(self):
+        report = run_lint(TRIGGERS["REPRO-LINT-001"](), disable=["no-freeze"])
+        assert report.disabled == ["no-freeze"]
+        assert "REPRO-LINT-001" not in report.codes()
+
+
+class TestRegistration:
+    """The decorator rejects malformed registrations before they land."""
+
+    def test_bad_code_format(self):
+        with pytest.raises(ValueError):
+            lint_rule("LINT-11", "x", "error", "desc")(lambda m: iter(()))
+
+    def test_bad_severity(self):
+        with pytest.raises(ValueError):
+            lint_rule("REPRO-LINT-099", "x", "fatal", "desc")(lambda m: iter(()))
+
+    def test_empty_description(self):
+        with pytest.raises(ValueError):
+            lint_rule("REPRO-LINT-099", "x", "error", "  ")(lambda m: iter(()))
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError):
+            lint_rule("REPRO-LINT-001", "x", "error", "desc")(lambda m: iter(()))
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError):
+            lint_rule("REPRO-LINT-099", "no-freeze", "error", "d")(
+                lambda m: iter(())
+            )
+
+
+class TestObservability:
+    def test_lint_emits_spans(self):
+        from repro.observability import Tracer, use_tracer
+
+        tracer = Tracer(name="lint-test")
+        with use_tracer(tracer):
+            run_lint(TRIGGERS["REPRO-LINT-001"]())
+        roots = tracer.roots
+        assert any(s.name == "lint" for s in roots)
+        lint_span = next(s for s in roots if s.name == "lint")
+        child_codes = {c.args.get("code") for c in lint_span.children}
+        assert "REPRO-LINT-001" in child_codes

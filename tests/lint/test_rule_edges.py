@@ -1,0 +1,137 @@
+"""Secondary matcher branches the minimal conformance fixtures don't
+reach: each rule's less-common violation shapes still fire."""
+
+from __future__ import annotations
+
+from repro.ir import IRBuilder, Module
+from repro.ir import types as irt
+from repro.ir.metadata import InterfaceSpec, MDNode, MDString
+from repro.ir.values import UndefValue
+from repro.lint import run_lint
+
+
+def _fn(module, params=(), names=(), fname="top"):
+    fn = module.add_function(
+        fname, irt.function_type(irt.void, list(params)), list(names)
+    )
+    return fn, IRBuilder(fn.add_block("entry"))
+
+
+def _messages(module, code):
+    return [f.message for f in run_lint(module, select=[code]).findings]
+
+
+def test_typed_pointers_flags_opaque_instruction_results():
+    m = Module("edge", opaque_pointers=True)
+    _, b = _fn(m)
+    b.alloca(irt.f32, name="slot")  # produces an opaque ptr in this mode
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-002")
+    assert any("produces an opaque pointer" in msg for msg in msgs)
+
+
+def test_gep_of_gep_chain_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    arr = irt.array_of(irt.f32, 4)
+    fn, b = _fn(m, [irt.pointer_to(arr)], ["A"])
+    inner = b.gep(arr, fn.arguments[0], [b.i64_(0), b.i64_(0)], "inner")
+    b.gep(irt.f32, inner, [b.i64_(1)], "outer")
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-006")
+    assert any("GEP-of-GEP" in msg for msg in msgs)
+
+
+def test_aggregate_gep_without_leading_zero_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    arr = irt.array_of(irt.f32, 4)
+    fn, b = _fn(m, [irt.pointer_to(arr), irt.i64], ["A", "i"])
+    b.gep(arr, fn.arguments[0], [fn.arguments[1], b.i64_(0)], "g")
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-006")
+    assert any("constant-zero index" in msg for msg in msgs)
+
+
+def test_loop_metadata_on_non_branch_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    s = b.fadd(fn.arguments[0], fn.arguments[0], "s")
+    from repro.ir.metadata import LoopDirectives, encode_loop_directives
+
+    s.metadata["llvm.loop"] = encode_loop_directives(
+        LoopDirectives(pipeline=True, ii=1), dialect="hls"
+    )
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-007")
+    assert any("non-branch" in msg for msg in msgs)
+
+
+def test_undecodable_loop_node_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    fn = m.add_function("top", irt.function_type(irt.void, []), [])
+    entry, exit_ = fn.add_block("entry"), fn.add_block("exit")
+    b = IRBuilder(entry)
+    br = b.br(exit_)
+    # Two operands, neither a decodable directive in either dialect.
+    br.metadata["llvm.loop"] = MDNode(
+        [None, MDNode([MDString("llvm.made.up.key")])], distinct=True
+    )
+    b.position_at_end(exit_)
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-007")
+    assert any("no decodable directive" in msg for msg in msgs)
+
+
+def test_interface_spec_naming_no_argument_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    buf = irt.pointer_to(irt.array_of(irt.f32, 4))
+    fn, b = _fn(m, [buf], ["A"])
+    b.ret()
+    fn.hls_interfaces = [InterfaceSpec("ghost", "ap_memory")]
+    msgs = _messages(m, "REPRO-LINT-008")
+    assert any("names no" in msg for msg in msgs)
+
+
+def test_non_array_ap_memory_buffer_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    fn, b = _fn(m, [irt.pointer_to(irt.f32)], ["A"])
+    b.ret()
+    fn.hls_interfaces = [InterfaceSpec("A", "ap_memory")]
+    msgs = _messages(m, "REPRO-LINT-008")
+    assert any("not an array-typed" in msg for msg in msgs)
+
+
+def test_scalar_interface_modes_are_not_policed():
+    m = Module("edge", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["alpha"])
+    b.ret()
+    fn.hls_interfaces = [InterfaceSpec("alpha", "s_axilite")]
+    assert not _messages(m, "REPRO-LINT-008")
+
+
+def test_modern_fast_math_flags_are_flagged():
+    m = Module("edge", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    s = b.fadd(fn.arguments[0], fn.arguments[0], "s")
+    s.fast_math.add("reassoc")
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-009")
+    assert any("fast-math" in msg for msg in msgs)
+
+
+def test_classic_fast_math_flags_pass():
+    m = Module("edge", opaque_pointers=False)
+    fn, b = _fn(m, [irt.f32], ["x"])
+    s = b.fadd(fn.arguments[0], fn.arguments[0], "s")
+    s.fast_math.add("fast")
+    b.ret()
+    assert not _messages(m, "REPRO-LINT-009")
+
+
+def test_struct_typed_register_is_flagged():
+    m = Module("edge", opaque_pointers=False)
+    st = irt.struct_of(irt.f32, irt.i32)
+    fn, b = _fn(m, [irt.i1], ["c"])
+    b.select(fn.arguments[0], UndefValue(st), UndefValue(st), "sel")
+    b.ret()
+    msgs = _messages(m, "REPRO-LINT-010")
+    assert any("struct-typed SSA register" in msg for msg in msgs)

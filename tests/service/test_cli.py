@@ -59,6 +59,17 @@ class TestRunSuite:
         assert "hit" in out
         assert "100% hit rate" in out
 
+    def test_fail_on_lint_passes_on_clean_suite(self, capsys, cache_dir):
+        code, out, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm",
+            "--fail-on-lint",
+        )
+        assert code == 0
+        assert "LINT FINDINGS" not in err
+        assert "lint: all modules clean" in out
+
     def test_unknown_kernel_exits_2(self, capsys, cache_dir):
         code, _, err = run_cli(
             capsys,
@@ -68,6 +79,7 @@ class TestRunSuite:
         assert code == 2
         assert "REPRO-CFG" in err or "error[" in err
 
+    @pytest.mark.slow
     def test_parallel_jobs_flag(self, capsys, cache_dir):
         code, out, _ = run_cli(
             capsys,

@@ -103,6 +103,7 @@ class TestInvalidation:
         assert service.compile_one("gemm", sizes=GEMM_MINI, seed=1).cache_status == "hit"
 
 
+@pytest.mark.slow
 class TestParallel:
     def test_parallel_run_matches_serial(self, tmp_path):
         serial = CompilationService(cache_dir=str(tmp_path / "a"), jobs=1)
@@ -161,6 +162,7 @@ class TestTimingProvenance:
         assert warm.saved_seconds > warm.lookup_seconds
         assert "original compile time" in warm.summary()
 
+    @pytest.mark.slow
     def test_parallel_rows_carry_timing_provenance(self, tmp_path):
         svc = CompilationService(cache_dir=str(tmp_path), jobs=2)
         cold = svc.run_suite("baseline", kernels=SUBSET, size_class="MINI")
@@ -170,6 +172,41 @@ class TestTimingProvenance:
             assert row.cache_status == "hit"
             assert row.compile_seconds == by_kernel[row.kernel].compile_seconds
             assert row.lookup_seconds > 0
+
+
+class TestLintAggregation:
+    def test_rows_carry_lint_verdicts_and_suite_is_clean(self, service):
+        report = service.run_suite("baseline", kernels=["gemm"], size_class="MINI")
+        (row,) = report.comparisons
+        assert row.lint is not None and row.lint_clean is True
+        assert report.lint_clean is True and not report.lint_dirty
+        assert "lint: all modules clean" in report.summary()
+        assert "clean" in row.row()
+
+    def test_lint_verdict_survives_the_cache(self, service):
+        service.run_suite("baseline", kernels=["gemm"], size_class="MINI")
+        warm = service.run_suite("baseline", kernels=["gemm"], size_class="MINI")
+        (row,) = warm.comparisons
+        assert row.cache_status == "hit"
+        assert row.lint is not None and row.lint_clean is True
+
+    def test_dirty_row_flips_the_suite_verdict(self, service):
+        report = service.run_suite("baseline", kernels=["gemm"], size_class="MINI")
+        (row,) = report.comparisons
+        # A warning-severity finding passes the in-pipeline gate but must
+        # still surface in the suite verdict (what --fail-on-lint keys on).
+        row.lint = {
+            "clean": False,
+            "errors": 0,
+            "warnings": 1,
+            "codes": ["REPRO-LINT-009"],
+            "findings": [],
+        }
+        assert row.lint_clean is False
+        assert report.lint_clean is False
+        assert report.lint_dirty == [row]
+        assert "REPRO-LINT-009" in row.row()
+        assert "gemm" in report.summary().split("lint:")[-1]
 
 
 class TestMaintenance:
