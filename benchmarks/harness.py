@@ -95,6 +95,29 @@ def _run_suite(config_name: str):
     )
 
 
+def run_dse(kernel: str, space: str = "tiny", size_class: str = "MINI"):
+    """Explore ``kernel``'s directive space through the shared cache.
+
+    The DSE harness mode: the frontier's two extremes reproduce the
+    paper's optimised-vs-unoptimised comparison (``baseline`` is the
+    cheapest/slowest anchor, the most aggressive surviving point the
+    fastest/most expensive).  Uses MINI sizes by default — a sweep wants
+    many fast points, and the SMALL-size tables already cover scale.
+    """
+    from repro.dse import explore
+
+    report = explore(
+        kernel,
+        size_class=size_class,
+        space=space,
+        service=SERVICE,
+        check_equivalence=False,
+        seed=17,
+    )
+    write_result(f"dse_{kernel}_{size_class}", report.summary())
+    return report
+
+
 def write_result(name: str, text: str) -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")

@@ -1,0 +1,63 @@
+"""DSE harness mode [reconstructed]: the Pareto frontier's two extremes
+reproduce the paper's optimised-vs-unoptimised comparison — the
+undirected ``baseline`` anchors the cheap/slow end, and the most
+aggressive surviving directive point anchors the fast/expensive end, with
+the paper's ``optimized`` recipe on the frontier between them."""
+
+from .harness import render_table, run_dse, write_result
+
+KERNELS = ["gemm", "atax", "jacobi_2d"]
+
+
+def test_dse_frontier_extremes(benchmark):
+    reports = benchmark.pedantic(
+        lambda: [run_dse(kernel, space="default") for kernel in KERNELS],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for report in reports:
+        frontier = report.frontier  # cheapest-latency first
+        assert frontier, f"{report.kernel}: empty frontier"
+        names = [p.name for p in frontier]
+        assert "baseline" in names, f"{report.kernel}: baseline fell off"
+        assert "optimized" in names, f"{report.kernel}: optimized fell off"
+
+        fastest, slowest = frontier[0], frontier[-1]
+        baseline = report.point("baseline")
+        optimized = report.point("optimized")
+        # The slow extreme is the undirected baseline (nothing explored
+        # may be both slower and cheaper), and the fast extreme beats or
+        # matches the paper's single optimised recipe.
+        assert slowest.latency == baseline.latency
+        assert fastest.latency <= optimized.latency < baseline.latency
+        # Latency is bought with area: the fast extreme spends at least
+        # as much LUT as the slow one.
+        assert fastest.lut >= slowest.lut
+
+        rows.append(
+            [
+                report.kernel,
+                len(frontier),
+                baseline.latency,
+                optimized.latency,
+                fastest.name,
+                fastest.latency,
+                f"{baseline.latency / max(fastest.latency, 1):.2f}x",
+            ]
+        )
+    text = render_table(
+        "DSE [reconstructed]: frontier extremes vs the paper's two configs",
+        ["kernel", "front", "baseline", "optimized", "best point", "best", "gap"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("dse_frontier", text)
+
+
+def test_dse_rerun_is_warm():
+    """A repeated exploration is answered from the persistent cache."""
+    first = run_dse("gemm", space="default")
+    second = run_dse("gemm", space="default")
+    assert second.cache_misses == 0
+    assert second.cache_hits == len(first.points)

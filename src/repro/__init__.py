@@ -1,6 +1,14 @@
 """repro — a full-system reproduction of "The Support of MLIR HLS Adaptor
 for LLVM IR" (ICPP 2022 Workshops).
 
+Sixty-second tour::
+
+    import repro
+    print(repro.compile_kernel("gemm", size="MINI", config="optimized").summary())
+    print(repro.explore("gemm", size="MINI").summary())
+
+(Or from a shell: ``python -m repro dse gemm --size MINI --jobs 4``.)
+
 Layer map (bottom-up):
 
 * :mod:`repro.ir` — mini-LLVM IR substrate (SSA IR, parser/printer,
@@ -13,28 +21,25 @@ Layer map (bottom-up):
   binding, csynth-style reports).
 * :mod:`repro.hlscpp` — the baseline flow (HLS C++ codegen + C frontend).
 * :mod:`repro.flows` — end-to-end drivers and the comparison harness.
-* :mod:`repro.workloads` — PolyBench kernels with NumPy oracles.
-* :mod:`repro.service` — parallel, persistently-cached batch compilation
-  over the flows (``python -m repro.service run-suite --jobs 4``).
-
-Sixty-second tour::
-
-    from repro.adaptor import HLSAdaptor
-    from repro.hls import synthesize
-    from repro.ir.transforms import standard_cleanup_pipeline
-    from repro.mlir.passes import convert_to_llvm, lowering_pipeline
-    from repro.workloads import build_kernel
-
-    spec = build_kernel("gemm", NI=8, NJ=8, NK=8)
-    lowering_pipeline().run(spec.module)
-    ir_module = convert_to_llvm(spec.module)   # modern IR: rejected by HLS
-    standard_cleanup_pipeline().run(ir_module)
-    HLSAdaptor().run(ir_module)                # now HLS-readable
-    print(synthesize(ir_module).summary())
+* :mod:`repro.workloads` — PolyBench kernels with NumPy oracles and
+  per-kernel directive-space descriptors.
+* :mod:`repro.diagnostics` — stable REPRO-* codes, crash reproducers.
+* :mod:`repro.service` — parallel, persistently-cached batch compilation.
+* :mod:`repro.lint` — static HLS-compatibility linter (REPRO-LINT-*).
+* :mod:`repro.observability` — tracer spans, pass statistics, Chrome
+  trace export.
+* :mod:`repro.dse` — design-space exploration: directive sweeps reduced
+  to Pareto frontiers over the cached service.
+* :mod:`repro.api` — the two-function facade re-exported here
+  (:func:`compile_kernel`, :func:`explore`).
+* :mod:`repro.testing` — fault injection, fuzzing, golden snapshots.
+* :mod:`repro.cli` — the unified ``python -m repro`` command line.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
+#: Every subpackage (tests assert this matches the filesystem), then the
+#: facade names.
 __all__ = [
     "ir",
     "mlir",
@@ -45,5 +50,35 @@ __all__ = [
     "workloads",
     "diagnostics",
     "service",
+    "lint",
+    "observability",
+    "dse",
     "testing",
+    "api",
+    "cli",
+    "compile_kernel",
+    "explore",
+    "CompileResult",
 ]
+
+_FACADE = {"compile_kernel", "explore", "CompileResult"}
+
+
+def __getattr__(name):
+    """Lazy facade re-exports (PEP 562).
+
+    ``repro.compile_kernel`` / ``repro.explore`` resolve through
+    :mod:`repro.api` on first touch, so ``import repro`` stays cheap and
+    the subpackage import graph stays acyclic.
+    """
+    if name in _FACADE:
+        from . import api
+
+        value = getattr(api, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,169 @@
+"""The one-stop facade: compile a kernel, or explore its design space.
+
+Everything underneath — MLIR lowering, IR cleanup, the HLS adaptor, the
+strict HLS frontend, scheduling/binding, linting, tracing — stays fully
+scriptable through its own package, but the two questions users actually
+arrive with have two functions:
+
+* :func:`compile_kernel` — "what does this kernel synthesise to under
+  this config?" → a :class:`CompileResult` (latency, resources, lint
+  verdict, optional span trace).
+* :func:`explore` — "what *could* it synthesise to?" → a
+  :class:`repro.dse.DSEReport` (Pareto frontier over the directive
+  space, budgeted best point, warm-cached between calls).
+
+Both are re-exported from the top-level :mod:`repro` package::
+
+    import repro
+    result = repro.compile_kernel("gemm", size="MINI", config="optimized")
+    report = repro.explore("gemm", size="MINI", budget={"dsp": 16})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["CompileResult", "compile_kernel", "explore"]
+
+
+@dataclass
+class CompileResult:
+    """One kernel, one config, through the paper's adaptor flow."""
+
+    kernel: str
+    config: str
+    size_class: str
+    device: str
+    latency: int
+    resources: Dict[str, int]
+    utilization: Dict[str, float]
+    lint_clean: Optional[bool]
+    degraded: bool
+    # The full flow result (IR module, adaptor + synthesis reports,
+    # per-stage timings) for callers that want to keep digging.
+    flow: Any = None
+    # Serialized span tree when ``trace=True`` was requested.
+    trace: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "config": self.config,
+            "size_class": self.size_class,
+            "device": self.device,
+            "latency": self.latency,
+            "resources": dict(self.resources),
+            "utilization": {k: round(v, 3) for k, v in self.utilization.items()},
+            "lint_clean": self.lint_clean,
+            "degraded": self.degraded,
+        }
+
+    def summary(self) -> str:
+        util = ", ".join(
+            f"{key}={self.resources.get(key, 0)}"
+            for key in ("lut", "ff", "dsp", "bram_18k")
+        )
+        lint = (
+            "n/a" if self.lint_clean is None
+            else "clean" if self.lint_clean else "DIRTY"
+        )
+        return (
+            f"{self.kernel} [{self.config}, {self.size_class}, {self.device}]: "
+            f"latency {self.latency} cycles; {util}; lint {lint}"
+        )
+
+
+def compile_kernel(
+    name: str,
+    *,
+    size: str = "MINI",
+    sizes: Optional[Dict[str, int]] = None,
+    config: Union[str, "OptimizationConfig"] = "baseline",
+    device: str = "xc7z020",
+    lint: str = "gate",
+    trace: bool = False,
+) -> CompileResult:
+    """Compile one suite kernel through the adaptor flow.
+
+    Wraps the lowering → cleanup → adaptor → synthesize dance: builds the
+    kernel at ``size`` (or explicit ``sizes``), applies the optimisation
+    ``config`` (a registry name or an :class:`OptimizationConfig`), and
+    runs the paper's flow with the lint gate in ``lint`` mode.  With
+    ``trace=True`` the result carries the serialized span tree of the
+    compile.
+
+    This is a *direct* compile — no cache, no subprocess — so the result
+    always reflects the code as it stands.  For batch/caching behaviour
+    use :class:`repro.service.CompilationService`; for sweeping many
+    configs use :func:`explore`.
+    """
+    from .flows.adaptor_flow import run_adaptor_flow
+    from .hls.device import DEVICES
+    from .observability import NULL_TRACER, Tracer, use_tracer
+    from .service.service import _sizes_for, resolve_config
+    from .workloads.polybench import build_kernel
+
+    sizes = sizes if sizes is not None else _sizes_for(size, name)
+    config_obj = resolve_config(config)
+    spec = build_kernel(name, **sizes)
+    config_obj.apply(spec)
+
+    tracer = Tracer(name=f"{name}:{config_obj.name}") if trace else NULL_TRACER
+    with use_tracer(tracer):
+        flow = run_adaptor_flow(spec, device=device, lint=lint)
+
+    lint_report = flow.lint_report
+    device_model = DEVICES.get(device)
+    return CompileResult(
+        kernel=name,
+        config=config_obj.name,
+        size_class=size,
+        device=device,
+        latency=flow.latency,
+        resources=dict(flow.resources),
+        utilization=(
+            device_model.utilization(flow.resources) if device_model else {}
+        ),
+        lint_clean=None if lint_report is None else lint_report.clean,
+        degraded=flow.degraded,
+        flow=flow,
+        trace=(
+            tracer.roots[0].to_dict() if trace and tracer.roots else None
+        ),
+    )
+
+
+def explore(
+    name: str,
+    *,
+    size: str = "MINI",
+    space: Optional[Union[str, "ConfigSpaceSpec"]] = None,
+    budget: Optional[Dict[str, float]] = None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    device: str = "xc7z020",
+    seed: int = 17,
+):
+    """Explore ``name``'s directive space; returns a :class:`DSEReport`.
+
+    ``space`` is a :class:`repro.workloads.ConfigSpaceSpec`, a named
+    space (``tiny``/``default``/``wide``), or ``None`` for the kernel's
+    registered space.  ``budget`` (axis → cap, e.g. ``{"dsp": 16}`` or
+    ``{"lut_pct": 50}``) is recorded on the report and drives its
+    ``best``/:meth:`~repro.dse.DSEReport.best_config` selection.
+    Exploration compiles through the persistent service cache, so
+    repeated calls are warm.
+    """
+    from .dse.explorer import explore as dse_explore
+
+    return dse_explore(
+        name,
+        size_class=size,
+        space=space,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        device=device,
+        seed=seed,
+        budget=budget,
+    )

@@ -1,0 +1,39 @@
+"""Design-space exploration over the cached compilation service.
+
+The paper's evaluation is a two-point comparison (optimised vs.
+unoptimised directives); this package turns that into a *search*:
+
+* :mod:`repro.dse.space` crosses a kernel's directive axes
+  (:class:`repro.workloads.ConfigSpaceSpec`) into deduplicated
+  :class:`~repro.flows.OptimizationConfig` points, with the paper's two
+  recipes pinned as anchors;
+* :mod:`repro.dse.cost_model` prunes points a static read of the loop
+  nest already rules out;
+* :mod:`repro.dse.explorer` fans the survivors through
+  :meth:`CompilationService.compile_batch` (parallel, warm-cached);
+* :mod:`repro.dse.pareto` / :mod:`repro.dse.report` reduce the measured
+  latency/LUT/FF/DSP/BRAM vectors to a Pareto frontier inside a
+  :class:`DSEReport` with budgeted :meth:`~DSEReport.best_config`.
+
+``python -m repro dse gemm --size MINI --jobs 4`` is the CLI spelling.
+"""
+
+from .cost_model import KernelProfile, estimate, feasibility
+from .explorer import explore
+from .pareto import OBJECTIVES, dominates, pareto_frontier
+from .report import DSEPoint, DSEReport
+from .space import DesignSpace, paper_anchors
+
+__all__ = [
+    "explore",
+    "DesignSpace",
+    "paper_anchors",
+    "KernelProfile",
+    "feasibility",
+    "estimate",
+    "DSEPoint",
+    "DSEReport",
+    "OBJECTIVES",
+    "dominates",
+    "pareto_frontier",
+]

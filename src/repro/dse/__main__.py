@@ -1,0 +1,8 @@
+"""``python -m repro.dse`` — standalone spelling of ``python -m repro dse``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,169 @@
+"""``python -m repro dse`` — explore a kernel's directive space.
+
+Writes the JSON :class:`~repro.dse.report.DSEReport` (default
+``dse-<kernel>-<size>.json``) and prints the human frontier table.  A
+second run over the same space is served from the compilation cache —
+the header's ``N cache hit(s)`` line is the receipt.
+
+Exit status: ``0`` on success (frontier non-empty), ``1`` when the
+frontier came back empty, ``2`` for usage/configuration errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from ..diagnostics.errors import CompilationError
+from ..service.cache import default_cache_dir
+from ..service.service import default_jobs
+from ..workloads.space import NAMED_SPACES
+
+__all__ = ["main", "build_parser", "add_arguments", "run"]
+
+
+def parse_budget(text: str) -> Dict[str, float]:
+    """``lut=2000,dsp=16,lut_pct=50`` → axis-to-cap dict."""
+    budget: Dict[str, float] = {}
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "=" not in chunk:
+            raise argparse.ArgumentTypeError(
+                f"budget term {chunk!r} is not axis=value"
+            )
+        axis, _, value = chunk.partition("=")
+        try:
+            budget[axis.strip()] = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"budget value {value!r} for {axis!r} is not a number"
+            ) from None
+    return budget
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """DSE arguments, shared by the standalone and unified CLIs."""
+    parser.add_argument("kernel", help="suite kernel to explore (e.g. gemm)")
+    parser.add_argument(
+        "--size", default="MINI", choices=["MINI", "SMALL"],
+        help="problem size class (default MINI: sweeps want fast points)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=default_jobs(),
+        help="worker processes (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--space", default=None, choices=sorted(NAMED_SPACES),
+        help="named directive space (default: the kernel's registered space)",
+    )
+    parser.add_argument(
+        "--device", default="xc7z020", help="device budget for utilisation/pruning"
+    )
+    parser.add_argument(
+        "--budget", type=parse_budget, default=None, metavar="AXIS=CAP,...",
+        help="resource budget for best-point selection, e.g. "
+        "'lut=2000,dsp=16' or 'lut_pct=50'",
+    )
+    parser.add_argument(
+        "--check-equivalence", action="store_true",
+        help="also run the interpreter-based functional check per point",
+    )
+    parser.add_argument("--seed", type=int, default=17, help="equivalence-input seed")
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="JSON report path (default dse-<kernel>-<size>.json; '-' for none)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="run traced and write a Chrome trace-event JSON file here",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    from ..dse.explorer import explore
+    from ..service.service import CompilationService
+
+    cache_dir = getattr(args, "cache_dir", None)
+    service = CompilationService(
+        cache_dir=cache_dir, jobs=args.jobs, device=args.device
+    )
+
+    def _explore():
+        return explore(
+            args.kernel,
+            size_class=args.size,
+            space=args.space,
+            service=service,
+            check_equivalence=args.check_equivalence,
+            seed=args.seed,
+            budget=args.budget,
+        )
+
+    if args.trace_out:
+        from ..observability import (
+            StatisticsRegistry,
+            Tracer,
+            dump_chrome_trace,
+            use_statistics,
+            use_tracer,
+        )
+
+        tracer = Tracer(name="dse")
+        registry = StatisticsRegistry()
+        with use_tracer(tracer), use_statistics(registry):
+            report = _explore()
+        dump_chrome_trace(args.trace_out, forest=tracer.roots)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    else:
+        report = _explore()
+
+    out_path = args.out
+    if out_path is None:
+        out_path = f"dse-{args.kernel}-{args.size}.json"
+    if out_path != "-":
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"report written to {out_path}", file=sys.stderr)
+
+    print(report.summary())
+    if args.budget is not None:
+        best = report.best_config(args.budget)
+        caps = ",".join(f"{k}={v:g}" for k, v in sorted(args.budget.items()))
+        if best is None:
+            print(f"best under budget [{caps}]: no explored point fits")
+        else:
+            print(
+                f"best under budget [{caps}]: {best.name} "
+                f"(latency {best.latency}, lut {best.lut}, ff {best.ff}, "
+                f"dsp {best.dsp}, bram {best.bram_18k})"
+            )
+    return 0 if report.frontier else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.dse",
+        description="Design-space exploration over the cached flow service.",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=f"cache root (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except (CompilationError, ValueError) as exc:
+        code = getattr(exc, "code", None)
+        prefix = f"error[{code}]" if code else "error"
+        print(f"{prefix}: {exc}", file=sys.stderr)
+        return 2

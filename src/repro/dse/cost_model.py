@@ -1,0 +1,243 @@
+"""Static cost model: prune design points without compiling them.
+
+The explorer cannot afford to push every cross-product point through both
+flows, so this module reads the kernel's loop nest *statically* — trip
+counts off :class:`repro.mlir.dialects.affine.ForOp` bounds (the same
+constant-bound analysis the HLS frontend's dependence test leans on via
+:mod:`repro.hls.affine_summary`), operation mix out of the innermost
+bodies, array shapes off the kernel spec — and answers two questions per
+candidate :class:`~repro.flows.OptimizationConfig`:
+
+* :func:`feasibility` — is the point *expressible* on this nest at all
+  (unroll factor beyond a trip count, partition factor beyond the
+  innermost array dim, II without a pipeline)?
+* :func:`estimate` — a coarse latency/resource prediction, good enough to
+  discard points whose replicated functional units could never fit the
+  device budget.  It deliberately mirrors the engine's shape (outer
+  unroll buys parallel copies only up to the memory bank count) without
+  running the scheduler.
+
+Estimates are *pruning heuristics*, never results: every surviving point
+is still compiled through the real flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..flows.config import OptimizationConfig, loop_level
+from ..hls.device import DEVICES, Device
+from ..mlir.dialects.affine import ForOp
+from ..workloads.polybench import KernelSpec
+
+__all__ = [
+    "KernelProfile",
+    "PointEstimate",
+    "feasibility",
+    "estimate",
+    "prune_reason",
+    "device_for",
+]
+
+# Rough per-op area of one replicated datapath copy, in the same spirit
+# (and order of magnitude) as repro.hls.operators — kept independent so
+# the cost model never imports the scheduler it exists to avoid running.
+_EST_LUT_PER_OP = 40
+_EST_FF_PER_OP = 32
+_EST_DSP_PER_MUL = 3
+
+
+@dataclass
+class _LoopInfo:
+    level: int
+    trip_count: Optional[int]
+    iters_to_here: Optional[int]  # product of enclosing trips (incl. self)
+
+
+@dataclass
+class KernelProfile:
+    """What the cost model knows about one kernel at one size."""
+
+    kernel: str
+    depth: int = 0
+    # Smallest constant trip count seen at each loop level (None entries
+    # mean some loop at that level has non-constant bounds).
+    min_trip_by_level: Dict[int, Optional[int]] = field(default_factory=dict)
+    # Total innermost iterations across the whole nest forest.
+    total_iters: int = 0
+    ops_per_iter: int = 0  # arithmetic ops in innermost bodies (avg)
+    muls_per_iter: int = 0
+    mem_per_iter: int = 0  # loads+stores in innermost bodies (avg)
+    min_inner_dim: Optional[int] = None  # smallest innermost array extent
+    array_count: int = 0
+
+    @staticmethod
+    def from_spec(spec: KernelSpec) -> "KernelProfile":
+        profile = KernelProfile(kernel=spec.name)
+        inner_bodies = 0
+
+        def visit(op, enclosing_iters: Optional[int]):
+            nonlocal inner_bodies
+            for region in op.regions:
+                for block in region.blocks:
+                    for inner in block.operations:
+                        if inner.name != "affine.for":
+                            visit(inner, enclosing_iters)
+                            continue
+                        level = loop_level(inner)
+                        trips = ForOp(inner).trip_count()
+                        profile.depth = max(profile.depth, level + 1)
+                        seen = profile.min_trip_by_level.get(level, None)
+                        if trips is not None:
+                            profile.min_trip_by_level[level] = (
+                                trips if seen is None else min(seen, trips)
+                            )
+                        else:
+                            profile.min_trip_by_level.setdefault(level, None)
+                        iters = (
+                            None
+                            if trips is None or enclosing_iters is None
+                            else enclosing_iters * trips
+                        )
+                        if level == 0:
+                            inner_bodies += 1
+                            profile.total_iters += iters or 0
+                            for body_op in inner.walk():
+                                if body_op.name in ("affine.load", "affine.store"):
+                                    profile.mem_per_iter += 1
+                                elif body_op.name.startswith("arith."):
+                                    profile.ops_per_iter += 1
+                                    if "mul" in body_op.name:
+                                        profile.muls_per_iter += 1
+                        visit(inner, iters)
+
+        visit(spec.fn.op, 1)
+        if inner_bodies > 1:
+            profile.ops_per_iter = -(-profile.ops_per_iter // inner_bodies)
+            profile.muls_per_iter = -(-profile.muls_per_iter // inner_bodies)
+            profile.mem_per_iter = -(-profile.mem_per_iter // inner_bodies)
+        dims = [shape[-1] for shape in spec.array_args.values() if shape]
+        profile.min_inner_dim = min(dims) if dims else None
+        profile.array_count = len(spec.array_args)
+        return profile
+
+
+@dataclass
+class PointEstimate:
+    """Coarse prediction for one design point (pruning only)."""
+
+    latency: float
+    lut: int
+    ff: int
+    dsp: int
+
+    def fits(self, device: Device) -> bool:
+        return self.lut <= device.lut and self.ff <= device.ff and self.dsp <= device.dsp
+
+
+def _merged_unroll(config: OptimizationConfig) -> Dict[int, int]:
+    levels = dict(config.unroll_levels)
+    if config.unroll_innermost and config.unroll_innermost > 1:
+        levels[0] = max(levels.get(0, 1), config.unroll_innermost)
+    return levels
+
+
+def feasibility(
+    profile: KernelProfile, config: OptimizationConfig
+) -> Tuple[bool, Optional[str]]:
+    """``(True, None)`` when the point is expressible, else a reason."""
+    for level, factor in sorted(_merged_unroll(config).items()):
+        if factor <= 1:
+            continue
+        if level >= profile.depth:
+            return False, f"no loop at level {level} (nest depth {profile.depth})"
+        trips = profile.min_trip_by_level.get(level)
+        if trips is not None and factor > trips:
+            return False, (
+                f"unroll x{factor} at level {level} exceeds trip count {trips}"
+            )
+    if config.partition:
+        factor = config.partition.get("factor") or 1
+        if factor > 1 and profile.array_count == 0:
+            return False, "partitioning requested but kernel has no arrays"
+        if (
+            factor > 1
+            and profile.min_inner_dim is not None
+            and factor > profile.min_inner_dim
+        ):
+            return False, (
+                f"partition factor {factor} exceeds innermost array dim "
+                f"{profile.min_inner_dim}"
+            )
+    if not config.pipeline_innermost and config.ii > 1:
+        return False, "target II without pipelining is meaningless"
+    return True, None
+
+
+def estimate(
+    profile: KernelProfile,
+    config: OptimizationConfig,
+    device: Optional[Device] = None,
+) -> PointEstimate:
+    """Predict latency (cycles, coarse) and datapath area for pruning.
+
+    Mirrors the engine's cost structure without scheduling: pipelining
+    collapses innermost iteration latency towards II, outer unrolling
+    replicates the datapath but only speeds things up to the extent the
+    partition factor provides memory banks to feed the copies.
+    """
+    levels = _merged_unroll(config)
+    banks = (config.partition or {}).get("factor") or 1
+    copies = 1
+    speedup = 1.0
+    for level, factor in levels.items():
+        if factor <= 1:
+            continue
+        if level == 0:
+            # Innermost unrolling widens the body; memory ports (2/bank)
+            # bound how much of it runs concurrently.
+            copies *= factor
+            speedup *= min(factor, max(1, 2 * banks))
+        else:
+            parallel = min(factor, max(1, banks))
+            copies *= parallel
+            speedup *= parallel
+    iter_cycles = float(profile.ops_per_iter + profile.mem_per_iter) or 1.0
+    if config.pipeline_innermost:
+        iter_cycles = max(float(config.ii), 1.0)
+    latency = profile.total_iters * iter_cycles / max(speedup, 1.0)
+    ops = profile.ops_per_iter * copies
+    return PointEstimate(
+        latency=latency,
+        lut=ops * _EST_LUT_PER_OP,
+        ff=ops * _EST_FF_PER_OP,
+        dsp=profile.muls_per_iter * copies * _EST_DSP_PER_MUL,
+    )
+
+
+def prune_reason(
+    profile: KernelProfile,
+    config: OptimizationConfig,
+    device: Device,
+) -> Optional[str]:
+    """``None`` when the point should compile; otherwise why it was cut."""
+    ok, reason = feasibility(profile, config)
+    if not ok:
+        return reason
+    est = estimate(profile, config, device)
+    if not est.fits(device):
+        return (
+            f"estimated datapath (~{est.lut} LUT / {est.dsp} DSP) "
+            f"exceeds {device.name} budget"
+        )
+    return None
+
+
+def device_for(name: str) -> Device:
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown device {name!r}; valid: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,149 @@
+"""The exploration loop: enumerate → prune → compile → frontier.
+
+:func:`explore` is the one entry point.  It builds the kernel once to
+profile its loop nest, crosses the directive axes into a deduplicated
+:class:`~repro.dse.space.DesignSpace`, cuts infeasible/over-budget
+points with the static cost model (paper anchors are exempt), and ships
+the survivors through :meth:`CompilationService.compile_batch` — so
+exploration inherits the service's process fan-out and content-addressed
+cache for free: a re-run of the same space is pure cache hits, and a
+*widened* space only compiles the new points.
+
+Everything runs under ``dse``-category tracer spans and bumps the
+``dse`` counter group, so ``--trace-out`` shows where exploration time
+went and stats diffs show how hard the pruner worked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..observability import get_statistics, get_tracer
+from ..service.service import CompilationService, CompileRequest, _sizes_for
+from ..workloads.polybench import build_kernel
+from ..workloads.space import ConfigSpaceSpec, config_space_for, resolve_space
+from .cost_model import KernelProfile, device_for, prune_reason
+from .report import DSEPoint, DSEReport
+from .space import DesignSpace
+
+__all__ = ["explore"]
+
+
+def explore(
+    kernel: str,
+    size_class: str = "MINI",
+    space: Optional[Union[str, ConfigSpaceSpec]] = None,
+    service: Optional[CompilationService] = None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    device: str = "xc7z020",
+    check_equivalence: bool = False,
+    seed: int = 17,
+    budget: Optional[Dict[str, float]] = None,
+) -> DSEReport:
+    """Explore ``kernel``'s directive space and return the DSE report.
+
+    ``space`` may be a :class:`ConfigSpaceSpec`, a named space
+    (``tiny``/``default``/``wide``), or ``None`` for the kernel's own
+    registered space.  Pass an existing ``service`` to share its cache
+    and fan-out; otherwise one is built from ``cache_dir``/``jobs``.
+    Equivalence checking is off by default — a sweep wants the synthesis
+    vector, and the nightly suite already guards functional equality —
+    but flipping it on folds the verdict into every compiled row.
+
+    Determinism: the enumeration order, pruning decisions, and compile
+    requests depend only on (kernel, size, space, seed, device), so two
+    runs produce identical reports modulo timing/cache provenance.
+    """
+    tracer = get_tracer()
+    stats = get_statistics()
+    if service is None:
+        service = CompilationService(cache_dir=cache_dir, jobs=jobs, device=device)
+    device_model = device_for(service.device)
+    sizes = _sizes_for(size_class, kernel)
+
+    with tracer.span(
+        f"dse:{kernel}", category="dse",
+        kernel=kernel, size=size_class, device=service.device,
+    ) as dse_span:
+        with tracer.span("dse-enumerate", category="dse"):
+            spec = build_kernel(kernel, **sizes)
+            space_spec = (
+                config_space_for(kernel) if space is None else resolve_space(space)
+            )
+            profile = KernelProfile.from_spec(spec)
+            design_space = DesignSpace.build(space_spec, nest_depth=profile.depth)
+        stats.bump("dse", "points-enumerated", len(design_space))
+
+        report = DSEReport(
+            kernel=kernel,
+            size_class=size_class,
+            device=service.device,
+            space=space_spec.axes(),
+            seed=seed,
+            enumerated=len(design_space),
+            budget=dict(budget) if budget else None,
+        )
+
+        with tracer.span("dse-prune", category="dse") as prune_span:
+            survivors = []
+            for config in design_space.candidates:
+                reason = (
+                    None
+                    if design_space.is_anchor(config)
+                    else prune_reason(profile, config, device_model)
+                )
+                if reason is None:
+                    survivors.append(config)
+                else:
+                    report.pruned.append({"name": config.name, "reason": reason})
+            prune_span.set(kept=len(survivors), pruned=len(report.pruned))
+        stats.bump("dse", "points-pruned", len(report.pruned))
+
+        requests = [
+            CompileRequest(
+                kernel=kernel,
+                config=config,
+                sizes=sizes,
+                size_class=size_class,
+                check_equivalence=check_equivalence,
+                seed=seed,
+            )
+            for config in survivors
+        ]
+        batch = service.compile_batch(requests, span_name="dse-batch")
+
+        with tracer.span("dse-reduce", category="dse"):
+            for config, comparison in zip(survivors, batch.comparisons):
+                resources = comparison.adaptor.resources
+                report.points.append(
+                    DSEPoint(
+                        name=config.name,
+                        config=config.to_dict(),
+                        latency=comparison.adaptor.latency,
+                        lut=resources.get("lut", 0),
+                        ff=resources.get("ff", 0),
+                        dsp=resources.get("dsp", 0),
+                        bram_18k=resources.get("bram_18k", 0),
+                        utilization=device_model.utilization(resources),
+                        cache_status=comparison.cache_status,
+                        compile_seconds=comparison.compile_seconds,
+                        is_anchor=design_space.is_anchor(config),
+                    )
+                )
+            report.mark_frontier()
+        report.cache_hits = batch.cache_stats.hits
+        report.cache_misses = batch.cache_stats.misses
+        report.seconds = batch.seconds
+        stats.bump("dse", "points-compiled", len(report.points))
+        stats.bump("dse", "cache-hits", report.cache_hits)
+        stats.bump("dse", "frontier-size", len(report.frontier))
+        dse_span.set(
+            points=len(report.points),
+            frontier=len(report.frontier),
+            hits=report.cache_hits,
+        )
+    # Serialise after the span closes so its end timestamp is final.
+    if tracer.enabled:
+        report.trace = dse_span.to_dict()
+    return report

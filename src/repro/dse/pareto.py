@@ -1,0 +1,52 @@
+"""Pareto dominance over latency and resource vectors.
+
+All objectives are minimised: cycle latency plus the four resource
+classes the device model budgets (LUT / FF / DSP / BRAM-18K).  A point
+*dominates* another when it is no worse everywhere and strictly better
+somewhere; the frontier is the set no point dominates.  Ties (identical
+vectors) do not dominate each other — distinct configs that land on the
+same design both stay visible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+__all__ = ["OBJECTIVES", "objective_vector", "dominates", "pareto_frontier"]
+
+#: Minimised, in report order.
+OBJECTIVES: Tuple[str, ...] = ("latency", "lut", "ff", "dsp", "bram_18k")
+
+
+def objective_vector(point) -> Tuple[float, ...]:
+    """The minimised vector of one DSE point (attribute or dict access)."""
+    if isinstance(point, dict):
+        return tuple(float(point[name]) for name in OBJECTIVES)
+    return tuple(float(getattr(point, name)) for name in OBJECTIVES)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is <= ``b`` everywhere and < somewhere."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    return no_worse and any(x < y for x, y in zip(a, b))
+
+
+def pareto_frontier(points: Sequence) -> List:
+    """The non-dominated subset, in the input's order.
+
+    O(n²) pairwise sweep — design spaces here are tens of points, and the
+    quadratic form keeps the dominance definition auditable.
+    """
+    vectors = [objective_vector(p) for p in points]
+    frontier = []
+    for i, point in enumerate(points):
+        if any(
+            dominates(vectors[j], vectors[i])
+            for j in range(len(points))
+            if j != i
+        ):
+            continue
+        frontier.append(point)
+    return frontier

@@ -1,0 +1,199 @@
+"""DSE results: points, the frontier, and budgeted selection.
+
+A :class:`DSEReport` is the explorer's single artefact — every compiled
+point with its measured latency/resource vector and cache provenance,
+the pruned points with their reasons, the Pareto frontier, and enough
+run metadata (space axes, device, seed) to reproduce the sweep.  It
+serialises to JSON (``to_json``), renders a human table (``summary``),
+and answers the paper-style question directly: :meth:`best_config` under
+a resource budget.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .pareto import OBJECTIVES, pareto_frontier
+
+__all__ = ["DSEPoint", "DSEReport"]
+
+#: Bump on report schema changes (consumers check before parsing).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class DSEPoint:
+    """One compiled design point: config identity + measured vector."""
+
+    name: str
+    config: Dict[str, Any]  # OptimizationConfig.to_dict()
+    latency: int
+    lut: int
+    ff: int
+    dsp: int
+    bram_18k: int
+    utilization: Dict[str, float] = field(default_factory=dict)
+    cache_status: str = "computed"
+    compile_seconds: float = 0.0
+    is_anchor: bool = False
+    on_frontier: bool = False
+
+    @property
+    def resources(self) -> Dict[str, int]:
+        return {
+            "lut": self.lut,
+            "ff": self.ff,
+            "dsp": self.dsp,
+            "bram_18k": self.bram_18k,
+        }
+
+    def fits(self, budget: Dict[str, float]) -> bool:
+        """True when every budgeted axis is within its cap.
+
+        Budget keys are resource names (``lut``/``ff``/``dsp``/
+        ``bram_18k``, absolute) or ``<name>_pct`` (percent utilisation);
+        unknown keys raise so typos cannot silently widen a budget.
+        """
+        for key, cap in budget.items():
+            if key in ("lut", "ff", "dsp", "bram_18k"):
+                if getattr(self, key) > cap:
+                    return False
+            elif key.endswith("_pct") and key[:-4] in self.utilization:
+                if self.utilization[key[:-4]] > cap:
+                    return False
+            elif key == "latency":
+                if self.latency > cap:
+                    return False
+            else:
+                raise ValueError(f"unknown budget axis {key!r}")
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "config": self.config,
+            "latency": self.latency,
+            "resources": self.resources,
+            "utilization": {k: round(v, 3) for k, v in self.utilization.items()},
+            "cache_status": self.cache_status,
+            "compile_seconds": round(self.compile_seconds, 6),
+            "is_anchor": self.is_anchor,
+            "on_frontier": self.on_frontier,
+        }
+
+
+@dataclass
+class DSEReport:
+    """One exploration run over one kernel's directive space."""
+
+    kernel: str
+    size_class: str
+    device: str
+    space: Dict[str, Any] = field(default_factory=dict)  # axes provenance
+    seed: int = 17
+    points: List[DSEPoint] = field(default_factory=list)
+    pruned: List[Dict[str, str]] = field(default_factory=list)  # name+reason
+    enumerated: int = 0
+    seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    trace: Optional[Dict[str, Any]] = None
+    # Resource budget the exploration was asked to select under (axis ->
+    # cap, see DSEPoint.fits); to_dict names the winner as "best".
+    budget: Optional[Dict[str, float]] = None
+
+    # -- derived ------------------------------------------------------------
+    def mark_frontier(self) -> None:
+        """(Re)compute ``on_frontier`` flags from the measured vectors."""
+        frontier = set(id(p) for p in pareto_frontier(self.points))
+        for point in self.points:
+            point.on_frontier = id(point) in frontier
+
+    @property
+    def frontier(self) -> List[DSEPoint]:
+        """Non-dominated points, cheapest-latency first."""
+        return sorted(
+            (p for p in self.points if p.on_frontier), key=lambda p: p.latency
+        )
+
+    def point(self, name: str) -> Optional[DSEPoint]:
+        for candidate in self.points:
+            if candidate.name == name:
+                return candidate
+        return None
+
+    def best_config(
+        self, budget: Optional[Dict[str, float]] = None
+    ) -> Optional[DSEPoint]:
+        """Minimum-latency frontier point within ``budget`` (None = any).
+
+        Returns ``None`` when no explored point fits — an honest "this
+        budget cannot hold any explored design" answer.
+        """
+        fitting = [
+            p for p in self.frontier if budget is None or p.fits(budget)
+        ]
+        return min(fitting, key=lambda p: p.latency) if fitting else None
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        best = self.best_config(self.budget)
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kernel": self.kernel,
+            "size_class": self.size_class,
+            "device": self.device,
+            "seed": self.seed,
+            "space": {
+                key: list(value) if isinstance(value, (list, tuple)) else value
+                for key, value in self.space.items()
+            },
+            "objectives": list(OBJECTIVES),
+            "enumerated": self.enumerated,
+            "pruned": list(self.pruned),
+            "points": [p.to_dict() for p in self.points],
+            "frontier": [p.name for p in self.frontier],
+            "budget": self.budget,
+            "best": best.name if best else None,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "seconds": round(self.seconds, 3),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def summary(self) -> str:
+        """Human table: frontier flagged with ``*``, anchors with ``†``."""
+        lines = [
+            f"design-space exploration: kernel={self.kernel} "
+            f"size={self.size_class} device={self.device}",
+            f"enumerated {self.enumerated} point(s), pruned "
+            f"{len(self.pruned)}, compiled {len(self.points)} "
+            f"({self.cache_hits} cache hit(s), {self.cache_misses} miss(es)) "
+            f"in {self.seconds:.2f}s",
+            "",
+            f"  {'point':<24} {'latency':>8} {'lut':>7} {'ff':>7} "
+            f"{'dsp':>5} {'bram':>5} {'cache':<6}",
+        ]
+        for point in sorted(self.points, key=lambda p: p.latency):
+            flags = ("*" if point.on_frontier else " ") + (
+                "†" if point.is_anchor else " "
+            )
+            lines.append(
+                f"{flags} {point.name:<24} {point.latency:>8} "
+                f"{point.lut:>7} {point.ff:>7} {point.dsp:>5} "
+                f"{point.bram_18k:>5} {point.cache_status:<6}"
+            )
+        lines.append("")
+        frontier = self.frontier
+        lines.append(
+            f"frontier: {len(frontier)} non-dominated point(s): "
+            + ", ".join(p.name for p in frontier)
+        )
+        if self.pruned:
+            lines.append(f"pruned ({len(self.pruned)}):")
+            for entry in self.pruned:
+                lines.append(f"  {entry['name']}: {entry['reason']}")
+        return "\n".join(lines)

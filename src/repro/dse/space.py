@@ -1,0 +1,105 @@
+"""Enumerate a :class:`ConfigSpaceSpec` into concrete design points.
+
+The cross product of directive axes contains many *aliases* — points
+whose parameters differ but whose applied directives are identical
+(``pipeline=False`` makes every II the same point; factor-1 unrolls are
+no-ops).  :class:`DesignSpace` therefore dedupes on
+:meth:`OptimizationConfig.signature` so each distinct design compiles —
+and caches — exactly once.
+
+The two paper recipes (``baseline``, ``optimized``) are *anchors*: they
+are always part of the enumeration under their registry names, never
+pruned, so every DSE report can place the paper's own two columns on the
+frontier it draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from ..flows.config import OptimizationConfig
+from ..workloads.space import ConfigSpaceSpec
+
+__all__ = ["DesignSpace", "paper_anchors"]
+
+
+def paper_anchors() -> List[OptimizationConfig]:
+    """The paper's two measured configs, under their registry names."""
+    return [OptimizationConfig.baseline(), OptimizationConfig.optimized(ii=1)]
+
+
+@dataclass
+class DesignSpace:
+    """A deduplicated list of candidate configs for one kernel.
+
+    ``anchors`` come first and are exempt from pruning; ``candidates``
+    holds the full deduped enumeration (anchors included).
+    """
+
+    spec: ConfigSpaceSpec
+    max_level: Optional[int] = None  # deepest unrollable level (depth - 1)
+    candidates: List[OptimizationConfig] = field(default_factory=list)
+    anchor_names: Tuple[str, ...] = ()
+
+    @staticmethod
+    def build(
+        spec: ConfigSpaceSpec, nest_depth: Optional[int] = None
+    ) -> "DesignSpace":
+        """Cross the axes, drop aliases, and pin the paper anchors.
+
+        ``nest_depth`` (when known) drops unroll levels the kernel does
+        not have *before* enumeration, shrinking the cross product.
+        """
+        space = DesignSpace(
+            spec=spec,
+            max_level=None if nest_depth is None else nest_depth - 1,
+        )
+        seen: Dict[tuple, OptimizationConfig] = {}
+        anchors = paper_anchors()
+        for config in anchors:
+            seen[config.signature()] = config
+            space.candidates.append(config)
+        space.anchor_names = tuple(c.name for c in anchors)
+
+        levels = [
+            level
+            for level in spec.unroll_levels
+            if space.max_level is None or level <= space.max_level
+        ]
+        factor_choices: List[Tuple[Tuple[int, int], ...]] = [
+            tuple((level, factor) for factor in sorted(set(spec.unroll_factors)))
+            for level in sorted(set(levels))
+        ]
+        pipeline_choices: List[Tuple[bool, int]] = []
+        for pipelined in sorted(set(spec.pipeline)):
+            if pipelined:
+                pipeline_choices.extend((True, ii) for ii in sorted(set(spec.ii_targets)))
+            else:
+                pipeline_choices.append((False, 1))
+        partition_choices = sorted(set(spec.partition_factors)) or [1]
+
+        for assignment in product(*factor_choices) if factor_choices else [()]:
+            unroll = {level: factor for level, factor in assignment if factor > 1}
+            for pipelined, ii in pipeline_choices:
+                for part in partition_choices:
+                    config = OptimizationConfig.point(
+                        pipeline=pipelined,
+                        ii=ii,
+                        unroll=unroll,
+                        partition_factor=part if part > 1 else None,
+                        partition_kind=spec.partition_kind,
+                    )
+                    signature = config.signature()
+                    if signature in seen:
+                        continue
+                    seen[signature] = config
+                    space.candidates.append(config)
+        return space
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def is_anchor(self, config: OptimizationConfig) -> bool:
+        return config.name in self.anchor_names

@@ -1,4 +1,18 @@
-"""Shared optimisation configuration applied identically to both flows."""
+"""Shared optimisation configuration applied identically to both flows.
+
+Historically this module shipped exactly two recipes (``baseline`` and
+``optimized``), matching the paper's two measured columns.  The design-space
+exploration engine (:mod:`repro.dse`) needs the full directive space, so the
+config is now *parameterised*: any combination of
+
+* per-loop-level unroll factors (level 0 = innermost, 1 = its parent, ...),
+* innermost pipelining with a target II,
+* array partitioning (kind/factor),
+
+can be described by one :class:`OptimizationConfig`, and
+:meth:`OptimizationConfig.point` derives a canonical, cache-stable name from
+the parameters.  The two paper recipes remain as named factories.
+"""
 
 from __future__ import annotations
 
@@ -11,7 +25,21 @@ from ..mlir.passes.array_partition import set_array_partition
 from ..mlir.passes.loop_pipeline import set_loop_directives
 from ..workloads.polybench import KernelSpec
 
-__all__ = ["OptimizationConfig"]
+__all__ = ["OptimizationConfig", "loop_level"]
+
+
+def loop_level(loop_op) -> int:
+    """Height of a loop within its nest: 0 = innermost, 1 = its parent...
+
+    (The *depth* from the root varies between kernels; height from the
+    innermost loop is what unroll policies care about, so configs key on it.)
+    """
+    heights = [
+        loop_level(inner)
+        for inner in loop_op.walk()
+        if inner is not loop_op and inner.name == "affine.for"
+    ]
+    return 1 + max(heights) if heights else 0
 
 
 @dataclass
@@ -21,7 +49,12 @@ class OptimizationConfig:
     experiments).
 
     * ``pipeline_innermost`` — pipeline every innermost loop at ``ii``.
-    * ``unroll_innermost`` — unroll factor for innermost loops (directive).
+    * ``unroll_innermost`` — unroll factor for innermost loops (directive);
+      legacy spelling of ``unroll_levels[0]``, kept because cache
+      fingerprints and the two paper recipes predate ``unroll_levels``.
+    * ``unroll_levels`` — unroll factor per loop *level* (0 = innermost,
+      1 = the loop one out, ...).  Outer-level unrolling is what exposes
+      loop-parallelism to the HLS engine's area/latency model.
     * ``partition`` — array partition applied to every array argument:
       ``{"kind": ..., "factor": ..., "dim": ...}``.
     """
@@ -31,6 +64,7 @@ class OptimizationConfig:
     ii: int = 1
     unroll_innermost: Optional[int] = None
     partition: Optional[Dict] = None
+    unroll_levels: Dict[int, int] = field(default_factory=dict)
 
     @staticmethod
     def baseline() -> "OptimizationConfig":
@@ -52,22 +86,92 @@ class OptimizationConfig:
             partition=partition,
         )
 
+    @staticmethod
+    def point(
+        pipeline: bool = False,
+        ii: int = 1,
+        unroll: Optional[Dict[int, int]] = None,
+        partition_factor: Optional[int] = None,
+        partition_kind: str = "cyclic",
+        name: Optional[str] = None,
+    ) -> "OptimizationConfig":
+        """A design point with a canonical name derived from its parameters.
+
+        ``unroll`` maps loop level -> factor; factor-1 entries are dropped so
+        equivalent points always share one name (and hence one cache entry).
+        """
+        levels = {
+            int(level): int(factor)
+            for level, factor in sorted((unroll or {}).items())
+            if int(factor) > 1
+        }
+        parts = []
+        if pipeline:
+            parts.append(f"pipe-ii{ii}")
+        for level, factor in sorted(levels.items()):
+            parts.append(f"u{level}x{factor}")
+        if partition_factor and partition_factor > 1:
+            parts.append(f"part-{partition_kind}{partition_factor}")
+        partition = (
+            {"kind": partition_kind, "factor": partition_factor, "dim": -1}
+            if partition_factor and partition_factor > 1
+            else None
+        )
+        return OptimizationConfig(
+            name=name or ("+".join(parts) or "plain"),
+            pipeline_innermost=pipeline,
+            ii=ii if pipeline else 1,
+            unroll_innermost=None,
+            partition=partition,
+            unroll_levels=levels,
+        )
+
+    def signature(self) -> tuple:
+        """Hashable parameter identity (name excluded): two configs with the
+        same signature compile to the same design."""
+        levels = dict(self.unroll_levels)
+        if self.unroll_innermost and self.unroll_innermost > 1:
+            levels[0] = max(levels.get(0, 1), self.unroll_innermost)
+        partition = (
+            (self.partition["kind"], self.partition.get("factor"),
+             self.partition.get("dim", -1))
+            if self.partition
+            else None
+        )
+        return (
+            self.pipeline_innermost,
+            self.ii if self.pipeline_innermost else None,
+            tuple(sorted(levels.items())),
+            partition,
+        )
+
+    def to_dict(self) -> Dict:
+        """JSON-ready parameter dump (DSE reports embed this per point)."""
+        return {
+            "name": self.name,
+            "pipeline_innermost": self.pipeline_innermost,
+            "ii": self.ii,
+            "unroll_innermost": self.unroll_innermost,
+            "unroll_levels": {str(k): v for k, v in sorted(self.unroll_levels.items())},
+            "partition": dict(self.partition) if self.partition else None,
+        }
+
     def apply(self, spec: KernelSpec) -> None:
         """Annotate the kernel's MLIR module in place."""
         module = spec.module
+        unroll_levels = dict(self.unroll_levels)
+        if self.unroll_innermost:
+            unroll_levels[0] = max(unroll_levels.get(0, 1), self.unroll_innermost)
         for fn_op in module.functions():
             loops = [op for op in fn_op.walk() if op.name == "affine.for"]
             for loop in loops:
-                innermost = not any(
-                    inner is not loop and inner.name == "affine.for"
-                    for inner in loop.walk()
-                )
-                if not innermost:
-                    continue
-                if self.pipeline_innermost:
-                    set_loop_directives(loop, pipeline=True, ii=self.ii)
-                if self.unroll_innermost:
-                    set_loop_directives(loop, unroll=self.unroll_innermost)
+                level = loop_level(loop)
+                if level == 0:
+                    if self.pipeline_innermost:
+                        set_loop_directives(loop, pipeline=True, ii=self.ii)
+                factor = unroll_levels.get(level)
+                if factor and factor > 1:
+                    set_loop_directives(loop, unroll=factor)
             if self.partition:
                 fn = FuncOp(fn_op)
                 from ..mlir.core import MemRefType

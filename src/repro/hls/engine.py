@@ -43,6 +43,12 @@ _LOOP_CONTROL_LUT = 50
 _LOOP_CONTROL_FF = 70
 _FUNCTION_CONTROL_LUT = 200
 _FUNCTION_CONTROL_FF = 300
+# Pipelining is not free: the controller (valid-bit shift registers, the
+# II counter, flush logic) costs LUTs, and every overlapped stage keeps its
+# cross-stage values in registers.  Charged per pipelined loop; stage count
+# is ceil(IL / II), the steady-state overlap depth.
+_PIPELINE_CONTROL_LUT = 40
+_PIPELINE_STAGE_FF = 48
 
 
 @dataclass
@@ -258,6 +264,9 @@ class HLSEngine:
             lat_min = il + max(eff_trip_min - 1, 0) * ii + 1 if eff_trip_min else 1
             lat_max = il + max(eff_trip_max - 1, 0) * ii + 1 if eff_trip_max else 1
             area = bind_block(dfg, ms.starts, self.library, ii=ii)
+            stages = max(1, -(-il // max(ii, 1)))
+            area.lut += _PIPELINE_CONTROL_LUT
+            area.ff += _PIPELINE_STAGE_FF * stages
             loop_report = LoopReport(
                 name=name,
                 depth=depth,
@@ -327,8 +336,18 @@ class HLSEngine:
         for key, unit in units.items():
             if isinstance(unit, Loop):
                 result = loop_results[id(unit.header)]
-                weights_min[key] = result.latency_min
-                weights_max[key] = result.latency_max
+                serial = 1
+                if unroll > 1:
+                    # Unrolling an outer loop replicates each child loop.
+                    # Copies run in parallel only as far as array banking
+                    # allows: each concurrent copy needs its own bank group,
+                    # so ceil(unroll / banks) copies time-share one instance.
+                    serial = self._unroll_serialization(unit, memory, unroll)
+                    parallel = -(-unroll // serial)
+                    if parallel > 1:
+                        areas.append(_replicated_area(result.area, parallel - 1))
+                weights_min[key] = result.latency_min * serial
+                weights_max[key] = result.latency_max * serial
             else:
                 dfg = build_block_dfg(unit, self.library, memory, unroll=unroll)
                 if dfg.nodes:
@@ -380,12 +399,51 @@ class HLSEngine:
         return lat_min, lat_max, merged
 
     @staticmethod
+    def _unroll_serialization(loop: Loop, memory: MemoryModel, unroll: int) -> int:
+        """How many of ``unroll`` child-loop copies must time-share.
+
+        The limiting buffer is the one with the fewest banks among the
+        arrays the child touches; cyclic partitioning at factor *f* supplies
+        *f* concurrent bank groups, so ceil(unroll / f) copies serialise.
+        A child that touches no arrays replicates freely.
+        """
+        banks: Optional[int] = None
+        for block in loop.blocks:
+            for inst in block.instructions:
+                site = memory.site_for(inst)
+                if site is None:
+                    continue
+                banks = (
+                    site.buffer.banks
+                    if banks is None
+                    else min(banks, site.buffer.banks)
+                )
+        if banks is None:
+            return 1
+        return max(1, -(-unroll // max(1, banks)))
+
+    @staticmethod
     def _region_roots(units: Dict[int, object], succs: Dict[int, List[int]]) -> List[int]:
         has_pred: set = set()
         for key, targets in succs.items():
             has_pred.update(targets)
         roots = [key for key in units if key not in has_pred]
         return roots or list(units)
+
+
+def _replicated_area(area: AreaEstimate, copies: int) -> AreaEstimate:
+    """Area of ``copies`` extra parallel instances of a bound region.
+
+    Compute resources replicate; BRAM does not (the copies read the same
+    banked buffers — banking itself is charged by the memory model).
+    """
+    return AreaEstimate(
+        lut=area.lut * copies,
+        ff=area.ff * copies,
+        dsp=area.dsp * copies,
+        bram_18k=0,
+        fu_instances={cls: n * (copies + 1) for cls, n in area.fu_instances.items()},
+    )
 
 
 def synthesize(

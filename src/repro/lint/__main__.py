@@ -1,6 +1,17 @@
+"""Deprecated entry point: prefer ``python -m repro lint check`` / ``rules``.
+
+Kept as a forwarding shim so existing scripts and CI invocations keep
+working; the unified CLI accepts the same arguments under ``lint``.
+"""
+
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.lint' is deprecated; "
+        "use 'python -m repro lint check' / 'python -m repro lint rules'",
+        file=sys.stderr,
+    )
     sys.exit(main())

@@ -19,19 +19,17 @@ from typing import List, Optional
 from .linter import LintReport, run_lint
 from .rules import all_rules
 
-__all__ = ["main", "build_parser", "render_rules_markdown"]
+__all__ = ["main", "build_parser", "register_subcommand", "render_rules_markdown"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.lint",
-        description="Static HLS-compatibility linter for adapted LLVM IR.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
+def _add_subcommands(sub) -> None:
+    """Add ``check``/``rules`` (with handler defaults) to a subparsers
+    object — shared by the standalone parser and the unified CLI's nested
+    ``lint`` subcommand."""
     check = sub.add_parser(
         "check", help="lint kernels or .ll files against the rule registry"
     )
+    check.set_defaults(handler=_cmd_check)
     check.add_argument(
         "targets",
         nargs="+",
@@ -78,10 +76,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     rules = sub.add_parser("rules", help="print the registered rule table")
+    rules.set_defaults(handler=_cmd_rules)
     rules.add_argument(
         "--json", action="store_true", help="machine-readable registry on stdout"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static HLS-compatibility linter for adapted LLVM IR.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_subcommands(sub)
     return parser
+
+
+def register_subcommand(sub) -> None:
+    """Add a nested ``lint {check,rules}`` subcommand to the unified CLI."""
+    lint = sub.add_parser(
+        "lint", help="lint modules against the HLS compatibility contract"
+    )
+    lint_sub = lint.add_subparsers(dest="lint_command", required=True)
+    _add_subcommands(lint_sub)
 
 
 def _kernel_module(kernel: str, size: str, config: str, pre: bool):
@@ -202,9 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"check": _cmd_check, "rules": _cmd_rules}
     try:
-        return handlers[args.command](args)
+        return args.handler(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

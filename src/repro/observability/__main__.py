@@ -1,6 +1,17 @@
+"""Deprecated entry point: prefer ``python -m repro trace|stats|diff|validate``.
+
+Kept as a forwarding shim so existing scripts and CI invocations keep
+working; the unified CLI accepts the same arguments.
+"""
+
 import sys
 
 from .cli import main
 
 if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.observability' is deprecated; "
+        "use 'python -m repro trace|stats|diff|validate'",
+        file=sys.stderr,
+    )
     sys.exit(main())

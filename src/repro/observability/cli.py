@@ -24,7 +24,7 @@ from .schema import validate_chrome_trace
 from .stats import StatisticsRegistry, use_statistics
 from .tracer import Tracer, use_tracer
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "register_subcommands"]
 
 
 def _add_compile_options(parser: argparse.ArgumentParser) -> None:
@@ -45,14 +45,12 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.observability",
-        description="Tracing and pass-statistics tooling for the flow pipeline.",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
+def register_subcommands(sub) -> None:
+    """Add ``trace``/``stats``/``diff``/``validate`` (with handler
+    defaults) to a subparsers object — shared by the standalone parser
+    and the unified ``python -m repro`` CLI."""
     trace = sub.add_parser("trace", help="emit a Chrome trace for one kernel compile")
+    trace.set_defaults(handler=_cmd_trace)
     _add_compile_options(trace)
     trace.add_argument(
         "-o", "--out", default=None,
@@ -64,9 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats = sub.add_parser("stats", help="print -stats style counters for one compile")
+    stats.set_defaults(handler=_cmd_stats)
     _add_compile_options(stats)
 
     diff = sub.add_parser("diff", help="counter deltas between two configs")
+    diff.set_defaults(handler=_cmd_diff)
     diff.add_argument("kernel", help="suite kernel name (e.g. gemm)")
     diff.add_argument(
         "--baseline", default="baseline",
@@ -86,7 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     validate = sub.add_parser("validate", help="schema-check a trace JSON file")
+    validate.set_defaults(handler=_cmd_validate)
     validate.add_argument("path", help="Chrome trace-event JSON file")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Tracing and pass-statistics tooling for the flow pipeline.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    register_subcommands(sub)
     return parser
 
 
@@ -190,14 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {
-        "trace": _cmd_trace,
-        "stats": _cmd_stats,
-        "diff": _cmd_diff,
-        "validate": _cmd_validate,
-    }
     try:
-        return handlers[args.command](args)
+        return args.handler(args)
     except CompilationError as exc:
         code = getattr(exc, "code", "REPRO-E000")
         print(f"error[{code}]: {exc}", file=sys.stderr)

@@ -1,5 +1,17 @@
+"""Deprecated entry point: prefer ``python -m repro run-suite`` / ``cache``.
+
+Kept as a forwarding shim so existing scripts and CI invocations keep
+working; the unified CLI accepts the same arguments.
+"""
+
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    print(
+        "note: 'python -m repro.service' is deprecated; "
+        "use 'python -m repro run-suite' / 'python -m repro cache'",
+        file=sys.stderr,
+    )
+    sys.exit(main())

@@ -20,22 +20,18 @@ from ..diagnostics.errors import CompilationError
 from .cache import default_cache_dir
 from .service import NAMED_CONFIGS, CompilationService, default_jobs
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "register_subcommands"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Parallel cached compilation service for the flow suite.",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help=f"cache root (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
+def register_subcommands(sub) -> None:
+    """Add ``run-suite`` and ``cache`` to a subparsers object.
 
+    Shared by this module's standalone parser and the unified
+    ``python -m repro`` CLI; handlers dispatch via ``args.handler`` and
+    expect ``args.cache_dir`` from the parent parser.
+    """
     run = sub.add_parser("run-suite", help="compile the suite through the cache")
+    run.set_defaults(handler=_cmd_run_suite)
     run.add_argument(
         "--config",
         default="baseline",
@@ -77,9 +73,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache = sub.add_parser("cache", help="cache maintenance")
+    cache.set_defaults(handler=_cmd_cache)
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_sub.add_parser("stats", help="entry counts and disk footprint")
     cache_sub.add_parser("clear", help="delete every cache entry")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Parallel cached compilation service for the flow suite.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache root (default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    register_subcommands(sub)
     return parser
 
 
@@ -153,12 +164,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        if args.command == "run-suite":
-            return _cmd_run_suite(args)
-        if args.command == "cache":
-            return _cmd_cache(args)
+        return args.handler(args)
     except CompilationError as exc:
         code = getattr(exc, "code", "REPRO-E000")
         print(f"error[{code}]: {exc}", file=sys.stderr)
         return 2
-    return 2

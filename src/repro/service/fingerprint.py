@@ -38,7 +38,10 @@ __all__ = [
 #: diagnostic codes: never reuse an old value.
 #: 2: the post-adaptor lint gate joined the pipeline (verdicts travel in
 #: cached rows, and a gate failure must not be masked by a stale hit).
-PIPELINE_VERSION = 2
+#: 3: the HLS engine's area/latency model learned pipeline control costs
+#: and bank-aware outer-loop unrolling — cached latency/resource numbers
+#: from version 2 would disagree with a fresh compile.
+PIPELINE_VERSION = 3
 
 #: Bump when the on-disk entry layout changes (header schema, payload
 #: encoding).  Old entries then read back as misses, not corruption.
@@ -79,6 +82,11 @@ def config_fingerprint(config: OptimizationConfig) -> str:
         "unroll_innermost": config.unroll_innermost,
         "partition": config.partition,
     }
+    # Only present when set, so configs predating per-level unroll keep
+    # their original hashes (and their warm cache entries).
+    levels = getattr(config, "unroll_levels", None)
+    if levels:
+        payload["unroll_levels"] = {str(k): v for k, v in sorted(levels.items())}
     return _sha256(json.dumps(payload, sort_keys=True))
 
 

@@ -5,11 +5,14 @@ flow comparisons through it:
 
 * :meth:`CompilationService.compile_one` — one kernel/config pair,
   cache-first;
-* :meth:`CompilationService.run_suite` — the whole benchmark suite,
+* :meth:`CompilationService.compile_batch` — an arbitrary list of
+  :class:`CompileRequest` (kernels × configs, e.g. a design-space sweep),
   fanned out over worker processes (``jobs > 1``) that all share the same
   on-disk cache, so a batch run both *uses* and *populates* the cache
   other runs (and other processes — pytest, the CLI, the benchmark
-  harness) see.
+  harness) see;
+* :meth:`CompilationService.run_suite` — the benchmark suite as a batch:
+  one config across every (or the named) suite kernel.
 
 Results are :class:`repro.flows.FlowComparison` objects stamped with
 cache provenance (``cache_status`` ``"hit"``/``"miss"``), and every suite
@@ -44,6 +47,7 @@ from .fingerprint import cache_key
 __all__ = [
     "NAMED_CONFIGS",
     "resolve_config",
+    "CompileRequest",
     "SuiteReport",
     "CompilationService",
 ]
@@ -69,6 +73,39 @@ def resolve_config(config: Union[str, OptimizationConfig]) -> OptimizationConfig
             f"valid: {sorted(NAMED_CONFIGS)}"
         ) from None
     return factory()
+
+
+@dataclass
+class CompileRequest:
+    """One unit of batch work: a kernel under a config at a size.
+
+    ``sizes`` wins over ``size_class`` when given, mirroring
+    :meth:`CompilationService.compile_one`.  Requests are plain data so a
+    design-space sweep can enumerate thousands of them before any
+    compilation starts.
+    """
+
+    kernel: str
+    config: Union[str, OptimizationConfig] = "baseline"
+    sizes: Optional[Dict[str, int]] = None
+    size_class: str = "SMALL"
+    check_equivalence: bool = True
+    seed: int = 17
+
+    def resolve(self) -> "CompileRequest":
+        """A copy with ``config``/``sizes`` resolved to concrete objects."""
+        return CompileRequest(
+            kernel=self.kernel,
+            config=resolve_config(self.config),
+            sizes=(
+                dict(self.sizes)
+                if self.sizes is not None
+                else _sizes_for(self.size_class, self.kernel)
+            ),
+            size_class=self.size_class,
+            check_equivalence=self.check_equivalence,
+            seed=self.seed,
+        )
 
 
 @dataclass
@@ -298,57 +335,68 @@ class CompilationService:
         return comparison
 
     # -- batch --------------------------------------------------------------
-    def run_suite(
+    def compile_batch(
         self,
-        config: Union[str, OptimizationConfig] = "baseline",
-        kernels: Optional[Sequence[str]] = None,
-        size_class: str = "SMALL",
-        check_equivalence: bool = True,
-        seed: int = 17,
+        requests: Sequence[CompileRequest],
+        span_name: str = "compile-batch",
     ) -> SuiteReport:
-        """Compile every (or the named) suite kernel under one config."""
+        """Compile an arbitrary request list, cache-first and in parallel.
+
+        This is the fan-out primitive :meth:`run_suite` and the DSE
+        explorer both sit on: comparisons come back in request order, and
+        the report's cache/timing statistics cover exactly this batch.
+        ``span_name`` labels the batch-level tracer span (``run-suite``
+        for suite runs, ``dse-batch`` for exploration sweeps).
+        """
         start = time.perf_counter()
         tracer = get_tracer()
         registry = get_statistics()
-        config_obj = resolve_config(config)
-        names = list(kernels) if kernels is not None else list(SUITE_SIZES[size_class])
+        resolved = [request.resolve() for request in requests]
+        config_names = sorted({r.config.name for r in resolved})
+        size_names = sorted({r.size_class for r in resolved})
         payloads = [
             {
                 "cache_dir": self.cache.root,
-                "kernel": name,
-                "config": config_obj,
-                "sizes": _sizes_for(size_class, name),
+                "kernel": request.kernel,
+                "config": request.config,
+                "sizes": request.sizes,
                 "device": self.device,
-                "check_equivalence": check_equivalence,
-                "seed": seed,
+                "check_equivalence": request.check_equivalence,
+                "seed": request.seed,
                 # Workers cannot see this process's ambient tracer/registry;
                 # ship the opt-ins so they instrument themselves.
                 "trace": tracer.enabled,
                 "stats": registry.enabled,
             }
-            for name in names
+            for request in resolved
         ]
         report = SuiteReport(
-            config=config_obj.name,
-            size_class=size_class,
+            config=(
+                config_names[0] if len(config_names) == 1
+                else f"mixed({len(config_names)})" if config_names else "-"
+            ),
+            size_class=(
+                size_names[0] if len(size_names) == 1
+                else "mixed" if size_names else "-"
+            ),
             jobs=self.jobs,
             cache_root=self.cache.root,
         )
         with tracer.span(
-            "run-suite", category="service",
-            config=config_obj.name, size=size_class,
+            span_name, category="service",
+            config=report.config, size=report.size_class,
             jobs=self.jobs, kernels=len(payloads),
         ) as suite_span:
             if self.jobs == 1 or len(payloads) <= 1:
                 before = self.cache.stats.snapshot()
-                for payload in payloads:
+                for request in resolved:
                     report.comparisons.append(
                         self.compile_one(
-                            payload["kernel"],
-                            payload["config"],
-                            sizes=payload["sizes"],
-                            check_equivalence=check_equivalence,
-                            seed=seed,
+                            request.kernel,
+                            request.config,
+                            sizes=request.sizes,
+                            check_equivalence=request.check_equivalence,
+                            seed=request.seed,
                         )
                     )
                 report.cache_stats.merge(self.cache.stats.since(before))
@@ -385,6 +433,30 @@ class CompilationService:
             report.trace = suite_span.to_dict()
         report.seconds = time.perf_counter() - start
         return report
+
+    def run_suite(
+        self,
+        config: Union[str, OptimizationConfig] = "baseline",
+        kernels: Optional[Sequence[str]] = None,
+        size_class: str = "SMALL",
+        check_equivalence: bool = True,
+        seed: int = 17,
+    ) -> SuiteReport:
+        """Compile every (or the named) suite kernel under one config."""
+        config_obj = resolve_config(config)
+        names = list(kernels) if kernels is not None else list(SUITE_SIZES[size_class])
+        requests = [
+            CompileRequest(
+                kernel=name,
+                config=config_obj,
+                sizes=_sizes_for(size_class, name),
+                size_class=size_class,
+                check_equivalence=check_equivalence,
+                seed=seed,
+            )
+            for name in names
+        ]
+        return self.compile_batch(requests, span_name="run-suite")
 
     # -- maintenance passthroughs ------------------------------------------
     def cache_stats(self) -> Dict:

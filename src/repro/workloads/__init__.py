@@ -2,12 +2,30 @@
 semantics for functional verification."""
 
 from .polybench import KernelSpec, KERNEL_BUILDERS, build_kernel
+from .space import (
+    CONFIG_SPACES,
+    ConfigSpaceSpec,
+    DEFAULT_SPACE,
+    NAMED_SPACES,
+    TINY_SPACE,
+    WIDE_SPACE,
+    config_space_for,
+    resolve_space,
+)
 from .suite import DEFAULT_SUITE, SUITE_SIZES, default_suite, kernel_names
 
 __all__ = [
     "KernelSpec",
     "KERNEL_BUILDERS",
     "build_kernel",
+    "ConfigSpaceSpec",
+    "CONFIG_SPACES",
+    "DEFAULT_SPACE",
+    "TINY_SPACE",
+    "WIDE_SPACE",
+    "NAMED_SPACES",
+    "config_space_for",
+    "resolve_space",
     "DEFAULT_SUITE",
     "SUITE_SIZES",
     "default_suite",

@@ -73,6 +73,16 @@ class KernelSpec:
     def loop_count(self) -> int:
         return sum(1 for op in self.fn.op.walk() if op.name == "affine.for")
 
+    def config_space(self):
+        """The directive space DSE explores for this kernel.
+
+        Registry lookup by name (see :mod:`repro.workloads.space`), so
+        kernels with unusual nest shapes can override the default sweep.
+        """
+        from .space import config_space_for
+
+        return config_space_for(self.name)
+
 
 def _new_kernel(name: str, args: Dict[str, Tuple[int, ...]], scalars: Sequence[str] = ()):
     """Create module + function with memref args (f32) and f32 scalars."""

@@ -1,0 +1,127 @@
+"""Per-kernel directive-space descriptors for design-space exploration.
+
+A :class:`ConfigSpaceSpec` says which directive axes exploration may move
+along — unroll factors per loop level, pipeline on/off with target IIs,
+array-partition factors — without committing to any particular point.
+:mod:`repro.dse` crosses the axes into concrete
+:class:`repro.flows.OptimizationConfig` points and prunes the infeasible
+ones against the kernel's actual loop nest.
+
+Spaces are kernel-addressable: :func:`config_space_for` consults the
+:data:`CONFIG_SPACES` registry (kernels whose structure wants a different
+sweep than the default) and falls back to :data:`DEFAULT_SPACE`.
+``KernelSpec.config_space()`` is the method spelling of the same lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+__all__ = [
+    "ConfigSpaceSpec",
+    "DEFAULT_SPACE",
+    "TINY_SPACE",
+    "WIDE_SPACE",
+    "NAMED_SPACES",
+    "CONFIG_SPACES",
+    "config_space_for",
+    "resolve_space",
+]
+
+
+@dataclass(frozen=True)
+class ConfigSpaceSpec:
+    """The axes of a directive space (factors of 1 mean "axis off").
+
+    * ``unroll_factors`` — candidate factors per unrollable loop level.
+    * ``unroll_levels`` — loop levels (0 = innermost) exploration may
+      unroll; levels deeper than the kernel's nest are dropped at
+      enumeration time, not an error.
+    * ``pipeline`` / ``ii_targets`` — innermost pipelining on/off and the
+      target IIs to request when on.
+    * ``partition_factors`` / ``partition_kind`` — cyclic/block array
+      partitioning applied to every array argument's innermost dim.
+    """
+
+    unroll_factors: Tuple[int, ...] = (1, 2, 4)
+    unroll_levels: Tuple[int, ...] = (1,)
+    pipeline: Tuple[bool, ...] = (False, True)
+    ii_targets: Tuple[int, ...] = (1,)
+    partition_factors: Tuple[int, ...] = (1, 2, 4)
+    partition_kind: str = "cyclic"
+
+    def axes(self) -> Dict[str, Tuple]:
+        """The space as named axes (reports embed this for provenance)."""
+        return {
+            "unroll_factors": tuple(self.unroll_factors),
+            "unroll_levels": tuple(self.unroll_levels),
+            "pipeline": tuple(self.pipeline),
+            "ii_targets": tuple(self.ii_targets),
+            "partition_factors": tuple(self.partition_factors),
+            "partition_kind": self.partition_kind,
+        }
+
+    def size_upper_bound(self) -> int:
+        """Cross-product cardinality before feasibility pruning."""
+        unroll = max(1, len(self.unroll_factors)) ** max(1, len(self.unroll_levels))
+        pipe = sum(
+            len(self.ii_targets) if on else 1 for on in set(self.pipeline)
+        ) or 1
+        return unroll * pipe * max(1, len(self.partition_factors))
+
+
+#: The stock sweep: outer-loop unrolling (what exposes parallel loop
+#: copies to the HLS engine), innermost pipelining at II=1, and matching
+#: cyclic partitioning so unrolled copies actually get memory banks.
+DEFAULT_SPACE = ConfigSpaceSpec()
+
+#: Smoke-test sized: 8 points before pruning.  CI explores this one.
+TINY_SPACE = ConfigSpaceSpec(
+    unroll_factors=(1, 2),
+    unroll_levels=(1,),
+    pipeline=(False, True),
+    ii_targets=(1,),
+    partition_factors=(1, 2),
+)
+
+#: Two unrollable levels and relaxed IIs — for offline deep dives.
+WIDE_SPACE = ConfigSpaceSpec(
+    unroll_factors=(1, 2, 4),
+    unroll_levels=(0, 1),
+    pipeline=(False, True),
+    ii_targets=(1, 2),
+    partition_factors=(1, 2, 4),
+)
+
+NAMED_SPACES: Dict[str, ConfigSpaceSpec] = {
+    "default": DEFAULT_SPACE,
+    "tiny": TINY_SPACE,
+    "wide": WIDE_SPACE,
+}
+
+#: Kernel-specific overrides.  Kernels with shallow nests or tiny trip
+#: counts get spaces that do not waste points on unreachable factors.
+CONFIG_SPACES: Dict[str, ConfigSpaceSpec] = {
+    # Single statement under a 2-deep nest; partitioning is the only
+    # lever besides pipelining, so sweep it harder.
+    "jacobi_1d": replace(DEFAULT_SPACE, unroll_levels=(0,)),
+    "trisolv": replace(DEFAULT_SPACE, unroll_levels=(0,)),
+}
+
+
+def config_space_for(kernel: str) -> ConfigSpaceSpec:
+    """The registered space for ``kernel``, or the default sweep."""
+    return CONFIG_SPACES.get(kernel, DEFAULT_SPACE)
+
+
+def resolve_space(space) -> ConfigSpaceSpec:
+    """Accept a spec object or a :data:`NAMED_SPACES` name."""
+    if isinstance(space, ConfigSpaceSpec):
+        return space
+    try:
+        return NAMED_SPACES[space]
+    except KeyError:
+        raise ValueError(
+            f"unknown config space {space!r}; valid: {sorted(NAMED_SPACES)}"
+        ) from None

@@ -1,0 +1,108 @@
+"""Static cost model: profiles read the real nest, pruning is honest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.cost_model import (
+    KernelProfile,
+    device_for,
+    estimate,
+    feasibility,
+    prune_reason,
+)
+from repro.flows.config import OptimizationConfig
+from repro.workloads.polybench import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+
+@pytest.fixture(scope="module")
+def gemm_profile():
+    spec = build_kernel("gemm", **SUITE_SIZES["MINI"]["gemm"])
+    return KernelProfile.from_spec(spec)
+
+
+class TestProfile:
+    def test_gemm_nest_shape(self, gemm_profile):
+        # gemm is a 3-deep nest (i, j, k) of 6x6x6 at MINI.
+        assert gemm_profile.depth == 3
+        assert gemm_profile.min_trip_by_level == {0: 6, 1: 6, 2: 6}
+        assert gemm_profile.total_iters == 6 * 6 * 6
+
+    def test_gemm_body_mix(self, gemm_profile):
+        # k-loop body: two loads, one mul, one add (plus the j-level
+        # alpha/beta epilogue ops are outside level 0 for gemm's C scale).
+        assert gemm_profile.muls_per_iter >= 1
+        assert gemm_profile.ops_per_iter >= gemm_profile.muls_per_iter
+        assert gemm_profile.mem_per_iter >= 2
+
+    def test_arrays(self, gemm_profile):
+        assert gemm_profile.array_count == 3
+        assert gemm_profile.min_inner_dim == 6
+
+
+class TestFeasibility:
+    def test_baseline_feasible(self, gemm_profile):
+        ok, reason = feasibility(gemm_profile, OptimizationConfig.baseline())
+        assert ok and reason is None
+
+    def test_unroll_beyond_trip_count(self, gemm_profile):
+        config = OptimizationConfig.point(unroll={1: 8})
+        ok, reason = feasibility(gemm_profile, config)
+        assert not ok and "trip count" in reason
+
+    def test_unroll_beyond_depth(self, gemm_profile):
+        config = OptimizationConfig.point(unroll={7: 2})
+        ok, reason = feasibility(gemm_profile, config)
+        assert not ok and "level 7" in reason
+
+    def test_partition_beyond_dim(self, gemm_profile):
+        config = OptimizationConfig.point(partition_factor=16)
+        ok, reason = feasibility(gemm_profile, config)
+        assert not ok and "innermost array dim" in reason
+
+    def test_legacy_unroll_innermost_checked(self, gemm_profile):
+        config = OptimizationConfig(name="x", unroll_innermost=64)
+        ok, reason = feasibility(gemm_profile, config)
+        assert not ok
+
+
+class TestEstimate:
+    def test_pipeline_reduces_estimated_latency(self, gemm_profile):
+        base = estimate(gemm_profile, OptimizationConfig.baseline())
+        piped = estimate(gemm_profile, OptimizationConfig.optimized(ii=1))
+        assert piped.latency < base.latency
+
+    def test_unroll_without_banks_buys_no_speedup(self, gemm_profile):
+        base = estimate(gemm_profile, OptimizationConfig.baseline())
+        unrolled = estimate(gemm_profile, OptimizationConfig.point(unroll={1: 4}))
+        assert unrolled.latency == pytest.approx(base.latency)
+
+    def test_unroll_with_banks_scales(self, gemm_profile):
+        narrow = estimate(
+            gemm_profile, OptimizationConfig.point(unroll={1: 2}, partition_factor=2)
+        )
+        base = estimate(gemm_profile, OptimizationConfig.baseline())
+        assert narrow.latency < base.latency
+        assert narrow.dsp > base.dsp
+
+    def test_fits_respects_budget(self, gemm_profile):
+        est = estimate(gemm_profile, OptimizationConfig.baseline())
+        assert est.fits(device_for("xc7z020"))
+
+
+class TestPruneReason:
+    def test_feasible_point_not_pruned(self, gemm_profile):
+        device = device_for("xc7z020")
+        assert prune_reason(gemm_profile, OptimizationConfig.optimized(), device) is None
+
+    def test_infeasible_point_pruned_with_reason(self, gemm_profile):
+        device = device_for("xc7z020")
+        reason = prune_reason(
+            gemm_profile, OptimizationConfig.point(unroll={1: 8}), device
+        )
+        assert reason is not None
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            device_for("xc9999")

@@ -1,0 +1,146 @@
+"""The exploration loop: determinism, anchors on the frontier, cache reuse."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.dse import explore
+from repro.dse.report import DSEPoint, DSEReport
+from repro.observability import StatisticsRegistry, Tracer, use_statistics, use_tracer
+from repro.service import CompilationService
+
+
+@pytest.fixture
+def service(tmp_path):
+    return CompilationService(cache_dir=str(tmp_path / "cache"), jobs=1)
+
+
+@pytest.fixture(scope="module")
+def gemm_report(tmp_path_factory):
+    cache = str(tmp_path_factory.mktemp("dse-cache"))
+    return explore("gemm", size_class="MINI", cache_dir=cache, jobs=1)
+
+
+class TestFrontier:
+    def test_frontier_has_three_nondominated_points(self, gemm_report):
+        assert len(gemm_report.frontier) >= 3
+
+    def test_both_paper_configs_on_frontier(self, gemm_report):
+        names = [p.name for p in gemm_report.frontier]
+        assert "baseline" in names
+        assert "optimized" in names
+
+    def test_anchor_flags(self, gemm_report):
+        anchors = [p for p in gemm_report.points if p.is_anchor]
+        assert sorted(p.name for p in anchors) == ["baseline", "optimized"]
+
+    def test_frontier_sorted_by_latency(self, gemm_report):
+        latencies = [p.latency for p in gemm_report.frontier]
+        assert latencies == sorted(latencies)
+
+    def test_points_cover_enumeration_minus_pruned(self, gemm_report):
+        assert gemm_report.enumerated == len(gemm_report.points) + len(
+            gemm_report.pruned
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_space_same_report(self, tmp_path):
+        def run(cache):
+            return explore(
+                "atax", size_class="MINI", space="tiny",
+                cache_dir=str(tmp_path / cache), jobs=1, seed=17,
+            )
+
+        first, second = run("a"), run("b")
+        strip = lambda d: {
+            k: v for k, v in d.items() if k not in ("seconds", "cache")
+        }
+
+        def strip_points(doc):
+            doc = copy.deepcopy(doc)
+            for p in doc["points"]:
+                p.pop("compile_seconds")
+                p.pop("cache_status")
+            return strip(doc)
+
+        assert strip_points(first.to_dict()) == strip_points(second.to_dict())
+
+
+class TestCacheReuse:
+    def test_repeat_explore_hits_for_every_point(self, service):
+        first = explore("gemm", size_class="MINI", space="tiny", service=service)
+        assert first.cache_misses == len(first.points)
+        second = explore("gemm", size_class="MINI", space="tiny", service=service)
+        assert second.cache_misses == 0
+        assert second.cache_hits == len(first.points)
+        assert [p.cache_status for p in second.points] == ["hit"] * len(second.points)
+
+    def test_widened_space_only_compiles_new_points(self, service):
+        explore("gemm", size_class="MINI", space="tiny", service=service)
+        wider = explore("gemm", size_class="MINI", space="default", service=service)
+        assert wider.cache_hits > 0  # tiny ⊂ default
+        assert wider.cache_misses == len(wider.points) - wider.cache_hits
+
+
+class TestObservability:
+    def test_dse_spans_and_counters(self, service):
+        tracer = Tracer(name="t")
+        registry = StatisticsRegistry()
+        with use_tracer(tracer), use_statistics(registry):
+            report = explore("gemm", size_class="MINI", space="tiny", service=service)
+        root = tracer.roots[0]
+        assert root.name == "dse:gemm" and root.category == "dse"
+        child_names = [c.name for c in root.children]
+        assert "dse-enumerate" in child_names
+        assert "dse-prune" in child_names
+        assert "dse-batch" in child_names
+        assert "dse-reduce" in child_names
+        counters = registry.as_dict().get("dse", {})
+        assert counters.get("points-enumerated") == report.enumerated
+        assert counters.get("points-compiled") == len(report.points)
+        assert report.trace is not None
+
+    def test_untraced_report_has_no_trace(self, gemm_report):
+        assert gemm_report.trace is None
+
+
+class TestReport:
+    def test_roundtrip_json(self, gemm_report):
+        import json
+
+        doc = json.loads(gemm_report.to_json())
+        assert doc["kernel"] == "gemm"
+        assert doc["schema_version"] == 1
+        assert set(doc["frontier"]) == {p.name for p in gemm_report.frontier}
+        assert doc["objectives"] == ["latency", "lut", "ff", "dsp", "bram_18k"]
+
+    def test_best_config_under_budget(self, gemm_report):
+        unbounded = gemm_report.best_config()
+        assert unbounded is gemm_report.frontier[0]
+        baseline = gemm_report.point("baseline")
+        tight = gemm_report.best_config({"lut": baseline.lut})
+        assert tight.name == "baseline"
+
+    def test_best_config_impossible_budget(self, gemm_report):
+        assert gemm_report.best_config({"lut": 0}) is None
+
+    def test_budget_unknown_axis_raises(self, gemm_report):
+        with pytest.raises(ValueError, match="unknown budget axis"):
+            gemm_report.best_config({"slice": 10})
+
+    def test_summary_mentions_frontier_and_cache(self, gemm_report):
+        text = gemm_report.summary()
+        assert "non-dominated" in text
+        assert "cache hit" in text
+
+    def test_mark_frontier_recomputes(self):
+        report = DSEReport(kernel="k", size_class="MINI", device="xc7z020")
+        report.points = [
+            DSEPoint(name="a", config={}, latency=10, lut=1, ff=1, dsp=1, bram_18k=1),
+            DSEPoint(name="b", config={}, latency=20, lut=2, ff=2, dsp=2, bram_18k=2),
+        ]
+        report.mark_frontier()
+        assert [p.name for p in report.frontier] == ["a"]

@@ -1,0 +1,85 @@
+"""Pareto dominance: definition basics plus the frontier property test."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dse.pareto import OBJECTIVES, dominates, objective_vector, pareto_frontier
+
+
+def point(latency, lut=0, ff=0, dsp=0, bram_18k=0):
+    return {
+        "latency": latency, "lut": lut, "ff": ff,
+        "dsp": dsp, "bram_18k": bram_18k,
+    }
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_better_somewhere_equal_elsewhere(self):
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((2, 2), (2, 2))
+
+    def test_tradeoff_neither_dominates(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError, match="arity"):
+            dominates((1, 2), (1, 2, 3))
+
+
+class TestFrontier:
+    def test_single_point_is_frontier(self):
+        p = point(10, lut=5)
+        assert pareto_frontier([p]) == [p]
+
+    def test_dominated_point_removed(self):
+        good = point(10, lut=5)
+        bad = point(20, lut=9)
+        assert pareto_frontier([good, bad]) == [good]
+
+    def test_tradeoffs_all_kept(self):
+        fast = point(10, lut=100)
+        small = point(100, lut=10)
+        assert pareto_frontier([fast, small]) == [fast, small]
+
+    def test_duplicate_vectors_both_kept(self):
+        a, b = point(10, lut=5), point(10, lut=5)
+        assert pareto_frontier([a, b]) == [a, b]
+
+    def test_property_frontier_is_exactly_the_nondominated_set(self):
+        """Randomised dominance property: (1) no frontier point is
+        dominated by anything; (2) every excluded point is dominated by
+        some frontier point (transitivity of <= on finite sets)."""
+        rng = random.Random(20260806)
+        for _ in range(25):
+            points = [
+                point(
+                    rng.randrange(1, 50),
+                    lut=rng.randrange(1, 50),
+                    ff=rng.randrange(1, 50),
+                    dsp=rng.randrange(1, 10),
+                    bram_18k=rng.randrange(1, 10),
+                )
+                for _ in range(rng.randrange(2, 30))
+            ]
+            frontier = pareto_frontier(points)
+            assert frontier, "a finite non-empty set has a non-dominated element"
+            vectors = [objective_vector(p) for p in points]
+            front_vectors = [objective_vector(p) for p in frontier]
+            for fv in front_vectors:
+                assert not any(dominates(v, fv) for v in vectors)
+            for p, v in zip(points, vectors):
+                if p in frontier:
+                    continue
+                assert any(dominates(fv, v) for fv in front_vectors)
+
+    def test_objectives_are_the_report_axes(self):
+        assert OBJECTIVES == ("latency", "lut", "ff", "dsp", "bram_18k")

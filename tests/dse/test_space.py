@@ -1,0 +1,102 @@
+"""Design-space enumeration: dedup, anchors, level filtering."""
+
+from __future__ import annotations
+
+from repro.dse.space import DesignSpace, paper_anchors
+from repro.flows.config import OptimizationConfig
+from repro.workloads.space import (
+    ConfigSpaceSpec,
+    DEFAULT_SPACE,
+    NAMED_SPACES,
+    TINY_SPACE,
+    config_space_for,
+    resolve_space,
+)
+
+
+class TestAnchors:
+    def test_paper_anchors_are_the_registry_recipes(self):
+        names = [c.name for c in paper_anchors()]
+        assert names == ["baseline", "optimized"]
+
+    def test_anchors_always_enumerated(self):
+        space = DesignSpace.build(TINY_SPACE, nest_depth=3)
+        names = [c.name for c in space.candidates]
+        assert names[0] == "baseline"
+        assert names[1] == "optimized"
+        assert space.is_anchor(space.candidates[0])
+        assert not space.is_anchor(space.candidates[-1])
+
+
+class TestDedup:
+    def test_signatures_are_unique(self):
+        space = DesignSpace.build(DEFAULT_SPACE, nest_depth=3)
+        signatures = [c.signature() for c in space.candidates]
+        assert len(signatures) == len(set(signatures))
+
+    def test_pipeline_off_collapses_ii_axis(self):
+        spec = ConfigSpaceSpec(
+            unroll_factors=(1,), unroll_levels=(), pipeline=(False,),
+            ii_targets=(1, 2, 4), partition_factors=(1,),
+        )
+        space = DesignSpace.build(spec, nest_depth=3)
+        # anchors + exactly one "plain" point (all IIs alias when not
+        # pipelining); plain aliases baseline itself, so just the anchors.
+        assert [c.name for c in space.candidates] == ["baseline", "optimized"]
+
+    def test_optimized_alias_not_duplicated(self):
+        # pipe-ii1 with no unroll/partition is exactly the optimized
+        # anchor; the cross product must not emit it twice.
+        space = DesignSpace.build(DEFAULT_SPACE, nest_depth=3)
+        matching = [
+            c
+            for c in space.candidates
+            if c.signature() == OptimizationConfig.optimized(ii=1).signature()
+        ]
+        assert [c.name for c in matching] == ["optimized"]
+
+
+class TestLevelFiltering:
+    def test_levels_beyond_nest_depth_dropped(self):
+        spec = ConfigSpaceSpec(
+            unroll_factors=(1, 2), unroll_levels=(0, 1, 2),
+            pipeline=(False,), ii_targets=(1,), partition_factors=(1,),
+        )
+        deep = DesignSpace.build(spec, nest_depth=3)
+        shallow = DesignSpace.build(spec, nest_depth=1)
+        assert len(shallow) < len(deep)
+        for config in shallow.candidates:
+            assert all(level == 0 for level in config.unroll_levels)
+
+    def test_unknown_depth_keeps_all_levels(self):
+        spec = ConfigSpaceSpec(
+            unroll_factors=(1, 2), unroll_levels=(0, 5),
+            pipeline=(False,), ii_targets=(1,), partition_factors=(1,),
+        )
+        space = DesignSpace.build(spec, nest_depth=None)
+        assert any(5 in c.unroll_levels for c in space.candidates)
+
+
+class TestRegistry:
+    def test_default_lookup(self):
+        assert config_space_for("gemm") == DEFAULT_SPACE
+
+    def test_override_lookup(self):
+        assert config_space_for("jacobi_1d").unroll_levels == (0,)
+
+    def test_resolve_named(self):
+        for name, spec in NAMED_SPACES.items():
+            assert resolve_space(name) is spec
+        assert resolve_space(TINY_SPACE) is TINY_SPACE
+
+    def test_resolve_unknown_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown config space"):
+            resolve_space("galactic")
+
+    def test_size_upper_bound_covers_enumeration(self):
+        for spec in NAMED_SPACES.values():
+            space = DesignSpace.build(spec, nest_depth=3)
+            # +2 for the pinned anchors (baseline may alias "plain").
+            assert len(space) <= spec.size_upper_bound() + 2

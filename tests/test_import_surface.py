@@ -1,0 +1,69 @@
+"""The public import surface cannot drift from the filesystem again.
+
+PRs 3–4 added ``lint`` and ``observability`` without touching
+``repro.__all__``; this test pins ``__all__`` to the actual submodule
+list (plus the facade names) so the next subpackage must declare itself.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def _public_submodules():
+    return sorted(
+        info.name
+        for info in pkgutil.iter_modules(repro.__path__)
+        if not info.name.startswith("_")
+    )
+
+
+def test_all_covers_every_public_submodule():
+    missing = set(_public_submodules()) - set(repro.__all__)
+    assert not missing, (
+        f"submodules absent from repro.__all__: {sorted(missing)} — "
+        "add them (and a layer-map line in the module docstring)"
+    )
+
+
+def test_all_has_no_phantom_submodules():
+    facade = {"compile_kernel", "explore", "CompileResult"}
+    phantom = set(repro.__all__) - set(_public_submodules()) - facade
+    assert not phantom, f"repro.__all__ names nothing on disk: {sorted(phantom)}"
+
+
+def test_lint_and_observability_present():
+    # The two packages the original omission was about.
+    assert "lint" in repro.__all__
+    assert "observability" in repro.__all__
+    assert "dse" in repro.__all__
+
+
+def test_every_submodule_imports():
+    for name in _public_submodules():
+        importlib.import_module(f"repro.{name}")
+
+
+def test_facade_names_in_dir():
+    listing = dir(repro)
+    for name in ("compile_kernel", "explore", "CompileResult"):
+        assert name in listing
+
+
+def test_docstring_tour_is_three_lines():
+    """The sixty-second tour must stay the three-line facade spelling."""
+    doc = repro.__doc__
+    start = doc.index("tour::")
+    tour = [
+        line.strip()
+        for line in doc[start:].splitlines()[1:]
+        if line.strip() and not line.strip().startswith("(")
+    ]
+    # import + two facade calls, then the layer map begins.
+    assert tour[0] == "import repro"
+    assert "compile_kernel" in tour[1]
+    assert "explore" in tour[2]
+    assert tour[3].startswith("Layer map")
