@@ -24,7 +24,13 @@ from repro.observability import (
     use_statistics,
     use_tracer,
 )
-from repro.service import CompilationService, NAMED_CONFIGS, default_jobs
+from repro.service import (
+    CompilationService,
+    FailurePolicy,
+    NAMED_CONFIGS,
+    default_jobs,
+)
+from repro.testing import ChaosProfile
 from repro.workloads.suite import SUITE_SIZES
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -48,7 +54,32 @@ CACHE_DIR = os.environ.get(
     "REPRO_CACHE_DIR", os.path.join(os.path.dirname(__file__), ".cache")
 )
 
-SERVICE = CompilationService(cache_dir=CACHE_DIR, jobs=default_jobs())
+def _policy_from_env():
+    """A FailurePolicy from $REPRO_FAILURE_POLICY / $REPRO_TIMEOUT /
+    $REPRO_MAX_ATTEMPTS, or None (service default, fail-fast) when none
+    are set.  Lets CI run the benchmark suite resiliently — e.g.
+    ``REPRO_FAILURE_POLICY=retry REPRO_TIMEOUT=60 pytest benchmarks`` —
+    without touching the harness."""
+    mode = os.environ.get("REPRO_FAILURE_POLICY")
+    timeout = os.environ.get("REPRO_TIMEOUT")
+    attempts = os.environ.get("REPRO_MAX_ATTEMPTS")
+    if not (mode or timeout or attempts):
+        return None
+    return FailurePolicy(
+        mode=mode or "fail-fast",
+        timeout=float(timeout) if timeout else None,
+        max_attempts=int(attempts) if attempts else None,
+    )
+
+
+SERVICE = CompilationService(
+    cache_dir=CACHE_DIR,
+    jobs=default_jobs(),
+    policy=_policy_from_env(),
+    # $REPRO_CHAOS (e.g. "seed=42,crash=1") arms the deterministic fault
+    # injector for every harness batch — chaos-smoke CI only.
+    chaos=ChaosProfile.from_env(),
+)
 
 
 def run_comparison(kernel: str, config_name: str = "baseline") -> FlowComparison:

@@ -144,6 +144,7 @@ def explore(
     jobs: int = 1,
     device: str = "xc7z020",
     seed: int = 17,
+    policy: Optional["FailurePolicy"] = None,
 ):
     """Explore ``name``'s directive space; returns a :class:`DSEReport`.
 
@@ -153,7 +154,10 @@ def explore(
     ``{"lut_pct": 50}``) is recorded on the report and drives its
     ``best``/:meth:`~repro.dse.DSEReport.best_config` selection.
     Exploration compiles through the persistent service cache, so
-    repeated calls are warm.
+    repeated calls are warm.  ``policy`` (a
+    :class:`repro.service.FailurePolicy`) makes the sweep resilient:
+    under ``continue``/``retry`` a crashing point is recorded in the
+    report's ``failed`` list instead of aborting the exploration.
     """
     from .dse.explorer import explore as dse_explore
 
@@ -166,4 +170,5 @@ def explore(
         device=device,
         seed=seed,
         budget=budget,
+        policy=policy,
     )

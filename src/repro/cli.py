@@ -159,9 +159,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    # build_parser() itself can raise: default_jobs() validates
+    # $REPRO_JOBS at parser-construction time.
     try:
+        parser = build_parser()
+        args = parser.parse_args(argv)
         return args.handler(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)

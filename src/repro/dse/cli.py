@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from ..diagnostics.errors import CompilationError
 from ..service.cache import default_cache_dir
+from ..service.resilience import FAILURE_MODES
 from ..service.service import default_jobs
 from ..workloads.space import NAMED_SPACES
 
@@ -80,16 +81,33 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--trace-out", default=None, metavar="PATH",
         help="run traced and write a Chrome trace-event JSON file here",
     )
+    parser.add_argument(
+        "--failure-policy", default=None, dest="failure_policy",
+        choices=list(FAILURE_MODES),
+        help="how failing design points are handled: fail-fast aborts "
+        "the sweep, continue/retry record them in the report's 'failed' "
+        "list and keep exploring (default: fail-fast)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock deadline (enforced with --jobs > 1)",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=None, metavar="N",
+        help="executions per point (default: 2 under retry, else 1)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
     from ..dse.explorer import explore
+    from ..service.cli import policy_from_args
     from ..service.service import CompilationService
 
     cache_dir = getattr(args, "cache_dir", None)
     service = CompilationService(
         cache_dir=cache_dir, jobs=args.jobs, device=args.device
     )
+    policy = policy_from_args(args)
 
     def _explore():
         return explore(
@@ -100,6 +118,7 @@ def run(args: argparse.Namespace) -> int:
             check_equivalence=args.check_equivalence,
             seed=args.seed,
             budget=args.budget,
+            policy=policy,
         )
 
     if args.trace_out:
@@ -158,9 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    # build_parser() itself can raise: default_jobs() validates
+    # $REPRO_JOBS at parser-construction time.
     try:
+        parser = build_parser()
+        args = parser.parse_args(argv)
         return run(args)
     except (CompilationError, ValueError) as exc:
         code = getattr(exc, "code", None)

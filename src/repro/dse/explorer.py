@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from ..observability import get_statistics, get_tracer
+from ..service.resilience import FailurePolicy
 from ..service.service import CompilationService, CompileRequest, _sizes_for
 from ..workloads.polybench import build_kernel
 from ..workloads.space import ConfigSpaceSpec, config_space_for, resolve_space
@@ -40,6 +41,7 @@ def explore(
     check_equivalence: bool = False,
     seed: int = 17,
     budget: Optional[Dict[str, float]] = None,
+    policy: Optional[FailurePolicy] = None,
 ) -> DSEReport:
     """Explore ``kernel``'s directive space and return the DSE report.
 
@@ -54,6 +56,11 @@ def explore(
     Determinism: the enumeration order, pruning decisions, and compile
     requests depend only on (kernel, size, space, seed, device), so two
     runs produce identical reports modulo timing/cache provenance.
+
+    ``policy`` (a :class:`repro.service.FailurePolicy`) governs the
+    batch: under ``continue``/``retry`` a crashing design point lands in
+    ``report.failed`` instead of aborting the sweep — the frontier is
+    computed over the points that *did* compile.
     """
     tracer = get_tracer()
     stats = get_statistics()
@@ -111,10 +118,22 @@ def explore(
             )
             for config in survivors
         ]
-        batch = service.compile_batch(requests, span_name="dse-batch")
+        batch = service.compile_batch(
+            requests, span_name="dse-batch", policy=policy
+        )
 
         with tracer.span("dse-reduce", category="dse"):
-            for config, comparison in zip(survivors, batch.comparisons):
+            # Walk outcomes, not comparisons: under a continue/retry
+            # policy the batch is partial, and outcome.index is the only
+            # honest join back to the surviving configs.
+            for outcome in batch.outcomes:
+                config = survivors[outcome.index]
+                comparison = batch.comparison_for(outcome)
+                if comparison is None:
+                    report.failed.append(
+                        {"name": config.name, **outcome.to_dict()}
+                    )
+                    continue
                 resources = comparison.adaptor.resources
                 report.points.append(
                     DSEPoint(
@@ -136,6 +155,7 @@ def explore(
         report.cache_misses = batch.cache_stats.misses
         report.seconds = batch.seconds
         stats.bump("dse", "points-compiled", len(report.points))
+        stats.bump("dse", "points-failed", len(report.failed))
         stats.bump("dse", "cache-hits", report.cache_hits)
         stats.bump("dse", "frontier-size", len(report.frontier))
         dse_span.set(

@@ -95,6 +95,10 @@ class DSEReport:
     seed: int = 17
     points: List[DSEPoint] = field(default_factory=list)
     pruned: List[Dict[str, str]] = field(default_factory=list)  # name+reason
+    # Points whose compile failed or timed out under a continue/retry
+    # failure policy: serialized RequestOutcome dicts plus the design
+    # point's name.  Empty under fail-fast (a failure raised instead).
+    failed: List[Dict[str, Any]] = field(default_factory=list)
     enumerated: int = 0
     seconds: float = 0.0
     cache_hits: int = 0
@@ -153,6 +157,7 @@ class DSEReport:
             "objectives": list(OBJECTIVES),
             "enumerated": self.enumerated,
             "pruned": list(self.pruned),
+            "failed": list(self.failed),
             "points": [p.to_dict() for p in self.points],
             "frontier": [p.name for p in self.frontier],
             "budget": self.budget,
@@ -170,8 +175,9 @@ class DSEReport:
             f"design-space exploration: kernel={self.kernel} "
             f"size={self.size_class} device={self.device}",
             f"enumerated {self.enumerated} point(s), pruned "
-            f"{len(self.pruned)}, compiled {len(self.points)} "
-            f"({self.cache_hits} cache hit(s), {self.cache_misses} miss(es)) "
+            f"{len(self.pruned)}, compiled {len(self.points)}"
+            + (f", {len(self.failed)} FAILED" if self.failed else "")
+            + f" ({self.cache_hits} cache hit(s), {self.cache_misses} miss(es)) "
             f"in {self.seconds:.2f}s",
             "",
             f"  {'point':<24} {'latency':>8} {'lut':>7} {'ff':>7} "
@@ -196,4 +202,15 @@ class DSEReport:
             lines.append(f"pruned ({len(self.pruned)}):")
             for entry in self.pruned:
                 lines.append(f"  {entry['name']}: {entry['reason']}")
+        if self.failed:
+            lines.append(f"failed ({len(self.failed)}):")
+            for entry in self.failed:
+                code = (
+                    f"[{entry['error_code']}] " if entry.get("error_code") else ""
+                )
+                lines.append(
+                    f"  {entry.get('name', entry.get('config', '?'))}: "
+                    f"{entry['status']} after {entry['attempts']} attempt(s): "
+                    f"{code}{entry.get('error')}"
+                )
         return "\n".join(lines)

@@ -23,9 +23,18 @@ from .fingerprint import (
     kernel_fingerprint,
     pipeline_fingerprint,
 )
+from .resilience import (
+    FAILURE_MODES,
+    OUTCOME_STATUSES,
+    FailurePolicy,
+    RequestOutcome,
+    ResilientExecutor,
+    outcome_counts,
+)
 from .service import (
     NAMED_CONFIGS,
     CompilationService,
+    CompileRequest,
     SuiteReport,
     default_jobs,
     resolve_config,
@@ -41,8 +50,15 @@ __all__ = [
     "config_fingerprint",
     "kernel_fingerprint",
     "pipeline_fingerprint",
+    "FAILURE_MODES",
+    "OUTCOME_STATUSES",
+    "FailurePolicy",
+    "RequestOutcome",
+    "ResilientExecutor",
+    "outcome_counts",
     "NAMED_CONFIGS",
     "CompilationService",
+    "CompileRequest",
     "SuiteReport",
     "default_jobs",
     "resolve_config",

@@ -176,9 +176,15 @@ class CompilationCache:
 
     # -- load ---------------------------------------------------------------
     def _read_entry(self, path: str) -> Tuple[Dict[str, Any], Any]:
-        with open(path, "rb") as fh:
-            header_line = fh.readline()
-            payload = fh.read()
+        try:
+            with open(path, "rb") as fh:
+                header_line = fh.readline()
+                payload = fh.read()
+        except OSError as exc:
+            # A concurrent writer/cleaner can unlink the entry between the
+            # caller's existence check and this open: that is a miss, not
+            # corruption, but both degrade the same way.
+            raise CacheError(f"cache entry {path} vanished mid-read: {exc}", path=path)
         try:
             header = json.loads(header_line.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -246,6 +252,20 @@ class CompilationCache:
 
     def contains(self, key: str) -> bool:
         return os.path.exists(self.entry_path(key))
+
+    def verify(self, key: str) -> bool:
+        """True iff ``key`` has an on-disk entry that reads back clean
+        (header parses, format matches, checksum and pickle hold).  Never
+        mutates state or counters — this is the audit probe the
+        concurrent-writer and chaos tests use."""
+        path = self.entry_path(key)
+        if not os.path.exists(path):
+            return False
+        try:
+            self._read_entry(path)
+        except CacheError:
+            return False
+        return True
 
     # -- maintenance --------------------------------------------------------
     def clear(self) -> int:

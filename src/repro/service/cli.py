@@ -7,17 +7,21 @@ Subcommands::
     cache clear  drop every cache entry
 
 Exit status: ``0`` on success, ``1`` when a run-suite row reports a
-functional mismatch, ``2`` for usage/configuration errors.
+functional mismatch or a request failed/timed out under a
+``continue``/``retry`` failure policy, ``2`` for usage/configuration
+errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from ..diagnostics.errors import CompilationError
+from ..diagnostics.errors import CompilationError, PipelineConfigError
 from .cache import default_cache_dir
+from .resilience import FAILURE_MODES, FailurePolicy
 from .service import NAMED_CONFIGS, CompilationService, default_jobs
 
 __all__ = ["main", "build_parser", "register_subcommands"]
@@ -71,6 +75,45 @@ def register_subcommands(sub) -> None:
         help="run traced and write a Chrome trace-event JSON file here "
         "(open in chrome://tracing or Perfetto)",
     )
+    run.add_argument(
+        "--failure-policy",
+        default=None,
+        choices=list(FAILURE_MODES),
+        dest="failure_policy",
+        help="how worker failures are handled: fail-fast aborts the batch, "
+        "continue isolates them into per-request outcomes, retry re-runs "
+        "them under deterministic backoff (default: fail-fast)",
+    )
+    run.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request wall-clock deadline; past it the worker is "
+        "abandoned and the request recorded timed-out (needs --jobs > 1)",
+    )
+    run.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="executions per request (default: 2 under retry, else 1)",
+    )
+    run.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault injector, e.g. "
+        "'seed=42,crash=1,hang=1,slow=1' (chaos testing only)",
+    )
+    run.add_argument(
+        "--outcomes-json",
+        default=None,
+        metavar="PATH",
+        dest="outcomes_json",
+        help="write per-request outcomes, their status counts and the "
+        "service.* resilience counters as JSON here",
+    )
 
     cache = sub.add_parser("cache", help="cache maintenance")
     cache.set_defaults(handler=_cmd_cache)
@@ -94,12 +137,78 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def policy_from_args(args: argparse.Namespace) -> Optional[FailurePolicy]:
+    """A :class:`FailurePolicy` from ``--failure-policy``/``--timeout``/
+    ``--max-attempts``, or ``None`` when none were given (service default)."""
+    if (
+        getattr(args, "failure_policy", None) is None
+        and getattr(args, "timeout", None) is None
+        and getattr(args, "max_attempts", None) is None
+    ):
+        return None
+    return FailurePolicy(
+        mode=getattr(args, "failure_policy", None) or "fail-fast",
+        max_attempts=getattr(args, "max_attempts", None),
+        timeout=getattr(args, "timeout", None),
+    )
+
+
+def _chaos_from_args(args: argparse.Namespace):
+    if not getattr(args, "chaos", None):
+        return None
+    from ..testing.chaos import ChaosProfile
+
+    try:
+        return ChaosProfile.from_spec(args.chaos)
+    except ValueError as exc:
+        raise PipelineConfigError(f"bad --chaos spec: {exc}") from None
+
+
+def _write_outcomes_json(path: str, report, registry) -> None:
+    doc = {
+        "policy": report.policy,
+        "jobs": report.jobs,
+        "degraded": report.degraded,
+        "seconds": round(report.seconds, 3),
+        "counts": report.outcome_counts(),
+        "outcomes": [o.to_dict() for o in report.outcomes],
+        "counters": (
+            registry.as_dict().get("service", {}) if registry is not None else {}
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
 def _cmd_run_suite(args: argparse.Namespace) -> int:
-    service = CompilationService(cache_dir=args.cache_dir, jobs=args.jobs)
+    service = CompilationService(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        policy=policy_from_args(args),
+        chaos=_chaos_from_args(args),
+    )
     kernels = args.kernels.split(",") if args.kernels else None
+
+    def _run():
+        return service.run_suite(
+            args.config,
+            kernels=kernels,
+            size_class=args.size,
+            check_equivalence=not args.no_equivalence,
+            seed=args.seed,
+        )
+
+    registry = None
+    if args.trace_out or args.outcomes_json:
+        # The service.* resilience counters (and the trace) only exist
+        # under an installed registry/tracer — ambient observability is a
+        # no-op by default.
+        from ..observability import StatisticsRegistry
+
+        registry = StatisticsRegistry()
     if args.trace_out:
         from ..observability import (
-            StatisticsRegistry,
             Tracer,
             dump_chrome_trace,
             use_statistics,
@@ -107,28 +216,23 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         )
 
         tracer = Tracer(name="run-suite")
-        registry = StatisticsRegistry()
         with use_tracer(tracer), use_statistics(registry):
-            report = service.run_suite(
-                args.config,
-                kernels=kernels,
-                size_class=args.size,
-                check_equivalence=not args.no_equivalence,
-                seed=args.seed,
-            )
+            report = _run()
         lanes = [
             (c.kernel, [c.trace]) for c in report.comparisons if c.trace is not None
         ]
         dump_chrome_trace(args.trace_out, forest=tracer.roots, lanes=lanes)
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+    elif registry is not None:
+        from ..observability import use_statistics
+
+        with use_statistics(registry):
+            report = _run()
     else:
-        report = service.run_suite(
-            args.config,
-            kernels=kernels,
-            size_class=args.size,
-            check_equivalence=not args.no_equivalence,
-            seed=args.seed,
-        )
+        report = _run()
+    if args.outcomes_json:
+        _write_outcomes_json(args.outcomes_json, report, registry)
+        print(f"outcomes written to {args.outcomes_json}", file=sys.stderr)
     print(report.summary())
     mismatched = [
         c.kernel for c in report.comparisons if c.functionally_equivalent is False
@@ -139,6 +243,12 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
     if args.fail_on_lint and report.lint_clean is False:
         dirty = ", ".join(c.kernel for c in report.lint_dirty)
         print(f"LINT FINDINGS: {dirty}", file=sys.stderr)
+        return 1
+    if report.failures:
+        failed = ", ".join(
+            f"{o.kernel} ({o.status})" for o in report.failures
+        )
+        print(f"INCOMPLETE: {failed}", file=sys.stderr)
         return 1
     return 0
 
@@ -161,9 +271,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = build_parser()
-    args = parser.parse_args(argv)
+    # build_parser() itself can raise: default_jobs() validates
+    # $REPRO_JOBS at parser-construction time.
     try:
+        parser = build_parser()
+        args = parser.parse_args(argv)
         return args.handler(args)
     except CompilationError as exc:
         code = getattr(exc, "code", "REPRO-E000")

@@ -24,12 +24,11 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from ..diagnostics.engine import DiagnosticEngine
-from ..diagnostics.errors import CompilationError, PipelineConfigError, ServiceError
+from ..diagnostics.errors import PipelineConfigError
 from ..flows.compare import FlowComparison, compare_flows
 from ..flows.config import OptimizationConfig
 from ..observability import (
@@ -43,6 +42,13 @@ from ..observability import (
 from ..workloads.suite import SUITE_SIZES
 from .cache import CacheStats, CompilationCache
 from .fingerprint import cache_key
+from .resilience import (
+    FailurePolicy,
+    RequestOutcome,
+    ResilientExecutor,
+    outcome_counts,
+    run_serial,
+)
 
 __all__ = [
     "NAMED_CONFIGS",
@@ -110,7 +116,15 @@ class CompileRequest:
 
 @dataclass
 class SuiteReport:
-    """One batch run: the comparisons plus how they were obtained."""
+    """One batch run: the comparisons plus how they were obtained.
+
+    ``comparisons`` holds the *successful* rows in request order;
+    ``outcomes`` always has one :class:`RequestOutcome` per request, so
+    a batch run under a ``continue``/``retry`` policy returns partial
+    results instead of raising completed work away.  When every request
+    succeeds (the only thing the historical fail-fast path could
+    return), ``comparisons`` and ``outcomes`` line up one-to-one.
+    """
 
     config: str
     size_class: str
@@ -119,6 +133,12 @@ class SuiteReport:
     seconds: float = 0.0  # wall clock for the whole batch
     cache_stats: CacheStats = field(default_factory=CacheStats)
     cache_root: str = ""
+    # One record per request: ok / retried-then-ok / failed / timed-out.
+    outcomes: List[RequestOutcome] = field(default_factory=list)
+    # FailurePolicy.describe() of the policy that governed the batch.
+    policy: str = "fail-fast"
+    # True when the circuit breaker degraded the batch to serial execution.
+    degraded: bool = False
     # Serialized suite-level span tree (run-suite → compile → cache/flow
     # spans), set when the run happened under an enabled tracer.
     trace: Optional[Dict[str, Any]] = None
@@ -126,6 +146,24 @@ class SuiteReport:
     @property
     def kernels(self) -> List[str]:
         return [c.kernel for c in self.comparisons]
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def failures(self) -> List[RequestOutcome]:
+        """Outcomes that produced no comparison (failed or timed out)."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        return outcome_counts(self.outcomes)
+
+    def comparison_for(self, outcome: RequestOutcome) -> Optional[FlowComparison]:
+        """The comparison ``outcome`` produced, or ``None`` if it failed."""
+        if outcome.comparison_index is None:
+            return None
+        return self.comparisons[outcome.comparison_index]
 
     @property
     def compile_seconds(self) -> float:
@@ -166,7 +204,8 @@ class SuiteReport:
     def summary(self) -> str:
         lines = [
             f"suite run: config={self.config} size={self.size_class} "
-            f"jobs={self.jobs} wall={self.seconds:.2f}s",
+            f"jobs={self.jobs} wall={self.seconds:.2f}s"
+            + (" [DEGRADED to serial]" if self.degraded else ""),
             f"cache [{self.cache_root}]: {self.cache_stats.summary()}",
             f"compiled {self.compile_seconds:.3f}s; cache saved "
             f"{self.saved_seconds:.3f}s of original compile time "
@@ -203,6 +242,18 @@ class SuiteReport:
                 else f"lint: {len(dirty)} module(s) with findings: "
                 f"{', '.join(c.kernel for c in dirty)}"
             )
+        if self.outcomes and (self.failures or self.policy != "fail-fast"):
+            counts = self.outcome_counts()
+            lines.append(
+                f"outcomes [{self.policy}]: "
+                + ", ".join(f"{n} {status}" for status, n in counts.items() if n)
+            )
+            for outcome in self.failures:
+                code = f"[{outcome.error_code}] " if outcome.error_code else ""
+                lines.append(
+                    f"  {outcome.status.upper()} {outcome.kernel} "
+                    f"(attempt {outcome.attempts}): {code}{outcome.error}"
+                )
         return "\n".join(lines)
 
 
@@ -235,6 +286,10 @@ def _compile_job(payload: dict):
     under its own tracer/registry and returns the comparison (with its
     serialized span tree attached) plus the counter dump for the parent to
     merge.
+
+    When the chaos harness is armed, the payload carries a per-request
+    fault ``plan`` plus the current ``attempt``; crash/hang/slow faults
+    fire *before* the compile, corrupt-on-write *after* it.
     """
     service = CompilationService(
         cache_dir=payload["cache_dir"],
@@ -243,6 +298,12 @@ def _compile_job(payload: dict):
     )
     from ..observability import NULL_STATISTICS, NULL_TRACER
 
+    plan = payload.get("chaos")
+    attempt = payload.get("attempt", 1)
+    if plan:
+        from ..testing.chaos import apply_chaos
+
+        apply_chaos(plan, attempt)
     tracer = Tracer(name=payload["kernel"]) if payload.get("trace") else NULL_TRACER
     registry = StatisticsRegistry() if payload.get("stats") else NULL_STATISTICS
     with use_tracer(tracer), use_statistics(registry):
@@ -253,6 +314,18 @@ def _compile_job(payload: dict):
             check_equivalence=payload["check_equivalence"],
             seed=payload["seed"],
         )
+    if plan and plan.get("fault") == "corrupt-cache":
+        from ..testing.chaos import corrupt_after_write
+
+        key = cache_key(
+            payload["kernel"],
+            payload["sizes"],
+            payload["config"],
+            device=payload["device"],
+            check_equivalence=payload["check_equivalence"],
+            seed=payload["seed"],
+        )
+        corrupt_after_write(plan, attempt, service.cache, key)
     counters = registry.as_dict() if registry.enabled else None
     return comparison, service.cache.stats, counters
 
@@ -262,6 +335,10 @@ class CompilationService:
 
     ``jobs`` caps the worker-process fan-out for :meth:`run_suite`
     (``1`` = in-process serial).  All workers share ``cache_dir``.
+    ``policy`` is the default :class:`FailurePolicy` batches run under
+    (fail-fast when unset); ``chaos`` arms the service-level fault
+    injector (:class:`repro.testing.ChaosProfile`) for every batch —
+    testing only, obviously.
     """
 
     def __init__(
@@ -270,12 +347,16 @@ class CompilationService:
         jobs: int = 1,
         device: str = "xc7z020",
         engine: Optional[DiagnosticEngine] = None,
+        policy: Optional[FailurePolicy] = None,
+        chaos=None,
     ):
         if jobs < 1:
             raise PipelineConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.device = device
         self.engine = engine or DiagnosticEngine()
+        self.policy = policy or FailurePolicy()
+        self.chaos = chaos
         self.cache = CompilationCache(cache_dir, engine=self.engine)
 
     # -- single kernel ------------------------------------------------------
@@ -339,18 +420,27 @@ class CompilationService:
         self,
         requests: Sequence[CompileRequest],
         span_name: str = "compile-batch",
+        policy: Optional[FailurePolicy] = None,
+        chaos=None,
     ) -> SuiteReport:
         """Compile an arbitrary request list, cache-first and in parallel.
 
         This is the fan-out primitive :meth:`run_suite` and the DSE
-        explorer both sit on: comparisons come back in request order, and
-        the report's cache/timing statistics cover exactly this batch.
+        explorer both sit on: successful comparisons come back in request
+        order, one :class:`RequestOutcome` per request records what
+        happened, and the report's cache/timing statistics cover exactly
+        this batch.  ``policy`` (default: the service's, default
+        fail-fast) decides whether a failure aborts the batch or is
+        isolated into its outcome; under ``continue``/``retry`` the
+        report is *partial* — completed work is never discarded.
         ``span_name`` labels the batch-level tracer span (``run-suite``
         for suite runs, ``dse-batch`` for exploration sweeps).
         """
         start = time.perf_counter()
         tracer = get_tracer()
         registry = get_statistics()
+        policy = policy or self.policy
+        chaos = chaos if chaos is not None else self.chaos
         resolved = [request.resolve() for request in requests]
         config_names = sorted({r.config.name for r in resolved})
         size_names = sorted({r.size_class for r in resolved})
@@ -370,6 +460,21 @@ class CompilationService:
             }
             for request in resolved
         ]
+        if chaos is not None and chaos.total_faults:
+            from ..testing.chaos import request_fingerprint
+
+            fingerprints = [
+                request_fingerprint(
+                    r.kernel, str(r.config.signature()), r.sizes, r.seed
+                )
+                for r in resolved
+            ]
+            plans = chaos.assign(fingerprints)
+            for payload, fingerprint in zip(payloads, fingerprints):
+                if fingerprint in plans:
+                    payload["chaos"] = plans[fingerprint]
+        labels = [r.kernel for r in resolved]
+        configs = [r.config.name for r in resolved]
         report = SuiteReport(
             config=(
                 config_names[0] if len(config_names) == 1
@@ -381,7 +486,12 @@ class CompilationService:
             ),
             jobs=self.jobs,
             cache_root=self.cache.root,
+            policy=policy.describe(),
         )
+
+        def stamp_attempt(payload: dict, attempt: int) -> dict:
+            return {**payload, "attempt": attempt}
+
         with tracer.span(
             span_name, category="service",
             config=report.config, size=report.size_class,
@@ -389,36 +499,38 @@ class CompilationService:
         ) as suite_span:
             if self.jobs == 1 or len(payloads) <= 1:
                 before = self.cache.stats.snapshot()
-                for request in resolved:
-                    report.comparisons.append(
-                        self.compile_one(
-                            request.kernel,
-                            request.config,
-                            sizes=request.sizes,
-                            check_equivalence=request.check_equivalence,
-                            seed=request.seed,
-                        )
-                    )
+                outcomes, results = run_serial(
+                    self._serial_job,
+                    payloads,
+                    policy=policy,
+                    labels=labels,
+                    configs=configs,
+                    prepare_fn=stamp_attempt,
+                )
+                report.outcomes = outcomes
+                for outcome in outcomes:
+                    if outcome.index in results:
+                        outcome.comparison_index = len(report.comparisons)
+                        report.comparisons.append(results[outcome.index])
                 report.cache_stats.merge(self.cache.stats.since(before))
             else:
-                workers = min(self.jobs, len(payloads))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [pool.submit(_compile_job, p) for p in payloads]
-                    for payload, future in zip(payloads, futures):
-                        try:
-                            comparison, stats, counters = future.result()
-                        except CompilationError:
-                            raise
-                        except Exception as exc:
-                            diag = self.engine.error(
-                                ServiceError.code,
-                                f"worker compiling {payload['kernel']!r} failed: "
-                                f"{type(exc).__name__}: {exc}",
-                            )
-                            raise ServiceError(
-                                diag.message, kernel=payload["kernel"],
-                                diagnostic=diag,
-                            ) from exc
+                executor = ResilientExecutor(
+                    _compile_job,
+                    payloads,
+                    jobs=self.jobs,
+                    policy=policy,
+                    labels=labels,
+                    configs=configs,
+                    prepare_fn=stamp_attempt,
+                    engine=self.engine,
+                )
+                outcomes, results = executor.run()
+                report.outcomes = outcomes
+                report.degraded = executor.degraded
+                for outcome in outcomes:
+                    if outcome.index in results:
+                        comparison, stats, counters = results[outcome.index]
+                        outcome.comparison_index = len(report.comparisons)
                         report.comparisons.append(comparison)
                         report.cache_stats.merge(stats)
                         if counters:
@@ -429,10 +541,50 @@ class CompilationService:
             suite_span.set(
                 hits=report.cache_stats.hits, misses=report.cache_stats.misses
             )
+            if report.failures or report.degraded:
+                counts = report.outcome_counts()
+                suite_span.set(
+                    ok=counts["ok"],
+                    retried=counts["retried-then-ok"],
+                    failed=counts["failed"],
+                    timed_out=counts["timed-out"],
+                    degraded=report.degraded,
+                )
         if tracer.enabled:
             report.trace = suite_span.to_dict()
         report.seconds = time.perf_counter() - start
         return report
+
+    def _serial_job(self, payload: dict) -> FlowComparison:
+        """In-process mirror of :func:`_compile_job` (the ``jobs=1`` path):
+        same chaos hooks, but compiling through this handle's own cache
+        object, so the batch's cache-stat accounting stays on it."""
+        plan = payload.get("chaos")
+        attempt = payload.get("attempt", 1)
+        if plan:
+            from ..testing.chaos import apply_chaos
+
+            apply_chaos(plan, attempt)
+        comparison = self.compile_one(
+            payload["kernel"],
+            payload["config"],
+            sizes=payload["sizes"],
+            check_equivalence=payload["check_equivalence"],
+            seed=payload["seed"],
+        )
+        if plan and plan.get("fault") == "corrupt-cache":
+            from ..testing.chaos import corrupt_after_write
+
+            key = cache_key(
+                payload["kernel"],
+                payload["sizes"],
+                payload["config"],
+                device=payload["device"],
+                check_equivalence=payload["check_equivalence"],
+                seed=payload["seed"],
+            )
+            corrupt_after_write(plan, attempt, self.cache, key)
+        return comparison
 
     def run_suite(
         self,
@@ -441,6 +593,7 @@ class CompilationService:
         size_class: str = "SMALL",
         check_equivalence: bool = True,
         seed: int = 17,
+        policy: Optional[FailurePolicy] = None,
     ) -> SuiteReport:
         """Compile every (or the named) suite kernel under one config."""
         config_obj = resolve_config(config)
@@ -456,7 +609,7 @@ class CompilationService:
             )
             for name in names
         ]
-        return self.compile_batch(requests, span_name="run-suite")
+        return self.compile_batch(requests, span_name="run-suite", policy=policy)
 
     # -- maintenance passthroughs ------------------------------------------
     def cache_stats(self) -> Dict:
@@ -476,9 +629,16 @@ class CompilationService:
 # (the benchmark harness, the CLI default).
 def default_jobs() -> int:
     env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return 1
+    if env is None or not env.strip():
+        return 1
+    try:
+        jobs = int(env)
+    except ValueError:
+        raise PipelineConfigError(
+            f"REPRO_JOBS must be a positive integer, got {env!r}"
+        ) from None
+    if jobs <= 0:
+        raise PipelineConfigError(
+            f"REPRO_JOBS must be a positive integer, got {env!r}"
+        )
+    return jobs

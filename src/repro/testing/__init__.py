@@ -1,9 +1,17 @@
 """Test-support utilities shipped with the package: deterministic fault
-injection, hostile-IR fuzzing, a seeded random-module generator for
-roundtrip properties, and a FileCheck-lite matcher for golden-IR tests
-(used by the test suite and the CI jobs, importable by downstream users
-too)."""
+injection, service-level chaos profiles, hostile-IR fuzzing, a seeded
+random-module generator for roundtrip properties, and a FileCheck-lite
+matcher for golden-IR tests (used by the test suite and the CI jobs,
+importable by downstream users too)."""
 
+from .chaos import (
+    CHAOS_FAULTS,
+    ChaosCrash,
+    ChaosProfile,
+    apply_chaos,
+    corrupt_entry_file,
+    request_fingerprint,
+)
 from .fault_injection import (
     FAULT_MODES,
     MUTATION_NAMES,
@@ -24,6 +32,12 @@ from .golden import GoldenLintRefusal, write_golden_snapshot
 from .modulegen import RandomModuleGenerator
 
 __all__ = [
+    "CHAOS_FAULTS",
+    "ChaosCrash",
+    "ChaosProfile",
+    "apply_chaos",
+    "corrupt_entry_file",
+    "request_fingerprint",
     "FAULT_MODES",
     "MUTATION_NAMES",
     "FaultInjected",

@@ -144,3 +144,48 @@ class TestReport:
         ]
         report.mark_frontier()
         assert [p.name for p in report.frontier] == ["a"]
+
+
+class TestResilientExploration:
+    def test_continue_policy_records_failed_points(self, tmp_path):
+        from repro.service import FailurePolicy
+        from repro.testing import ChaosProfile
+
+        service = CompilationService(
+            cache_dir=str(tmp_path / "cache"), jobs=1,
+            chaos=ChaosProfile(seed=5, crash=1),
+        )
+        report = explore(
+            "gemm", size_class="MINI", space="tiny", service=service,
+            policy=FailurePolicy(mode="continue"),
+        )
+        assert len(report.failed) == 1
+        failed = report.failed[0]
+        assert failed["status"] == "failed"
+        assert "ChaosCrash" in failed["error"]
+        # The sweep carried on: every other survivor compiled, and the
+        # frontier is computed over what did.
+        assert report.enumerated == (
+            len(report.points) + len(report.pruned) + len(report.failed)
+        )
+        assert report.frontier
+        assert failed["name"] not in {p.name for p in report.points}
+        # The failure is serialized and rendered, not silently dropped.
+        assert report.to_dict()["failed"] == report.failed
+        text = report.summary()
+        assert "1 FAILED" in text and failed["name"] in text
+
+    def test_retry_policy_keeps_the_sweep_whole(self, tmp_path):
+        from repro.service import FailurePolicy
+        from repro.testing import ChaosProfile
+
+        service = CompilationService(
+            cache_dir=str(tmp_path / "cache"), jobs=1,
+            chaos=ChaosProfile(seed=5, crash=1),
+        )
+        report = explore(
+            "gemm", size_class="MINI", space="tiny", service=service,
+            policy=FailurePolicy(mode="retry", backoff_base=0.0),
+        )
+        assert report.failed == []
+        assert report.enumerated == len(report.points) + len(report.pruned)

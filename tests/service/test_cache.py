@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import pickle
 
@@ -136,6 +137,84 @@ class TestCorruption:
             fh.write(b"junk")
         with pytest.raises(CacheError):
             cache.load("e" * 64, required=True)
+
+
+def _race_writer(root, key, barrier, value):
+    """Child-process body for the concurrent-writer race (module-level so
+    it pickles under any multiprocessing start method)."""
+    from repro.service import CompilationCache
+
+    cache = CompilationCache(root)
+    barrier.wait()  # maximise write overlap
+    cache.store(key, value, meta={"kernel": "race"})
+
+
+class TestConcurrentWriters:
+    """Two processes racing to write the same fingerprint must leave
+    exactly one valid checksummed entry (the atomic temp-file +
+    ``os.replace`` protocol; last writer wins, no torn files)."""
+
+    KEY = "f" * 64
+
+    def _race(self, root, values):
+        barrier = multiprocessing.Barrier(len(values))
+        procs = [
+            multiprocessing.Process(
+                target=_race_writer, args=(root, self.KEY, barrier, value)
+            )
+            for value in values
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(30)
+        assert all(proc.exitcode == 0 for proc in procs)
+
+    def test_identical_writers_leave_one_valid_entry(self, tmp_path):
+        root = str(tmp_path / "cache")
+        value = {"payload": list(range(50))}
+        self._race(root, [value, value])
+        cache = CompilationCache(root)
+        shard_dir = os.path.dirname(cache.entry_path(self.KEY))
+        assert sorted(os.listdir(shard_dir)) == [self.KEY + ".entry"]
+        assert cache.verify(self.KEY)
+        assert cache.load(self.KEY) == value
+        assert cache.stats.corrupt == 0
+
+    def test_divergent_writers_still_one_valid_entry(self, tmp_path):
+        # Content-addressing makes divergent payloads under one key a
+        # caller bug, but the storage layer must still never tear a file:
+        # whichever writer wins, the survivor is checksum-clean.
+        root = str(tmp_path / "cache")
+        first, second = {"winner": "a"}, {"winner": "b"}
+        self._race(root, [first, second])
+        cache = CompilationCache(root)
+        shard_dir = os.path.dirname(cache.entry_path(self.KEY))
+        assert sorted(os.listdir(shard_dir)) == [self.KEY + ".entry"]
+        assert not any(
+            name.endswith(".tmp") for name in os.listdir(shard_dir)
+        ), "temp litter left behind"
+        assert cache.verify(self.KEY)
+        assert cache.load(self.KEY) in (first, second)
+
+    def test_verify_rejects_corrupt_and_missing(self, cache):
+        assert not cache.verify(self.KEY)  # missing
+        cache.store(self.KEY, {"x": 1})
+        assert cache.verify(self.KEY)
+        from repro.testing import corrupt_entry_file
+
+        assert corrupt_entry_file(cache.entry_path(self.KEY))
+        assert not cache.verify(self.KEY)
+        # verify() is a pure probe: no counters moved, entry not dropped.
+        assert cache.stats.corrupt == 0
+        assert os.path.exists(cache.entry_path(self.KEY))
+
+    def test_entry_vanishing_mid_read_degrades_to_miss(self, cache, monkeypatch):
+        # A concurrent cleaner can unlink between the existence check and
+        # the open; that must read as a miss, never an OSError escape.
+        monkeypatch.setattr(os.path, "exists", lambda path: True)
+        assert cache.load("9" * 64) is None
+        assert cache.stats.misses == 1
 
 
 class TestServiceLevelCorruption:

@@ -119,3 +119,72 @@ class TestCacheMaintenance:
         assert "removed 2" in out
         code, out, _ = run_cli(capsys, "--cache-dir", cache_dir, "cache", "stats")
         assert "entries:    0" in out
+
+
+class TestResilienceFlags:
+    def test_continue_with_chaos_exits_1_and_writes_outcomes(
+        self, capsys, cache_dir, tmp_path
+    ):
+        out_json = str(tmp_path / "outcomes.json")
+        code, out, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm,atax,bicg",
+            "--failure-policy", "continue",
+            "--chaos", "seed=7,crash=1",
+            "--outcomes-json", out_json,
+        )
+        assert code == 1
+        assert "INCOMPLETE" in err
+        assert "outcomes [continue]:" in out
+        import json
+
+        with open(out_json) as fh:
+            doc = json.load(fh)
+        assert doc["counts"]["ok"] == 2 and doc["counts"]["failed"] == 1
+        assert len(doc["outcomes"]) == 3
+        assert doc["counters"]["failures"] == 1
+
+    def test_retry_with_chaos_recovers_and_exits_0(
+        self, capsys, cache_dir, tmp_path
+    ):
+        out_json = str(tmp_path / "outcomes.json")
+        code, out, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm,atax,bicg",
+            "--failure-policy", "retry", "--max-attempts", "2",
+            "--chaos", "seed=7,crash=1",
+            "--outcomes-json", out_json,
+        )
+        assert code == 0
+        assert "INCOMPLETE" not in err
+        import json
+
+        with open(out_json) as fh:
+            doc = json.load(fh)
+        assert doc["counts"]["retried-then-ok"] == 1
+        assert doc["counters"]["retries"] == 1
+
+    def test_bad_chaos_spec_exits_2(self, capsys, cache_dir):
+        code, _, err = run_cli(
+            capsys,
+            "--cache-dir", cache_dir,
+            "run-suite", "--size", "MINI", "--kernels", "gemm",
+            "--chaos", "nonsense",
+        )
+        assert code == 2
+        assert "chaos" in err
+
+    def test_rejects_unknown_failure_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-suite", "--failure-policy", "pray"]
+            )
+
+    def test_bad_repro_jobs_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        code = main(["cache", "stats"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "REPRO_JOBS" in err
