@@ -79,6 +79,9 @@ SERVICE = CompilationService(
     # $REPRO_CHAOS (e.g. "seed=42,crash=1") arms the deterministic fault
     # injector for every harness batch — chaos-smoke CI only.
     chaos=ChaosProfile.from_env(),
+    # $REPRO_DAEMON=host:port routes every harness batch through a
+    # running compile daemon instead of compiling in-process.
+    daemon=os.environ.get("REPRO_DAEMON") or None,
 )
 
 

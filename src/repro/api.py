@@ -145,6 +145,7 @@ def explore(
     device: str = "xc7z020",
     seed: int = 17,
     policy: Optional["FailurePolicy"] = None,
+    daemon: Optional[str] = None,
 ):
     """Explore ``name``'s directive space; returns a :class:`DSEReport`.
 
@@ -171,4 +172,5 @@ def explore(
         seed=seed,
         budget=budget,
         policy=policy,
+        daemon=daemon,
     )

@@ -2,7 +2,10 @@
 
 Subcommands (each was once its own ``python -m`` entry point)::
 
-    run-suite    compile the benchmark suite (parallel, cached)
+    run-suite    compile the benchmark suite (parallel, cached;
+                 --daemon ADDR routes through a running daemon)
+    serve        run the long-lived compile daemon (NDJSON socket)
+    load-test    replay a seeded request storm against a daemon
     cache        cache maintenance (stats / clear)
     lint         HLS-compatibility linter (check / rules)
     trace        Chrome trace of one kernel compile
@@ -57,13 +60,19 @@ def _configure_bench(sub) -> None:
         "--no-equivalence", action="store_true",
         help="skip the interpreter-based functional check",
     )
+    bench.add_argument(
+        "--daemon", default=None, metavar="ADDR",
+        help="route compilation through a running compile daemon",
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .service.service import CompilationService, default_jobs
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    service = CompilationService(cache_dir=args.cache_dir, jobs=jobs)
+    service = CompilationService(
+        cache_dir=args.cache_dir, jobs=jobs, daemon=args.daemon
+    )
     config_names = [c for c in args.configs.split(",") if c]
     kernels = args.kernels.split(",") if args.kernels else None
     reports = {}
@@ -146,7 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         f"(default: $REPRO_CACHE_DIR or {default_cache_dir()!r})",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    service_cli.register_subcommands(sub)  # run-suite, cache
+    service_cli.register_subcommands(sub)  # run-suite, serve, load-test, cache
     lint_cli.register_subcommand(sub)  # lint {check,rules}
     obs_cli.register_subcommands(sub)  # trace, stats, diff, validate
     dse = sub.add_parser(

@@ -44,9 +44,12 @@ ERROR_CODES: Dict[str, str] = {
     "REPRO-DEGRADE-001": "non-essential pass disabled after failure (recovered)",
     "REPRO-CACHE-001": "corrupted compilation-cache entry (degraded to recompile)",
     "REPRO-CACHE-002": "compilation-cache entry version mismatch (treated as miss)",
+    "REPRO-CACHE-003": "legacy flat cache layout migrated to sharded segments",
     "REPRO-SVC-001": "compilation-service worker failure",
     "REPRO-SVC-002": "service degraded to serial in-process execution (circuit breaker open)",
     "REPRO-SVC-003": "service worker exceeded its per-request deadline",
+    "REPRO-SVC-004": "compile daemon rejected the request under back-pressure (queue full)",
+    "REPRO-SVC-005": "malformed compile-daemon protocol message",
     "REPRO-LINT-000": "module failed the HLS-compatibility lint gate",
     "REPRO-LINT-001": "lint: 'freeze' instruction survives adaptation",
     "REPRO-LINT-002": "lint: opaque-pointer type survives adaptation",

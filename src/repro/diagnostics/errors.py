@@ -28,6 +28,8 @@ __all__ = [
     "ReplayError",
     "CacheError",
     "ServiceError",
+    "DaemonError",
+    "ProtocolError",
     "LintError",
 ]
 
@@ -131,6 +133,28 @@ class ServiceError(CompilationError):
     def __init__(self, message: str, *, kernel: Optional[str] = None, diagnostic=None):
         super().__init__(message, diagnostic=diagnostic)
         self.kernel = kernel
+
+
+class DaemonError(ServiceError):
+    """The compile daemon refused a request under back-pressure.
+
+    Raised client-side when a batch is rejected because the daemon's
+    bounded queue (``--max-queue``) is full; the request was *not*
+    compiled and may be retried once in-flight work drains.
+    """
+
+    code = "REPRO-SVC-004"
+
+
+class ProtocolError(ServiceError):
+    """A daemon wire message violated the NDJSON protocol schema.
+
+    Covers undecodable lines, missing/unknown ``op`` fields, protocol
+    version skew, and payload-digest mismatches on either side of the
+    socket.
+    """
+
+    code = "REPRO-SVC-005"
 
 
 class LintError(CompilationError):

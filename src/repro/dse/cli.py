@@ -96,6 +96,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--max-attempts", type=int, default=None, metavar="N",
         help="executions per point (default: 2 under retry, else 1)",
     )
+    parser.add_argument(
+        "--daemon", default=None, metavar="ADDR",
+        help="route the sweep's batches through a running compile daemon "
+        "at ADDR (host:port or unix:/path.sock)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -105,7 +110,10 @@ def run(args: argparse.Namespace) -> int:
 
     cache_dir = getattr(args, "cache_dir", None)
     service = CompilationService(
-        cache_dir=cache_dir, jobs=args.jobs, device=args.device
+        cache_dir=cache_dir,
+        jobs=args.jobs,
+        device=args.device,
+        daemon=getattr(args, "daemon", None),
     )
     policy = policy_from_args(args)
 

@@ -42,13 +42,16 @@ def explore(
     seed: int = 17,
     budget: Optional[Dict[str, float]] = None,
     policy: Optional[FailurePolicy] = None,
+    daemon: Optional[str] = None,
 ) -> DSEReport:
     """Explore ``kernel``'s directive space and return the DSE report.
 
     ``space`` may be a :class:`ConfigSpaceSpec`, a named space
     (``tiny``/``default``/``wide``), or ``None`` for the kernel's own
     registered space.  Pass an existing ``service`` to share its cache
-    and fan-out; otherwise one is built from ``cache_dir``/``jobs``.
+    and fan-out; otherwise one is built from ``cache_dir``/``jobs``
+    (``daemon=ADDR`` routes its batches through a running compile
+    daemon, making the sweep a thin client of the always-warm server).
     Equivalence checking is off by default — a sweep wants the synthesis
     vector, and the nightly suite already guards functional equality —
     but flipping it on folds the verdict into every compiled row.
@@ -65,7 +68,9 @@ def explore(
     tracer = get_tracer()
     stats = get_statistics()
     if service is None:
-        service = CompilationService(cache_dir=cache_dir, jobs=jobs, device=device)
+        service = CompilationService(
+            cache_dir=cache_dir, jobs=jobs, device=device, daemon=daemon
+        )
     device_model = device_for(service.device)
     sizes = _sizes_for(size_class, kernel)
 

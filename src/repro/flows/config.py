@@ -156,6 +156,24 @@ class OptimizationConfig:
             "partition": dict(self.partition) if self.partition else None,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "OptimizationConfig":
+        """Inverse of :meth:`to_dict` (the daemon wire protocol ships
+        configs as these dicts): ``from_dict(c.to_dict())`` reproduces
+        ``c`` exactly, including the JSON-stringified unroll-level keys."""
+        return cls(
+            name=data.get("name", "baseline"),
+            pipeline_innermost=bool(data.get("pipeline_innermost", False)),
+            ii=int(data.get("ii", 1)),
+            unroll_innermost=data.get("unroll_innermost"),
+            partition=(
+                dict(data["partition"]) if data.get("partition") else None
+            ),
+            unroll_levels={
+                int(k): int(v) for k, v in (data.get("unroll_levels") or {}).items()
+            },
+        )
+
     def apply(self, spec: KernelSpec) -> None:
         """Annotate the kernel's MLIR module in place."""
         module = spec.module

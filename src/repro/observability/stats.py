@@ -17,6 +17,7 @@ assert.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from typing import Dict, Iterator, List, Tuple
@@ -31,19 +32,27 @@ __all__ = [
 
 
 class StatisticsRegistry:
-    """Nested ``group -> counter -> int`` accumulator."""
+    """Nested ``group -> counter -> int`` accumulator.
+
+    Thread-safe: the compile daemon shares one registry across all its
+    connection-handler threads, so every mutation and snapshot goes
+    through an internal lock.  (The lock is uncontended in the common
+    single-threaded case; ``bump`` stays cheap.)
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self._counters: Dict[str, Dict[str, int]] = {}
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------------
     def bump(self, group: str, name: str, amount: int = 1) -> None:
         if not amount:
             return
-        bucket = self._counters.setdefault(group, {})
-        bucket[name] = bucket.get(name, 0) + amount
+        with self._lock:
+            bucket = self._counters.setdefault(group, {})
+            bucket[name] = bucket.get(name, 0) + amount
 
     def record_details(self, group: str, details: Dict[str, int]) -> None:
         """Bulk-record a pass's detail dict under its group."""
@@ -57,37 +66,46 @@ class StatisticsRegistry:
                 self.bump(group, name, amount)
 
     def clear(self) -> None:
-        self._counters.clear()
+        with self._lock:
+            self._counters.clear()
 
     # -- queries ------------------------------------------------------------
     def get(self, group: str, name: str, default: int = 0) -> int:
-        return self._counters.get(group, {}).get(name, default)
+        with self._lock:
+            return self._counters.get(group, {}).get(name, default)
 
     def group(self, group: str) -> Dict[str, int]:
-        return dict(self._counters.get(group, {}))
+        with self._lock:
+            return dict(self._counters.get(group, {}))
 
     def groups(self) -> List[str]:
-        return sorted(self._counters)
+        with self._lock:
+            return sorted(self._counters)
 
     def nonzero_groups(self) -> List[str]:
-        return sorted(
-            g for g, bucket in self._counters.items()
-            if any(v for v in bucket.values())
-        )
+        with self._lock:
+            return sorted(
+                g for g, bucket in self._counters.items()
+                if any(v for v in bucket.values())
+            )
 
     def items(self) -> Iterator[Tuple[str, str, int]]:
-        for group in sorted(self._counters):
-            for name in sorted(self._counters[group]):
-                yield group, name, self._counters[group][name]
+        snapshot = self.as_dict()
+        for group in sorted(snapshot):
+            for name in sorted(snapshot[group]):
+                yield group, name, snapshot[group][name]
 
     def total(self, group: str) -> int:
-        return sum(self._counters.get(group, {}).values())
+        with self._lock:
+            return sum(self._counters.get(group, {}).values())
 
     def as_dict(self) -> Dict[str, Dict[str, int]]:
-        return {g: dict(b) for g, b in self._counters.items()}
+        with self._lock:
+            return {g: dict(b) for g, b in self._counters.items()}
 
     def __len__(self) -> int:
-        return sum(len(b) for b in self._counters.values())
+        with self._lock:
+            return sum(len(b) for b in self._counters.values())
 
     # -- rendering ----------------------------------------------------------
     def summary(self, title: str = "Statistics Collected") -> str:

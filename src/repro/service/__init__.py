@@ -10,11 +10,26 @@ consumers (SEER/Phism-style sweeps, the benchmark harness, CI) need:
 * :func:`cache_key` and friends — fingerprints over kernel IR,
   optimisation config and the pass-pipeline version, so any change to
   what a compile *means* invalidates exactly the stale entries;
-* ``python -m repro.service`` — ``run-suite`` / ``cache stats`` /
-  ``cache clear`` CLI.
+* :class:`CompileDaemon` / :class:`DaemonClient` — the long-running
+  compile server (``python -m repro serve``): NDJSON socket protocol,
+  hot in-memory LRU tier over the sharded disk store, in-flight request
+  coalescing by fingerprint, and bounded-queue back-pressure
+  (``REPRO-SVC-004``);
+* ``python -m repro.service`` — ``run-suite`` / ``serve`` /
+  ``load-test`` / ``cache stats`` / ``cache clear`` CLI.
 """
 
-from .cache import CacheStats, CompilationCache, default_cache_dir
+from .cache import (
+    MIGRATABLE_FORMATS,
+    SHARD_PREFIX_LEN,
+    CacheStats,
+    CompilationCache,
+    default_cache_dir,
+)
+from .client import DaemonClient
+from .daemon import CompileDaemon, parse_address
+from .protocol import PROTOCOL_VERSION
+from .tiers import MemoryTier, TieredCompilationCache
 from .fingerprint import (
     CACHE_FORMAT_VERSION,
     PIPELINE_VERSION,
@@ -44,6 +59,14 @@ __all__ = [
     "CacheStats",
     "CompilationCache",
     "default_cache_dir",
+    "SHARD_PREFIX_LEN",
+    "MIGRATABLE_FORMATS",
+    "MemoryTier",
+    "TieredCompilationCache",
+    "CompileDaemon",
+    "DaemonClient",
+    "parse_address",
+    "PROTOCOL_VERSION",
     "CACHE_FORMAT_VERSION",
     "PIPELINE_VERSION",
     "cache_key",

@@ -1,13 +1,15 @@
-"""Content-addressed on-disk compilation cache.
+"""Content-addressed on-disk compilation cache (sharded segment layout).
 
 Layout (under the cache root)::
 
     <root>/
-      entries/<k[:2]>/<k>.entry     one file per cached FlowComparison
+      cache-meta.json               layout manifest (version, shard prefix)
+      shards/<k[:2]>/<k>.entry      one file per cached FlowComparison,
+                                    segmented by fingerprint prefix
 
 Each entry file is a one-line JSON header followed by a pickled payload::
 
-    {"format": 1, "key": ..., "kernel": ..., "config": ...,
+    {"format": 4, "key": ..., "shard": "ab", "kernel": ..., "config": ...,
      "payload_sha256": ..., "payload_bytes": N}\\n
     <pickle bytes>
 
@@ -18,18 +20,25 @@ diagnostic instead of crashing the caller.  Writes go through a temp file
 and ``os.replace`` so concurrent workers never observe half-written
 entries; last-writer-wins races are harmless because entries are
 content-addressed (both writers wrote the same comparison).
+
+**Migration.**  Before format 4 the store was a flat ``entries/`` tree.
+Opening a cache whose root still has one triggers a one-time upgrade:
+every valid legacy entry (format 3 — the payload encoding is unchanged,
+only the layout and header moved) is re-homed into its shard segment
+under the new header, corrupt or ancient entries are dropped, and the
+legacy tree is removed.  A ``REPRO-CACHE-003`` note records the count,
+so a warm cache survives the layout change instead of cold-starting.
 """
 
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 import os
 import pickle
 import tempfile
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..diagnostics.engine import DiagnosticEngine
@@ -37,7 +46,27 @@ from ..diagnostics.errors import CacheError
 from ..observability import get_statistics, get_tracer
 from .fingerprint import CACHE_FORMAT_VERSION
 
-__all__ = ["CacheStats", "CompilationCache", "default_cache_dir"]
+__all__ = [
+    "CacheStats",
+    "CompilationCache",
+    "default_cache_dir",
+    "SHARD_PREFIX_LEN",
+    "MIGRATABLE_FORMATS",
+]
+
+#: Fingerprint-prefix length naming a shard segment: 2 hex chars = 256
+#: segments, keeping per-directory entry counts flat under load.
+SHARD_PREFIX_LEN = 2
+
+#: Legacy entry formats the one-time layout migration can re-home (their
+#: payload pickle encoding matches the current one; older formats had
+#: incompatible payload schemas and are dropped, not migrated).
+MIGRATABLE_FORMATS = (3,)
+
+_LEGACY_DIR = "entries"
+_MANIFEST_NAME = "cache-meta.json"
+#: Bump when the directory layout (not the entry format) changes.
+_LAYOUT_VERSION = 2
 
 
 def default_cache_dir() -> str:
@@ -50,7 +79,13 @@ def default_cache_dir() -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/timing counters for one cache handle."""
+    """Hit/miss/timing counters for one cache handle.
+
+    The ``mem_*`` fields are only moved by the tiered stack
+    (:class:`repro.service.tiers.TieredCompilationCache`); a memory-tier
+    hit is counted in both ``hits`` and ``mem_hits``, so ``hits -
+    mem_hits`` is the disk tier's share.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -58,6 +93,9 @@ class CacheStats:
     corrupt: int = 0
     hit_seconds: float = 0.0
     store_seconds: float = 0.0
+    mem_hits: int = 0
+    mem_stores: int = 0
+    mem_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -75,6 +113,9 @@ class CacheStats:
             corrupt=self.corrupt,
             hit_seconds=self.hit_seconds,
             store_seconds=self.store_seconds,
+            mem_hits=self.mem_hits,
+            mem_stores=self.mem_stores,
+            mem_evictions=self.mem_evictions,
         )
 
     def since(self, before: "CacheStats") -> "CacheStats":
@@ -86,6 +127,9 @@ class CacheStats:
             corrupt=self.corrupt - before.corrupt,
             hit_seconds=self.hit_seconds - before.hit_seconds,
             store_seconds=self.store_seconds - before.store_seconds,
+            mem_hits=self.mem_hits - before.mem_hits,
+            mem_stores=self.mem_stores - before.mem_stores,
+            mem_evictions=self.mem_evictions - before.mem_evictions,
         )
 
     def merge(self, other: "CacheStats") -> None:
@@ -95,23 +139,33 @@ class CacheStats:
         self.corrupt += other.corrupt
         self.hit_seconds += other.hit_seconds
         self.store_seconds += other.store_seconds
+        self.mem_hits += other.mem_hits
+        self.mem_stores += other.mem_stores
+        self.mem_evictions += other.mem_evictions
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.hits} hit(s) / {self.misses} miss(es) "
             f"({self.hit_rate:.0%} hit rate), {self.stores} store(s), "
             f"{self.corrupt} corrupt, "
             f"load {self.hit_seconds * 1e3:.1f} ms, "
             f"store {self.store_seconds * 1e3:.1f} ms"
         )
+        if self.mem_hits or self.mem_evictions:
+            text += (
+                f"; mem tier {self.mem_hits} hit(s), "
+                f"{self.mem_evictions} eviction(s)"
+            )
+        return text
 
 
 class CompilationCache:
     """Content-addressed pickle cache keyed by :func:`repro.service.cache_key`.
 
     ``engine`` receives a ``REPRO-CACHE-001`` warning whenever a corrupted
-    entry is dropped (and ``REPRO-CACHE-002`` for format-version
-    mismatches); both degrade to a miss.
+    entry is dropped (``REPRO-CACHE-002`` for format-version mismatches —
+    both degrade to a miss) and a ``REPRO-CACHE-003`` note when a legacy
+    flat layout is migrated into shard segments.
     """
 
     ENTRY_SUFFIX = ".entry"
@@ -120,43 +174,90 @@ class CompilationCache:
         self.root = root or default_cache_dir()
         self.engine = engine or DiagnosticEngine()
         self.stats = CacheStats()
+        self._manifest_written = False
+        self._migrate_legacy_layout()
 
     # -- paths --------------------------------------------------------------
     @property
-    def entries_dir(self) -> str:
-        return os.path.join(self.root, "entries")
+    def shards_dir(self) -> str:
+        return os.path.join(self.root, "shards")
+
+    @property
+    def legacy_entries_dir(self) -> str:
+        return os.path.join(self.root, _LEGACY_DIR)
+
+    @property
+    def manifest_path(self) -> str:
+        return os.path.join(self.root, _MANIFEST_NAME)
+
+    def shard_for(self, key: str) -> str:
+        return key[:SHARD_PREFIX_LEN]
 
     def entry_path(self, key: str) -> str:
-        return os.path.join(self.entries_dir, key[:2], key + self.ENTRY_SUFFIX)
+        return os.path.join(self.shards_dir, self.shard_for(key), key + self.ENTRY_SUFFIX)
 
     def _iter_entry_paths(self) -> Iterator[str]:
-        if not os.path.isdir(self.entries_dir):
+        if not os.path.isdir(self.shards_dir):
             return
-        for shard in sorted(os.listdir(self.entries_dir)):
-            shard_dir = os.path.join(self.entries_dir, shard)
+        for shard in sorted(os.listdir(self.shards_dir)):
+            shard_dir = os.path.join(self.shards_dir, shard)
             if not os.path.isdir(shard_dir):
                 continue
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(self.ENTRY_SUFFIX):
                     yield os.path.join(shard_dir, name)
 
+    def _write_manifest(self) -> None:
+        if self._manifest_written:
+            return
+        manifest = {
+            "layout": _LAYOUT_VERSION,
+            "format": CACHE_FORMAT_VERSION,
+            "shard_prefix_len": SHARD_PREFIX_LEN,
+        }
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.manifest_path)
+            self._manifest_written = True
+        except OSError:
+            pass  # the manifest is advisory; entries self-describe
+
     # -- store --------------------------------------------------------------
     def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> str:
         """Atomically persist ``value`` under ``key``; returns the path."""
-        with get_tracer().span("cache-store", category="cache", key=key[:12]):
-            return self._store(key, value, meta)
-
-    def _store(self, key: str, value: Any, meta: Optional[Dict[str, Any]]) -> str:
-        start = time.perf_counter()
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return self.store_payload(key, payload, meta)
+
+    def store_payload(
+        self, key: str, payload: bytes, meta: Optional[Dict[str, Any]] = None
+    ) -> str:
+        """Persist an already-pickled ``payload`` (the tiered cache pickles
+        once and shares the bytes between memory and disk tiers)."""
+        with get_tracer().span("cache-store", category="cache", key=key[:12]):
+            return self._store(key, payload, meta)
+
+    def _store(self, key: str, payload: bytes, meta: Optional[Dict[str, Any]]) -> str:
+        start = time.perf_counter()
         header = {
             "format": CACHE_FORMAT_VERSION,
             "key": key,
+            "shard": self.shard_for(key),
             "payload_sha256": hashlib.sha256(payload).hexdigest(),
             "payload_bytes": len(payload),
         }
         header.update(meta or {})
-        path = self.entry_path(key)
+        self._write_manifest()
+        path = self._write_entry(self.entry_path(key), header, payload)
+        self.stats.stores += 1
+        self.stats.store_seconds += time.perf_counter() - start
+        get_statistics().bump("cache", "stores")
+        return path
+
+    def _write_entry(self, path: str, header: Dict[str, Any], payload: bytes) -> str:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
@@ -169,13 +270,12 @@ class CompilationCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
-        self.stats.stores += 1
-        self.stats.store_seconds += time.perf_counter() - start
-        get_statistics().bump("cache", "stores")
         return path
 
     # -- load ---------------------------------------------------------------
-    def _read_entry(self, path: str) -> Tuple[Dict[str, Any], Any]:
+    def _read_raw(self, path: str) -> Tuple[Dict[str, Any], bytes]:
+        """Header dict + raw payload bytes, checksum-verified but not
+        unpickled and with *no* format check (the migration reader)."""
         try:
             with open(path, "rb") as fh:
                 header_line = fh.readline()
@@ -191,16 +291,20 @@ class CompilationCache:
             raise CacheError(f"unreadable cache header in {path}: {exc}", path=path)
         if not isinstance(header, dict):
             raise CacheError(f"malformed cache header in {path}", path=path)
+        if header.get("payload_bytes") != len(payload) or (
+            header.get("payload_sha256") != hashlib.sha256(payload).hexdigest()
+        ):
+            raise CacheError(f"cache entry {path} failed checksum", path=path)
+        return header, payload
+
+    def _read_entry(self, path: str) -> Tuple[Dict[str, Any], Any]:
+        header, payload = self._read_raw(path)
         if header.get("format") != CACHE_FORMAT_VERSION:
             raise CacheError(
                 f"cache entry {path} has format {header.get('format')!r}, "
                 f"expected {CACHE_FORMAT_VERSION}",
                 path=path,
             )
-        if header.get("payload_bytes") != len(payload) or (
-            header.get("payload_sha256") != hashlib.sha256(payload).hexdigest()
-        ):
-            raise CacheError(f"cache entry {path} failed checksum", path=path)
         try:
             value = pickle.loads(payload)
         except Exception as exc:
@@ -267,6 +371,91 @@ class CompilationCache:
             return False
         return True
 
+    # -- legacy-layout migration -------------------------------------------
+    def _iter_legacy_paths(self) -> Iterator[str]:
+        legacy = self.legacy_entries_dir
+        if not os.path.isdir(legacy):
+            return
+        for shard in sorted(os.listdir(legacy)):
+            shard_dir = os.path.join(legacy, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(self.ENTRY_SUFFIX):
+                    yield os.path.join(shard_dir, name)
+
+    def _migrate_legacy_layout(self) -> Dict[str, int]:
+        """One-time flat ``entries/`` → sharded ``shards/`` upgrade.
+
+        Valid entries in a migratable format are rewritten under the
+        current format (the payload bytes are untouched — only the header
+        and location change), so the cache stays warm across the layout
+        bump.  Anything corrupt or in a pre-migratable format is dropped.
+        Runs are idempotent and per-entry atomic, so two processes racing
+        the migration converge on the same sharded tree.
+        """
+        counts = {"migrated": 0, "dropped": 0}
+        if not os.path.isdir(self.legacy_entries_dir):
+            return counts
+        registry = get_statistics()
+        for path in list(self._iter_legacy_paths()):
+            try:
+                header, payload = self._read_raw(path)
+            except CacheError:
+                counts["dropped"] += 1
+                self._drop_legacy(path)
+                continue
+            key = header.get("key")
+            if (
+                header.get("format") not in MIGRATABLE_FORMATS
+                or not isinstance(key, str)
+                or not key
+            ):
+                counts["dropped"] += 1
+                self._drop_legacy(path)
+                continue
+            header["format"] = CACHE_FORMAT_VERSION
+            header["shard"] = self.shard_for(key)
+            try:
+                self._write_entry(self.entry_path(key), header, payload)
+            except OSError:
+                counts["dropped"] += 1
+            else:
+                counts["migrated"] += 1
+            self._drop_legacy(path)
+        self._remove_legacy_tree()
+        self._write_manifest()
+        if counts["migrated"] or counts["dropped"]:
+            registry.bump("cache", "migrated", counts["migrated"])
+            registry.bump("cache", "migration_dropped", counts["dropped"])
+            self.engine.note(
+                "REPRO-CACHE-003",
+                f"migrated {counts['migrated']} cache entr"
+                f"{'y' if counts['migrated'] == 1 else 'ies'} from the legacy "
+                f"flat layout into shard segments "
+                f"({counts['dropped']} dropped)",
+            )
+        return counts
+
+    @staticmethod
+    def _drop_legacy(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def _remove_legacy_tree(self) -> None:
+        legacy = self.legacy_entries_dir
+        try:
+            for shard in os.listdir(legacy):
+                shard_dir = os.path.join(legacy, shard)
+                if os.path.isdir(shard_dir) and not os.listdir(shard_dir):
+                    os.rmdir(shard_dir)
+            if not os.listdir(legacy):
+                os.rmdir(legacy)
+        except OSError:
+            pass
+
     # -- maintenance --------------------------------------------------------
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
@@ -280,16 +469,26 @@ class CompilationCache:
         return removed
 
     def disk_stats(self) -> Dict[str, Any]:
-        """Entry count and byte footprint of the on-disk store."""
+        """Entry count, byte footprint and shard spread of the store."""
         entries = 0
         total = 0
+        shards: Dict[str, int] = {}
         for path in self._iter_entry_paths():
             try:
                 total += os.path.getsize(path)
             except OSError:
                 continue
             entries += 1
-        return {"root": self.root, "entries": entries, "bytes": total}
+            shard = os.path.basename(os.path.dirname(path))
+            shards[shard] = shards.get(shard, 0) + 1
+        return {
+            "root": self.root,
+            "layout": _LAYOUT_VERSION,
+            "entries": entries,
+            "bytes": total,
+            "shard_count": len(shards),
+            "shards": shards,
+        }
 
     def entry_headers(self) -> List[Dict[str, Any]]:
         """The JSON headers of every readable entry (for ``cache stats``)."""

@@ -2,7 +2,10 @@
 
 Subcommands::
 
-    run-suite    compile the benchmark suite (parallel, cached)
+    run-suite    compile the benchmark suite (parallel, cached);
+                 --daemon ADDR routes it through a running daemon
+    serve        run the long-lived compile daemon (NDJSON socket)
+    load-test    replay a seeded request storm against a daemon
     cache stats  show on-disk cache footprint and per-kernel entry counts
     cache clear  drop every cache entry
 
@@ -114,6 +117,112 @@ def register_subcommands(sub) -> None:
         help="write per-request outcomes, their status counts and the "
         "service.* resilience counters as JSON here",
     )
+    run.add_argument(
+        "--daemon",
+        default=None,
+        metavar="ADDR",
+        help="route the batch through a running compile daemon at ADDR "
+        "(host:port or unix:/path.sock) instead of compiling here",
+    )
+
+    serve = sub.add_parser("serve", help="run the long-lived compile daemon")
+    serve.set_defaults(handler=_cmd_serve)
+    serve.add_argument(
+        "--address",
+        default="127.0.0.1:0",
+        help="listen address: host:port (port 0 = pick one) or "
+        "unix:/path.sock (default: 127.0.0.1:0)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=default_jobs(),
+        help="worker processes per batch (default: $REPRO_JOBS or 1)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted-but-unfinished request bound; batches past it are "
+        "rejected with REPRO-SVC-004 (default: 64)",
+    )
+    serve.add_argument(
+        "--mem-entries",
+        type=int,
+        default=256,
+        metavar="N",
+        help="hot in-memory LRU tier capacity in entries (default: 256)",
+    )
+    serve.add_argument(
+        "--mem-bytes",
+        type=int,
+        default=256 << 20,
+        metavar="BYTES",
+        help="hot in-memory LRU tier capacity in bytes (default: 256 MiB)",
+    )
+    serve.add_argument(
+        "--address-file",
+        default=None,
+        metavar="PATH",
+        help="write the live address here once bound (lets scripts start "
+        "the daemon with port 0 and discover the real port)",
+    )
+    serve.add_argument(
+        "--failure-policy",
+        default=None,
+        choices=list(FAILURE_MODES),
+        dest="failure_policy",
+        help="default FailurePolicy for batches that do not ship their own",
+    )
+    serve.add_argument("--timeout", type=float, default=None, metavar="SECONDS")
+    serve.add_argument("--max-attempts", type=int, default=None, metavar="N")
+    serve.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="arm the deterministic fault injector daemon-wide "
+        "(chaos testing only)",
+    )
+
+    load = sub.add_parser(
+        "load-test", help="replay a seeded request storm against a daemon"
+    )
+    load.set_defaults(handler=_cmd_load_test)
+    load.add_argument("--daemon", required=True, metavar="ADDR",
+                      help="address of the daemon under test")
+    load.add_argument("--requests", type=int, default=1000)
+    load.add_argument("--clients", type=int, default=4)
+    load.add_argument("--seed", type=int, default=17)
+    load.add_argument(
+        "--kernels",
+        default="gemm,atax,bicg,mvt",
+        help="comma-separated replay-pool kernels",
+    )
+    load.add_argument(
+        "--configs",
+        default="baseline,optimized",
+        help="comma-separated named configs for the mixed-config pool",
+    )
+    load.add_argument("--size", default="MINI", choices=["MINI", "SMALL"])
+    load.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON load report here (the CI artifact)",
+    )
+    load.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="exit 1 unless the measured hit rate reaches this",
+    )
+    load.add_argument(
+        "--require-coalescing",
+        action="store_true",
+        help="exit 1 unless at least one request coalesced",
+    )
 
     cache = sub.add_parser("cache", help="cache maintenance")
     cache.set_defaults(handler=_cmd_cache)
@@ -181,12 +290,78 @@ def _write_outcomes_json(path: str, report, registry) -> None:
         fh.write("\n")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..observability import use_statistics
+    from .daemon import CompileDaemon
+
+    daemon = CompileDaemon(
+        address=args.address,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        policy=policy_from_args(args),
+        chaos=_chaos_from_args(args),
+        max_queue=args.max_queue,
+        mem_entries=args.mem_entries,
+        mem_bytes=args.mem_bytes,
+    )
+    address = daemon.start()
+    if args.address_file:
+        with open(args.address_file, "w", encoding="utf-8") as fh:
+            fh.write(address + "\n")
+    print(f"compile daemon listening on {address} "
+          f"(jobs={args.jobs}, max-queue={args.max_queue}, "
+          f"mem-entries={args.mem_entries})", flush=True)
+    # The serve loop itself runs under the daemon's registry so the
+    # main-thread shutdown path is counted like everything else.
+    try:
+        with use_statistics(daemon.registry):
+            daemon.serve_forever()
+    except KeyboardInterrupt:
+        daemon.stop()
+    print("compile daemon stopped", flush=True)
+    return 0
+
+
+def _cmd_load_test(args: argparse.Namespace) -> int:
+    from ..testing.load import LoadProfile, run_load
+
+    profile = LoadProfile(
+        requests=args.requests,
+        clients=args.clients,
+        seed=args.seed,
+        kernels=tuple(k for k in args.kernels.split(",") if k),
+        configs=tuple(c for c in args.configs.split(",") if c),
+        size_class=args.size,
+    )
+    report = run_load(args.daemon, profile)
+    print(report.summary())
+    if args.out:
+        report.write_json(args.out)
+        print(f"load report written to {args.out}", file=sys.stderr)
+    failed = report.count("failed")
+    if failed:
+        print(f"LOAD FAILURES: {failed} request(s)", file=sys.stderr)
+        return 1
+    if args.min_hit_rate is not None and report.hit_rate < args.min_hit_rate:
+        print(
+            f"HIT RATE {report.hit_rate:.1%} below required "
+            f"{args.min_hit_rate:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.require_coalescing and report.count("coalesced") == 0:
+        print("NO COALESCING OBSERVED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_run_suite(args: argparse.Namespace) -> int:
     service = CompilationService(
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         policy=policy_from_args(args),
         chaos=_chaos_from_args(args),
+        daemon=getattr(args, "daemon", None),
     )
     kernels = args.kernels.split(",") if args.kernels else None
 

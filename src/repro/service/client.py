@@ -1,0 +1,151 @@
+"""Client side of the compile-daemon protocol.
+
+:class:`DaemonClient` turns the NDJSON socket protocol back into the
+service API: ``compile_batch`` takes :class:`CompileRequest` objects and
+returns a :class:`SuiteReport`, exactly like
+:meth:`CompilationService.compile_batch` — callers cannot tell (and the
+bit-identity test asserts they *need* not care) whether a service
+compiled locally or a daemon did it.
+
+Back-pressure rejections surface as :class:`DaemonError`
+(``REPRO-SVC-004``): nothing was compiled, the caller may retry after
+in-flight work drains.  Protocol violations on either side surface as
+:class:`ProtocolError` (``REPRO-SVC-005``).  Whole-batch failures
+re-raise a :class:`ServiceError` carrying the daemon's error code, so a
+fail-fast batch behaves like its in-process counterpart: it raises.
+"""
+
+from __future__ import annotations
+
+import socket
+from itertools import count
+from typing import Any, Dict, Optional, Sequence
+
+from ..diagnostics.errors import DaemonError, ProtocolError, ServiceError
+from .daemon import parse_address
+from .protocol import (
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    policy_to_wire,
+    report_from_wire,
+    request_to_wire,
+    validate_response,
+)
+from .resilience import FailurePolicy
+from .service import CompileRequest, SuiteReport
+
+__all__ = ["DaemonClient"]
+
+
+class DaemonClient:
+    """One connection to a running compile daemon.
+
+    Usable as a context manager; the connection is opened lazily on the
+    first call and reused for subsequent ones (requests on one client
+    are serialised — use one client per thread for concurrency, as the
+    load generator does).
+    """
+
+    def __init__(self, address: str, connect_timeout: float = 10.0):
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self._kind, self._value = parse_address(address)
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._ids = count(1)
+
+    # -- connection management ----------------------------------------------
+    def connect(self) -> "DaemonClient":
+        if self._sock is not None:
+            return self
+        if self._kind == "unix":
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.connect_timeout)
+            sock.connect(self._value)
+        else:
+            sock = socket.create_connection(
+                self._value, timeout=self.connect_timeout
+            )
+        # Compiles can legitimately take a while: no read deadline once
+        # connected (the daemon's FailurePolicy owns time budgeting).
+        sock.settimeout(None)
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        reader, self._reader = self._reader, None
+        sock, self._sock = self._sock, None
+        if reader is not None:
+            try:
+                reader.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        self._sock.sendall(encode_line(message))
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError(
+                f"daemon at {self.address} closed the connection mid-request"
+            )
+        response = validate_response(decode_line(line))
+        if response["id"] not in ("", message["id"]):
+            raise ProtocolError(
+                f"response correlation id {response['id']!r} does not match "
+                f"request id {message['id']!r}"
+            )
+        return response
+
+    def _envelope(self, op: str) -> Dict[str, Any]:
+        return {"v": PROTOCOL_VERSION, "id": f"c{next(self._ids)}", "op": op}
+
+    # -- operations ----------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self._roundtrip(self._envelope("ping"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self._roundtrip(self._envelope("stats"))["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to stop serving (waits for the ack)."""
+        self._roundtrip(self._envelope("shutdown"))
+        self.close()
+
+    def compile_batch(
+        self,
+        requests: Sequence[CompileRequest],
+        policy: Optional[FailurePolicy] = None,
+        span_name: str = "daemon-batch",
+    ) -> SuiteReport:
+        """Ship a batch to the daemon; returns its :class:`SuiteReport`."""
+        message = self._envelope("compile")
+        message["requests"] = [request_to_wire(r) for r in requests]
+        message["policy"] = policy_to_wire(policy) if policy is not None else None
+        message["span"] = span_name
+        response = self._roundtrip(message)
+        status = response["status"]
+        if status in ("ok", "partial"):
+            return report_from_wire(response["report"])
+        error = response["error"]
+        if status == "rejected":
+            raise DaemonError(error["message"])
+        if error["code"] == "REPRO-SVC-005":
+            raise ProtocolError(error["message"])
+        exc = ServiceError(error["message"])
+        exc.code = error["code"]
+        raise exc

@@ -49,7 +49,13 @@ PIPELINE_VERSION = 3
 #: observability ``trace`` — pre-observability entries would unpickle
 #: without those attributes, so they are retired wholesale.
 #: 3: FlowComparison grew the ``lint`` verdict dict.
-CACHE_FORMAT_VERSION = 3
+#: 4: the store moved from a flat ``entries/`` tree to sharded
+#: ``shards/<prefix>/`` segments with a layout manifest.  The payload
+#: pickle encoding is unchanged, so opening an old cache migrates
+#: format-3 entries in place (rewritten headers, re-homed files)
+#: instead of cold-starting — see
+#: :meth:`repro.service.cache.CompilationCache._migrate_legacy_layout`.
+CACHE_FORMAT_VERSION = 4
 
 
 def _sha256(text: str) -> str:

@@ -42,6 +42,7 @@ from ..observability import (
 from ..workloads.suite import SUITE_SIZES
 from .cache import CacheStats, CompilationCache
 from .fingerprint import cache_key
+from .tiers import TieredCompilationCache
 from .resilience import (
     FailurePolicy,
     RequestOutcome,
@@ -339,6 +340,13 @@ class CompilationService:
     (fail-fast when unset); ``chaos`` arms the service-level fault
     injector (:class:`repro.testing.ChaosProfile`) for every batch —
     testing only, obviously.
+
+    ``daemon`` routes :meth:`compile_batch` (and everything built on it)
+    through a running compile daemon (``python -m repro serve``) at the
+    given address instead of compiling in this process.  ``mem_entries``
+    > 0 puts a bounded in-memory LRU tier in front of the disk cache
+    (:class:`repro.service.tiers.TieredCompilationCache`) — the daemon
+    turns this on; one-shot CLI runs keep the pure disk cache.
     """
 
     def __init__(
@@ -349,6 +357,9 @@ class CompilationService:
         engine: Optional[DiagnosticEngine] = None,
         policy: Optional[FailurePolicy] = None,
         chaos=None,
+        daemon: Optional[str] = None,
+        mem_entries: int = 0,
+        mem_bytes: int = 256 << 20,
     ):
         if jobs < 1:
             raise PipelineConfigError(f"jobs must be >= 1, got {jobs}")
@@ -357,7 +368,16 @@ class CompilationService:
         self.engine = engine or DiagnosticEngine()
         self.policy = policy or FailurePolicy()
         self.chaos = chaos
-        self.cache = CompilationCache(cache_dir, engine=self.engine)
+        self.daemon = daemon
+        if mem_entries > 0:
+            self.cache: CompilationCache = TieredCompilationCache(
+                cache_dir,
+                engine=self.engine,
+                mem_entries=mem_entries,
+                mem_bytes=mem_bytes,
+            )
+        else:
+            self.cache = CompilationCache(cache_dir, engine=self.engine)
 
     # -- single kernel ------------------------------------------------------
     def compile_one(
@@ -397,6 +417,10 @@ class CompilationService:
                 cached.lookup_seconds = lookup_elapsed
                 span.set(cache="hit")
                 return cached
+            # The coalescing property test counts underlying compiles
+            # through this: one bump per actual compare_flows run, none
+            # for hits or coalesced joins.
+            get_statistics().bump("service", "compiles")
             comparison = compare_flows(
                 kernel,
                 sizes,
@@ -435,7 +459,20 @@ class CompilationService:
         report is *partial* — completed work is never discarded.
         ``span_name`` labels the batch-level tracer span (``run-suite``
         for suite runs, ``dse-batch`` for exploration sweeps).
+
+        When the service was built with ``daemon=ADDR``, the batch is
+        shipped to that daemon over the NDJSON protocol instead of
+        compiling here; the report comes back bit-identical to a local
+        run (same fingerprints, same comparisons) because the daemon
+        runs the very same code path against its own cache.
         """
+        if self.daemon:
+            from .client import DaemonClient
+
+            with DaemonClient(self.daemon) as client:
+                return client.compile_batch(
+                    requests, policy=policy or self.policy, span_name=span_name
+                )
         start = time.perf_counter()
         tracer = get_tracer()
         registry = get_statistics()

@@ -29,6 +29,7 @@ from .filecheck import (
     run_filecheck,
 )
 from .golden import GoldenLintRefusal, write_golden_snapshot
+from .load import LoadProfile, LoadReport, LoadResult, run_load
 from .modulegen import RandomModuleGenerator
 
 __all__ = [
@@ -52,5 +53,9 @@ __all__ = [
     "run_filecheck",
     "GoldenLintRefusal",
     "write_golden_snapshot",
+    "LoadProfile",
+    "LoadReport",
+    "LoadResult",
+    "run_load",
     "RandomModuleGenerator",
 ]

@@ -1,0 +1,304 @@
+"""Deterministic load generator for the compile daemon.
+
+:func:`run_load` replays a *seeded* mixed-config request schedule
+against a running daemon from concurrent client threads and reports
+what a capacity test needs: p50/p90/p99 latency, the cache-hit rate,
+the coalescing rate, and the daemon's own counter deltas.  The schedule
+is fully determined by :class:`LoadProfile` (one ``random.Random(seed)``
+draws every request up front), so two runs against equal daemons replay
+byte-identical request streams — regressions show up as *rate* changes,
+not noise.
+
+The run has two phases:
+
+1. **Burst** — every client thread barrier-syncs and fires the *same*
+   cold request simultaneously.  Exactly one of them can own the
+   compile; the rest must coalesce (or hit, if they arrive after it
+   finishes), so a healthy daemon shows a nonzero coalescing rate even
+   at small request counts — the property the CI smoke job asserts.
+2. **Replay** — the seeded schedule, duplicate-heavy by construction
+   (a small kernel×config pool), split round-robin across clients.
+   After each pair's first miss everything is warm, so the measured
+   hit rate approaches ``1 - pool/requests``.
+
+Per-request classification is client-observable and disjoint:
+
+* ``miss`` — this request's report shows a cache miss (it compiled);
+* ``hit`` — the report shows a cache hit (memory or disk tier);
+* ``coalesced`` — the report shows *neither* (zero lookups): the
+  daemon joined an in-flight compile and returned its result;
+* ``failed`` — no comparison came back.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["LoadProfile", "LoadResult", "LoadReport", "run_load", "percentile"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Everything that determines a load run's request stream."""
+
+    requests: int = 1000
+    clients: int = 4
+    seed: int = 17
+    kernels: Tuple[str, ...] = ("gemm", "atax", "bicg", "mvt")
+    configs: Tuple[str, ...] = ("baseline", "optimized")
+    size_class: str = "MINI"
+    check_equivalence: bool = False
+    #: Kernel reserved for the barrier-synced cold burst (every client
+    #: fires it at once); excluded from the replay pool so it is
+    #: guaranteed cold when the burst lands.
+    burst_kernel: Optional[str] = "gesummv"
+
+    def schedule(self) -> List[Tuple[str, str]]:
+        """The seeded (kernel, config) stream, same for every run."""
+        rng = random.Random(self.seed)
+        pool = [
+            (kernel, config)
+            for kernel in self.kernels
+            for config in self.configs
+            if kernel != self.burst_kernel
+        ]
+        if not pool:
+            raise ValueError("load profile has an empty kernel/config pool")
+        return [pool[rng.randrange(len(pool))] for _ in range(self.requests)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "clients": self.clients,
+            "seed": self.seed,
+            "kernels": list(self.kernels),
+            "configs": list(self.configs),
+            "size_class": self.size_class,
+            "check_equivalence": self.check_equivalence,
+            "burst_kernel": self.burst_kernel,
+        }
+
+
+@dataclass
+class LoadResult:
+    """One replayed request: what it was, how long it took, what served it."""
+
+    kernel: str
+    config: str
+    seconds: float
+    status: str  # hit | miss | coalesced | failed
+    phase: str = "replay"  # burst | replay
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (0 for empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated load-run results, JSON-serialisable for CI artifacts."""
+
+    profile: LoadProfile
+    results: List[LoadResult] = field(default_factory=list)
+    seconds: float = 0.0
+    counters_before: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    counters_after: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.results)
+
+    def count(self, status: str) -> int:
+        return sum(1 for r in self.results if r.status == status)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.count("hit") / self.total if self.total else 0.0
+
+    @property
+    def coalescing_rate(self) -> float:
+        return self.count("coalesced") / self.total if self.total else 0.0
+
+    def counter_delta(self, group: str, name: str) -> int:
+        return self.counters_after.get(group, {}).get(name, 0) - (
+            self.counters_before.get(group, {}).get(name, 0)
+        )
+
+    def latency_ms(self) -> Dict[str, float]:
+        latencies = sorted(r.seconds * 1e3 for r in self.results)
+        return {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p90": round(percentile(latencies, 0.90), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "max": round(latencies[-1], 3) if latencies else 0.0,
+        }
+
+    def warm_latency_ms(self) -> Dict[str, float]:
+        """Latency over cache-served (hit) requests only — the number a
+        warm daemon is judged on, uncontaminated by cold compiles."""
+        latencies = sorted(
+            r.seconds * 1e3 for r in self.results if r.status == "hit"
+        )
+        return {
+            "p50": round(percentile(latencies, 0.50), 3),
+            "p99": round(percentile(latencies, 0.99), 3),
+            "count": len(latencies),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        counts = {
+            status: self.count(status)
+            for status in ("hit", "miss", "coalesced", "failed")
+        }
+        return {
+            "profile": self.profile.to_dict(),
+            "requests": self.total,
+            "seconds": round(self.seconds, 3),
+            "throughput_rps": (
+                round(self.total / self.seconds, 1) if self.seconds else 0.0
+            ),
+            "counts": counts,
+            "rates": {
+                "hit": round(self.hit_rate, 4),
+                "coalescing": round(self.coalescing_rate, 4),
+                "failure": round(counts["failed"] / self.total, 4) if self.total else 0.0,
+            },
+            "latency_ms": self.latency_ms(),
+            "warm_latency_ms": self.warm_latency_ms(),
+            "daemon_counters": {
+                "service.compiles": self.counter_delta("service", "compiles"),
+                "service.coalesced": self.counter_delta("service", "coalesced"),
+                "cache.hits": self.counter_delta("cache", "hits"),
+                "cache.misses": self.counter_delta("cache", "misses"),
+                "cache.mem_hits": self.counter_delta("cache", "mem_hits"),
+                "cache.mem_evictions": self.counter_delta("cache", "mem_evictions"),
+            },
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def summary(self) -> str:
+        doc = self.to_dict()
+        lat = doc["latency_ms"]
+        warm = doc["warm_latency_ms"]
+        return (
+            f"load run: {self.total} request(s), {self.profile.clients} "
+            f"client(s), {doc['seconds']}s wall "
+            f"({doc['throughput_rps']} req/s)\n"
+            f"counts: {doc['counts']}\n"
+            f"rates: hit={doc['rates']['hit']:.1%} "
+            f"coalescing={doc['rates']['coalescing']:.1%}\n"
+            f"latency ms: p50={lat['p50']} p90={lat['p90']} "
+            f"p99={lat['p99']} max={lat['max']}\n"
+            f"warm-hit latency ms: p50={warm['p50']} p99={warm['p99']} "
+            f"over {warm['count']} hit(s)\n"
+            f"daemon: compiles={doc['daemon_counters']['service.compiles']} "
+            f"coalesced={doc['daemon_counters']['service.coalesced']}"
+        )
+
+
+def _classify(report) -> str:
+    """Client-side effective status of a 1-request batch (see module doc)."""
+    if not report.comparisons or not report.outcomes[0].ok:
+        return "failed"
+    stats = report.cache_stats
+    if stats.hits > 0:
+        return "hit"
+    if stats.misses > 0:
+        return "miss"
+    return "coalesced"
+
+
+def run_load(address: str, profile: LoadProfile) -> LoadReport:
+    """Replay ``profile`` against the daemon at ``address``.
+
+    Spawns ``profile.clients`` threads, each with its own
+    :class:`~repro.service.DaemonClient`.  Phase 1 is the barrier-synced
+    cold burst on ``burst_kernel`` (skipped when ``None``); phase 2
+    replays the seeded schedule round-robin.  Raises if the daemon is
+    unreachable; individual request failures are recorded, not raised.
+    """
+    from ..service import CompileRequest, DaemonClient
+
+    report = LoadReport(profile=profile)
+    with DaemonClient(address) as probe:
+        probe.ping()
+        report.counters_before = probe.stats()["counters"]
+
+    schedule = profile.schedule()
+    per_client: List[List[Tuple[str, str]]] = [
+        schedule[i :: profile.clients] for i in range(profile.clients)
+    ]
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(profile.clients)
+    errors: List[BaseException] = []
+
+    def request_for(kernel: str, config: str) -> CompileRequest:
+        return CompileRequest(
+            kernel=kernel,
+            config=config,
+            size_class=profile.size_class,
+            check_equivalence=profile.check_equivalence,
+            seed=profile.seed,
+        )
+
+    def one(client, kernel: str, config: str, phase: str) -> LoadResult:
+        start = time.perf_counter()
+        try:
+            batch = client.compile_batch([request_for(kernel, config)])
+            status = _classify(batch)
+        except Exception:
+            status = "failed"
+        return LoadResult(
+            kernel=kernel,
+            config=config,
+            seconds=time.perf_counter() - start,
+            status=status,
+            phase=phase,
+        )
+
+    def client_body(index: int) -> None:
+        try:
+            with DaemonClient(address) as client:
+                mine: List[LoadResult] = []
+                if profile.burst_kernel is not None:
+                    barrier.wait()
+                    mine.append(
+                        one(client, profile.burst_kernel, profile.configs[0], "burst")
+                    )
+                for kernel, config in per_client[index]:
+                    mine.append(one(client, kernel, config, "replay"))
+                with results_lock:
+                    report.results.extend(mine)
+        except BaseException as exc:  # connection-level failure
+            with results_lock:
+                errors.append(exc)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=client_body, args=(i,), name=f"load-client-{i}")
+        for i in range(profile.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.seconds = time.perf_counter() - start
+    if errors:
+        raise errors[0]
+
+    with DaemonClient(address) as probe:
+        report.counters_after = probe.stats()["counters"]
+    return report

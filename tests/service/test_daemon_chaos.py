@@ -1,0 +1,110 @@
+"""Chaos through the daemon: injected faults must surface as partial
+responses, degrade the breaker, and never wedge or orphan the server.
+
+The serial test is tier-1; the multi-worker hang/breaker scenario runs
+real worker processes with deadlines and is marked ``slow``.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.service import CompileDaemon, DaemonClient, FailurePolicy
+from repro.service.service import CompileRequest
+from repro.testing import ChaosProfile
+
+KERNELS = ["gemm", "atax", "bicg"]
+
+
+def requests_for(kernels):
+    return [
+        CompileRequest(
+            kernel=kernel,
+            config="baseline",
+            size_class="MINI",
+            check_equivalence=False,
+            seed=17,
+        )
+        for kernel in kernels
+    ]
+
+
+class TestDaemonChaosSerial:
+    def test_injected_crash_yields_partial_response(self, tmp_path):
+        daemon = CompileDaemon(
+            address="127.0.0.1:0",
+            cache_dir=str(tmp_path / "cache"),
+            chaos=ChaosProfile(seed=7, crash=1),
+        )
+        address = daemon.start()
+        try:
+            with DaemonClient(address) as client:
+                report = client.compile_batch(
+                    requests_for(KERNELS),
+                    policy=FailurePolicy(mode="continue"),
+                )
+                counts = report.outcome_counts()
+                assert counts["ok"] == 2 and counts["failed"] == 1
+                assert len(report.comparisons) == 2
+                assert "ChaosCrash" in report.failures[0].error
+                # The daemon survives the fault: same connection, and a
+                # retry policy recovers the victim (fault_attempts=1
+                # spares the second attempt within a batch).
+                second = client.compile_batch(
+                    requests_for(KERNELS),
+                    policy=FailurePolicy(mode="retry", backoff_base=0.0),
+                )
+                counts = second.outcome_counts()
+                assert counts["ok"] + counts.get("retried-then-ok", 0) == 3
+                assert len(second.comparisons) == 3
+        finally:
+            daemon.stop()
+        assert multiprocessing.active_children() == []
+
+    def test_fail_fast_chaos_surfaces_as_error_response(self, tmp_path):
+        daemon = CompileDaemon(
+            address="127.0.0.1:0",
+            cache_dir=str(tmp_path / "cache"),
+            chaos=ChaosProfile(seed=7, crash=1),
+        )
+        address = daemon.start()
+        try:
+            with DaemonClient(address) as client:
+                with pytest.raises(Exception) as excinfo:
+                    client.compile_batch(requests_for(KERNELS))
+                assert "injected worker crash" in str(excinfo.value)
+                # An aborted batch must not leak admission depth.
+                assert client.stats()["depth"] == 0
+                assert client.ping()["status"] == "ok"
+        finally:
+            daemon.stop()
+
+
+@pytest.mark.slow
+class TestDaemonChaosWorkers:
+    def test_hangs_degrade_breaker_and_shutdown_is_clean(self, tmp_path):
+        """Seeded hang faults through a 2-worker daemon: timed-out
+        outcomes, breaker degradation, no orphaned workers after stop."""
+        daemon = CompileDaemon(
+            address="127.0.0.1:0",
+            cache_dir=str(tmp_path / "cache"),
+            jobs=2,
+            chaos=ChaosProfile(seed=3, hang=2, hang_seconds=60.0),
+        )
+        address = daemon.start()
+        try:
+            with DaemonClient(address) as client:
+                report = client.compile_batch(
+                    requests_for(["gemm", "atax", "bicg", "mvt", "gesummv"]),
+                    policy=FailurePolicy(
+                        mode="continue", timeout=3.0, circuit_threshold=2
+                    ),
+                )
+            counts = report.outcome_counts()
+            assert counts.get("timed-out", 0) == 2
+            assert counts["ok"] == 3
+            # Two timeouts at threshold 2 tripped the breaker.
+            assert report.degraded
+        finally:
+            daemon.stop()
+        assert multiprocessing.active_children() == []

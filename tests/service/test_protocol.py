@@ -1,0 +1,273 @@
+"""Golden tests for the daemon's NDJSON wire protocol.
+
+The fixtures under ``tests/service/wire/`` are the protocol's contract:
+every message shape a client or daemon can emit, validated by the same
+schema checker both ends run.  Changing the wire format without bumping
+``PROTOCOL_VERSION`` (and regenerating the fixtures) breaks these tests
+— which is the point.
+"""
+
+import base64
+import copy
+import hashlib
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.diagnostics.errors import ProtocolError
+from repro.flows.config import OptimizationConfig
+from repro.service.service import resolve_config
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    decode_comparison,
+    decode_line,
+    encode_comparison,
+    encode_line,
+    error_response,
+    outcome_from_wire,
+    outcome_to_wire,
+    policy_from_wire,
+    policy_to_wire,
+    request_from_wire,
+    request_to_wire,
+    validate_request,
+    validate_response,
+)
+from repro.service.resilience import FailurePolicy, RequestOutcome
+from repro.service.service import CompileRequest
+
+WIRE_DIR = os.path.join(os.path.dirname(__file__), "wire")
+
+
+def load_fixture(name):
+    with open(os.path.join(WIRE_DIR, name), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestGoldenFixtures:
+    """Every committed fixture passes the schema validator."""
+
+    def test_compile_request_fixture_validates(self):
+        validate_request(load_fixture("compile_request.json"))
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "response_ok.json",
+            "response_partial.json",
+            "response_rejected.json",
+            "response_error.json",
+        ],
+    )
+    def test_compile_response_fixtures_validate(self, name):
+        validate_response(load_fixture(name))
+
+    @pytest.mark.parametrize("name", ["ping.json", "stats.json", "shutdown.json"])
+    def test_control_op_fixtures_validate(self, name):
+        pair = load_fixture(name)
+        validate_request(pair["request"])
+        validate_response(pair["response"])
+
+    def test_fixtures_survive_framing_roundtrip(self):
+        message = load_fixture("compile_request.json")
+        assert decode_line(encode_line(message)) == message
+
+    def test_request_fixture_reconstructs_compile_requests(self):
+        message = load_fixture("compile_request.json")
+        first = request_from_wire(message["requests"][0])
+        assert first.kernel == "gemm"
+        assert first.config == "baseline"
+        assert first.sizes == {"ni": 16, "nj": 18, "nk": 20}
+        assert first.seed == 17
+        second = request_from_wire(message["requests"][1])
+        assert isinstance(second.config, OptimizationConfig)
+        assert second.config.name == "dse-point-7"
+        assert second.config.unroll_levels == {0: 2, 1: 4}
+
+    def test_partial_fixture_carries_timed_out_outcome(self):
+        report = load_fixture("response_partial.json")["report"]
+        outcome = outcome_from_wire(report["outcomes"][1])
+        assert outcome.status == "timed-out"
+        assert outcome.error_code == "REPRO-SVC-002"
+        assert outcome.comparison_index is None
+
+    def test_rejected_fixture_names_backpressure_code(self):
+        message = load_fixture("response_rejected.json")
+        assert message["error"]["code"] == "REPRO-SVC-004"
+
+    def test_error_fixture_names_protocol_code(self):
+        message = load_fixture("response_error.json")
+        assert message["error"]["code"] == "REPRO-SVC-005"
+
+
+class TestFraming:
+    def test_encode_is_one_compact_newline_terminated_line(self):
+        frame = encode_line({"v": 1, "id": "x", "op": "ping"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+        assert b" " not in frame
+
+    def test_encode_is_deterministic(self):
+        a = encode_line({"b": 1, "a": 2})
+        b = encode_line({"a": 2, "b": 1})
+        assert a == b
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json at all\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_oversize_frame(self):
+        from repro.service import protocol
+
+        huge = b"x" * (protocol._MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            decode_line(huge)
+
+
+class TestEnvelopeValidation:
+    def good(self):
+        return copy.deepcopy(load_fixture("compile_request.json"))
+
+    def test_wrong_protocol_version_rejected(self):
+        message = self.good()
+        message["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_missing_id_rejected(self):
+        message = self.good()
+        del message["id"]
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_unknown_op_rejected(self):
+        message = self.good()
+        message["op"] = "transmogrify"
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_empty_request_list_rejected(self):
+        message = self.good()
+        message["requests"] = []
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_request_missing_kernel_rejected(self):
+        message = self.good()
+        del message["requests"][0]["kernel"]
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_request_bad_seed_type_rejected(self):
+        message = self.good()
+        message["requests"][0]["seed"] = "seventeen"
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_unknown_policy_mode_rejected(self):
+        message = self.good()
+        message["policy"]["mode"] = "yolo"
+        with pytest.raises(ProtocolError):
+            validate_request(message)
+
+    def test_unknown_compile_status_rejected(self):
+        message = copy.deepcopy(load_fixture("response_ok.json"))
+        message["status"] = "sorta-ok"
+        with pytest.raises(ProtocolError):
+            validate_response(message)
+
+    def test_unknown_outcome_status_rejected(self):
+        message = copy.deepcopy(load_fixture("response_ok.json"))
+        message["report"]["outcomes"][0]["status"] = "shrug"
+        with pytest.raises(ProtocolError):
+            validate_response(message)
+
+    def test_error_response_without_error_body_rejected(self):
+        message = copy.deepcopy(load_fixture("response_rejected.json"))
+        del message["error"]
+        with pytest.raises(ProtocolError):
+            validate_response(message)
+
+    def test_error_response_helper_validates(self):
+        validate_response(
+            error_response("c9", "compile", "rejected", "REPRO-SVC-004", "full")
+        )
+
+
+class TestRoundTrips:
+    def test_named_config_request_roundtrip(self):
+        request = CompileRequest(
+            kernel="gemm",
+            config="optimized",
+            sizes={"ni": 16, "nj": 18, "nk": 20},
+            size_class="MINI",
+            check_equivalence=False,
+            seed=17,
+        )
+        back = request_from_wire(request_to_wire(request))
+        assert back == request
+
+    def test_config_object_request_roundtrip(self):
+        config = resolve_config("optimized")
+        request = CompileRequest(
+            kernel="atax", config=config, size_class="MINI", seed=23
+        )
+        back = request_from_wire(request_to_wire(request))
+        assert isinstance(back.config, OptimizationConfig)
+        assert back.config.signature() == config.signature()
+        assert back.config.name == config.name
+
+    def test_policy_roundtrip(self):
+        policy = FailurePolicy(
+            mode="retry", max_attempts=3, timeout=45.0, circuit_threshold=5
+        )
+        assert policy_from_wire(policy_to_wire(policy)) == policy
+
+    def test_policy_none_roundtrip(self):
+        assert policy_from_wire(None) is None
+
+    def test_outcome_roundtrip(self):
+        outcome = RequestOutcome(
+            index=4,
+            kernel="bicg",
+            config="optimized",
+            status="timed-out",
+            attempts=2,
+            seconds=60.0,
+            error="deadline",
+            error_code="REPRO-SVC-002",
+            comparison_index=None,
+        )
+        assert outcome_from_wire(outcome_to_wire(outcome)) == outcome
+
+    def test_comparison_roundtrip_is_bit_identical(self):
+        payload = {"kernel": "gemm", "latency": 9120, "nested": {"lut": 321}}
+        wire = encode_comparison(payload)
+        raw = base64.b64decode(wire["pickle"])
+        assert wire["sha256"] == hashlib.sha256(raw).hexdigest()
+        assert decode_comparison(wire) == payload
+
+    def test_comparison_digest_mismatch_rejected(self):
+        wire = encode_comparison({"a": 1})
+        wire["sha256"] = "0" * 64
+        with pytest.raises(ProtocolError):
+            decode_comparison(wire)
+
+    def test_comparison_bad_base64_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_comparison({"pickle": "!!!not base64!!!", "sha256": "0" * 64})
+
+    def test_comparison_unpicklable_payload_rejected(self):
+        raw = b"this is not a pickle"
+        wire = {
+            "pickle": base64.b64encode(raw).decode("ascii"),
+            "sha256": hashlib.sha256(raw).hexdigest(),
+        }
+        with pytest.raises(ProtocolError):
+            decode_comparison(wire)

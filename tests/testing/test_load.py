@@ -1,0 +1,190 @@
+"""The deterministic load generator: schedule, math, classification, and
+one live end-to-end run against a real daemon."""
+
+import json
+
+import pytest
+
+from repro.service import CompileDaemon
+from repro.service.cache import CacheStats
+from repro.service.resilience import RequestOutcome
+from repro.service.service import SuiteReport
+from repro.testing.load import (
+    LoadProfile,
+    LoadReport,
+    LoadResult,
+    percentile,
+    run_load,
+)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        profile = LoadProfile(requests=200, seed=5)
+        assert profile.schedule() == profile.schedule()
+        assert profile.schedule() == LoadProfile(requests=200, seed=5).schedule()
+
+    def test_different_seed_different_schedule(self):
+        a = LoadProfile(requests=200, seed=5).schedule()
+        b = LoadProfile(requests=200, seed=6).schedule()
+        assert a != b
+
+    def test_schedule_draws_from_pool_only(self):
+        profile = LoadProfile(
+            requests=100, kernels=("gemm", "atax"), configs=("baseline",)
+        )
+        pool = {("gemm", "baseline"), ("atax", "baseline")}
+        assert set(profile.schedule()) <= pool
+
+    def test_burst_kernel_excluded_from_replay_pool(self):
+        profile = LoadProfile(
+            requests=100, kernels=("gemm", "gesummv"), burst_kernel="gesummv"
+        )
+        assert all(k != "gesummv" for k, _ in profile.schedule())
+
+    def test_empty_pool_raises(self):
+        profile = LoadProfile(kernels=("gesummv",), burst_kernel="gesummv")
+        with pytest.raises(ValueError):
+            profile.schedule()
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.99) == 100.0
+        assert percentile(values, 0.0) == 1.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+
+def result(status, seconds=0.01, phase="replay"):
+    return LoadResult(
+        kernel="gemm", config="baseline", seconds=seconds,
+        status=status, phase=phase,
+    )
+
+
+class TestLoadReportMath:
+    def make_report(self):
+        report = LoadReport(profile=LoadProfile(requests=4, clients=2))
+        report.results = [
+            result("miss", 0.040),
+            result("hit", 0.004),
+            result("hit", 0.006),
+            result("coalesced", 0.020, phase="burst"),
+        ]
+        report.seconds = 0.5
+        report.counters_before = {"service": {"compiles": 2, "coalesced": 0}}
+        report.counters_after = {"service": {"compiles": 3, "coalesced": 1}}
+        return report
+
+    def test_counts_and_rates(self):
+        report = self.make_report()
+        assert report.total == 4
+        assert report.count("hit") == 2
+        assert report.hit_rate == 0.5
+        assert report.coalescing_rate == 0.25
+
+    def test_counter_delta(self):
+        report = self.make_report()
+        assert report.counter_delta("service", "compiles") == 1
+        assert report.counter_delta("service", "coalesced") == 1
+        assert report.counter_delta("service", "absent") == 0
+
+    def test_warm_latency_covers_hits_only(self):
+        warm = self.make_report().warm_latency_ms()
+        assert warm["count"] == 2
+        assert warm["p50"] in (4.0, 6.0)
+        assert warm["p99"] == 6.0
+
+    def test_to_dict_shape(self):
+        doc = self.make_report().to_dict()
+        assert doc["requests"] == 4
+        assert doc["counts"] == {
+            "hit": 2, "miss": 1, "coalesced": 1, "failed": 0
+        }
+        assert doc["rates"]["failure"] == 0.0
+        assert doc["daemon_counters"]["service.compiles"] == 1
+        assert doc["latency_ms"]["max"] == 40.0
+        assert doc["profile"]["clients"] == 2
+
+    def test_write_json_roundtrips(self, tmp_path):
+        report = self.make_report()
+        path = str(tmp_path / "load.json")
+        report.write_json(path)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh) == report.to_dict()
+
+    def test_summary_mentions_the_headline_numbers(self):
+        summary = self.make_report().summary()
+        assert "4 request(s)" in summary
+        assert "hit=50.0%" in summary
+        assert "coalesced=1" in summary
+
+
+class TestClassification:
+    def batch(self, hits=0, misses=0, ok=True, with_comparison=True):
+        report = SuiteReport(
+            config="baseline", size_class="MINI", jobs=1,
+            cache_stats=CacheStats(hits=hits, misses=misses),
+        )
+        outcome = RequestOutcome(
+            index=0, kernel="gemm", config="baseline",
+            status="ok" if ok else "failed",
+        )
+        if with_comparison:
+            outcome.comparison_index = 0
+            report.comparisons.append(object())
+        report.outcomes.append(outcome)
+        return report
+
+    def test_classify_hit_miss_coalesced_failed(self):
+        from repro.testing.load import _classify
+
+        assert _classify(self.batch(hits=1)) == "hit"
+        assert _classify(self.batch(misses=1)) == "miss"
+        assert _classify(self.batch()) == "coalesced"
+        assert _classify(self.batch(ok=False, with_comparison=False)) == "failed"
+
+
+class TestLiveRun:
+    def test_run_load_against_live_daemon(self, tmp_path):
+        daemon = CompileDaemon(
+            address="127.0.0.1:0", cache_dir=str(tmp_path / "cache")
+        )
+        address = daemon.start()
+        profile = LoadProfile(
+            requests=40,
+            clients=4,
+            seed=17,
+            kernels=("gemm", "atax"),
+            configs=("baseline",),
+        )
+        try:
+            report = run_load(address, profile)
+        finally:
+            daemon.stop()
+
+        # 40 replays + 4 burst requests, none failed.
+        assert report.total == 44
+        assert report.count("failed") == 0
+        # The replay pool is 2 wide: beyond each pair's first miss every
+        # request is served warm — from cache, or by joining the compile
+        # in flight (races between clients land as "coalesced").
+        assert report.hit_rate + report.coalescing_rate > 0.85
+        # Compiles: 2 replay kernels + 1 burst kernel, exactly once each.
+        assert report.counter_delta("service", "compiles") == 3
+        # The barrier-synced burst guarantees contention on one
+        # fingerprint: joins or warm hits, but only one compile.
+        burst = [r for r in report.results if r.phase == "burst"]
+        assert len(burst) == 4
+        assert all(r.status in ("hit", "coalesced", "miss") for r in burst)
+        assert sum(1 for r in burst if r.status == "miss") == 1
+        doc = report.to_dict()
+        assert doc["warm_latency_ms"]["count"] == report.count("hit")
+        assert doc["seconds"] > 0
