@@ -1,0 +1,173 @@
+"""Cold-compile micro-benchmark for the IR substrate's fast mode.
+
+Measures the full MINI kernel suite through the adaptor flow twice —
+once with ``REPRO_IR_FAST=0`` (the N-walk, verify-everything-always
+baseline the substrate shipped with) and once with fast mode on (pass
+fusion, incremental + deferred re-verification, version-keyed analysis
+caches) — and reports the cold-compile speedup.
+
+Methodology: every sample builds all kernels from scratch (no service
+cache is involved) and the GC is disabled around the timed region.  The
+two modes are measured as ``--reps`` *interleaved pairs* (best-of-2 off,
+then best-of-2 on, back to back), and the reported speedup is the median
+of the per-pair ratios: pairing cancels machine-speed epochs (thermal
+throttling, noisy neighbours) that would skew two widely separated
+batches, and the median resists the occasional descheduled outlier.
+
+Usage::
+
+    python benchmarks/ir_speed.py              # measure and print
+    python benchmarks/ir_speed.py --update     # measure + write results JSON
+    python benchmarks/ir_speed.py --check      # measure + compare vs committed
+                                               # baseline (CI perf-regression)
+
+``--check`` compares the measured *speedup ratio* against the committed
+one — wall-clock seconds are machine-dependent, the ratio is not — and
+fails if it leaves the tolerance band (default ±25%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+
+RESULTS_PATH = os.path.join(
+    os.path.dirname(__file__), "results", "ir_speed.json"
+)
+DEFAULT_TOLERANCE = 0.25
+FAST_ENV_VAR = "REPRO_IR_FAST"
+
+
+def _run_suite_once(size_class: str) -> float:
+    from repro.flows.adaptor_flow import run_adaptor_flow
+    from repro.workloads import build_kernel
+    from repro.workloads.suite import SUITE_SIZES
+
+    start = time.perf_counter()
+    for name, sizes in SUITE_SIZES[size_class].items():
+        run_adaptor_flow(build_kernel(name, **sizes))
+    return time.perf_counter() - start
+
+
+def measure(reps: int = 7, size_class: str = "MINI") -> dict:
+    """Median-of-ratios over ``reps`` interleaved off/on pairs."""
+    import statistics
+
+    from repro.workloads.suite import SUITE_SIZES
+
+    # Warm imports/pyc so neither mode pays one-time costs.
+    _run_suite_once(size_class)
+    previous = os.environ.get(FAST_ENV_VAR)
+    gc_was_enabled = gc.isenabled()
+    offs, ons, ratios = [], [], []
+    try:
+        gc.disable()
+        for _ in range(reps):
+            os.environ[FAST_ENV_VAR] = "0"
+            off = min(_run_suite_once(size_class) for _ in range(2))
+            os.environ[FAST_ENV_VAR] = "1"
+            on = min(_run_suite_once(size_class) for _ in range(2))
+            offs.append(off)
+            ons.append(on)
+            ratios.append(off / on)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+        if previous is None:
+            os.environ.pop(FAST_ENV_VAR, None)
+        else:
+            os.environ[FAST_ENV_VAR] = previous
+    return {
+        "benchmark": "ir_speed",
+        "suite": size_class,
+        "kernels": len(SUITE_SIZES[size_class]),
+        "reps": reps,
+        "estimator": "median-of-paired-ratios",
+        "fast_off_seconds": round(min(offs), 4),
+        "fast_on_seconds": round(min(ons), 4),
+        "speedup": round(statistics.median(ratios), 2),
+    }
+
+
+def render(result: dict, baseline: dict = None) -> str:
+    lines = [
+        f"ir_speed: {result['suite']} suite, {result['kernels']} kernels, "
+        f"{result['reps']} interleaved pairs "
+        f"({result.get('estimator', 'min')})",
+        f"  {'mode':<22}{'seconds':>10}",
+        f"  {'fast off (baseline)':<22}{result['fast_off_seconds']:>10.4f}",
+        f"  {'fast on':<22}{result['fast_on_seconds']:>10.4f}",
+        f"  speedup: {result['speedup']:.2f}x",
+    ]
+    if baseline is not None:
+        delta = result["speedup"] / baseline["speedup"] - 1.0
+        lines += [
+            "",
+            f"  {'':<14}{'committed':>10}{'measured':>10}{'delta':>9}",
+            f"  {'speedup':<14}{baseline['speedup']:>9.2f}x"
+            f"{result['speedup']:>9.2f}x{delta:>+8.1%}",
+        ]
+    return "\n".join(lines)
+
+
+def check(result: dict, tolerance: float = DEFAULT_TOLERANCE) -> int:
+    """Compare against the committed baseline; 0 = within band."""
+    if not os.path.exists(RESULTS_PATH):
+        print(f"no committed baseline at {RESULTS_PATH}; run with --update")
+        return 2
+    with open(RESULTS_PATH) as fh:
+        baseline = json.load(fh)
+    print(render(result, baseline))
+    ratio = result["speedup"] / baseline["speedup"]
+    if ratio < 1.0 - tolerance:
+        print(
+            f"\nFAIL: measured speedup {result['speedup']:.2f}x regressed "
+            f"more than {tolerance:.0%} below the committed "
+            f"{baseline['speedup']:.2f}x"
+        )
+        return 1
+    if ratio > 1.0 + tolerance:
+        print(
+            f"\nNOTE: measured speedup {result['speedup']:.2f}x beats the "
+            f"committed {baseline['speedup']:.2f}x by more than "
+            f"{tolerance:.0%} — refresh the baseline with --update"
+        )
+    print("\nOK: within the tolerance band")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=7)
+    parser.add_argument("--suite", default="MINI")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--update", action="store_true", help="write the results JSON"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline (CI perf-regression)",
+    )
+    args = parser.parse_args(argv)
+
+    result = measure(reps=args.reps, size_class=args.suite)
+    if args.check:
+        return check(result, tolerance=args.tolerance)
+    print(render(result))
+    if args.update:
+        os.makedirs(os.path.dirname(RESULTS_PATH), exist_ok=True)
+        with open(RESULTS_PATH, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,15 @@ __all__ = ["InterfaceLowering"]
 class InterfaceLowering(ModulePass):
     name = "interface-lowering"
 
+    declares_touched = True
+
     def run_on_module(self, module: Module, stats: PassStatistics) -> None:
         for fn in module.defined_functions():
             if fn.hls_memref_args:
                 self._lower_function(fn, stats)
+                # Signature surgery bypasses the mutation APIs; always
+                # re-verify a function this pass considered.
+                stats.touch(fn.name)
 
     def _lower_function(self, fn: Function, stats: PassStatistics) -> None:
         by_name: Dict[str, Argument] = {a.name: a for a in fn.arguments}

@@ -30,6 +30,7 @@ from ..diagnostics.errors import (
     PipelineConfigError,
 )
 from ..diagnostics.guard import PassGuard
+from ..ir.fastpath import ir_fast_enabled
 from ..ir.module import Module
 from ..ir.snapshot import ModuleSnapshot
 from ..ir.transforms import DeadCodeElimination, PassManager
@@ -262,7 +263,10 @@ class HLSAdaptor:
         start = time.perf_counter()
         tracer = get_tracer()
         try:
-            verify_module(module)
+            # Boundary verify: modules fresh from MLIR lowering + cleanup
+            # were just verified there, so fast mode can skip the duplicate
+            # sweep when the version vector proves nothing changed since.
+            verify_module(module, assume_clean=True)
         except VerificationError as exc:
             diag = self.engine.error(
                 InputRejectionError.code,
@@ -317,7 +321,13 @@ class HLSAdaptor:
                 degradations=len(degradations),
             )
 
-        verify_module(module)
+        # In fast mode the pass manager already re-verified every function
+        # the pipeline touched at its deferred flush, and the entry verify
+        # above covered the rest — a second full sweep would be pure
+        # duplicate work.  Without per-pass verification (or with the flag
+        # off) this final check is the only/authoritative one, so it stays.
+        if not (self.verify_each and ir_fast_enabled()):
+            verify_module(module)
         module.source_flow = "mlir-adaptor"
         lint_report = None
         if self.lint != "off":

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..ir.instructions import Alloca, GetElementPtr, Instruction, Load, Store
 from ..ir.module import Function
+from ..ir.sidetable import ValueSideTable
 from ..ir.types import ArrayType, Type
 from ..ir.values import Argument, ConstantInt, Value
 from .affine_summary import AffineSummary, summarize_index
@@ -70,6 +71,12 @@ class MemoryModel:
         self.fn = fn
         self.buffers: Dict[str, BufferInfo] = {}
         self._site_cache: Dict[int, Optional[AccessSite]] = {}
+        # Local (alloca-backed) buffer names, kept off the IR objects: the
+        # instruction classes are slotted, and analysis-private annotations
+        # belong in a side table scoped to this model, not on the IR.
+        self._local_buffer_names: ValueSideTable[str] = ValueSideTable(
+            "hls-buffer-name"
+        )
         self._collect_buffers()
 
     # -- buffer discovery -------------------------------------------------------
@@ -115,7 +122,7 @@ class MemoryModel:
                             dims=at.dims(),
                             is_local=True,
                         )
-                        inst._hls_buffer_name = name  # type: ignore[attr-defined]
+                        self._local_buffer_names.set(inst, name)
 
     @staticmethod
     def _bank_count(depth: int, dims: Tuple[int, ...], partition: Optional[dict]) -> int:
@@ -176,7 +183,7 @@ class MemoryModel:
         if isinstance(base, Argument):
             return self.buffers.get(base.name)
         if isinstance(base, Alloca):
-            name = getattr(base, "_hls_buffer_name", None)
+            name = self._local_buffer_names.get(base)
             return self.buffers.get(name) if name else None
         return None
 

@@ -9,6 +9,14 @@ modern intrinsics, ``!llvm.loop`` metadata).
 
 from . import types
 from .builder import IRBuilder
+from .fastpath import ir_fast_enabled
+from .interning import (
+    InternContext,
+    current_intern_context,
+    intern_table_sizes,
+    isolated_intern_context,
+)
+from .sidetable import ValueSideTable
 from .interpreter import Interpreter, InterpreterError, run_kernel
 from .metadata import (
     InterfaceSpec,
@@ -25,6 +33,12 @@ from .printer import print_function, print_module
 from .verifier import VerificationError, verify_function, verify_module
 
 __all__ = [
+    "InternContext",
+    "ValueSideTable",
+    "current_intern_context",
+    "intern_table_sizes",
+    "ir_fast_enabled",
+    "isolated_intern_context",
     "types",
     "IRBuilder",
     "Interpreter",

@@ -1,19 +1,49 @@
-"""CFG traversal orders over :class:`~repro.ir.module.Function` blocks."""
+"""CFG traversal orders over :class:`~repro.ir.module.Function` blocks.
+
+In fast mode (``REPRO_IR_FAST``, the default) traversal results are cached
+per function, keyed by ``Function.version``: every mutation API on blocks,
+instructions and operands bumps the counter, so a cache hit is only
+possible when the function is bit-identical to when the order was
+computed.  The cache lives in a weak side table, so it dies with the
+function and never pins IR objects.
+"""
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Set, Tuple
 
+from ..fastpath import ir_fast_enabled
 from ..module import BasicBlock, Function
+from ..sidetable import ValueSideTable
 
 __all__ = ["postorder", "reverse_postorder", "reachable_blocks"]
+
+#: fn -> (fn.version, postorder list, reachable-id set)
+_CFG_CACHE: ValueSideTable = ValueSideTable("cfg-orders")
+
+
+def _cached_orders(fn: Function) -> Tuple[List[BasicBlock], Set[int]]:
+    cached = _CFG_CACHE.get(fn)
+    if cached is not None and cached[0] == fn.version:
+        return cached[1], cached[2]
+    order = _compute_postorder(fn)
+    reach = {id(b) for b in order}
+    _CFG_CACHE.set(fn, (fn.version, order, reach))
+    return order, reach
 
 
 def postorder(fn: Function) -> List[BasicBlock]:
     """Depth-first postorder from the entry block (reachable blocks only).
 
-    Iterative to stay safe on deep loop-nest CFGs.
+    Iterative to stay safe on deep loop-nest CFGs.  Returns a fresh list;
+    callers may reorder/filter it freely.
     """
+    if not ir_fast_enabled():
+        return _compute_postorder(fn)
+    return list(_cached_orders(fn)[0])
+
+
+def _compute_postorder(fn: Function) -> List[BasicBlock]:
     if not fn.blocks:
         return []
     seen: Set[int] = set()
@@ -41,4 +71,6 @@ def reverse_postorder(fn: Function) -> List[BasicBlock]:
 
 def reachable_blocks(fn: Function) -> Set[int]:
     """ids of blocks reachable from entry."""
-    return {id(b) for b in postorder(fn)}
+    if not ir_fast_enabled():
+        return {id(b) for b in _compute_postorder(fn)}
+    return set(_cached_orders(fn)[1])

@@ -4,10 +4,33 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..fastpath import ir_fast_enabled
 from ..module import BasicBlock, Function
+from ..sidetable import ValueSideTable
 from .cfg import reverse_postorder
 
-__all__ = ["DominatorTree"]
+__all__ = ["DominatorTree", "dominator_tree"]
+
+#: fn -> (fn.version, DominatorTree) — same invalidation contract as the
+#: CFG-order cache: any mutation bumps ``Function.version``.
+_DT_CACHE: ValueSideTable = ValueSideTable("dominator-tree")
+
+
+def dominator_tree(fn: Function) -> "DominatorTree":
+    """Return a dominator tree for ``fn``, cached by ``Function.version``.
+
+    In fast mode repeated queries on an unmodified function (the verifier
+    after no-op passes, CSE followed by Mem2Reg, ...) share one tree.  The
+    tree is read-only; callers must not mutate it.
+    """
+    if not ir_fast_enabled():
+        return DominatorTree(fn)
+    cached = _DT_CACHE.get(fn)
+    if cached is not None and cached[0] == fn.version:
+        return cached[1]
+    dt = DominatorTree(fn)
+    _DT_CACHE.set(fn, (fn.version, dt))
+    return dt
 
 
 class DominatorTree:
@@ -28,6 +51,30 @@ class DominatorTree:
             parent = self.idom[id(block)]
             if parent is not None:
                 self._children[id(parent)].append(block)
+        # Lazy DFS interval numbering over the dominator tree: ``a dom b``
+        # becomes two integer comparisons instead of an idom-chain walk.
+        self._intervals: Optional[Dict[int, tuple]] = None
+
+    def _interval_map(self) -> Dict[int, tuple]:
+        intervals = self._intervals
+        if intervals is None:
+            intervals = {}
+            counter = 0
+            if self.rpo:
+                stack: List[tuple] = [(self.rpo[0], False)]
+                while stack:
+                    block, done = stack.pop()
+                    if done:
+                        intervals[id(block)] = (intervals[id(block)][0], counter)
+                        counter += 1
+                        continue
+                    intervals[id(block)] = (counter, -1)
+                    counter += 1
+                    stack.append((block, True))
+                    for child in self._children[id(block)]:
+                        stack.append((child, False))
+            self._intervals = intervals
+        return intervals
 
     def _compute(self) -> None:
         if not self.rpo:
@@ -69,12 +116,11 @@ class DominatorTree:
 
     def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
         """True if ``a`` dominates ``b`` (reflexive)."""
-        node: Optional[BasicBlock] = b
-        while node is not None:
-            if node is a:
-                return True
-            node = self.idom[id(node)]
-        return False
+        intervals = self._interval_map()
+        enter_a, leave_a = intervals[id(a)]
+        # Unreachable blocks raise KeyError here, matching the old
+        # idom-chain walk's contract.
+        return enter_a <= intervals[id(b)][0] < leave_a
 
     def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
         return a is not b and self.dominates(a, b)

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional, Set
 from ..instructions import BinaryOperator, CondBranch, ICmp, Instruction, Phi
 from ..module import BasicBlock, Function
 from ..values import ConstantInt
-from .dominators import DominatorTree
+from .dominators import DominatorTree, dominator_tree
 
 __all__ = ["Loop", "LoopInfo", "CountedLoop"]
 
@@ -207,7 +207,7 @@ class LoopInfo:
 
     def __init__(self, fn: Function, domtree: Optional[DominatorTree] = None):
         self.function = fn
-        self.domtree = domtree or DominatorTree(fn)
+        self.domtree = domtree or dominator_tree(fn)
         self.top_level: List[Loop] = []
         self._loop_of_block: Dict[int, Loop] = {}
         self._discover()

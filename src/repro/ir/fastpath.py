@@ -1,0 +1,34 @@
+"""Fast-mode switch for the IR substrate.
+
+``REPRO_IR_FAST`` gates the two pipeline-level speed features introduced by
+the raw-speed pass over the substrate:
+
+* **pass fusion** — maximal runs of consecutive function passes execute in
+  a single walk over the module's functions instead of one walk per pass;
+* **incremental re-verification** — after a pass, only the functions the
+  pass actually touched (dirty-tracked via ``Function.version`` counters
+  and ``PassStatistics.touched``) are re-verified.
+
+Both are *substrate-equivalent*: printed IR, lint reports, statistics and
+golden snapshots are bit-identical with the flag on or off (the
+equivalence sweep in ``tests/flows/test_substrate_equivalence.py`` pins
+this).  The flag defaults to on; set ``REPRO_IR_FAST=0`` to fall back to
+the N-walk, verify-everything-always baseline — useful for bisecting a
+suspected fusion/verification bug and for the before/after benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["ir_fast_enabled", "FAST_ENV_VAR"]
+
+FAST_ENV_VAR = "REPRO_IR_FAST"
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def ir_fast_enabled() -> bool:
+    """Whether fast mode is on (default) — read from the environment on
+    every call so tests and benchmarks can flip it per run."""
+    return os.environ.get(FAST_ENV_VAR, "1").strip().lower() not in _FALSY

@@ -110,29 +110,35 @@ class Instruction(User):
     """Base instruction: a user with an opcode, a parent block, and
     per-instruction metadata attachments (``!llvm.loop`` etc.)."""
 
+    __slots__ = ("parent", "metadata")
+
     opcode: str = "<abstract>"
+    # Classification flags are plain class attributes (overridden per
+    # subclass) rather than isinstance-chain properties: ``is_terminator``
+    # is one of the hottest lookups in the pass pipeline.  ``successors``
+    # is likewise always present (empty for non-branching instructions),
+    # so CFG walks need no ``hasattr`` probing.
+    is_terminator: bool = False
+    has_side_effects: bool = False
+    successors: tuple = ()
 
     def __init__(self, type: Type, operands: Sequence[Value] = (), name: str = ""):
-        super().__init__(type, operands, name)
+        # ``parent`` must exist before operands attach: appending an operand
+        # runs the ``_touch`` dirty-tracking hook.
         self.parent = None  # BasicBlock, set on insertion
         self.metadata: Dict[str, MDNode] = {}
-
-    # -- classification ------------------------------------------------------
-    @property
-    def is_terminator(self) -> bool:
-        return isinstance(self, (Return, Branch, CondBranch, Switch, Unreachable))
-
-    @property
-    def has_side_effects(self) -> bool:
-        if isinstance(self, (Store, Return, Branch, CondBranch, Switch, Unreachable)):
-            return True
-        if isinstance(self, Call):
-            return not self.is_pure
-        return False
+        super().__init__(type, operands, name)
 
     @property
     def function(self):
         return self.parent.parent if self.parent is not None else None
+
+    def _touch(self) -> None:
+        parent = self.parent
+        if parent is not None:
+            fn = parent.parent
+            if fn is not None:
+                fn.version += 1
 
     # -- mutation --------------------------------------------------------------
     def erase_from_parent(self) -> None:
@@ -145,6 +151,7 @@ class Instruction(User):
                 f"cannot erase {self!r}: still has {self.num_uses} use(s)"
             )
         if self.parent is not None:
+            self._touch()
             self.parent.instructions.remove(self)
             self.parent = None
         self.drop_all_operands()
@@ -152,6 +159,7 @@ class Instruction(User):
     def remove_from_parent(self) -> None:
         """Detach from the parent block, keeping operands and uses intact."""
         if self.parent is not None:
+            self._touch()
             self.parent.instructions.remove(self)
             self.parent = None
 
@@ -161,6 +169,8 @@ class Instruction(User):
 
 class BinaryOperator(Instruction):
     """Integer or floating binary arithmetic/logic."""
+
+    __slots__ = ("opcode", "nsw", "nuw", "exact", "fast_math")
 
     def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = ""):
         if opcode not in INT_BINOPS and opcode not in FLOAT_BINOPS:
@@ -196,6 +206,8 @@ class BinaryOperator(Instruction):
 
 
 class ICmp(Instruction):
+    __slots__ = ("predicate",)
+
     def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
         if predicate not in ICMP_PREDICATES:
             raise ValueError(f"bad icmp predicate {predicate!r}")
@@ -219,6 +231,8 @@ class ICmp(Instruction):
 
 
 class FCmp(Instruction):
+    __slots__ = ("predicate", "fast_math")
+
     def __init__(self, predicate: str, lhs: Value, rhs: Value, name: str = ""):
         if predicate not in FCMP_PREDICATES:
             raise ValueError(f"bad fcmp predicate {predicate!r}")
@@ -242,6 +256,8 @@ class FCmp(Instruction):
 class Alloca(Instruction):
     """Stack (for HLS: local BRAM) allocation."""
 
+    __slots__ = ("allocated_type", "align")
+
     opcode = "alloca"
 
     def __init__(
@@ -264,6 +280,8 @@ class Alloca(Instruction):
 
 
 class Load(Instruction):
+    __slots__ = ("align", "volatile")
+
     opcode = "load"
 
     def __init__(self, type: Type, pointer: Value, name: str = "", align: Optional[int] = None):
@@ -279,7 +297,10 @@ class Load(Instruction):
 
 
 class Store(Instruction):
+    __slots__ = ("align", "volatile")
+
     opcode = "store"
+    has_side_effects = True
 
     def __init__(self, value: Value, pointer: Value, align: Optional[int] = None):
         if not pointer.type.is_pointer:
@@ -300,6 +321,8 @@ class Store(Instruction):
 class GetElementPtr(Instruction):
     """Address arithmetic.  ``source_type`` is the element type the indices
     step through (mandatory in modern IR where the pointer is opaque)."""
+
+    __slots__ = ("source_type", "inbounds")
 
     opcode = "getelementptr"
 
@@ -356,6 +379,8 @@ def _gep_result_type(source_type: Type, indices: List[Value]) -> Type:
 
 
 class Cast(Instruction):
+    __slots__ = ("opcode",)
+
     def __init__(self, opcode: str, value: Value, to_type: Type, name: str = ""):
         if opcode not in CAST_OPS:
             raise ValueError(f"unknown cast opcode {opcode!r}")
@@ -369,6 +394,8 @@ class Cast(Instruction):
 
 class Phi(Instruction):
     """SSA phi.  Operands alternate (value, block): slots 2k / 2k+1."""
+
+    __slots__ = ()
 
     opcode = "phi"
 
@@ -407,6 +434,8 @@ class Phi(Instruction):
 
 
 class Select(Instruction):
+    __slots__ = ()
+
     opcode = "select"
 
     def __init__(self, cond: Value, if_true: Value, if_false: Value, name: str = ""):
@@ -433,7 +462,13 @@ class Call(Instruction):
     """Direct call.  Intrinsics are calls whose callee name starts with
     ``llvm.`` — the adaptor legalises these for the HLS frontend."""
 
+    __slots__ = ("fast_math", "tail")
+
     opcode = "call"
+
+    @property
+    def has_side_effects(self) -> bool:
+        return not self.is_pure
 
     def __init__(self, callee, args: Sequence[Value], name: str = ""):
         ftype = callee.function_type if hasattr(callee, "function_type") else None
@@ -486,6 +521,8 @@ class Freeze(Instruction):
     HLS frontend's old fork rejects it; the adaptor's ``freeze_elim`` pass
     removes it."""
 
+    __slots__ = ()
+
     opcode = "freeze"
 
     def __init__(self, value: Value, name: str = ""):
@@ -498,6 +535,8 @@ class Freeze(Instruction):
 
 class ExtractValue(Instruction):
     """Extract a member from an aggregate SSA value (memref descriptors)."""
+
+    __slots__ = ("indices",)
 
     opcode = "extractvalue"
 
@@ -523,6 +562,8 @@ class ExtractValue(Instruction):
 class InsertValue(Instruction):
     """Insert a member into an aggregate SSA value."""
 
+    __slots__ = ("indices",)
+
     opcode = "insertvalue"
 
     def __init__(self, aggregate: Value, value: Value, indices: Sequence[int], name: str = ""):
@@ -542,7 +583,11 @@ class InsertValue(Instruction):
 
 
 class Return(Instruction):
+    __slots__ = ()
+
     opcode = "ret"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, value: Optional[Value] = None):
         super().__init__(void, [value] if value is not None else [])
@@ -553,7 +598,11 @@ class Return(Instruction):
 
 
 class Branch(Instruction):
+    __slots__ = ()
+
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, target: Value):
         super().__init__(void, [target])
@@ -568,7 +617,11 @@ class Branch(Instruction):
 
 
 class CondBranch(Instruction):
+    __slots__ = ()
+
     opcode = "br"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, condition: Value, if_true: Value, if_false: Value):
         if condition.type is not i1:
@@ -595,7 +648,11 @@ class CondBranch(Instruction):
 class Switch(Instruction):
     """Operands: [value, default, case_const0, case_target0, ...]."""
 
+    __slots__ = ()
+
     opcode = "switch"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self, value: Value, default: Value, cases: Sequence[Tuple[ConstantInt, Value]] = ()):
         ops: List[Value] = [value, default]
@@ -622,7 +679,11 @@ class Switch(Instruction):
 
 
 class Unreachable(Instruction):
+    __slots__ = ()
+
     opcode = "unreachable"
+    is_terminator = True
+    has_side_effects = True
 
     def __init__(self):
         super().__init__(void, [])

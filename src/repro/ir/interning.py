@@ -1,0 +1,90 @@
+"""Canonicalizing intern tables for the IR substrate.
+
+Types and (non-distinct) metadata are immutable; constructing the same
+shape twice should hand back the *same* object so that equality checks
+collapse to identity and pickled modules re-share storage when they land
+in another process.  This module owns the tables those canonicalizing
+factories use.
+
+The tables live in an :class:`InternContext`.  One ambient context (the
+process-global default) backs normal operation; tests that need a clean
+slate — e.g. to prove two contexts never alias — wrap their work in
+:func:`isolated_intern_context`.  The context is carried in a
+:class:`contextvars.ContextVar`, so isolation composes with threads and
+the service's worker processes (each process starts with its own default
+context, and unpickling re-interns there).
+
+Note the canonical type singletons (``repro.ir.types.i32`` and friends)
+are constructed at import time in the *default* context.  Inside an
+isolated context, freshly constructed types intern into that context's
+tables and are deliberately *not* identical to the module-level
+singletons — isolation exists for tests of the interning machinery
+itself, not for running full pipelines.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "InternContext",
+    "current_intern_context",
+    "isolated_intern_context",
+    "intern_table_sizes",
+]
+
+
+class InternContext:
+    """One set of intern tables: IR types, metadata, mini-MLIR types."""
+
+    __slots__ = ("types", "metadata", "mlir_types")
+
+    def __init__(self) -> None:
+        self.types: Dict[tuple, object] = {}
+        self.metadata: Dict[tuple, object] = {}
+        self.mlir_types: Dict[tuple, object] = {}
+
+    def sizes(self) -> Dict[str, int]:
+        return {
+            "types": len(self.types),
+            "metadata": len(self.metadata),
+            "mlir_types": len(self.mlir_types),
+        }
+
+
+_DEFAULT_CONTEXT = InternContext()
+
+_ACTIVE_CONTEXT: ContextVar[InternContext] = ContextVar(
+    "repro_intern_context", default=_DEFAULT_CONTEXT
+)
+
+
+def current_intern_context() -> InternContext:
+    """The ambient intern context (the process-global default unless an
+    :func:`isolated_intern_context` block is active)."""
+    return _ACTIVE_CONTEXT.get()
+
+
+@contextmanager
+def isolated_intern_context(
+    context: Optional[InternContext] = None,
+) -> Iterator[InternContext]:
+    """Run the enclosed block against a fresh (or supplied) intern context.
+
+    Objects interned inside the block are invisible outside it and vice
+    versa — the property tests use this to prove the tables cannot leak
+    across contexts.
+    """
+    ctx = context if context is not None else InternContext()
+    token = _ACTIVE_CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE_CONTEXT.reset(token)
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Sizes of the ambient context's tables (observability/debugging)."""
+    return current_intern_context().sizes()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from .interning import current_intern_context
 from .values import ConstantInt, Value
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "MDString",
     "MDNode",
     "ValueAsMetadata",
+    "intern_mdnode",
     "LoopDirectives",
     "InterfaceSpec",
     "MODERN_PIPELINE_II",
@@ -46,13 +48,39 @@ __all__ = [
 class Metadata:
     """Base class for metadata entities."""
 
+    __slots__ = ("__weakref__",)
+
+
+def _intern_md(key: tuple, factory):
+    table = current_intern_context().metadata
+    existing = table.get(key)
+    if existing is None:
+        existing = factory()
+        table[key] = existing
+    return existing
+
 
 class MDString(Metadata):
-    def __init__(self, text: str):
-        self.text = text
+    """Interned metadata string: same text, same object."""
+
+    __slots__ = ("text",)
+    text: str
+
+    def __new__(cls, text: str) -> "MDString":
+        def make() -> "MDString":
+            obj = super(MDString, cls).__new__(cls)
+            obj.text = text
+            return obj
+
+        return _intern_md(("s", text), make)
+
+    def __reduce__(self):
+        return (MDString, (self.text,))
 
     def __eq__(self, other) -> bool:
-        return isinstance(other, MDString) and other.text == self.text
+        return other is self or (
+            isinstance(other, MDString) and other.text == self.text
+        )
 
     def __hash__(self) -> int:
         return hash(("mdstring", self.text))
@@ -62,8 +90,26 @@ class MDString(Metadata):
 
 
 class ValueAsMetadata(Metadata):
-    def __init__(self, value: Value):
-        self.value = value
+    """A constant riding in metadata.  Interned for the common
+    integer-constant case (``i32 4`` in directive leaves), so structurally
+    equal wrappers are identity-equal; wrappers of other values stay
+    unique per construction."""
+
+    __slots__ = ("value",)
+    value: Value
+
+    def __new__(cls, value: Value) -> "ValueAsMetadata":
+        def make() -> "ValueAsMetadata":
+            obj = super(ValueAsMetadata, cls).__new__(cls)
+            obj.value = value
+            return obj
+
+        if isinstance(value, ConstantInt):
+            return _intern_md(("v", id(value.type), value.value), make)
+        return make()
+
+    def __reduce__(self):
+        return (ValueAsMetadata, (self.value,))
 
     def __repr__(self) -> str:
         return f"{self.value.type} {self.value.ref()}"
@@ -71,14 +117,67 @@ class ValueAsMetadata(Metadata):
 
 class MDNode(Metadata):
     """A metadata tuple.  ``distinct`` nodes are unique even when their
-    operands match (needed for ``!llvm.loop`` self-referential ids)."""
+    operands match (needed for ``!llvm.loop`` self-referential ids).
+
+    The constructor does *not* intern (the parser patches placeholder
+    nodes in place while resolving forward references); pass finished
+    non-distinct nodes through :func:`intern_mdnode` to canonicalize.
+    """
+
+    __slots__ = ("operands", "distinct")
 
     def __init__(self, operands: Sequence[Union[Metadata, None]] = (), distinct: bool = False):
         self.operands: List[Optional[Metadata]] = list(operands)
         self.distinct = distinct
 
+    def __reduce__(self):
+        if self.distinct:
+            # Distinct nodes stay unique; rebuild verbatim.  The customary
+            # self-reference slot is ``None``, so operand tuples never cycle.
+            return (MDNode, (tuple(self.operands), True))
+        return (_rebuild_interned_mdnode, (tuple(self.operands),))
+
     def __repr__(self) -> str:
         return f"!{{{', '.join(repr(op) for op in self.operands)}}}"
+
+
+def _rebuild_interned_mdnode(operands: tuple) -> "MDNode":
+    """Unpickle target for non-distinct nodes: re-intern in the receiving
+    process so shared structure stays shared."""
+    return intern_mdnode(MDNode(operands))
+
+
+def metadata_intern_key(op: Optional[Metadata]):
+    """A hashable canonical key for one metadata operand.
+
+    Interned operands key by content; everything else (distinct nodes,
+    wrappers of non-constant values) keys by identity.
+    """
+    if op is None:
+        return None
+    if isinstance(op, MDString):
+        return ("s", op.text)
+    if isinstance(op, ValueAsMetadata):
+        value = op.value
+        if isinstance(value, ConstantInt):
+            return ("v", id(value.type), value.value)
+        return ("o", id(op))
+    if isinstance(op, MDNode) and not op.distinct:
+        return ("n", tuple(metadata_intern_key(child) for child in op.operands))
+    return ("d", id(op))
+
+
+def intern_mdnode(node: MDNode) -> MDNode:
+    """Canonicalize ``node``: structurally equal non-distinct nodes come
+    back as the same object (recursively, operands first).  Distinct nodes
+    pass through with their operands canonicalized in place."""
+    for i, op in enumerate(node.operands):
+        if isinstance(op, MDNode) and op is not node:
+            node.operands[i] = intern_mdnode(op)
+    if node.distinct:
+        return node
+    key = ("node", tuple(metadata_intern_key(op) for op in node.operands))
+    return _intern_md(key, lambda: node)
 
 
 # -- metadata spellings ------------------------------------------------------
@@ -190,7 +289,7 @@ def encode_loop_directives(
         ops: List[Metadata] = [MDString(key)]
         if value is not None:
             ops.append(ValueAsMetadata(CI(_i32, value)))
-        return MDNode(ops)
+        return intern_mdnode(MDNode(ops))
 
     modern = dialect == "modern"
     items: List[Optional[Metadata]] = [None]  # self-reference slot

@@ -16,27 +16,37 @@ class BasicBlock(Value):
     """A label-typed value holding a straight-line instruction list ending in
     one terminator."""
 
+    __slots__ = ("parent", "instructions")
+
     def __init__(self, name: str = ""):
         super().__init__(LabelType(), name)
         self.parent: Optional["Function"] = None
         self.instructions: List[Instruction] = []
 
+    def _touch(self) -> None:
+        fn = self.parent
+        if fn is not None:
+            fn.version += 1
+
     # -- structure -----------------------------------------------------------
     def append(self, inst: Instruction) -> Instruction:
         inst.parent = self
         self.instructions.append(inst)
+        self._touch()
         return inst
 
     def insert_before(self, position: Instruction, inst: Instruction) -> Instruction:
         idx = self.instructions.index(position)
         inst.parent = self
         self.instructions.insert(idx, inst)
+        self._touch()
         return inst
 
     def insert_after(self, position: Instruction, inst: Instruction) -> Instruction:
         idx = self.instructions.index(position)
         inst.parent = self
         self.instructions.insert(idx + 1, inst)
+        self._touch()
         return inst
 
     @property
@@ -64,7 +74,7 @@ class BasicBlock(Value):
     @property
     def successors(self) -> List["BasicBlock"]:
         term = self.terminator
-        if term is None or not hasattr(term, "successors"):
+        if term is None:
             return []
         return list(term.successors)
 
@@ -90,6 +100,7 @@ class BasicBlock(Value):
                 )
             inst.erase_from_parent()
         if self.parent is not None:
+            self._touch()
             self.parent.blocks.remove(self)
             self.parent = None
 
@@ -106,6 +117,20 @@ class BasicBlock(Value):
 class Function(GlobalValue):
     """A function definition (with blocks) or declaration (empty)."""
 
+    __slots__ = (
+        "function_type",
+        "module",
+        "blocks",
+        "arguments",
+        "attributes",
+        "metadata",
+        "hls_interfaces",
+        "hls_partitions",
+        "hls_memref_args",
+        "hls_buffer_types",
+        "version",
+    )
+
     def __init__(
         self,
         function_type: FunctionType,
@@ -114,6 +139,11 @@ class Function(GlobalValue):
         arg_names: Sequence[str] = (),
     ):
         super().__init__(PointerType(), name)
+        # Monotonic mutation counter.  Structural edits (block/instruction
+        # insertion and removal, operand rewrites) bump it; the pass manager
+        # compares before/after values to decide which functions a pass
+        # actually touched and limits re-verification to those.
+        self.version = 0
         self.function_type = function_type
         self.module = module
         self.blocks: List[BasicBlock] = []
@@ -159,6 +189,7 @@ class Function(GlobalValue):
             self.blocks.append(block)
         else:
             self.blocks.insert(self.blocks.index(before), block)
+        self.version += 1
         return block
 
     def _next_block_name(self) -> str:

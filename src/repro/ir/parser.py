@@ -752,8 +752,15 @@ class _Parser:
         return ValueAsMetadata(const)
 
     def _resolve_md_attachments(self) -> None:
+        # Canonicalize first: forward references are resolved by now, so
+        # non-distinct nodes re-intern (parsing two identical ``!N`` defs
+        # yields one shared object) and attachments point at the canonical
+        # instances.
+        from .metadata import intern_mdnode
+
+        canon = {nid: intern_mdnode(node) for nid, node in self._md_nodes.items()}
         for inst, kind, nid in self._md_attachments:
-            inst.metadata[kind] = self._md_node(nid)
+            inst.metadata[kind] = canon[nid]
 
 
 def parse_module(source: str) -> Module:

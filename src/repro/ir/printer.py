@@ -70,12 +70,25 @@ class _NameScope:
 
 
 class _MetadataNumbering:
+    """Module-wide metadata slot assignment.
+
+    Non-distinct nodes number by *structure*, so two equal tuples share one
+    ``!N`` slot even when a producer built duplicate objects — matching
+    LLVM's uniqued-metadata behaviour and the substrate's interning model.
+    Distinct nodes always get their own slot.
+    """
+
     def __init__(self):
-        self.ids: Dict[int, int] = {}
+        self.ids: Dict[object, int] = {}
         self.nodes: List[MDNode] = []
 
+    def _key(self, node: MDNode):
+        from .metadata import metadata_intern_key
+
+        return metadata_intern_key(node)
+
     def number(self, node: MDNode) -> int:
-        key = id(node)
+        key = self._key(node)
         if key in self.ids:
             return self.ids[key]
         nid = len(self.nodes)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis.dominators import DominatorTree
+from ..analysis.dominators import dominator_tree
 from ..instructions import (
     BinaryOperator,
     Cast,
@@ -61,7 +61,7 @@ class CommonSubexpressionElimination(FunctionPass):
     def run_on_function(self, fn: Function, stats: PassStatistics) -> None:
         if not fn.blocks:
             return
-        domtree = DominatorTree(fn)
+        domtree = dominator_tree(fn)
         scopes: List[Dict[tuple, Instruction]] = []
 
         def visit(block: BasicBlock) -> None:

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..analysis.cfg import reachable_blocks
-from ..analysis.dominators import DominatorTree
+from ..analysis.dominators import DominatorTree, dominator_tree
 from ..instructions import Alloca, Instruction, Load, Phi, Store
 from ..module import BasicBlock, Function
 from ..values import UndefValue, Value
@@ -59,7 +59,7 @@ class Mem2Reg(FunctionPass):
         ]
         if not allocas:
             return
-        domtree = DominatorTree(fn)
+        domtree = dominator_tree(fn)
         frontier = domtree.dominance_frontier()
         reachable = reachable_blocks(fn)
 

@@ -17,7 +17,9 @@ compilation service's worker processes and on-disk cache.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
+
+from .interning import current_intern_context
 
 __all__ = [
     "Type",
@@ -52,7 +54,7 @@ __all__ = [
 class Type:
     """Base class for all IR types."""
 
-    _interned: Dict[tuple, "Type"] = {}
+    __slots__ = ("__weakref__",)
 
     def __str__(self) -> str:  # pragma: no cover - overridden
         raise NotImplementedError
@@ -129,14 +131,17 @@ class Type:
 
 
 def _intern(key: tuple, factory) -> Type:
-    existing = Type._interned.get(key)
+    table = current_intern_context().types
+    existing = table.get(key)
     if existing is None:
         existing = factory()
-        Type._interned[key] = existing
+        table[key] = existing
     return existing
 
 
 class VoidType(Type):
+    __slots__ = ()
+
     def __new__(cls) -> "VoidType":
         return _intern(("void",), lambda: super(VoidType, cls).__new__(cls))
 
@@ -147,6 +152,7 @@ class VoidType(Type):
 class IntegerType(Type):
     """Arbitrary-width integer ``iN`` (we use 1, 8, 16, 32, 64 in practice)."""
 
+    __slots__ = ("width",)
     width: int
 
     def __new__(cls, width: int) -> "IntegerType":
@@ -195,6 +201,7 @@ class IntegerType(Type):
 class FloatType(Type):
     """IEEE floating point: ``half``, ``float`` or ``double``."""
 
+    __slots__ = ("kind",)
     KINDS = {"half": 16, "float": 32, "double": 64}
     kind: str
 
@@ -228,6 +235,7 @@ class PointerType(Type):
     frontend's old LLVM fork requires (the adaptor's ``pointer_retyping``
     pass converts the former into the latter)."""
 
+    __slots__ = ("pointee", "addrspace")
     pointee: Optional[Type]
     addrspace: int
 
@@ -257,6 +265,7 @@ class PointerType(Type):
 
 
 class ArrayType(Type):
+    __slots__ = ("element", "count")
     element: Type
     count: int
 
@@ -301,6 +310,7 @@ class ArrayType(Type):
 class StructType(Type):
     """Literal (anonymous) or named struct."""
 
+    __slots__ = ("elements", "name", "packed")
     elements: Tuple[Type, ...]
     name: Optional[str]
     packed: bool
@@ -340,6 +350,7 @@ class StructType(Type):
 
 
 class VectorType(Type):
+    __slots__ = ("element", "count")
     element: Type
     count: int
 
@@ -369,6 +380,7 @@ class VectorType(Type):
 
 
 class FunctionType(Type):
+    __slots__ = ("return_type", "params", "vararg")
     return_type: Type
     params: Tuple[Type, ...]
     vararg: bool
@@ -398,6 +410,8 @@ class FunctionType(Type):
 
 
 class LabelType(Type):
+    __slots__ = ()
+
     def __new__(cls) -> "LabelType":
         return _intern(("label",), lambda: super(LabelType, cls).__new__(cls))
 
@@ -406,6 +420,8 @@ class LabelType(Type):
 
 
 class MetadataType(Type):
+    __slots__ = ()
+
     def __new__(cls) -> "MetadataType":
         return _intern(("metadata",), lambda: super(MetadataType, cls).__new__(cls))
 

@@ -56,10 +56,16 @@ class Use:
 class Value:
     """Base of everything that can be referenced as an operand."""
 
+    __slots__ = ("type", "name", "uses", "__weakref__")
+
     def __init__(self, type: Type, name: str = ""):
         self.type = type
         self.name = name
         self.uses: List[Use] = []
+
+    def _touch(self) -> None:
+        """Dirty-tracking hook: instructions bump their function's version
+        on mutation so incremental re-verification knows what changed."""
 
     # -- use lists ---------------------------------------------------------
     @property
@@ -103,6 +109,8 @@ class Value:
 class User(Value):
     """A value that references other values through operand slots."""
 
+    __slots__ = ("_operands",)
+
     def __init__(self, type: Type, operands: Sequence[Value] = (), name: str = ""):
         super().__init__(type, name)
         self._operands: List[Value] = []
@@ -131,11 +139,13 @@ class User(Value):
                 break
         self._operands[index] = value
         value.uses.append(Use(self, index))
+        self._touch()
 
     def append_operand(self, value: Value) -> None:
         index = len(self._operands)
         self._operands.append(value)
         value.uses.append(Use(self, index))
+        self._touch()
 
     def remove_operand(self, index: int) -> None:
         """Remove one operand slot, shifting later slots down."""
@@ -152,6 +162,7 @@ class User(Value):
                 if use.user is self and use.index == i + 1:
                     use.index = i
                     break
+        self._touch()
 
     def drop_all_operands(self) -> None:
         for i in reversed(range(len(self._operands))):
@@ -161,6 +172,7 @@ class User(Value):
                     old.uses.remove(use)
                     break
             del self._operands[i]
+        self._touch()
 
 
 # -- constants --------------------------------------------------------------
@@ -171,11 +183,15 @@ class Constant(Value):
     aggregates, which reference member constants structurally, not through
     the use-list machinery — constants are immutable)."""
 
+    __slots__ = ()
+
     def ref(self) -> str:  # pragma: no cover - overridden
         raise NotImplementedError
 
 
 class ConstantInt(Constant):
+    __slots__ = ("value",)
+
     def __init__(self, type: IntegerType, value: int):
         super().__init__(type)
         self.value = type.wrap(int(value))
@@ -212,6 +228,8 @@ def _float_bits(value: float, kind: str) -> str:
 
 
 class ConstantFloat(Constant):
+    __slots__ = ("value",)
+
     def __init__(self, type: FloatType, value: float):
         super().__init__(type)
         if type.kind == "float":
@@ -244,6 +262,8 @@ class ConstantFloat(Constant):
 
 
 class ConstantPointerNull(Constant):
+    __slots__ = ()
+
     def __init__(self, type: PointerType):
         super().__init__(type)
 
@@ -254,12 +274,16 @@ class ConstantPointerNull(Constant):
 class ConstantAggregateZero(Constant):
     """``zeroinitializer`` for arrays/structs/vectors."""
 
+    __slots__ = ()
+
     def ref(self) -> str:
         return "zeroinitializer"
 
 
 class ConstantAggregate(Constant):
     """A constant array, struct, or vector with explicit members."""
+
+    __slots__ = ("members",)
 
     def __init__(self, type: Type, members: Sequence[Constant]):
         super().__init__(type)
@@ -287,6 +311,8 @@ class ConstantAggregate(Constant):
 
 
 class UndefValue(Constant):
+    __slots__ = ()
+
     def ref(self) -> str:
         return "undef"
 
@@ -294,6 +320,8 @@ class UndefValue(Constant):
 class PoisonValue(Constant):
     """Modern LLVM poison — one of the constructs the HLS frontend's old
     fork does not understand; the adaptor rewrites it to ``undef``."""
+
+    __slots__ = ()
 
     def ref(self) -> str:
         return "poison"
@@ -303,6 +331,8 @@ class PoisonValue(Constant):
 
 
 class Argument(Value):
+    __slots__ = ("index", "parent", "attributes")
+
     def __init__(self, type: Type, name: str = "", index: int = 0):
         super().__init__(type, name)
         self.index = index
@@ -313,6 +343,8 @@ class Argument(Value):
 
 class GlobalValue(Constant):
     """Base for module-level symbols (globals, functions)."""
+
+    __slots__ = ("linkage",)
 
     def __init__(self, type: Type, name: str):
         super().__init__(type, name)
@@ -325,6 +357,8 @@ class GlobalValue(Constant):
 class GlobalVariable(GlobalValue):
     """A module-level variable.  Its value type is ``value_type``; as an SSA
     value it is a pointer to that type (opaque or typed per module mode)."""
+
+    __slots__ = ("value_type", "initializer", "constant", "align")
 
     def __init__(
         self,

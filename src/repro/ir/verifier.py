@@ -13,16 +13,54 @@ Checks the invariants every pass must preserve:
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Optional
 
 from ..diagnostics.errors import CompilationError
 from .analysis.cfg import reachable_blocks
-from .analysis.dominators import DominatorTree
+from .analysis.dominators import dominator_tree
+from .fastpath import ir_fast_enabled
 from .instructions import Instruction, Phi
 from .module import BasicBlock, Function, Module
+from .sidetable import ValueSideTable
 from .values import Argument, Constant, Value
 
-__all__ = ["VerificationError", "verify_module", "verify_function"]
+__all__ = [
+    "VerificationError",
+    "verify_module",
+    "verify_function",
+    "is_recorded_clean",
+    "record_clean",
+]
+
+#: module -> clean token: the per-function version vector (plus symbol
+#: identity) at the moment the module last passed a whole-module verify.
+#: Fast mode uses it to drop *boundary* re-verification — e.g. the adaptor
+#: verifying an input module the MLIR lowering verified microseconds
+#: earlier.  Any mutation through the IR's APIs bumps a function version
+#: and invalidates the token.
+_CLEAN_TOKENS: ValueSideTable = ValueSideTable("verified-clean")
+
+
+def _clean_token(module: Module) -> tuple:
+    return (
+        tuple((id(fn), fn.version) for fn in module.functions),
+        tuple(id(g) for g in module.globals),
+    )
+
+
+def is_recorded_clean(module: Module) -> bool:
+    """Whether ``module`` is unchanged since it last passed a full verify."""
+    return _CLEAN_TOKENS.get(module) == _clean_token(module)
+
+
+def record_clean(module: Module) -> None:
+    """Record the module's current state as verified-clean.
+
+    Callers other than :func:`verify_module` itself must be able to prove
+    whole-module cleanliness — e.g. the pass manager after a narrowed
+    flush that covered every function changed since a recorded-clean state.
+    """
+    _CLEAN_TOKENS.set(module, _clean_token(module))
 
 
 class VerificationError(CompilationError):
@@ -35,20 +73,46 @@ class VerificationError(CompilationError):
         self.errors = errors
 
 
-def verify_module(module: Module) -> None:
+def verify_module(
+    module: Module,
+    functions: Optional[Iterable[str]] = None,
+    *,
+    assume_clean: bool = False,
+) -> None:
+    """Verify ``module``.
+
+    ``functions`` limits the (expensive) per-function structural/SSA checks
+    to the named functions; the cheap module-level symbol-table checks always
+    run over everything.  The pass manager uses this for incremental
+    re-verification: after a pass it re-verifies only the functions the
+    pass's dirty tracking reports as touched.  ``None`` means verify all.
+
+    ``assume_clean=True`` lets a fast-mode full verify return immediately
+    when the module is byte-for-byte unchanged (per its version vector)
+    since it last passed one — for pipeline-boundary verifies of modules
+    another stage just checked.  Callers that verify *untrusted* state
+    (e.g. after a pass with no dirty-tracking promise) must not set it.
+    """
+    fast = ir_fast_enabled()
+    if assume_clean and fast and functions is None and is_recorded_clean(module):
+        return
     errors: List[str] = []
     seen_names = set()
+    selected = None if functions is None else set(functions)
     for fn in module.functions:
         if fn.name in seen_names:
             errors.append(f"duplicate function name @{fn.name}")
         seen_names.add(fn.name)
-        errors.extend(_function_errors(fn))
+        if selected is None or fn.name in selected:
+            errors.extend(_function_errors(fn))
     for g in module.globals:
         if g.name in seen_names:
             errors.append(f"global @{g.name} collides with another symbol")
         seen_names.add(g.name)
     if errors:
         raise VerificationError(errors)
+    if fast and selected is None:
+        record_clean(module)
 
 
 def verify_function(fn: Function) -> None:
@@ -62,44 +126,53 @@ def _function_errors(fn: Function) -> List[str]:
     if fn.is_declaration:
         return errors
 
+    # One structural walk per block: parent pointers, terminator placement,
+    # phi grouping, branch targets and use-list coherence.  The coherence
+    # check flattens each value's use list into a ``(user id, slot)`` set
+    # once and probes it per operand slot, instead of rescanning
+    # ``op.uses`` for every slot that references it — the difference
+    # between O(uses) and O(uses^2) on high-fanout values like induction
+    # variables and loop headers.
     block_ids = {id(b) for b in fn.blocks}
+    use_sets: dict = {}
     for block in fn.blocks:
         if block.parent is not fn:
             errors.append(f"block %{block.name}: wrong parent pointer")
-        if not block.instructions:
+        instructions = block.instructions
+        if not instructions:
             errors.append(f"block %{block.name}: empty block")
             continue
-        term = block.instructions[-1]
+        term = instructions[-1]
         if not term.is_terminator:
             errors.append(f"block %{block.name}: missing terminator")
-        for i, inst in enumerate(block.instructions):
+        last = len(instructions) - 1
+        for i, inst in enumerate(instructions):
             if inst.parent is not block:
                 errors.append(f"%{block.name}: instruction {inst!r} wrong parent")
-            if inst.is_terminator and i != len(block.instructions) - 1:
+            if inst.is_terminator and i != last:
                 errors.append(f"%{block.name}: terminator {inst!r} not at block end")
             if isinstance(inst, Phi) and i > 0 and not isinstance(
-                block.instructions[i - 1], Phi
+                instructions[i - 1], Phi
             ):
                 errors.append(f"%{block.name}: phi {inst.ref()} not grouped at head")
-        if hasattr(term, "successors"):
-            for succ in term.successors:
-                if not isinstance(succ, BasicBlock):
-                    errors.append(f"%{block.name}: non-block branch target {succ!r}")
-                elif id(succ) not in block_ids:
-                    errors.append(
-                        f"%{block.name}: branch to block %{succ.name} outside function"
-                    )
-
-    # Use-list coherence for every instruction operand.
-    for block in fn.blocks:
-        for inst in block.instructions:
-            for idx, op in enumerate(inst.operands):
-                if not any(
-                    use.user is inst and use.index == idx for use in op.uses
-                ):
+            inst_id = id(inst)
+            for idx, op in enumerate(inst._operands):
+                key = id(op)
+                slots = use_sets.get(key)
+                if slots is None:
+                    slots = {(id(u.user), u.index) for u in op.uses}
+                    use_sets[key] = slots
+                if (inst_id, idx) not in slots:
                     errors.append(
                         f"use-list broken: {inst!r} operand {idx} not in uses of {op!r}"
                     )
+        for succ in term.successors:
+            if not isinstance(succ, BasicBlock):
+                errors.append(f"%{block.name}: non-block branch target {succ!r}")
+            elif id(succ) not in block_ids:
+                errors.append(
+                    f"%{block.name}: branch to block %{succ.name} outside function"
+                )
 
     # Phi incoming edges match predecessors exactly.
     reachable = reachable_blocks(fn)
@@ -137,7 +210,7 @@ def _function_errors(fn: Function) -> List[str]:
 
 def _dominance_errors(fn: Function, reachable) -> List[str]:
     errors: List[str] = []
-    dt = DominatorTree(fn)
+    dt = dominator_tree(fn)
     positions = {}
     for block in fn.blocks:
         for i, inst in enumerate(block.instructions):
@@ -147,7 +220,7 @@ def _dominance_errors(fn: Function, reachable) -> List[str]:
         if id(block) not in reachable:
             continue
         for i, inst in enumerate(block.instructions):
-            for op_index, op in enumerate(inst.operands):
+            for op_index, op in enumerate(inst._operands):
                 if not isinstance(op, Instruction):
                     continue  # constants/args/blocks always dominate
                 if id(op) not in positions:

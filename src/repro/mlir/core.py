@@ -49,8 +49,6 @@ __all__ = [
 
 
 class MLIRType:
-    _interned: Dict[tuple, "MLIRType"] = {}
-
     def __str__(self) -> str:  # pragma: no cover - overridden
         raise NotImplementedError
 
@@ -59,10 +57,13 @@ class MLIRType:
 
 
 def _intern(key: tuple, factory) -> "MLIRType":
-    existing = MLIRType._interned.get(key)
+    from ..ir.interning import current_intern_context
+
+    table = current_intern_context().mlir_types
+    existing = table.get(key)
     if existing is None:
         existing = factory()
-        MLIRType._interned[key] = existing
+        table[key] = existing
     return existing
 
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 from ...diagnostics.engine import Diagnostic, Severity
 from ...diagnostics.errors import PassExecutionError, PassVerificationError
 from ...diagnostics.guard import PassGuard
+from ...ir.fastpath import ir_fast_enabled
 from ...observability import get_statistics, get_tracer
 from ..dialects.builtin import ModuleOp
 
@@ -85,8 +86,15 @@ class MLIRPassManager:
 
         tracer = get_tracer()
         registry = get_statistics()
+        fast = ir_fast_enabled()
         names = [p.name for p in self.passes]
         run_stats: List[MLIRPassStatistics] = []
+        # Fast-mode deferral: rewrites accumulate and one verify runs at
+        # each *boundary* — the end of the pipeline, or the pass right
+        # before ``scf-to-cf`` (whose cf-level output the structured
+        # verifier cannot model, so it is the last verifiable point).
+        defer = fast and self.guard is None and self.verify_each
+        pending = False
         for i, pass_ in enumerate(self.passes):
             snapshot = self.guard.snapshot(module) if self.guard is not None else None
             stats = MLIRPassStatistics(pass_.name)
@@ -112,9 +120,22 @@ class MLIRPassManager:
                 if registry.enabled:
                     registry.record_details(pass_.name, stats.details)
                     registry.bump(pass_.name, "rewrites", stats.rewrites)
-                if self.verify_each and pass_.name not in ("scf-to-cf",):
+                if defer:
+                    # A pass that reported no rewrites left the module as
+                    # it was — the previous verification holds.  (MLIR
+                    # passes report every mutation through ``stats.bump``;
+                    # that convention is what makes deferral sound.)
+                    pending = pending or stats.rewrites > 0
+                next_name = names[i + 1] if i + 1 < len(names) else None
+                at_boundary = next_name is None or next_name == "scf-to-cf"
+                if (
+                    self.verify_each
+                    and pass_.name not in ("scf-to-cf",)
+                    and (not defer or (pending and at_boundary))
+                ):
                     # cf-level IR uses block successors the structured verifier
                     # does not model; ConvertToLLVM's verifier covers it.
+                    pending = False
                     with tracer.span("verify", category="verify"):
                         try:
                             verify_module(module)

@@ -41,7 +41,10 @@ __all__ = [
 #: 3: the HLS engine's area/latency model learned pipeline control costs
 #: and bank-aware outer-loop unrolling — cached latency/resource numbers
 #: from version 2 would disagree with a fresh compile.
-PIPELINE_VERSION = 3
+#: 4: metadata printing switched to structural uniquing (duplicate
+#: non-distinct nodes now share one ``!N`` slot), changing printed IR
+#: byte-for-byte; stale cached text must not survive the change.
+PIPELINE_VERSION = 4
 
 #: Bump when the on-disk entry layout changes (header schema, payload
 #: encoding).  Old entries then read back as misses, not corruption.

@@ -1,0 +1,97 @@
+"""Substrate-equivalence sweep: fast mode must be invisible in outputs.
+
+``REPRO_IR_FAST`` gates the substrate's speed features — pass fusion,
+incremental + deferred re-verification, version-keyed analysis caches,
+verified-clean tokens.  All of them are *elision* optimisations: they may
+skip redundant work, never change what the pipeline produces.  This sweep
+compiles every MINI suite kernel twice, once per mode, and pins the
+contract byte-for-byte:
+
+* printed adaptor IR is identical,
+* lint reports are identical (same rules run, same findings),
+* per-pass rewrite statistics are identical (Fig. 3 inputs),
+* fast-mode output still matches the committed golden snapshots.
+
+A divergence here means a fast-path feature changed semantics — exactly
+the bug class the flag exists to bisect.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.flows import OptimizationConfig, run_adaptor_flow
+from repro.ir.fastpath import FAST_ENV_VAR
+from repro.ir.printer import print_module
+from repro.workloads import build_kernel
+from repro.workloads.suite import SUITE_SIZES
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "golden", "goldens"
+)
+
+KERNELS = sorted(SUITE_SIZES["MINI"])
+
+
+def _compile(kernel: str, fast: bool, monkeypatch):
+    monkeypatch.setenv(FAST_ENV_VAR, "1" if fast else "0")
+    spec = build_kernel(kernel, **SUITE_SIZES["MINI"][kernel])
+    OptimizationConfig.optimized(ii=1).apply(spec)
+    result = run_adaptor_flow(spec, lint="report")
+    return result
+
+
+def _lint_fingerprint(report):
+    assert report is not None
+    return (
+        report.module_name,
+        report.rules_run,
+        tuple(sorted(report.disabled)),
+        tuple(
+            (f.code, f.rule, f.severity, f.message, f.function, f.location)
+            for f in report.findings
+        ),
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fast_mode_is_bit_identical(kernel, monkeypatch):
+    baseline = _compile(kernel, fast=False, monkeypatch=monkeypatch)
+    fast = _compile(kernel, fast=True, monkeypatch=monkeypatch)
+
+    assert print_module(fast.ir_module) == print_module(baseline.ir_module), (
+        f"{kernel}: fast mode changed the printed adaptor IR"
+    )
+    assert _lint_fingerprint(fast.lint_report) == _lint_fingerprint(
+        baseline.lint_report
+    ), f"{kernel}: fast mode changed the lint report"
+    # Per-pass rewrite statistics feed Fig. 3; fusion must not change them.
+    assert [
+        (s.name, s.rewrites, s.details) for s in fast.adaptor_report.passes
+    ] == [
+        (s.name, s.rewrites, s.details) for s in baseline.adaptor_report.passes
+    ], f"{kernel}: fast mode changed per-pass statistics"
+    assert (
+        fast.synth_report.latency_min,
+        fast.synth_report.latency_max,
+        fast.synth_report.resources,
+    ) == (
+        baseline.synth_report.latency_min,
+        baseline.synth_report.latency_max,
+        baseline.synth_report.resources,
+    ), f"{kernel}: fast mode changed the synthesis estimate"
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fast_mode_matches_committed_goldens(kernel, monkeypatch):
+    path = os.path.join(GOLDEN_DIR, f"{kernel}.ll")
+    if not os.path.exists(path):
+        pytest.skip(f"no golden snapshot for {kernel}")
+    result = _compile(kernel, fast=True, monkeypatch=monkeypatch)
+    with open(path) as fh:
+        golden = fh.read()
+    assert print_module(result.ir_module) == golden, (
+        f"{kernel}: fast-mode output diverged from the golden snapshot"
+    )

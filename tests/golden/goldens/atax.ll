@@ -60,7 +60,7 @@ bb10:                                             ; preds = %bb9
   %17 = fadd float %15, %16
   store float %17, float* %ld.gep.3, align 4
   %11 = add nsw i64 %barg.3, 1
-  br label %bb9, !llvm.loop !6
+  br label %bb9, !llvm.loop !4
 
 bb11:                                             ; preds = %bb9
   %2 = add nsw i64 %barg.1, 1
@@ -73,9 +73,5 @@ bb12:                                             ; preds = %bb4
 !0 = distinct !{!0, !1, !2}
 !1 = !{!"fpga.loop.pipeline.enable"}
 !2 = !{!"fpga.loop.pipeline.ii", i32 1}
-!3 = distinct !{!3, !4, !5}
-!4 = !{!"fpga.loop.pipeline.enable"}
-!5 = !{!"fpga.loop.pipeline.ii", i32 1}
-!6 = distinct !{!6, !7, !8}
-!7 = !{!"fpga.loop.pipeline.enable"}
-!8 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !1, !2}
+!4 = distinct !{!4, !1, !2}

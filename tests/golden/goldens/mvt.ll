@@ -68,6 +68,4 @@ bb12:                                             ; preds = %bb7
 !0 = distinct !{!0, !1, !2}
 !1 = !{!"fpga.loop.pipeline.enable"}
 !2 = !{!"fpga.loop.pipeline.ii", i32 1}
-!3 = distinct !{!3, !4, !5}
-!4 = !{!"fpga.loop.pipeline.enable"}
-!5 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !1, !2}

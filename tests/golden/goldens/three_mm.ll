@@ -123,7 +123,7 @@ bb24:                                             ; preds = %bb23
   %st.gep.5 = getelementptr inbounds [4 x [4 x float]], [4 x [4 x float]]* %G, i64 0, i64 %barg.6, i64 %barg.7
   store float %32, float* %st.gep.5, align 4
   %26 = add nsw i64 %barg.8, 1
-  br label %bb23, !llvm.loop !6
+  br label %bb23, !llvm.loop !4
 
 bb25:                                             ; preds = %bb23
   %24 = add nsw i64 %barg.7, 1
@@ -140,9 +140,5 @@ bb27:                                             ; preds = %bb19
 !0 = distinct !{!0, !1, !2}
 !1 = !{!"fpga.loop.pipeline.enable"}
 !2 = !{!"fpga.loop.pipeline.ii", i32 1}
-!3 = distinct !{!3, !4, !5}
-!4 = !{!"fpga.loop.pipeline.enable"}
-!5 = !{!"fpga.loop.pipeline.ii", i32 1}
-!6 = distinct !{!6, !7, !8}
-!7 = !{!"fpga.loop.pipeline.enable"}
-!8 = !{!"fpga.loop.pipeline.ii", i32 1}
+!3 = distinct !{!3, !1, !2}
+!4 = distinct !{!4, !1, !2}

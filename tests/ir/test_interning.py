@@ -1,0 +1,271 @@
+"""Property tests for the canonicalizing intern tables.
+
+The interning contract has three legs:
+
+1. **Identity iff structural equality** — constructing the same type or
+   (non-distinct) metadata shape twice hands back the *same* object, so
+   ``==`` collapses to ``is``; ``distinct`` metadata nodes stay unique.
+2. **Pickle re-interns** — a pickled type/metadata/module deserializes by
+   re-running the canonicalizing factory, so roundtrips are bit-identical
+   in-process *and* across process boundaries.
+3. **Context isolation** — :func:`isolated_intern_context` gives tests a
+   clean slate whose tables never alias the process default.
+
+Each property is exercised over 40 :class:`RandomModuleGenerator` seeds so
+the whole type/attribute surface (odd widths, nested aggregates, loop
+metadata in both dialects, fast-math sets) is covered, not just the shapes
+the suite kernels happen to use.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+import pytest
+
+from repro.ir import types as irt
+from repro.ir.interning import (
+    InternContext,
+    current_intern_context,
+    isolated_intern_context,
+)
+from repro.ir.metadata import MDNode, Metadata
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.testing.modulegen import RandomModuleGenerator
+
+SEEDS = list(range(40))
+
+
+# -- reachability helpers ----------------------------------------------------
+
+
+def _all_types(module):
+    """Every Type object reachable from ``module``."""
+    seen = {}
+
+    def visit(ty):
+        if ty is None or id(ty) in seen:
+            return
+        seen[id(ty)] = ty
+        for attr in ("pointee", "element", "return_type"):
+            visit(getattr(ty, attr, None))
+        for sub in getattr(ty, "elements", ()) or ():
+            visit(sub)
+        for sub in getattr(ty, "param_types", ()) or ():
+            visit(sub)
+
+    for g in module.globals:
+        visit(g.type)
+        visit(getattr(g, "value_type", None))
+    for fn in module.functions:
+        visit(fn.type)
+        for arg in fn.arguments:
+            visit(arg.type)
+        for inst in fn.instructions():
+            visit(getattr(inst, "type", None))
+            for op in inst.operands:
+                visit(getattr(op, "type", None))
+    return list(seen.values())
+
+
+def _all_metadata(module):
+    """Every Metadata object reachable from ``module``."""
+    seen = {}
+
+    def visit(md):
+        if md is None or not isinstance(md, Metadata) or id(md) in seen:
+            return
+        seen[id(md)] = md
+        for op in getattr(md, "operands", ()) or ():
+            visit(op)
+
+    for nodes in module.named_metadata.values():
+        for node in nodes:
+            visit(node)
+    for fn in module.functions:
+        for inst in fn.instructions():
+            for md in inst.metadata.values():
+                visit(md)
+    return list(seen.values())
+
+
+# -- leg 1: identity iff structural equality ---------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_same_seed_builds_identical_type_objects(seed):
+    """Two structurally equal modules share every interned type object."""
+    a = RandomModuleGenerator(seed).generate()
+    b = RandomModuleGenerator(seed).generate()
+    assert print_module(a) == print_module(b)
+    ids_a = {id(t) for t in _all_types(a)}
+    ids_b = {id(t) for t in _all_types(b)}
+    assert ids_a == ids_b, (
+        f"seed {seed}: structurally equal modules interned different "
+        f"type objects"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_pickle_reinterns_to_identity(seed):
+    """Types and non-distinct metadata roundtrip to the *same* object;
+    distinct metadata nodes roundtrip to a fresh one."""
+    module = RandomModuleGenerator(seed).generate()
+    for ty in _all_types(module):
+        clone = pickle.loads(pickle.dumps(ty))
+        assert clone is ty, f"seed {seed}: {ty} lost identity over pickle"
+    for md in _all_metadata(module):
+        clone = pickle.loads(pickle.dumps(md))
+        if isinstance(md, MDNode) and md.distinct:
+            assert clone is not md, (
+                f"seed {seed}: distinct node collapsed over pickle"
+            )
+        elif not isinstance(md, MDNode):
+            assert clone is md, (
+                f"seed {seed}: {md!r} lost identity over pickle"
+            )
+        # Non-distinct MDNodes whose operands include distinct nodes
+        # re-intern by operand identity, which the distinct clones break;
+        # leaf-only nodes must come back identical.
+        elif all(
+            not (isinstance(op, MDNode) and op.distinct)
+            for op in md.operands
+        ):
+            assert clone is md, (
+                f"seed {seed}: interned node lost identity over pickle"
+            )
+
+
+def test_distinct_nodes_never_intern():
+    a = MDNode((), distinct=True)
+    b = MDNode((), distinct=True)
+    assert a is not b
+    # ...while the structurally identical interned form is shared.
+    from repro.ir.metadata import intern_mdnode
+
+    assert intern_mdnode(MDNode(())) is intern_mdnode(MDNode(()))
+
+
+# -- leg 2: pickle roundtrips ------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_module_pickle_roundtrip_in_process(seed):
+    module = RandomModuleGenerator(seed).generate()
+    clone = pickle.loads(pickle.dumps(module))
+    assert print_module(clone) == print_module(module)
+    verify_module(clone)
+    # The clone re-interned into the same ambient context, so its types
+    # are the very same objects.
+    assert {id(t) for t in _all_types(clone)} == {
+        id(t) for t in _all_types(module)
+    }
+
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import pickle, sys
+    from repro.ir.printer import print_module
+    from repro.ir.verifier import verify_module
+
+    pickles_path, expected_path = sys.argv[1], sys.argv[2]
+    with open(pickles_path, "rb") as fh:
+        blobs = pickle.load(fh)
+    with open(expected_path) as fh:
+        expected = fh.read().split("\\x00")
+    assert len(blobs) == len(expected)
+    for blob, text in zip(blobs, expected):
+        module = pickle.loads(blob)
+        verify_module(module)
+        got = print_module(module)
+        if got != text:
+            sys.stderr.write(f"mismatch in {module.name}\\n")
+            sys.exit(1)
+        # Re-pickling in this process must re-intern: types keep identity.
+        again = pickle.loads(pickle.dumps(module))
+        assert print_module(again) == text
+    print("OK", len(blobs))
+    """
+)
+
+
+def test_module_pickle_roundtrip_cross_process(tmp_path):
+    """Modules pickled here print bit-identically in a fresh process."""
+    blobs, texts = [], []
+    for seed in SEEDS:
+        module = RandomModuleGenerator(seed).generate()
+        blobs.append(pickle.dumps(module))
+        texts.append(print_module(module))
+    pickles_path = tmp_path / "modules.pkl"
+    expected_path = tmp_path / "expected.txt"
+    with open(pickles_path, "wb") as fh:
+        pickle.dump(blobs, fh)
+    expected_path.write_text("\x00".join(texts))
+
+    env = dict(os.environ)
+    src = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "src"
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD_SCRIPT, str(pickles_path), str(expected_path)],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == f"OK {len(SEEDS)}"
+
+
+# -- leg 3: context isolation ------------------------------------------------
+
+
+def test_isolated_context_does_not_alias_default():
+    default_ctx = current_intern_context()
+    outer = irt.IntegerType(32)
+    assert outer is irt.i32
+    with isolated_intern_context() as ctx:
+        assert current_intern_context() is ctx
+        assert ctx is not default_ctx
+        inner = irt.IntegerType(32)
+        # Same shape, different table: deliberately not the singleton.
+        assert inner is not outer
+        assert irt.IntegerType(32) is inner  # interned within the context
+    # Leaving the block restores the default tables untouched.
+    assert current_intern_context() is default_ctx
+    assert irt.IntegerType(32) is outer
+
+
+def test_two_isolated_contexts_never_share():
+    with isolated_intern_context():
+        a = irt.struct_of(irt.i64, irt.f32)
+    with isolated_intern_context():
+        b = irt.struct_of(irt.i64, irt.f32)
+    assert a is not b
+
+
+def test_isolated_interning_leaves_default_tables_unchanged():
+    before = current_intern_context().sizes()
+    with isolated_intern_context() as ctx:
+        # A width nothing else uses, so it cannot pre-exist anywhere.
+        irt.IntegerType(1234)
+        irt.array_of(irt.IntegerType(1234), 7)
+        assert ctx.sizes()["types"] >= 2
+    after = current_intern_context().sizes()
+    assert after == before
+    assert ("int", 1234) not in current_intern_context().types
+
+
+def test_supplied_context_is_reusable():
+    ctx = InternContext()
+    with isolated_intern_context(ctx):
+        first = irt.IntegerType(48)
+    with isolated_intern_context(ctx):
+        # Same supplied context → same tables → same object.
+        assert irt.IntegerType(48) is first

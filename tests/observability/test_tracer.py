@@ -118,13 +118,29 @@ class TestPassSpans:
         ]
         assert span_rewrites == [st.rewrites for st in stats]
 
-    def test_each_pass_followed_by_verify_child_span(self, axpy_module):
+    def test_each_pass_followed_by_verify_child_span(self, axpy_module, monkeypatch):
+        # Baseline (fast mode off): one verify span per executed pass.
+        monkeypatch.setenv("REPRO_IR_FAST", "0")
         tracer = Tracer()
         with use_tracer(tracer):
             pm = standard_cleanup_pipeline()
             pm.run(axpy_module)
         verifies = tracer.find("verify")
         assert len(verifies) == len(pm.history)
+
+    def test_fast_mode_verifies_at_most_once_per_group(self, axpy_module, monkeypatch):
+        # Fast mode fuses the (all-function-pass) cleanup pipeline into a
+        # single walk verified once; pass spans are still one per pass.
+        monkeypatch.setenv("REPRO_IR_FAST", "1")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            pm = standard_cleanup_pipeline()
+            pm.run(axpy_module)
+        assert len(tracer.by_category("pass")) == len(pm.history)
+        verifies = tracer.find("verify")
+        assert len(verifies) <= 1
+        if any(st.rewrites for st in pm.history):
+            assert len(verifies) == 1
 
 
 class TestDisabledTracer:
