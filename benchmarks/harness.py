@@ -129,7 +129,18 @@ def _run_suite(config_name: str):
     )
 
 
-def run_dse(kernel: str, space: str = "tiny", size_class: str = "MINI"):
+def _dse_budget_from_env() -> Optional[int]:
+    value = os.environ.get("REPRO_DSE_BUDGET")
+    return int(value) if value else None
+
+
+def run_dse(
+    kernel: str,
+    space: str = "tiny",
+    size_class: str = "MINI",
+    strategy: Optional[str] = None,
+    budget: Optional[int] = None,
+):
     """Explore ``kernel``'s directive space through the shared cache.
 
     The DSE harness mode: the frontier's two extremes reproduce the
@@ -137,9 +148,17 @@ def run_dse(kernel: str, space: str = "tiny", size_class: str = "MINI"):
     cheapest/slowest anchor, the most aggressive surviving point the
     fastest/most expensive).  Uses MINI sizes by default — a sweep wants
     many fast points, and the SMALL-size tables already cover scale.
+
+    ``strategy``/``budget`` select a budgeted search
+    (:mod:`repro.dse.search`); when not passed they fall back to
+    ``$REPRO_DSE_STRATEGY`` / ``$REPRO_DSE_BUDGET``, so CI can flip the
+    whole benchmark suite to e.g. ``halving``/32 without code changes.
+    The exhaustive default keeps the tables' historical meaning.
     """
     from repro.dse import explore
 
+    strategy = strategy or os.environ.get("REPRO_DSE_STRATEGY") or "exhaustive"
+    budget = budget if budget is not None else _dse_budget_from_env()
     report = explore(
         kernel,
         size_class=size_class,
@@ -147,8 +166,11 @@ def run_dse(kernel: str, space: str = "tiny", size_class: str = "MINI"):
         service=SERVICE,
         check_equivalence=False,
         seed=17,
+        strategy=strategy,
+        budget=budget,
     )
-    write_result(f"dse_{kernel}_{size_class}", report.summary())
+    suffix = "" if strategy == "exhaustive" else f"_{strategy}"
+    write_result(f"dse_{kernel}_{size_class}{suffix}", report.summary())
     return report
 
 

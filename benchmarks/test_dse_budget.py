@@ -1,0 +1,64 @@
+"""Budgeted DSE [reconstructed]: `ranked` and `halving` reproduce the
+exhaustive Pareto frontier from a fraction of the compiles.  The table
+mirrors EXPERIMENTS.md "Budgeted search — visited vs. exhaustive"; the
+bit-identity claim itself is enforced by the oracle
+(:func:`repro.testing.check_frontier_equivalence`), the benchmark adds
+the wall-clock/visits angle through the shared warm cache."""
+
+from repro.testing import frontier_fingerprint
+
+from .harness import render_table, run_dse, write_result
+
+#: (kernel, space, budget) — budgets are the measured minima from
+#: tests/dse/test_oracle.py (trmm/wide is the headline: 32 of 81).
+CASES = [
+    ("doitgen", "default", 12),
+    ("gemm", "default", 15),
+    ("trmm", "wide", 32),
+]
+STRATEGIES = ["ranked", "halving"]
+
+
+def test_dse_budget_matches_exhaustive(benchmark):
+    exhaustive = {
+        (kernel, space): run_dse(kernel, space=space)
+        for kernel, space, _ in CASES
+    }
+    budgeted = benchmark.pedantic(
+        lambda: {
+            (kernel, space, strategy): run_dse(
+                kernel, space=space, strategy=strategy, budget=budget
+            )
+            for kernel, space, budget in CASES
+            for strategy in STRATEGIES
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for kernel, space, budget in CASES:
+        full = exhaustive[(kernel, space)]
+        for strategy in STRATEGIES:
+            report = budgeted[(kernel, space, strategy)]
+            # Bit-identical frontier from strictly fewer visits.
+            assert frontier_fingerprint(report) == frontier_fingerprint(full)
+            assert report.visited < full.visited
+            rows.append(
+                [
+                    kernel,
+                    space,
+                    strategy,
+                    budget,
+                    f"{report.visited}/{full.visited}",
+                    f"{report.visited / full.visited:.0%}",
+                    len(report.frontier),
+                ]
+            )
+    text = render_table(
+        "Budgeted DSE [reconstructed]: frontier parity vs compiles visited",
+        ["kernel", "space", "strategy", "budget", "visited", "frac", "front"],
+        rows,
+    )
+    print("\n" + text)
+    write_result("dse_budget", text)

@@ -139,7 +139,8 @@ def explore(
     *,
     size: str = "MINI",
     space: Optional[Union[str, "ConfigSpaceSpec"]] = None,
-    budget: Optional[Dict[str, float]] = None,
+    budget: Optional[Union[int, Dict[str, float]]] = None,
+    strategy: str = "exhaustive",
     cache_dir: Optional[str] = None,
     jobs: int = 1,
     device: str = "xc7z020",
@@ -151,9 +152,14 @@ def explore(
 
     ``space`` is a :class:`repro.workloads.ConfigSpaceSpec`, a named
     space (``tiny``/``default``/``wide``), or ``None`` for the kernel's
-    registered space.  ``budget`` (axis → cap, e.g. ``{"dsp": 16}`` or
-    ``{"lut_pct": 50}``) is recorded on the report and drives its
-    ``best``/:meth:`~repro.dse.DSEReport.best_config` selection.
+    registered space.  ``strategy`` picks the search —  ``exhaustive``
+    (every surviving point, the default), ``ranked`` or ``halving``
+    (budgeted, see :mod:`repro.dse.search`).  ``budget`` is either an
+    ``int`` compile budget for a budgeted strategy, a resource dict
+    (axis → cap, e.g. ``{"dsp": 16}`` or ``{"lut_pct": 50}``) recorded
+    on the report and driving its
+    ``best``/:meth:`~repro.dse.DSEReport.best_config` selection, or a
+    dict carrying both via the ``"compiles"`` pseudo-axis.
     Exploration compiles through the persistent service cache, so
     repeated calls are warm.  ``policy`` (a
     :class:`repro.service.FailurePolicy`) makes the sweep resilient:
@@ -171,6 +177,7 @@ def explore(
         device=device,
         seed=seed,
         budget=budget,
+        strategy=strategy,
         policy=policy,
         daemon=daemon,
     )

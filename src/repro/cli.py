@@ -157,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     service_cli.register_subcommands(sub)  # run-suite, serve, load-test, cache
     lint_cli.register_subcommand(sub)  # lint {check,rules}
-    obs_cli.register_subcommands(sub)  # trace, stats, diff, validate
+    obs_cli.register_subcommands(sub)  # trace, stats, diff, validate, hot
     dse = sub.add_parser(
         "dse", help="explore a kernel's directive space (Pareto frontier)"
     )

@@ -9,23 +9,40 @@ unoptimised directives); this package turns that into a *search*:
   recipes pinned as anchors;
 * :mod:`repro.dse.cost_model` prunes points a static read of the loop
   nest already rules out;
-* :mod:`repro.dse.explorer` fans the survivors through
+* :mod:`repro.dse.search` decides where compiles are spent: exhaustive
+  (every survivor — the reference), ranked (static cost-model ranking
+  under a compile budget) or halving (successive halving with measured
+  feedback), all behind one :class:`SearchStrategy` contract;
+* :mod:`repro.dse.explorer` fans each search round through
   :meth:`CompilationService.compile_batch` (parallel, warm-cached);
 * :mod:`repro.dse.pareto` / :mod:`repro.dse.report` reduce the measured
   latency/LUT/FF/DSP/BRAM vectors to a Pareto frontier inside a
   :class:`DSEReport` with budgeted :meth:`~DSEReport.best_config`.
 
-``python -m repro dse gemm --size MINI --jobs 4`` is the CLI spelling.
+``python -m repro dse gemm --size MINI --jobs 4`` is the CLI spelling;
+``--strategy halving --budget 32`` makes the sweep budgeted.
 """
 
 from .cost_model import KernelProfile, estimate, feasibility
-from .explorer import explore
+from .explorer import explore, split_budget
 from .pareto import OBJECTIVES, dominates, pareto_frontier
 from .report import DSEPoint, DSEReport
+from .search import (
+    SEARCH_STRATEGIES,
+    ExhaustiveSearch,
+    HalvingSearch,
+    RankedSearch,
+    SearchContext,
+    SearchOutcome,
+    SearchStrategy,
+    rank_candidates,
+    resolve_strategy,
+)
 from .space import DesignSpace, paper_anchors
 
 __all__ = [
     "explore",
+    "split_budget",
     "DesignSpace",
     "paper_anchors",
     "KernelProfile",
@@ -36,4 +53,13 @@ __all__ = [
     "OBJECTIVES",
     "dominates",
     "pareto_frontier",
+    "SEARCH_STRATEGIES",
+    "SearchStrategy",
+    "SearchContext",
+    "SearchOutcome",
+    "ExhaustiveSearch",
+    "RankedSearch",
+    "HalvingSearch",
+    "rank_candidates",
+    "resolve_strategy",
 ]

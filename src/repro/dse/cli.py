@@ -20,21 +20,33 @@ from ..service.cache import default_cache_dir
 from ..service.resilience import FAILURE_MODES
 from ..service.service import default_jobs
 from ..workloads.space import NAMED_SPACES
+from .search import SEARCH_STRATEGIES
 
 __all__ = ["main", "build_parser", "add_arguments", "run"]
 
 
 def parse_budget(text: str) -> Dict[str, float]:
-    """``lut=2000,dsp=16,lut_pct=50`` → axis-to-cap dict."""
+    """``lut=2000,dsp=16,lut_pct=50`` → axis-to-cap dict.
+
+    A bare number (``--budget 32``) is shorthand for the search compile
+    budget, i.e. ``compiles=32``; the two spellings mix freely
+    (``--budget compiles=32,lut=2000``).  :func:`repro.dse.split_budget`
+    peels the ``compiles`` pseudo-axis back off downstream.
+    """
     budget: Dict[str, float] = {}
     for chunk in text.split(","):
         chunk = chunk.strip()
         if not chunk:
             continue
         if "=" not in chunk:
-            raise argparse.ArgumentTypeError(
-                f"budget term {chunk!r} is not axis=value"
-            )
+            try:
+                budget["compiles"] = float(int(chunk))
+                continue
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"budget term {chunk!r} is neither axis=value nor "
+                    f"an integer compile budget"
+                ) from None
         axis, _, value = chunk.partition("=")
         try:
             budget[axis.strip()] = float(value)
@@ -64,9 +76,19 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--device", default="xc7z020", help="device budget for utilisation/pruning"
     )
     parser.add_argument(
-        "--budget", type=parse_budget, default=None, metavar="AXIS=CAP,...",
-        help="resource budget for best-point selection, e.g. "
-        "'lut=2000,dsp=16' or 'lut_pct=50'",
+        "--strategy", default="exhaustive", choices=sorted(SEARCH_STRATEGIES),
+        help="search strategy: exhaustive compiles every surviving "
+        "point; ranked/halving spend a compile budget where the cost "
+        "model (and measured feedback) place the frontier "
+        "(default: exhaustive)",
+    )
+    parser.add_argument(
+        "--budget", type=parse_budget, default=None, metavar="N|AXIS=CAP,...",
+        help="a bare integer is the search compile budget "
+        "(e.g. '--budget 32' with --strategy ranked/halving); "
+        "axis=cap terms select the best point under a resource budget, "
+        "e.g. 'lut=2000,dsp=16' or 'lut_pct=50'; both mix via "
+        "'compiles=32,lut=2000'",
     )
     parser.add_argument(
         "--check-equivalence", action="store_true",
@@ -104,7 +126,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def run(args: argparse.Namespace) -> int:
-    from ..dse.explorer import explore
+    from ..dse.explorer import explore, split_budget
     from ..service.cli import policy_from_args
     from ..service.service import CompilationService
 
@@ -126,6 +148,7 @@ def run(args: argparse.Namespace) -> int:
             check_equivalence=args.check_equivalence,
             seed=args.seed,
             budget=args.budget,
+            strategy=args.strategy,
             policy=policy,
         )
 
@@ -157,9 +180,10 @@ def run(args: argparse.Namespace) -> int:
         print(f"report written to {out_path}", file=sys.stderr)
 
     print(report.summary())
-    if args.budget is not None:
-        best = report.best_config(args.budget)
-        caps = ",".join(f"{k}={v:g}" for k, v in sorted(args.budget.items()))
+    _, resource_budget = split_budget(args.budget)
+    if resource_budget is not None:
+        best = report.best_config(resource_budget)
+        caps = ",".join(f"{k}={v:g}" for k, v in sorted(resource_budget.items()))
         if best is None:
             print(f"best under budget [{caps}]: no explored point fits")
         else:

@@ -1,22 +1,28 @@
-"""The exploration loop: enumerate → prune → compile → frontier.
+"""The exploration loop: enumerate → prune → search → frontier.
 
 :func:`explore` is the one entry point.  It builds the kernel once to
 profile its loop nest, crosses the directive axes into a deduplicated
 :class:`~repro.dse.space.DesignSpace`, cuts infeasible/over-budget
-points with the static cost model (paper anchors are exempt), and ships
-the survivors through :meth:`CompilationService.compile_batch` — so
-exploration inherits the service's process fan-out and content-addressed
-cache for free: a re-run of the same space is pure cache hits, and a
-*widened* space only compiles the new points.
+points with the static cost model (paper anchors are exempt), and hands
+the survivors to a :class:`~repro.dse.search.SearchStrategy` — by
+default :class:`~repro.dse.search.ExhaustiveSearch`, the historical
+compile-everything behaviour, but ``strategy="ranked"``/``"halving"``
+with an integer ``budget`` turns the sweep into a budgeted search that
+only spends compiles where the cost model (and, for halving, measured
+feedback) says the frontier can live.  Each strategy round ships through
+:meth:`CompilationService.compile_batch`, so exploration inherits the
+service's process fan-out and content-addressed cache for free: a
+re-run of the same space is pure cache hits, and a *widened* space only
+compiles the new points.
 
 Everything runs under ``dse``-category tracer spans and bumps the
 ``dse`` counter group, so ``--trace-out`` shows where exploration time
-went and stats diffs show how hard the pruner worked.
+went and stats diffs show how hard the pruner — and the budget — worked.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..observability import get_statistics, get_tracer
 from ..service.resilience import FailurePolicy
@@ -24,10 +30,35 @@ from ..service.service import CompilationService, CompileRequest, _sizes_for
 from ..workloads.polybench import build_kernel
 from ..workloads.space import ConfigSpaceSpec, config_space_for, resolve_space
 from .cost_model import KernelProfile, device_for, prune_reason
+from .pareto import objective_vector
 from .report import DSEPoint, DSEReport
+from .search import SearchContext, SearchStrategy, resolve_strategy
 from .space import DesignSpace
 
-__all__ = ["explore"]
+__all__ = ["explore", "split_budget"]
+
+
+def split_budget(
+    budget: Optional[Union[int, Dict[str, float]]]
+) -> Tuple[Optional[int], Optional[Dict[str, float]]]:
+    """``(compile_budget, resource_budget)`` from the polymorphic arg.
+
+    An ``int`` is a *compile* budget (how many points the search may
+    spend compiles on); a dict is the resource selection budget
+    (axis → cap, see :meth:`DSEPoint.fits`), with the pseudo-axis
+    ``"compiles"`` peeled off into the compile budget so one CLI flag
+    can carry both: ``--budget 32`` or ``--budget compiles=32,lut=2000``.
+    """
+    if budget is None:
+        return None, None
+    if isinstance(budget, int):
+        return budget, None
+    resource = dict(budget)
+    compiles = resource.pop("compiles", None)
+    return (
+        int(compiles) if compiles is not None else None,
+        resource or None,
+    )
 
 
 def explore(
@@ -40,7 +71,8 @@ def explore(
     device: str = "xc7z020",
     check_equivalence: bool = False,
     seed: int = 17,
-    budget: Optional[Dict[str, float]] = None,
+    budget: Optional[Union[int, Dict[str, float]]] = None,
+    strategy: Optional[Union[str, SearchStrategy]] = "exhaustive",
     policy: Optional[FailurePolicy] = None,
     daemon: Optional[str] = None,
 ) -> DSEReport:
@@ -56,11 +88,21 @@ def explore(
     vector, and the nightly suite already guards functional equality —
     but flipping it on folds the verdict into every compiled row.
 
-    Determinism: the enumeration order, pruning decisions, and compile
-    requests depend only on (kernel, size, space, seed, device), so two
-    runs produce identical reports modulo timing/cache provenance.
+    ``strategy`` picks the search (``exhaustive``/``ranked``/``halving``
+    or a :class:`~repro.dse.search.SearchStrategy` instance) and
+    ``budget`` may be an ``int`` compile budget for it, a resource dict
+    for best-point selection, or a dict mixing both via the pseudo-axis
+    ``"compiles"`` (see :func:`split_budget`).  Budget-skipped points
+    are recorded on the report as ``unvisited`` (disposition
+    ``unvisited-budget``) so the accounting over the enumeration stays
+    exact.
 
-    ``policy`` (a :class:`repro.service.FailurePolicy`) governs the
+    Determinism: the enumeration order, pruning decisions, search
+    ranking and compile requests depend only on (kernel, size, space,
+    strategy, budget, seed, device) — never on jobs or cache state — so
+    two runs produce identical reports modulo timing/cache provenance.
+
+    ``policy`` (a :class:`repro.service.FailurePolicy`) governs each
     batch: under ``continue``/``retry`` a crashing design point lands in
     ``report.failed`` instead of aborting the sweep — the frontier is
     computed over the points that *did* compile.
@@ -73,10 +115,13 @@ def explore(
         )
     device_model = device_for(service.device)
     sizes = _sizes_for(size_class, kernel)
+    search = resolve_strategy(strategy)
+    compile_budget, resource_budget = split_budget(budget)
 
     with tracer.span(
         f"dse:{kernel}", category="dse",
         kernel=kernel, size=size_class, device=service.device,
+        strategy=search.name,
     ) as dse_span:
         with tracer.span("dse-enumerate", category="dse"):
             spec = build_kernel(kernel, **sizes)
@@ -94,7 +139,9 @@ def explore(
             space=space_spec.axes(),
             seed=seed,
             enumerated=len(design_space),
-            budget=dict(budget) if budget else None,
+            budget=resource_budget,
+            strategy=search.name,
+            compile_budget=compile_budget,
         )
 
         with tracer.span("dse-prune", category="dse") as prune_span:
@@ -112,27 +159,36 @@ def explore(
             prune_span.set(kept=len(survivors), pruned=len(report.pruned))
         stats.bump("dse", "points-pruned", len(report.pruned))
 
-        requests = [
-            CompileRequest(
-                kernel=kernel,
-                config=config,
-                sizes=sizes,
-                size_class=size_class,
-                check_equivalence=check_equivalence,
-                seed=seed,
-            )
-            for config in survivors
-        ]
-        batch = service.compile_batch(
-            requests, span_name="dse-batch", policy=policy
-        )
+        batch_seconds = 0.0
 
-        with tracer.span("dse-reduce", category="dse"):
+        def evaluate(configs) -> List[Optional[tuple]]:
+            """Compile one strategy round; feed measured vectors back.
+
+            Appends the round's rows to the report as a side effect —
+            points accumulate across halving rungs exactly as they did
+            across the single exhaustive batch.
+            """
+            nonlocal batch_seconds
+            requests = [
+                CompileRequest(
+                    kernel=kernel,
+                    config=config,
+                    sizes=sizes,
+                    size_class=size_class,
+                    check_equivalence=check_equivalence,
+                    seed=seed,
+                )
+                for config in configs
+            ]
+            batch = service.compile_batch(
+                requests, span_name="dse-batch", policy=policy
+            )
+            vectors: List[Optional[tuple]] = [None] * len(requests)
             # Walk outcomes, not comparisons: under a continue/retry
             # policy the batch is partial, and outcome.index is the only
-            # honest join back to the surviving configs.
+            # honest join back to this round's configs.
             for outcome in batch.outcomes:
-                config = survivors[outcome.index]
+                config = configs[outcome.index]
                 comparison = batch.comparison_for(outcome)
                 if comparison is None:
                     report.failed.append(
@@ -140,33 +196,60 @@ def explore(
                     )
                     continue
                 resources = comparison.adaptor.resources
-                report.points.append(
-                    DSEPoint(
-                        name=config.name,
-                        config=config.to_dict(),
-                        latency=comparison.adaptor.latency,
-                        lut=resources.get("lut", 0),
-                        ff=resources.get("ff", 0),
-                        dsp=resources.get("dsp", 0),
-                        bram_18k=resources.get("bram_18k", 0),
-                        utilization=device_model.utilization(resources),
-                        cache_status=comparison.cache_status,
-                        compile_seconds=comparison.compile_seconds,
-                        is_anchor=design_space.is_anchor(config),
-                    )
+                point = DSEPoint(
+                    name=config.name,
+                    config=config.to_dict(),
+                    latency=comparison.adaptor.latency,
+                    lut=resources.get("lut", 0),
+                    ff=resources.get("ff", 0),
+                    dsp=resources.get("dsp", 0),
+                    bram_18k=resources.get("bram_18k", 0),
+                    utilization=device_model.utilization(resources),
+                    cache_status=comparison.cache_status,
+                    compile_seconds=comparison.compile_seconds,
+                    is_anchor=design_space.is_anchor(config),
                 )
+                report.points.append(point)
+                vectors[outcome.index] = objective_vector(point)
+            report.cache_hits += batch.cache_stats.hits
+            report.cache_misses += batch.cache_stats.misses
+            batch_seconds += batch.seconds
+            return vectors
+
+        context = SearchContext(
+            kernel=kernel,
+            profile=profile,
+            device=device_model,
+            budget=compile_budget,
+            seed=seed,
+            anchor_names=frozenset(design_space.anchor_names),
+        )
+        with tracer.span(
+            "dse-search", category="dse", strategy=search.name,
+            budget=compile_budget, candidates=len(survivors),
+        ) as search_span:
+            outcome = search.run(survivors, evaluate, context)
+            search_span.set(
+                visited=len(outcome.visited),
+                unvisited=len(outcome.unvisited),
+                rounds=len(outcome.rounds),
+            )
+
+        with tracer.span("dse-reduce", category="dse"):
+            report.unvisited = [c.name for c in outcome.unvisited]
+            report.rounds = [r.to_dict() for r in outcome.rounds]
             report.mark_frontier()
-        report.cache_hits = batch.cache_stats.hits
-        report.cache_misses = batch.cache_stats.misses
-        report.seconds = batch.seconds
+        report.seconds = batch_seconds
         stats.bump("dse", "points-compiled", len(report.points))
         stats.bump("dse", "points-failed", len(report.failed))
+        stats.bump("dse", "points-unvisited", len(report.unvisited))
         stats.bump("dse", "cache-hits", report.cache_hits)
         stats.bump("dse", "frontier-size", len(report.frontier))
         dse_span.set(
             points=len(report.points),
             frontier=len(report.frontier),
             hits=report.cache_hits,
+            visited=report.visited,
         )
     # Serialise after the span closes so its end timestamp is final.
     if tracer.enabled:

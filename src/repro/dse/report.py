@@ -20,7 +20,10 @@ from .pareto import OBJECTIVES, pareto_frontier
 __all__ = ["DSEPoint", "DSEReport"]
 
 #: Bump on report schema changes (consumers check before parsing).
-REPORT_SCHEMA_VERSION = 1
+#: v2: search-strategy provenance (``strategy``/``compile_budget``/
+#: ``visited``/``rounds``), per-point ``dispositions`` accounting, and
+#: the ``unvisited`` list for budget-skipped points.
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -107,8 +110,41 @@ class DSEReport:
     # Resource budget the exploration was asked to select under (axis ->
     # cap, see DSEPoint.fits); to_dict names the winner as "best".
     budget: Optional[Dict[str, float]] = None
+    # Search-strategy provenance: which strategy ran, under what compile
+    # budget, and which statically-surviving points it never visited
+    # (name list, disposition "unvisited-budget").  ``rounds`` is the
+    # strategy's own evaluate()-call record (serialized SearchRound
+    # dicts) so a halving run's rung structure survives into the JSON.
+    strategy: str = "exhaustive"
+    compile_budget: Optional[int] = None
+    unvisited: List[str] = field(default_factory=list)
+    rounds: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- derived ------------------------------------------------------------
+    @property
+    def visited(self) -> int:
+        """Points the strategy actually spent compiles on (incl. failed)."""
+        return len(self.points) + len(self.failed)
+
+    def dispositions(self) -> Dict[str, str]:
+        """Exact per-point accounting over the whole enumeration.
+
+        Every enumerated point lands in exactly one bucket: ``compiled``
+        (a measured row exists), ``pruned-static`` (cost model cut it
+        before any compile), ``unvisited-budget`` (the search strategy
+        never spent budget on it), or ``failed`` (visited, but its
+        compile failed under a continue/retry policy).
+        """
+        out: Dict[str, str] = {}
+        for point in self.points:
+            out[point.name] = "compiled"
+        for entry in self.pruned:
+            out[entry["name"]] = "pruned-static"
+        for entry in self.failed:
+            out[entry["name"]] = "failed"
+        for name in self.unvisited:
+            out[name] = "unvisited-budget"
+        return out
     def mark_frontier(self) -> None:
         """(Re)compute ``on_frontier`` flags from the measured vectors."""
         frontier = set(id(p) for p in pareto_frontier(self.points))
@@ -155,9 +191,15 @@ class DSEReport:
                 for key, value in self.space.items()
             },
             "objectives": list(OBJECTIVES),
+            "strategy": self.strategy,
+            "compile_budget": self.compile_budget,
             "enumerated": self.enumerated,
+            "visited": self.visited,
             "pruned": list(self.pruned),
             "failed": list(self.failed),
+            "unvisited": list(self.unvisited),
+            "rounds": [dict(r) for r in self.rounds],
+            "dispositions": self.dispositions(),
             "points": [p.to_dict() for p in self.points],
             "frontier": [p.name for p in self.frontier],
             "budget": self.budget,
@@ -171,12 +213,23 @@ class DSEReport:
 
     def summary(self) -> str:
         """Human table: frontier flagged with ``*``, anchors with ``†``."""
+        budget_note = (
+            f" budget={self.compile_budget}"
+            if self.compile_budget is not None
+            else ""
+        )
         lines = [
             f"design-space exploration: kernel={self.kernel} "
-            f"size={self.size_class} device={self.device}",
+            f"size={self.size_class} device={self.device} "
+            f"strategy={self.strategy}{budget_note}",
             f"enumerated {self.enumerated} point(s), pruned "
             f"{len(self.pruned)}, compiled {len(self.points)}"
             + (f", {len(self.failed)} FAILED" if self.failed else "")
+            + (
+                f", {len(self.unvisited)} left unvisited by the budget"
+                if self.unvisited
+                else ""
+            )
             + f" ({self.cache_hits} cache hit(s), {self.cache_misses} miss(es)) "
             f"in {self.seconds:.2f}s",
             "",
@@ -202,6 +255,11 @@ class DSEReport:
             lines.append(f"pruned ({len(self.pruned)}):")
             for entry in self.pruned:
                 lines.append(f"  {entry['name']}: {entry['reason']}")
+        if self.unvisited:
+            lines.append(
+                f"unvisited under budget ({len(self.unvisited)}): "
+                + ", ".join(self.unvisited)
+            )
         if self.failed:
             lines.append(f"failed ({len(self.failed)}):")
             for entry in self.failed:

@@ -1,0 +1,399 @@
+"""Pluggable search strategies: which design points get compiled, when.
+
+Exhaustive enumeration was the explorer's only behaviour through PR 8;
+``wide`` spaces grow the compile count combinatorially, so this module
+makes the *search itself* a component with a contract:
+
+* a :class:`SearchStrategy` is handed the statically-surviving
+  candidates, a :class:`SearchContext` (kernel profile, device, compile
+  budget, seed) and an ``evaluate`` callback that compiles a batch and
+  returns measured objective vectors;
+* it decides which candidates to spend the budget on — in one shot
+  (:class:`RankedSearch`) or over feedback-driven rounds
+  (:class:`HalvingSearch`) — and returns a :class:`SearchOutcome`
+  recording exactly what was visited, in which round, and why the rest
+  was skipped.
+
+The correctness bar (enforced by :mod:`repro.testing.oracle`) is
+frontier *equivalence*: because Pareto dominance is transitive, a
+visited set that contains the true frontier yields bit-identical
+reductions — so a budgeted strategy is exactly as good as its ability to
+keep every real frontier point inside the budget.  Ranking runs on the
+static cost model (:func:`repro.dse.cost_model.estimate`), whose vector
+deliberately mirrors the engine's cost structure; the halving strategy
+additionally uses *measured* results to discard estimate-regions that
+already proved dominated, letting it reach deeper into the ranking for
+the same budget.
+
+Everything is deterministic: ordering depends only on the candidates'
+estimate vectors and canonical names (the seed is recorded for report
+provenance, not consumed), so two runs — at any ``--jobs`` — visit the
+same points in the same rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from ..flows.config import OptimizationConfig
+from ..hls.device import Device
+from .cost_model import KernelProfile, estimate
+from .pareto import dominates
+
+__all__ = [
+    "SearchContext",
+    "SearchRound",
+    "SearchOutcome",
+    "SearchStrategy",
+    "ExhaustiveSearch",
+    "RankedSearch",
+    "HalvingSearch",
+    "SEARCH_STRATEGIES",
+    "resolve_strategy",
+    "rank_candidates",
+]
+
+#: ``evaluate(batch)`` compiles a batch and returns one measured
+#: objective vector per config, aligned with the batch (``None`` for a
+#: point whose compile failed under a continue/retry policy).
+Evaluator = Callable[
+    [Sequence[OptimizationConfig]], List[Optional[Tuple[float, ...]]]
+]
+
+
+@dataclass
+class SearchContext:
+    """Everything a strategy may condition on (all deterministic)."""
+
+    kernel: str
+    profile: KernelProfile
+    device: Device
+    budget: Optional[int] = None  # max points to compile (None = all)
+    seed: int = 17
+    anchor_names: FrozenSet[str] = frozenset()
+
+    def is_anchor(self, config: OptimizationConfig) -> bool:
+        return config.name in self.anchor_names
+
+
+@dataclass
+class SearchRound:
+    """Provenance for one evaluate() call (reports serialise these)."""
+
+    index: int
+    compiled: List[str] = field(default_factory=list)  # config names
+    frontier_size: int = 0  # measured frontier size after this round
+    feedback_pruned: int = 0  # pool entries dropped on measured evidence
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "compiled": list(self.compiled),
+            "frontier_size": self.frontier_size,
+            "feedback_pruned": self.feedback_pruned,
+        }
+
+
+@dataclass
+class SearchOutcome:
+    """What a strategy did: visit order, rounds, and the skipped rest."""
+
+    visited: List[OptimizationConfig] = field(default_factory=list)
+    unvisited: List[OptimizationConfig] = field(default_factory=list)
+    rounds: List[SearchRound] = field(default_factory=list)
+
+
+def rank_candidates(
+    candidates: Sequence[OptimizationConfig],
+    context: SearchContext,
+) -> List[OptimizationConfig]:
+    """Deterministic cost-model ranking: anchors, then estimate layers.
+
+    Non-anchor candidates are bucketed by *non-dominated sorting* on
+    their estimate vectors — layer 0 is the estimated frontier, layer 1
+    the frontier once layer 0 is removed, and so on — because the goal
+    is frontier coverage, not scalar optimality: a slow-but-tiny point
+    belongs to layer 0 just as much as the fastest one.  Within a layer
+    the order is (estimated latency, LUT, BRAM, name); the trailing
+    canonical name makes the whole ranking a total order.
+    """
+    anchors = [c for c in candidates if context.is_anchor(c)]
+    rest = [c for c in candidates if not context.is_anchor(c)]
+    vectors = {
+        c.name: estimate(context.profile, c, context.device).vector()
+        for c in rest
+    }
+    layer: Dict[str, int] = {}
+    remaining = list(rest)
+    depth = 0
+    while remaining:
+        front = [
+            c
+            for c in remaining
+            if not any(
+                dominates(vectors[o.name], vectors[c.name])
+                for o in remaining
+                if o is not c
+            )
+        ]
+        if not front:  # cannot happen (finite strict partial order)
+            front = remaining
+        for c in front:
+            layer[c.name] = depth
+        remaining = [c for c in remaining if c.name not in layer]
+        depth += 1
+    ordered = sorted(
+        rest,
+        key=lambda c: (
+            layer[c.name],
+            vectors[c.name][0],  # est latency
+            vectors[c.name][1],  # est lut
+            vectors[c.name][4],  # est bram
+            c.name,
+        ),
+    )
+    return anchors + ordered
+
+
+class SearchStrategy:
+    """The contract: order/choose candidates, spend the budget, report.
+
+    Subclasses implement :meth:`run`; they must be deterministic in
+    (candidates, context) and must always visit the anchors — the paper's
+    measured configs are the fixed reference points every report keeps.
+    """
+
+    #: Registry key and report/CLI spelling.
+    name: str = "abstract"
+
+    def run(
+        self,
+        candidates: Sequence[OptimizationConfig],
+        evaluate: Evaluator,
+        context: SearchContext,
+    ) -> SearchOutcome:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    # -- shared helpers -----------------------------------------------------
+    @staticmethod
+    def _effective_budget(
+        candidates: Sequence[OptimizationConfig], context: SearchContext
+    ) -> int:
+        """The number of points the strategy may compile.
+
+        ``None`` means *everything*; an explicit budget is floored at
+        the anchor count + 1 so a strategy can always place the paper's
+        anchors and at least one explored point.
+        """
+        total = len(candidates)
+        if context.budget is None:
+            return total
+        if context.budget < 1:
+            raise ValueError(
+                f"compile budget must be >= 1, got {context.budget}"
+            )
+        floor = min(total, len(context.anchor_names) + 1)
+        return min(total, max(context.budget, floor))
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """The historical behaviour: compile every statically-surviving
+    point in one batch.  Ignores the budget by design — it is the
+    reference the oracle measures budgeted strategies against."""
+
+    name = "exhaustive"
+
+    def run(self, candidates, evaluate, context) -> SearchOutcome:
+        outcome = SearchOutcome(visited=list(candidates))
+        vectors = evaluate(outcome.visited)
+        measured = [v for v in vectors if v is not None]
+        outcome.rounds.append(
+            SearchRound(
+                index=0,
+                compiled=[c.name for c in outcome.visited],
+                frontier_size=len(_measured_frontier(measured)),
+            )
+        )
+        return outcome
+
+
+class RankedSearch(SearchStrategy):
+    """Static cost-model ranking, one batch, budget-truncated.
+
+    The cheapest budgeted strategy: no feedback, a single
+    ``compile_batch`` call (maximal cache/fan-out friendliness).  Its
+    frontier is equivalent to exhaustive exactly when the ranking places
+    every true frontier point within the budget — the oracle's job is to
+    certify that on the spaces we ship."""
+
+    name = "ranked"
+
+    def run(self, candidates, evaluate, context) -> SearchOutcome:
+        budget = self._effective_budget(candidates, context)
+        ranked = rank_candidates(candidates, context)
+        outcome = SearchOutcome(
+            visited=ranked[:budget], unvisited=ranked[budget:]
+        )
+        vectors = evaluate(outcome.visited)
+        measured = [v for v in vectors if v is not None]
+        outcome.rounds.append(
+            SearchRound(
+                index=0,
+                compiled=[c.name for c in outcome.visited],
+                frontier_size=len(_measured_frontier(measured)),
+            )
+        )
+        return outcome
+
+
+class HalvingSearch(SearchStrategy):
+    """Successive halving over cost-model-bucketed rungs.
+
+    The ranked pool is consumed in geometrically shrinking rungs (the
+    first rung gets half the budget, the next half the remainder, ...),
+    and between rungs the *measured* results prune the pool branch-and-
+    bound style: a pending candidate is dropped when some already-
+    *measured* vector strictly dominates the candidate's admissible
+    lower bound.  Because the bound is componentwise below whatever the
+    candidate would measure, the dominating point also dominates the
+    candidate's true measurement — the pruned candidate provably cannot
+    sit on the frontier, so feedback pruning never changes the reduced
+    result.  What the budget *skips* (pool left when the budget runs
+    out) carries no such proof; that is the part the equivalence oracle
+    certifies empirically.
+
+    The bound has two parts.  Statically, each candidate starts from
+    :meth:`PointEstimate.bound_vector`.  Dynamically, the engine's
+    *monotonicity* — directives only ever add hardware, so the baseline
+    anchor (always in the first rung) measures the kernel's resource
+    floor — lets every candidate's resource axes be lifted to the
+    componentwise minimum of the measured vectors.  The lift is what
+    makes pruning bite: static DSP/BRAM bounds sit below any real
+    design, so without it no measurement could ever dominate a bound.
+    Latency is exempt — speedup directives *lower* latency, so the
+    measured floor bounds nothing there.  Feedback pruning is what lets
+    halving reach far beyond its budget's prefix of the ranking: the
+    middle of the ranking collapses under the first rungs' frontier and
+    the budget is spent on the undominated tail instead.
+    """
+
+    name = "halving"
+
+    def run(self, candidates, evaluate, context) -> SearchOutcome:
+        budget = self._effective_budget(candidates, context)
+        ranked = rank_candidates(candidates, context)
+        bounds = {
+            c.name: estimate(context.profile, c, context.device).bound_vector()
+            for c in ranked
+        }
+        pool = list(ranked)
+        outcome = SearchOutcome()
+        # Measured vectors of every compiled point so far; the measured
+        # frontier is recomputed per round (for provenance), but pruning
+        # may use *any* measured vector — domination by a point that is
+        # itself dominated still excludes the candidate.
+        measured: List[Tuple[float, ...]] = []
+        spent = 0
+        round_index = 0
+        while pool and spent < budget:
+            remaining = budget - spent
+            # Halving quota: half the remaining budget per rung (ceil so
+            # the tail still compiles), except when the whole pool fits.
+            quota = (
+                remaining
+                if len(pool) <= remaining
+                else max(1, -(-remaining // 2))
+            )
+            batch = pool[:quota]
+            pool = pool[quota:]
+            vectors = evaluate(batch)
+            outcome.visited.extend(batch)
+            spent += len(batch)
+            measured.extend(v for v in vectors if v is not None)
+            frontier = _measured_frontier(measured)
+            # Measured resource floor (latency axis excluded): with the
+            # baseline anchor measured in round one, no design can sit
+            # below this on LUT/FF/DSP/BRAM.
+            floor = [
+                min(m[axis] for m in measured) if measured else 0.0
+                for axis in range(1, 5)
+            ]
+            # Branch-and-bound cull: a measured vector strictly below a
+            # candidate's admissible bound also strictly dominates that
+            # candidate's (unseen) measurement — drop it, provably.
+            kept: List[OptimizationConfig] = []
+            pruned_now = 0
+            for candidate in pool:
+                static = bounds[candidate.name]
+                bound = (static[0],) + tuple(
+                    max(static[axis], floor[axis - 1])
+                    for axis in range(1, 5)
+                )
+                if any(dominates(m, bound) for m in frontier):
+                    outcome.unvisited.append(candidate)
+                    pruned_now += 1
+                else:
+                    kept.append(candidate)
+            pool = kept
+            outcome.rounds.append(
+                SearchRound(
+                    index=round_index,
+                    compiled=[c.name for c in batch],
+                    frontier_size=len(frontier),
+                    feedback_pruned=pruned_now,
+                )
+            )
+            round_index += 1
+        outcome.unvisited.extend(pool)
+        return outcome
+
+
+def _measured_frontier(
+    vectors: Sequence[Tuple[float, ...]]
+) -> List[Tuple[float, ...]]:
+    """Non-dominated measured vectors (tiny n; quadratic is fine)."""
+    return [
+        v
+        for i, v in enumerate(vectors)
+        if not any(
+            dominates(o, v) for j, o in enumerate(vectors) if j != i
+        )
+    ]
+
+
+SEARCH_STRATEGIES: Dict[str, Type[SearchStrategy]] = {
+    ExhaustiveSearch.name: ExhaustiveSearch,
+    RankedSearch.name: RankedSearch,
+    HalvingSearch.name: HalvingSearch,
+}
+
+
+def resolve_strategy(
+    strategy: Union[str, SearchStrategy, None]
+) -> SearchStrategy:
+    """Accept a strategy instance or a registry name (None = exhaustive)."""
+    if strategy is None:
+        return ExhaustiveSearch()
+    if isinstance(strategy, SearchStrategy):
+        return strategy
+    try:
+        return SEARCH_STRATEGIES[strategy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown search strategy {strategy!r}; "
+            f"valid: {sorted(SEARCH_STRATEGIES)}"
+        ) from None

@@ -12,7 +12,7 @@ The subsystem has three pieces, all ambient and zero-cost-when-disabled:
   and a schema check (:func:`validate_chrome_trace`) CI runs on every
   exported trace.
 
-``python -m repro.observability trace|stats|diff|validate`` drives it
+``python -m repro.observability trace|stats|diff|validate|hot`` drives it
 from a shell.
 """
 
@@ -21,6 +21,9 @@ from .export import (
     chrome_trace_events,
     diff_table,
     dump_chrome_trace,
+    hot_ranking,
+    hot_table,
+    load_span_forest,
     stats_diff,
     trace_summary,
 )
@@ -52,6 +55,9 @@ __all__ = [
     "trace_summary",
     "stats_diff",
     "diff_table",
+    "hot_ranking",
+    "hot_table",
+    "load_span_forest",
     "validate_chrome_trace",
     "check_chrome_trace",
     "load_and_check",

@@ -1,4 +1,4 @@
-"""Deprecated entry point: prefer ``python -m repro trace|stats|diff|validate``.
+"""Deprecated entry point: prefer ``python -m repro trace|stats|diff|validate|hot``.
 
 Kept as a forwarding shim so existing scripts and CI invocations keep
 working; the unified CLI accepts the same arguments.
@@ -11,7 +11,7 @@ from .cli import main
 if __name__ == "__main__":
     print(
         "note: 'python -m repro.observability' is deprecated; "
-        "use 'python -m repro trace|stats|diff|validate'",
+        "use 'python -m repro trace|stats|diff|validate|hot'",
         file=sys.stderr,
     )
     sys.exit(main())

@@ -7,9 +7,11 @@ Subcommands::
     stats <kernel>      compile under the counter registry, print -stats
     diff <kernel>       counter deltas between two optimisation configs
     validate <path>     schema-check an exported trace file
+    hot <path>          rank pass-level hotspots from a committed trace
 
-Exit status: ``0`` on success, ``1`` when ``validate`` finds problems,
-``2`` for usage/configuration errors.
+Exit status: ``0`` on success, ``1`` when ``validate`` finds problems
+(or ``hot`` finds no spans in the requested category), ``2`` for
+usage/configuration errors.
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
-from .export import chrome_trace, diff_table, trace_summary
+from .export import chrome_trace, diff_table, hot_ranking, hot_table, load_span_forest, trace_summary
 from .schema import validate_chrome_trace
 from .stats import StatisticsRegistry, use_statistics
 from .tracer import Tracer, use_tracer
@@ -88,6 +90,28 @@ def register_subcommands(sub) -> None:
     validate = sub.add_parser("validate", help="schema-check a trace JSON file")
     validate.set_defaults(handler=_cmd_validate)
     validate.add_argument("path", help="Chrome trace-event JSON file")
+
+    hot = sub.add_parser(
+        "hot", help="rank pass-level hotspots from a committed trace file"
+    )
+    hot.set_defaults(handler=_cmd_hot)
+    hot.add_argument(
+        "path",
+        help="trace JSON: a Chrome trace, a span tree (Span.to_dict), or "
+        "a report carrying one under 'trace'",
+    )
+    hot.add_argument(
+        "--category", default="pass",
+        help="span category to aggregate (default: pass)",
+    )
+    hot.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="show only the N hottest spans (default: all)",
+    )
+    hot.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the ranking as JSON instead of a table",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,6 +217,30 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     spans = sum(1 for e in events if isinstance(e, dict) and e.get("ph") == "X")
     print(f"OK: {args.path}: {len(events)} events, {spans} spans")
     return 0
+
+
+def _cmd_hot(args: argparse.Namespace) -> int:
+    try:
+        with open(args.path) as fh:
+            document = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.path!r}: {exc}", file=sys.stderr)
+        return 2
+    forest = load_span_forest(document)
+    ranking = hot_ranking(forest, category=args.category)
+    if args.as_json:
+        shown = ranking if args.top is None else ranking[: args.top]
+        print(json.dumps(shown, indent=2))
+    else:
+        print(
+            hot_table(
+                forest,
+                category=args.category,
+                top=args.top,
+                title=f"hotspots: {args.path} [{args.category}]",
+            )
+        )
+    return 0 if ranking else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -26,6 +26,9 @@ __all__ = [
     "chrome_trace_events",
     "chrome_trace",
     "dump_chrome_trace",
+    "load_span_forest",
+    "hot_ranking",
+    "hot_table",
     "trace_summary",
     "stats_diff",
     "diff_table",
@@ -106,6 +109,113 @@ def dump_chrome_trace(
     with open(path, "w") as fh:
         json.dump(document, fh)
     return document
+
+
+# -- hotspot ranking ------------------------------------------------------------
+def load_span_forest(document: Any) -> List[Span]:
+    """Rebuild spans from any committed trace artefact.
+
+    Accepts every shape the toolchain writes: a single span dict
+    (``Span.to_dict`` — what ``SuiteReport.trace``/``DSEReport.trace``
+    embed), a list of span dicts, a ``{"spans": [...]}`` or
+    ``{"trace": {...}}`` wrapper, or a Chrome trace document
+    (``{"traceEvents": [...]}`` — complete events become flat spans,
+    their nesting already paid for by the exporter's exact timestamps).
+    """
+    if isinstance(document, dict) and "traceEvents" in document:
+        spans = []
+        for event in document["traceEvents"]:
+            if not isinstance(event, dict) or event.get("ph") != "X":
+                continue
+            spans.append(
+                Span(
+                    name=str(event.get("name", "")),
+                    category=str(event.get("cat", "")),
+                    start=float(event.get("ts", 0.0)) / 1e6,
+                    duration=float(event.get("dur", 0.0)) / 1e6,
+                    args=dict(event.get("args", {})),
+                )
+            )
+        return spans
+    if isinstance(document, dict) and "spans" in document:
+        return _roots(document["spans"])
+    if isinstance(document, dict) and "trace" in document:
+        trace = document["trace"]
+        return _roots(trace) if trace else []
+    return _roots(document)
+
+
+def hot_ranking(
+    forest: SpanForest, category: str = "pass"
+) -> List[Dict[str, Any]]:
+    """Aggregate span wall time by name within one category, hottest first.
+
+    Self time is total time minus same-category descendants, so a fused
+    pass group does not double-charge the passes tiled inside it.  Rows
+    carry ``name``/``count``/``total_s``/``self_s``/``mean_s``/``share``
+    (share of the category's summed self time).
+    """
+    totals: Dict[str, Dict[str, float]] = {}
+    for root in load_span_forest(forest):
+        for span in root.walk():
+            if span.category != category:
+                continue
+            nested = sum(
+                (inner.duration or 0.0)
+                for child in span.children
+                for inner in child.walk()
+                if inner.category == category
+            )
+            duration = span.duration or 0.0
+            row = totals.setdefault(
+                span.name, {"count": 0, "total_s": 0.0, "self_s": 0.0}
+            )
+            row["count"] += 1
+            row["total_s"] += duration
+            row["self_s"] += max(0.0, duration - nested)
+    grand = sum(row["self_s"] for row in totals.values())
+    ranking = [
+        {
+            "name": name,
+            "count": int(row["count"]),
+            "total_s": row["total_s"],
+            "self_s": row["self_s"],
+            "mean_s": row["total_s"] / row["count"] if row["count"] else 0.0,
+            "share": row["self_s"] / grand if grand else 0.0,
+        }
+        for name, row in totals.items()
+    ]
+    ranking.sort(key=lambda r: (-r["self_s"], -r["total_s"], r["name"]))
+    return ranking
+
+
+def hot_table(
+    forest: SpanForest,
+    category: str = "pass",
+    top: Optional[int] = None,
+    title: str = "hotspots",
+) -> str:
+    """Human table over :func:`hot_ranking` (``top`` rows, all if None)."""
+    ranking = hot_ranking(forest, category=category)
+    if not ranking:
+        return f"{title}\n(no '{category}'-category spans in this trace)"
+    shown = ranking if top is None else ranking[:top]
+    name_w = max(len(r["name"]) for r in shown)
+    lines = [
+        title,
+        "",
+        f"{'rank':>4} {'span':<{name_w}} {'count':>6} "
+        f"{'self ms':>10} {'total ms':>10} {'mean ms':>9} {'share':>7}",
+    ]
+    for i, row in enumerate(shown, 1):
+        lines.append(
+            f"{i:>4} {row['name']:<{name_w}} {row['count']:>6} "
+            f"{row['self_s'] * 1e3:>10.3f} {row['total_s'] * 1e3:>10.3f} "
+            f"{row['mean_s'] * 1e3:>9.3f} {row['share'] * 100:>6.1f}%"
+        )
+    if top is not None and len(ranking) > top:
+        lines.append(f"... ({len(ranking) - top} more)")
+    return "\n".join(lines)
 
 
 # -- human-readable summaries ---------------------------------------------------

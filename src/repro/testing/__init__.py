@@ -1,8 +1,9 @@
 """Test-support utilities shipped with the package: deterministic fault
 injection, service-level chaos profiles, hostile-IR fuzzing, a seeded
-random-module generator for roundtrip properties, and a FileCheck-lite
-matcher for golden-IR tests (used by the test suite and the CI jobs,
-importable by downstream users too)."""
+random-module generator for roundtrip properties, a FileCheck-lite
+matcher for golden-IR tests, and the exhaustive-frontier equivalence
+oracle for budgeted DSE strategies (used by the test suite and the CI
+jobs, importable by downstream users too)."""
 
 from .chaos import (
     CHAOS_FAULTS,
@@ -31,6 +32,13 @@ from .filecheck import (
 from .golden import GoldenLintRefusal, write_golden_snapshot
 from .load import LoadProfile, LoadReport, LoadResult, run_load
 from .modulegen import RandomModuleGenerator
+from .oracle import (
+    FrontierMismatch,
+    OracleResult,
+    assert_frontier_equivalence,
+    check_frontier_equivalence,
+    frontier_fingerprint,
+)
 
 __all__ = [
     "CHAOS_FAULTS",
@@ -58,4 +66,9 @@ __all__ = [
     "LoadResult",
     "run_load",
     "RandomModuleGenerator",
+    "FrontierMismatch",
+    "OracleResult",
+    "assert_frontier_equivalence",
+    "check_frontier_equivalence",
+    "frontier_fingerprint",
 ]

@@ -1,0 +1,206 @@
+"""Exhaustive-frontier equivalence oracle for budgeted DSE strategies.
+
+The contract a budgeted search must honour is exact, not approximate:
+because Pareto dominance is transitive on finite sets, the frontier of
+any visited subset ``S`` equals the frontier of the full space whenever
+``S`` contains every true frontier point.  So "did the budget cut
+corners?" has a crisp test — run ``exhaustive`` and the budgeted
+strategy over the *same* compilation cache, and compare frontiers
+bit-for-bit (names and all five objective values).  On spaces wide
+enough to make budgets interesting, the oracle additionally demands the
+budgeted run visited strictly fewer configurations, i.e. that it paid
+for its answer with less than the exhaustive bill.
+
+Both runs share one :class:`~repro.service.CompilationService`, so the
+exhaustive pass warms the cache and the budgeted pass replays from it —
+the oracle costs one exhaustive sweep, not two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "FrontierMismatch",
+    "OracleResult",
+    "frontier_fingerprint",
+    "check_frontier_equivalence",
+    "assert_frontier_equivalence",
+]
+
+#: One frontier point, hashed down to what "bit-identical" means here:
+#: its name plus the exact objective vector the report serialises.
+Fingerprint = Tuple[str, int, int, int, int, int]
+
+
+class FrontierMismatch(AssertionError):
+    """A budgeted strategy returned a different Pareto frontier (or did
+    not beat the exhaustive visit count where it was required to)."""
+
+
+def frontier_fingerprint(report) -> List[Fingerprint]:
+    """Canonical, order-independent frontier identity of a DSEReport."""
+    return sorted(
+        (p.name, p.latency, p.lut, p.ff, p.dsp, p.bram_18k)
+        for p in report.frontier
+    )
+
+
+@dataclass
+class OracleResult:
+    """The verdict plus everything needed to explain it."""
+
+    kernel: str
+    space: Optional[str]
+    strategy: str
+    budget: Optional[Union[int, Dict[str, float]]]
+    equivalent: bool
+    exhaustive_visited: int
+    budgeted_visited: int
+    frontier_size: int
+    exhaustive_fingerprint: List[Fingerprint]
+    budgeted_fingerprint: List[Fingerprint]
+    exhaustive_report: Any = None
+    budgeted_report: Any = None
+
+    @property
+    def visited_fraction(self) -> float:
+        """Budgeted visits as a fraction of the exhaustive count."""
+        if not self.exhaustive_visited:
+            return 0.0
+        return self.budgeted_visited / self.exhaustive_visited
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "space": self.space,
+            "strategy": self.strategy,
+            "budget": self.budget,
+            "equivalent": self.equivalent,
+            "exhaustive_visited": self.exhaustive_visited,
+            "budgeted_visited": self.budgeted_visited,
+            "visited_fraction": round(self.visited_fraction, 4),
+            "frontier_size": self.frontier_size,
+        }
+
+    def summary(self) -> str:
+        verdict = "EQUIVALENT" if self.equivalent else "MISMATCH"
+        return (
+            f"{self.kernel}/{self.space or 'registered'} "
+            f"{self.strategy} budget={self.budget}: {verdict} "
+            f"(visited {self.budgeted_visited}/{self.exhaustive_visited}, "
+            f"frontier {self.frontier_size})"
+        )
+
+
+def check_frontier_equivalence(
+    kernel: str,
+    strategy: str,
+    *,
+    budget: Optional[Union[int, Dict[str, float]]] = None,
+    space: Optional[str] = None,
+    size_class: str = "MINI",
+    service=None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    device: str = "xc7z020",
+    seed: int = 17,
+) -> OracleResult:
+    """Run exhaustive and ``strategy`` over one shared cache; compare.
+
+    Returns the :class:`OracleResult` without judging it — use
+    :func:`assert_frontier_equivalence` to raise on mismatch.
+    """
+    from ..dse.explorer import explore
+    from ..service.service import CompilationService
+
+    if service is None:
+        service = CompilationService(
+            cache_dir=cache_dir, jobs=jobs, device=device
+        )
+
+    def run(strat, strat_budget):
+        return explore(
+            kernel,
+            size_class=size_class,
+            space=space,
+            service=service,
+            seed=seed,
+            strategy=strat,
+            budget=strat_budget,
+        )
+
+    exhaustive = run("exhaustive", None)
+    budgeted = run(strategy, budget)
+    left = frontier_fingerprint(exhaustive)
+    right = frontier_fingerprint(budgeted)
+    return OracleResult(
+        kernel=kernel,
+        space=space,
+        strategy=strategy,
+        budget=budget,
+        equivalent=left == right,
+        exhaustive_visited=exhaustive.visited,
+        budgeted_visited=budgeted.visited,
+        frontier_size=len(left),
+        exhaustive_fingerprint=left,
+        budgeted_fingerprint=right,
+        exhaustive_report=exhaustive,
+        budgeted_report=budgeted,
+    )
+
+
+def assert_frontier_equivalence(
+    kernel: str,
+    strategy: str,
+    *,
+    budget: Optional[Union[int, Dict[str, float]]] = None,
+    space: Optional[str] = None,
+    size_class: str = "MINI",
+    service=None,
+    cache_dir: Optional[str] = None,
+    jobs: int = 1,
+    device: str = "xc7z020",
+    seed: int = 17,
+    require_fewer_visits: bool = False,
+) -> OracleResult:
+    """The oracle proper: raise :class:`FrontierMismatch` unless the
+    budgeted frontier is bit-identical to the exhaustive one (and, with
+    ``require_fewer_visits``, the budgeted run visited strictly fewer
+    configurations).  Returns the passing :class:`OracleResult`."""
+    result = check_frontier_equivalence(
+        kernel,
+        strategy,
+        budget=budget,
+        space=space,
+        size_class=size_class,
+        service=service,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        device=device,
+        seed=seed,
+    )
+    if not result.equivalent:
+        missing = [
+            f for f in result.exhaustive_fingerprint
+            if f not in result.budgeted_fingerprint
+        ]
+        extra = [
+            f for f in result.budgeted_fingerprint
+            if f not in result.exhaustive_fingerprint
+        ]
+        raise FrontierMismatch(
+            f"{result.summary()}\n"
+            f"  missing from {strategy}: {missing}\n"
+            f"  extra in {strategy}: {extra}"
+        )
+    if require_fewer_visits and not (
+        result.budgeted_visited < result.exhaustive_visited
+    ):
+        raise FrontierMismatch(
+            f"{result.summary()}: budgeted strategy was required to "
+            f"visit strictly fewer configurations than exhaustive "
+            f"({result.budgeted_visited} >= {result.exhaustive_visited})"
+        )
+    return result

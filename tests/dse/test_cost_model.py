@@ -73,10 +73,15 @@ class TestEstimate:
         piped = estimate(gemm_profile, OptimizationConfig.optimized(ii=1))
         assert piped.latency < base.latency
 
-    def test_unroll_without_banks_buys_no_speedup(self, gemm_profile):
+    def test_unroll_without_banks_saves_only_loop_overhead(self, gemm_profile):
+        # Bank-starved outer unroll keeps the datapath serialised, so
+        # the only latency it buys is the amortised loop control of the
+        # unrolled level — a sliver, not a datapath speedup.  (The
+        # engine measures exactly this: gemm u1x2 beats baseline by the
+        # level-1 trip count.)
         base = estimate(gemm_profile, OptimizationConfig.baseline())
         unrolled = estimate(gemm_profile, OptimizationConfig.point(unroll={1: 4}))
-        assert unrolled.latency == pytest.approx(base.latency)
+        assert base.latency > unrolled.latency > base.latency * 0.95
 
     def test_unroll_with_banks_scales(self, gemm_profile):
         narrow = estimate(

@@ -1,0 +1,72 @@
+"""Budgeted strategies are deterministic: jobs- and cache-independent.
+
+The report contract (see :func:`repro.dse.explore`): everything except
+timing/cache provenance depends only on (kernel, size, space, strategy,
+budget, seed, device).  These tests compare full serialized reports with
+those fields stripped — across fresh caches in tier 1, and across
+``jobs=1`` vs ``jobs=4`` in the slow tier (spawning workers is the
+expensive part, the comparison is the same).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.dse import explore
+
+TIMING_REPORT_KEYS = ("seconds", "cache")
+TIMING_POINT_KEYS = ("compile_seconds", "cache_status")
+
+
+def canonical(report):
+    """The report JSON document minus timing/cache provenance."""
+    doc = copy.deepcopy(report.to_dict())
+    for key in TIMING_REPORT_KEYS:
+        doc.pop(key, None)
+    for point in doc["points"]:
+        for key in TIMING_POINT_KEYS:
+            point.pop(key, None)
+    return doc
+
+
+@pytest.mark.parametrize("strategy,budget", [("ranked", 6), ("halving", 6)])
+class TestFreshCacheDeterminism:
+    def test_two_fresh_caches_identical_modulo_timing(
+        self, tmp_path, strategy, budget
+    ):
+        def run(cache):
+            return explore(
+                "atax", size_class="MINI", space="default",
+                cache_dir=str(tmp_path / cache), jobs=1,
+                strategy=strategy, budget=budget, seed=17,
+            )
+
+        first, second = run("a"), run("b")
+        assert canonical(first) == canonical(second)
+        # And the run actually was budgeted, not a degenerate exhaustive.
+        assert first.visited <= budget
+        assert first.unvisited
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("strategy", ["ranked", "halving"])
+class TestJobsDeterminism:
+    def test_jobs_one_vs_four_identical_modulo_timing(
+        self, tmp_path, strategy
+    ):
+        def run(cache, jobs):
+            return explore(
+                "gemm", size_class="MINI", space="default",
+                cache_dir=str(tmp_path / cache), jobs=jobs,
+                strategy=strategy, budget=8, seed=17,
+            )
+
+        serial = run("serial", 1)
+        parallel = run("parallel", 4)
+        assert canonical(serial) == canonical(parallel)
+        assert [p.name for p in serial.points] == [
+            p.name for p in parallel.points
+        ]
+        assert serial.rounds == parallel.rounds

@@ -96,8 +96,11 @@ class TestObservability:
         child_names = [c.name for c in root.children]
         assert "dse-enumerate" in child_names
         assert "dse-prune" in child_names
-        assert "dse-batch" in child_names
+        assert "dse-search" in child_names
         assert "dse-reduce" in child_names
+        # The compile batches nest under the search span now that the
+        # strategy decides how many evaluate() rounds happen.
+        assert root.find("dse-batch")
         counters = registry.as_dict().get("dse", {})
         assert counters.get("points-enumerated") == report.enumerated
         assert counters.get("points-compiled") == len(report.points)
@@ -113,9 +116,17 @@ class TestReport:
 
         doc = json.loads(gemm_report.to_json())
         assert doc["kernel"] == "gemm"
-        assert doc["schema_version"] == 1
+        assert doc["schema_version"] == 2
         assert set(doc["frontier"]) == {p.name for p in gemm_report.frontier}
         assert doc["objectives"] == ["latency", "lut", "ff", "dsp", "bram_18k"]
+        assert doc["strategy"] == "exhaustive"
+        assert doc["compile_budget"] is None
+        assert doc["visited"] == len(gemm_report.points)
+        assert doc["unvisited"] == []
+        assert set(doc["dispositions"].values()) <= {
+            "compiled", "pruned-static", "unvisited-budget", "failed"
+        }
+        assert len(doc["dispositions"]) == doc["enumerated"]
 
     def test_best_config_under_budget(self, gemm_report):
         unbounded = gemm_report.best_config()

@@ -1,0 +1,189 @@
+"""The exhaustive-frontier equivalence oracle, exercised for real.
+
+Tier 1 runs the oracle machinery end-to-end on tiny spaces — equality,
+the mismatch path, and an actual budget saving (doitgen covers its tiny
+frontier in half the space).  The slow tier is the acceptance sweep:
+`ranked` and `halving` must reproduce the exhaustive frontier
+bit-for-bit on every suite kernel's tiny AND default space, and on at
+least one wide space a budgeted strategy must do it while visiting
+fewer than half the configurations.
+
+The budget table below holds the smallest budgets measured to cover
+each true frontier; shrinking a space or improving the cost model may
+lower them, but raising one means the ranking regressed — treat that as
+a bug, not a constant to bump.
+"""
+
+import pytest
+
+from repro.dse.cost_model import KernelProfile, estimate
+from repro.dse.space import DesignSpace
+from repro.service import CompilationService
+from repro.service.service import _sizes_for
+from repro.testing import (
+    FrontierMismatch,
+    assert_frontier_equivalence,
+    check_frontier_equivalence,
+    frontier_fingerprint,
+)
+from repro.workloads.polybench import build_kernel
+from repro.workloads.space import resolve_space
+from repro.workloads.suite import SUITE_SIZES
+
+KERNELS = sorted(SUITE_SIZES["MINI"].keys())
+
+#: Smallest budget at which both budgeted strategies reproduce the
+#: exhaustive frontier (measured; exhaustive visits 8 on tiny, 18 on
+#: default — 12 for jacobi_1d's shallower default space).
+TINY_BUDGET = {k: 8 for k in KERNELS}
+TINY_BUDGET.update({"doitgen": 4, "three_mm": 7})
+DEFAULT_BUDGET = {
+    "atax": 15,
+    "bicg": 16,
+    "doitgen": 12,
+    "gemm": 15,
+    "gesummv": 17,
+    "jacobi_1d": 10,
+    "jacobi_2d": 15,
+    "mvt": 16,
+    "seidel_2d": 15,
+    "symm": 17,
+    "syr2k": 17,
+    "syrk": 17,
+    "three_mm": 17,
+    "trmm": 17,
+    "two_mm": 15,
+}
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One shared cache for the whole module: each kernel's exhaustive
+    pass compiles once, every later oracle run replays from it."""
+    return CompilationService(
+        cache_dir=str(tmp_path_factory.mktemp("oracle-cache")), jobs=2
+    )
+
+
+class TestOracleMachinery:
+    def test_equivalent_on_tiny_space(self, service):
+        result = check_frontier_equivalence(
+            "gemm", "ranked", budget=TINY_BUDGET["gemm"], space="tiny",
+            service=service,
+        )
+        assert result.equivalent
+        assert result.exhaustive_fingerprint == result.budgeted_fingerprint
+        assert result.frontier_size == len(result.exhaustive_fingerprint)
+        assert 0.0 < result.visited_fraction <= 1.0
+
+    def test_fingerprint_is_sorted_and_name_keyed(self, service):
+        result = check_frontier_equivalence(
+            "gemm", "ranked", budget=TINY_BUDGET["gemm"], space="tiny",
+            service=service,
+        )
+        fp = frontier_fingerprint(result.exhaustive_report)
+        assert fp == sorted(fp)
+        assert all(isinstance(entry[0], str) and len(entry) == 6 for entry in fp)
+
+    def test_starved_budget_raises_with_missing_points(self, service):
+        # Budget 3 covers only the anchors plus one point; gemm's tiny
+        # frontier has six members, so the oracle must name the rest.
+        with pytest.raises(FrontierMismatch, match="missing from ranked"):
+            assert_frontier_equivalence(
+                "gemm", "ranked", budget=3, space="tiny", service=service
+            )
+
+    def test_require_fewer_visits_rejects_full_scan(self, service):
+        # gemm's tiny frontier needs the whole space, so a matching run
+        # cannot also visit fewer points — the wide-space guarantee must
+        # not silently degrade into "visited everything".
+        with pytest.raises(FrontierMismatch, match="strictly fewer"):
+            assert_frontier_equivalence(
+                "gemm", "ranked", budget=8, space="tiny", service=service,
+                require_fewer_visits=True,
+            )
+
+    def test_budget_saving_on_tiny_space(self, service):
+        # doitgen's tiny frontier sits entirely in the top half of the
+        # ranking: equality AND a real saving, tier-1 fast.
+        result = assert_frontier_equivalence(
+            "doitgen", "halving", budget=4, space="tiny", service=service,
+            require_fewer_visits=True,
+        )
+        assert result.budgeted_visited == 4
+        assert result.exhaustive_visited == 8
+
+    def test_result_dict_is_json_shaped(self, service):
+        result = check_frontier_equivalence(
+            "doitgen", "halving", budget=4, space="tiny", service=service
+        )
+        doc = result.to_dict()
+        assert doc["equivalent"] is True
+        assert doc["visited_fraction"] == 0.5
+        assert doc["strategy"] == "halving"
+
+
+@pytest.mark.slow
+class TestAcceptanceSweep:
+    @pytest.mark.parametrize("strategy", ["ranked", "halving"])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_tiny_space_bit_identical(self, service, kernel, strategy):
+        assert_frontier_equivalence(
+            kernel, strategy, budget=TINY_BUDGET[kernel], space="tiny",
+            service=service,
+        )
+
+    @pytest.mark.parametrize("strategy", ["ranked", "halving"])
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_default_space_bit_identical(self, service, kernel, strategy):
+        result = assert_frontier_equivalence(
+            kernel, strategy, budget=DEFAULT_BUDGET[kernel], space="default",
+            service=service,
+        )
+        assert result.budgeted_visited <= DEFAULT_BUDGET[kernel]
+
+    @pytest.mark.parametrize("strategy", ["ranked", "halving"])
+    def test_wide_space_under_half_the_visits(self, service, strategy):
+        # The headline guarantee: on trmm's 81-point wide space both
+        # budgeted strategies reproduce the frontier from 32 compiles.
+        result = assert_frontier_equivalence(
+            "trmm", strategy, budget=32, space="wide", service=service,
+            require_fewer_visits=True,
+        )
+        assert result.visited_fraction < 0.5
+
+
+@pytest.mark.slow
+class TestBoundAdmissibility:
+    """Empirical lock on the halving proof's premise: every measured
+    point sits componentwise at or above its static bound vector."""
+
+    @pytest.mark.parametrize("kernel", ["gemm", "seidel_2d", "symm"])
+    def test_bound_below_measurement(self, service, kernel):
+        from repro.dse import explore
+
+        report = explore(
+            kernel, size_class="MINI", space="default", service=service,
+            seed=17,
+        )
+        spec = build_kernel(kernel, **_sizes_for("MINI", kernel))
+        profile = KernelProfile.from_spec(spec)
+        space = DesignSpace.build(
+            resolve_space("default"), nest_depth=profile.depth
+        )
+        by_name = {c.name: c for c in space.candidates}
+        assert report.points
+        for point in report.points:
+            bound = estimate(profile, by_name[point.name], "xc7z020").bound_vector()
+            measured = (
+                float(point.latency),
+                float(point.lut),
+                float(point.ff),
+                float(point.dsp),
+                float(point.bram_18k),
+            )
+            for axis, (low, real) in enumerate(zip(bound, measured)):
+                assert low <= real, (
+                    f"{kernel}/{point.name}: bound axis {axis} "
+                    f"({low}) exceeds measurement ({real})"
+                )

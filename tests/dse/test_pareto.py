@@ -83,3 +83,65 @@ class TestFrontier:
 
     def test_objectives_are_the_report_axes(self):
         assert OBJECTIVES == ("latency", "lut", "ff", "dsp", "bram_18k")
+
+
+def random_points(seed):
+    """A seeded cloud with deliberate duplicates and near-ties."""
+    rng = random.Random(seed)
+    n = rng.randrange(2, 40)
+    points = [
+        point(
+            rng.randrange(1, 30),
+            lut=rng.randrange(1, 30),
+            ff=rng.randrange(1, 30),
+            dsp=rng.randrange(1, 8),
+            bram_18k=rng.randrange(1, 8),
+        )
+        for _ in range(n)
+    ]
+    # Duplicate a few points so tie behaviour is exercised every seed.
+    for _ in range(rng.randrange(0, 4)):
+        points.append(dict(rng.choice(points)))
+    return points
+
+
+@pytest.mark.parametrize("seed", range(40))
+class TestFrontierProperties:
+    """Seeded frontier laws, one seed per case so failures name the
+    reproducing input directly."""
+
+    def test_idempotent(self, seed):
+        points = random_points(seed)
+        once = pareto_frontier(points)
+        assert pareto_frontier(once) == once
+
+    def test_survivors_undominated(self, seed):
+        points = random_points(seed)
+        vectors = [objective_vector(p) for p in points]
+        for survivor in pareto_frontier(points):
+            sv = objective_vector(survivor)
+            assert not any(dominates(v, sv) for v in vectors)
+
+    def test_dropped_points_have_strict_dominator_among_survivors(
+        self, seed
+    ):
+        points = random_points(seed)
+        frontier = pareto_frontier(points)
+        front_vectors = [objective_vector(p) for p in frontier]
+        for p in points:
+            if p in frontier:
+                continue
+            v = objective_vector(p)
+            assert any(dominates(fv, v) for fv in front_vectors)
+
+    def test_permutation_invariant(self, seed):
+        points = random_points(seed)
+        rng = random.Random(seed + 1_000_000)
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        original = pareto_frontier(points)
+        permuted = pareto_frontier(shuffled)
+        # Same *set* of surviving vectors (with multiplicity); order
+        # follows the input by contract.
+        key = lambda p: objective_vector(p)
+        assert sorted(map(key, original)) == sorted(map(key, permuted))

@@ -1,0 +1,262 @@
+"""Search strategies: ranking determinism, budgets, halving feedback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dse.cost_model import KernelProfile, device_for, estimate
+from repro.dse.search import (
+    SEARCH_STRATEGIES,
+    ExhaustiveSearch,
+    HalvingSearch,
+    RankedSearch,
+    SearchContext,
+    SearchStrategy,
+    rank_candidates,
+    resolve_strategy,
+)
+from repro.dse.space import DesignSpace
+from repro.service.service import _sizes_for
+from repro.workloads.polybench import build_kernel
+from repro.workloads.space import resolve_space
+
+
+@pytest.fixture(scope="module")
+def gemm_setup():
+    spec = build_kernel("gemm", **_sizes_for("MINI", "gemm"))
+    profile = KernelProfile.from_spec(spec)
+    device = device_for("xc7z020")
+    space = DesignSpace.build(resolve_space("default"), nest_depth=profile.depth)
+    return profile, device, space
+
+
+def make_context(profile, device, space, budget=None):
+    return SearchContext(
+        kernel="gemm",
+        profile=profile,
+        device=device,
+        budget=budget,
+        anchor_names=frozenset(space.anchor_names),
+    )
+
+
+def fake_evaluate(profile, device):
+    """Deterministic measurement stub: estimate scaled up 1.25x.
+
+    Scaling up keeps the admissible-bound contract
+    (``bound_vector() <= measured`` componentwise) true by construction,
+    so halving's branch-and-bound pruning stays sound against it.
+    """
+
+    def evaluate(configs):
+        out = []
+        for config in configs:
+            est = estimate(profile, config, device)
+            out.append(tuple(x * 1.25 for x in est.vector()))
+        return out
+
+    return evaluate
+
+
+class TestRegistry:
+    def test_three_strategies_registered(self):
+        assert sorted(SEARCH_STRATEGIES) == ["exhaustive", "halving", "ranked"]
+
+    def test_resolve_by_name(self):
+        assert isinstance(resolve_strategy("ranked"), RankedSearch)
+        assert isinstance(resolve_strategy("halving"), HalvingSearch)
+        assert isinstance(resolve_strategy("exhaustive"), ExhaustiveSearch)
+
+    def test_resolve_none_is_exhaustive(self):
+        assert isinstance(resolve_strategy(None), ExhaustiveSearch)
+
+    def test_resolve_instance_passthrough(self):
+        strategy = HalvingSearch()
+        assert resolve_strategy(strategy) is strategy
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            resolve_strategy("genetic")
+
+
+class TestBudget:
+    def test_none_budget_means_everything(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=None)
+        assert (
+            SearchStrategy._effective_budget(space.candidates, context)
+            == len(space.candidates)
+        )
+
+    def test_budget_below_one_raises(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=0)
+        with pytest.raises(ValueError, match="budget must be >= 1"):
+            SearchStrategy._effective_budget(space.candidates, context)
+
+    def test_budget_floored_at_anchors_plus_one(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=1)
+        floor = len(space.anchor_names) + 1
+        assert (
+            SearchStrategy._effective_budget(space.candidates, context) == floor
+        )
+
+    def test_budget_capped_at_candidate_count(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=10_000)
+        assert (
+            SearchStrategy._effective_budget(space.candidates, context)
+            == len(space.candidates)
+        )
+
+
+class TestRanking:
+    def test_anchors_come_first(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space)
+        ranked = rank_candidates(space.candidates, context)
+        assert [c.name for c in ranked[:2]] == list(space.anchor_names)
+
+    def test_ranking_is_a_permutation(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space)
+        ranked = rank_candidates(space.candidates, context)
+        assert sorted(c.name for c in ranked) == sorted(
+            c.name for c in space.candidates
+        )
+
+    def test_ranking_deterministic_and_input_order_independent(
+        self, gemm_setup
+    ):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space)
+        forward = rank_candidates(space.candidates, context)
+        again = rank_candidates(space.candidates, context)
+        reversed_in = rank_candidates(
+            list(reversed(space.candidates)), context
+        )
+        assert [c.name for c in forward] == [c.name for c in again]
+        # Input permutation may only reorder anchors (they keep their
+        # input order); the est-ranked tail is a total order by (layer,
+        # est axes, name).
+        assert [c.name for c in forward[2:]] == [
+            c.name for c in reversed_in[2:]
+        ]
+
+
+class TestExhaustive:
+    def test_visits_everything_ignoring_budget(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=3)
+        outcome = ExhaustiveSearch().run(
+            space.candidates, fake_evaluate(profile, device), context
+        )
+        assert len(outcome.visited) == len(space.candidates)
+        assert outcome.unvisited == []
+        assert len(outcome.rounds) == 1
+        assert outcome.rounds[0].compiled == [
+            c.name for c in space.candidates
+        ]
+
+
+class TestRanked:
+    def test_truncates_to_budget(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=5)
+        outcome = RankedSearch().run(
+            space.candidates, fake_evaluate(profile, device), context
+        )
+        assert len(outcome.visited) == 5
+        assert len(outcome.unvisited) == len(space.candidates) - 5
+        assert len(outcome.rounds) == 1
+
+    def test_anchors_always_within_budget(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=3)
+        outcome = RankedSearch().run(
+            space.candidates, fake_evaluate(profile, device), context
+        )
+        visited = {c.name for c in outcome.visited}
+        assert set(space.anchor_names) <= visited
+
+
+class TestHalving:
+    def test_partition_of_candidates(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=9)
+        outcome = HalvingSearch().run(
+            space.candidates, fake_evaluate(profile, device), context
+        )
+        names = sorted(
+            c.name for c in outcome.visited + outcome.unvisited
+        )
+        assert names == sorted(c.name for c in space.candidates)
+        assert len(outcome.visited) <= 9
+
+    def test_rungs_halve_the_remaining_budget(self, gemm_setup):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=8)
+
+        # Neutralise pruning: measurements so far apart that nothing
+        # ever dominates a pending bound, leaving the pure rung math.
+        counter = iter(range(1, 10_000))
+
+        def spread_evaluate(configs):
+            return [
+                (1e9 / next(counter), 1e9, 1e9, 1e9, 1e9) for _ in configs
+            ]
+
+        outcome = HalvingSearch().run(
+            space.candidates, spread_evaluate, context
+        )
+        # 8 budget over an 18-point pool: rungs of 4, 2, 1, 1.
+        assert [len(r.compiled) for r in outcome.rounds] == [4, 2, 1, 1]
+        assert len(outcome.visited) == 8
+
+    def test_feedback_pruning_drops_provably_dominated_tail(
+        self, gemm_setup
+    ):
+        profile, device, space = gemm_setup
+        context = make_context(profile, device, space, budget=6)
+
+        def crushing_evaluate(configs):
+            # Every measurement is better than any candidate's bound can
+            # be — after round one the whole pool is provably dominated.
+            return [(0.0, 0.0, 0.0, 0.0, 0.0) for _ in configs]
+
+        outcome = HalvingSearch().run(
+            space.candidates, crushing_evaluate, context
+        )
+        assert len(outcome.rounds) == 1
+        assert outcome.rounds[0].feedback_pruned == len(
+            space.candidates
+        ) - len(outcome.visited)
+        assert len(outcome.visited) == 3  # first rung: ceil(6 / 2)
+
+    def test_deterministic_rounds(self, gemm_setup):
+        profile, device, space = gemm_setup
+
+        def run():
+            context = make_context(profile, device, space, budget=9)
+            return HalvingSearch().run(
+                space.candidates, fake_evaluate(profile, device), context
+            )
+
+        first, second = run(), run()
+        assert [r.to_dict() for r in first.rounds] == [
+            r.to_dict() for r in second.rounds
+        ]
+        assert [c.name for c in first.visited] == [
+            c.name for c in second.visited
+        ]
+
+
+class TestAdmissibleBound:
+    def test_bound_never_exceeds_estimate(self, gemm_setup):
+        profile, device, space = gemm_setup
+        for config in space.candidates:
+            est = estimate(profile, config, device)
+            assert all(
+                b <= v for b, v in zip(est.bound_vector(), est.vector())
+            )

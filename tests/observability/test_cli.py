@@ -1,13 +1,17 @@
-"""``python -m repro.observability`` CLI: trace/stats/diff/validate."""
+"""``python -m repro.observability`` CLI: trace/stats/diff/validate/hot."""
 
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
 from repro.observability.cli import main
 from repro.observability.schema import validate_chrome_trace
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+GEMM_TRACE = os.path.join(FIXTURES, "gemm-optimized-trace.json")
 
 
 class TestTrace:
@@ -105,3 +109,75 @@ class TestValidate:
         path = tmp_path / "nope.json"
         assert main(["validate", str(path)]) == 1
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestHot:
+    """Golden-input hotspot ranking over the committed gemm span tree."""
+
+    def test_ranking_over_committed_trace(self, capsys):
+        assert main(["hot", GEMM_TRACE]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines[0].startswith("hotspots:")
+        # The golden ordering by self time: affine-to-scf (0.6 ms) leads,
+        # the two cse runs (0.5 ms total) come second.
+        rank1, rank2 = lines[2].split(), lines[3].split()
+        assert rank1[0] == "1" and rank1[1] == "affine-to-scf"
+        assert rank2[0] == "2" and rank2[1] == "cse"
+        assert rank2[2] == "2"  # cse ran twice
+        # dce ran three times (cleanup twice + adaptor once).
+        dce = next(l.split() for l in lines if " dce " in f" {l} ")
+        assert dce[2] == "3"
+        # verify spans are a different category; never ranked as passes.
+        assert "verify" not in out
+
+    def test_golden_self_and_total_columns(self, capsys):
+        assert main(["hot", GEMM_TRACE, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        top = next(l for l in out.splitlines() if l.strip().startswith("1 "))
+        cols = top.split()
+        # affine-to-scf: committed duration 0.0006 s = 0.600 ms; its only
+        # child is a verify span, so self == total.
+        assert cols[1] == "affine-to-scf"
+        assert cols[3] == "0.600" and cols[4] == "0.600"
+        assert "more)" in out  # truncation note for the other 17 rows
+
+    def test_category_flag_ranks_other_span_kinds(self, capsys):
+        assert main(["hot", GEMM_TRACE, "--category", "lint-rule"]) == 0
+        out = capsys.readouterr().out
+        assert "gep-canonical-shape" in out
+        assert "affine-to-scf" not in out
+
+    def test_json_output_is_machine_readable(self, capsys):
+        assert main(["hot", GEMM_TRACE, "--json", "--top", "2"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["name"] for r in rows] == ["affine-to-scf", "cse"]
+        assert rows[1]["count"] == 2
+        assert rows[0]["self_s"] == pytest.approx(0.0006)
+        assert 0.0 < rows[0]["share"] < 1.0
+
+    def test_no_matching_category_exits_one(self, capsys):
+        assert main(["hot", GEMM_TRACE, "--category", "nosuch"]) == 1
+        assert "no 'nosuch'-category spans" in capsys.readouterr().out
+
+    def test_unreadable_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["hot", str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_chrome_trace_documents_also_load(self, tmp_path, capsys):
+        """`hot` accepts the exporter's Chrome format, not just span trees."""
+        path = tmp_path / "chrome.json"
+        path.write_text(json.dumps({
+            "traceEvents": [
+                {"name": "m2r", "cat": "pass", "ph": "X",
+                 "ts": 0.0, "dur": 1500.0, "pid": 1, "tid": 1},
+                {"name": "sccp", "cat": "pass", "ph": "X",
+                 "ts": 1500.0, "dur": 500.0, "pid": 1, "tid": 1},
+                {"name": "meta", "ph": "M", "args": {"name": "lane"}},
+            ]
+        }))
+        assert main(["hot", str(path)]) == 0
+        out = capsys.readouterr().out
+        first = next(l for l in out.splitlines() if l.strip().startswith("1 "))
+        assert first.split()[1] == "m2r"
+        assert "1.500" in first
