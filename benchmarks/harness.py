@@ -82,6 +82,9 @@ SERVICE = CompilationService(
     # $REPRO_DAEMON=host:port routes every harness batch through a
     # running compile daemon instead of compiling in-process.
     daemon=os.environ.get("REPRO_DAEMON") or None,
+    # $REPRO_BACKEND=dataflow reruns every table under another synthesis
+    # backend (repro.backends id); unset keeps the paper's static engine.
+    backend=os.environ.get("REPRO_BACKEND") or None,
 )
 
 

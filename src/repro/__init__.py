@@ -19,6 +19,9 @@ Layer map (bottom-up):
   Adaptor that rewrites modern LLVM IR into the HLS frontend's dialect.
 * :mod:`repro.hls` — Vitis-style HLS engine (strict frontend, scheduling,
   binding, csynth-style reports).
+* :mod:`repro.backends` — the backend-neutral engine contract and
+  registry: ``static`` (the Vitis-style engine above) and ``dataflow``
+  (dynamically scheduled, Dynamatic-style token-flow circuits).
 * :mod:`repro.hlscpp` — the baseline flow (HLS C++ codegen + C frontend).
 * :mod:`repro.flows` — end-to-end drivers and the comparison harness.
 * :mod:`repro.workloads` — PolyBench kernels with NumPy oracles and
@@ -45,6 +48,7 @@ __all__ = [
     "mlir",
     "adaptor",
     "hls",
+    "backends",
     "hlscpp",
     "flows",
     "workloads",

@@ -208,6 +208,7 @@ class HLSAdaptor:
         engine: Optional[DiagnosticEngine] = None,
         instrument: Optional[Callable[[str, ModulePass], ModulePass]] = None,
         lint: str = "gate",
+        lint_backend: Optional[str] = None,
     ):
         unknown = set(disable) - set(ADAPTOR_PASS_ORDER)
         if unknown:
@@ -231,6 +232,9 @@ class HLSAdaptor:
         self.engine = engine or DiagnosticEngine()
         self.instrument = instrument
         self.lint = lint
+        # Which synthesis backend the lint verdict should be judged for
+        # (rule applicability is per-backend); None = default backend.
+        self.lint_backend = lint_backend
 
     # -- pipeline assembly --------------------------------------------------------
     def _build_pass(self, name: str) -> ModulePass:
@@ -357,7 +361,7 @@ class HLSAdaptor:
         # import here would be circular.
         from ..lint import run_lint
 
-        lint_report = run_lint(module)
+        lint_report = run_lint(module, backend=self.lint_backend)
         for finding in lint_report.findings:
             self.engine.warning(
                 finding.code,

@@ -22,9 +22,37 @@ Both are re-exported from the top-level :mod:`repro` package::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-__all__ = ["CompileResult", "compile_kernel", "explore"]
+__all__ = ["CompileResult", "backends", "compile_kernel", "explore"]
+
+
+def backends() -> List[Dict[str, Any]]:
+    """The registered synthesis backends, default first.
+
+    Each entry is the backend's id plus its capability sheet — the
+    scheduling discipline, the directive vocabulary it honours, and the
+    sharing model — so callers can pick a ``backend=`` value without
+    importing :mod:`repro.backends` directly::
+
+        >>> [b["id"] for b in repro.api.backends()]
+        ['static', 'dataflow']
+    """
+    from .backends import backend_ids, get_backend_class
+
+    out: List[Dict[str, Any]] = []
+    for backend_id in backend_ids():
+        caps = get_backend_class(backend_id).capabilities
+        out.append(
+            {
+                "id": backend_id,
+                "scheduling": caps.scheduling,
+                "directives": list(caps.directives),
+                "respects_ii": caps.respects_ii,
+                "shares_functional_units": caps.shares_functional_units,
+            }
+        )
+    return out
 
 
 @dataclass
@@ -83,6 +111,7 @@ def compile_kernel(
     device: str = "xc7z020",
     lint: str = "gate",
     trace: bool = False,
+    backend: Optional[str] = None,
 ) -> CompileResult:
     """Compile one suite kernel through the adaptor flow.
 
@@ -91,7 +120,9 @@ def compile_kernel(
     ``config`` (a registry name or an :class:`OptimizationConfig`), and
     runs the paper's flow with the lint gate in ``lint`` mode.  With
     ``trace=True`` the result carries the serialized span tree of the
-    compile.
+    compile.  ``backend`` picks the synthesis engine by registry id
+    (see :func:`backends`; ``None`` = static) — the lint gate and the
+    report both follow the chosen backend.
 
     This is a *direct* compile — no cache, no subprocess — so the result
     always reflects the code as it stands.  For batch/caching behaviour
@@ -111,7 +142,7 @@ def compile_kernel(
 
     tracer = Tracer(name=f"{name}:{config_obj.name}") if trace else NULL_TRACER
     with use_tracer(tracer):
-        flow = run_adaptor_flow(spec, device=device, lint=lint)
+        flow = run_adaptor_flow(spec, device=device, lint=lint, backend=backend)
 
     lint_report = flow.lint_report
     device_model = DEVICES.get(device)
@@ -147,6 +178,7 @@ def explore(
     seed: int = 17,
     policy: Optional["FailurePolicy"] = None,
     daemon: Optional[str] = None,
+    backends: Optional[Union[str, Sequence[str]]] = None,
 ):
     """Explore ``name``'s directive space; returns a :class:`DSEReport`.
 
@@ -165,6 +197,9 @@ def explore(
     :class:`repro.service.FailurePolicy`) makes the sweep resilient:
     under ``continue``/``retry`` a crashing point is recorded in the
     report's ``failed`` list instead of aborting the exploration.
+    ``backends`` makes the synthesis engine itself a design-space axis
+    (ids from :func:`backends`, e.g. ``["static", "dataflow"]``): the
+    frontier is computed over the union of every backend's points.
     """
     from .dse.explorer import explore as dse_explore
 
@@ -180,4 +215,5 @@ def explore(
         strategy=strategy,
         policy=policy,
         daemon=daemon,
+        backends=backends,
     )

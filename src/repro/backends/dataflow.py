@@ -1,0 +1,514 @@
+"""``backends.dataflow`` — a dynamically scheduled dataflow-circuit engine.
+
+Instead of solving for a static schedule, this backend maps every
+operation to its own handshake-style unit (Dynamatic's elastic-circuit
+model): values travel as tokens, an operation *fires* the cycle all its
+input tokens have arrived and a memory port is free, forks replicate
+tokens to multiple consumers, a per-loop mux admits one new iteration
+token per cycle, and elastic buffers on loop back edges carry values
+across iterations.  Nothing requests an II — the achieved II *emerges*
+from simulating token flow around the circuit: successive iterations
+overlap exactly as far as loop-carried dependences and memory-port
+arbitration allow.
+
+Consequences the reports make visible:
+
+* every loop is effectively pipelined, directives or not — ``pipeline``/
+  ``ii`` directives are outside this backend's vocabulary and are
+  recorded as ignored rather than honoured;
+* there is no functional-unit sharing: each operation owns a unit, plus
+  handshake/fork/buffer overhead, so area runs higher than the static
+  binder's for the same IR;
+* the memory system is shared with the static backend (same
+  :class:`~repro.hls.memory.MemoryModel`, same banking, same
+  ports-per-bank), so ``partition`` directives matter just as much.
+
+The loop-tree composition (trip ranges, directive decoding, region DAG)
+is shared with the static engine through the module-level helpers in
+:mod:`repro.hls.engine` — backends differ in scheduling, never in how
+they read the IR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..hls.binding import AreaEstimate, merge_area
+from ..hls.cdfg import BlockDFG, CarriedDep, build_block_dfg, carried_dependences
+from ..hls.device import Device
+from ..hls.engine import (
+    HLSEngine,
+    find_top_function,
+    loop_directives_for,
+    region_graph,
+    trip_range,
+)
+from ..hls.frontend import HLSFrontend
+from ..hls.memory import PORTS_PER_BANK, MemoryModel
+from ..hls.modulo import rec_mii, res_mii
+from ..hls.operators import OperatorLibrary
+from ..hls.report import LoopReport, SynthReport
+from ..ir.analysis.cfg import reverse_postorder
+from ..ir.analysis.loops import Loop, LoopInfo
+from ..ir.module import BasicBlock, Module
+from .base import BackendCapabilities, HLSBackend, register_backend
+
+__all__ = ["DataflowBackend", "TokenSimResult", "simulate_tokens"]
+
+# -- handshake-unit area model ----------------------------------------------
+# Per-unit elastic control (valid/ready pair, join logic).
+_HANDSHAKE_LUT = 8
+_HANDSHAKE_FF = 16
+# Eager fork: per extra consumer of a value.
+_FORK_LUT = 4
+_FORK_FF = 8
+# Two-slot elastic buffer on every loop back edge (one per carried dep).
+_ELASTIC_LUT = 16
+_ELASTIC_FF = 32
+# Loop entry: mux + iteration-token regeneration, per loop.
+_LOOP_MUX_LUT = 30
+_LOOP_MUX_FF = 40
+# Function-level start/done handshake (cheaper than a central FSM).
+_FUNCTION_CONTROL_LUT = 120
+_FUNCTION_CONTROL_FF = 160
+
+#: Crossing a back-edge elastic buffer costs one cycle.
+_BUFFER_DELAY = 1
+#: Iterations simulated before extrapolating the steady-state II.
+_SIM_WINDOW = 12
+
+
+@dataclass
+class TokenSimResult:
+    """What simulating token flow around one loop body produced."""
+
+    ii: int  # emergent steady-state initiation interval
+    iteration_latency: int  # first-iteration completion time
+    completions: List[int]  # completion time per simulated iteration
+    simulated: int  # iterations actually simulated
+
+    def latency(self, trip: int) -> int:
+        """Total loop latency for ``trip`` iterations (+ enter/exit)."""
+        if trip <= 0:
+            return 1
+        if trip <= self.simulated:
+            return self.completions[trip - 1] + 2
+        return self.completions[-1] + (trip - self.simulated) * self.ii + 2
+
+
+def _carried_weight(dep: CarriedDep) -> int:
+    """Token latency a carried dependence imposes (mirrors the modulo
+    scheduler's weights, plus the elastic-buffer hop on the back edge)."""
+    if dep.kind == "WAR":
+        return _BUFFER_DELAY
+    if dep.kind == "REG":
+        return dep.src.latency + _BUFFER_DELAY
+    return max(dep.src.latency, 1) + _BUFFER_DELAY
+
+
+class _PortLedger:
+    """Per-cycle memory-port arbitration across the whole simulation.
+
+    Tokens fire in dataflow order, but a load/store still needs a free
+    port on its bank that cycle; a wildcard access (bank unresolvable)
+    must reserve a port on every bank of its buffer, exactly as the
+    static scheduler's port table treats it."""
+
+    def __init__(self):
+        self._used: Dict[Tuple[int, int, int], int] = {}
+
+    def acquire(self, site, ready: int) -> int:
+        buffer = site.buffer
+        banks = (
+            list(range(buffer.banks)) if site.bank is None else [site.bank]
+        )
+        cycle = ready
+        while True:
+            if all(
+                self._used.get((id(buffer), bank, cycle), 0) < PORTS_PER_BANK
+                for bank in banks
+            ):
+                for bank in banks:
+                    key = (id(buffer), bank, cycle)
+                    self._used[key] = self._used.get(key, 0) + 1
+                return cycle
+            cycle += 1
+
+
+def _topological(dfg: BlockDFG) -> List:
+    """Nodes in intra-iteration dependence order (the DFG is a DAG)."""
+    indegree = {id(n): 0 for n in dfg.nodes}
+    for node in dfg.nodes:
+        for succ, _ in node.succs:
+            indegree[id(succ)] += 1
+    ready = [n for n in dfg.nodes if indegree[id(n)] == 0]
+    order = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for succ, _ in node.succs:
+            indegree[id(succ)] -= 1
+            if indegree[id(succ)] == 0:
+                ready.append(succ)
+    return order if len(order) == len(dfg.nodes) else list(dfg.nodes)
+
+
+def simulate_tokens(
+    dfg: BlockDFG,
+    carried: List[CarriedDep],
+    trips: int,
+    window: int = _SIM_WINDOW,
+) -> TokenSimResult:
+    """Fire tokens around the loop circuit and read off the emergent II.
+
+    Discrete-event simulation over ``min(trips, window)`` iterations:
+    operation *n* of iteration *i* fires at the earliest cycle where all
+    same-iteration predecessor tokens have arrived, every carried token
+    from iteration ``i - distance`` has crossed its back-edge buffer,
+    the loop mux has admitted the iteration (one per cycle), and a
+    memory port is free.  The steady-state II is the completion-time
+    delta once successive deltas stabilise; irregular tails fall back to
+    the average delta, rounded up.
+    """
+    order = _topological(dfg)
+    carried_in: Dict[int, List[CarriedDep]] = {}
+    for dep in carried:
+        carried_in.setdefault(id(dep.dst), []).append(dep)
+
+    simulated = max(1, min(trips, window))
+    ports = _PortLedger()
+    starts: List[Dict[int, int]] = []
+    completions: List[int] = []
+    for i in range(simulated):
+        fire: Dict[int, int] = {}
+        # The mux admits iteration i's token no earlier than cycle i.
+        admitted = i
+        complete = admitted
+        for node in order:
+            ready = admitted
+            for pred, weight in node.preds:
+                ready = max(ready, fire[id(pred)] + weight)
+            for dep in carried_in.get(id(node), ()):
+                if i >= dep.distance:
+                    ready = max(
+                        ready,
+                        starts[i - dep.distance][id(dep.src)]
+                        + _carried_weight(dep),
+                    )
+            if node.site is not None:
+                ready = ports.acquire(node.site, ready)
+            fire[id(node)] = ready
+            complete = max(complete, ready + max(node.latency, 1))
+        starts.append(fire)
+        completions.append(complete)
+
+    if simulated >= 2:
+        deltas = [
+            completions[i] - completions[i - 1] for i in range(1, simulated)
+        ]
+        tail = deltas[-min(3, len(deltas)):]
+        if len(set(tail)) == 1:
+            ii = max(1, tail[0])
+        else:
+            ii = max(1, -(-sum(deltas) // len(deltas)))
+    else:
+        ii = max(1, completions[0])
+    return TokenSimResult(
+        ii=ii,
+        iteration_latency=max(1, completions[0]),
+        completions=completions,
+        simulated=simulated,
+    )
+
+
+@dataclass
+class _LoopResult:
+    latency_min: int
+    latency_max: int
+    report: LoopReport
+    area: AreaEstimate
+
+
+@register_backend
+class DataflowBackend(HLSBackend):
+    """Dynamically scheduled handshake circuits; II emerges from token
+    flow, every operation owns its unit."""
+
+    id = "dataflow"
+    capabilities = BackendCapabilities(
+        scheduling="dynamic",
+        directives=("unroll", "partition"),
+        respects_ii=False,
+        shares_functional_units=False,
+    )
+
+    def __init__(
+        self,
+        device: Union[str, Device] = "xc7z020",
+        library: Optional[OperatorLibrary] = None,
+        strict_frontend: bool = True,
+    ):
+        super().__init__(
+            device=device, library=library, strict_frontend=strict_frontend
+        )
+        self.frontend = HLSFrontend(strict=strict_frontend)
+
+    # -- public API ---------------------------------------------------------
+    def synthesize(self, module: Module, top: Optional[str] = None) -> SynthReport:
+        diag = self.frontend.check(module)
+        fn = find_top_function(module, top)
+        report = SynthReport(
+            function=fn.name,
+            flow=module.source_flow or "unknown",
+            device=self.device,
+            backend=self.id,
+            frontend_warnings=list(diag.warnings),
+            dropped_directives=diag.dropped_directives,
+        )
+        memory = MemoryModel(fn)
+        loop_info = LoopInfo(fn)
+
+        loop_results: Dict[int, _LoopResult] = {}
+        loop_counter = [0]
+        ignored_static = [0]
+        areas: List[AreaEstimate] = []
+
+        def process_loop(loop: Loop, depth: int) -> _LoopResult:
+            for child in loop.children:
+                if id(child.header) not in loop_results:
+                    loop_results[id(child.header)] = process_loop(child, depth + 1)
+            result = self._schedule_loop(
+                loop, depth, memory, loop_info, loop_results,
+                loop_counter, ignored_static,
+            )
+            loop_results[id(loop.header)] = result
+            areas.append(result.area)
+            return result
+
+        for loop in loop_info.top_level:
+            process_loop(loop, 1)
+
+        lat_min, lat_max, top_area = self._compose_region(
+            [b for b in reverse_postorder(fn) if loop_info.loop_for(b) is None],
+            loop_info.top_level,
+            loop_results,
+            memory,
+        )
+        areas.append(top_area)
+
+        report.latency_min = lat_min
+        report.latency_max = lat_max
+        total_area = merge_area(*areas)
+        total_area.lut += _FUNCTION_CONTROL_LUT + _LOOP_MUX_LUT * len(
+            loop_info.all_loops()
+        )
+        total_area.ff += _FUNCTION_CONTROL_FF + _LOOP_MUX_FF * len(
+            loop_info.all_loops()
+        )
+        total_area.bram_18k += memory.total_bram18()
+        report.resources = total_area.as_dict()
+        report.fu_instances = total_area.fu_instances
+        if ignored_static[0]:
+            report.frontend_warnings.append(
+                f"{ignored_static[0]} static-scheduling directive(s) "
+                f"(pipeline/II) ignored: dataflow II is emergent"
+            )
+        order = {id(b): i for i, b in enumerate(fn.blocks)}
+        report.loops = [
+            loop_results[id(l.header)].report
+            for l in sorted(loop_info.all_loops(), key=lambda l: order[id(l.header)])
+        ]
+        return report
+
+    # -- loop handling ------------------------------------------------------
+    def _schedule_loop(
+        self,
+        loop: Loop,
+        depth: int,
+        memory: MemoryModel,
+        loop_info: LoopInfo,
+        loop_results: Dict[int, _LoopResult],
+        counter: List[int],
+        ignored_static: List[int],
+    ) -> _LoopResult:
+        counter[0] += 1
+        name = f"L{counter[0]}_{loop.header.name}"
+        directives = loop_directives_for(loop)
+        if directives.pipeline:
+            ignored_static[0] += 1
+        trip_min, trip_max = trip_range(loop, loop_info)
+
+        own_blocks = [
+            b
+            for b in loop.blocks
+            if loop_info.loop_for(b) is loop and b is not loop.header
+        ]
+        counted = loop.counted_form()
+        iv = counted.indvar if counted else None
+
+        unroll = 1
+        if directives.unroll_full and trip_min == trip_max:
+            unroll = max(trip_max, 1)
+        elif directives.unroll:
+            unroll = max(1, directives.unroll)
+        unroll = min(unroll, max(trip_max, 1))
+
+        innermost = not loop.children and len(own_blocks) == 1
+
+        if innermost:
+            body = own_blocks[0]
+            dfg = build_block_dfg(body, self.library, memory, unroll=unroll)
+            carried = carried_dependences(dfg, iv, loop)
+            eff_trip_min = -(-trip_min // unroll) if trip_min else 0
+            eff_trip_max = -(-trip_max // unroll) if trip_max else 0
+            sim = simulate_tokens(dfg, carried, max(eff_trip_max, 1))
+            lat_min = sim.latency(eff_trip_min)
+            lat_max = sim.latency(eff_trip_max)
+            area = self._circuit_area(dfg, carried)
+            loop_report = LoopReport(
+                name=name,
+                depth=depth,
+                trip_count_min=eff_trip_min,
+                trip_count_max=eff_trip_max,
+                iteration_latency=sim.iteration_latency,
+                ii=sim.ii,
+                latency_min=lat_min,
+                latency_max=lat_max,
+                pipelined=True,  # iteration overlap is the default here
+                unroll_factor=unroll,
+                # Diagnostics, not inputs: the port bound and the
+                # recurrence bound the emergent II is squeezed between.
+                res_mii=res_mii(dfg),
+                rec_mii=rec_mii(dfg, carried),
+            )
+            return _LoopResult(lat_min, lat_max, loop_report, area)
+
+        # Outer loop: iterations stay sequential (the circuit re-enters
+        # the region), body composed as a DAG of units.
+        il_min, il_max, area = self._compose_region(
+            own_blocks, loop.children, loop_results, memory, unroll=unroll
+        )
+        il_min = max(il_min, 1)
+        il_max = max(il_max, 1)
+        eff_trip_min = -(-trip_min // unroll) if unroll > 1 else trip_min
+        eff_trip_max = -(-trip_max // unroll) if unroll > 1 else trip_max
+        lat_min = eff_trip_min * il_min + 2
+        lat_max = eff_trip_max * il_max + 2
+        loop_report = LoopReport(
+            name=name,
+            depth=depth,
+            trip_count_min=eff_trip_min,
+            trip_count_max=eff_trip_max,
+            iteration_latency=il_max,
+            ii=None,
+            latency_min=lat_min,
+            latency_max=lat_max,
+            pipelined=False,
+            unroll_factor=unroll,
+        )
+        return _LoopResult(lat_min, lat_max, loop_report, area)
+
+    # -- region composition -------------------------------------------------
+    def _compose_region(
+        self,
+        blocks: List[BasicBlock],
+        child_loops: List[Loop],
+        loop_results: Dict[int, _LoopResult],
+        memory: MemoryModel,
+        unroll: int = 1,
+    ) -> Tuple[int, int, AreaEstimate]:
+        """Longest path through the shared region DAG with dataflow
+        weights: straight-line blocks cost their token critical path."""
+        units, succs = region_graph(blocks, child_loops)
+
+        weights_min: Dict[int, int] = {}
+        weights_max: Dict[int, int] = {}
+        areas: List[AreaEstimate] = []
+        for key, unit in units.items():
+            if isinstance(unit, Loop):
+                result = loop_results[id(unit.header)]
+                serial = 1
+                if unroll > 1:
+                    serial = HLSEngine._unroll_serialization(unit, memory, unroll)
+                    parallel = -(-unroll // serial)
+                    if parallel > 1:
+                        areas.append(
+                            _replicated_circuit(result.area, parallel - 1)
+                        )
+                weights_min[key] = result.latency_min * serial
+                weights_max[key] = result.latency_max * serial
+            else:
+                dfg = build_block_dfg(unit, self.library, memory, unroll=unroll)
+                if dfg.nodes:
+                    sim = simulate_tokens(dfg, [], trips=1)
+                    weights_min[key] = weights_max[key] = sim.iteration_latency
+                    areas.append(self._circuit_area(dfg, []))
+                else:
+                    weights_min[key] = weights_max[key] = 1
+
+        memo: Dict[int, int] = {}
+
+        def longest(key: int, weights: Dict[int, int]) -> int:
+            if key in memo:
+                return memo[key]
+            memo[key] = weights[key]  # guard against (unexpected) cycles
+            best = 0
+            for nxt in succs[key]:
+                best = max(best, longest(nxt, weights))
+            memo[key] = weights[key] + best
+            return memo[key]
+
+        roots = _roots(units, succs)
+        lat_min = max((longest(r, weights_min) for r in roots), default=1)
+        memo.clear()
+        lat_max = max((longest(r, weights_max) for r in roots), default=1)
+        merged = merge_area(*areas) if areas else AreaEstimate()
+        return lat_min, lat_max, merged
+
+    # -- area ---------------------------------------------------------------
+    def _circuit_area(
+        self, dfg: BlockDFG, carried: List[CarriedDep]
+    ) -> AreaEstimate:
+        """Dedicated units, handshake overhead, forks, elastic buffers.
+
+        No sharing: every node pays its full operator area.  memport
+        nodes carry no operator area (the memory model budgets BRAM) but
+        still pay handshake control."""
+        area = AreaEstimate()
+        for node in dfg.nodes:
+            spec = self.library.spec_for(node.inst)
+            area.lut += spec.lut + _HANDSHAKE_LUT
+            area.ff += spec.ff + _HANDSHAKE_FF
+            area.dsp += spec.dsp
+            if spec.resource_class and spec.resource_class != "memport":
+                area.fu_instances[spec.resource_class] = (
+                    area.fu_instances.get(spec.resource_class, 0) + 1
+                )
+            extra_consumers = max(0, len(node.succs) - 1)
+            area.lut += _FORK_LUT * extra_consumers
+            area.ff += _FORK_FF * extra_consumers
+        area.lut += _ELASTIC_LUT * len(carried)
+        area.ff += _ELASTIC_FF * len(carried)
+        return area
+
+
+def _roots(units: Dict[int, object], succs: Dict[int, List[int]]) -> List[int]:
+    has_pred: set = set()
+    for targets in succs.values():
+        has_pred.update(targets)
+    roots = [key for key in units if key not in has_pred]
+    return roots or list(units)
+
+
+def _replicated_circuit(area: AreaEstimate, copies: int) -> AreaEstimate:
+    """Extra parallel copies of a circuit region (BRAM stays shared)."""
+    return AreaEstimate(
+        lut=area.lut * copies,
+        ff=area.ff * copies,
+        dsp=area.dsp * copies,
+        bram_18k=0,
+        fu_instances={
+            cls: n * (copies + 1) for cls, n in area.fu_instances.items()
+        },
+    )

@@ -1,0 +1,55 @@
+"""``backends.static`` — the Vitis-style statically scheduled engine.
+
+A thin contract adapter over :class:`repro.hls.engine.HLSEngine`: the
+scheduling/binding/report code is untouched, so reports stay
+bit-identical to the pre-registry engine (the backend-neutrality sweep
+asserts exactly that).  What this class adds is the contract surface —
+capabilities, directive vocabulary, the backend id stamped on reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..hls.device import Device
+from ..hls.engine import HLSEngine
+from ..hls.operators import OperatorLibrary
+from ..hls.report import SynthReport
+from ..ir.module import Module
+from .base import BackendCapabilities, HLSBackend, register_backend
+
+__all__ = ["StaticBackend"]
+
+
+@register_backend
+class StaticBackend(HLSBackend):
+    """Static scheduling: ASAP/list scheduling plus iterative modulo
+    scheduling for pipelined loops, FU sharing through the binder."""
+
+    id = "static"
+    capabilities = BackendCapabilities(
+        scheduling="static",
+        directives=("pipeline", "ii", "unroll", "partition"),
+        respects_ii=True,
+        shares_functional_units=True,
+    )
+
+    def __init__(
+        self,
+        device: Union[str, Device] = "xc7z020",
+        library: Optional[OperatorLibrary] = None,
+        strict_frontend: bool = True,
+    ):
+        super().__init__(
+            device=device, library=library, strict_frontend=strict_frontend
+        )
+        self._engine = HLSEngine(
+            device=self.device,
+            library=self.library,
+            strict_frontend=strict_frontend,
+        )
+
+    def synthesize(self, module: Module, top: Optional[str] = None) -> SynthReport:
+        report = self._engine.synthesize(module, top)
+        report.backend = self.id
+        return report

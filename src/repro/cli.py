@@ -64,6 +64,11 @@ def _configure_bench(sub) -> None:
         "--daemon", default=None, metavar="ADDR",
         help="route compilation through a running compile daemon",
     )
+    bench.add_argument(
+        "--backend", default=None, metavar="ID",
+        help="synthesis backend for every compile (repro.backends id, "
+        "e.g. static or dataflow; default: static)",
+    )
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -71,7 +76,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     service = CompilationService(
-        cache_dir=args.cache_dir, jobs=jobs, daemon=args.daemon
+        cache_dir=args.cache_dir, jobs=jobs, daemon=args.daemon,
+        backend=getattr(args, "backend", None),
     )
     config_names = [c for c in args.configs.split(",") if c]
     kernels = args.kernels.split(",") if args.kernels else None
@@ -92,7 +98,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         header += f" {'speedup':>8}"
     lines = [
         f"bench: size={args.size} jobs={jobs} "
-        f"configs={','.join(config_names)}",
+        f"configs={','.join(config_names)} backend={service.backend}",
         "",
         header,
     ]

@@ -61,6 +61,8 @@ ERROR_CODES: Dict[str, str] = {
     "REPRO-LINT-008": "lint: interface contract violation on a top function",
     "REPRO-LINT-009": "lint: modern attribute or fast-math spelling",
     "REPRO-LINT-010": "lint: struct-typed SSA register or argument",
+    "REPRO-LINT-011": "lint: static-scheduling directives ignored by a dataflow backend",
+    "REPRO-LINT-012": "lint: unbanked multi-access buffer serialises a dataflow circuit",
 }
 
 

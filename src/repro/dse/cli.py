@@ -123,6 +123,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="route the sweep's batches through a running compile daemon "
         "at ADDR (host:port or unix:/path.sock)",
     )
+    parser.add_argument(
+        "--backend", default=None, metavar="ID[,ID...]",
+        help="synthesis backend(s) to explore as a design-space axis "
+        "(repro.backends ids, e.g. 'static', 'dataflow', or "
+        "'static,dataflow' to sweep both; default: static)",
+    )
 
 
 def run(args: argparse.Namespace) -> int:
@@ -150,6 +156,7 @@ def run(args: argparse.Namespace) -> int:
             budget=args.budget,
             strategy=args.strategy,
             policy=policy,
+            backends=getattr(args, "backend", None),
         )
 
     if args.trace_out:

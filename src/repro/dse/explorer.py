@@ -22,8 +22,9 @@ went and stats diffs show how hard the pruner — and the budget — worked.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..backends import DEFAULT_BACKEND, create_backend, resolve_backend_id
 from ..observability import get_statistics, get_tracer
 from ..service.resilience import FailurePolicy
 from ..service.service import CompilationService, CompileRequest, _sizes_for
@@ -75,6 +76,7 @@ def explore(
     strategy: Optional[Union[str, SearchStrategy]] = "exhaustive",
     policy: Optional[FailurePolicy] = None,
     daemon: Optional[str] = None,
+    backends: Optional[Union[str, Sequence[str]]] = None,
 ) -> DSEReport:
     """Explore ``kernel``'s directive space and return the DSE report.
 
@@ -106,6 +108,17 @@ def explore(
     batch: under ``continue``/``retry`` a crashing design point lands in
     ``report.failed`` instead of aborting the sweep — the frontier is
     computed over the points that *did* compile.
+
+    ``backends`` adds the synthesis engine as a design-space axis: a
+    ``repro.backends`` id, a comma-separated string, or a sequence of
+    ids (``None`` = the service's configured backend).  Each backend
+    first collapses survivors whose configs project to the same design
+    under its directive vocabulary (``project_signature`` — dataflow
+    ignores pipeline/II, so those variants compile once), then runs the
+    search over the rest.  Points from non-default backends are named
+    ``<config>@<backend>`` and carry ``DSEPoint.backend``; the frontier
+    is computed over the union, so a mixed sweep answers "which engine
+    wins where" directly.
     """
     tracer = get_tracer()
     stats = get_statistics()
@@ -117,6 +130,23 @@ def explore(
     sizes = _sizes_for(size_class, kernel)
     search = resolve_strategy(strategy)
     compile_budget, resource_budget = split_budget(budget)
+
+    if backends is None:
+        backend_ids = [getattr(service, "backend", None) or DEFAULT_BACKEND]
+    else:
+        if isinstance(backends, str):
+            backends = [b for b in backends.split(",") if b]
+        backend_ids = []
+        for candidate in backends:
+            backend_id = resolve_backend_id(candidate)
+            if backend_id not in backend_ids:
+                backend_ids.append(backend_id)
+        if not backend_ids:
+            backend_ids = [DEFAULT_BACKEND]
+    engines = {
+        backend_id: create_backend(backend_id, device=service.device)
+        for backend_id in backend_ids
+    }
 
     with tracer.span(
         f"dse:{kernel}", category="dse",
@@ -142,6 +172,7 @@ def explore(
             budget=resource_budget,
             strategy=search.name,
             compile_budget=compile_budget,
+            backends=list(backend_ids),
         )
 
         with tracer.span("dse-prune", category="dse") as prune_span:
@@ -161,83 +192,141 @@ def explore(
 
         batch_seconds = 0.0
 
-        def evaluate(configs) -> List[Optional[tuple]]:
-            """Compile one strategy round; feed measured vectors back.
+        def project_survivors(backend_id, engine, tag):
+            """Collapse survivors the backend cannot tell apart.
 
-            Appends the round's rows to the report as a side effect —
-            points accumulate across halving rungs exactly as they did
-            across the single exhaustive batch.
+            Two configs whose :meth:`project_signature` agree produce
+            the same circuit under this backend (dataflow ignores
+            pipeline/II), so only the first of each group — plus every
+            anchor, which strategies must visit — spends a compile.
             """
-            nonlocal batch_seconds
-            requests = [
-                CompileRequest(
-                    kernel=kernel,
-                    config=config,
-                    sizes=sizes,
-                    size_class=size_class,
-                    check_equivalence=check_equivalence,
-                    seed=seed,
-                )
-                for config in configs
-            ]
-            batch = service.compile_batch(
-                requests, span_name="dse-batch", policy=policy
-            )
-            vectors: List[Optional[tuple]] = [None] * len(requests)
-            # Walk outcomes, not comparisons: under a continue/retry
-            # policy the batch is partial, and outcome.index is the only
-            # honest join back to this round's configs.
-            for outcome in batch.outcomes:
-                config = configs[outcome.index]
-                comparison = batch.comparison_for(outcome)
-                if comparison is None:
-                    report.failed.append(
-                        {"name": config.name, **outcome.to_dict()}
+            selected, seen = [], {}
+            for config in survivors:
+                signature = engine.project_signature(config)
+                holder = seen.get(signature)
+                if holder is None:
+                    seen[signature] = config
+                    selected.append(config)
+                elif design_space.is_anchor(config):
+                    selected.append(config)
+                else:
+                    report.pruned.append(
+                        {
+                            "name": config.name + tag,
+                            "reason": (
+                                f"projects to the same {backend_id} design "
+                                f"as {holder.name!r}"
+                            ),
+                        }
                     )
-                    continue
-                resources = comparison.adaptor.resources
-                point = DSEPoint(
-                    name=config.name,
-                    config=config.to_dict(),
-                    latency=comparison.adaptor.latency,
-                    lut=resources.get("lut", 0),
-                    ff=resources.get("ff", 0),
-                    dsp=resources.get("dsp", 0),
-                    bram_18k=resources.get("bram_18k", 0),
-                    utilization=device_model.utilization(resources),
-                    cache_status=comparison.cache_status,
-                    compile_seconds=comparison.compile_seconds,
-                    is_anchor=design_space.is_anchor(config),
-                )
-                report.points.append(point)
-                vectors[outcome.index] = objective_vector(point)
-            report.cache_hits += batch.cache_stats.hits
-            report.cache_misses += batch.cache_stats.misses
-            batch_seconds += batch.seconds
-            return vectors
+            return selected
 
-        context = SearchContext(
-            kernel=kernel,
-            profile=profile,
-            device=device_model,
-            budget=compile_budget,
-            seed=seed,
-            anchor_names=frozenset(design_space.anchor_names),
-        )
-        with tracer.span(
-            "dse-search", category="dse", strategy=search.name,
-            budget=compile_budget, candidates=len(survivors),
-        ) as search_span:
-            outcome = search.run(survivors, evaluate, context)
-            search_span.set(
-                visited=len(outcome.visited),
-                unvisited=len(outcome.unvisited),
-                rounds=len(outcome.rounds),
+        def make_evaluate(backend_id, tag):
+            def evaluate(configs) -> List[Optional[tuple]]:
+                """Compile one strategy round; feed measured vectors back.
+
+                Appends the round's rows to the report as a side effect —
+                points accumulate across halving rungs exactly as they
+                did across the single exhaustive batch.
+                """
+                nonlocal batch_seconds
+                requests = [
+                    CompileRequest(
+                        kernel=kernel,
+                        config=config,
+                        sizes=sizes,
+                        size_class=size_class,
+                        check_equivalence=check_equivalence,
+                        seed=seed,
+                        backend=backend_id,
+                    )
+                    for config in configs
+                ]
+                batch = service.compile_batch(
+                    requests, span_name="dse-batch", policy=policy
+                )
+                vectors: List[Optional[tuple]] = [None] * len(requests)
+                # Walk outcomes, not comparisons: under a continue/retry
+                # policy the batch is partial, and outcome.index is the
+                # only honest join back to this round's configs.
+                for outcome in batch.outcomes:
+                    config = configs[outcome.index]
+                    comparison = batch.comparison_for(outcome)
+                    if comparison is None:
+                        report.failed.append(
+                            {"name": config.name + tag, **outcome.to_dict()}
+                        )
+                        continue
+                    resources = comparison.adaptor.resources
+                    point = DSEPoint(
+                        name=config.name + tag,
+                        config=config.to_dict(),
+                        latency=comparison.adaptor.latency,
+                        lut=resources.get("lut", 0),
+                        ff=resources.get("ff", 0),
+                        dsp=resources.get("dsp", 0),
+                        bram_18k=resources.get("bram_18k", 0),
+                        utilization=device_model.utilization(resources),
+                        cache_status=comparison.cache_status,
+                        compile_seconds=comparison.compile_seconds,
+                        is_anchor=design_space.is_anchor(config),
+                        backend=backend_id,
+                    )
+                    report.points.append(point)
+                    vectors[outcome.index] = objective_vector(point)
+                report.cache_hits += batch.cache_stats.hits
+                report.cache_misses += batch.cache_stats.misses
+                batch_seconds += batch.seconds
+                return vectors
+
+            return evaluate
+
+        for backend_id in backend_ids:
+            # Non-default backends tag their rows so a mixed sweep keeps
+            # one unambiguous name per (config, backend); a pure static
+            # sweep keeps the historical bare names.
+            tag = "" if backend_id == DEFAULT_BACKEND else f"@{backend_id}"
+            candidates = project_survivors(
+                backend_id, engines[backend_id], tag
+            )
+            # A fresh strategy per backend: budgeted searches keep
+            # per-run state (rungs, spend), which must not leak across
+            # backends.  Instances are the caller's to manage.
+            backend_search = (
+                resolve_strategy(strategy)
+                if isinstance(strategy, str)
+                else search
+            )
+            context = SearchContext(
+                kernel=kernel,
+                profile=profile,
+                device=device_model,
+                budget=compile_budget,
+                seed=seed,
+                anchor_names=frozenset(design_space.anchor_names),
+            )
+            with tracer.span(
+                "dse-search", category="dse", strategy=backend_search.name,
+                budget=compile_budget, candidates=len(candidates),
+                backend=backend_id,
+            ) as search_span:
+                outcome = backend_search.run(
+                    candidates, make_evaluate(backend_id, tag), context
+                )
+                search_span.set(
+                    visited=len(outcome.visited),
+                    unvisited=len(outcome.unvisited),
+                    rounds=len(outcome.rounds),
+                )
+            report.unvisited.extend(
+                c.name + tag for c in outcome.unvisited
+            )
+            report.rounds.extend(
+                {**r.to_dict(), "backend": backend_id}
+                for r in outcome.rounds
             )
 
         with tracer.span("dse-reduce", category="dse"):
-            report.unvisited = [c.name for c in outcome.unvisited]
-            report.rounds = [r.to_dict() for r in outcome.rounds]
             report.mark_frontier()
         report.seconds = batch_seconds
         stats.bump("dse", "points-compiled", len(report.points))

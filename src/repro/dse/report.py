@@ -23,7 +23,10 @@ __all__ = ["DSEPoint", "DSEReport"]
 #: v2: search-strategy provenance (``strategy``/``compile_budget``/
 #: ``visited``/``rounds``), per-point ``dispositions`` accounting, and
 #: the ``unvisited`` list for budget-skipped points.
-REPORT_SCHEMA_VERSION = 2
+#: v3: the backend axis — reports carry ``backends`` (the synthesis
+#: engines explored), every point records its ``backend``, and points
+#: from non-default backends spell it in their name (``...@dataflow``).
+REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -42,6 +45,8 @@ class DSEPoint:
     compile_seconds: float = 0.0
     is_anchor: bool = False
     on_frontier: bool = False
+    # Which synthesis backend produced this point's vector.
+    backend: str = "static"
 
     @property
     def resources(self) -> Dict[str, int]:
@@ -84,6 +89,7 @@ class DSEPoint:
             "compile_seconds": round(self.compile_seconds, 6),
             "is_anchor": self.is_anchor,
             "on_frontier": self.on_frontier,
+            "backend": self.backend,
         }
 
 
@@ -119,6 +125,9 @@ class DSEReport:
     compile_budget: Optional[int] = None
     unvisited: List[str] = field(default_factory=list)
     rounds: List[Dict[str, Any]] = field(default_factory=list)
+    # The synthesis backends this sweep explored (design-space axis);
+    # the frontier is computed over the union of their points.
+    backends: List[str] = field(default_factory=lambda: ["static"])
 
     # -- derived ------------------------------------------------------------
     @property
@@ -193,6 +202,7 @@ class DSEReport:
             "objectives": list(OBJECTIVES),
             "strategy": self.strategy,
             "compile_budget": self.compile_budget,
+            "backends": list(self.backends),
             "enumerated": self.enumerated,
             "visited": self.visited,
             "pruned": list(self.pruned),
@@ -218,10 +228,15 @@ class DSEReport:
             if self.compile_budget is not None
             else ""
         )
+        backend_note = (
+            f" backends={','.join(self.backends)}"
+            if self.backends != ["static"]
+            else ""
+        )
         lines = [
             f"design-space exploration: kernel={self.kernel} "
             f"size={self.size_class} device={self.device} "
-            f"strategy={self.strategy}{budget_note}",
+            f"strategy={self.strategy}{budget_note}{backend_note}",
             f"enumerated {self.enumerated} point(s), pruned "
             f"{len(self.pruned)}, compiled {len(self.points)}"
             + (f", {len(self.failed)} FAILED" if self.failed else "")

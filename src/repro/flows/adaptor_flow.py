@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Union
 
 from ..adaptor import AdaptorReport, HLSAdaptor
-from ..hls import HLSEngine, SynthReport
+from ..backends import HLSBackend, create_backend, resolve_backend_id
+from ..hls.report import SynthReport
 from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
 from ..mlir.passes import convert_to_llvm, lowering_pipeline
@@ -65,8 +66,13 @@ def run_adaptor_flow(
     on_error: str = "raise",
     reproducer_dir: Optional[str] = None,
     lint: str = "gate",
+    backend: Union[str, HLSBackend, None] = None,
 ) -> AdaptorFlowResult:
     """Run one kernel through the adaptor flow end to end.
+
+    ``backend`` is a registry id (``repro.backends``, default ``static``)
+    or a constructed :class:`HLSBackend`; device/strict-frontend plumbing
+    happens once, inside :func:`~repro.backends.create_backend`.
 
     The kernel's MLIR module is consumed (lowered in place); build a fresh
     spec per flow invocation.
@@ -97,11 +103,14 @@ def run_adaptor_flow(
                 on_error=on_error,
                 reproducer_dir=reproducer_dir,
                 lint=lint,
+                lint_backend=resolve_backend_id(backend),
             )
             adaptor_report = adaptor.run(ir_module)
 
         with flow_stage("adaptor", "synthesis", timings):
-            engine = HLSEngine(device=device, strict_frontend=strict_frontend)
+            engine = create_backend(
+                backend, device=device, strict_frontend=strict_frontend
+            )
             synth_report = engine.synthesize(ir_module)
 
     return AdaptorFlowResult(

@@ -9,6 +9,7 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..backends import resolve_backend_id
 from ..ir import Module
 from ..ir.instructions import Cast, GetElementPtr, Load, Store
 from ..ir.interpreter import run_kernel
@@ -105,6 +106,9 @@ class FlowComparison:
     # HLS-compatibility lint verdict of the adapted module
     # (LintReport.to_dict()); rides through the cache with the row.
     lint: Optional[Dict[str, Any]] = None
+    # Which synthesis backend produced both flows' numbers
+    # (repro.backends registry id).
+    backend: str = "static"
 
     @property
     def lint_clean(self) -> Optional[bool]:
@@ -182,15 +186,19 @@ def compare_flows(
     on_error: str = "raise",
     reproducer_dir: Optional[str] = None,
     lint: str = "gate",
+    backend: Optional[str] = None,
 ) -> FlowComparison:
     """Build the kernel twice (each flow consumes its module), run both
     flows under the same optimisation config, and compare.
 
-    ``on_error="recover"`` lets the adaptor flow degrade gracefully
-    (non-essential pass failures are disabled and recorded) instead of
-    aborting the whole comparison."""
+    ``backend`` selects the synthesis engine (a ``repro.backends`` id;
+    both flows use the same one, so the latency ratio stays a same-engine
+    comparison).  ``on_error="recover"`` lets the adaptor flow degrade
+    gracefully (non-essential pass failures are disabled and recorded)
+    instead of aborting the whole comparison."""
     start = time.perf_counter()
     config = config or OptimizationConfig.baseline()
+    backend_id = resolve_backend_id(backend)
     tracer = get_tracer()
 
     with tracer.span(
@@ -198,6 +206,7 @@ def compare_flows(
         category="compare",
         kernel=kernel_name,
         config=config.name,
+        backend=backend_id,
     ) as root:
         spec_a = build_kernel(kernel_name, **sizes)
         config.apply(spec_a)
@@ -207,17 +216,19 @@ def compare_flows(
             on_error=on_error,
             reproducer_dir=reproducer_dir,
             lint=lint,
+            backend=backend_id,
         )
 
         spec_c = build_kernel(kernel_name, **sizes)
         config.apply(spec_c)
-        cpp_result = run_cpp_flow(spec_c, device=device)
+        cpp_result = run_cpp_flow(spec_c, device=device, backend=backend_id)
 
         comparison = FlowComparison(
             kernel=kernel_name,
             config=config.name,
             adaptor=adaptor_result,
             cpp=cpp_result,
+            backend=backend_id,
             adaptor_metrics=retention_metrics(
                 adaptor_result.ir_module, adaptor_result.raw_instruction_count
             ),

@@ -7,9 +7,10 @@ Stages are guarded like the adaptor flow's: unstructured failures become
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Union
 
-from ..hls import HLSEngine, SynthReport
+from ..backends import HLSBackend, create_backend
+from ..hls.report import SynthReport
 from ..hlscpp import compile_hls_cpp, generate_hls_cpp
 from ..ir import Module
 from ..ir.transforms import standard_cleanup_pipeline
@@ -38,7 +39,11 @@ class CppFlowResult:
         return self.synth_report.resources
 
 
-def run_cpp_flow(spec: KernelSpec, device: str = "xc7z020") -> CppFlowResult:
+def run_cpp_flow(
+    spec: KernelSpec,
+    device: str = "xc7z020",
+    backend: Union[str, HLSBackend, None] = None,
+) -> CppFlowResult:
     """Run one kernel through the HLS-C++ baseline flow end to end."""
     timings: Dict[str, float] = {}
 
@@ -56,7 +61,7 @@ def run_cpp_flow(spec: KernelSpec, device: str = "xc7z020") -> CppFlowResult:
             standard_cleanup_pipeline().run(ir_module)
 
         with flow_stage("cpp", "synthesis", timings):
-            engine = HLSEngine(device=device, strict_frontend=True)
+            engine = create_backend(backend, device=device, strict_frontend=True)
             synth_report = engine.synthesize(ir_module)
 
     return CppFlowResult(

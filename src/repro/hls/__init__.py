@@ -1,16 +1,25 @@
-"""Vitis-style HLS engine: strict IR frontend, scheduling (incl. iterative
-modulo scheduling for pipelined loops), binding, memory modelling, and
-csynth-style latency/resource reports.
+"""Vitis-style HLS substrate: strict IR frontend, scheduling (incl.
+iterative modulo scheduling for pipelined loops), binding, memory
+modelling, and csynth-style latency/resource reports.
 
 The engine consumes mini-LLVM IR plus HLS directive metadata — either from
 the adaptor flow or from the HLS-C++ flow — and produces the quantities the
 paper reports from Xilinx Vitis: latency in cycles and LUT/FF/DSP/BRAM
-usage."""
+usage.
+
+.. deprecated::
+    Constructing engines through ``repro.hls.HLSEngine`` (or calling
+    ``repro.hls.synthesize``) is deprecated in favour of the backend
+    registry: ``repro.backends.create_backend("static")``.  The old names
+    keep working for one release with a :class:`DeprecationWarning`; the
+    scheduling machinery itself lives on in :mod:`repro.hls.engine`.
+"""
+
+import warnings
 
 from .device import Device, DEVICES
 from .frontend import FrontendError, HLSFrontend, FrontendDiagnostics
 from .operators import OperatorLibrary, OpSpec, DEFAULT_LIBRARY
-from .engine import HLSEngine, synthesize
 from .report import LoopReport, SynthReport
 
 __all__ = [
@@ -27,3 +36,21 @@ __all__ = [
     "LoopReport",
     "SynthReport",
 ]
+
+# One release of grace for the pre-registry spellings (PEP 562).
+_DEPRECATED = {"HLSEngine", "synthesize"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        warnings.warn(
+            f"repro.hls.{name} is deprecated; use "
+            f'repro.backends.create_backend("static") (or import from '
+            f"repro.hls.engine for the raw scheduler)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

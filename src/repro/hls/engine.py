@@ -37,7 +37,14 @@ from .operators import DEFAULT_LIBRARY, OperatorLibrary
 from .report import LoopReport, SynthReport
 from .schedule import list_schedule
 
-__all__ = ["HLSEngine", "synthesize"]
+__all__ = [
+    "HLSEngine",
+    "synthesize",
+    "find_top_function",
+    "loop_directives_for",
+    "trip_range",
+    "region_graph",
+]
 
 _LOOP_CONTROL_LUT = 50
 _LOOP_CONTROL_FF = 70
@@ -57,6 +64,145 @@ class _LoopResult:
     latency_max: int
     report: LoopReport
     area: AreaEstimate
+
+
+# -- shared loop/region analyses ---------------------------------------------
+# Module-level so every backend (static here, dataflow in repro.backends)
+# reads directives, trip ranges and region structure identically — the
+# numbers may differ per backend, the *interpretation* of the IR may not.
+
+
+def find_top_function(module: Module, top: Optional[str] = None) -> Function:
+    """The synthesis top: explicit name > ``hls_top`` attribute > the only
+    defined function; anything else is ambiguous."""
+    if top is not None:
+        fn = module.get_function(top)
+        if fn is None or fn.is_declaration:
+            raise ValueError(f"no defined function @{top}")
+        return fn
+    tops = [f for f in module.defined_functions() if "hls_top" in f.attributes]
+    if len(tops) == 1:
+        return tops[0]
+    defined = module.defined_functions()
+    if len(defined) == 1:
+        return defined[0]
+    raise ValueError(
+        "ambiguous top function: tag one with the hls_top attribute or "
+        "pass top=..."
+    )
+
+
+def loop_directives_for(loop: Loop) -> LoopDirectives:
+    """Decode the loop's HLS-dialect directives off its latch metadata.
+
+    Modern-spelling directives are invisible to the old fork, so they are
+    invisible to every backend too — backends differ in which decoded
+    directives they *honour*, never in what they can see."""
+    for latch in loop.latches():
+        term = latch.terminator
+        if term is None:
+            continue
+        node = term.metadata.get("llvm.loop")
+        if node is None:
+            continue
+        directives, dialects = decode_loop_directives(node)
+        if "hls" in dialects:
+            return directives
+    return LoopDirectives()
+
+
+def _enclosing_iv_range(
+    value, loop: Loop
+) -> Optional[Tuple[int, int]]:
+    """Range of an enclosing loop's IV (for triangular bounds)."""
+    if not isinstance(value, Phi):
+        return None
+    enclosing = loop.parent
+    while enclosing is not None:
+        counted = enclosing.counted_form()
+        if counted is not None and counted.indvar is value:
+            if isinstance(counted.start, ConstantInt) and isinstance(
+                counted.bound, ConstantInt
+            ):
+                lo = counted.start.value
+                hi = counted.bound.value
+                if counted.predicate in ("slt", "ult"):
+                    hi -= 1
+                return (lo, max(lo, hi))
+            return None
+        enclosing = enclosing.parent
+    return None
+
+
+def trip_range(loop: Loop, loop_info: LoopInfo) -> Tuple[int, int]:
+    """(min, max) trip count; triangular bounds resolve through the
+    affine summary over enclosing counted loops."""
+    counted = loop.counted_form()
+    if counted is None:
+        return (1, 64)  # irregular loop: Vitis reports '?'; we bound it
+    exact = counted.trip_count()
+    if exact is not None:
+        return (exact, exact)
+    lo = counted.start.value if isinstance(counted.start, ConstantInt) else None
+    summary = summarize_index(counted.bound)
+    bound_min = bound_max = summary.const
+    resolvable = True
+    for key, coeff in summary.coeffs.items():
+        leaf = summary.leaves[key]
+        rng = _enclosing_iv_range(leaf, loop)
+        if rng is None:
+            resolvable = False
+            break
+        low, high = rng
+        lo_term, hi_term = sorted((coeff * low, coeff * high))
+        bound_min += lo_term
+        bound_max += hi_term
+    if not resolvable or lo is None:
+        return (1, 64)
+    step = max(counted.step, 1)
+    pred = counted.predicate
+    inclusive = pred in ("sle", "ule")
+    span_min = bound_min - lo + (1 if inclusive else 0)
+    span_max = bound_max - lo + (1 if inclusive else 0)
+    trip_min = max(0, -(-span_min // step)) if span_min > 0 else 0
+    trip_max = max(trip_min, -(-span_max // step)) if span_max > 0 else trip_min
+    return (trip_min, trip_max)
+
+
+def region_graph(
+    blocks: List[BasicBlock], child_loops: List[Loop]
+) -> Tuple[Dict[int, object], Dict[int, List[int]]]:
+    """Units (blocks + collapsed child loops) and the DAG between them.
+
+    Keys are ``id(block)`` / ``id(child.header)``; edges follow CFG
+    successors with back edges into the same unit dropped.  Both backends
+    compose regions over exactly this graph — only the unit weights (and
+    areas) differ."""
+    child_of: Dict[int, Loop] = {}
+    for child in child_loops:
+        for block in child.blocks:
+            child_of[id(block)] = child
+
+    units: Dict[int, object] = {}
+    for block in blocks:
+        units[id(block)] = block
+    for child in child_loops:
+        units[id(child.header)] = child
+
+    def unit_key(block: BasicBlock) -> Optional[int]:
+        child = child_of.get(id(block))
+        if child is not None:
+            return id(child.header)
+        return id(block) if id(block) in units else None
+
+    succs: Dict[int, List[int]] = {key: [] for key in units}
+    for key, unit in units.items():
+        targets = unit.exit_blocks() if isinstance(unit, Loop) else unit.successors
+        for target in targets:
+            tkey = unit_key(target)
+            if tkey is not None and tkey != key and tkey not in succs[key]:
+                succs[key].append(tkey)
+    return units, succs
 
 
 class HLSEngine:
@@ -133,92 +279,14 @@ class HLSEngine:
         return report
 
     def _top_function(self, module: Module, top: Optional[str]) -> Function:
-        if top is not None:
-            fn = module.get_function(top)
-            if fn is None or fn.is_declaration:
-                raise ValueError(f"no defined function @{top}")
-            return fn
-        tops = [f for f in module.defined_functions() if "hls_top" in f.attributes]
-        if len(tops) == 1:
-            return tops[0]
-        defined = module.defined_functions()
-        if len(defined) == 1:
-            return defined[0]
-        raise ValueError(
-            "ambiguous top function: tag one with the hls_top attribute or "
-            "pass top=..."
-        )
+        return find_top_function(module, top)
 
     # -- loop scheduling --------------------------------------------------------------
     def _loop_directives(self, loop: Loop) -> LoopDirectives:
-        for latch in loop.latches():
-            term = latch.terminator
-            if term is None:
-                continue
-            node = term.metadata.get("llvm.loop")
-            if node is None:
-                continue
-            directives, dialects = decode_loop_directives(node)
-            if "hls" in dialects:
-                return directives
-            # Modern-spelling directives are invisible to the old fork.
-        return LoopDirectives()
+        return loop_directives_for(loop)
 
     def _trip_range(self, loop: Loop, loop_info: LoopInfo) -> Tuple[int, int]:
-        counted = loop.counted_form()
-        if counted is None:
-            return (1, 64)  # irregular loop: Vitis reports '?'; we bound it
-        exact = counted.trip_count()
-        if exact is not None:
-            return (exact, exact)
-        # Bound depends on outer values; resolve through affine summary over
-        # enclosing counted loops.
-        lo = counted.start.value if isinstance(counted.start, ConstantInt) else None
-        summary = summarize_index(counted.bound)
-        bound_min = bound_max = summary.const
-        resolvable = True
-        for key, coeff in summary.coeffs.items():
-            leaf = summary.leaves[key]
-            rng = self._value_range(leaf, loop, loop_info)
-            if rng is None:
-                resolvable = False
-                break
-            low, high = rng
-            lo_term, hi_term = sorted((coeff * low, coeff * high))
-            bound_min += lo_term
-            bound_max += hi_term
-        if not resolvable or lo is None:
-            return (1, 64)
-        step = max(counted.step, 1)
-        pred = counted.predicate
-        inclusive = pred in ("sle", "ule")
-        span_min = bound_min - lo + (1 if inclusive else 0)
-        span_max = bound_max - lo + (1 if inclusive else 0)
-        trip_min = max(0, -(-span_min // step)) if span_min > 0 else 0
-        trip_max = max(trip_min, -(-span_max // step)) if span_max > 0 else trip_min
-        return (trip_min, trip_max)
-
-    def _value_range(
-        self, value, loop: Loop, loop_info: LoopInfo
-    ) -> Optional[Tuple[int, int]]:
-        """Range of an enclosing loop's IV (for triangular bounds)."""
-        if not isinstance(value, Phi):
-            return None
-        enclosing = loop.parent
-        while enclosing is not None:
-            counted = enclosing.counted_form()
-            if counted is not None and counted.indvar is value:
-                if isinstance(counted.start, ConstantInt) and isinstance(
-                    counted.bound, ConstantInt
-                ):
-                    lo = counted.start.value
-                    hi = counted.bound.value
-                    if counted.predicate in ("slt", "ult"):
-                        hi -= 1
-                    return (lo, max(lo, hi))
-                return None
-            enclosing = enclosing.parent
-        return None
+        return trip_range(loop, loop_info)
 
     def _schedule_loop(
         self,
@@ -319,16 +387,7 @@ class HLSEngine:
     ) -> Tuple[int, int, AreaEstimate]:
         """Longest path (min & max variants) through blocks + collapsed
         child loops, plus merged area."""
-        child_of: Dict[int, Loop] = {}
-        for child in child_loops:
-            for block in child.blocks:
-                child_of[id(block)] = child
-
-        units: Dict[int, object] = {}
-        for block in blocks:
-            units[id(block)] = block
-        for child in child_loops:
-            units[id(child.header)] = child
+        units, succs = region_graph(blocks, child_loops)
 
         weights_min: Dict[int, int] = {}
         weights_max: Dict[int, int] = {}
@@ -356,26 +415,6 @@ class HLSEngine:
                     areas.append(bind_block(dfg, schedule.starts, self.library))
                 else:
                     weights_min[key] = weights_max[key] = 1
-
-        def unit_key(block: BasicBlock) -> Optional[int]:
-            child = child_of.get(id(block))
-            if child is not None:
-                return id(child.header)
-            return id(block) if id(block) in units else None
-
-        # Edges between units via CFG successors (ignoring back edges into
-        # the same unit).
-        succs: Dict[int, List[int]] = {key: [] for key in units}
-        for key, unit in units.items():
-            if isinstance(unit, Loop):
-                exit_blocks = unit.exit_blocks()
-                targets = exit_blocks
-            else:
-                targets = unit.successors
-            for target in targets:
-                tkey = unit_key(target)
-                if tkey is not None and tkey != key and tkey not in succs[key]:
-                    succs[key].append(tkey)
 
         # Longest path over the DAG (memoised DFS).
         memo_min: Dict[int, int] = {}

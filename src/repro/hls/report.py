@@ -53,6 +53,10 @@ class SynthReport:
     function: str
     flow: str  # "mlir-adaptor" | "hls-cpp"
     device: Device
+    # Which engine produced the numbers (repro.backends registry id).
+    # Defaults to "static" so reports from the pre-registry engine — and
+    # cached rows that predate the field — read back unchanged.
+    backend: str = "static"
     latency_min: int = 0
     latency_max: int = 0
     loops: List[LoopReport] = field(default_factory=list)
@@ -73,7 +77,7 @@ class SynthReport:
         util = self.utilization()
         lines = [
             f"== Vitis-style synthesis estimate: {self.function} "
-            f"[{self.flow}] on {self.device.name} ==",
+            f"[{self.flow}, {self.backend}] on {self.device.name} ==",
             f"latency (cycles): min={self.latency_min} max={self.latency_max}",
             "",
             f"{'loop':<24} {'latency':>12} {'IL':>6} {'II':>4} {'trip':>9} {'pipe':>5}",

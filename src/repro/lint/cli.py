@@ -66,6 +66,13 @@ def _add_subcommands(sub) -> None:
         help="skip this rule (repeatable)",
     )
     check.add_argument(
+        "--backend",
+        default=None,
+        metavar="ID",
+        help="lint for this synthesis backend's rule set (repro.backends "
+        "id, e.g. static or dataflow; default: the full neutral registry)",
+    )
+    check.add_argument(
         "--fail-on",
         choices=["error", "warning"],
         default="error",
@@ -143,10 +150,17 @@ def _load_target(target: str, args: argparse.Namespace):
 
 def _cmd_check(args: argparse.Namespace) -> int:
     reports: List[LintReport] = []
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from ..backends import resolve_backend_id
+
+        backend = resolve_backend_id(backend)
     for target in args.targets:
         module = _load_target(target, args)
         reports.append(
-            run_lint(module, select=args.rule, disable=args.disable)
+            run_lint(
+                module, select=args.rule, disable=args.disable, backend=backend
+            )
         )
     failed = [r for r in reports if not r.ok(args.fail_on)]
     if args.json:
@@ -179,14 +193,17 @@ def render_rules_markdown() -> str:
         "Generated by `python -m repro.lint rules`; do not edit by hand.",
         "Codes are stable and append-only.  `error` rules mirror what the",
         "strict HLS frontend rejects outright; `warning` rules encode",
-        "conventions that cost directives or analysis precision.",
+        "conventions that cost directives or analysis precision.  The",
+        "*Backends* column scopes a rule to specific synthesis backends",
+        "(`repro.backends` registry ids); `all` rules are backend-neutral.",
         "",
-        "| Code | Name | Severity | Description |",
-        "| --- | --- | --- | --- |",
+        "| Code | Name | Severity | Backends | Description |",
+        "| --- | --- | --- | --- | --- |",
     ]
     for rule in all_rules():
+        backends = ", ".join(rule.backends) if rule.backends else "all"
         lines.append(
-            f"| {rule.code} | {rule.name} | {rule.severity} | "
+            f"| {rule.code} | {rule.name} | {rule.severity} | {backends} | "
             f"{rule.description} |"
         )
     lines.append("")
@@ -202,6 +219,7 @@ def _cmd_rules(args: argparse.Namespace) -> int:
                         "code": r.code,
                         "name": r.name,
                         "severity": r.severity,
+                        "backends": list(r.backends) if r.backends else None,
                         "description": r.description,
                     }
                     for r in all_rules()

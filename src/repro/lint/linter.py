@@ -26,6 +26,9 @@ class LintReport:
     findings: List[LintFinding] = field(default_factory=list)
     rules_run: int = 0
     disabled: List[str] = field(default_factory=list)
+    # The backend whose rule set produced this verdict (None = the
+    # backend-neutral full registry).
+    backend: Optional[str] = None
 
     @property
     def errors(self) -> List[LintFinding]:
@@ -73,6 +76,7 @@ class LintReport:
             "codes": self.codes(),
             "rules_run": self.rules_run,
             "disabled": list(self.disabled),
+            "backend": self.backend,
             "findings": [f.to_dict() for f in self.findings],
         }
 
@@ -85,6 +89,7 @@ class LintReport:
             ],
             rules_run=data.get("rules_run", 0),
             disabled=list(data.get("disabled", ())),
+            backend=data.get("backend"),
         )
 
 
@@ -92,19 +97,30 @@ def run_lint(
     module: Module,
     select: Optional[Sequence[str]] = None,
     disable: Sequence[str] = (),
+    backend: Optional[str] = None,
 ) -> LintReport:
     """Lint ``module`` against the registry.
 
     ``select`` restricts to the named rules (codes or names, None = all);
-    ``disable`` removes rules from whatever ``select`` produced.  Rules run
-    in stable code order and findings keep that order, so reports are
-    deterministic for golden/diff comparisons.
+    ``disable`` removes rules from whatever ``select`` produced; ``backend``
+    (a ``repro.backends`` id, ``None`` = the default backend) filters the
+    default set to rules applicable to that backend — explicitly selected
+    rules always run, whatever the backend.  Rules run in stable code
+    order and findings keep that order, so reports are deterministic for
+    golden/diff comparisons.
     """
-    rules = resolve_rules(select=select, disable=disable)
+    if backend is None:
+        # Lazy: repro.backends pulls the HLS substrate, which the lint
+        # registry must not import eagerly.
+        from ..backends.base import DEFAULT_BACKEND
+
+        backend = DEFAULT_BACKEND
+    rules = resolve_rules(select=select, disable=disable, backend=backend)
     report = LintReport(
         module_name=module.name,
         rules_run=len(rules),
         disabled=sorted({r for r in disable}),
+        backend=backend,
     )
     tracer = get_tracer()
     with tracer.span("lint", category="lint", module=module.name) as span:

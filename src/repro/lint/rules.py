@@ -109,6 +109,20 @@ class LintRule:
     severity: str
     description: str
     matcher: Callable[[Module], Iterator[_Match]] = field(compare=False)
+    #: Backend ids (``repro.backends``) this rule applies to; ``None``
+    #: means backend-neutral (runs for every backend).  A dynamically
+    #: scheduled backend e.g. drops the static-II metadata rules but
+    #: gains token-discipline rules of its own.
+    backends: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, backend: Optional[str]) -> bool:
+        """Whether this rule is in the default set for ``backend``
+        (``None`` = no backend context: everything applies)."""
+        return (
+            backend is None
+            or self.backends is None
+            or backend in self.backends
+        )
 
     def check(self, module: Module) -> List[LintFinding]:
         """Run this rule's matcher, stamping findings with code/severity."""
@@ -130,8 +144,18 @@ LINT_RULES: Dict[str, LintRule] = {}
 _BY_NAME: Dict[str, LintRule] = {}
 
 
-def lint_rule(code: str, name: str, severity: str, description: str):
-    """Class-less registration decorator for rule matcher functions."""
+def lint_rule(
+    code: str,
+    name: str,
+    severity: str,
+    description: str,
+    backends: Optional[Tuple[str, ...]] = None,
+):
+    """Class-less registration decorator for rule matcher functions.
+
+    ``backends`` scopes the rule to specific synthesis backends (ids from
+    the ``repro.backends`` registry); ``None`` = backend-neutral.
+    """
 
     def register(matcher: Callable[[Module], Iterator[_Match]]):
         if not (code.startswith("REPRO-LINT-") and code[11:].isdigit()
@@ -151,6 +175,7 @@ def lint_rule(code: str, name: str, severity: str, description: str):
             severity=severity,
             description=" ".join(description.split()),
             matcher=matcher,
+            backends=tuple(backends) if backends is not None else None,
         )
         LINT_RULES[code] = rule
         _BY_NAME[name] = rule
@@ -174,12 +199,17 @@ def get_rule(code_or_name: str) -> LintRule:
     return rule
 
 
-def resolve_rules(select=None, disable=()) -> List[LintRule]:
+def resolve_rules(select=None, disable=(), backend=None) -> List[LintRule]:
     """The rule set to run: ``select`` (codes or names; None = all)
-    minus ``disable``."""
-    rules = (
-        [get_rule(s) for s in select] if select is not None else all_rules()
-    )
+    minus ``disable``.
+
+    ``backend`` filters the *default* set by per-backend applicability —
+    an explicit ``select`` bypasses the filter (naming a rule means you
+    want it, whatever the backend; the conformance tests rely on this)."""
+    if select is not None:
+        rules = [get_rule(s) for s in select]
+    else:
+        rules = [r for r in all_rules() if r.applies_to(backend)]
     dropped = {get_rule(d).code for d in disable}
     return [r for r in rules if r.code not in dropped]
 
@@ -374,7 +404,10 @@ def _gep_canonical_shape(module: Module) -> Iterator[_Match]:
     "`!llvm.loop` attachments must be well-formed (attached to a branch "
     "terminator, carrying decodable directives) and spelled in the HLS "
     "dialect (`fpga.loop.*`); the old fork silently drops modern "
-    "spellings, losing pipeline/unroll intent.",
+    "spellings, losing pipeline/unroll intent.  Static backend only: a "
+    "dynamically scheduled backend pipelines without directives, so a "
+    "dropped spelling costs it nothing.",
+    backends=("static",),
 )
 def _hls_loop_metadata(module: Module) -> Iterator[_Match]:
     for fn in _defined(module):
@@ -536,4 +569,75 @@ def _struct_flat_values(module: Module) -> Iterator[_Match]:
                     f"struct-typed SSA register {inst.ref()} ({inst.type})",
                     fn.name,
                     inst.ref(),
+                )
+
+
+@lint_rule(
+    "REPRO-LINT-011",
+    "dataflow-ignored-directives",
+    "warning",
+    "Pipeline/II directives address a static scheduler; a dynamically "
+    "scheduled (dataflow) backend derives II from token flow and ignores "
+    "them, so their presence signals intent the chosen backend cannot "
+    "honour — drop them or target the static backend.",
+    backends=("dataflow",),
+)
+def _dataflow_ignored_directives(module: Module) -> Iterator[_Match]:
+    for fn in _defined(module):
+        for inst in _insts(fn):
+            node = inst.metadata.get("llvm.loop")
+            if node is None:
+                continue
+            directives, _dialects = decode_loop_directives(node)
+            if directives.pipeline or directives.ii:
+                spelled = []
+                if directives.pipeline:
+                    spelled.append("pipeline")
+                if directives.ii:
+                    spelled.append(f"II={directives.ii}")
+                yield (
+                    f"static-scheduling directive(s) {', '.join(spelled)} "
+                    f"ignored by the dataflow backend (II is emergent)",
+                    fn.name,
+                    inst.ref(),
+                )
+
+
+@lint_rule(
+    "REPRO-LINT-012",
+    "dataflow-unbanked-buffer",
+    "warning",
+    "A buffer with several access sites but a single bank serialises a "
+    "dataflow circuit on its two memory ports, capping the emergent II "
+    "regardless of token parallelism; cyclic array partitioning restores "
+    "bank-level concurrency.",
+    backends=("dataflow",),
+)
+def _dataflow_unbanked_buffer(module: Module) -> Iterator[_Match]:
+    # Lazy import: the memory model lives in repro.hls, which the lint
+    # registry must not pull in at import time (rule registration happens
+    # on ``import repro.lint`` from light-weight contexts).
+    from ..hls.memory import MemoryModel
+
+    for fn in _defined(module):
+        memory = MemoryModel(fn)
+        sites: Dict[int, int] = {}
+        names: Dict[int, str] = {}
+        banks: Dict[int, int] = {}
+        for inst in _insts(fn):
+            site = memory.site_for(inst)
+            if site is None:
+                continue
+            key = id(site.buffer)
+            sites[key] = sites.get(key, 0) + 1
+            names[key] = site.buffer.name
+            banks[key] = site.buffer.banks
+        for key, count in sorted(sites.items(), key=lambda kv: names[kv[0]]):
+            if count > 2 and banks[key] <= 1:
+                yield (
+                    f"buffer %{names[key]} has {count} access sites but a "
+                    f"single bank (2 ports): token flow serialises on the "
+                    f"memory; consider array partitioning",
+                    fn.name,
+                    f"%{names[key]}",
                 )

@@ -124,6 +124,13 @@ def register_subcommands(sub) -> None:
         help="route the batch through a running compile daemon at ADDR "
         "(host:port or unix:/path.sock) instead of compiling here",
     )
+    run.add_argument(
+        "--backend",
+        default=None,
+        metavar="ID",
+        help="synthesis backend for every row (repro.backends id, e.g. "
+        "static or dataflow; default: static)",
+    )
 
     serve = sub.add_parser("serve", help="run the long-lived compile daemon")
     serve.set_defaults(handler=_cmd_serve)
@@ -362,6 +369,7 @@ def _cmd_run_suite(args: argparse.Namespace) -> int:
         policy=policy_from_args(args),
         chaos=_chaos_from_args(args),
         daemon=getattr(args, "daemon", None),
+        backend=getattr(args, "backend", None),
     )
     kernels = args.kernels.split(",") if args.kernels else None
 

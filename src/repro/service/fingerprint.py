@@ -44,7 +44,10 @@ __all__ = [
 #: 4: metadata printing switched to structural uniquing (duplicate
 #: non-distinct nodes now share one ``!N`` slot), changing printed IR
 #: byte-for-byte; stale cached text must not survive the change.
-PIPELINE_VERSION = 4
+#: 5: the backend registry landed — the synthesis backend id joined the
+#: cache key and reports carry ``backend``/per-backend lint verdicts;
+#: pre-registry rows never recorded which engine produced them.
+PIPELINE_VERSION = 5
 
 #: Bump when the on-disk entry layout changes (header schema, payload
 #: encoding).  Old entries then read back as misses, not corruption.
@@ -120,9 +123,13 @@ def cache_key(
     check_equivalence: bool = True,
     seed: int = 0,
     kernel_hash: Optional[str] = None,
+    backend: str = "static",
 ) -> str:
     """The content-addressed key for one flow comparison.
 
+    ``backend`` is the synthesis backend id (``repro.backends``): the
+    same kernel/config pair produces different numbers under different
+    engines, so rows must never be shared across backends.
     ``kernel_hash`` lets callers that already computed the kernel
     fingerprint (e.g. a batch run hashing each kernel once) skip the
     rebuild."""
@@ -135,5 +142,6 @@ def cache_key(
         "device": device,
         "check_equivalence": check_equivalence,
         "seed": seed,
+        "backend": backend,
     }
     return _sha256(json.dumps(payload, sort_keys=True))

@@ -162,6 +162,11 @@ def validate_request(message: Dict[str, Any]) -> Dict[str, Any]:
             sizes = wire.get("sizes")
             if sizes is not None and not isinstance(sizes, dict):
                 raise ProtocolError(f"compile request #{i} sizes must be an object")
+            backend = wire.get("backend")
+            if backend is not None and not isinstance(backend, str):
+                raise ProtocolError(
+                    f"compile request #{i} backend must be a string"
+                )
         policy = message.get("policy")
         if policy is not None:
             _validate_policy(policy)
@@ -228,7 +233,7 @@ def request_to_wire(request) -> Dict[str, Any]:
         config_wire: Union[str, Dict[str, Any]] = config.to_dict()
     else:
         config_wire = config
-    return {
+    wire = {
         "kernel": request.kernel,
         "config": config_wire,
         "sizes": dict(request.sizes) if request.sizes is not None else None,
@@ -236,6 +241,11 @@ def request_to_wire(request) -> Dict[str, Any]:
         "check_equivalence": request.check_equivalence,
         "seed": request.seed,
     }
+    # Optional on the wire: omitted = the daemon's default backend, so
+    # pre-registry clients and checked-in fixtures stay valid.
+    if getattr(request, "backend", None) is not None:
+        wire["backend"] = request.backend
+    return wire
 
 
 def request_from_wire(wire: Dict[str, Any]):
@@ -252,6 +262,7 @@ def request_from_wire(wire: Dict[str, Any]):
         size_class=wire.get("size_class", "SMALL"),
         check_equivalence=wire.get("check_equivalence", True),
         seed=wire.get("seed", 17),
+        backend=wire.get("backend"),
     )
 
 

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
+from ..backends import resolve_backend_id
 from ..diagnostics.engine import DiagnosticEngine
 from ..diagnostics.errors import PipelineConfigError
 from ..flows.compare import FlowComparison, compare_flows
@@ -98,6 +99,8 @@ class CompileRequest:
     size_class: str = "SMALL"
     check_equivalence: bool = True
     seed: int = 17
+    # Synthesis backend id (repro.backends); None = the service's default.
+    backend: Optional[str] = None
 
     def resolve(self) -> "CompileRequest":
         """A copy with ``config``/``sizes`` resolved to concrete objects."""
@@ -112,6 +115,7 @@ class CompileRequest:
             size_class=self.size_class,
             check_equivalence=self.check_equivalence,
             seed=self.seed,
+            backend=self.backend,
         )
 
 
@@ -296,6 +300,7 @@ def _compile_job(payload: dict):
         cache_dir=payload["cache_dir"],
         jobs=1,
         device=payload["device"],
+        backend=payload.get("backend"),
     )
     from ..observability import NULL_STATISTICS, NULL_TRACER
 
@@ -314,6 +319,7 @@ def _compile_job(payload: dict):
             sizes=payload["sizes"],
             check_equivalence=payload["check_equivalence"],
             seed=payload["seed"],
+            backend=payload.get("backend"),
         )
     if plan and plan.get("fault") == "corrupt-cache":
         from ..testing.chaos import corrupt_after_write
@@ -325,6 +331,7 @@ def _compile_job(payload: dict):
             device=payload["device"],
             check_equivalence=payload["check_equivalence"],
             seed=payload["seed"],
+            backend=service.backend,
         )
         corrupt_after_write(plan, attempt, service.cache, key)
     counters = registry.as_dict() if registry.enabled else None
@@ -360,11 +367,15 @@ class CompilationService:
         daemon: Optional[str] = None,
         mem_entries: int = 0,
         mem_bytes: int = 256 << 20,
+        backend: Optional[str] = None,
     ):
         if jobs < 1:
             raise PipelineConfigError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.device = device
+        # Default synthesis backend for requests that do not pick their
+        # own; validated eagerly so typos fail at construction.
+        self.backend = resolve_backend_id(backend)
         self.engine = engine or DiagnosticEngine()
         self.policy = policy or FailurePolicy()
         self.chaos = chaos
@@ -388,18 +399,23 @@ class CompilationService:
         size_class: str = "SMALL",
         check_equivalence: bool = True,
         seed: int = 17,
+        backend: Optional[str] = None,
     ) -> FlowComparison:
         """Cache-first comparison of one kernel under one config.
 
-        Cache hits come back with ``cache_status="hit"``, their *original*
-        ``compile_seconds`` untouched, and the cost of the lookup itself in
+        ``backend`` overrides the service's default synthesis backend for
+        this request; the backend id is part of the cache key, so rows
+        never leak between engines.  Cache hits come back with
+        ``cache_status="hit"``, their *original* ``compile_seconds``
+        untouched, and the cost of the lookup itself in
         ``lookup_seconds`` — the two are never conflated.
         """
         config_obj = resolve_config(config)
         sizes = sizes if sizes is not None else _sizes_for(size_class, kernel)
+        backend_id = resolve_backend_id(backend or self.backend)
         with get_tracer().span(
             f"compile:{kernel}", category="service",
-            kernel=kernel, config=config_obj.name,
+            kernel=kernel, config=config_obj.name, backend=backend_id,
         ) as span:
             key = cache_key(
                 kernel,
@@ -408,6 +424,7 @@ class CompilationService:
                 device=self.device,
                 check_equivalence=check_equivalence,
                 seed=seed,
+                backend=backend_id,
             )
             lookup_start = time.perf_counter()
             cached = self.cache.load(key)
@@ -428,6 +445,7 @@ class CompilationService:
                 device=self.device,
                 check_equivalence=check_equivalence,
                 seed=seed,
+                backend=backend_id,
             )
             comparison.cache_status = "miss"
             comparison.lookup_seconds = lookup_elapsed
@@ -490,6 +508,7 @@ class CompilationService:
                 "device": self.device,
                 "check_equivalence": request.check_equivalence,
                 "seed": request.seed,
+                "backend": request.backend or self.backend,
                 # Workers cannot see this process's ambient tracer/registry;
                 # ship the opt-ins so they instrument themselves.
                 "trace": tracer.enabled,
@@ -608,6 +627,7 @@ class CompilationService:
             sizes=payload["sizes"],
             check_equivalence=payload["check_equivalence"],
             seed=payload["seed"],
+            backend=payload.get("backend"),
         )
         if plan and plan.get("fault") == "corrupt-cache":
             from ..testing.chaos import corrupt_after_write
@@ -619,6 +639,7 @@ class CompilationService:
                 device=payload["device"],
                 check_equivalence=payload["check_equivalence"],
                 seed=payload["seed"],
+                backend=payload.get("backend") or self.backend,
             )
             corrupt_after_write(plan, attempt, self.cache, key)
         return comparison
@@ -631,6 +652,7 @@ class CompilationService:
         check_equivalence: bool = True,
         seed: int = 17,
         policy: Optional[FailurePolicy] = None,
+        backend: Optional[str] = None,
     ) -> SuiteReport:
         """Compile every (or the named) suite kernel under one config."""
         config_obj = resolve_config(config)
@@ -643,6 +665,7 @@ class CompilationService:
                 size_class=size_class,
                 check_equivalence=check_equivalence,
                 seed=seed,
+                backend=backend,
             )
             for name in names
         ]

@@ -7,7 +7,7 @@ import pytest
 import repro
 from repro.adaptor import HLSAdaptor
 from repro.api import CompileResult, compile_kernel
-from repro.hls import synthesize
+from repro.hls.engine import synthesize
 from repro.ir.transforms import standard_cleanup_pipeline
 from repro.mlir.passes import convert_to_llvm, lowering_pipeline
 from repro.service.service import resolve_config

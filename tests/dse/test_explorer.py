@@ -116,7 +116,8 @@ class TestReport:
 
         doc = json.loads(gemm_report.to_json())
         assert doc["kernel"] == "gemm"
-        assert doc["schema_version"] == 2
+        assert doc["schema_version"] == 3
+        assert doc["backends"] == ["static"]
         assert set(doc["frontier"]) == {p.name for p in gemm_report.frontier}
         assert doc["objectives"] == ["latency", "lut", "ff", "dsp", "bram_18k"]
         assert doc["strategy"] == "exhaustive"

@@ -273,7 +273,7 @@ class TestRegisterRecurrences:
         from repro.ir import IRBuilder, Module
         from repro.ir import types as irt
         from repro.ir.metadata import InterfaceSpec, LoopDirectives, encode_loop_directives
-        from repro.hls import synthesize
+        from repro.hls.engine import synthesize
 
         m = Module("iv", opaque_pointers=False)
         arr = irt.array_of(irt.f32, 16)

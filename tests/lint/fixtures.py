@@ -283,3 +283,66 @@ def _scalar_signature():
     _, b = _fn(m, [irt.f32, irt.i32], ["x", "n"])
     b.ret()
     return m
+
+
+# -- REPRO-LINT-011 dataflow-ignored-directives -------------------------------
+
+
+@trigger("REPRO-LINT-011")
+def _pipeline_directive_under_dataflow():
+    # The HLS spelling is fine for the static backend (007-clean) but a
+    # dataflow backend cannot honour pipeline/II — that is the finding.
+    return _branch_with_loop_md("lint-011-trigger", "hls")
+
+
+@clean("REPRO-LINT-011")
+def _no_static_scheduling_directives():
+    m = Module("lint-011-clean", opaque_pointers=False)
+    fn = m.add_function("top", irt.function_type(irt.void, []), [])
+    entry = fn.add_block("entry")
+    exit_ = fn.add_block("exit")
+    b = IRBuilder(entry)
+    br = b.br(exit_)
+    # Unroll is in the dataflow backend's vocabulary: not a finding.
+    br.metadata["llvm.loop"] = encode_loop_directives(
+        LoopDirectives(unroll=2), dialect="hls"
+    )
+    b.position_at_end(exit_)
+    b.ret()
+    return m
+
+
+# -- REPRO-LINT-012 dataflow-unbanked-buffer ----------------------------------
+
+
+def _three_access_buffer(name: str, partition):
+    arr = irt.array_of(irt.f32, 16)
+    m = Module(name, opaque_pointers=False)
+    fn, b = _fn(m, [irt.pointer_to(arr), irt.i64], ["A", "i"])
+    g0 = b.gep(arr, fn.arguments[0], [b.i64_(0), fn.arguments[1]], "g0")
+    v0 = b.load(irt.f32, g0, "v0")
+    g1 = b.gep(arr, fn.arguments[0], [b.i64_(0), fn.arguments[1]], "g1")
+    v1 = b.load(irt.f32, g1, "v1")
+    s = b.fadd(v0, v1, "s")
+    g2 = b.gep(arr, fn.arguments[0], [b.i64_(0), fn.arguments[1]], "g2")
+    b.store(s, g2)
+    b.ret()
+    fn.hls_interfaces = [
+        InterfaceSpec(
+            "A", "ap_memory", depth=16, element_bits=32, dims=(16,),
+            partition=partition,
+        )
+    ]
+    return m
+
+
+@trigger("REPRO-LINT-012")
+def _unbanked_multi_access_buffer():
+    return _three_access_buffer("lint-012-trigger", partition=None)
+
+
+@clean("REPRO-LINT-012")
+def _cyclically_banked_buffer():
+    return _three_access_buffer(
+        "lint-012-clean", partition={"kind": "cyclic", "factor": 2, "dim": 0}
+    )

@@ -74,8 +74,12 @@ def test_clean_fixture_passes_its_rule(code):
 
 @pytest.mark.parametrize("code", ALL_CODES)
 def test_trigger_fixture_visible_in_full_lint(code):
-    """The default (all-rules) run must surface the same violation."""
-    report = run_lint(TRIGGERS[code]())
+    """A full (no-select) run for an applicable backend must surface the
+    same violation — backend-scoped rules are exercised under the first
+    backend they apply to."""
+    rule = LINT_RULES[code]
+    backend = rule.backends[0] if rule.backends else None
+    report = run_lint(TRIGGERS[code](), backend=backend)
     assert code in report.codes()
 
 

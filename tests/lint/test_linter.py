@@ -35,7 +35,9 @@ class TestReport:
 
         report = run_lint(Module("empty", opaque_pointers=False))
         assert report.clean and report.ok("warning")
-        assert report.rules_run == len(all_rules())
+        from repro.lint import resolve_rules
+
+        assert report.rules_run == len(resolve_rules(backend="static"))
         assert "clean" in report.summary()
 
     def test_codes_sorted_distinct(self):
